@@ -1,0 +1,379 @@
+//! A small bottom-up Datalog engine with semi-naive evaluation.
+//!
+//! This is the substrate for the paper's approach (2): "the Kleene star
+//! operator is translated into recursive Datalog programs or recursive SQL
+//! views". The engine supports positive Datalog (no negation — RPQs need
+//! none), predicates of arbitrary arity, constants, and recursive rules, and
+//! evaluates programs to their least fixpoint using the standard semi-naive
+//! delta iteration.
+
+use std::collections::{HashMap, HashSet};
+
+/// A term in an atom: either a variable (identified by a small integer) or a
+/// constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// A rule variable.
+    Var(u32),
+    /// A constant value (node ids in the RPQ translation).
+    Const(u32),
+}
+
+/// An atom `predicate(t₁, …, tₙ)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Atom {
+    /// Predicate name.
+    pub predicate: String,
+    /// Argument terms.
+    pub terms: Vec<Term>,
+}
+
+impl Atom {
+    /// Convenience constructor.
+    pub fn new(predicate: impl Into<String>, terms: Vec<Term>) -> Self {
+        Atom {
+            predicate: predicate.into(),
+            terms,
+        }
+    }
+}
+
+/// A Horn rule `head ← body₁, …, bodyₙ`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rule {
+    /// The derived atom.
+    pub head: Atom,
+    /// The body atoms, all positive.
+    pub body: Vec<Atom>,
+}
+
+/// A Datalog program: extensional facts plus rules.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    /// Base facts per predicate.
+    pub facts: HashMap<String, Vec<Vec<u32>>>,
+    /// Derivation rules.
+    pub rules: Vec<Rule>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a fact tuple to a predicate.
+    pub fn add_fact(&mut self, predicate: impl Into<String>, tuple: Vec<u32>) {
+        self.facts.entry(predicate.into()).or_default().push(tuple);
+    }
+
+    /// Adds a rule.
+    pub fn add_rule(&mut self, rule: Rule) {
+        self.rules.push(rule);
+    }
+}
+
+/// Result of running a program: the least fixpoint, one tuple set per
+/// predicate.
+#[derive(Debug, Clone, Default)]
+pub struct DatalogEngine {
+    relations: HashMap<String, HashSet<Vec<u32>>>,
+    /// Number of fixpoint iterations performed (for diagnostics/benchmarks).
+    pub iterations: usize,
+    /// Number of tuples derived (including base facts).
+    pub derived_tuples: usize,
+}
+
+impl DatalogEngine {
+    /// Evaluates `program` to its least fixpoint with semi-naive iteration.
+    pub fn evaluate(program: &Program) -> DatalogEngine {
+        let mut all: HashMap<String, HashSet<Vec<u32>>> = HashMap::new();
+        let mut delta: HashMap<String, HashSet<Vec<u32>>> = HashMap::new();
+        for (pred, tuples) in &program.facts {
+            let set: HashSet<Vec<u32>> = tuples.iter().cloned().collect();
+            delta.insert(pred.clone(), set.clone());
+            all.insert(pred.clone(), set);
+        }
+
+        let mut iterations = 0;
+        loop {
+            iterations += 1;
+            let mut new_delta: HashMap<String, HashSet<Vec<u32>>> = HashMap::new();
+            for rule in &program.rules {
+                for delta_position in 0..rule.body.len() {
+                    // Semi-naive: at least one body atom must be matched
+                    // against the last iteration's delta.
+                    let delta_pred = &rule.body[delta_position].predicate;
+                    if delta.get(delta_pred).map_or(true, HashSet::is_empty) {
+                        continue;
+                    }
+                    let derived = evaluate_rule(rule, delta_position, &all, &delta);
+                    for tuple in derived {
+                        let known = all
+                            .get(&rule.head.predicate)
+                            .map_or(false, |s| s.contains(&tuple));
+                        if !known {
+                            new_delta
+                                .entry(rule.head.predicate.clone())
+                                .or_default()
+                                .insert(tuple);
+                        }
+                    }
+                }
+            }
+            if new_delta.values().all(HashSet::is_empty) {
+                break;
+            }
+            for (pred, tuples) in &new_delta {
+                all.entry(pred.clone())
+                    .or_default()
+                    .extend(tuples.iter().cloned());
+            }
+            delta = new_delta;
+        }
+
+        let derived_tuples = all.values().map(HashSet::len).sum();
+        DatalogEngine {
+            relations: all,
+            iterations,
+            derived_tuples,
+        }
+    }
+
+    /// The tuples of a predicate, sorted (empty if the predicate is unknown).
+    pub fn relation(&self, predicate: &str) -> Vec<Vec<u32>> {
+        let mut tuples: Vec<Vec<u32>> = self
+            .relations
+            .get(predicate)
+            .map(|s| s.iter().cloned().collect())
+            .unwrap_or_default();
+        tuples.sort_unstable();
+        tuples
+    }
+
+    /// Number of tuples in a predicate.
+    pub fn relation_size(&self, predicate: &str) -> usize {
+        self.relations.get(predicate).map_or(0, HashSet::len)
+    }
+}
+
+/// A partial assignment of rule variables to constants.
+type Binding = HashMap<u32, u32>;
+
+/// Evaluates one rule with the atom at `delta_position` matched against the
+/// delta relation and all other atoms against the full relations.
+fn evaluate_rule(
+    rule: &Rule,
+    delta_position: usize,
+    all: &HashMap<String, HashSet<Vec<u32>>>,
+    delta: &HashMap<String, HashSet<Vec<u32>>>,
+) -> Vec<Vec<u32>> {
+    let empty: HashSet<Vec<u32>> = HashSet::new();
+    let mut bindings: Vec<Binding> = vec![Binding::new()];
+    for (i, atom) in rule.body.iter().enumerate() {
+        let source = if i == delta_position { delta } else { all };
+        let tuples = source.get(&atom.predicate).unwrap_or(&empty);
+        bindings = join_bindings(&bindings, atom, tuples);
+        if bindings.is_empty() {
+            return Vec::new();
+        }
+    }
+    // Project onto the head.
+    let mut out = Vec::with_capacity(bindings.len());
+    'outer: for binding in &bindings {
+        let mut tuple = Vec::with_capacity(rule.head.terms.len());
+        for term in &rule.head.terms {
+            match term {
+                Term::Const(c) => tuple.push(*c),
+                Term::Var(v) => match binding.get(v) {
+                    Some(&val) => tuple.push(val),
+                    // Unbound head variable: skip (unsafe rule); RPQ
+                    // translation never produces these.
+                    None => continue 'outer,
+                },
+            }
+        }
+        out.push(tuple);
+    }
+    out
+}
+
+/// Joins a set of partial bindings with one atom's tuples, hash-indexed on
+/// the atom positions that are already bound.
+fn join_bindings(bindings: &[Binding], atom: &Atom, tuples: &HashSet<Vec<u32>>) -> Vec<Binding> {
+    // Determine which argument positions are constrained by constants or by
+    // variables bound in *every* incoming binding (the common case: rules are
+    // evaluated left to right so earlier atoms bind the shared variables).
+    let mut out = Vec::new();
+    // Index tuples by the constrained positions of the first binding; since
+    // different bindings may constrain different variables only when rules
+    // are unusual, fall back to per-binding filtering which is always
+    // correct.
+    for binding in bindings {
+        let mut key_positions: Vec<(usize, u32)> = Vec::new();
+        for (pos, term) in atom.terms.iter().enumerate() {
+            match term {
+                Term::Const(c) => key_positions.push((pos, *c)),
+                Term::Var(v) => {
+                    if let Some(&val) = binding.get(v) {
+                        key_positions.push((pos, val));
+                    }
+                }
+            }
+        }
+        'tuples: for tuple in tuples {
+            if tuple.len() != atom.terms.len() {
+                continue;
+            }
+            for &(pos, expected) in &key_positions {
+                if tuple[pos] != expected {
+                    continue 'tuples;
+                }
+            }
+            // Extend the binding with newly bound variables, checking
+            // repeated variables within the atom.
+            let mut extended = binding.clone();
+            let mut ok = true;
+            for (pos, term) in atom.terms.iter().enumerate() {
+                if let Term::Var(v) = term {
+                    match extended.get(v) {
+                        Some(&val) if val != tuple[pos] => {
+                            ok = false;
+                            break;
+                        }
+                        Some(_) => {}
+                        None => {
+                            extended.insert(*v, tuple[pos]);
+                        }
+                    }
+                }
+            }
+            if ok {
+                out.push(extended);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn var(v: u32) -> Term {
+        Term::Var(v)
+    }
+
+    #[test]
+    fn facts_are_returned_as_relations() {
+        let mut p = Program::new();
+        p.add_fact("edge", vec![1, 2]);
+        p.add_fact("edge", vec![2, 3]);
+        let result = DatalogEngine::evaluate(&p);
+        assert_eq!(result.relation("edge"), vec![vec![1, 2], vec![2, 3]]);
+        assert_eq!(result.relation_size("missing"), 0);
+    }
+
+    #[test]
+    fn simple_join_rule() {
+        // two_hop(X, Z) ← edge(X, Y), edge(Y, Z).
+        let mut p = Program::new();
+        p.add_fact("edge", vec![1, 2]);
+        p.add_fact("edge", vec![2, 3]);
+        p.add_fact("edge", vec![3, 4]);
+        p.add_rule(Rule {
+            head: Atom::new("two_hop", vec![var(0), var(2)]),
+            body: vec![
+                Atom::new("edge", vec![var(0), var(1)]),
+                Atom::new("edge", vec![var(1), var(2)]),
+            ],
+        });
+        let result = DatalogEngine::evaluate(&p);
+        assert_eq!(result.relation("two_hop"), vec![vec![1, 3], vec![2, 4]]);
+    }
+
+    #[test]
+    fn transitive_closure_reaches_fixpoint() {
+        // tc(X, Y) ← edge(X, Y).
+        // tc(X, Z) ← tc(X, Y), edge(Y, Z).
+        let mut p = Program::new();
+        for i in 0..10u32 {
+            p.add_fact("edge", vec![i, i + 1]);
+        }
+        p.add_rule(Rule {
+            head: Atom::new("tc", vec![var(0), var(1)]),
+            body: vec![Atom::new("edge", vec![var(0), var(1)])],
+        });
+        p.add_rule(Rule {
+            head: Atom::new("tc", vec![var(0), var(2)]),
+            body: vec![
+                Atom::new("tc", vec![var(0), var(1)]),
+                Atom::new("edge", vec![var(1), var(2)]),
+            ],
+        });
+        let result = DatalogEngine::evaluate(&p);
+        // A chain of 11 nodes has 11*10/2 = 55 reachable ordered pairs.
+        assert_eq!(result.relation_size("tc"), 55);
+        assert!(result.iterations >= 10, "fixpoint should take many rounds");
+    }
+
+    #[test]
+    fn constants_in_rule_bodies_filter() {
+        let mut p = Program::new();
+        p.add_fact("edge", vec![1, 2]);
+        p.add_fact("edge", vec![7, 2]);
+        p.add_rule(Rule {
+            head: Atom::new("from_seven", vec![var(0)]),
+            body: vec![Atom::new("edge", vec![Term::Const(7), var(0)])],
+        });
+        let result = DatalogEngine::evaluate(&p);
+        assert_eq!(result.relation("from_seven"), vec![vec![2]]);
+    }
+
+    #[test]
+    fn repeated_variables_require_equality() {
+        // loop(X) ← edge(X, X).
+        let mut p = Program::new();
+        p.add_fact("edge", vec![1, 2]);
+        p.add_fact("edge", vec![3, 3]);
+        p.add_rule(Rule {
+            head: Atom::new("self_loop", vec![var(0)]),
+            body: vec![Atom::new("edge", vec![var(0), var(0)])],
+        });
+        let result = DatalogEngine::evaluate(&p);
+        assert_eq!(result.relation("self_loop"), vec![vec![3]]);
+    }
+
+    #[test]
+    fn mutually_recursive_rules_terminate() {
+        // even(X) / odd(X) over a successor chain.
+        let mut p = Program::new();
+        for i in 0..6u32 {
+            p.add_fact("succ", vec![i, i + 1]);
+        }
+        p.add_fact("even", vec![0]);
+        p.add_rule(Rule {
+            head: Atom::new("odd", vec![var(1)]),
+            body: vec![
+                Atom::new("even", vec![var(0)]),
+                Atom::new("succ", vec![var(0), var(1)]),
+            ],
+        });
+        p.add_rule(Rule {
+            head: Atom::new("even", vec![var(1)]),
+            body: vec![
+                Atom::new("odd", vec![var(0)]),
+                Atom::new("succ", vec![var(0), var(1)]),
+            ],
+        });
+        let result = DatalogEngine::evaluate(&p);
+        assert_eq!(result.relation("even"), vec![vec![0], vec![2], vec![4], vec![6]]);
+        assert_eq!(result.relation("odd"), vec![vec![1], vec![3], vec![5]]);
+    }
+
+    #[test]
+    fn empty_program_evaluates_to_nothing() {
+        let result = DatalogEngine::evaluate(&Program::new());
+        assert_eq!(result.derived_tuples, 0);
+    }
+}

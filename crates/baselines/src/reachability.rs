@@ -1,0 +1,437 @@
+//! Approach (3): reachability-index-based RPQ evaluation.
+//!
+//! The paper's introduction lists a third family of evaluation strategies:
+//! translate *restricted* uses of Kleene star into reachability queries and
+//! answer them with an off-the-shelf reachability index. The paper itself
+//! does not evaluate this approach (it cannot express arbitrary RPQs); we
+//! implement it as an extension so the restriction is demonstrable rather
+//! than asserted.
+//!
+//! The index is an SCC-condensation reachability index: the label-restricted
+//! subgraph is condensed into its strongly connected components (Kosaraju's
+//! algorithm), and each component stores the bitset of components it can
+//! reach. `reachable(a, b)` is then two array lookups and one bit test.
+//!
+//! [`evaluate_reachability`] accepts exactly the restricted query shape this
+//! approach supports — a composition of single steps and Kleene-starred
+//! (unions of) steps — and returns `None` for anything richer (bounded
+//! recursion, nested composition under a star, …), which is precisely why the
+//! paper's path-index approach is more general.
+
+use pathix_graph::{Graph, NodeId, SignedLabel};
+use pathix_rpq::{BoundExpr, Expr};
+use std::collections::HashMap;
+
+/// A reachability index over the subgraph induced by a set of signed labels.
+#[derive(Debug, Clone)]
+pub struct ReachabilityIndex {
+    /// Signed labels whose edges the index covers.
+    labels: Vec<SignedLabel>,
+    /// Component id of every node (dense, 0-based).
+    component: Vec<u32>,
+    /// Number of components.
+    component_count: usize,
+    /// Per component: bitset (over component ids) of reachable components,
+    /// including the component itself.
+    descendants: Vec<Vec<u64>>,
+    /// Per component: `true` when it contains a cycle (size > 1 or a
+    /// self-loop), i.e. its nodes reach themselves via ≥ 1 edge.
+    cyclic: Vec<bool>,
+}
+
+impl ReachabilityIndex {
+    /// Builds the index for the subgraph of `graph` formed by the edges of
+    /// the given signed labels (an empty list yields an edgeless index).
+    pub fn build(graph: &Graph, labels: &[SignedLabel]) -> Self {
+        let n = graph.node_count();
+        let adjacency = |node: NodeId| -> Vec<NodeId> {
+            let mut out = Vec::new();
+            for &sl in labels {
+                out.extend_from_slice(graph.neighbors(node, sl));
+            }
+            out
+        };
+
+        // Kosaraju pass 1: iterative DFS post-order on the forward graph.
+        let mut visited = vec![false; n];
+        let mut order: Vec<u32> = Vec::with_capacity(n);
+        for start in 0..n as u32 {
+            if visited[start as usize] {
+                continue;
+            }
+            // Stack of (node, next child index, children).
+            let mut stack: Vec<(u32, usize, Vec<NodeId>)> =
+                vec![(start, 0, adjacency(NodeId(start)))];
+            visited[start as usize] = true;
+            while let Some((node, child_idx, children)) = stack.last_mut() {
+                if *child_idx < children.len() {
+                    let next = children[*child_idx].0;
+                    *child_idx += 1;
+                    if !visited[next as usize] {
+                        visited[next as usize] = true;
+                        stack.push((next, 0, adjacency(NodeId(next))));
+                    }
+                } else {
+                    order.push(*node);
+                    stack.pop();
+                }
+            }
+        }
+
+        // Reverse adjacency for pass 2.
+        let mut reverse: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for &sl in labels {
+            for node in 0..n as u32 {
+                for &succ in graph.neighbors(NodeId(node), sl) {
+                    reverse[succ.0 as usize].push(node);
+                }
+            }
+        }
+
+        // Kosaraju pass 2: assign components in reverse post-order.
+        let mut component = vec![u32::MAX; n];
+        let mut component_count = 0usize;
+        for &start in order.iter().rev() {
+            if component[start as usize] != u32::MAX {
+                continue;
+            }
+            let id = component_count as u32;
+            component_count += 1;
+            let mut stack = vec![start];
+            component[start as usize] = id;
+            while let Some(node) = stack.pop() {
+                for &pred in &reverse[node as usize] {
+                    if component[pred as usize] == u32::MAX {
+                        component[pred as usize] = id;
+                        stack.push(pred);
+                    }
+                }
+            }
+        }
+
+        // Condensation edges, component sizes and self-loops.
+        let words = component_count.div_ceil(64);
+        let mut condensed: Vec<Vec<u32>> = vec![Vec::new(); component_count];
+        let mut size = vec![0usize; component_count];
+        let mut cyclic = vec![false; component_count];
+        for node in 0..n as u32 {
+            let c = component[node as usize] as usize;
+            size[c] += 1;
+            for succ in adjacency(NodeId(node)) {
+                let d = component[succ.0 as usize] as usize;
+                if c == d {
+                    cyclic[c] = true;
+                } else {
+                    condensed[c].push(d as u32);
+                }
+            }
+        }
+        for (c, s) in size.iter().enumerate() {
+            if *s > 1 {
+                cyclic[c] = true;
+            }
+        }
+
+        // With Kosaraju's discovery order, component ids form a topological
+        // order of the condensation (edges go from lower to higher ids is NOT
+        // guaranteed in general — it is the reverse: sources are discovered
+        // first). Compute descendants by processing ids from high to low and
+        // propagating along condensation edges; iterate to a fixpoint to stay
+        // independent of ordering assumptions (the condensation is a DAG, so
+        // |components| rounds suffice; in practice one or two do).
+        let mut descendants: Vec<Vec<u64>> = (0..component_count)
+            .map(|c| {
+                let mut bits = vec![0u64; words];
+                bits[c / 64] |= 1u64 << (c % 64);
+                bits
+            })
+            .collect();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for c in (0..component_count).rev() {
+                for &d in &condensed[c] {
+                    let d = d as usize;
+                    // descendants[c] |= descendants[d]
+                    if c == d {
+                        continue;
+                    }
+                    let (head, tail) = if c < d {
+                        let (a, b) = descendants.split_at_mut(d);
+                        (&mut a[c], &b[0])
+                    } else {
+                        let (a, b) = descendants.split_at_mut(c);
+                        (&mut b[0], &a[d])
+                    };
+                    for (dst_word, src_word) in head.iter_mut().zip(tail.iter()) {
+                        let merged = *dst_word | *src_word;
+                        if merged != *dst_word {
+                            *dst_word = merged;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+
+        ReachabilityIndex {
+            labels: labels.to_vec(),
+            component,
+            component_count,
+            descendants,
+            cyclic,
+        }
+    }
+
+    /// The signed labels this index covers.
+    pub fn labels(&self) -> &[SignedLabel] {
+        &self.labels
+    }
+
+    /// Number of strongly connected components.
+    pub fn component_count(&self) -> usize {
+        self.component_count
+    }
+
+    /// `true` when there is a path (possibly empty) from `a` to `b` using
+    /// only the indexed labels.
+    pub fn reachable(&self, a: NodeId, b: NodeId) -> bool {
+        if a == b {
+            return true;
+        }
+        self.reachable_nonempty(a, b)
+    }
+
+    /// `true` when there is a path of length ≥ 1 from `a` to `b`.
+    pub fn reachable_nonempty(&self, a: NodeId, b: NodeId) -> bool {
+        let (Some(&ca), Some(&cb)) = (
+            self.component.get(a.index()),
+            self.component.get(b.index()),
+        ) else {
+            return false;
+        };
+        if ca == cb {
+            return a != b || self.cyclic[ca as usize];
+        }
+        let cb = cb as usize;
+        self.descendants[ca as usize][cb / 64] & (1u64 << (cb % 64)) != 0
+    }
+
+    /// All pairs reachable via ≥ `min` edges (`min` is 0 or 1), in sorted
+    /// order. This is the materialization of `(ℓ₁ ∪ … ∪ ℓₘ)*` (min = 0) or
+    /// `…⁺` (min = 1).
+    pub fn all_pairs(&self, min: u32) -> Vec<(NodeId, NodeId)> {
+        let n = self.component.len();
+        let mut out = Vec::new();
+        for a in 0..n as u32 {
+            for b in 0..n as u32 {
+                let (a, b) = (NodeId(a), NodeId(b));
+                let hit = if min == 0 {
+                    self.reachable(a, b)
+                } else {
+                    self.reachable_nonempty(a, b)
+                };
+                if hit {
+                    out.push((a, b));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Evaluates a *restricted* RPQ with reachability indexes: a composition of
+/// plain steps and Kleene-starred (unions of) steps. Returns `None` when the
+/// query falls outside that fragment — the limitation the paper cites as the
+/// reason approach (3) cannot evaluate arbitrary RPQs.
+pub fn evaluate_reachability(graph: &Graph, expr: &BoundExpr) -> Option<Vec<(NodeId, NodeId)>> {
+    let items = restricted_items(expr)?;
+    let mut result: Option<Vec<(NodeId, NodeId)>> = None;
+    for item in items {
+        let pairs = match item {
+            Item::Step(sl) => {
+                let mut pairs = graph.signed_pairs(sl);
+                pairs.sort_unstable();
+                pairs.dedup();
+                pairs
+            }
+            Item::Star { labels, min } => {
+                ReachabilityIndex::build(graph, &labels).all_pairs(min)
+            }
+        };
+        result = Some(match result {
+            None => pairs,
+            Some(acc) => compose(&acc, &pairs),
+        });
+    }
+    result
+}
+
+enum Item {
+    Step(SignedLabel),
+    Star { labels: Vec<SignedLabel>, min: u32 },
+}
+
+/// Flattens `expr` into the restricted item sequence, or `None` if the query
+/// is outside the supported fragment.
+fn restricted_items(expr: &BoundExpr) -> Option<Vec<Item>> {
+    match expr {
+        Expr::Concat(parts) => {
+            let mut items = Vec::new();
+            for part in parts {
+                items.extend(restricted_items(part)?);
+            }
+            Some(items)
+        }
+        other => Some(vec![restricted_item(other)?]),
+    }
+}
+
+fn restricted_item(expr: &BoundExpr) -> Option<Item> {
+    match expr {
+        Expr::Step { label, .. } => Some(Item::Step(*label)),
+        Expr::Repeat { inner, min, max } if max.is_none() && *min <= 1 => {
+            Some(Item::Star {
+                labels: star_labels(inner)?,
+                min: *min,
+            })
+        }
+        _ => None,
+    }
+}
+
+/// The starred sub-expression must be a single step or a union of steps.
+fn star_labels(expr: &BoundExpr) -> Option<Vec<SignedLabel>> {
+    match expr {
+        Expr::Step { label, .. } => Some(vec![*label]),
+        Expr::Union(parts) => {
+            let mut labels = Vec::new();
+            for part in parts {
+                match part {
+                    Expr::Step { label, .. } => labels.push(*label),
+                    _ => return None,
+                }
+            }
+            Some(labels)
+        }
+        _ => None,
+    }
+}
+
+/// Composes two pair relations (`a ∘ b` on `a.target = b.source`).
+fn compose(a: &[(NodeId, NodeId)], b: &[(NodeId, NodeId)]) -> Vec<(NodeId, NodeId)> {
+    let mut by_source: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+    for &(s, t) in b {
+        by_source.entry(s).or_default().push(t);
+    }
+    let mut out = Vec::new();
+    for &(s, mid) in a {
+        if let Some(targets) = by_source.get(&mid) {
+            for &t in targets {
+                out.push((s, t));
+            }
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluate_automaton;
+    use pathix_datagen::paper_example_graph;
+    use pathix_graph::GraphBuilder;
+    use pathix_rpq::parse;
+
+    fn bind(graph: &Graph, q: &str) -> BoundExpr {
+        parse(q).unwrap().bind(graph).unwrap()
+    }
+
+    fn sorted(mut pairs: Vec<(NodeId, NodeId)>) -> Vec<(NodeId, NodeId)> {
+        pairs.sort_unstable();
+        pairs.dedup();
+        pairs
+    }
+
+    #[test]
+    fn reachability_on_a_chain_and_cycle() {
+        let mut b = GraphBuilder::new();
+        // chain a -> b -> c, cycle x <-> y, self-loop z.
+        b.add_edge_named("a", "knows", "b");
+        b.add_edge_named("b", "knows", "c");
+        b.add_edge_named("x", "knows", "y");
+        b.add_edge_named("y", "knows", "x");
+        b.add_edge_named("z", "knows", "z");
+        let g = b.build();
+        let knows = SignedLabel::forward(g.label_id("knows").unwrap());
+        let index = ReachabilityIndex::build(&g, &[knows]);
+        let node = |name: &str| g.node_id(name).unwrap();
+
+        assert!(index.reachable(node("a"), node("c")));
+        assert!(index.reachable_nonempty(node("a"), node("c")));
+        assert!(!index.reachable_nonempty(node("c"), node("a")));
+        assert!(index.reachable(node("c"), node("c")), "empty path");
+        assert!(!index.reachable_nonempty(node("c"), node("c")), "c is acyclic");
+        assert!(index.reachable_nonempty(node("x"), node("x")), "2-cycle");
+        assert!(index.reachable_nonempty(node("z"), node("z")), "self-loop");
+        assert!(index.component_count() <= g.node_count());
+    }
+
+    #[test]
+    fn star_and_plus_match_the_automaton_baseline() {
+        let g = paper_example_graph();
+        for query in ["knows*", "knows+", "(knows|worksFor)*", "worksFor-*"] {
+            let expr = bind(&g, query);
+            let via_reach = evaluate_reachability(&g, &expr)
+                .unwrap_or_else(|| panic!("{query} should be supported"));
+            let via_automaton = sorted(evaluate_automaton(&g, &expr));
+            assert_eq!(sorted(via_reach), via_automaton, "query {query}");
+        }
+    }
+
+    #[test]
+    fn compositions_of_steps_and_stars_are_supported() {
+        let g = paper_example_graph();
+        for query in [
+            "supervisor/knows*",
+            "knows*/worksFor",
+            "worksFor-/knows+/worksFor",
+            "supervisor/worksFor-",
+        ] {
+            let expr = bind(&g, query);
+            let via_reach = evaluate_reachability(&g, &expr)
+                .unwrap_or_else(|| panic!("{query} should be supported"));
+            let via_automaton = sorted(evaluate_automaton(&g, &expr));
+            assert_eq!(sorted(via_reach), via_automaton, "query {query}");
+        }
+    }
+
+    #[test]
+    fn arbitrary_rpqs_are_rejected_as_the_paper_says() {
+        let g = paper_example_graph();
+        for query in [
+            "(supervisor|worksFor|worksFor-){4,5}", // bounded recursion
+            "(knows/worksFor)*",                    // star over a composition
+            "knows{2,3}",                           // bounded recursion
+            "(knows|worksFor/supervisor)*",         // union of non-steps
+        ] {
+            let expr = bind(&g, query);
+            assert!(
+                evaluate_reachability(&g, &expr).is_none(),
+                "query {query} must be outside the restricted fragment"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_label_set_is_harmless() {
+        let g = paper_example_graph();
+        let index = ReachabilityIndex::build(&g, &[]);
+        let a = g.nodes().next().unwrap();
+        assert!(index.reachable(a, a));
+        assert!(!index.reachable_nonempty(a, a));
+        assert_eq!(index.labels().len(), 0);
+    }
+}

@@ -1,0 +1,287 @@
+//! Translation of RPQs into Datalog programs (approach 2).
+//!
+//! Every sub-expression of the query becomes a fresh intensional predicate;
+//! edge relations become extensional facts `edge_ℓ(x, y)` plus a `node(x)`
+//! relation for ε. Bounded recursion `R^{i,j}` is translated into a chain of
+//! predicates (one per additional repetition); the unbounded Kleene forms
+//! become genuinely recursive rules, which is exactly what "recursive Datalog
+//! programs or recursive SQL views" do and what makes this baseline slow
+//! compared to the k-path index.
+
+use crate::datalog::{Atom, DatalogEngine, Program, Rule, Term};
+use pathix_graph::{Graph, NodeId};
+use pathix_rpq::{BoundExpr, Expr};
+
+/// The result of translating an RPQ: the program and the name of the goal
+/// predicate holding the answer pairs.
+#[derive(Debug, Clone)]
+pub struct TranslatedQuery {
+    /// The Datalog program (facts + rules).
+    pub program: Program,
+    /// Name of the binary goal predicate.
+    pub goal: String,
+}
+
+/// Translates a bound RPQ over `graph` into a Datalog program.
+pub fn rpq_to_datalog(graph: &Graph, expr: &BoundExpr) -> TranslatedQuery {
+    let mut program = Program::new();
+    // Extensional database: one predicate per label plus the node relation.
+    for label in graph.labels() {
+        let pred = edge_predicate(graph, label);
+        for &(s, t) in graph.edges(label) {
+            program.add_fact(pred.clone(), vec![s.0, t.0]);
+        }
+    }
+    for node in graph.nodes() {
+        program.add_fact("node", vec![node.0]);
+    }
+    let mut counter = 0usize;
+    let goal = translate(expr, graph, &mut program, &mut counter);
+    TranslatedQuery { program, goal }
+}
+
+/// Evaluates an RPQ through the Datalog baseline, returning sorted,
+/// duplicate-free pairs.
+pub fn evaluate_datalog(graph: &Graph, expr: &BoundExpr) -> Vec<(NodeId, NodeId)> {
+    let translated = rpq_to_datalog(graph, expr);
+    let engine = DatalogEngine::evaluate(&translated.program);
+    engine
+        .relation(&translated.goal)
+        .into_iter()
+        .map(|tuple| (NodeId(tuple[0]), NodeId(tuple[1])))
+        .collect()
+}
+
+fn edge_predicate(graph: &Graph, label: pathix_graph::LabelId) -> String {
+    format!(
+        "edge_{}",
+        graph.label_name(label).unwrap_or("unknown").replace(' ', "_")
+    )
+}
+
+fn fresh(counter: &mut usize) -> String {
+    let name = format!("q{counter}");
+    *counter += 1;
+    name
+}
+
+fn var(v: u32) -> Term {
+    Term::Var(v)
+}
+
+/// Recursively translates `expr`, returning the predicate that holds its
+/// result relation.
+fn translate(
+    expr: &BoundExpr,
+    graph: &Graph,
+    program: &mut Program,
+    counter: &mut usize,
+) -> String {
+    match expr {
+        Expr::Epsilon => {
+            let pred = fresh(counter);
+            // q(X, X) ← node(X).
+            program.add_rule(Rule {
+                head: Atom::new(pred.clone(), vec![var(0), var(0)]),
+                body: vec![Atom::new("node", vec![var(0)])],
+            });
+            pred
+        }
+        Expr::Step { label, .. } => {
+            let pred = fresh(counter);
+            let edge = edge_predicate(graph, label.label);
+            let body = if label.is_backward() {
+                // q(X, Y) ← edge(Y, X).
+                Atom::new(edge, vec![var(1), var(0)])
+            } else {
+                Atom::new(edge, vec![var(0), var(1)])
+            };
+            program.add_rule(Rule {
+                head: Atom::new(pred.clone(), vec![var(0), var(1)]),
+                body: vec![body],
+            });
+            pred
+        }
+        Expr::Concat(parts) => {
+            if parts.is_empty() {
+                return translate(&Expr::Epsilon, graph, program, counter);
+            }
+            let part_preds: Vec<String> = parts
+                .iter()
+                .map(|p| translate(p, graph, program, counter))
+                .collect();
+            let pred = fresh(counter);
+            // q(X0, Xn) ← p1(X0, X1), p2(X1, X2), …, pn(Xn-1, Xn).
+            let body: Vec<Atom> = part_preds
+                .iter()
+                .enumerate()
+                .map(|(i, p)| Atom::new(p.clone(), vec![var(i as u32), var(i as u32 + 1)]))
+                .collect();
+            program.add_rule(Rule {
+                head: Atom::new(pred.clone(), vec![var(0), var(part_preds.len() as u32)]),
+                body,
+            });
+            pred
+        }
+        Expr::Union(parts) => {
+            let pred = fresh(counter);
+            for part in parts {
+                let part_pred = translate(part, graph, program, counter);
+                program.add_rule(Rule {
+                    head: Atom::new(pred.clone(), vec![var(0), var(1)]),
+                    body: vec![Atom::new(part_pred, vec![var(0), var(1)])],
+                });
+            }
+            pred
+        }
+        Expr::Repeat { inner, min, max } => {
+            let base = translate(inner, graph, program, counter);
+            let pred = fresh(counter);
+            // Mandatory prefix: base^min.
+            let prefix = if *min == 0 {
+                // identity
+                let id = fresh(counter);
+                program.add_rule(Rule {
+                    head: Atom::new(id.clone(), vec![var(0), var(0)]),
+                    body: vec![Atom::new("node", vec![var(0)])],
+                });
+                id
+            } else {
+                let id = fresh(counter);
+                let body: Vec<Atom> = (0..*min)
+                    .map(|i| Atom::new(base.clone(), vec![var(i), var(i + 1)]))
+                    .collect();
+                program.add_rule(Rule {
+                    head: Atom::new(id.clone(), vec![var(0), var(*min)]),
+                    body,
+                });
+                id
+            };
+            match max {
+                Some(max) => {
+                    // A chain of predicates r_min .. r_max, each adding one
+                    // repetition; the goal is their union.
+                    let mut current = prefix;
+                    program.add_rule(Rule {
+                        head: Atom::new(pred.clone(), vec![var(0), var(1)]),
+                        body: vec![Atom::new(current.clone(), vec![var(0), var(1)])],
+                    });
+                    for _ in *min..*max {
+                        let next = fresh(counter);
+                        program.add_rule(Rule {
+                            head: Atom::new(next.clone(), vec![var(0), var(2)]),
+                            body: vec![
+                                Atom::new(current.clone(), vec![var(0), var(1)]),
+                                Atom::new(base.clone(), vec![var(1), var(2)]),
+                            ],
+                        });
+                        program.add_rule(Rule {
+                            head: Atom::new(pred.clone(), vec![var(0), var(1)]),
+                            body: vec![Atom::new(next.clone(), vec![var(0), var(1)])],
+                        });
+                        current = next;
+                    }
+                }
+                None => {
+                    // Genuinely recursive: q = prefix, then q ← q ∘ base.
+                    program.add_rule(Rule {
+                        head: Atom::new(pred.clone(), vec![var(0), var(1)]),
+                        body: vec![Atom::new(prefix, vec![var(0), var(1)])],
+                    });
+                    program.add_rule(Rule {
+                        head: Atom::new(pred.clone(), vec![var(0), var(2)]),
+                        body: vec![
+                            Atom::new(pred.clone(), vec![var(0), var(1)]),
+                            Atom::new(base, vec![var(1), var(2)]),
+                        ],
+                    });
+                }
+            }
+            pred
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automaton::evaluate_automaton;
+    use pathix_datagen::paper_example_graph;
+    use pathix_rpq::parse;
+
+    fn eval(graph: &Graph, query: &str) -> Vec<(NodeId, NodeId)> {
+        let expr = parse(query).unwrap().bind(graph).unwrap();
+        evaluate_datalog(graph, &expr)
+    }
+
+    #[test]
+    fn single_label_matches_edge_relation() {
+        let g = paper_example_graph();
+        let knows = g.label_id("knows").unwrap();
+        assert_eq!(eval(&g, "knows"), g.edges(knows).to_vec());
+    }
+
+    #[test]
+    fn backward_label_is_the_converse() {
+        let g = paper_example_graph();
+        let knows = g.label_id("knows").unwrap();
+        let mut expected: Vec<_> = g.edges(knows).iter().map(|&(a, b)| (b, a)).collect();
+        expected.sort_unstable();
+        assert_eq!(eval(&g, "knows-"), expected);
+    }
+
+    #[test]
+    fn datalog_agrees_with_automaton_on_varied_queries() {
+        let g = paper_example_graph();
+        let queries = [
+            "knows/worksFor",
+            "supervisor/worksFor-",
+            "(knows|worksFor){1,2}",
+            "knows{0,3}",
+            "knows*",
+            "knows+/worksFor?",
+            "knows/(knows/worksFor){2,4}/worksFor",
+        ];
+        for q in queries {
+            let expr = parse(q).unwrap().bind(&g).unwrap();
+            assert_eq!(
+                evaluate_datalog(&g, &expr),
+                evaluate_automaton(&g, &expr),
+                "disagreement on {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_worked_example() {
+        let g = paper_example_graph();
+        let kim = g.node_id("kim").unwrap();
+        let sue = g.node_id("sue").unwrap();
+        assert_eq!(eval(&g, "supervisor/worksFor-"), vec![(kim, sue)]);
+    }
+
+    #[test]
+    fn translation_produces_recursive_rules_for_star() {
+        let g = paper_example_graph();
+        let expr = parse("knows*").unwrap().bind(&g).unwrap();
+        let t = rpq_to_datalog(&g, &expr);
+        // A rule whose head predicate also appears in its body = recursion.
+        let recursive = t
+            .program
+            .rules
+            .iter()
+            .any(|r| r.body.iter().any(|a| a.predicate == r.head.predicate));
+        assert!(recursive, "star translation should be recursive");
+        // Facts cover every label and the node relation.
+        assert!(t.program.facts.contains_key("node"));
+        assert!(t.program.facts.contains_key("edge_knows"));
+    }
+
+    #[test]
+    fn epsilon_is_the_identity() {
+        let g = paper_example_graph();
+        let result = eval(&g, "()");
+        assert_eq!(result.len(), g.node_count());
+        assert!(result.iter().all(|&(a, b)| a == b));
+    }
+}

@@ -1,0 +1,36 @@
+//! Criterion bench for experiment S6: path-index evaluation vs the Datalog
+//! baseline on the Advogato queries (small scale — the baseline is orders of
+//! magnitude slower, which is the point).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pathix_bench::build_advogato_db;
+use pathix_core::Strategy;
+use pathix_datagen::advogato_queries;
+
+fn datalog_bench(c: &mut Criterion) {
+    let scale = 0.01;
+    let db = build_advogato_db(scale, 3);
+    let queries = advogato_queries();
+    let mut group = c.benchmark_group("datalog_speedup");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for q in queries.iter().take(4) {
+        group.bench_with_input(BenchmarkId::new("index_minSupport", &q.name), &q.text, |b, text| {
+            b.iter(|| {
+                let r = db.query_with(text, Strategy::MinSupport).unwrap();
+                criterion::black_box(r.len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("datalog", &q.name), &q.text, |b, text| {
+            b.iter(|| {
+                let r = db.query_datalog(text).unwrap();
+                criterion::black_box(r.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, datalog_bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion bench for experiment F2 (Figure 2): the eight Advogato queries
+//! under each strategy, for k ∈ {1, 2, 3}.
+//!
+//! Group/function ids follow `k{K}/{query}/{strategy}` so `cargo bench` output
+//! can be read directly as the figure's series.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pathix_bench::{bench_scale, build_advogato_db};
+use pathix_core::Strategy;
+use pathix_datagen::advogato_queries;
+
+fn fig2_bench(c: &mut Criterion) {
+    // Criterion repeats each measurement many times; use a reduced scale so a
+    // full sweep stays in CI-friendly territory.
+    let scale = (bench_scale() * 0.3).clamp(0.005, 0.1);
+    let queries = advogato_queries();
+    for k in 1..=3usize {
+        let db = build_advogato_db(scale, k);
+        let mut group = c.benchmark_group(format!("fig2/k{k}"));
+        group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+        for q in &queries {
+            for strategy in Strategy::all() {
+                group.bench_with_input(
+                    BenchmarkId::new(&q.name, strategy.name()),
+                    &q.text,
+                    |b, text| {
+                        b.iter(|| {
+                            let result = db.query_with(text, strategy).unwrap();
+                            criterion::black_box(result.len())
+                        })
+                    },
+                );
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, fig2_bench);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion bench for experiment X3: the value of the histogram — semi-naive
+//! (no statistics) vs minSupport with equi-depth vs exact statistics.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pathix_bench::{bench_scale, build_advogato};
+use pathix_core::{EstimationMode, PathDb, PathDbConfig, Strategy};
+use pathix_datagen::advogato_queries;
+
+fn ablation_bench(c: &mut Criterion) {
+    let scale = (bench_scale() * 0.3).clamp(0.005, 0.1);
+    let graph = build_advogato(scale);
+    let equi = PathDb::build(
+        graph.clone(),
+        PathDbConfig {
+            estimation: EstimationMode::EquiDepth { buckets: 32 },
+            ..PathDbConfig::with_k(3)
+        },
+    );
+    let exact = PathDb::build(
+        graph,
+        PathDbConfig {
+            estimation: EstimationMode::Exact,
+            ..PathDbConfig::with_k(3)
+        },
+    );
+    let queries = advogato_queries();
+    let mut group = c.benchmark_group("histogram_ablation");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for q in queries.iter().take(4) {
+        group.bench_with_input(BenchmarkId::new("semi_naive_no_stats", &q.name), &q.text, |b, t| {
+            b.iter(|| criterion::black_box(equi.query_with(t, Strategy::SemiNaive).unwrap().len()))
+        });
+        group.bench_with_input(BenchmarkId::new("minSupport_equi_depth", &q.name), &q.text, |b, t| {
+            b.iter(|| criterion::black_box(equi.query_with(t, Strategy::MinSupport).unwrap().len()))
+        });
+        group.bench_with_input(BenchmarkId::new("minSupport_exact", &q.name), &q.text, |b, t| {
+            b.iter(|| criterion::black_box(exact.query_with(t, Strategy::MinSupport).unwrap().len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablation_bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion bench for experiment X1: k-path index construction time vs k.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pathix_bench::{bench_scale, build_advogato};
+use pathix_core::{PathDb, PathDbConfig};
+
+fn index_construction_bench(c: &mut Criterion) {
+    let scale = (bench_scale() * 0.3).clamp(0.005, 0.1);
+    let graph = build_advogato(scale);
+    let mut group = c.benchmark_group("index_construction");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for k in 1..=3usize {
+        group.bench_with_input(BenchmarkId::new("build", k), &k, |b, &k| {
+            b.iter(|| {
+                let db = PathDb::build(graph.clone(), PathDbConfig::with_k(k));
+                criterion::black_box(db.stats().index.entries)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, index_construction_bench);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion bench for experiment X2: query time vs graph size
+//! (Barabási–Albert graphs, k = 2, a fixed mixed workload).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pathix_bench::datasets::build_ba;
+use pathix_core::{PathDb, PathDbConfig, Strategy};
+use pathix_datagen::{WorkloadConfig, WorkloadGenerator};
+
+fn scaling_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for nodes in [500usize, 1_000, 2_000] {
+        let graph = build_ba(nodes, 7);
+        let db = PathDb::build(graph.clone(), PathDbConfig::with_k(2));
+        let mut generator = WorkloadGenerator::new(
+            &graph,
+            WorkloadConfig {
+                max_chain_len: 4,
+                max_recursion: 2,
+                seed: 1234,
+                ..Default::default()
+            },
+        );
+        let workload = generator.generate_mixed(6);
+        for strategy in Strategy::all() {
+            group.bench_with_input(
+                BenchmarkId::new(strategy.name(), nodes),
+                &workload,
+                |b, workload| {
+                    b.iter(|| {
+                        let mut total = 0usize;
+                        for q in workload {
+                            total += db.query_with(&q.text, strategy).unwrap().len();
+                        }
+                        criterion::black_box(total)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, scaling_bench);
+criterion_main!(benches);

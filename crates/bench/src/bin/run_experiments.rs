@@ -1,0 +1,89 @@
+//! Regenerates the paper's figures and claims as plain-text tables.
+//!
+//! ```text
+//! cargo run -p pathix-bench --release --bin run_experiments -- [experiment]
+//!
+//! experiments:
+//!   fig2       Figure 2: 8 Advogato queries × 4 strategies × k ∈ {1,2,3}
+//!   datalog    §6 claim: speedup over Datalog-based evaluation
+//!   automaton  extension: speedup over the automaton product-BFS baseline
+//!   index      extension: index construction cost/size vs k
+//!   scaling    extension: query time vs graph size
+//!   ablation   extension: equi-depth histogram vs exact statistics
+//!   incremental extension: incremental index maintenance vs rebuild
+//!   all        everything above (default)
+//! ```
+//!
+//! The dataset scale is `PATHIX_BENCH_SCALE` (default 0.15 of the real
+//! Advogato); the Datalog/automaton comparisons automatically use a smaller
+//! graph because the baselines are orders of magnitude slower.
+
+use pathix_bench::{
+    automaton_comparison, bench_scale, datalog_speedup, fig2, histogram_ablation,
+    incremental_maintenance, index_construction, paged_index, parallel, scaling, sql_comparison,
+};
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_owned());
+    let scale = bench_scale();
+    // The baselines recompute everything per query, so run them on a smaller
+    // sample to keep the harness finishing in minutes.
+    let baseline_scale = (scale * 0.2).clamp(0.005, 0.02);
+    println!(
+        "pathix experiment harness — scale {scale} (set PATHIX_BENCH_SCALE to change), \
+         baseline comparisons at scale {baseline_scale}\n"
+    );
+    let ks = [1usize, 2, 3];
+
+    match arg.as_str() {
+        "fig2" => {
+            fig2(scale, &ks);
+        }
+        "datalog" => {
+            datalog_speedup(baseline_scale);
+        }
+        "automaton" => {
+            automaton_comparison(baseline_scale);
+        }
+        "index" => {
+            index_construction(scale, &ks);
+        }
+        "scaling" => {
+            scaling(&[500, 1_000, 2_000, 4_000]);
+        }
+        "ablation" => {
+            histogram_ablation(scale);
+        }
+        "sql" => {
+            sql_comparison(baseline_scale);
+        }
+        "paged" => {
+            paged_index(scale);
+        }
+        "parallel" => {
+            parallel(scale);
+        }
+        "incremental" => {
+            incremental_maintenance(scale);
+        }
+        "all" => {
+            fig2(scale, &ks);
+            datalog_speedup(baseline_scale);
+            automaton_comparison(baseline_scale);
+            index_construction(scale, &ks);
+            scaling(&[500, 1_000, 2_000, 4_000]);
+            histogram_ablation(scale);
+            sql_comparison(baseline_scale);
+            paged_index(scale);
+            parallel(scale);
+            incremental_maintenance(scale);
+        }
+        other => {
+            eprintln!(
+                "unknown experiment `{other}`; expected one of: fig2, datalog, automaton, \
+                 index, scaling, ablation, sql, paged, parallel, incremental, all"
+            );
+            std::process::exit(2);
+        }
+    }
+}

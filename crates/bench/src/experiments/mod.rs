@@ -1,0 +1,12 @@
+//! Experiment runners, one module per experiment id in DESIGN.md §3.
+
+pub mod ablation;
+pub mod automaton;
+pub mod datalog;
+pub mod fig2;
+pub mod incremental;
+pub mod index_build;
+pub mod paged;
+pub mod parallel;
+pub mod scaling;
+pub mod sql;

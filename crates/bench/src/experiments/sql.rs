@@ -1,0 +1,131 @@
+//! Experiment **X5** (extension): the relational deployment of the paper's
+//! prototype. The same queries are answered three ways —
+//!
+//! * natively (minSupport plans over the in-memory B+tree index),
+//! * through the paper's RPQ→SQL translation over a `path_index` table
+//!   executed by the `pathix-sql` engine, and
+//! * through the recursive-SQL-views baseline (approach 2) over the raw
+//!   `edge` table.
+//!
+//! The expected shape: both path-index routes beat the recursive baseline by
+//! orders of magnitude (the §6 claim), and the native pipeline beats the
+//! interpreted SQL route by a constant factor (no SQL parsing/planning per
+//! query, tighter operators).
+
+use crate::datasets::build_advogato;
+use crate::report::{write_json, Table};
+use pathix_core::{PathDb, PathDbConfig, Strategy};
+use pathix_datagen::advogato_queries;
+use pathix_sql::SqlPathDb;
+use serde::Serialize;
+use std::time::Instant;
+
+/// One query measured across the three execution routes.
+#[derive(Debug, Clone, Serialize)]
+pub struct SqlRow {
+    /// Query name.
+    pub query: String,
+    /// Answer size (identical across routes).
+    pub pairs: usize,
+    /// Native minSupport execution (ms).
+    pub native_ms: f64,
+    /// Path-index SQL translation executed by the relational engine (ms).
+    pub sql_ms: f64,
+    /// Recursive-SQL-views baseline over the edge table (ms), when the
+    /// query's recursion depth keeps it feasible.
+    pub recursive_sql_ms: Option<f64>,
+}
+
+/// The X5 report.
+#[derive(Debug, Clone, Serialize)]
+pub struct SqlReport {
+    /// Scale factor used.
+    pub scale: f64,
+    /// Index locality parameter.
+    pub k: usize,
+    /// Per-query rows.
+    pub rows: Vec<SqlRow>,
+}
+
+/// Runs the relational-deployment comparison at the given scale (k = 3).
+pub fn sql_comparison(scale: f64) -> SqlReport {
+    let k = 3;
+    let graph = build_advogato(scale);
+    println!(
+        "== X5: native pipeline vs SQL translation vs recursive SQL views \
+         (scale {scale}: {} nodes, {} edges, k = {k})\n",
+        graph.node_count(),
+        graph.edge_count()
+    );
+    let native = PathDb::build(graph.clone(), PathDbConfig::with_k(k));
+    let relational = SqlPathDb::from_path_db(&native);
+
+    let mut rows = Vec::new();
+    let mut table = Table::new(vec![
+        "query",
+        "pairs",
+        "native minSupport (ms)",
+        "path-index SQL (ms)",
+        "recursive SQL (ms)",
+    ]);
+    for q in advogato_queries() {
+        let native_result = native.query_with(&q.text, Strategy::MinSupport).unwrap();
+        let native_ms = native_result.stats.elapsed.as_secs_f64() * 1e3;
+
+        let start = Instant::now();
+        let via_sql = relational.query_pairs(&q.text).unwrap();
+        let sql_ms = start.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(via_sql.len(), native_result.len(), "query {}", q.name);
+
+        // The recursive baseline re-derives every intermediate relation; keep
+        // it to the queries without deep bounded recursion so the harness
+        // stays fast (the Datalog experiment already covers the full claim).
+        let recursive_sql_ms = if q.text.contains('{') {
+            None
+        } else {
+            let start = Instant::now();
+            let via_recursive = relational.query_pairs_recursive(&q.text).unwrap();
+            let ms = start.elapsed().as_secs_f64() * 1e3;
+            assert_eq!(via_recursive.len(), native_result.len(), "query {}", q.name);
+            Some(ms)
+        };
+
+        table.push_row(vec![
+            q.name.clone(),
+            native_result.len().to_string(),
+            format!("{native_ms:.3}"),
+            format!("{sql_ms:.3}"),
+            recursive_sql_ms
+                .map(|ms| format!("{ms:.3}"))
+                .unwrap_or_else(|| "-".to_owned()),
+        ]);
+        rows.push(SqlRow {
+            query: q.name.clone(),
+            pairs: native_result.len(),
+            native_ms,
+            sql_ms,
+            recursive_sql_ms,
+        });
+    }
+    println!("{}", table.render());
+    println!(
+        "expected shape: both path-index routes are far below the recursive-views column \
+         (approach 2), and the native pipeline is faster than the interpreted SQL route by a \
+         modest constant factor.\n"
+    );
+    let report = SqlReport { scale, k, rows };
+    write_json("sql_comparison", &report);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sql_comparison_runs_at_tiny_scale() {
+        let report = sql_comparison(0.005);
+        assert_eq!(report.rows.len(), 8);
+        assert!(report.rows.iter().any(|r| r.recursive_sql_ms.is_some()));
+    }
+}

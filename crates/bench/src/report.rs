@@ -1,0 +1,125 @@
+//! Plain-text table rendering and JSON result persistence.
+
+use serde::Serialize;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// A simple fixed-width text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (padded/truncated to the header width).
+    pub fn push_row<S: Into<String>>(&mut self, row: Vec<S>) {
+        let mut row: Vec<String> = row.into_iter().map(Into::into).collect();
+        row.resize(self.header.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a duration as fractional milliseconds with three decimals.
+pub fn format_duration_ms(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1e3)
+}
+
+/// Writes a serializable experiment result to
+/// `target/experiment-results/<name>.json` (best effort — failures are
+/// reported but do not abort the experiment run).
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let dir = PathBuf::from("target").join("experiment-results");
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: could not create {dir:?}: {e}");
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("warning: could not write {path:?}: {e}");
+            } else {
+                println!("(raw results written to {})", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize {name}: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = Table::new(vec!["query", "ms"]);
+        t.push_row(vec!["A1", "0.123"]);
+        t.push_row(vec!["A2-long-name", "17.000"]);
+        let text = t.render();
+        assert!(text.contains("query"));
+        assert!(text.contains("A2-long-name"));
+        assert_eq!(text.lines().count(), 4);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = Table::new(vec!["a", "b", "c"]);
+        t.push_row(vec!["only-one"]);
+        assert!(t.render().contains("only-one"));
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(format_duration_ms(Duration::from_millis(12)), "12.000");
+        assert_eq!(format_duration_ms(Duration::from_micros(1500)), "1.500");
+    }
+}

@@ -1,0 +1,324 @@
+//! [`PathDb`]: graph + k-path index + histogram + query pipeline.
+
+use crate::error::QueryError;
+use crate::result::QueryResult;
+use pathix_baselines::{evaluate_automaton, evaluate_datalog};
+use pathix_graph::{Graph, NodeId};
+use pathix_index::{EstimationMode, IndexStats, KPathIndex, PathHistogram};
+use pathix_plan::{
+    execute_parallel, execute_with_stats, explain as explain_plan, plan_query, PhysicalPlan,
+    PlannerContext, Strategy,
+};
+use pathix_rpq::{parse, to_disjuncts, BoundExpr, LabelPath, RewriteOptions};
+
+/// Configuration of a [`PathDb`].
+#[derive(Debug, Clone, Copy)]
+pub struct PathDbConfig {
+    /// Locality parameter k of the path index (the paper evaluates 1–3).
+    pub k: usize,
+    /// How the k-path histogram summarizes path cardinalities.
+    pub estimation: EstimationMode,
+    /// Bound substituted for unbounded recursion (`*`, `+`, `{i,}`). The
+    /// paper replaces `R*` by `R^{0,n(G)}`; expanding to the full `n(G)` is
+    /// usually overkill, so this is an explicit, configurable truncation.
+    pub star_bound: u32,
+    /// Maximum number of disjuncts a query may expand to.
+    pub max_disjuncts: usize,
+    /// Strategy used by [`PathDb::query`].
+    pub default_strategy: Strategy,
+}
+
+impl Default for PathDbConfig {
+    fn default() -> Self {
+        PathDbConfig {
+            k: 2,
+            estimation: EstimationMode::default(),
+            star_bound: 4,
+            max_disjuncts: 4096,
+            default_strategy: Strategy::MinSupport,
+        }
+    }
+}
+
+impl PathDbConfig {
+    /// Default configuration with a specific k.
+    pub fn with_k(k: usize) -> Self {
+        PathDbConfig {
+            k,
+            ..Self::default()
+        }
+    }
+}
+
+/// Combined statistics of a database instance.
+#[derive(Debug, Clone, Copy)]
+pub struct DbStats {
+    /// Number of graph nodes.
+    pub nodes: usize,
+    /// Number of graph edges.
+    pub edges: usize,
+    /// Number of edge labels.
+    pub labels: usize,
+    /// Statistics of the k-path index.
+    pub index: IndexStats,
+    /// Number of label paths the histogram summarizes.
+    pub histogram_paths: usize,
+    /// Number of histogram buckets.
+    pub histogram_buckets: usize,
+}
+
+/// An RPQ-queryable graph database backed by a localized k-path index.
+#[derive(Debug, Clone)]
+pub struct PathDb {
+    graph: Graph,
+    index: KPathIndex,
+    histogram: PathHistogram,
+    config: PathDbConfig,
+}
+
+impl PathDb {
+    /// Builds the index and histogram for `graph` under `config`.
+    pub fn build(graph: Graph, config: PathDbConfig) -> Self {
+        let index = KPathIndex::build(&graph, config.k);
+        let histogram = PathHistogram::build(
+            index.per_path_counts(),
+            index.paths_k_size(),
+            config.k,
+            config.estimation,
+        );
+        PathDb {
+            graph,
+            index,
+            histogram,
+            config,
+        }
+    }
+
+    /// Builds with the default configuration (k = 2, equi-depth histogram,
+    /// minSupport planning).
+    pub fn with_defaults(graph: Graph) -> Self {
+        Self::build(graph, PathDbConfig::default())
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The k-path index.
+    pub fn index(&self) -> &KPathIndex {
+        &self.index
+    }
+
+    /// The k-path histogram.
+    pub fn histogram(&self) -> &PathHistogram {
+        &self.histogram
+    }
+
+    /// The configuration the database was built with.
+    pub fn config(&self) -> PathDbConfig {
+        self.config
+    }
+
+    /// The locality parameter k.
+    pub fn k(&self) -> usize {
+        self.config.k
+    }
+
+    /// Parses and binds a query against this database's vocabulary.
+    pub fn compile(&self, query: &str) -> Result<BoundExpr, QueryError> {
+        Ok(parse(query)?.bind(&self.graph)?)
+    }
+
+    /// Rewrites a compiled query into its label-path disjuncts.
+    pub fn disjuncts(&self, expr: &BoundExpr) -> Result<Vec<LabelPath>, QueryError> {
+        let options = RewriteOptions {
+            star_bound: self.config.star_bound,
+            max_disjuncts: self.config.max_disjuncts,
+        };
+        Ok(to_disjuncts(expr, options)?)
+    }
+
+    /// Plans a query with the given strategy without executing it.
+    pub fn plan(&self, query: &str, strategy: Strategy) -> Result<PhysicalPlan, QueryError> {
+        let expr = self.compile(query)?;
+        let disjuncts = self.disjuncts(&expr)?;
+        let ctx = PlannerContext::new(&self.index, &self.histogram);
+        Ok(plan_query(strategy, &disjuncts, &ctx))
+    }
+
+    /// Evaluates a query with the default strategy.
+    pub fn query(&self, query: &str) -> Result<QueryResult, QueryError> {
+        self.query_with(query, self.config.default_strategy)
+    }
+
+    /// Evaluates a query with an explicit strategy.
+    pub fn query_with(&self, query: &str, strategy: Strategy) -> Result<QueryResult, QueryError> {
+        let plan = self.plan(query, strategy)?;
+        let (pairs, stats) = execute_with_stats(&plan, &self.index);
+        Ok(QueryResult::new(pairs, stats, strategy))
+    }
+
+    /// Evaluates a query with an explicit strategy, running the disjunct
+    /// plans concurrently on up to `threads` worker threads. The answer is
+    /// identical to [`PathDb::query_with`]; only wall-clock time differs.
+    pub fn query_parallel(
+        &self,
+        query: &str,
+        strategy: Strategy,
+        threads: usize,
+    ) -> Result<QueryResult, QueryError> {
+        let plan = self.plan(query, strategy)?;
+        let start = std::time::Instant::now();
+        let pairs = execute_parallel(&plan, &self.index, threads);
+        let stats = pathix_plan::ExecutionStats {
+            elapsed: start.elapsed(),
+            result_pairs: pairs.len(),
+            joins: plan.join_count(),
+            merge_joins: plan.merge_join_count(),
+        };
+        Ok(QueryResult::new(pairs, stats, strategy))
+    }
+
+    /// Renders the physical plan of a query as an indented tree.
+    pub fn explain(&self, query: &str, strategy: Strategy) -> Result<String, QueryError> {
+        let plan = self.plan(query, strategy)?;
+        let ctx = PlannerContext::new(&self.index, &self.histogram);
+        Ok(explain_plan(&plan, &self.graph, &ctx))
+    }
+
+    /// Evaluates a query with the automaton baseline (approach 1 of the
+    /// paper's introduction). Unbounded recursion is handled exactly.
+    pub fn query_automaton(&self, query: &str) -> Result<Vec<(NodeId, NodeId)>, QueryError> {
+        let expr = self.compile(query)?;
+        Ok(evaluate_automaton(&self.graph, &expr))
+    }
+
+    /// Evaluates a query with the Datalog baseline (approach 2). Unbounded
+    /// recursion becomes genuinely recursive rules.
+    pub fn query_datalog(&self, query: &str) -> Result<Vec<(NodeId, NodeId)>, QueryError> {
+        let expr = self.compile(query)?;
+        Ok(evaluate_datalog(&self.graph, &expr))
+    }
+
+    /// Aggregated statistics about the graph, index and histogram.
+    pub fn stats(&self) -> DbStats {
+        DbStats {
+            nodes: self.graph.node_count(),
+            edges: self.graph.edge_count(),
+            labels: self.graph.label_count(),
+            index: self.index.stats(),
+            histogram_paths: self.histogram.path_count(),
+            histogram_buckets: self.histogram.buckets().len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathix_datagen::paper_example_graph;
+    use pathix_graph::GraphBuilder;
+
+    fn example_db(k: usize) -> PathDb {
+        PathDb::build(paper_example_graph(), PathDbConfig::with_k(k))
+    }
+
+    #[test]
+    fn build_and_stats() {
+        let db = example_db(2);
+        let stats = db.stats();
+        assert_eq!(stats.nodes, 9);
+        assert_eq!(stats.labels, 3);
+        assert_eq!(stats.index.k, 2);
+        assert!(stats.index.entries > 0);
+        assert!(stats.histogram_paths > 0);
+        assert_eq!(db.k(), 2);
+    }
+
+    #[test]
+    fn query_all_strategies_agree_with_baselines() {
+        let db = example_db(3);
+        for query in [
+            "knows/worksFor",
+            "supervisor/worksFor-",
+            "(supervisor|worksFor|worksFor-){4,5}",
+            "knows{0,2}",
+        ] {
+            let reference = db.query_automaton(query).unwrap();
+            let datalog = db.query_datalog(query).unwrap();
+            assert_eq!(reference, datalog, "baselines disagree on {query}");
+            for strategy in Strategy::all() {
+                let result = db.query_with(query, strategy).unwrap();
+                assert_eq!(result.pairs(), &reference[..], "{strategy} on {query}");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_section_2_2_first_example() {
+        let db = example_db(2);
+        let result = db.query("supervisor/worksFor-").unwrap();
+        assert_eq!(result.named_pairs(&db), vec![("kim".into(), "sue".into())]);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let db = example_db(1);
+        assert!(matches!(db.query("///"), Err(QueryError::Parse(_))));
+        assert!(matches!(db.query("likes"), Err(QueryError::Bind(_))));
+        assert!(matches!(db.query("knows{5,2}"), Err(QueryError::Rewrite(_))));
+    }
+
+    #[test]
+    fn star_bound_is_respected() {
+        let mut b = GraphBuilder::new();
+        // A 6-node directed chain: full reachability needs 5 steps.
+        for i in 0..5 {
+            b.add_edge_named(&format!("n{i}"), "next", &format!("n{}", i + 1));
+        }
+        let graph = b.build();
+        let small = PathDb::build(
+            graph.clone(),
+            PathDbConfig {
+                star_bound: 2,
+                ..PathDbConfig::with_k(2)
+            },
+        );
+        let large = PathDb::build(
+            graph,
+            PathDbConfig {
+                star_bound: 5,
+                ..PathDbConfig::with_k(2)
+            },
+        );
+        let q = "next+";
+        assert!(small.query(q).unwrap().len() < large.query(q).unwrap().len());
+        // With the bound at the chain length, the index answer matches the
+        // automaton's exact (unbounded) evaluation.
+        assert_eq!(
+            large.query(q).unwrap().pairs(),
+            &large.query_automaton(q).unwrap()[..]
+        );
+    }
+
+    #[test]
+    fn explain_is_available_from_the_facade() {
+        let db = example_db(2);
+        let text = db
+            .explain("knows/(knows/worksFor){2,4}/worksFor", Strategy::MinJoin)
+            .unwrap();
+        assert!(text.contains("IndexScan"));
+        assert!(text.contains("knows"));
+    }
+
+    #[test]
+    fn default_strategy_is_used_by_query() {
+        let db = example_db(2);
+        let r = db.query("knows").unwrap();
+        assert_eq!(r.strategy, Strategy::MinSupport);
+        let r2 = db.query_with("knows", Strategy::Naive).unwrap();
+        assert_eq!(r2.strategy, Strategy::Naive);
+        assert_eq!(r.pairs(), r2.pairs());
+    }
+}

@@ -1,0 +1,76 @@
+//! Error type covering the whole query pipeline.
+
+use pathix_rpq::{BindError, ParseError, RewriteError};
+use std::fmt;
+
+/// Anything that can go wrong between receiving a query string and producing
+/// a physical plan. Execution itself is infallible (plans only reference
+/// indexed paths).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// The query text does not conform to the RPQ syntax.
+    Parse(ParseError),
+    /// The query references labels outside the graph vocabulary.
+    Bind(BindError),
+    /// Rewriting failed (invalid bounds or an expansion past the disjunct
+    /// limit).
+    Rewrite(RewriteError),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Parse(e) => write!(f, "{e}"),
+            QueryError::Bind(e) => write!(f, "{e}"),
+            QueryError::Rewrite(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QueryError::Parse(e) => Some(e),
+            QueryError::Bind(e) => Some(e),
+            QueryError::Rewrite(e) => Some(e),
+        }
+    }
+}
+
+impl From<ParseError> for QueryError {
+    fn from(e: ParseError) -> Self {
+        QueryError::Parse(e)
+    }
+}
+
+impl From<BindError> for QueryError {
+    fn from(e: BindError) -> Self {
+        QueryError::Bind(e)
+    }
+}
+
+impl From<RewriteError> for QueryError {
+    fn from(e: RewriteError) -> Self {
+        QueryError::Rewrite(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let p: QueryError = ParseError {
+            position: 1,
+            message: "boom".into(),
+        }
+        .into();
+        assert!(p.to_string().contains("boom"));
+        let b: QueryError = BindError::UnknownLabel("likes".into()).into();
+        assert!(b.to_string().contains("likes"));
+        let r: QueryError = RewriteError::TooManyDisjuncts { limit: 3 }.into();
+        assert!(r.to_string().contains('3'));
+        assert!(std::error::Error::source(&r).is_some());
+    }
+}

@@ -1,0 +1,36 @@
+//! # pathix-core
+//!
+//! The public facade of pathix: [`PathDb`] bundles a graph, its k-path index
+//! and k-path histogram, and exposes parse → bind → rewrite → plan → execute
+//! as a single `query` call, plus `explain`, baseline evaluators and
+//! statistics.
+//!
+//! ```
+//! use pathix_core::{PathDb, PathDbConfig, Strategy};
+//! use pathix_graph::GraphBuilder;
+//!
+//! let mut b = GraphBuilder::new();
+//! b.add_edge_named("ada", "knows", "jan");
+//! b.add_edge_named("jan", "worksFor", "acme");
+//! b.add_edge_named("ada", "worksFor", "acme");
+//! let db = PathDb::build(b.build(), PathDbConfig::with_k(2));
+//!
+//! // Colleagues of ada: people working for the same employer.
+//! let result = db.query_with("worksFor/worksFor-", Strategy::MinSupport).unwrap();
+//! assert!(result.contains_named(&db, "ada", "jan"));
+//! ```
+
+pub mod db;
+pub mod error;
+pub mod result;
+
+pub use db::{DbStats, PathDb, PathDbConfig};
+pub use error::QueryError;
+pub use result::QueryResult;
+
+// Re-export the vocabulary a downstream user needs without adding every
+// sub-crate as a direct dependency.
+pub use pathix_graph::{Graph, GraphBuilder, LabelId, NodeId, SignedLabel};
+pub use pathix_index::{EstimationMode, IndexStats};
+pub use pathix_plan::{ExecutionStats, PhysicalPlan, Strategy};
+pub use pathix_rpq::{ParseError, RewriteOptions};

@@ -1,0 +1,125 @@
+//! The paper's running-example graph.
+//!
+//! Figure 1 of the paper shows a nine-person social graph over the vocabulary
+//! `{supervisor, knows, worksFor}`. The figure's exact edge list is not
+//! recoverable from the text of the paper, so this module builds a graph with
+//! the same node set and vocabulary that satisfies the worked examples the
+//! paper states explicitly:
+//!
+//! * `(sam, ada) ∈ paths₂(G)` via `sam ←knows− zoe −worksFor→ ada` and
+//!   `sam ←knows− zoe ←knows− ada`, while `(sam, ada) ∉ paths₁(G)`
+//!   (Section 2.1);
+//! * `supervisor ∘ worksFor⁻ (G) = {(kim, sue)}` (Section 2.2).
+//!
+//! Integration tests assert these properties against the full query pipeline.
+
+use pathix_graph::{Graph, GraphBuilder};
+
+/// Builds the nine-node running-example graph.
+///
+/// Nodes: `ada, jan, joe, kim, liz, sam, sue, tim, zoe`.
+/// Labels: `supervisor, knows, worksFor`.
+pub fn paper_example_graph() -> Graph {
+    let mut b = GraphBuilder::new();
+    // Register nodes first so ids follow a stable, documented order.
+    for name in ["ada", "jan", "joe", "kim", "liz", "sam", "sue", "tim", "zoe"] {
+        b.add_node(name);
+    }
+    // knows edges (directed "trusts/knows" statements).
+    let knows = [
+        ("zoe", "sam"),
+        ("ada", "zoe"),
+        ("jan", "ada"),
+        ("joe", "jan"),
+        ("tim", "joe"),
+        ("kim", "tim"),
+        ("liz", "sue"),
+        ("sam", "tim"),
+        ("jan", "kim"),
+    ];
+    for (s, t) in knows {
+        b.add_edge_named(s, "knows", t);
+    }
+    // worksFor edges (person → person they work for).
+    let works_for = [
+        ("zoe", "ada"),
+        ("sue", "liz"),
+        ("tim", "kim"),
+        ("joe", "kim"),
+        ("sam", "jan"),
+        ("jan", "joe"),
+    ];
+    for (s, t) in works_for {
+        b.add_edge_named(s, "worksFor", t);
+    }
+    // The single supervisor edge: kim supervises liz. Together with
+    // `sue worksFor liz` this makes supervisor ∘ worksFor⁻ = {(kim, sue)}.
+    b.add_edge_named("kim", "supervisor", "liz");
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathix_graph::SignedLabel;
+
+    #[test]
+    fn vocabulary_and_size_match_the_figure() {
+        let g = paper_example_graph();
+        assert_eq!(g.node_count(), 9);
+        assert_eq!(g.label_count(), 3);
+        assert_eq!(g.edges(g.label_id("supervisor").unwrap()).len(), 1);
+        assert_eq!(g.edges(g.label_id("knows").unwrap()).len(), 9);
+        assert_eq!(g.edges(g.label_id("worksFor").unwrap()).len(), 6);
+    }
+
+    #[test]
+    fn sam_ada_is_a_two_path_but_not_a_one_path() {
+        let g = paper_example_graph();
+        let sam = g.node_id("sam").unwrap();
+        let ada = g.node_id("ada").unwrap();
+        let zoe = g.node_id("zoe").unwrap();
+        let knows = g.label_id("knows").unwrap();
+        let works = g.label_id("worksFor").unwrap();
+        // Path 1: sam ←knows− zoe −worksFor→ ada.
+        assert!(g.has_edge(zoe, knows, sam));
+        assert!(g.has_edge(zoe, works, ada));
+        // Path 2: sam ←knows− zoe ←knows− ada.
+        assert!(g.has_edge(ada, knows, zoe));
+        // No direct edge between sam and ada in either direction.
+        for l in g.labels() {
+            assert!(!g.has_edge(sam, l, ada));
+            assert!(!g.has_edge(ada, l, sam));
+        }
+    }
+
+    #[test]
+    fn supervisor_works_for_inverse_is_kim_sue_only() {
+        let g = paper_example_graph();
+        let sup = g.label_id("supervisor").unwrap();
+        let works = g.label_id("worksFor").unwrap();
+        // Compose by hand: x −supervisor→ y ←worksFor− z gives (x, z).
+        let mut pairs = Vec::new();
+        for &(x, y) in g.edges(sup) {
+            for &z in g.neighbors(y, SignedLabel::backward(works)) {
+                pairs.push((
+                    g.node_name(x).unwrap().to_owned(),
+                    g.node_name(z).unwrap().to_owned(),
+                ));
+            }
+        }
+        pairs.sort();
+        pairs.dedup();
+        assert_eq!(pairs, vec![("kim".to_owned(), "sue".to_owned())]);
+    }
+
+    #[test]
+    fn construction_is_deterministic() {
+        let a = paper_example_graph();
+        let b = paper_example_graph();
+        assert_eq!(a.node_count(), b.node_count());
+        for name in ["ada", "kim", "zoe"] {
+            assert_eq!(a.node_id(name), b.node_id(name));
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Classic random graph models with labeled edges.
+//!
+//! These are used for the scaling experiments (the MSc thesis accompanying
+//! the paper evaluates synthetic datasets next to Advogato) and as generic
+//! fixtures in tests.
+
+use pathix_graph::{Graph, GraphBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Generates a labeled Erdős–Rényi `G(n, m)` graph: `m` distinct directed
+/// labeled edges drawn uniformly at random among `n` nodes.
+///
+/// `labels` must be non-empty; each edge receives a uniformly random label.
+pub fn erdos_renyi(n: usize, m: usize, labels: &[&str], seed: u64) -> Graph {
+    assert!(!labels.is_empty(), "at least one label is required");
+    assert!(n >= 2, "at least two nodes are required");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::with_capacity(m);
+    for i in 0..n {
+        builder.add_node(&format!("v{i}"));
+    }
+    for label in labels {
+        builder.add_label(label);
+    }
+    let mut seen: HashSet<(u32, u32, u8)> = HashSet::with_capacity(m * 2);
+    let mut added = 0usize;
+    let mut attempts = 0usize;
+    let max_attempts = m.saturating_mul(50).max(1000);
+    while added < m && attempts < max_attempts {
+        attempts += 1;
+        let src = rng.gen_range(0..n) as u32;
+        let dst = rng.gen_range(0..n) as u32;
+        if src == dst {
+            continue;
+        }
+        let label_idx = rng.gen_range(0..labels.len()) as u8;
+        if !seen.insert((src, dst, label_idx)) {
+            continue;
+        }
+        builder.add_edge_named(
+            &format!("v{src}"),
+            labels[label_idx as usize],
+            &format!("v{dst}"),
+        );
+        added += 1;
+    }
+    builder.build()
+}
+
+/// Generates a labeled Barabási–Albert preferential-attachment graph.
+///
+/// Nodes arrive one at a time and attach `edges_per_node` directed labeled
+/// edges to already-present nodes chosen proportionally to their current
+/// degree, producing the heavy-tailed degree distribution typical of social
+/// and citation networks.
+pub fn barabasi_albert(n: usize, edges_per_node: usize, labels: &[&str], seed: u64) -> Graph {
+    assert!(!labels.is_empty(), "at least one label is required");
+    assert!(n >= 2, "at least two nodes are required");
+    assert!(edges_per_node >= 1, "each node must attach at least one edge");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::with_capacity(n * edges_per_node);
+    for i in 0..n {
+        builder.add_node(&format!("v{i}"));
+    }
+    for label in labels {
+        builder.add_label(label);
+    }
+
+    // `targets` holds one entry per edge endpoint, so sampling uniformly from
+    // it implements degree-proportional selection.
+    let mut endpoint_pool: Vec<u32> = vec![0];
+    for new_node in 1..n as u32 {
+        let attach = edges_per_node.min(new_node as usize);
+        let mut chosen: HashSet<u32> = HashSet::with_capacity(attach);
+        let mut guard = 0;
+        while chosen.len() < attach && guard < attach * 30 {
+            guard += 1;
+            let pick = endpoint_pool[rng.gen_range(0..endpoint_pool.len())];
+            if pick != new_node {
+                chosen.insert(pick);
+            }
+        }
+        for target in chosen {
+            let label = labels[rng.gen_range(0..labels.len())];
+            builder.add_edge_named(&format!("v{new_node}"), label, &format!("v{target}"));
+            endpoint_pool.push(new_node);
+            endpoint_pool.push(target);
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erdos_renyi_has_requested_size() {
+        let g = erdos_renyi(200, 1000, &["a", "b"], 7);
+        assert_eq!(g.node_count(), 200);
+        assert_eq!(g.label_count(), 2);
+        assert!(g.edge_count() >= 950, "got {}", g.edge_count());
+        assert!(g.edge_count() <= 1000);
+    }
+
+    #[test]
+    fn erdos_renyi_is_deterministic_per_seed() {
+        let a = erdos_renyi(100, 400, &["x"], 42);
+        let b = erdos_renyi(100, 400, &["x"], 42);
+        let c = erdos_renyi(100, 400, &["x"], 43);
+        let l = a.label_id("x").unwrap();
+        assert_eq!(a.edges(l), b.edges(b.label_id("x").unwrap()));
+        assert_ne!(a.edges(l), c.edges(c.label_id("x").unwrap()));
+    }
+
+    #[test]
+    fn erdos_renyi_has_no_self_loops() {
+        let g = erdos_renyi(50, 300, &["a"], 3);
+        for label in g.labels() {
+            assert!(g.edges(label).iter().all(|(s, t)| s != t));
+        }
+    }
+
+    #[test]
+    fn barabasi_albert_attaches_edges() {
+        let g = barabasi_albert(300, 3, &["a", "b", "c"], 11);
+        assert_eq!(g.node_count(), 300);
+        // Each node after the first attaches up to 3 edges.
+        assert!(g.edge_count() > 600);
+        assert!(g.edge_count() <= 3 * 299);
+    }
+
+    #[test]
+    fn barabasi_albert_is_heavy_tailed() {
+        let g = barabasi_albert(500, 2, &["a"], 5);
+        let mut degrees: Vec<usize> = g.nodes().map(|n| g.total_degree(n)).collect();
+        degrees.sort_unstable_by(|a, b| b.cmp(a));
+        // The largest hub should have far more than the median degree.
+        let median = degrees[degrees.len() / 2];
+        assert!(degrees[0] >= median * 5, "max {} median {}", degrees[0], median);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one label")]
+    fn empty_label_set_is_rejected() {
+        let _ = erdos_renyi(10, 10, &[], 0);
+    }
+}

@@ -1,0 +1,150 @@
+//! A heterogeneous social-network generator over the paper's vocabulary.
+//!
+//! The running example of the paper uses the labels `knows`, `worksFor` and
+//! `supervisor`. This generator produces larger graphs with the same flavor:
+//! people know each other (heavy-tailed), people work for companies, and a
+//! sparse supervision hierarchy links people. It is used by the example
+//! binaries and by tests that need a graph with semantically distinct labels
+//! of very different selectivities.
+
+use pathix_graph::{Graph, GraphBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Configuration of the social-network generator.
+#[derive(Debug, Clone, Copy)]
+pub struct SocialConfig {
+    /// Number of people.
+    pub people: usize,
+    /// Number of companies.
+    pub companies: usize,
+    /// Average number of `knows` edges per person.
+    pub knows_per_person: usize,
+    /// Fraction of people that have a `supervisor` edge to another person.
+    pub supervisor_fraction: f64,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl Default for SocialConfig {
+    fn default() -> Self {
+        SocialConfig {
+            people: 1_000,
+            companies: 50,
+            knows_per_person: 8,
+            supervisor_fraction: 0.3,
+            seed: 0x50C1A1,
+        }
+    }
+}
+
+/// Generates a social network with `knows`, `worksFor` and `supervisor`
+/// edges.
+///
+/// * every person `worksFor` exactly one company (chosen with a preference
+///   for low-index, i.e. large, companies);
+/// * `knows` edges connect people with a heavy-tailed popularity bias;
+/// * a `supervisor_fraction` of people point to a supervisor within the same
+///   company.
+pub fn social_network(config: SocialConfig) -> Graph {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut builder = GraphBuilder::with_capacity(
+        config.people * (config.knows_per_person + 2),
+    );
+    for p in 0..config.people {
+        builder.add_node(&format!("p{p}"));
+    }
+    for c in 0..config.companies {
+        builder.add_node(&format!("c{c}"));
+    }
+    for label in ["knows", "worksFor", "supervisor"] {
+        builder.add_label(label);
+    }
+
+    // worksFor: company chosen with quadratic skew toward low indices.
+    let mut employer = vec![0usize; config.people];
+    for (p, slot) in employer.iter_mut().enumerate() {
+        let r: f64 = rng.gen::<f64>();
+        let c = ((r * r) * config.companies as f64) as usize;
+        let c = c.min(config.companies - 1);
+        *slot = c;
+        builder.add_edge_named(&format!("p{p}"), "worksFor", &format!("c{c}"));
+    }
+
+    // knows: popularity-biased directed edges between people.
+    let mut seen: HashSet<(usize, usize)> = HashSet::new();
+    for p in 0..config.people {
+        for _ in 0..config.knows_per_person {
+            // Quadratic skew toward low person indices (the "celebrities").
+            let r: f64 = rng.gen::<f64>();
+            let q = ((r * r) * config.people as f64) as usize;
+            let q = q.min(config.people - 1);
+            if p == q || !seen.insert((p, q)) {
+                continue;
+            }
+            builder.add_edge_named(&format!("p{p}"), "knows", &format!("p{q}"));
+        }
+    }
+
+    // supervisor: a fraction of people report to a colleague at the same
+    // company (lower index = more senior).
+    for p in 0..config.people {
+        if rng.gen::<f64>() < config.supervisor_fraction {
+            let company = employer[p];
+            // Find a more senior colleague in the same company.
+            if let Some(boss) = (0..p).rev().find(|&q| employer[q] == company) {
+                builder.add_edge_named(&format!("p{boss}"), "supervisor", &format!("p{p}"));
+            }
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_all_three_labels() {
+        let g = social_network(SocialConfig {
+            people: 300,
+            companies: 10,
+            ..Default::default()
+        });
+        for label in ["knows", "worksFor", "supervisor"] {
+            let l = g.label_id(label).unwrap();
+            assert!(g.label_edge_count(l) > 0, "missing {label} edges");
+        }
+        assert_eq!(g.node_count(), 310);
+    }
+
+    #[test]
+    fn every_person_works_somewhere() {
+        let cfg = SocialConfig {
+            people: 200,
+            companies: 5,
+            ..Default::default()
+        };
+        let g = social_network(cfg);
+        let works = g.label_id("worksFor").unwrap();
+        assert_eq!(g.label_edge_count(works), cfg.people);
+    }
+
+    #[test]
+    fn labels_have_distinct_selectivities() {
+        let g = social_network(SocialConfig::default());
+        let knows = g.label_edge_count(g.label_id("knows").unwrap());
+        let works = g.label_edge_count(g.label_id("worksFor").unwrap());
+        let sup = g.label_edge_count(g.label_id("supervisor").unwrap());
+        assert!(knows > works, "knows ({knows}) should dominate worksFor ({works})");
+        assert!(works > sup, "worksFor ({works}) should dominate supervisor ({sup})");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = social_network(SocialConfig::default());
+        let b = social_network(SocialConfig::default());
+        assert_eq!(a.edge_count(), b.edge_count());
+    }
+}

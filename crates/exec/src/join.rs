@@ -1,0 +1,286 @@
+//! Composition joins: merge join and hash join.
+//!
+//! Both operators compute the composition of two pair relations
+//! `L ∘ R = {(x, z) | (x, y) ∈ L, (y, z) ∈ R}` — the physical counterpart of
+//! the `◦` operator after a disjunct has been cut into index-sized pieces.
+
+use crate::operator::{BoxedPairStream, Pair, PairStream, Sortedness};
+use pathix_graph::NodeId;
+use std::collections::HashMap;
+
+/// Merge join over the shared middle node.
+///
+/// Requires the left input sorted by **target** and the right input sorted by
+/// **source** (the planner arranges this by scanning inverse paths). This is
+/// the join the paper prefers "whenever possible (to make the best use of the
+/// physical sort order of the index)".
+pub struct MergeJoinOp<'a> {
+    left: BoxedPairStream<'a>,
+    right: BoxedPairStream<'a>,
+    left_peek: Option<Pair>,
+    right_peek: Option<Pair>,
+    out_buf: std::vec::IntoIter<Pair>,
+}
+
+impl<'a> MergeJoinOp<'a> {
+    /// Creates a merge join. Panics if the inputs do not provide the
+    /// required sort orders — the planner must only emit valid merge joins.
+    pub fn new(mut left: BoxedPairStream<'a>, mut right: BoxedPairStream<'a>) -> Self {
+        assert!(
+            left.sortedness().is_by_target(),
+            "merge join requires the left input sorted by target"
+        );
+        assert!(
+            right.sortedness().is_by_source(),
+            "merge join requires the right input sorted by source"
+        );
+        let left_peek = left.next_pair();
+        let right_peek = right.next_pair();
+        MergeJoinOp {
+            left,
+            right,
+            left_peek,
+            right_peek,
+            out_buf: Vec::new().into_iter(),
+        }
+    }
+
+    /// Gathers the next group of matching pairs into `out_buf`.
+    fn refill(&mut self) -> bool {
+        loop {
+            let (lp, rp) = match (self.left_peek, self.right_peek) {
+                (Some(l), Some(r)) => (l, r),
+                _ => return false,
+            };
+            let lkey = lp.1;
+            let rkey = rp.0;
+            if lkey < rkey {
+                self.left_peek = self.left.next_pair();
+            } else if rkey < lkey {
+                self.right_peek = self.right.next_pair();
+            } else {
+                // Collect the full group on both sides.
+                let key = lkey;
+                let mut left_group: Vec<NodeId> = Vec::new();
+                while let Some((src, tgt)) = self.left_peek {
+                    if tgt != key {
+                        break;
+                    }
+                    left_group.push(src);
+                    self.left_peek = self.left.next_pair();
+                }
+                let mut right_group: Vec<NodeId> = Vec::new();
+                while let Some((src, tgt)) = self.right_peek {
+                    if src != key {
+                        break;
+                    }
+                    right_group.push(tgt);
+                    self.right_peek = self.right.next_pair();
+                }
+                let mut buf = Vec::with_capacity(left_group.len() * right_group.len());
+                for &x in &left_group {
+                    for &z in &right_group {
+                        buf.push((x, z));
+                    }
+                }
+                self.out_buf = buf.into_iter();
+                return true;
+            }
+        }
+    }
+}
+
+impl PairStream for MergeJoinOp<'_> {
+    fn next_pair(&mut self) -> Option<Pair> {
+        loop {
+            if let Some(pair) = self.out_buf.next() {
+                return Some(pair);
+            }
+            if !self.refill() {
+                return None;
+            }
+        }
+    }
+
+    fn sortedness(&self) -> Sortedness {
+        Sortedness::Unsorted
+    }
+}
+
+/// Hash join over the shared middle node.
+///
+/// The right input is materialized into a hash table keyed by its source
+/// node; the left input is streamed and probed by its target node. Used
+/// whenever the merge join's sort-order requirements cannot be met (e.g. when
+/// one input is an intermediate join result).
+pub struct HashJoinOp<'a> {
+    left: BoxedPairStream<'a>,
+    right: Option<BoxedPairStream<'a>>,
+    table: HashMap<NodeId, Vec<NodeId>>,
+    pending: std::vec::IntoIter<Pair>,
+}
+
+impl<'a> HashJoinOp<'a> {
+    /// Creates a hash join; the right side is built into the hash table on
+    /// first use.
+    pub fn new(left: BoxedPairStream<'a>, right: BoxedPairStream<'a>) -> Self {
+        HashJoinOp {
+            left,
+            right: Some(right),
+            table: HashMap::new(),
+            pending: Vec::new().into_iter(),
+        }
+    }
+
+    fn ensure_built(&mut self) {
+        if let Some(mut right) = self.right.take() {
+            while let Some((src, tgt)) = right.next_pair() {
+                self.table.entry(src).or_default().push(tgt);
+            }
+        }
+    }
+}
+
+impl PairStream for HashJoinOp<'_> {
+    fn next_pair(&mut self) -> Option<Pair> {
+        self.ensure_built();
+        loop {
+            if let Some(pair) = self.pending.next() {
+                return Some(pair);
+            }
+            let (src, tgt) = self.left.next_pair()?;
+            if let Some(matches) = self.table.get(&tgt) {
+                self.pending = matches
+                    .iter()
+                    .map(|&z| (src, z))
+                    .collect::<Vec<_>>()
+                    .into_iter();
+            }
+        }
+    }
+
+    fn sortedness(&self) -> Sortedness {
+        Sortedness::Unsorted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::collect_pairs;
+    use crate::scan::MaterializedOp;
+
+    fn n(v: u32) -> NodeId {
+        NodeId(v)
+    }
+
+    /// Reference composition for cross-checking.
+    fn compose(left: &[Pair], right: &[Pair]) -> Vec<Pair> {
+        let mut out = Vec::new();
+        for &(x, y) in left {
+            for &(y2, z) in right {
+                if y == y2 {
+                    out.push((x, z));
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn by_target(mut pairs: Vec<Pair>) -> MaterializedOp {
+        pairs.sort_unstable_by_key(|&(a, b)| (b, a));
+        MaterializedOp::new(pairs, Sortedness::ByTarget)
+    }
+
+    fn by_source(mut pairs: Vec<Pair>) -> MaterializedOp {
+        pairs.sort_unstable();
+        MaterializedOp::new(pairs, Sortedness::BySource)
+    }
+
+    #[test]
+    fn merge_join_composes_relations() {
+        let left = vec![(n(1), n(10)), (n(2), n(10)), (n(3), n(11)), (n(4), n(12))];
+        let right = vec![(n(10), n(20)), (n(10), n(21)), (n(12), n(22)), (n(13), n(23))];
+        let join = MergeJoinOp::new(
+            Box::new(by_target(left.clone())),
+            Box::new(by_source(right.clone())),
+        );
+        assert_eq!(collect_pairs(join), compose(&left, &right));
+    }
+
+    #[test]
+    fn hash_join_composes_relations() {
+        let left = vec![(n(1), n(10)), (n(2), n(10)), (n(3), n(11)), (n(4), n(12))];
+        let right = vec![(n(10), n(20)), (n(10), n(21)), (n(12), n(22)), (n(13), n(23))];
+        let join = HashJoinOp::new(
+            Box::new(MaterializedOp::new(left.clone(), Sortedness::Unsorted)),
+            Box::new(MaterializedOp::new(right.clone(), Sortedness::Unsorted)),
+        );
+        assert_eq!(collect_pairs(join), compose(&left, &right));
+    }
+
+    #[test]
+    fn joins_agree_on_duplicate_heavy_inputs() {
+        // Many pairs sharing the same middle node exercise group handling.
+        let left: Vec<Pair> = (0..20).map(|i| (n(i), n(100 + i % 3))).collect();
+        let right: Vec<Pair> = (0..15).map(|i| (n(100 + i % 3), n(200 + i))).collect();
+        let merge = MergeJoinOp::new(
+            Box::new(by_target(left.clone())),
+            Box::new(by_source(right.clone())),
+        );
+        let hash = HashJoinOp::new(
+            Box::new(MaterializedOp::new(left.clone(), Sortedness::Unsorted)),
+            Box::new(MaterializedOp::new(right.clone(), Sortedness::Unsorted)),
+        );
+        let expected = compose(&left, &right);
+        assert_eq!(collect_pairs(merge), expected);
+        assert_eq!(collect_pairs(hash), expected);
+        assert_eq!(expected.len(), 20 * 5);
+    }
+
+    #[test]
+    fn empty_inputs_produce_empty_output() {
+        let some = vec![(n(1), n(2))];
+        let merge = MergeJoinOp::new(
+            Box::new(by_target(vec![])),
+            Box::new(by_source(some.clone())),
+        );
+        assert!(collect_pairs(merge).is_empty());
+        let hash = HashJoinOp::new(
+            Box::new(MaterializedOp::new(some, Sortedness::Unsorted)),
+            Box::new(MaterializedOp::new(vec![], Sortedness::Unsorted)),
+        );
+        assert!(collect_pairs(hash).is_empty());
+    }
+
+    #[test]
+    fn disjoint_keys_produce_empty_output() {
+        let left = vec![(n(1), n(5)), (n(2), n(6))];
+        let right = vec![(n(7), n(1)), (n(8), n(2))];
+        let merge = MergeJoinOp::new(
+            Box::new(by_target(left.clone())),
+            Box::new(by_source(right.clone())),
+        );
+        assert!(collect_pairs(merge).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted by target")]
+    fn merge_join_rejects_unsorted_left() {
+        let _ = MergeJoinOp::new(
+            Box::new(MaterializedOp::new(vec![], Sortedness::Unsorted)),
+            Box::new(by_source(vec![])),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted by source")]
+    fn merge_join_rejects_unsorted_right() {
+        let _ = MergeJoinOp::new(
+            Box::new(by_target(vec![])),
+            Box::new(MaterializedOp::new(vec![], Sortedness::Unsorted)),
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! # pathix-exec
+//!
+//! Volcano-style streaming physical operators over node-pair streams.
+//!
+//! Every operator produces a stream of `(source, target)` pairs — a partial
+//! RPQ result where `source` is the start of the matched path prefix and
+//! `target` its current frontier — together with a [`Sortedness`] describing
+//! the order the pairs are emitted in. The planner (in `pathix-plan`) wires
+//! these operators into trees that follow the paper's physical plans:
+//!
+//! * [`IndexScanOp`] — a prefix scan of the k-path index, either in its
+//!   natural `(source, target)` order or over the *inverse* path so the pairs
+//!   arrive sorted by target (the trick the paper uses to enable merge
+//!   joins);
+//! * [`MergeJoinOp`] — composition of two streams sorted on the shared join
+//!   node;
+//! * [`HashJoinOp`] — composition when the sort order is not available;
+//! * [`UnionAllOp`] / [`DistinctOp`] — combine disjuncts and enforce set
+//!   semantics;
+//! * [`EpsilonScanOp`] / [`MaterializedOp`] — the identity relation and
+//!   pre-materialized inputs.
+
+pub mod join;
+pub mod operator;
+pub mod scan;
+pub mod union;
+
+pub use join::{HashJoinOp, MergeJoinOp};
+pub use operator::{collect_pairs, BoxedPairStream, Pair, PairStream, Sortedness};
+pub use scan::{EpsilonScanOp, IndexScanOp, MaterializedOp, ScanOrientation};
+pub use union::{DistinctOp, UnionAllOp};

@@ -1,0 +1,106 @@
+//! The operator protocol shared by all physical operators.
+
+use pathix_graph::NodeId;
+
+/// A partial query result: the start node of the matched path prefix and the
+/// current frontier node.
+pub type Pair = (NodeId, NodeId);
+
+/// The order in which an operator emits its pairs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sortedness {
+    /// Sorted by `(source, target)`.
+    BySource,
+    /// Sorted by `(target, source)`.
+    ByTarget,
+    /// Sorted under both interpretations (only the identity relation).
+    Both,
+    /// No usable order.
+    Unsorted,
+}
+
+impl Sortedness {
+    /// `true` if a consumer needing source-major order can use this stream.
+    pub fn is_by_source(self) -> bool {
+        matches!(self, Sortedness::BySource | Sortedness::Both)
+    }
+
+    /// `true` if a consumer needing target-major order can use this stream.
+    pub fn is_by_target(self) -> bool {
+        matches!(self, Sortedness::ByTarget | Sortedness::Both)
+    }
+}
+
+/// A pull-based stream of node pairs.
+pub trait PairStream {
+    /// Produces the next pair, or `None` when exhausted.
+    fn next_pair(&mut self) -> Option<Pair>;
+
+    /// The order guarantee of this stream.
+    fn sortedness(&self) -> Sortedness;
+}
+
+/// Owned, dynamically dispatched pair stream (operators borrow the index, so
+/// the lifetime ties the stream to it).
+pub type BoxedPairStream<'a> = Box<dyn PairStream + 'a>;
+
+impl<'a> PairStream for BoxedPairStream<'a> {
+    fn next_pair(&mut self) -> Option<Pair> {
+        (**self).next_pair()
+    }
+
+    fn sortedness(&self) -> Sortedness {
+        (**self).sortedness()
+    }
+}
+
+/// Drains a stream into a sorted, duplicate-free vector — the final
+/// set-semantics answer of an RPQ.
+pub fn collect_pairs(mut stream: impl PairStream) -> Vec<Pair> {
+    let mut out = Vec::new();
+    while let Some(pair) = stream.next_pair() {
+        out.push(pair);
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::MaterializedOp;
+
+    #[test]
+    fn sortedness_predicates() {
+        assert!(Sortedness::BySource.is_by_source());
+        assert!(!Sortedness::BySource.is_by_target());
+        assert!(Sortedness::ByTarget.is_by_target());
+        assert!(Sortedness::Both.is_by_source() && Sortedness::Both.is_by_target());
+        assert!(!Sortedness::Unsorted.is_by_source());
+        assert!(!Sortedness::Unsorted.is_by_target());
+    }
+
+    #[test]
+    fn collect_pairs_sorts_and_dedups() {
+        let n = NodeId;
+        let stream = MaterializedOp::new(
+            vec![(n(3), n(1)), (n(1), n(2)), (n(3), n(1)), (n(0), n(9))],
+            Sortedness::Unsorted,
+        );
+        assert_eq!(
+            collect_pairs(stream),
+            vec![(n(0), n(9)), (n(1), n(2)), (n(3), n(1))]
+        );
+    }
+
+    #[test]
+    fn boxed_stream_delegates() {
+        let n = NodeId;
+        let inner = MaterializedOp::new(vec![(n(1), n(1))], Sortedness::Both);
+        let mut boxed: BoxedPairStream<'_> = Box::new(inner);
+        assert_eq!(boxed.sortedness(), Sortedness::Both);
+        assert_eq!(boxed.next_pair(), Some((n(1), n(1))));
+        assert_eq!(boxed.next_pair(), None);
+    }
+}

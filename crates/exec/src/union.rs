@@ -1,0 +1,127 @@
+//! Union and duplicate elimination.
+
+use crate::operator::{BoxedPairStream, Pair, PairStream, Sortedness};
+use std::collections::HashSet;
+
+/// Concatenates the outputs of several streams (bag semantics).
+///
+/// The paper's complete physical plan is "formed as a union of the sub-plans"
+/// for the individual disjuncts; a [`DistinctOp`] on top restores set
+/// semantics.
+pub struct UnionAllOp<'a> {
+    inputs: Vec<BoxedPairStream<'a>>,
+    current: usize,
+}
+
+impl<'a> UnionAllOp<'a> {
+    /// Creates a union over `inputs`, drained in order.
+    pub fn new(inputs: Vec<BoxedPairStream<'a>>) -> Self {
+        UnionAllOp { inputs, current: 0 }
+    }
+}
+
+impl PairStream for UnionAllOp<'_> {
+    fn next_pair(&mut self) -> Option<Pair> {
+        while self.current < self.inputs.len() {
+            if let Some(pair) = self.inputs[self.current].next_pair() {
+                return Some(pair);
+            }
+            self.current += 1;
+        }
+        None
+    }
+
+    fn sortedness(&self) -> Sortedness {
+        Sortedness::Unsorted
+    }
+}
+
+/// Streaming duplicate elimination using a hash set of seen pairs.
+pub struct DistinctOp<'a> {
+    input: BoxedPairStream<'a>,
+    seen: HashSet<(u32, u32)>,
+}
+
+impl<'a> DistinctOp<'a> {
+    /// Wraps `input`, suppressing repeated pairs.
+    pub fn new(input: BoxedPairStream<'a>) -> Self {
+        DistinctOp {
+            input,
+            seen: HashSet::new(),
+        }
+    }
+}
+
+impl PairStream for DistinctOp<'_> {
+    fn next_pair(&mut self) -> Option<Pair> {
+        loop {
+            let (a, b) = self.input.next_pair()?;
+            if self.seen.insert((a.0, b.0)) {
+                return Some((a, b));
+            }
+        }
+    }
+
+    fn sortedness(&self) -> Sortedness {
+        self.input.sortedness()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::collect_pairs;
+    use crate::scan::MaterializedOp;
+    use pathix_graph::NodeId;
+
+    fn n(v: u32) -> NodeId {
+        NodeId(v)
+    }
+
+    fn mat(pairs: Vec<Pair>) -> BoxedPairStream<'static> {
+        Box::new(MaterializedOp::new(pairs, Sortedness::Unsorted))
+    }
+
+    #[test]
+    fn union_concatenates_all_inputs() {
+        let union = UnionAllOp::new(vec![
+            mat(vec![(n(1), n(2))]),
+            mat(vec![]),
+            mat(vec![(n(3), n(4)), (n(1), n(2))]),
+        ]);
+        let pairs = collect_pairs(union);
+        assert_eq!(pairs, vec![(n(1), n(2)), (n(3), n(4))]);
+    }
+
+    #[test]
+    fn union_of_nothing_is_empty() {
+        let union = UnionAllOp::new(vec![]);
+        assert!(collect_pairs(union).is_empty());
+    }
+
+    #[test]
+    fn distinct_removes_duplicates_preserving_first_occurrence() {
+        let mut distinct = DistinctOp::new(mat(vec![
+            (n(5), n(6)),
+            (n(1), n(2)),
+            (n(5), n(6)),
+            (n(1), n(2)),
+            (n(7), n(8)),
+        ]));
+        let mut out = Vec::new();
+        while let Some(p) = distinct.next_pair() {
+            out.push(p);
+        }
+        assert_eq!(out, vec![(n(5), n(6)), (n(1), n(2)), (n(7), n(8))]);
+    }
+
+    #[test]
+    fn distinct_preserves_claimed_order_of_input() {
+        let inner = Box::new(MaterializedOp::new(
+            vec![(n(1), n(1)), (n(2), n(2))],
+            Sortedness::BySource,
+        ));
+        let distinct = DistinctOp::new(inner);
+        assert_eq!(distinct.sortedness(), Sortedness::BySource);
+    }
+}

@@ -1,0 +1,164 @@
+//! Property-based tests for the physical pair operators: both join
+//! algorithms must compute exactly the relational composition, and the union
+//! / distinct operators must implement bag concatenation and set semantics.
+
+use pathix_exec::{
+    collect_pairs, BoxedPairStream, DistinctOp, HashJoinOp, MaterializedOp, MergeJoinOp, Pair,
+    PairStream, Sortedness, UnionAllOp,
+};
+use pathix_graph::NodeId;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// A small random pair relation over node ids `0..domain`.
+fn relation(domain: u32, max_len: usize) -> impl Strategy<Value = Vec<Pair>> {
+    proptest::collection::vec((0..domain, 0..domain), 0..max_len)
+        .prop_map(|pairs| pairs.into_iter().map(|(a, b)| (NodeId(a), NodeId(b))).collect())
+}
+
+/// Reference composition `L ∘ R` with set semantics.
+fn compose_reference(left: &[Pair], right: &[Pair]) -> Vec<Pair> {
+    let mut out: BTreeSet<Pair> = BTreeSet::new();
+    for &(x, y) in left {
+        for &(y2, z) in right {
+            if y == y2 {
+                out.insert((x, z));
+            }
+        }
+    }
+    out.into_iter().collect()
+}
+
+/// Wraps a pair list as a stream sorted the way a merge join's left input
+/// must be (by target, then source).
+fn by_target(mut pairs: Vec<Pair>) -> MaterializedOp {
+    pairs.sort_unstable_by_key(|&(s, t)| (t, s));
+    MaterializedOp::new(pairs, Sortedness::ByTarget)
+}
+
+/// Wraps a pair list as a stream sorted by (source, target).
+fn by_source(mut pairs: Vec<Pair>) -> MaterializedOp {
+    pairs.sort_unstable();
+    MaterializedOp::new(pairs, Sortedness::BySource)
+}
+
+proptest! {
+    /// Merge join and hash join agree with the nested-loop reference on any
+    /// input relations, regardless of duplicates or skew.
+    #[test]
+    fn joins_compute_relational_composition(
+        left in relation(12, 60),
+        right in relation(12, 60),
+    ) {
+        let expected = compose_reference(&left, &right);
+
+        let merge = MergeJoinOp::new(
+            Box::new(by_target(left.clone())),
+            Box::new(by_source(right.clone())),
+        );
+        prop_assert_eq!(collect_pairs(merge), expected.clone());
+
+        let hash = HashJoinOp::new(
+            Box::new(by_source(left.clone())),
+            Box::new(by_source(right.clone())),
+        );
+        prop_assert_eq!(collect_pairs(hash), expected);
+    }
+
+    /// Composition with the empty relation is empty on either side.
+    #[test]
+    fn joining_with_the_empty_relation_is_empty(left in relation(10, 40)) {
+        let merge = MergeJoinOp::new(
+            Box::new(by_target(left.clone())),
+            Box::new(by_source(Vec::new())),
+        );
+        prop_assert!(collect_pairs(merge).is_empty());
+        let hash = HashJoinOp::new(
+            Box::new(by_source(Vec::new())),
+            Box::new(by_source(left)),
+        );
+        prop_assert!(collect_pairs(hash).is_empty());
+    }
+
+    /// UnionAll concatenates its inputs (bag semantics): the multiset of
+    /// emitted pairs is the concatenation of the input multisets, and
+    /// collect_pairs on top restores exactly the set union.
+    #[test]
+    fn union_all_concatenates_and_collect_restores_set_union(
+        parts in proptest::collection::vec(relation(10, 30), 0..5),
+    ) {
+        let streams: Vec<BoxedPairStream> = parts
+            .iter()
+            .map(|p| {
+                Box::new(MaterializedOp::new(p.clone(), Sortedness::Unsorted)) as BoxedPairStream
+            })
+            .collect();
+        let mut union = UnionAllOp::new(streams);
+        let mut emitted = Vec::new();
+        while let Some(pair) = union.next_pair() {
+            emitted.push(pair);
+        }
+        let expected_bag: Vec<Pair> = parts.iter().flatten().copied().collect();
+        prop_assert_eq!(&emitted, &expected_bag);
+
+        let streams: Vec<BoxedPairStream> = parts
+            .iter()
+            .map(|p| {
+                Box::new(MaterializedOp::new(p.clone(), Sortedness::Unsorted)) as BoxedPairStream
+            })
+            .collect();
+        let expected_set: BTreeSet<Pair> = expected_bag.into_iter().collect();
+        prop_assert_eq!(
+            collect_pairs(UnionAllOp::new(streams)),
+            expected_set.into_iter().collect::<Vec<_>>()
+        );
+    }
+
+    /// Distinct preserves first occurrences, never emits a duplicate, and
+    /// keeps exactly the set of input pairs.
+    #[test]
+    fn distinct_emits_each_pair_once_in_first_occurrence_order(
+        pairs in relation(8, 80),
+    ) {
+        let mut distinct = DistinctOp::new(Box::new(MaterializedOp::new(
+            pairs.clone(),
+            Sortedness::Unsorted,
+        )));
+        let mut emitted = Vec::new();
+        while let Some(pair) = distinct.next_pair() {
+            emitted.push(pair);
+        }
+        // Expected: first occurrences in order.
+        let mut seen = BTreeSet::new();
+        let expected: Vec<Pair> = pairs
+            .iter()
+            .copied()
+            .filter(|p| seen.insert(*p))
+            .collect();
+        prop_assert_eq!(emitted, expected);
+    }
+
+    /// Joins are associative on the final answer sets: (L ∘ M) ∘ R = L ∘ (M ∘ R).
+    #[test]
+    fn composition_is_associative(
+        left in relation(8, 30),
+        middle in relation(8, 30),
+        right in relation(8, 30),
+    ) {
+        let lm_r = compose_reference(&compose_reference(&left, &middle), &right);
+        let l_mr = compose_reference(&left, &compose_reference(&middle, &right));
+        prop_assert_eq!(&lm_r, &l_mr);
+
+        // And the hash join pipeline reproduces the same relation.
+        let lm = HashJoinOp::new(
+            Box::new(by_source(left.clone())),
+            Box::new(by_source(middle.clone())),
+        );
+        let lm_pairs = collect_pairs(lm);
+        let piped = HashJoinOp::new(
+            Box::new(by_source(lm_pairs)),
+            Box::new(by_source(right.clone())),
+        );
+        prop_assert_eq!(collect_pairs(piped), lm_r);
+    }
+}

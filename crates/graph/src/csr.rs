@@ -1,0 +1,139 @@
+//! Compressed sparse row adjacency used for fast neighborhood expansion.
+
+use crate::ids::NodeId;
+
+/// Compressed-sparse-row adjacency structure for one edge relation.
+///
+/// For a relation `E ⊆ V × V` over `n` nodes, `offsets` has `n + 1` entries
+/// and `targets[offsets[v] .. offsets[v+1]]` holds the (sorted, deduplicated
+/// only if the input was) targets of node `v`.
+#[derive(Debug, Clone, Default)]
+pub struct Csr {
+    offsets: Vec<u32>,
+    targets: Vec<NodeId>,
+}
+
+impl Csr {
+    /// Builds a CSR from an edge list. The input does not need to be sorted;
+    /// parallel edges are preserved. `node_count` must be at least
+    /// `max(node id) + 1` over all endpoints.
+    pub fn from_edges(node_count: usize, edges: &[(NodeId, NodeId)]) -> Self {
+        let mut degree = vec![0u32; node_count];
+        for &(s, _) in edges {
+            degree[s.index()] += 1;
+        }
+        let mut offsets = Vec::with_capacity(node_count + 1);
+        let mut acc = 0u32;
+        offsets.push(0);
+        for d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor = offsets[..node_count].to_vec();
+        let mut targets = vec![NodeId(0); edges.len()];
+        for &(s, t) in edges {
+            let pos = cursor[s.index()];
+            targets[pos as usize] = t;
+            cursor[s.index()] += 1;
+        }
+        // Sort each adjacency run so neighbor lists are ordered and
+        // binary-searchable.
+        for v in 0..node_count {
+            let lo = offsets[v] as usize;
+            let hi = offsets[v + 1] as usize;
+            targets[lo..hi].sort_unstable();
+        }
+        Csr { offsets, targets }
+    }
+
+    /// Neighbors of `node`, in ascending id order.
+    #[inline]
+    pub fn neighbors(&self, node: NodeId) -> &[NodeId] {
+        let v = node.index();
+        if v + 1 >= self.offsets.len() {
+            return &[];
+        }
+        let lo = self.offsets[v] as usize;
+        let hi = self.offsets[v + 1] as usize;
+        &self.targets[lo..hi]
+    }
+
+    /// Out-degree of `node` in this relation.
+    #[inline]
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.neighbors(node).len()
+    }
+
+    /// Total number of stored edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Number of nodes this CSR was built for.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// `true` if `(src, dst)` is present (binary search over the sorted run).
+    pub fn contains(&self, src: NodeId, dst: NodeId) -> bool {
+        self.neighbors(src).binary_search(&dst).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(v: u32) -> NodeId {
+        NodeId(v)
+    }
+
+    #[test]
+    fn empty_csr() {
+        let csr = Csr::from_edges(0, &[]);
+        assert_eq!(csr.edge_count(), 0);
+        assert_eq!(csr.node_count(), 0);
+        assert!(csr.neighbors(n(0)).is_empty());
+    }
+
+    #[test]
+    fn builds_sorted_adjacency() {
+        let edges = vec![(n(0), n(2)), (n(0), n(1)), (n(2), n(0)), (n(1), n(2))];
+        let csr = Csr::from_edges(3, &edges);
+        assert_eq!(csr.neighbors(n(0)), &[n(1), n(2)]);
+        assert_eq!(csr.neighbors(n(1)), &[n(2)]);
+        assert_eq!(csr.neighbors(n(2)), &[n(0)]);
+        assert_eq!(csr.edge_count(), 4);
+        assert_eq!(csr.node_count(), 3);
+    }
+
+    #[test]
+    fn degree_and_contains() {
+        let edges = vec![(n(0), n(1)), (n(0), n(3)), (n(3), n(3))];
+        let csr = Csr::from_edges(4, &edges);
+        assert_eq!(csr.degree(n(0)), 2);
+        assert_eq!(csr.degree(n(1)), 0);
+        assert_eq!(csr.degree(n(3)), 1);
+        assert!(csr.contains(n(0), n(1)));
+        assert!(csr.contains(n(3), n(3)));
+        assert!(!csr.contains(n(1), n(0)));
+    }
+
+    #[test]
+    fn parallel_edges_are_preserved() {
+        let edges = vec![(n(0), n(1)), (n(0), n(1))];
+        let csr = Csr::from_edges(2, &edges);
+        assert_eq!(csr.neighbors(n(0)), &[n(1), n(1)]);
+        assert_eq!(csr.edge_count(), 2);
+    }
+
+    #[test]
+    fn out_of_range_node_has_no_neighbors() {
+        let edges = vec![(n(0), n(1))];
+        let csr = Csr::from_edges(2, &edges);
+        assert!(csr.neighbors(n(57)).is_empty());
+        assert_eq!(csr.degree(n(57)), 0);
+    }
+}

@@ -1,0 +1,120 @@
+//! String interning dictionaries mapping external names to dense ids.
+
+use std::collections::HashMap;
+
+/// A bidirectional mapping between strings and dense `u32` codes.
+///
+/// Used for both node names and label names. Codes are assigned in first-seen
+/// order starting from zero, so a dictionary with `n` entries uses the codes
+/// `0..n` exactly.
+#[derive(Debug, Clone, Default)]
+pub struct Dictionary {
+    by_name: HashMap<String, u32>,
+    by_code: Vec<String>,
+}
+
+impl Dictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its code. Re-interning an existing name
+    /// returns the previously assigned code.
+    pub fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&code) = self.by_name.get(name) {
+            return code;
+        }
+        let code = self.by_code.len() as u32;
+        self.by_name.insert(name.to_owned(), code);
+        self.by_code.push(name.to_owned());
+        code
+    }
+
+    /// Looks up an existing name without interning it.
+    pub fn code(&self, name: &str) -> Option<u32> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Resolves a code back to its name.
+    pub fn name(&self, code: u32) -> Option<&str> {
+        self.by_code.get(code as usize).map(String::as_str)
+    }
+
+    /// Number of interned entries.
+    pub fn len(&self) -> usize {
+        self.by_code.len()
+    }
+
+    /// `true` when no entries have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.by_code.is_empty()
+    }
+
+    /// Iterates over `(code, name)` pairs in code order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.by_code
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i as u32, s.as_str()))
+    }
+
+    /// All names in code order.
+    pub fn names(&self) -> &[String] {
+        &self.by_code
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_assigns_dense_codes_in_order() {
+        let mut d = Dictionary::new();
+        assert_eq!(d.intern("a"), 0);
+        assert_eq!(d.intern("b"), 1);
+        assert_eq!(d.intern("c"), 2);
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut d = Dictionary::new();
+        let a = d.intern("x");
+        assert_eq!(d.intern("x"), a);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn code_and_name_roundtrip() {
+        let mut d = Dictionary::new();
+        d.intern("ada");
+        d.intern("jan");
+        assert_eq!(d.code("ada"), Some(0));
+        assert_eq!(d.code("jan"), Some(1));
+        assert_eq!(d.code("zoe"), None);
+        assert_eq!(d.name(0), Some("ada"));
+        assert_eq!(d.name(1), Some("jan"));
+        assert_eq!(d.name(2), None);
+    }
+
+    #[test]
+    fn empty_dictionary() {
+        let d = Dictionary::new();
+        assert!(d.is_empty());
+        assert_eq!(d.len(), 0);
+        assert_eq!(d.code("anything"), None);
+    }
+
+    #[test]
+    fn iter_yields_code_order() {
+        let mut d = Dictionary::new();
+        for name in ["k", "w", "s"] {
+            d.intern(name);
+        }
+        let collected: Vec<(u32, &str)> = d.iter().collect();
+        assert_eq!(collected, vec![(0, "k"), (1, "w"), (2, "s")]);
+        assert_eq!(d.names(), &["k".to_string(), "w".to_string(), "s".to_string()]);
+    }
+}

@@ -1,0 +1,268 @@
+//! The immutable edge-labeled graph snapshot.
+
+use crate::csr::Csr;
+use crate::dict::Dictionary;
+use crate::ids::{LabelId, NodeId, SignedLabel};
+
+/// A finite, directed, edge-labeled graph (Section 2.1 of the paper).
+///
+/// The graph is immutable once built (see [`crate::GraphBuilder`]); all query
+/// and indexing machinery treats it as a read-only snapshot. Per label the
+/// graph stores the deduplicated edge relation sorted by `(source, target)`
+/// plus forward and backward CSR adjacency, so both `ℓ` and `ℓ⁻` navigation
+/// are O(degree).
+#[derive(Debug, Clone)]
+pub struct Graph {
+    pub(crate) node_dict: Dictionary,
+    pub(crate) label_dict: Dictionary,
+    /// Per label: edge list sorted by `(src, dst)`, deduplicated.
+    pub(crate) edges_by_label: Vec<Vec<(NodeId, NodeId)>>,
+    /// Per label: forward adjacency (src → dst).
+    pub(crate) forward: Vec<Csr>,
+    /// Per label: backward adjacency (dst → src).
+    pub(crate) backward: Vec<Csr>,
+    pub(crate) edge_count: usize,
+}
+
+impl Graph {
+    /// Number of nodes (size of `nodes(G)` plus any isolated nodes that were
+    /// explicitly added).
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.node_dict.len()
+    }
+
+    /// Total number of distinct labeled edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Size of the vocabulary `L`.
+    #[inline]
+    pub fn label_count(&self) -> usize {
+        self.label_dict.len()
+    }
+
+    /// Iterator over all node ids `0..node_count`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.node_count() as u32).map(NodeId)
+    }
+
+    /// Iterator over all label ids.
+    pub fn labels(&self) -> impl Iterator<Item = LabelId> {
+        (0..self.label_count() as u16).map(LabelId)
+    }
+
+    /// Iterator over the signed alphabet `{ℓ, ℓ⁻ | ℓ ∈ L}` in
+    /// `(label, direction)` order.
+    pub fn signed_labels(&self) -> impl Iterator<Item = SignedLabel> {
+        (0..self.label_count() as u16).flat_map(|l| {
+            [
+                SignedLabel::forward(LabelId(l)),
+                SignedLabel::backward(LabelId(l)),
+            ]
+        })
+    }
+
+    /// The edge relation `ℓ^G`, sorted by `(source, target)` and
+    /// deduplicated.
+    pub fn edges(&self, label: LabelId) -> &[(NodeId, NodeId)] {
+        self.edges_by_label
+            .get(label.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The pair relation of a signed label: `ℓ^G` itself, or its converse for
+    /// `ℓ⁻`. The result is sorted by `(source, target)`.
+    pub fn signed_pairs(&self, sl: SignedLabel) -> Vec<(NodeId, NodeId)> {
+        let edges = self.edges(sl.label);
+        if !sl.is_backward() {
+            return edges.to_vec();
+        }
+        let mut rev: Vec<(NodeId, NodeId)> = edges.iter().map(|&(s, t)| (t, s)).collect();
+        rev.sort_unstable();
+        rev
+    }
+
+    /// Neighbors reachable from `node` over one occurrence of `sl`
+    /// (forward edges for `ℓ`, reverse edges for `ℓ⁻`), in ascending order.
+    #[inline]
+    pub fn neighbors(&self, node: NodeId, sl: SignedLabel) -> &[NodeId] {
+        let per_label = if sl.is_backward() {
+            &self.backward
+        } else {
+            &self.forward
+        };
+        per_label
+            .get(sl.label.index())
+            .map(|csr| csr.neighbors(node))
+            .unwrap_or(&[])
+    }
+
+    /// Out-degree of `node` under label `ℓ`.
+    pub fn out_degree(&self, node: NodeId, label: LabelId) -> usize {
+        self.neighbors(node, SignedLabel::forward(label)).len()
+    }
+
+    /// In-degree of `node` under label `ℓ`.
+    pub fn in_degree(&self, node: NodeId, label: LabelId) -> usize {
+        self.neighbors(node, SignedLabel::backward(label)).len()
+    }
+
+    /// Total degree of `node` over every label and both directions.
+    pub fn total_degree(&self, node: NodeId) -> usize {
+        self.labels()
+            .map(|l| self.out_degree(node, l) + self.in_degree(node, l))
+            .sum()
+    }
+
+    /// `true` if the edge `ℓ(src, dst)` exists.
+    pub fn has_edge(&self, src: NodeId, label: LabelId, dst: NodeId) -> bool {
+        self.forward
+            .get(label.index())
+            .map(|csr| csr.contains(src, dst))
+            .unwrap_or(false)
+    }
+
+    /// Resolves a node name to its id.
+    pub fn node_id(&self, name: &str) -> Option<NodeId> {
+        self.node_dict.code(name).map(NodeId)
+    }
+
+    /// Resolves a node id back to its external name.
+    pub fn node_name(&self, node: NodeId) -> Option<&str> {
+        self.node_dict.name(node.0)
+    }
+
+    /// Resolves a label name to its id.
+    pub fn label_id(&self, name: &str) -> Option<LabelId> {
+        self.label_dict.code(name).map(|c| LabelId(c as u16))
+    }
+
+    /// Resolves a label id back to its external name.
+    pub fn label_name(&self, label: LabelId) -> Option<&str> {
+        self.label_dict.name(label.0 as u32)
+    }
+
+    /// All label names in id order.
+    pub fn label_names(&self) -> Vec<&str> {
+        self.label_dict.iter().map(|(_, s)| s).collect()
+    }
+
+    /// Number of edges carrying `label`.
+    pub fn label_edge_count(&self, label: LabelId) -> usize {
+        self.edges(label).len()
+    }
+
+    /// Renders a human-readable label-path string such as `knows/worksFor-`
+    /// for diagnostics and explain output.
+    pub fn format_signed_label(&self, sl: SignedLabel) -> String {
+        let name = self
+            .label_name(sl.label)
+            .map(str::to_owned)
+            .unwrap_or_else(|| format!("l{}", sl.label.0));
+        if sl.is_backward() {
+            format!("{name}-")
+        } else {
+            name
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn sample() -> Graph {
+        let mut b = GraphBuilder::new();
+        b.add_edge_named("ada", "knows", "jan");
+        b.add_edge_named("jan", "knows", "zoe");
+        b.add_edge_named("zoe", "worksFor", "ada");
+        b.add_edge_named("ada", "knows", "zoe");
+        b.build()
+    }
+
+    #[test]
+    fn counts() {
+        let g = sample();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.label_count(), 2);
+    }
+
+    #[test]
+    fn name_resolution_roundtrip() {
+        let g = sample();
+        for name in ["ada", "jan", "zoe"] {
+            let id = g.node_id(name).unwrap();
+            assert_eq!(g.node_name(id), Some(name));
+        }
+        for name in ["knows", "worksFor"] {
+            let id = g.label_id(name).unwrap();
+            assert_eq!(g.label_name(id), Some(name));
+        }
+        assert_eq!(g.node_id("nobody"), None);
+        assert_eq!(g.label_id("likes"), None);
+    }
+
+    #[test]
+    fn forward_and_backward_navigation() {
+        let g = sample();
+        let knows = g.label_id("knows").unwrap();
+        let ada = g.node_id("ada").unwrap();
+        let jan = g.node_id("jan").unwrap();
+        let zoe = g.node_id("zoe").unwrap();
+
+        assert_eq!(g.neighbors(ada, SignedLabel::forward(knows)), &[jan, zoe]);
+        assert_eq!(g.neighbors(zoe, SignedLabel::backward(knows)), &[ada, jan]);
+        assert_eq!(g.out_degree(ada, knows), 2);
+        assert_eq!(g.in_degree(zoe, knows), 2);
+        assert_eq!(g.total_degree(ada), 3);
+    }
+
+    #[test]
+    fn signed_pairs_are_sorted_and_converse() {
+        let g = sample();
+        let knows = g.label_id("knows").unwrap();
+        let fwd = g.signed_pairs(SignedLabel::forward(knows));
+        let bwd = g.signed_pairs(SignedLabel::backward(knows));
+        assert_eq!(fwd.len(), bwd.len());
+        let mut expect: Vec<_> = fwd.iter().map(|&(s, t)| (t, s)).collect();
+        expect.sort_unstable();
+        assert_eq!(bwd, expect);
+        assert!(fwd.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn has_edge_checks_direction_and_label() {
+        let g = sample();
+        let knows = g.label_id("knows").unwrap();
+        let works = g.label_id("worksFor").unwrap();
+        let ada = g.node_id("ada").unwrap();
+        let jan = g.node_id("jan").unwrap();
+        let zoe = g.node_id("zoe").unwrap();
+        assert!(g.has_edge(ada, knows, jan));
+        assert!(!g.has_edge(jan, knows, ada));
+        assert!(g.has_edge(zoe, works, ada));
+        assert!(!g.has_edge(zoe, knows, ada));
+    }
+
+    #[test]
+    fn signed_labels_enumerates_alphabet_in_order() {
+        let g = sample();
+        let alphabet: Vec<_> = g.signed_labels().collect();
+        assert_eq!(alphabet.len(), 4);
+        assert!(alphabet.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn format_signed_label_uses_names() {
+        let g = sample();
+        let knows = g.label_id("knows").unwrap();
+        assert_eq!(g.format_signed_label(SignedLabel::forward(knows)), "knows");
+        assert_eq!(g.format_signed_label(SignedLabel::backward(knows)), "knows-");
+    }
+}

@@ -1,0 +1,53 @@
+//! # pathix-graph
+//!
+//! Edge-labeled directed graph substrate used throughout pathix.
+//!
+//! The data model follows Section 2.1 of Fletcher, Peters and Poulovassilis,
+//! *Efficient regular path query evaluation using path indexes* (EDBT 2016):
+//! a graph over a vocabulary `L` assigns to every label `ℓ ∈ L` a finite
+//! binary edge relation over atomic data objects. Nodes and labels are
+//! interned into dense integer identifiers ([`NodeId`], [`LabelId`]) so that
+//! the rest of the system can operate on compact numeric keys.
+//!
+//! The central type is [`Graph`], an immutable snapshot with:
+//!
+//! * per-label edge lists sorted by `(source, target)`,
+//! * compressed-sparse-row adjacency in both directions (so that backwards
+//!   navigation `ℓ⁻` is as cheap as forwards navigation `ℓ`),
+//! * dictionaries mapping external node/label names to ids and back.
+//!
+//! Graphs are constructed through [`GraphBuilder`], loaded from simple
+//! whitespace-separated edge-list files via [`loader`], or generated
+//! synthetically by the `pathix-datagen` crate.
+//!
+//! ```
+//! use pathix_graph::{GraphBuilder, SignedLabel};
+//!
+//! let mut b = GraphBuilder::new();
+//! b.add_edge_named("ada", "knows", "jan");
+//! b.add_edge_named("jan", "worksFor", "ada");
+//! let g = b.build();
+//!
+//! assert_eq!(g.node_count(), 2);
+//! assert_eq!(g.edge_count(), 2);
+//! let knows = g.label_id("knows").unwrap();
+//! let ada = g.node_id("ada").unwrap();
+//! let out: Vec<_> = g.neighbors(ada, SignedLabel::forward(knows)).to_vec();
+//! assert_eq!(out.len(), 1);
+//! ```
+
+pub mod builder;
+pub mod csr;
+pub mod dict;
+pub mod graph;
+pub mod ids;
+pub mod loader;
+pub mod snapshot;
+
+pub use builder::GraphBuilder;
+pub use csr::Csr;
+pub use dict::Dictionary;
+pub use graph::Graph;
+pub use ids::{Direction, LabelId, NodeId, SignedLabel};
+pub use loader::{load_edge_list, load_edge_list_str, LoadError};
+pub use snapshot::GraphSnapshot;

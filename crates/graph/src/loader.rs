@@ -1,0 +1,186 @@
+//! Loading graphs from whitespace-separated edge-list files.
+//!
+//! The accepted format is one edge per line, `source label target`, separated
+//! by arbitrary whitespace. Blank lines and lines starting with `#` or `%`
+//! (the KONECT convention used by the Advogato dataset) are ignored.
+
+use crate::builder::GraphBuilder;
+use crate::graph::Graph;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Errors produced while loading an edge list.
+#[derive(Debug)]
+pub enum LoadError {
+    /// The underlying file could not be read.
+    Io(io::Error),
+    /// A non-comment line did not have exactly three whitespace-separated
+    /// fields. Carries the 1-based line number and the offending content.
+    Malformed { line: usize, content: String },
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "i/o error while loading edge list: {e}"),
+            LoadError::Malformed { line, content } => write!(
+                f,
+                "malformed edge list line {line}: expected `source label target`, got {content:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LoadError::Io(e) => Some(e),
+            LoadError::Malformed { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for LoadError {
+    fn from(e: io::Error) -> Self {
+        LoadError::Io(e)
+    }
+}
+
+/// Loads a graph from an edge-list file on disk.
+pub fn load_edge_list(path: impl AsRef<Path>) -> Result<Graph, LoadError> {
+    let text = fs::read_to_string(path)?;
+    load_edge_list_str(&text)
+}
+
+/// Parses a graph from an in-memory edge list.
+pub fn load_edge_list_str(text: &str) -> Result<Graph, LoadError> {
+    let mut builder = GraphBuilder::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let mut fields = line.split_whitespace();
+        let (src, label, dst) = match (fields.next(), fields.next(), fields.next(), fields.next())
+        {
+            (Some(s), Some(l), Some(d), None) => (s, l, d),
+            _ => {
+                return Err(LoadError::Malformed {
+                    line: idx + 1,
+                    content: raw.to_owned(),
+                })
+            }
+        };
+        builder.add_edge_named(src, label, dst);
+    }
+    Ok(builder.build())
+}
+
+/// Serializes a graph back to the edge-list text format, one edge per line in
+/// `(label, source, target)` order. The output round-trips through
+/// [`load_edge_list_str`].
+pub fn to_edge_list_string(graph: &Graph) -> String {
+    let mut out = String::new();
+    for label in graph.labels() {
+        let label_name = graph.label_name(label).unwrap_or("?");
+        for &(s, t) in graph.edges(label) {
+            let sn = graph.node_name(s).unwrap_or("?");
+            let tn = graph.node_name(t).unwrap_or("?");
+            out.push_str(sn);
+            out.push(' ');
+            out.push_str(label_name);
+            out.push(' ');
+            out.push_str(tn);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\n# a comment\n% another comment\nada knows jan\njan knows zoe\n zoe worksFor ada \n";
+
+    #[test]
+    fn loads_simple_edge_list() {
+        let g = load_edge_list_str(SAMPLE).unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.label_count(), 2);
+        let ada = g.node_id("ada").unwrap();
+        let jan = g.node_id("jan").unwrap();
+        let knows = g.label_id("knows").unwrap();
+        assert!(g.has_edge(ada, knows, jan));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        let err = load_edge_list_str("ada knows\n").unwrap_err();
+        match err {
+            LoadError::Malformed { line, .. } => assert_eq!(line, 1),
+            other => panic!("unexpected error {other:?}"),
+        }
+        let err = load_edge_list_str("a b c d\n").unwrap_err();
+        assert!(matches!(err, LoadError::Malformed { .. }));
+    }
+
+    #[test]
+    fn empty_input_gives_empty_graph() {
+        let g = load_edge_list_str("").unwrap();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn roundtrip_through_text() {
+        let g = load_edge_list_str(SAMPLE).unwrap();
+        let text = to_edge_list_string(&g);
+        let g2 = load_edge_list_str(&text).unwrap();
+        assert_eq!(g.node_count(), g2.node_count());
+        assert_eq!(g.edge_count(), g2.edge_count());
+        assert_eq!(g.label_count(), g2.label_count());
+        for label in g.labels() {
+            let name = g.label_name(label).unwrap();
+            let l2 = g2.label_id(name).unwrap();
+            let mut pairs1: Vec<(String, String)> = g
+                .edges(label)
+                .iter()
+                .map(|&(s, t)| {
+                    (
+                        g.node_name(s).unwrap().to_owned(),
+                        g.node_name(t).unwrap().to_owned(),
+                    )
+                })
+                .collect();
+            let mut pairs2: Vec<(String, String)> = g2
+                .edges(l2)
+                .iter()
+                .map(|&(s, t)| {
+                    (
+                        g2.node_name(s).unwrap().to_owned(),
+                        g2.node_name(t).unwrap().to_owned(),
+                    )
+                })
+                .collect();
+            pairs1.sort();
+            pairs2.sort();
+            assert_eq!(pairs1, pairs2);
+        }
+    }
+
+    #[test]
+    fn load_from_file_and_io_error() {
+        let dir = std::env::temp_dir().join("pathix_graph_loader_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.edges");
+        std::fs::write(&path, SAMPLE).unwrap();
+        let g = load_edge_list(&path).unwrap();
+        assert_eq!(g.edge_count(), 3);
+        let missing = dir.join("does_not_exist.edges");
+        assert!(matches!(load_edge_list(&missing), Err(LoadError::Io(_))));
+    }
+}

@@ -1,0 +1,808 @@
+//! Incremental maintenance of the k-path index under edge updates.
+//!
+//! The paper builds `I_{G,k}` once over a static graph; keeping the index
+//! consistent while the graph changes is the natural follow-up (and the cost
+//! the paper's §3.1 footnote on index construction implicitly defers). This
+//! module implements **counting-based view maintenance** for the k-path
+//! index: every stored `⟨p, a, b⟩` entry carries the number of distinct walks
+//! of shape `p` from `a` to `b`, so that
+//!
+//! * inserting an edge adds, for every label path `p` of length ≤ k and every
+//!   position at which the new edge can participate, the product of the walk
+//!   counts of the prefix (evaluated on the *old* graph) and of the suffix
+//!   (evaluated on the *new* graph) — the standard telescoping delta rule;
+//! * deleting an edge subtracts the symmetric products, and an entry is
+//!   removed only when its walk count reaches zero, which is exactly when no
+//!   alternative walk realizes the pair.
+//!
+//! Because the prefix/suffix walks live inside the k-neighborhood of the
+//! updated edge, a single update touches only that neighborhood rather than
+//! the whole index.
+//!
+//! The maintained key set is identical to [`crate::KPathIndex`] built from
+//! scratch over the same graph (property-tested in this module and in the
+//! integration suite); the histogram is *not* maintained incrementally —
+//! callers refresh [`crate::PathHistogram`] from
+//! [`IncrementalKPathIndex::per_path_counts`] at whatever cadence their
+//! optimizer needs.
+
+use crate::pathkey::{decode_pair, encode_entry, encode_path_prefix};
+use pathix_graph::{Graph, LabelId, NodeId, SignedLabel};
+use pathix_storage::BPlusTree;
+use std::collections::HashMap;
+
+/// An edge update applied to an [`IncrementalKPathIndex`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphUpdate {
+    /// Insert the edge `src --label--> dst` (no-op if already present).
+    InsertEdge {
+        /// Source node.
+        src: NodeId,
+        /// Edge label.
+        label: LabelId,
+        /// Target node.
+        dst: NodeId,
+    },
+    /// Delete the edge `src --label--> dst` (no-op if absent).
+    DeleteEdge {
+        /// Source node.
+        src: NodeId,
+        /// Edge label.
+        label: LabelId,
+        /// Target node.
+        dst: NodeId,
+    },
+}
+
+/// Dynamic adjacency over set-semantics labeled edges.
+///
+/// Neighbor lists are kept sorted so that walk expansion is deterministic and
+/// membership checks are logarithmic.
+#[derive(Debug, Clone, Default)]
+struct DynAdjacency {
+    /// `(node, signed label) → sorted neighbor list`.
+    succ: HashMap<(NodeId, SignedLabel), Vec<NodeId>>,
+    edge_count: usize,
+    max_label: Option<LabelId>,
+}
+
+impl DynAdjacency {
+    fn contains(&self, src: NodeId, label: LabelId, dst: NodeId) -> bool {
+        self.succ
+            .get(&(src, SignedLabel::forward(label)))
+            .is_some_and(|v| v.binary_search(&dst).is_ok())
+    }
+
+    fn insert(&mut self, src: NodeId, label: LabelId, dst: NodeId) -> bool {
+        if self.contains(src, label, dst) {
+            return false;
+        }
+        for (from, sl, to) in [
+            (src, SignedLabel::forward(label), dst),
+            (dst, SignedLabel::backward(label), src),
+        ] {
+            let list = self.succ.entry((from, sl)).or_default();
+            let pos = list.binary_search(&to).unwrap_err();
+            list.insert(pos, to);
+        }
+        self.edge_count += 1;
+        self.max_label = Some(self.max_label.map_or(label, |m| m.max(label)));
+        true
+    }
+
+    fn remove(&mut self, src: NodeId, label: LabelId, dst: NodeId) -> bool {
+        if !self.contains(src, label, dst) {
+            return false;
+        }
+        for (from, sl, to) in [
+            (src, SignedLabel::forward(label), dst),
+            (dst, SignedLabel::backward(label), src),
+        ] {
+            let list = self.succ.get_mut(&(from, sl)).expect("edge present");
+            let pos = list.binary_search(&to).expect("edge present");
+            list.remove(pos);
+            if list.is_empty() {
+                self.succ.remove(&(from, sl));
+            }
+        }
+        self.edge_count -= 1;
+        true
+    }
+
+    fn neighbors(&self, node: NodeId, sl: SignedLabel) -> &[NodeId] {
+        self.succ.get(&(node, sl)).map_or(&[], Vec::as_slice)
+    }
+}
+
+/// A k-path index that stays consistent under edge insertions and deletions.
+///
+/// Unlike [`crate::KPathIndex`] (bulk-built, read-only), this index stores a
+/// walk count per `⟨p, a, b⟩` entry and applies counting delta rules on every
+/// update, so the visible pair sets always equal what a full rebuild over the
+/// current edge set would produce.
+///
+/// ```
+/// use pathix_graph::{LabelId, NodeId};
+/// use pathix_index::IncrementalKPathIndex;
+///
+/// let mut index = IncrementalKPathIndex::new(2);
+/// let knows = LabelId(0);
+/// index.insert_edge(NodeId(0), knows, NodeId(1));
+/// index.insert_edge(NodeId(1), knows, NodeId(2));
+/// let kk: Vec<_> = index.scan_path(&[knows.into(), knows.into()]);
+/// assert_eq!(kk, vec![(NodeId(0), NodeId(2))]);
+/// index.delete_edge(NodeId(1), knows, NodeId(2));
+/// assert!(index.scan_path(&[knows.into(), knows.into()]).is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct IncrementalKPathIndex {
+    k: usize,
+    adj: DynAdjacency,
+    /// `⟨p, a, b⟩ → walk count` (count stored as little-endian `u64`).
+    tree: BPlusTree,
+    /// Distinct pair count per indexed path (only non-empty paths).
+    per_path: HashMap<Vec<SignedLabel>, u64>,
+    inserts_applied: u64,
+    deletes_applied: u64,
+}
+
+impl IncrementalKPathIndex {
+    /// Creates an empty index with locality parameter `k ≥ 1`.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "the k-path index requires k ≥ 1");
+        IncrementalKPathIndex {
+            k,
+            adj: DynAdjacency::default(),
+            tree: BPlusTree::new(),
+            per_path: HashMap::new(),
+            inserts_applied: 0,
+            deletes_applied: 0,
+        }
+    }
+
+    /// Builds the index over an existing graph by replaying its edges as
+    /// insertions. The resulting pair sets are identical to
+    /// [`crate::KPathIndex::build`] over the same graph.
+    pub fn from_graph(graph: &Graph, k: usize) -> Self {
+        let mut index = Self::new(k);
+        for label in graph.labels() {
+            for &(src, dst) in graph.edges(label) {
+                index.insert_edge(src, label, dst);
+            }
+        }
+        index
+    }
+
+    /// The locality parameter k.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of edges currently in the maintained graph.
+    pub fn edge_count(&self) -> usize {
+        self.adj.edge_count
+    }
+
+    /// Number of `⟨p, a, b⟩` entries currently stored.
+    pub fn entry_count(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// Number of distinct non-empty label paths with at least one pair.
+    pub fn distinct_paths(&self) -> usize {
+        self.per_path.len()
+    }
+
+    /// Number of insert / delete updates applied so far (no-ops excluded).
+    pub fn updates_applied(&self) -> (u64, u64) {
+        (self.inserts_applied, self.deletes_applied)
+    }
+
+    /// Whether the maintained graph currently contains the edge.
+    pub fn has_edge(&self, src: NodeId, label: LabelId, dst: NodeId) -> bool {
+        self.adj.contains(src, label, dst)
+    }
+
+    /// Exact distinct-pair cardinalities `(p, |p(G)|)`, the raw material for
+    /// rebuilding a [`crate::PathHistogram`] after a batch of updates.
+    pub fn per_path_counts(&self) -> Vec<(Vec<SignedLabel>, u64)> {
+        let mut counts: Vec<_> = self
+            .per_path
+            .iter()
+            .map(|(p, c)| (p.clone(), *c))
+            .collect();
+        counts.sort_by(|a, b| (a.0.len(), &a.0).cmp(&(b.0.len(), &b.0)));
+        counts
+    }
+
+    /// `I_{G,k}(⟨p⟩)`: the current pairs of `p(G)` in `(source, target)`
+    /// order.
+    ///
+    /// Panics if `path` is empty or longer than k, mirroring
+    /// [`crate::KPathIndex::scan_path`].
+    pub fn scan_path(&self, path: &[SignedLabel]) -> Vec<(NodeId, NodeId)> {
+        assert!(
+            !path.is_empty() && path.len() <= self.k,
+            "scan_path expects a path of length 1..=k"
+        );
+        let prefix = encode_path_prefix(path);
+        self.tree
+            .scan_prefix(&prefix)
+            .map(|(key, _)| decode_pair(key))
+            .collect()
+    }
+
+    /// Membership test for `⟨p, a, b⟩`.
+    pub fn contains(&self, path: &[SignedLabel], source: NodeId, target: NodeId) -> bool {
+        self.tree.contains_key(&encode_entry(path, source, target))
+    }
+
+    /// Number of distinct walks of shape `path` from `source` to `target`
+    /// (zero if the pair is not in the index).
+    pub fn walk_count(&self, path: &[SignedLabel], source: NodeId, target: NodeId) -> u64 {
+        self.tree
+            .get(&encode_entry(path, source, target))
+            .map_or(0, decode_count)
+    }
+
+    /// Applies a single update, returning `true` if it changed the graph.
+    pub fn apply(&mut self, update: GraphUpdate) -> bool {
+        match update {
+            GraphUpdate::InsertEdge { src, label, dst } => self.insert_edge(src, label, dst),
+            GraphUpdate::DeleteEdge { src, label, dst } => self.delete_edge(src, label, dst),
+        }
+    }
+
+    /// Inserts the edge `src --label--> dst`, updating every affected index
+    /// entry. Returns `false` (and changes nothing) if the edge was already
+    /// present.
+    pub fn insert_edge(&mut self, src: NodeId, label: LabelId, dst: NodeId) -> bool {
+        if !self.adj.insert(src, label, dst) {
+            return false;
+        }
+        // Prefixes are evaluated on the old graph (new graph minus the edge),
+        // suffixes on the new graph: Δ(R₁⋯Rₙ) = Σᵢ R₁ᵒ⋯Rᵢ₋₁ᵒ · Δe · Rᵢ₊₁ⁿ⋯Rₙⁿ.
+        let delta = self.edge_delta(src, label, dst);
+        for (key, count) in delta {
+            self.add_to_entry(&key, count);
+        }
+        self.inserts_applied += 1;
+        true
+    }
+
+    /// Deletes the edge `src --label--> dst`, updating every affected index
+    /// entry. Returns `false` (and changes nothing) if the edge was absent.
+    pub fn delete_edge(&mut self, src: NodeId, label: LabelId, dst: NodeId) -> bool {
+        if !self.adj.contains(src, label, dst) {
+            return false;
+        }
+        // The deletion delta mirrors insertion with old/new swapped:
+        // prefixes on the new graph (old minus the edge), suffixes on the old
+        // graph — which is exactly `edge_delta` evaluated *before* the edge is
+        // removed from the adjacency.
+        let delta = self.edge_delta(src, label, dst);
+        for (key, count) in delta {
+            self.subtract_from_entry(&key, count);
+        }
+        self.adj.remove(src, label, dst);
+        self.deletes_applied += 1;
+        true
+    }
+
+    /// Walk-count deltas contributed by the edge `src --label--> dst` for
+    /// every label path of length ≤ k, with path prefixes evaluated on the
+    /// adjacency *excluding* the edge and suffixes on the adjacency as-is.
+    fn edge_delta(&self, src: NodeId, label: LabelId, dst: NodeId) -> Vec<(Vec<u8>, u64)> {
+        let excluded = (src, label, dst);
+        let mut delta: HashMap<(Vec<SignedLabel>, NodeId, NodeId), u64> = HashMap::new();
+
+        // The two orientations in which the edge can realize a path step: a
+        // `+ℓ` step gains the pair (src, dst), a `ℓ⁻` step gains (dst, src).
+        // Every (path, position) combination is covered by exactly one of
+        // them, so there is no double counting (including self-loops).
+        let orientations = [
+            (SignedLabel::forward(label), src, dst),
+            (SignedLabel::backward(label), dst, src),
+        ];
+        for (step, step_from, step_to) in orientations {
+            // All (prefix, suffix) shapes around the step, |prefix| + 1 +
+            // |suffix| ≤ k. Prefix walks end at `step_from` on the old graph;
+            // suffix walks start at `step_to` on the new graph.
+            let prefixes = self.walks_by_path(step_from, self.k - 1, true, Some(excluded));
+            let suffixes = self.walks_by_path(step_to, self.k - 1, false, None);
+            for (prefix, sources) in &prefixes {
+                for (suffix, targets) in &suffixes {
+                    if prefix.len() + 1 + suffix.len() > self.k {
+                        continue;
+                    }
+                    let mut path = Vec::with_capacity(prefix.len() + 1 + suffix.len());
+                    path.extend_from_slice(prefix);
+                    path.push(step);
+                    path.extend_from_slice(suffix);
+                    for (&a, &ca) in sources {
+                        for (&b, &cb) in targets {
+                            *delta.entry((path.clone(), a, b)).or_insert(0) += ca * cb;
+                        }
+                    }
+                }
+            }
+        }
+        delta
+            .into_iter()
+            .map(|((path, a, b), c)| (encode_entry(&path, a, b), c))
+            .collect()
+    }
+
+    /// Enumerates, for every label path `q` with `|q| ≤ max_len`, the walk
+    /// counts between `anchor` and the far endpoint.
+    ///
+    /// With `toward_anchor = false` the result maps `q → {end ↦ #walks of q
+    /// from anchor to end}`; with `toward_anchor = true` it maps `q → {start ↦
+    /// #walks of q from start to anchor}`. `excluded`, if set, removes one
+    /// concrete edge from the traversed graph (in both directions).
+    fn walks_by_path(
+        &self,
+        anchor: NodeId,
+        max_len: usize,
+        toward_anchor: bool,
+        excluded: Option<(NodeId, LabelId, NodeId)>,
+    ) -> Vec<(Vec<SignedLabel>, HashMap<NodeId, u64>)> {
+        let mut base = HashMap::new();
+        base.insert(anchor, 1u64);
+        let mut result = vec![(Vec::new(), base)];
+        let alphabet = self.signed_alphabet();
+        let mut frontier = 0;
+        while frontier < result.len() {
+            let (path, counts) = result[frontier].clone();
+            frontier += 1;
+            if path.len() == max_len {
+                continue;
+            }
+            for &sl in &alphabet {
+                // Walking *toward* the anchor extends the path on the left and
+                // traverses the new first step backwards; walking away extends
+                // on the right and traverses it forwards.
+                let traverse = if toward_anchor { sl.inverse() } else { sl };
+                let mut next: HashMap<NodeId, u64> = HashMap::new();
+                for (&node, &count) in &counts {
+                    for &to in self.adj.neighbors(node, traverse) {
+                        if is_excluded(excluded, node, traverse, to) {
+                            continue;
+                        }
+                        *next.entry(to).or_insert(0) += count;
+                    }
+                }
+                if next.is_empty() {
+                    continue;
+                }
+                let mut next_path = Vec::with_capacity(path.len() + 1);
+                if toward_anchor {
+                    next_path.push(sl);
+                    next_path.extend_from_slice(&path);
+                } else {
+                    next_path.extend_from_slice(&path);
+                    next_path.push(sl);
+                }
+                result.push((next_path, next));
+            }
+        }
+        result
+    }
+
+    fn signed_alphabet(&self) -> Vec<SignedLabel> {
+        let Some(max) = self.adj.max_label else {
+            return Vec::new();
+        };
+        (0..=max.0)
+            .flat_map(|l| {
+                [
+                    SignedLabel::forward(LabelId(l)),
+                    SignedLabel::backward(LabelId(l)),
+                ]
+            })
+            .collect()
+    }
+
+    fn add_to_entry(&mut self, key: &[u8], delta: u64) {
+        debug_assert!(delta > 0);
+        let existing = self.tree.get(key).map(decode_count);
+        match existing {
+            Some(count) => {
+                self.tree.insert(key.to_vec(), encode_count(count + delta));
+            }
+            None => {
+                self.tree.insert(key.to_vec(), encode_count(delta));
+                let (path, _, _) =
+                    crate::pathkey::decode_entry(key).expect("index keys are well-formed");
+                *self.per_path.entry(path).or_insert(0) += 1;
+            }
+        }
+    }
+
+    fn subtract_from_entry(&mut self, key: &[u8], delta: u64) {
+        let count = self
+            .tree
+            .get(key)
+            .map(decode_count)
+            .expect("deletion delta must target an existing entry");
+        debug_assert!(count >= delta, "walk counts must not go negative");
+        if count > delta {
+            self.tree.insert(key.to_vec(), encode_count(count - delta));
+        } else {
+            self.tree.delete(key);
+            let (path, _, _) =
+                crate::pathkey::decode_entry(key).expect("index keys are well-formed");
+            if let Some(pairs) = self.per_path.get_mut(&path) {
+                *pairs -= 1;
+                if *pairs == 0 {
+                    self.per_path.remove(&path);
+                }
+            }
+        }
+    }
+}
+
+#[inline]
+fn is_excluded(
+    excluded: Option<(NodeId, LabelId, NodeId)>,
+    from: NodeId,
+    sl: SignedLabel,
+    to: NodeId,
+) -> bool {
+    let Some((src, label, dst)) = excluded else {
+        return false;
+    };
+    if sl.label != label {
+        return false;
+    }
+    if sl.is_backward() {
+        from == dst && to == src
+    } else {
+        from == src && to == dst
+    }
+}
+
+#[inline]
+fn encode_count(count: u64) -> Vec<u8> {
+    count.to_le_bytes().to_vec()
+}
+
+#[inline]
+fn decode_count(value: &[u8]) -> u64 {
+    let mut bytes = [0u8; 8];
+    bytes.copy_from_slice(value);
+    u64::from_le_bytes(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::KPathIndex;
+    use pathix_datagen::paper_example_graph;
+    use std::collections::BTreeSet;
+
+    type Edge = (NodeId, LabelId, NodeId);
+
+    /// Reference oracle: distinct pairs of `path` over an explicit edge set.
+    fn oracle_pairs(edges: &BTreeSet<Edge>, path: &[SignedLabel]) -> Vec<(NodeId, NodeId)> {
+        let step = |node: NodeId, sl: SignedLabel| -> Vec<NodeId> {
+            edges
+                .iter()
+                .filter_map(|&(s, l, d)| {
+                    if l != sl.label {
+                        return None;
+                    }
+                    if sl.is_backward() {
+                        (d == node).then_some(s)
+                    } else {
+                        (s == node).then_some(d)
+                    }
+                })
+                .collect()
+        };
+        let nodes: BTreeSet<NodeId> = edges.iter().flat_map(|&(s, _, d)| [s, d]).collect();
+        let mut pairs: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
+        for &start in &nodes {
+            let mut frontier = vec![start];
+            for &sl in path {
+                let mut next = Vec::new();
+                for node in frontier {
+                    next.extend(step(node, sl));
+                }
+                next.sort_unstable();
+                next.dedup();
+                frontier = next;
+            }
+            pairs.extend(frontier.into_iter().map(|end| (start, end)));
+        }
+        pairs.into_iter().collect()
+    }
+
+    /// All signed paths of length 1..=k over labels `0..labels`.
+    fn all_paths(labels: u16, k: usize) -> Vec<Vec<SignedLabel>> {
+        let alphabet: Vec<SignedLabel> = (0..labels)
+            .flat_map(|l| {
+                [
+                    SignedLabel::forward(LabelId(l)),
+                    SignedLabel::backward(LabelId(l)),
+                ]
+            })
+            .collect();
+        let mut result: Vec<Vec<SignedLabel>> = Vec::new();
+        let mut level: Vec<Vec<SignedLabel>> = vec![Vec::new()];
+        for _ in 0..k {
+            let mut next = Vec::new();
+            for p in &level {
+                for &sl in &alphabet {
+                    let mut q = p.clone();
+                    q.push(sl);
+                    next.push(q);
+                }
+            }
+            result.extend(next.iter().cloned());
+            level = next;
+        }
+        result
+    }
+
+    fn assert_matches_oracle(index: &IncrementalKPathIndex, edges: &BTreeSet<Edge>, labels: u16) {
+        for path in all_paths(labels, index.k()) {
+            let expected = oracle_pairs(edges, &path);
+            let actual = index.scan_path(&path);
+            assert_eq!(actual, expected, "pair set mismatch for path {path:?}");
+        }
+    }
+
+    #[test]
+    fn from_graph_matches_bulk_built_index() {
+        let g = paper_example_graph();
+        for k in 1..=3 {
+            let bulk = KPathIndex::build(&g, k);
+            let incremental = IncrementalKPathIndex::from_graph(&g, k);
+            assert_eq!(incremental.entry_count(), bulk.stats().entries);
+            assert_eq!(incremental.distinct_paths(), bulk.stats().distinct_paths);
+            for (path, count) in bulk.per_path_counts() {
+                let expected: Vec<_> = bulk.scan_path(path).collect();
+                assert_eq!(incremental.scan_path(path), expected, "path {path:?}");
+                let incr_count = incremental
+                    .per_path_counts()
+                    .iter()
+                    .find(|(p, _)| p == path)
+                    .map(|(_, c)| *c);
+                assert_eq!(incr_count, Some(*count));
+            }
+        }
+    }
+
+    #[test]
+    fn insertions_match_rebuild_after_every_step() {
+        let knows = LabelId(0);
+        let likes = LabelId(1);
+        let script: Vec<Edge> = vec![
+            (NodeId(0), knows, NodeId(1)),
+            (NodeId(1), knows, NodeId(2)),
+            (NodeId(2), likes, NodeId(0)),
+            (NodeId(0), likes, NodeId(3)),
+            (NodeId(3), knows, NodeId(0)),
+            (NodeId(2), knows, NodeId(2)),
+            (NodeId(1), likes, NodeId(3)),
+        ];
+        let mut index = IncrementalKPathIndex::new(3);
+        let mut edges = BTreeSet::new();
+        for edge in script {
+            assert!(index.insert_edge(edge.0, edge.1, edge.2));
+            edges.insert(edge);
+            assert_matches_oracle(&index, &edges, 2);
+        }
+    }
+
+    #[test]
+    fn deletions_match_rebuild_after_every_step() {
+        let g = paper_example_graph();
+        let mut index = IncrementalKPathIndex::from_graph(&g, 2);
+        let mut edges: BTreeSet<Edge> = g
+            .labels()
+            .flat_map(|l| g.edges(l).iter().map(move |&(s, d)| (s, l, d)))
+            .collect();
+        let labels = g.label_count() as u16;
+        let script: Vec<Edge> = edges.iter().copied().step_by(3).collect();
+        for edge in script {
+            assert!(index.delete_edge(edge.0, edge.1, edge.2));
+            edges.remove(&edge);
+            assert_matches_oracle(&index, &edges, labels);
+        }
+    }
+
+    #[test]
+    fn deleting_everything_empties_the_index() {
+        let g = paper_example_graph();
+        let mut index = IncrementalKPathIndex::from_graph(&g, 3);
+        for label in g.labels() {
+            for &(src, dst) in g.edges(label) {
+                assert!(index.delete_edge(src, label, dst));
+            }
+        }
+        assert_eq!(index.entry_count(), 0);
+        assert_eq!(index.distinct_paths(), 0);
+        assert_eq!(index.edge_count(), 0);
+    }
+
+    #[test]
+    fn insert_then_delete_restores_previous_state() {
+        let g = paper_example_graph();
+        let mut index = IncrementalKPathIndex::from_graph(&g, 2);
+        let before_entries = index.entry_count();
+        let before_counts = index.per_path_counts();
+        let knows = g.label_id("knows").unwrap();
+        let sue = g.node_id("sue").unwrap();
+        let tim = g.node_id("tim").unwrap();
+        assert!(!g.has_edge(sue, knows, tim));
+        assert!(index.insert_edge(sue, knows, tim));
+        assert_ne!(index.entry_count(), before_entries);
+        assert!(index.delete_edge(sue, knows, tim));
+        assert_eq!(index.entry_count(), before_entries);
+        assert_eq!(index.per_path_counts(), before_counts);
+    }
+
+    #[test]
+    fn duplicate_insert_and_absent_delete_are_noops() {
+        let knows = LabelId(0);
+        let mut index = IncrementalKPathIndex::new(2);
+        assert!(index.insert_edge(NodeId(0), knows, NodeId(1)));
+        let entries = index.entry_count();
+        assert!(!index.insert_edge(NodeId(0), knows, NodeId(1)));
+        assert_eq!(index.entry_count(), entries);
+        assert!(!index.delete_edge(NodeId(5), knows, NodeId(6)));
+        assert_eq!(index.entry_count(), entries);
+        assert_eq!(index.updates_applied(), (1, 0));
+    }
+
+    #[test]
+    fn pair_survives_while_an_alternative_walk_exists() {
+        // Two length-2 walks from 0 to 3: via 1 and via 2. Deleting one leg
+        // must keep (0, 3) in the k=2 relation; deleting both removes it.
+        let l = LabelId(0);
+        let mut index = IncrementalKPathIndex::new(2);
+        index.insert_edge(NodeId(0), l, NodeId(1));
+        index.insert_edge(NodeId(1), l, NodeId(3));
+        index.insert_edge(NodeId(0), l, NodeId(2));
+        index.insert_edge(NodeId(2), l, NodeId(3));
+        let ll = [SignedLabel::forward(l), SignedLabel::forward(l)];
+        assert_eq!(index.walk_count(&ll, NodeId(0), NodeId(3)), 2);
+        index.delete_edge(NodeId(1), l, NodeId(3));
+        assert!(index.contains(&ll, NodeId(0), NodeId(3)));
+        assert_eq!(index.walk_count(&ll, NodeId(0), NodeId(3)), 1);
+        index.delete_edge(NodeId(2), l, NodeId(3));
+        assert!(!index.contains(&ll, NodeId(0), NodeId(3)));
+    }
+
+    #[test]
+    fn self_loops_are_counted_once_per_walk() {
+        let l = LabelId(0);
+        let mut index = IncrementalKPathIndex::new(3);
+        index.insert_edge(NodeId(7), l, NodeId(7));
+        let edges: BTreeSet<Edge> = [(NodeId(7), l, NodeId(7))].into_iter().collect();
+        assert_matches_oracle(&index, &edges, 1);
+        // One loop edge yields exactly one walk of each length n: the loop
+        // traversed n times (forwards or backwards per step).
+        let p = [SignedLabel::forward(l), SignedLabel::backward(l)];
+        assert_eq!(index.walk_count(&p, NodeId(7), NodeId(7)), 1);
+        index.delete_edge(NodeId(7), l, NodeId(7));
+        assert_eq!(index.entry_count(), 0);
+    }
+
+    #[test]
+    fn scan_output_is_sorted_by_source_then_target() {
+        let g = paper_example_graph();
+        let index = IncrementalKPathIndex::from_graph(&g, 2);
+        let knows = SignedLabel::forward(g.label_id("knows").unwrap());
+        let pairs = index.scan_path(&[knows, knows]);
+        assert!(!pairs.is_empty());
+        assert!(pairs.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn apply_dispatches_updates() {
+        let l = LabelId(0);
+        let mut index = IncrementalKPathIndex::new(1);
+        assert!(index.apply(GraphUpdate::InsertEdge {
+            src: NodeId(0),
+            label: l,
+            dst: NodeId(1),
+        }));
+        assert!(index.has_edge(NodeId(0), l, NodeId(1)));
+        assert!(index.apply(GraphUpdate::DeleteEdge {
+            src: NodeId(0),
+            label: l,
+            dst: NodeId(1),
+        }));
+        assert!(!index.has_edge(NodeId(0), l, NodeId(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "length 1..=k")]
+    fn scanning_longer_than_k_panics() {
+        let index = IncrementalKPathIndex::new(1);
+        let l = SignedLabel::forward(LabelId(0));
+        let _ = index.scan_path(&[l, l]);
+    }
+
+    #[test]
+    #[should_panic(expected = "k ≥ 1")]
+    fn k_zero_is_rejected() {
+        let _ = IncrementalKPathIndex::new(0);
+    }
+
+    mod property {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// A random update script over ≤ 5 nodes and 2 labels; deletions pick
+        /// arbitrary edges and are skipped when absent, so scripts freely mix
+        /// effective and no-op updates.
+        fn update_strategy() -> impl Strategy<Value = GraphUpdate> {
+            (0u32..5, 0u16..2, 0u32..5, proptest::bool::ANY).prop_map(|(s, l, d, insert)| {
+                if insert {
+                    GraphUpdate::InsertEdge {
+                        src: NodeId(s),
+                        label: LabelId(l),
+                        dst: NodeId(d),
+                    }
+                } else {
+                    GraphUpdate::DeleteEdge {
+                        src: NodeId(s),
+                        label: LabelId(l),
+                        dst: NodeId(d),
+                    }
+                }
+            })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// After any update script, every path's pair set equals a fresh
+            /// evaluation over the surviving edge set.
+            #[test]
+            fn random_update_scripts_match_oracle(
+                script in proptest::collection::vec(update_strategy(), 1..40),
+                k in 1usize..=3,
+            ) {
+                let mut index = IncrementalKPathIndex::new(k);
+                let mut edges: BTreeSet<Edge> = BTreeSet::new();
+                for update in script {
+                    let changed = index.apply(update);
+                    let expected_change = match update {
+                        GraphUpdate::InsertEdge { src, label, dst } => edges.insert((src, label, dst)),
+                        GraphUpdate::DeleteEdge { src, label, dst } => edges.remove(&(src, label, dst)),
+                    };
+                    prop_assert_eq!(changed, expected_change);
+                }
+                for path in all_paths(2, k) {
+                    prop_assert_eq!(index.scan_path(&path), oracle_pairs(&edges, &path));
+                }
+            }
+
+            /// Walk counts are symmetric under path inversion: the number of
+            /// p-walks a→b equals the number of p⁻-walks b→a.
+            #[test]
+            fn walk_counts_are_converse_symmetric(
+                script in proptest::collection::vec(update_strategy(), 1..25),
+            ) {
+                let mut index = IncrementalKPathIndex::new(2);
+                for update in script {
+                    index.apply(update);
+                }
+                for path in all_paths(2, 2) {
+                    let inv = pathix_rpq::ast::inverse_path(&path);
+                    for (a, b) in index.scan_path(&path) {
+                        prop_assert_eq!(
+                            index.walk_count(&path, a, b),
+                            index.walk_count(&inv, b, a)
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,325 @@
+//! The localized k-path index `I_{G,k}`.
+
+use crate::enumerate::{enumerate_paths, paths_k_cardinality, PathRelation};
+use crate::pathkey::{
+    decode_pair, encode_entry, encode_path_prefix, encode_path_source_prefix,
+};
+use pathix_graph::{Graph, NodeId, SignedLabel};
+use pathix_storage::btree::RangeIter;
+use pathix_storage::BPlusTree;
+use std::time::{Duration, Instant};
+
+/// Statistics describing a built index.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IndexStats {
+    /// The locality parameter k.
+    pub k: usize,
+    /// Number of `⟨p, a, b⟩` entries stored.
+    pub entries: usize,
+    /// Number of distinct non-empty label paths indexed.
+    pub distinct_paths: usize,
+    /// `|paths_k(G)|`, the selectivity denominator.
+    pub paths_k_size: u64,
+    /// Depth of the backing B+tree.
+    pub tree_depth: usize,
+    /// Number of B+tree nodes.
+    pub tree_nodes: usize,
+    /// Approximate size of the stored keys in bytes.
+    pub approx_bytes: usize,
+    /// Wall-clock time spent building the index.
+    pub build_time: Duration,
+}
+
+/// The k-path index: a B+tree over `⟨label path, sourceID, targetID⟩` keys.
+///
+/// See the crate documentation for an overview; [`KPathIndex::build`]
+/// materializes all path relations of length ≤ k and bulk-loads them.
+#[derive(Debug, Clone)]
+pub struct KPathIndex {
+    k: usize,
+    tree: BPlusTree,
+    node_count: usize,
+    per_path_counts: Vec<(Vec<SignedLabel>, u64)>,
+    paths_k_size: u64,
+    build_time: Duration,
+}
+
+impl KPathIndex {
+    /// Builds the index over `graph` for locality parameter `k ≥ 1`.
+    pub fn build(graph: &Graph, k: usize) -> Self {
+        let start = Instant::now();
+        let relations = enumerate_paths(graph, k);
+        let paths_k_size = paths_k_cardinality(graph, &relations);
+        Self::from_relations(graph, k, relations, paths_k_size, start)
+    }
+
+    /// Builds the index from pre-computed relations. Exposed so callers that
+    /// already enumerated paths (e.g. to build the histogram with a custom
+    /// mode) do not pay for enumeration twice.
+    pub fn build_from_relations(
+        graph: &Graph,
+        k: usize,
+        relations: Vec<PathRelation>,
+    ) -> Self {
+        let start = Instant::now();
+        let paths_k_size = paths_k_cardinality(graph, &relations);
+        Self::from_relations(graph, k, relations, paths_k_size, start)
+    }
+
+    fn from_relations(
+        graph: &Graph,
+        k: usize,
+        relations: Vec<PathRelation>,
+        paths_k_size: u64,
+        start: Instant,
+    ) -> Self {
+        let mut per_path_counts = Vec::with_capacity(relations.len());
+        let mut entries: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+        for rel in &relations {
+            per_path_counts.push((rel.path.clone(), rel.pairs.len() as u64));
+            for &(a, b) in &rel.pairs {
+                entries.push((encode_entry(&rel.path, a, b), Vec::new()));
+            }
+        }
+        // Relations are sorted by (length, path) and pairs by (src, dst); the
+        // key encoding preserves that order within a path, but paths of
+        // different lengths interleave lexicographically, so sort before the
+        // bulk load.
+        entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        let tree = BPlusTree::bulk_load(entries);
+        KPathIndex {
+            k,
+            tree,
+            node_count: graph.node_count(),
+            per_path_counts,
+            paths_k_size,
+            build_time: start.elapsed(),
+        }
+    }
+
+    /// The locality parameter k.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of nodes of the indexed graph.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// `|paths_k(G)|` — the selectivity denominator.
+    pub fn paths_k_size(&self) -> u64 {
+        self.paths_k_size
+    }
+
+    /// Exact per-path cardinalities `(p, |p(G)|)` gathered during the build;
+    /// the raw material for [`crate::PathHistogram`].
+    pub fn per_path_counts(&self) -> &[(Vec<SignedLabel>, u64)] {
+        &self.per_path_counts
+    }
+
+    /// `I_{G,k}(⟨p⟩)`: all pairs of `p(G)` in `(source, target)` order.
+    ///
+    /// Panics if `path` is empty or longer than k — callers (the planner)
+    /// never ask the index for paths outside its locality.
+    pub fn scan_path(&self, path: &[SignedLabel]) -> PairScan<'_> {
+        assert!(
+            !path.is_empty() && path.len() <= self.k,
+            "scan_path expects a path of length 1..=k"
+        );
+        let prefix = encode_path_prefix(path);
+        PairScan {
+            inner: self.tree.scan_prefix(&prefix),
+        }
+    }
+
+    /// `I_{G,k}(⟨p, source⟩)`: all targets reachable from `source` via `p`,
+    /// in ascending order.
+    pub fn scan_path_from(&self, path: &[SignedLabel], source: NodeId) -> Vec<NodeId> {
+        let prefix = encode_path_source_prefix(path, source);
+        self.tree
+            .scan_prefix(&prefix)
+            .map(|(k, _)| decode_pair(k).1)
+            .collect()
+    }
+
+    /// `I_{G,k}(⟨p, source, target⟩)`: membership test.
+    pub fn contains(&self, path: &[SignedLabel], source: NodeId, target: NodeId) -> bool {
+        self.tree.contains_key(&encode_entry(path, source, target))
+    }
+
+    /// Exact `|p(G)|` for an indexed path (`None` if the path is longer than
+    /// k or had an empty relation).
+    pub fn path_cardinality(&self, path: &[SignedLabel]) -> Option<u64> {
+        self.per_path_counts
+            .iter()
+            .find(|(p, _)| p == path)
+            .map(|(_, c)| *c)
+    }
+
+    /// Structural and size statistics of the index.
+    pub fn stats(&self) -> IndexStats {
+        let tree_stats = self.tree.stats();
+        IndexStats {
+            k: self.k,
+            entries: tree_stats.len,
+            distinct_paths: self.per_path_counts.len(),
+            paths_k_size: self.paths_k_size,
+            tree_depth: tree_stats.depth,
+            tree_nodes: tree_stats.node_count,
+            approx_bytes: tree_stats.approx_key_bytes,
+            build_time: self.build_time,
+        }
+    }
+}
+
+/// Streaming iterator over the `(source, target)` pairs of one indexed path,
+/// in `(source, target)` order.
+pub struct PairScan<'a> {
+    inner: RangeIter<'a>,
+}
+
+impl Iterator for PairScan<'_> {
+    type Item = (NodeId, NodeId);
+
+    #[inline]
+    fn next(&mut self) -> Option<Self::Item> {
+        self.inner.next().map(|(k, _)| decode_pair(k))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::naive_path_eval;
+    use pathix_datagen::{paper_example_graph, social_network, SocialConfig};
+    use pathix_rpq::ast::inverse_path;
+
+    fn sl(g: &Graph, name: &str, backward: bool) -> SignedLabel {
+        let id = g.label_id(name).unwrap();
+        if backward {
+            SignedLabel::backward(id)
+        } else {
+            SignedLabel::forward(id)
+        }
+    }
+
+    #[test]
+    fn scan_path_matches_reference_for_all_indexed_paths() {
+        let g = paper_example_graph();
+        let index = KPathIndex::build(&g, 3);
+        for (path, count) in index.per_path_counts() {
+            let expected = naive_path_eval(&g, path);
+            let scanned: Vec<_> = index.scan_path(path).collect();
+            assert_eq!(scanned, expected, "mismatch for {path:?}");
+            assert_eq!(*count as usize, expected.len());
+        }
+    }
+
+    #[test]
+    fn scan_is_sorted_by_source_then_target() {
+        let g = social_network(SocialConfig {
+            people: 150,
+            companies: 8,
+            ..Default::default()
+        });
+        let index = KPathIndex::build(&g, 2);
+        let knows = sl(&g, "knows", false);
+        let pairs: Vec<_> = index.scan_path(&[knows, knows]).collect();
+        assert!(!pairs.is_empty());
+        assert!(pairs.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn scan_path_from_returns_targets_only() {
+        let g = paper_example_graph();
+        let index = KPathIndex::build(&g, 3);
+        let knows = sl(&g, "knows", false);
+        let works = sl(&g, "worksFor", false);
+        let path = vec![knows, works];
+        for node in g.nodes() {
+            let expected: Vec<NodeId> = naive_path_eval(&g, &path)
+                .into_iter()
+                .filter(|&(a, _)| a == node)
+                .map(|(_, b)| b)
+                .collect();
+            assert_eq!(index.scan_path_from(&path, node), expected);
+        }
+    }
+
+    #[test]
+    fn contains_answers_membership() {
+        let g = paper_example_graph();
+        let index = KPathIndex::build(&g, 2);
+        let sup = sl(&g, "supervisor", false);
+        let works_back = sl(&g, "worksFor", true);
+        let kim = g.node_id("kim").unwrap();
+        let sue = g.node_id("sue").unwrap();
+        let ada = g.node_id("ada").unwrap();
+        // supervisor ∘ worksFor⁻ = {(kim, sue)} by construction.
+        assert!(index.contains(&[sup, works_back], kim, sue));
+        assert!(!index.contains(&[sup, works_back], kim, ada));
+        assert!(!index.contains(&[sup, works_back], sue, kim));
+    }
+
+    #[test]
+    fn inverse_paths_are_converse_relations_in_the_index() {
+        let g = paper_example_graph();
+        let index = KPathIndex::build(&g, 2);
+        let knows = sl(&g, "knows", false);
+        let works = sl(&g, "worksFor", false);
+        let p = vec![knows, works];
+        let q = inverse_path(&p);
+        let mut swapped: Vec<_> = index.scan_path(&q).map(|(a, b)| (b, a)).collect();
+        swapped.sort_unstable();
+        let direct: Vec<_> = index.scan_path(&p).collect();
+        assert_eq!(direct, swapped);
+    }
+
+    #[test]
+    fn k1_index_has_only_single_labels() {
+        let g = paper_example_graph();
+        let index = KPathIndex::build(&g, 1);
+        assert!(index.per_path_counts().iter().all(|(p, _)| p.len() == 1));
+        let stats = index.stats();
+        assert_eq!(stats.k, 1);
+        assert_eq!(stats.distinct_paths, 6);
+        assert_eq!(stats.entries as u64, index
+            .per_path_counts()
+            .iter()
+            .map(|(_, c)| *c)
+            .sum::<u64>());
+    }
+
+    #[test]
+    fn stats_grow_with_k() {
+        let g = paper_example_graph();
+        let s1 = KPathIndex::build(&g, 1).stats();
+        let s2 = KPathIndex::build(&g, 2).stats();
+        let s3 = KPathIndex::build(&g, 3).stats();
+        assert!(s1.entries < s2.entries && s2.entries < s3.entries);
+        assert!(s1.distinct_paths < s2.distinct_paths);
+        assert!(s2.paths_k_size <= s3.paths_k_size);
+        assert!(s1.approx_bytes < s3.approx_bytes);
+    }
+
+    #[test]
+    fn path_cardinality_is_exact() {
+        let g = paper_example_graph();
+        let index = KPathIndex::build(&g, 2);
+        let knows = sl(&g, "knows", false);
+        let expected = naive_path_eval(&g, &[knows]).len() as u64;
+        assert_eq!(index.path_cardinality(&[knows]), Some(expected));
+        // Paths longer than k are not recorded.
+        assert_eq!(index.path_cardinality(&[knows, knows, knows]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "length 1..=k")]
+    fn scanning_a_path_longer_than_k_panics() {
+        let g = paper_example_graph();
+        let index = KPathIndex::build(&g, 1);
+        let knows = sl(&g, "knows", false);
+        let _ = index.scan_path(&[knows, knows]);
+    }
+}

@@ -1,0 +1,153 @@
+//! Parallel k-path enumeration and index construction.
+//!
+//! Index construction is the expensive part of the paper's approach (the
+//! price paid once so that queries become index lookups). This module
+//! parallelizes it with `crossbeam` scoped threads: the signed level-1 labels
+//! are partitioned across worker threads and each worker extends *all* label
+//! paths that start with its assigned labels up to length k. Every label path
+//! starts with exactly one signed label, so the workers' outputs are disjoint
+//! and their union is exactly the sequential enumeration.
+//!
+//! (The sequential [`enumerate_paths`](crate::enumerate_paths) additionally
+//! exploits the `p` / `p⁻` mirror symmetry to halve its join work; the
+//! parallel version trades that trick for independence between workers —
+//! each path is still produced exactly once.)
+
+use crate::enumerate::PathRelation;
+use crate::kpath::KPathIndex;
+use pathix_graph::{Graph, NodeId, SignedLabel};
+
+/// Computes `p(G)` for every non-empty label path `p` with `|p| ≤ k`, using
+/// up to `threads` worker threads. Produces exactly the same relations as
+/// [`crate::enumerate_paths`] (same paths, same sorted pair lists), in the
+/// same `(length, path)` order.
+pub fn enumerate_paths_parallel(graph: &Graph, k: usize, threads: usize) -> Vec<PathRelation> {
+    assert!(k >= 1, "the k-path index requires k ≥ 1");
+    let threads = threads.max(1);
+    let seeds: Vec<SignedLabel> = graph.signed_labels().collect();
+    if seeds.is_empty() {
+        return Vec::new();
+    }
+    let chunk_size = seeds.len().div_ceil(threads);
+
+    let mut result: Vec<PathRelation> = crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for chunk in seeds.chunks(chunk_size) {
+            handles.push(scope.spawn(move |_| enumerate_from_seeds(graph, k, chunk)));
+        }
+        let mut all = Vec::new();
+        for handle in handles {
+            all.append(&mut handle.join().expect("enumeration worker panicked"));
+        }
+        all
+    })
+    .expect("crossbeam scope failed");
+
+    result.sort_by(|a, b| (a.path.len(), &a.path).cmp(&(b.path.len(), &b.path)));
+    result
+}
+
+/// Extends every path starting with one of `seeds` up to length k.
+fn enumerate_from_seeds(graph: &Graph, k: usize, seeds: &[SignedLabel]) -> Vec<PathRelation> {
+    let mut result: Vec<PathRelation> = Vec::new();
+    let mut prev: Vec<PathRelation> = seeds
+        .iter()
+        .filter_map(|&sl| {
+            let pairs = graph.signed_pairs(sl);
+            if pairs.is_empty() {
+                None
+            } else {
+                Some(PathRelation {
+                    path: vec![sl],
+                    pairs,
+                })
+            }
+        })
+        .collect();
+
+    for _level in 2..=k {
+        let mut next: Vec<PathRelation> = Vec::new();
+        for base in &prev {
+            for sl in graph.signed_labels() {
+                let mut pairs: Vec<(NodeId, NodeId)> = Vec::new();
+                for &(a, b) in &base.pairs {
+                    for &c in graph.neighbors(b, sl) {
+                        pairs.push((a, c));
+                    }
+                }
+                pairs.sort_unstable();
+                pairs.dedup();
+                if pairs.is_empty() {
+                    continue;
+                }
+                let mut path = base.path.clone();
+                path.push(sl);
+                next.push(PathRelation { path, pairs });
+            }
+        }
+        result.append(&mut prev);
+        prev = next;
+    }
+    result.append(&mut prev);
+    result
+}
+
+impl KPathIndex {
+    /// Builds the index like [`KPathIndex::build`], but enumerates the path
+    /// relations on `threads` worker threads.
+    pub fn build_parallel(graph: &Graph, k: usize, threads: usize) -> Self {
+        let relations = enumerate_paths_parallel(graph, k, threads);
+        KPathIndex::build_from_relations(graph, k, relations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::enumerate_paths;
+    use pathix_datagen::paper_example_graph;
+
+    #[test]
+    fn parallel_enumeration_equals_sequential() {
+        let g = paper_example_graph();
+        for k in 1..=3 {
+            let sequential = enumerate_paths(&g, k);
+            for threads in [1, 2, 4, 7] {
+                let parallel = enumerate_paths_parallel(&g, k, threads);
+                assert_eq!(
+                    parallel.len(),
+                    sequential.len(),
+                    "k = {k}, threads = {threads}"
+                );
+                for (p, s) in parallel.iter().zip(&sequential) {
+                    assert_eq!(p.path, s.path, "k = {k}, threads = {threads}");
+                    assert_eq!(p.pairs, s.pairs, "path {:?}", p.path);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_index_answers_like_the_sequential_one() {
+        let g = paper_example_graph();
+        let sequential = KPathIndex::build(&g, 2);
+        let parallel = KPathIndex::build_parallel(&g, 2, 4);
+        assert_eq!(parallel.stats().entries, sequential.stats().entries);
+        assert_eq!(parallel.paths_k_size(), sequential.paths_k_size());
+        for (path, count) in sequential.per_path_counts() {
+            assert_eq!(parallel.path_cardinality(path), Some(*count));
+            let a: Vec<_> = parallel.scan_path(path).collect();
+            let b: Vec<_> = sequential.scan_path(path).collect();
+            assert_eq!(a, b, "path {path:?}");
+        }
+    }
+
+    #[test]
+    fn degenerate_thread_counts_are_clamped() {
+        let g = paper_example_graph();
+        let zero_threads = enumerate_paths_parallel(&g, 1, 0);
+        assert_eq!(zero_threads.len(), enumerate_paths(&g, 1).len());
+        let many_threads = enumerate_paths_parallel(&g, 2, 64);
+        assert_eq!(many_threads.len(), enumerate_paths(&g, 2).len());
+    }
+}

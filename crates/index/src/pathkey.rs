@@ -1,0 +1,165 @@
+//! Composite key encoding for the k-path index.
+//!
+//! The index key is the paper's search key `⟨label path, sourceID, targetID⟩`
+//! encoded as an order-preserving byte string:
+//!
+//! ```text
+//! [ path length  : u8          ]
+//! [ signed label : u16 BE  ] × length
+//! [ source id    : u32 BE      ]
+//! [ target id    : u32 BE      ]
+//! ```
+//!
+//! Because every field is fixed-width and big-endian, lexicographic byte
+//! order equals the tuple order `(path, source, target)`, and the encodings
+//! of `⟨p⟩` and `⟨p, a⟩` are exactly the prefixes needed for the three lookup
+//! shapes of Example 3.1.
+
+use pathix_graph::{NodeId, SignedLabel};
+use pathix_storage::KeyBuf;
+
+/// Maximum supported label-path length (keys store the length in one byte).
+pub const MAX_PATH_LEN: usize = u8::MAX as usize;
+
+/// Encodes the key prefix `⟨p⟩` for a label path.
+pub fn encode_path_prefix(path: &[SignedLabel]) -> Vec<u8> {
+    assert!(path.len() <= MAX_PATH_LEN, "label path too long to encode");
+    let mut key = KeyBuf::with_capacity(1 + 2 * path.len());
+    key.push_u8(path.len() as u8);
+    for sl in path {
+        key.push_u16(sl.code());
+    }
+    key.finish()
+}
+
+/// Encodes the key prefix `⟨p, source⟩`.
+pub fn encode_path_source_prefix(path: &[SignedLabel], source: NodeId) -> Vec<u8> {
+    let mut key = KeyBuf::with_capacity(1 + 2 * path.len() + 4);
+    key.push_u8(path.len() as u8);
+    for sl in path {
+        key.push_u16(sl.code());
+    }
+    key.push_u32(source.0);
+    key.finish()
+}
+
+/// Encodes the full key `⟨p, source, target⟩`.
+pub fn encode_entry(path: &[SignedLabel], source: NodeId, target: NodeId) -> Vec<u8> {
+    let mut key = KeyBuf::with_capacity(1 + 2 * path.len() + 8);
+    key.push_u8(path.len() as u8);
+    for sl in path {
+        key.push_u16(sl.code());
+    }
+    key.push_u32(source.0);
+    key.push_u32(target.0);
+    key.finish()
+}
+
+/// Decodes a full entry key back into `(path, source, target)`.
+///
+/// Returns `None` if the key is malformed (wrong length for its header).
+pub fn decode_entry(key: &[u8]) -> Option<(Vec<SignedLabel>, NodeId, NodeId)> {
+    let len = *key.first()? as usize;
+    let expected = 1 + 2 * len + 8;
+    if key.len() != expected {
+        return None;
+    }
+    let mut path = Vec::with_capacity(len);
+    for i in 0..len {
+        let off = 1 + 2 * i;
+        let code = u16::from_be_bytes([key[off], key[off + 1]]);
+        path.push(SignedLabel::from_code(code));
+    }
+    let src_off = 1 + 2 * len;
+    let source = u32::from_be_bytes([
+        key[src_off],
+        key[src_off + 1],
+        key[src_off + 2],
+        key[src_off + 3],
+    ]);
+    let target = u32::from_be_bytes([
+        key[src_off + 4],
+        key[src_off + 5],
+        key[src_off + 6],
+        key[src_off + 7],
+    ]);
+    Some((path, NodeId(source), NodeId(target)))
+}
+
+/// Decodes only the `(source, target)` suffix of an entry key, assuming the
+/// path length is already known. This is the hot path of index scans.
+#[inline]
+pub fn decode_pair(key: &[u8]) -> (NodeId, NodeId) {
+    let n = key.len();
+    debug_assert!(n >= 9, "entry key too short");
+    let source = u32::from_be_bytes([key[n - 8], key[n - 7], key[n - 6], key[n - 5]]);
+    let target = u32::from_be_bytes([key[n - 4], key[n - 3], key[n - 2], key[n - 1]]);
+    (NodeId(source), NodeId(target))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathix_graph::LabelId;
+
+    fn sl(label: u16, backward: bool) -> SignedLabel {
+        if backward {
+            SignedLabel::backward(LabelId(label))
+        } else {
+            SignedLabel::forward(LabelId(label))
+        }
+    }
+
+    #[test]
+    fn entry_roundtrip() {
+        let path = vec![sl(0, false), sl(1, true), sl(2, false)];
+        let key = encode_entry(&path, NodeId(7), NodeId(99));
+        let (p, s, t) = decode_entry(&key).unwrap();
+        assert_eq!(p, path);
+        assert_eq!(s, NodeId(7));
+        assert_eq!(t, NodeId(99));
+        assert_eq!(decode_pair(&key), (NodeId(7), NodeId(99)));
+    }
+
+    #[test]
+    fn prefixes_are_prefixes_of_entries() {
+        let path = vec![sl(3, false), sl(3, true)];
+        let entry = encode_entry(&path, NodeId(5), NodeId(6));
+        let p_prefix = encode_path_prefix(&path);
+        let ps_prefix = encode_path_source_prefix(&path, NodeId(5));
+        assert!(entry.starts_with(&p_prefix));
+        assert!(entry.starts_with(&ps_prefix));
+        assert!(ps_prefix.starts_with(&p_prefix));
+    }
+
+    #[test]
+    fn keys_sort_by_path_then_source_then_target() {
+        let p1 = vec![sl(0, false)];
+        let p2 = vec![sl(0, true)];
+        let a = encode_entry(&p1, NodeId(1), NodeId(9));
+        let b = encode_entry(&p1, NodeId(2), NodeId(0));
+        let c = encode_entry(&p2, NodeId(0), NodeId(0));
+        assert!(a < b, "source should order entries within a path");
+        assert!(b < c, "path should order before source");
+        let d = encode_entry(&p1, NodeId(1), NodeId(10));
+        assert!(a < d, "target should break ties");
+    }
+
+    #[test]
+    fn different_lengths_do_not_collide() {
+        // A length-1 path with label code equal to a node id byte pattern must
+        // not be confused with a length-2 path.
+        let short = encode_path_prefix(&[sl(1, false)]);
+        let long = encode_path_prefix(&[sl(1, false), sl(1, false)]);
+        assert_ne!(short[0], long[0]);
+        assert!(!long.starts_with(&short));
+    }
+
+    #[test]
+    fn malformed_keys_are_rejected() {
+        assert_eq!(decode_entry(&[]), None);
+        assert_eq!(decode_entry(&[2, 0, 0]), None);
+        let good = encode_entry(&[sl(0, false)], NodeId(1), NodeId(2));
+        assert_eq!(decode_entry(&good[..good.len() - 1]), None);
+    }
+}

@@ -1,0 +1,868 @@
+//! A disk-oriented B+tree over slotted pages and a buffer pool.
+//!
+//! This is the paged counterpart of the in-memory
+//! [`pathix_storage::BPlusTree`]: the same ordered-dictionary contract
+//! (byte-string keys, point lookups, range and prefix scans, sorted bulk
+//! load), but with nodes stored in fixed-size pages behind a
+//! [`BufferPool`], so the index can be larger than memory and its I/O
+//! behaviour can be measured — the dimension the paper's companion work
+//! (reference [14]) studies.
+//!
+//! Layout:
+//!
+//! * **page 0** is the metadata page (root id, height, entry count);
+//! * **leaf pages** hold `[key_len u16 | key | val_len u16 | value]` cells in
+//!   key order and are chained left-to-right through their `next` pointer;
+//! * **internal pages** hold `[key_len u16 | key | child u32]` cells; the
+//!   leftmost child lives in the page header's `next` field, and the cell
+//!   `(k, c)` routes keys `≥ k` (and smaller than the following cell's key)
+//!   to child `c`.
+//!
+//! Structural changes rewrite whole nodes (read cells → modify → compact
+//! rewrite), which keeps the split logic simple and pages always compacted.
+//! Deletion is lazy (no merging), mirroring the in-memory tree: the k-path
+//! index workload is bulk-load-then-read.
+
+use crate::buffer::BufferPool;
+use crate::page::{get_u32, get_u64, put_u32, put_u64, PageId, PAGE_SIZE};
+use crate::slotted;
+use pathix_storage::prefix_successor;
+use std::io;
+
+const META_MAGIC: u32 = 0x5058_5049; // "PXPI"
+const META_OFF_MAGIC: usize = 12;
+const META_OFF_ROOT: usize = 16;
+const META_OFF_HEIGHT: usize = 20;
+const META_OFF_COUNT: usize = 24;
+
+/// Largest key + value payload accepted by [`PagedBTree::insert`]; guarantees
+/// that any page can hold at least four cells, so splits always succeed.
+pub const MAX_ENTRY_SIZE: usize = (PAGE_SIZE - slotted::HEADER_SIZE) / 4 - slotted::SLOT_SIZE - 4;
+
+/// Fill factor used by [`PagedBTree::bulk_load`]: leaves are filled to this
+/// fraction of their capacity so that later inserts do not immediately split.
+const BULK_FILL: f64 = 0.9;
+
+/// Summary statistics of a [`PagedBTree`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PagedTreeStats {
+    /// Number of key/value entries.
+    pub entries: u64,
+    /// Tree height (1 = the root is a leaf).
+    pub height: u32,
+    /// Pages allocated in the backing store (including the meta page).
+    pub pages: u32,
+    /// Total bytes of the backing store.
+    pub bytes_on_disk: u64,
+}
+
+/// A B+tree whose nodes live in buffer-pool pages.
+#[derive(Debug)]
+pub struct PagedBTree {
+    pool: BufferPool,
+    root: PageId,
+    height: u32,
+    entries: u64,
+}
+
+impl PagedBTree {
+    /// Creates a fresh, empty tree in `pool` (which must be empty).
+    pub fn create(pool: BufferPool) -> io::Result<Self> {
+        let meta = pool.allocate_page()?;
+        assert_eq!(meta, PageId(0), "the meta page must be page 0");
+        let root = pool.allocate_page()?;
+        pool.with_page_mut(root, |p| slotted::init(p, slotted::KIND_LEAF))?;
+        let mut tree = PagedBTree {
+            pool,
+            root,
+            height: 1,
+            entries: 0,
+        };
+        tree.write_meta()?;
+        Ok(tree)
+    }
+
+    /// Opens a tree previously persisted in `pool`'s backing store.
+    pub fn open(pool: BufferPool) -> io::Result<Self> {
+        let (magic, root, height, entries) = pool.with_page(PageId(0), |p| {
+            (
+                get_u32(p, META_OFF_MAGIC),
+                get_u32(p, META_OFF_ROOT),
+                get_u32(p, META_OFF_HEIGHT),
+                get_u64(p, META_OFF_COUNT),
+            )
+        })?;
+        if magic != META_MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not a pathix paged B+tree file (bad magic)",
+            ));
+        }
+        Ok(PagedBTree {
+            pool,
+            root: PageId(root),
+            height,
+            entries,
+        })
+    }
+
+    fn write_meta(&mut self) -> io::Result<()> {
+        let root = self.root;
+        let height = self.height;
+        let entries = self.entries;
+        self.pool.with_page_mut(PageId(0), |p| {
+            slotted::init(p, slotted::KIND_META);
+            put_u32(p, META_OFF_MAGIC, META_MAGIC);
+            put_u32(p, META_OFF_ROOT, root.0);
+            put_u32(p, META_OFF_HEIGHT, height);
+            put_u64(p, META_OFF_COUNT, entries);
+        })
+    }
+
+    /// The buffer pool backing this tree.
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
+    }
+
+    /// Number of entries in the tree.
+    pub fn len(&self) -> u64 {
+        self.entries
+    }
+
+    /// `true` when the tree holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Tree height (1 = root is a leaf).
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Size and shape statistics.
+    pub fn stats(&self) -> PagedTreeStats {
+        PagedTreeStats {
+            entries: self.entries,
+            height: self.height,
+            pages: self.pool.num_pages(),
+            bytes_on_disk: self.pool.size_bytes(),
+        }
+    }
+
+    /// Flushes all dirty pages (and the metadata) to the backing store.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.write_meta()?;
+        self.pool.flush_all()
+    }
+
+    // ------------------------------------------------------------------
+    // Cell encoding
+    // ------------------------------------------------------------------
+
+    fn encode_leaf_cell(key: &[u8], value: &[u8]) -> Vec<u8> {
+        let mut cell = Vec::with_capacity(4 + key.len() + value.len());
+        cell.extend_from_slice(&(key.len() as u16).to_le_bytes());
+        cell.extend_from_slice(key);
+        cell.extend_from_slice(&(value.len() as u16).to_le_bytes());
+        cell.extend_from_slice(value);
+        cell
+    }
+
+    fn decode_leaf_cell(cell: &[u8]) -> (Vec<u8>, Vec<u8>) {
+        let klen = u16::from_le_bytes([cell[0], cell[1]]) as usize;
+        let key = cell[2..2 + klen].to_vec();
+        let voff = 2 + klen;
+        let vlen = u16::from_le_bytes([cell[voff], cell[voff + 1]]) as usize;
+        let value = cell[voff + 2..voff + 2 + vlen].to_vec();
+        (key, value)
+    }
+
+    fn encode_internal_cell(key: &[u8], child: PageId) -> Vec<u8> {
+        let mut cell = Vec::with_capacity(6 + key.len());
+        cell.extend_from_slice(&(key.len() as u16).to_le_bytes());
+        cell.extend_from_slice(key);
+        cell.extend_from_slice(&child.0.to_le_bytes());
+        cell
+    }
+
+    fn decode_internal_cell(cell: &[u8]) -> (Vec<u8>, PageId) {
+        let klen = u16::from_le_bytes([cell[0], cell[1]]) as usize;
+        let key = cell[2..2 + klen].to_vec();
+        let off = 2 + klen;
+        let child = u32::from_le_bytes([cell[off], cell[off + 1], cell[off + 2], cell[off + 3]]);
+        (key, PageId(child))
+    }
+
+    fn read_leaf(&self, pid: PageId) -> io::Result<(Vec<(Vec<u8>, Vec<u8>)>, PageId)> {
+        self.pool.with_page(pid, |p| {
+            debug_assert_eq!(slotted::kind(p), slotted::KIND_LEAF, "{pid} is not a leaf");
+            let entries = (0..slotted::cell_count(p))
+                .map(|i| Self::decode_leaf_cell(slotted::cell(p, i)))
+                .collect();
+            (entries, PageId(slotted::next(p)))
+        })
+    }
+
+    fn read_internal(&self, pid: PageId) -> io::Result<(Vec<(Vec<u8>, PageId)>, PageId)> {
+        self.pool.with_page(pid, |p| {
+            debug_assert_eq!(
+                slotted::kind(p),
+                slotted::KIND_INTERNAL,
+                "{pid} is not an internal node"
+            );
+            let cells = (0..slotted::cell_count(p))
+                .map(|i| Self::decode_internal_cell(slotted::cell(p, i)))
+                .collect();
+            (cells, PageId(slotted::next(p)))
+        })
+    }
+
+    fn write_leaf(&self, pid: PageId, entries: &[(Vec<u8>, Vec<u8>)], next: PageId) -> io::Result<()> {
+        let cells: Vec<Vec<u8>> = entries
+            .iter()
+            .map(|(k, v)| Self::encode_leaf_cell(k, v))
+            .collect();
+        self.pool
+            .with_page_mut(pid, |p| slotted::rewrite(p, slotted::KIND_LEAF, next.0, &cells))
+    }
+
+    fn write_internal(
+        &self,
+        pid: PageId,
+        cells: &[(Vec<u8>, PageId)],
+        leftmost: PageId,
+    ) -> io::Result<()> {
+        let encoded: Vec<Vec<u8>> = cells
+            .iter()
+            .map(|(k, c)| Self::encode_internal_cell(k, *c))
+            .collect();
+        self.pool.with_page_mut(pid, |p| {
+            slotted::rewrite(p, slotted::KIND_INTERNAL, leftmost.0, &encoded)
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Search
+    // ------------------------------------------------------------------
+
+    /// Routes `key` one level down from an internal node's cell list.
+    fn route(cells: &[(Vec<u8>, PageId)], leftmost: PageId, key: &[u8]) -> PageId {
+        // partition_point: number of cells whose key is <= search key.
+        let idx = cells.partition_point(|(k, _)| k.as_slice() <= key);
+        if idx == 0 {
+            leftmost
+        } else {
+            cells[idx - 1].1
+        }
+    }
+
+    /// Descends from the root to the leaf that owns `key`, recording the
+    /// internal pages visited (for split propagation).
+    fn descend(&self, key: &[u8]) -> io::Result<(PageId, Vec<PageId>)> {
+        let mut path = Vec::with_capacity(self.height as usize);
+        let mut current = self.root;
+        for _ in 1..self.height {
+            path.push(current);
+            let (cells, leftmost) = self.read_internal(current)?;
+            current = Self::route(&cells, leftmost, key);
+        }
+        Ok((current, path))
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: &[u8]) -> io::Result<Option<Vec<u8>>> {
+        let (leaf, _) = self.descend(key)?;
+        let (entries, _) = self.read_leaf(leaf)?;
+        Ok(entries
+            .binary_search_by(|(k, _)| k.as_slice().cmp(key))
+            .ok()
+            .map(|i| entries[i].1.clone()))
+    }
+
+    /// `true` when `key` is present.
+    pub fn contains_key(&self, key: &[u8]) -> io::Result<bool> {
+        Ok(self.get(key)?.is_some())
+    }
+
+    // ------------------------------------------------------------------
+    // Insert / delete
+    // ------------------------------------------------------------------
+
+    /// Inserts `key → value`, returning the previous value if the key was
+    /// already present.
+    ///
+    /// # Panics
+    /// Panics if `key.len() + value.len()` exceeds [`MAX_ENTRY_SIZE`].
+    pub fn insert(&mut self, key: Vec<u8>, value: Vec<u8>) -> io::Result<Option<Vec<u8>>> {
+        assert!(
+            key.len() + value.len() <= MAX_ENTRY_SIZE,
+            "entry of {} bytes exceeds MAX_ENTRY_SIZE ({MAX_ENTRY_SIZE})",
+            key.len() + value.len()
+        );
+        let (leaf, path) = self.descend(&key)?;
+        let (mut entries, next) = self.read_leaf(leaf)?;
+        let previous = match entries.binary_search_by(|(k, _)| k.as_slice().cmp(&key)) {
+            Ok(i) => Some(std::mem::replace(&mut entries[i].1, value)),
+            Err(i) => {
+                entries.insert(i, (key, value));
+                None
+            }
+        };
+
+        let size = slotted::required_size(entries.iter().map(|(k, v)| 4 + k.len() + v.len()));
+        if size <= PAGE_SIZE {
+            self.write_leaf(leaf, &entries, next)?;
+        } else {
+            // Split the leaf in half; the right sibling takes over the old
+            // next pointer and the separator is its first key.
+            let mid = entries.len() / 2;
+            let right_entries = entries.split_off(mid);
+            let right_pid = self.pool.allocate_page()?;
+            let separator = right_entries[0].0.clone();
+            self.write_leaf(right_pid, &right_entries, next)?;
+            self.write_leaf(leaf, &entries, right_pid)?;
+            self.insert_into_parent(path, leaf, separator, right_pid)?;
+        }
+
+        if previous.is_none() {
+            self.entries += 1;
+        }
+        self.write_meta()?;
+        Ok(previous)
+    }
+
+    /// Propagates a split: `(separator, new_right)` must be inserted into the
+    /// parent of `left`, possibly splitting ancestors up to the root.
+    fn insert_into_parent(
+        &mut self,
+        mut path: Vec<PageId>,
+        left: PageId,
+        separator: Vec<u8>,
+        right: PageId,
+    ) -> io::Result<()> {
+        let mut left = left;
+        let mut separator = separator;
+        let mut right = right;
+        loop {
+            let Some(parent) = path.pop() else {
+                // The root itself split: grow the tree by one level.
+                let new_root = self.pool.allocate_page()?;
+                self.write_internal(new_root, &[(separator, right)], left)?;
+                self.root = new_root;
+                self.height += 1;
+                return Ok(());
+            };
+            let (mut cells, leftmost) = self.read_internal(parent)?;
+            let idx = cells.partition_point(|(k, _)| k.as_slice() <= separator.as_slice());
+            cells.insert(idx, (separator.clone(), right));
+
+            let size = slotted::required_size(cells.iter().map(|(k, _)| 6 + k.len()));
+            if size <= PAGE_SIZE {
+                self.write_internal(parent, &cells, leftmost)?;
+                return Ok(());
+            }
+            // Split the internal node: the middle key moves up, it does not
+            // stay in either half (B+tree internal split).
+            let mid = cells.len() / 2;
+            let mut right_cells = cells.split_off(mid);
+            let (promoted, right_leftmost) = right_cells.remove(0);
+            let right_pid = self.pool.allocate_page()?;
+            self.write_internal(right_pid, &right_cells, right_leftmost)?;
+            self.write_internal(parent, &cells, leftmost)?;
+            left = parent;
+            separator = promoted;
+            right = right_pid;
+        }
+    }
+
+    /// Removes `key`, returning its value if it was present.
+    ///
+    /// Deletion is lazy: leaves are never merged, so heavily deleted trees
+    /// keep their page count until rebuilt (acceptable for the read-mostly
+    /// k-path index workload; documented trade-off).
+    pub fn delete(&mut self, key: &[u8]) -> io::Result<Option<Vec<u8>>> {
+        let (leaf, _) = self.descend(key)?;
+        let (mut entries, next) = self.read_leaf(leaf)?;
+        match entries.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+            Ok(i) => {
+                let (_, value) = entries.remove(i);
+                self.write_leaf(leaf, &entries, next)?;
+                self.entries -= 1;
+                self.write_meta()?;
+                Ok(Some(value))
+            }
+            Err(_) => Ok(None),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Bulk load
+    // ------------------------------------------------------------------
+
+    /// Builds a tree from `pairs`, which must be sorted by key and free of
+    /// duplicate keys. Far faster than repeated [`PagedBTree::insert`] and
+    /// produces sequentially laid-out leaves.
+    pub fn bulk_load(
+        pool: BufferPool,
+        pairs: impl IntoIterator<Item = (Vec<u8>, Vec<u8>)>,
+    ) -> io::Result<Self> {
+        let meta = pool.allocate_page()?;
+        assert_eq!(meta, PageId(0), "the meta page must be page 0");
+        let budget = ((PAGE_SIZE - slotted::HEADER_SIZE) as f64 * BULK_FILL) as usize;
+
+        // Level 0: pack leaves.
+        let mut leaves: Vec<(Vec<u8>, PageId)> = Vec::new();
+        let mut current: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+        let mut current_size = 0usize;
+        let mut entries = 0u64;
+        let mut prev_key: Option<Vec<u8>> = None;
+
+        let flush_leaf = |current: &mut Vec<(Vec<u8>, Vec<u8>)>,
+                              leaves: &mut Vec<(Vec<u8>, PageId)>|
+         -> io::Result<()> {
+            if current.is_empty() {
+                return Ok(());
+            }
+            let pid = pool.allocate_page()?;
+            let first_key = current[0].0.clone();
+            let cells: Vec<Vec<u8>> = current
+                .iter()
+                .map(|(k, v)| Self::encode_leaf_cell(k, v))
+                .collect();
+            pool.with_page_mut(pid, |p| {
+                slotted::rewrite(p, slotted::KIND_LEAF, u32::MAX, &cells)
+            })?;
+            leaves.push((first_key, pid));
+            current.clear();
+            Ok(())
+        };
+
+        for (key, value) in pairs {
+            if let Some(prev) = &prev_key {
+                assert!(
+                    prev < &key,
+                    "bulk_load input must be sorted by key and duplicate-free"
+                );
+            }
+            assert!(
+                key.len() + value.len() <= MAX_ENTRY_SIZE,
+                "entry of {} bytes exceeds MAX_ENTRY_SIZE ({MAX_ENTRY_SIZE})",
+                key.len() + value.len()
+            );
+            let cell_size = 4 + key.len() + value.len() + slotted::SLOT_SIZE;
+            if current_size + cell_size > budget && !current.is_empty() {
+                flush_leaf(&mut current, &mut leaves)?;
+                current_size = 0;
+            }
+            prev_key = Some(key.clone());
+            current_size += cell_size;
+            current.push((key, value));
+            entries += 1;
+        }
+        flush_leaf(&mut current, &mut leaves)?;
+
+        // Empty input: single empty leaf root.
+        if leaves.is_empty() {
+            let pid = pool.allocate_page()?;
+            pool.with_page_mut(pid, |p| slotted::init(p, slotted::KIND_LEAF))?;
+            leaves.push((Vec::new(), pid));
+        }
+
+        // Chain the leaves left-to-right.
+        for window in leaves.windows(2) {
+            let (left, right) = (window[0].1, window[1].1);
+            pool.with_page_mut(left, |p| slotted::set_next(p, right.0))?;
+        }
+
+        // Build internal levels bottom-up until a single node remains.
+        let mut level = leaves;
+        let mut height = 1u32;
+        while level.len() > 1 {
+            height += 1;
+            let mut parents: Vec<(Vec<u8>, PageId)> = Vec::new();
+            let mut i = 0usize;
+            while i < level.len() {
+                // Greedily pack children into one internal node within budget.
+                let first_key = level[i].0.clone();
+                let leftmost = level[i].1;
+                let mut cells: Vec<(Vec<u8>, PageId)> = Vec::new();
+                let mut size = slotted::HEADER_SIZE;
+                i += 1;
+                while i < level.len() {
+                    let extra = 6 + level[i].0.len() + slotted::SLOT_SIZE;
+                    if size + extra > budget || cells.len() + 1 >= u16::MAX as usize {
+                        break;
+                    }
+                    size += extra;
+                    cells.push((level[i].0.clone(), level[i].1));
+                    i += 1;
+                }
+                let pid = pool.allocate_page()?;
+                let encoded: Vec<Vec<u8>> = cells
+                    .iter()
+                    .map(|(k, c)| Self::encode_internal_cell(k, *c))
+                    .collect();
+                pool.with_page_mut(pid, |p| {
+                    slotted::rewrite(p, slotted::KIND_INTERNAL, leftmost.0, &encoded)
+                })?;
+                parents.push((first_key, pid));
+            }
+            level = parents;
+        }
+
+        let mut tree = PagedBTree {
+            pool,
+            root: level[0].1,
+            height,
+            entries,
+        };
+        tree.write_meta()?;
+        Ok(tree)
+    }
+
+    // ------------------------------------------------------------------
+    // Scans
+    // ------------------------------------------------------------------
+
+    /// Iterates entries with `start ≤ key < end` (unbounded when `end` is
+    /// `None`) in key order.
+    pub fn range(&self, start: &[u8], end: Option<&[u8]>) -> io::Result<PagedRangeIter<'_>> {
+        let (leaf, _) = self.descend(start)?;
+        let (entries, next) = self.read_leaf(leaf)?;
+        let pos = entries.partition_point(|(k, _)| k.as_slice() < start);
+        Ok(PagedRangeIter {
+            tree: self,
+            entries,
+            next,
+            pos,
+            end: end.map(<[u8]>::to_vec),
+            error: None,
+        })
+    }
+
+    /// Iterates every entry in key order.
+    pub fn iter(&self) -> io::Result<PagedRangeIter<'_>> {
+        self.range(&[], None)
+    }
+
+    /// Iterates entries whose key starts with `prefix`.
+    pub fn scan_prefix(&self, prefix: &[u8]) -> io::Result<PagedRangeIter<'_>> {
+        let end = prefix_successor(prefix);
+        self.range(prefix, end.as_deref())
+    }
+
+    // ------------------------------------------------------------------
+    // Invariant checking (used by tests)
+    // ------------------------------------------------------------------
+
+    /// Walks the entire tree asserting structural invariants: node kinds,
+    /// key ordering inside nodes, separator bounds, leaf-chain ordering and
+    /// the entry count. Intended for tests; panics on violation.
+    pub fn check_invariants(&self) -> io::Result<()> {
+        let mut leaf_count = 0u64;
+        self.check_node(self.root, self.height, None, None, &mut leaf_count)?;
+        assert_eq!(
+            leaf_count, self.entries,
+            "entry count drifted: meta says {}, leaves hold {leaf_count}",
+            self.entries
+        );
+        // Leaf chain: strictly ascending keys across the whole tree.
+        let mut prev: Option<Vec<u8>> = None;
+        for item in self.iter()? {
+            let (k, _) = item?;
+            if let Some(p) = &prev {
+                assert!(p < &k, "leaf chain keys out of order");
+            }
+            prev = Some(k);
+        }
+        Ok(())
+    }
+
+    fn check_node(
+        &self,
+        pid: PageId,
+        level: u32,
+        lower: Option<&[u8]>,
+        upper: Option<&[u8]>,
+        leaf_entries: &mut u64,
+    ) -> io::Result<()> {
+        if level == 1 {
+            let (entries, _) = self.read_leaf(pid)?;
+            for w in entries.windows(2) {
+                assert!(w[0].0 < w[1].0, "leaf {pid} keys out of order");
+            }
+            for (k, _) in &entries {
+                if let Some(lo) = lower {
+                    assert!(k.as_slice() >= lo, "leaf {pid} key below separator");
+                }
+                if let Some(hi) = upper {
+                    assert!(k.as_slice() < hi, "leaf {pid} key above separator");
+                }
+            }
+            *leaf_entries += entries.len() as u64;
+            return Ok(());
+        }
+        let (cells, leftmost) = self.read_internal(pid)?;
+        assert!(!cells.is_empty(), "internal node {pid} has no separators");
+        for w in cells.windows(2) {
+            assert!(w[0].0 < w[1].0, "internal {pid} separators out of order");
+        }
+        // Leftmost child: keys < cells[0].key.
+        self.check_node(
+            leftmost,
+            level - 1,
+            lower,
+            Some(cells[0].0.as_slice()),
+            leaf_entries,
+        )?;
+        for i in 0..cells.len() {
+            let child_lower = Some(cells[i].0.as_slice());
+            let child_upper = if i + 1 < cells.len() {
+                Some(cells[i + 1].0.as_slice())
+            } else {
+                upper
+            };
+            self.check_node(cells[i].1, level - 1, child_lower, child_upper, leaf_entries)?;
+        }
+        Ok(())
+    }
+}
+
+/// Ordered iterator over a key range of a [`PagedBTree`].
+///
+/// Each item is `io::Result<(key, value)>`; an I/O error ends the iteration
+/// after yielding the error once.
+#[derive(Debug)]
+pub struct PagedRangeIter<'a> {
+    tree: &'a PagedBTree,
+    entries: Vec<(Vec<u8>, Vec<u8>)>,
+    next: PageId,
+    pos: usize,
+    end: Option<Vec<u8>>,
+    error: Option<io::Error>,
+}
+
+impl Iterator for PagedRangeIter<'_> {
+    type Item = io::Result<(Vec<u8>, Vec<u8>)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if let Some(err) = self.error.take() {
+            return Some(Err(err));
+        }
+        loop {
+            if self.pos < self.entries.len() {
+                let (key, value) = self.entries[self.pos].clone();
+                self.pos += 1;
+                if let Some(end) = &self.end {
+                    if key.as_slice() >= end.as_slice() {
+                        // Past the end of the range: stop for good.
+                        self.entries.clear();
+                        self.pos = 0;
+                        self.next = PageId::INVALID;
+                        return None;
+                    }
+                }
+                return Some(Ok((key, value)));
+            }
+            if !self.next.is_valid() {
+                return None;
+            }
+            match self.tree.read_leaf(self.next) {
+                Ok((entries, next)) => {
+                    self.entries = entries;
+                    self.next = next;
+                    self.pos = 0;
+                }
+                Err(e) => {
+                    self.next = PageId::INVALID;
+                    return Some(Err(e));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(i: u32) -> Vec<u8> {
+        format!("key-{i:08}").into_bytes()
+    }
+
+    fn val(i: u32) -> Vec<u8> {
+        format!("value-{i}").into_bytes()
+    }
+
+    #[test]
+    fn empty_tree_behaviour() {
+        let tree = PagedBTree::create(BufferPool::in_memory(16)).unwrap();
+        assert!(tree.is_empty());
+        assert_eq!(tree.len(), 0);
+        assert_eq!(tree.height(), 1);
+        assert_eq!(tree.get(b"anything").unwrap(), None);
+        assert_eq!(tree.iter().unwrap().count(), 0);
+        tree.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn insert_get_and_overwrite() {
+        let mut tree = PagedBTree::create(BufferPool::in_memory(16)).unwrap();
+        assert_eq!(tree.insert(b"b".to_vec(), b"2".to_vec()).unwrap(), None);
+        assert_eq!(tree.insert(b"a".to_vec(), b"1".to_vec()).unwrap(), None);
+        assert_eq!(tree.insert(b"c".to_vec(), b"3".to_vec()).unwrap(), None);
+        assert_eq!(tree.len(), 3);
+        assert_eq!(tree.get(b"a").unwrap(), Some(b"1".to_vec()));
+        assert_eq!(
+            tree.insert(b"a".to_vec(), b"one".to_vec()).unwrap(),
+            Some(b"1".to_vec())
+        );
+        assert_eq!(tree.len(), 3, "overwrite must not grow the tree");
+        assert_eq!(tree.get(b"a").unwrap(), Some(b"one".to_vec()));
+        assert!(tree.contains_key(b"c").unwrap());
+        assert!(!tree.contains_key(b"d").unwrap());
+        tree.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn many_inserts_split_leaves_and_internals() {
+        let mut tree = PagedBTree::create(BufferPool::in_memory(64)).unwrap();
+        let n = 5_000u32;
+        // Insert in a scrambled but deterministic order.
+        let mut order: Vec<u32> = (0..n).collect();
+        order.reverse();
+        order.sort_by_key(|i| (u64::from(*i) * 2_654_435_761) % u64::from(n));
+        for i in &order {
+            tree.insert(key(*i), val(*i)).unwrap();
+        }
+        assert_eq!(tree.len(), n as u64);
+        assert!(tree.height() >= 2, "5k entries must split the root");
+        for i in (0..n).step_by(97) {
+            assert_eq!(tree.get(&key(i)).unwrap(), Some(val(i)), "key {i}");
+        }
+        // Full scan is sorted and complete.
+        let all: Vec<_> = tree.iter().unwrap().map(Result::unwrap).collect();
+        assert_eq!(all.len(), n as usize);
+        assert!(all.windows(2).all(|w| w[0].0 < w[1].0));
+        tree.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn bulk_load_matches_inserts() {
+        let n = 3_000u32;
+        let pairs: Vec<_> = (0..n).map(|i| (key(i), val(i))).collect();
+        let loaded = PagedBTree::bulk_load(BufferPool::in_memory(64), pairs.clone()).unwrap();
+        loaded.check_invariants().unwrap();
+        assert_eq!(loaded.len(), n as u64);
+
+        let mut inserted = PagedBTree::create(BufferPool::in_memory(64)).unwrap();
+        for (k, v) in pairs {
+            inserted.insert(k, v).unwrap();
+        }
+        let a: Vec<_> = loaded.iter().unwrap().map(Result::unwrap).collect();
+        let b: Vec<_> = inserted.iter().unwrap().map(Result::unwrap).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bulk_load_empty_and_single() {
+        let tree = PagedBTree::bulk_load(BufferPool::in_memory(8), Vec::new()).unwrap();
+        assert!(tree.is_empty());
+        tree.check_invariants().unwrap();
+
+        let tree =
+            PagedBTree::bulk_load(BufferPool::in_memory(8), vec![(key(1), val(1))]).unwrap();
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree.get(&key(1)).unwrap(), Some(val(1)));
+        tree.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn range_and_prefix_scans() {
+        let pairs: Vec<_> = (0..2_000u32).map(|i| (key(i), val(i))).collect();
+        let tree = PagedBTree::bulk_load(BufferPool::in_memory(32), pairs).unwrap();
+
+        let hits: Vec<_> = tree
+            .range(&key(100), Some(&key(110)))
+            .unwrap()
+            .map(Result::unwrap)
+            .collect();
+        assert_eq!(hits.len(), 10);
+        assert_eq!(hits[0].0, key(100));
+        assert_eq!(hits[9].0, key(109));
+
+        // All keys share the "key-0000" prefix for i in 0..10 … use a prefix
+        // that selects exactly the 1000..1999 block.
+        let hits = tree.scan_prefix(b"key-00001").unwrap().count();
+        assert_eq!(hits, 1000);
+
+        // Range starting before the first key and ending after the last.
+        let all = tree.range(b"", None).unwrap().count();
+        assert_eq!(all, 2_000);
+
+        // Empty range.
+        assert_eq!(tree.range(&key(50), Some(&key(50))).unwrap().count(), 0);
+    }
+
+    #[test]
+    fn delete_is_lazy_but_correct() {
+        let mut tree = PagedBTree::create(BufferPool::in_memory(32)).unwrap();
+        for i in 0..500u32 {
+            tree.insert(key(i), val(i)).unwrap();
+        }
+        for i in (0..500u32).step_by(2) {
+            assert_eq!(tree.delete(&key(i)).unwrap(), Some(val(i)));
+        }
+        assert_eq!(tree.delete(&key(2)).unwrap(), None, "double delete");
+        assert_eq!(tree.len(), 250);
+        for i in 0..500u32 {
+            let expected = if i % 2 == 0 { None } else { Some(val(i)) };
+            assert_eq!(tree.get(&key(i)).unwrap(), expected, "key {i}");
+        }
+        tree.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn persists_across_flush_and_reopen() {
+        let dir = std::env::temp_dir().join(format!("pathix-pbt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tree.pages");
+        let n = 1_200u32;
+        {
+            let pool = BufferPool::new(crate::DiskManager::create(&path).unwrap(), 16);
+            let mut tree =
+                PagedBTree::bulk_load(pool, (0..n).map(|i| (key(i), val(i)))).unwrap();
+            tree.flush().unwrap();
+        }
+        {
+            let pool = BufferPool::new(crate::DiskManager::open(&path).unwrap(), 16);
+            let tree = PagedBTree::open(pool).unwrap();
+            assert_eq!(tree.len(), n as u64);
+            assert_eq!(tree.get(&key(777)).unwrap(), Some(val(777)));
+            assert_eq!(tree.iter().unwrap().count(), n as usize);
+            tree.check_invariants().unwrap();
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_rejects_non_tree_files() {
+        let pool = BufferPool::in_memory(4);
+        pool.allocate_page().unwrap();
+        assert!(PagedBTree::open(pool).is_err());
+    }
+
+    #[test]
+    fn small_buffer_pool_still_serves_large_trees() {
+        // The tree is much larger than the 4-frame pool: every descent causes
+        // misses, but results stay correct.
+        let pairs: Vec<_> = (0..4_000u32).map(|i| (key(i), val(i))).collect();
+        let tree = PagedBTree::bulk_load(BufferPool::in_memory(4), pairs).unwrap();
+        for i in (0..4_000u32).step_by(173) {
+            assert_eq!(tree.get(&key(i)).unwrap(), Some(val(i)));
+        }
+        let stats = tree.pool().stats();
+        assert!(stats.evictions > 0);
+        assert!(stats.misses > stats.hits / 100, "pool is too small to mostly hit");
+    }
+}

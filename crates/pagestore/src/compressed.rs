@@ -1,0 +1,253 @@
+//! Compressed per-path pair blocks.
+//!
+//! The paper's companion work (reference [14]) investigates the *size* of a
+//! from-scratch path index and how far compression can shrink it. This module
+//! provides that compressed representation: for every label path `p` of
+//! length ≤ k, the sorted pair set `p(G)` is stored as one delta/varint block
+//! ([`crate::varint::encode_pairs`]) keyed by the path, instead of one B+tree
+//! entry per pair.
+//!
+//! The trade-off mirrors the one studied there: blocks are far smaller than
+//! per-pair keys (each pair repeats the full path prefix in the B+tree), but
+//! source-prefix lookups (`I_{G,k}(p, a)`) must decode the block up to `a`
+//! instead of seeking directly.
+
+use crate::varint::{encode_pairs, PairDecoder};
+use pathix_graph::{NodeId, SignedLabel};
+use pathix_index::pathkey::encode_path_prefix;
+use pathix_index::{enumerate_paths, KPathIndex};
+use pathix_graph::Graph;
+use std::collections::BTreeMap;
+
+/// Size accounting of a [`CompressedPathStore`] compared against the
+/// uncompressed per-entry B+tree representation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompressionStats {
+    /// Number of distinct label paths stored.
+    pub paths: usize,
+    /// Total number of `(source, target)` pairs across all paths.
+    pub pairs: u64,
+    /// Bytes of compressed block payload (excluding the path keys).
+    pub compressed_bytes: u64,
+    /// Bytes the same data occupies as one B+tree entry per pair
+    /// (`⟨path, source, target⟩` keys with empty values).
+    pub uncompressed_bytes: u64,
+}
+
+impl CompressionStats {
+    /// Compression ratio `uncompressed / compressed` (1.0 when empty).
+    pub fn ratio(&self) -> f64 {
+        if self.compressed_bytes == 0 {
+            1.0
+        } else {
+            self.uncompressed_bytes as f64 / self.compressed_bytes as f64
+        }
+    }
+}
+
+/// A compressed, path-keyed store of the pair sets `p(G)` for `|p| ≤ k`.
+#[derive(Debug, Clone)]
+pub struct CompressedPathStore {
+    k: usize,
+    blocks: BTreeMap<Vec<u8>, Block>,
+}
+
+#[derive(Debug, Clone)]
+struct Block {
+    bytes: Vec<u8>,
+    pairs: u64,
+}
+
+impl CompressedPathStore {
+    /// Builds the store for every label path of length ≤ k over `graph`.
+    pub fn build(graph: &Graph, k: usize) -> Self {
+        let relations = enumerate_paths(graph, k);
+        let mut blocks = BTreeMap::new();
+        for rel in &relations {
+            let mut pairs: Vec<(u32, u32)> =
+                rel.pairs.iter().map(|(s, t)| (s.0, t.0)).collect();
+            pairs.sort_unstable();
+            pairs.dedup();
+            blocks.insert(
+                encode_path_prefix(&rel.path),
+                Block {
+                    bytes: encode_pairs(&pairs),
+                    pairs: pairs.len() as u64,
+                },
+            );
+        }
+        CompressedPathStore { k, blocks }
+    }
+
+    /// Builds the store from an already-constructed [`KPathIndex`] (avoids
+    /// re-enumerating paths when both representations are wanted).
+    pub fn from_index(index: &KPathIndex) -> Self {
+        let mut blocks = BTreeMap::new();
+        for (path, _) in index.per_path_counts() {
+            let mut pairs: Vec<(u32, u32)> = index
+                .scan_path(path)
+                .map(|(s, t)| (s.0, t.0))
+                .collect();
+            pairs.sort_unstable();
+            pairs.dedup();
+            blocks.insert(
+                encode_path_prefix(path),
+                Block {
+                    bytes: encode_pairs(&pairs),
+                    pairs: pairs.len() as u64,
+                },
+            );
+        }
+        CompressedPathStore {
+            k: index.k(),
+            blocks,
+        }
+    }
+
+    /// The locality parameter the store was built with.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of distinct label paths stored.
+    pub fn path_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Decodes and returns `p(G)` in `(source, target)` order, or an empty
+    /// vector when the path is not stored (unknown label or `|p| > k`).
+    pub fn pairs(&self, path: &[SignedLabel]) -> Vec<(NodeId, NodeId)> {
+        self.scan_path(path)
+            .map(|(s, t)| (NodeId(s), NodeId(t)))
+            .collect()
+    }
+
+    /// Streaming scan of `p(G)` as raw `u32` pairs in `(source, target)`
+    /// order (empty when the path is not stored).
+    pub fn scan_path(&self, path: &[SignedLabel]) -> PairDecoder<'_> {
+        static EMPTY: &[u8] = &[0];
+        let key = encode_path_prefix(path);
+        match self.blocks.get(&key) {
+            Some(block) => PairDecoder::new(&block.bytes),
+            None => PairDecoder::new(EMPTY),
+        }
+    }
+
+    /// Targets reachable from `source` via `path`, decoded from the block.
+    pub fn targets_from(&self, path: &[SignedLabel], source: NodeId) -> Vec<NodeId> {
+        self.scan_path(path)
+            .filter(|&(s, _)| s == source.0)
+            .map(|(_, t)| NodeId(t))
+            .collect()
+    }
+
+    /// Membership test for `(source, target) ∈ p(G)`.
+    pub fn contains(&self, path: &[SignedLabel], source: NodeId, target: NodeId) -> bool {
+        self.scan_path(path)
+            .any(|(s, t)| s == source.0 && t == target.0)
+    }
+
+    /// Number of pairs stored for `path`, if it is stored.
+    pub fn path_cardinality(&self, path: &[SignedLabel]) -> Option<u64> {
+        self.blocks.get(&encode_path_prefix(path)).map(|b| b.pairs)
+    }
+
+    /// Size accounting versus the per-entry B+tree layout.
+    pub fn stats(&self) -> CompressionStats {
+        let mut pairs = 0u64;
+        let mut compressed = 0u64;
+        let mut uncompressed = 0u64;
+        for (key, block) in &self.blocks {
+            pairs += block.pairs;
+            compressed += block.bytes.len() as u64 + key.len() as u64;
+            // One B+tree entry per pair: the full composite key (path prefix
+            // plus 8 bytes of node ids) with an empty value.
+            uncompressed += block.pairs * (key.len() as u64 + 8);
+        }
+        CompressionStats {
+            paths: self.blocks.len(),
+            pairs,
+            compressed_bytes: compressed,
+            uncompressed_bytes: uncompressed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathix_datagen::paper_example_graph;
+    use pathix_graph::SignedLabel;
+
+    fn knows(g: &Graph) -> SignedLabel {
+        SignedLabel::forward(g.label_id("knows").unwrap())
+    }
+
+    #[test]
+    fn matches_the_uncompressed_index_on_the_paper_example() {
+        let g = paper_example_graph();
+        let k = 3;
+        let index = KPathIndex::build(&g, k);
+        let store = CompressedPathStore::build(&g, k);
+        assert_eq!(store.k(), k);
+        assert_eq!(store.path_count(), index.per_path_counts().len());
+        for (path, count) in index.per_path_counts() {
+            let from_index: Vec<_> = index.scan_path(path).collect();
+            let from_store = store.pairs(path);
+            assert_eq!(from_index, from_store, "path {path:?}");
+            assert_eq!(store.path_cardinality(path), Some(*count));
+        }
+    }
+
+    #[test]
+    fn from_index_equals_build() {
+        let g = paper_example_graph();
+        let index = KPathIndex::build(&g, 2);
+        let a = CompressedPathStore::build(&g, 2);
+        let b = CompressedPathStore::from_index(&index);
+        assert_eq!(a.path_count(), b.path_count());
+        for (path, _) in index.per_path_counts() {
+            assert_eq!(a.pairs(path), b.pairs(path));
+        }
+    }
+
+    #[test]
+    fn lookup_shapes_match_example_31_semantics() {
+        let g = paper_example_graph();
+        let store = CompressedPathStore::build(&g, 2);
+        let kn = knows(&g);
+        let path = [kn, kn];
+        let all = store.pairs(&path);
+        assert!(!all.is_empty());
+        let (src, dst) = all[0];
+        assert!(store.targets_from(&path, src).contains(&dst));
+        assert!(store.contains(&path, src, dst));
+        // A node pair that is definitely absent.
+        assert!(!store.contains(&path, NodeId(u32::MAX - 1), NodeId(0)));
+    }
+
+    #[test]
+    fn unknown_paths_scan_empty() {
+        let g = paper_example_graph();
+        let store = CompressedPathStore::build(&g, 1);
+        let kn = knows(&g);
+        // Length 2 > k = 1 is not stored.
+        assert!(store.pairs(&[kn, kn]).is_empty());
+        assert_eq!(store.path_cardinality(&[kn, kn]), None);
+    }
+
+    #[test]
+    fn compression_beats_the_per_entry_layout() {
+        let g = paper_example_graph();
+        let store = CompressedPathStore::build(&g, 3);
+        let stats = store.stats();
+        assert!(stats.pairs > 0);
+        assert!(
+            stats.compressed_bytes < stats.uncompressed_bytes,
+            "compressed {} !< uncompressed {}",
+            stats.compressed_bytes,
+            stats.uncompressed_bytes
+        );
+        assert!(stats.ratio() > 1.0);
+    }
+}

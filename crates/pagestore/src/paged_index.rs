@@ -1,0 +1,208 @@
+//! A disk-resident k-path index: `I_{G,k}` stored in a [`PagedBTree`].
+//!
+//! This is the paged counterpart of [`pathix_index::KPathIndex`]: the same
+//! search key `⟨label path, sourceID, targetID⟩` and the same three lookup
+//! shapes (Example 3.1 of the paper), but entries live in buffer-pool pages
+//! so index size, build I/O and cold-vs-warm scan behaviour can be measured —
+//! the questions studied by the companion work the paper cites (ref. [14]).
+
+use crate::btree::{PagedBTree, PagedTreeStats};
+use crate::buffer::{BufferPool, PoolStats};
+use crate::disk::DiskManager;
+use pathix_graph::{Graph, NodeId, SignedLabel};
+use pathix_index::pathkey::{
+    decode_entry, encode_entry, encode_path_prefix, encode_path_source_prefix,
+};
+use pathix_index::enumerate_paths;
+use std::io;
+
+/// Construction and size statistics of a [`PagedPathIndex`].
+#[derive(Debug, Clone, Copy)]
+pub struct PagedIndexStats {
+    /// Locality parameter k.
+    pub k: usize,
+    /// Number of `⟨p, a, b⟩` entries (pairs summed over all paths).
+    pub entries: u64,
+    /// Number of distinct label paths indexed.
+    pub paths: usize,
+    /// B+tree shape (pages, height, bytes on disk).
+    pub tree: PagedTreeStats,
+}
+
+/// The k-path index stored on pages behind a buffer pool.
+#[derive(Debug)]
+pub struct PagedPathIndex {
+    k: usize,
+    paths: usize,
+    tree: PagedBTree,
+}
+
+impl PagedPathIndex {
+    /// Builds the index for `graph` with locality `k` into a fresh in-memory
+    /// page store with `pool_frames` buffer frames.
+    pub fn build_in_memory(graph: &Graph, k: usize, pool_frames: usize) -> io::Result<Self> {
+        Self::build(graph, k, BufferPool::new(DiskManager::in_memory(), pool_frames))
+    }
+
+    /// Builds the index for `graph` with locality `k` into a page file at
+    /// `path` (created or truncated) with `pool_frames` buffer frames.
+    pub fn build_on_disk<P: AsRef<std::path::Path>>(
+        graph: &Graph,
+        k: usize,
+        path: P,
+        pool_frames: usize,
+    ) -> io::Result<Self> {
+        Self::build(graph, k, BufferPool::new(DiskManager::create(path)?, pool_frames))
+    }
+
+    /// Builds the index into the given (empty) buffer pool.
+    pub fn build(graph: &Graph, k: usize, pool: BufferPool) -> io::Result<Self> {
+        let relations = enumerate_paths(graph, k);
+        let paths = relations.len();
+        // Entries must reach bulk_load in key order; relations are produced
+        // per path, so collect and sort the full key set once.
+        let mut keys: Vec<Vec<u8>> = Vec::new();
+        for rel in &relations {
+            let mut pairs = rel.pairs.clone();
+            pairs.sort_unstable();
+            pairs.dedup();
+            for (s, t) in pairs {
+                keys.push(encode_entry(&rel.path, s, t));
+            }
+        }
+        keys.sort_unstable();
+        keys.dedup();
+        let mut tree =
+            PagedBTree::bulk_load(pool, keys.into_iter().map(|k| (k, Vec::new())))?;
+        tree.flush()?;
+        Ok(PagedPathIndex { k, paths, tree })
+    }
+
+    /// The locality parameter k.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of `⟨p, a, b⟩` entries.
+    pub fn len(&self) -> u64 {
+        self.tree.len()
+    }
+
+    /// `true` when the index holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.tree.is_empty()
+    }
+
+    /// Index statistics (entries, paths, tree shape, bytes on disk).
+    pub fn stats(&self) -> PagedIndexStats {
+        PagedIndexStats {
+            k: self.k,
+            entries: self.tree.len(),
+            paths: self.paths,
+            tree: self.tree.stats(),
+        }
+    }
+
+    /// Buffer-pool cache statistics accumulated so far.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.tree.pool().stats()
+    }
+
+    /// Resets the buffer-pool counters (useful before measuring one query).
+    pub fn reset_pool_stats(&self) {
+        self.tree.pool().reset_stats()
+    }
+
+    /// `I_{G,k}(p)`: every pair connected by label path `p`, ordered by
+    /// `(source, target)`.
+    pub fn scan_path(&self, path: &[SignedLabel]) -> io::Result<Vec<(NodeId, NodeId)>> {
+        let prefix = encode_path_prefix(path);
+        let mut out = Vec::new();
+        for item in self.tree.scan_prefix(&prefix)? {
+            let (key, _) = item?;
+            if let Some((_, s, t)) = decode_entry(&key) {
+                out.push((s, t));
+            }
+        }
+        Ok(out)
+    }
+
+    /// `I_{G,k}(p, a)`: targets reachable from `source` via `p`, in order.
+    pub fn scan_path_from(
+        &self,
+        path: &[SignedLabel],
+        source: NodeId,
+    ) -> io::Result<Vec<NodeId>> {
+        let prefix = encode_path_source_prefix(path, source);
+        let mut out = Vec::new();
+        for item in self.tree.scan_prefix(&prefix)? {
+            let (key, _) = item?;
+            if let Some((_, _, t)) = decode_entry(&key) {
+                out.push(t);
+            }
+        }
+        Ok(out)
+    }
+
+    /// `I_{G,k}(p, a, b)`: membership test.
+    pub fn contains(
+        &self,
+        path: &[SignedLabel],
+        source: NodeId,
+        target: NodeId,
+    ) -> io::Result<bool> {
+        self.tree.contains_key(&encode_entry(path, source, target))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathix_datagen::paper_example_graph;
+    use pathix_index::KPathIndex;
+
+    #[test]
+    fn paged_index_matches_in_memory_index() {
+        let g = paper_example_graph();
+        let k = 2;
+        let mem = KPathIndex::build(&g, k);
+        let paged = PagedPathIndex::build_in_memory(&g, k, 8).unwrap();
+        assert_eq!(paged.k(), k);
+        assert_eq!(paged.len(), mem.stats().entries as u64);
+        for (path, _) in mem.per_path_counts() {
+            let expected: Vec<_> = mem.scan_path(path).collect();
+            assert_eq!(paged.scan_path(path).unwrap(), expected, "path {path:?}");
+            if let Some(&(src, dst)) = expected.first() {
+                assert!(paged.contains(path, src, dst).unwrap());
+                let targets = paged.scan_path_from(path, src).unwrap();
+                assert_eq!(targets, mem.scan_path_from(path, src));
+            }
+        }
+    }
+
+    #[test]
+    fn on_disk_index_round_trips_through_a_file() {
+        let dir = std::env::temp_dir().join(format!("pathix-pidx-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("kpath.pages");
+        let g = paper_example_graph();
+        let idx = PagedPathIndex::build_on_disk(&g, 2, &path, 8).unwrap();
+        assert!(idx.len() > 0);
+        let stats = idx.stats();
+        assert!(stats.tree.pages > 1);
+        assert_eq!(stats.k, 2);
+        assert!(std::fs::metadata(&path).unwrap().len() >= stats.tree.bytes_on_disk);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn pool_counters_reflect_scans() {
+        let g = paper_example_graph();
+        let idx = PagedPathIndex::build_in_memory(&g, 2, 4).unwrap();
+        idx.reset_pool_stats();
+        let knows = SignedLabel::forward(g.label_id("knows").unwrap());
+        let _ = idx.scan_path(&[knows]).unwrap();
+        let stats = idx.pool_stats();
+        assert!(stats.hits + stats.misses > 0);
+    }
+}

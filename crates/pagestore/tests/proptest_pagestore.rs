@@ -1,0 +1,102 @@
+//! Property-based tests: the paged B+tree and the compressed pair blocks are
+//! checked against simple in-memory models (`BTreeMap`, plain vectors).
+
+use pathix_pagestore::varint::{decode_pairs, encode_pairs, PairDecoder};
+use pathix_pagestore::{BufferPool, PagedBTree};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Arbitrary small byte-string keys: short alphabets produce many prefix
+/// collisions, which is what stresses ordering and splits.
+fn key_strategy() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(proptest::sample::select(vec![0u8, 1, 7, 42, 200, 255]), 1..12)
+}
+
+fn value_strategy() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), 0..20)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Inserting any multiset of key/value pairs leaves the paged tree with
+    /// exactly the contents of a `BTreeMap` model, in the same order.
+    #[test]
+    fn paged_btree_matches_btreemap_model(
+        ops in proptest::collection::vec((key_strategy(), value_strategy()), 1..300),
+        deletes in proptest::collection::vec(key_strategy(), 0..50),
+    ) {
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        let mut tree = PagedBTree::create(BufferPool::in_memory(8)).unwrap();
+        for (k, v) in &ops {
+            model.insert(k.clone(), v.clone());
+            tree.insert(k.clone(), v.clone()).unwrap();
+        }
+        for k in &deletes {
+            prop_assert_eq!(tree.delete(k).unwrap(), model.remove(k));
+        }
+        prop_assert_eq!(tree.len(), model.len() as u64);
+        let tree_entries: Vec<_> = tree.iter().unwrap().map(Result::unwrap).collect();
+        let model_entries: Vec<_> = model.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        prop_assert_eq!(tree_entries, model_entries);
+        tree.check_invariants().unwrap();
+    }
+
+    /// Range scans agree with the model for arbitrary bounds.
+    #[test]
+    fn paged_btree_range_matches_model(
+        entries in proptest::collection::btree_map(key_strategy(), value_strategy(), 0..200),
+        start in key_strategy(),
+        end in key_strategy(),
+    ) {
+        let tree = PagedBTree::bulk_load(
+            BufferPool::in_memory(8),
+            entries.iter().map(|(k, v)| (k.clone(), v.clone())),
+        )
+        .unwrap();
+        let (lo, hi) = if start <= end { (start, end) } else { (end, start) };
+        let expected: Vec<_> = entries
+            .range(lo.clone()..hi.clone())
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        let got: Vec<_> = tree
+            .range(&lo, Some(&hi))
+            .unwrap()
+            .map(Result::unwrap)
+            .collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Bulk load and incremental insert produce identical trees.
+    #[test]
+    fn bulk_load_equals_incremental_inserts(
+        entries in proptest::collection::btree_map(key_strategy(), value_strategy(), 0..200),
+    ) {
+        let bulk = PagedBTree::bulk_load(
+            BufferPool::in_memory(8),
+            entries.iter().map(|(k, v)| (k.clone(), v.clone())),
+        )
+        .unwrap();
+        let mut incr = PagedBTree::create(BufferPool::in_memory(8)).unwrap();
+        for (k, v) in &entries {
+            incr.insert(k.clone(), v.clone()).unwrap();
+        }
+        let a: Vec<_> = bulk.iter().unwrap().map(Result::unwrap).collect();
+        let b: Vec<_> = incr.iter().unwrap().map(Result::unwrap).collect();
+        prop_assert_eq!(a, b);
+        bulk.check_invariants().unwrap();
+        incr.check_invariants().unwrap();
+    }
+
+    /// Delta/varint pair blocks round-trip any sorted pair set.
+    #[test]
+    fn pair_blocks_round_trip(
+        raw in proptest::collection::btree_set((0u32..5_000, 0u32..5_000), 0..500),
+    ) {
+        let pairs: Vec<(u32, u32)> = raw.into_iter().collect();
+        let block = encode_pairs(&pairs);
+        prop_assert_eq!(decode_pairs(&block), Some(pairs.clone()));
+        let streamed: Vec<_> = PairDecoder::new(&block).collect();
+        prop_assert_eq!(streamed, pairs);
+    }
+}

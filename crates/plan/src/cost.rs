@@ -1,0 +1,163 @@
+//! The cost model driving the histogram-guided strategies.
+//!
+//! Costs are expressed in "pairs touched": an index scan costs its estimated
+//! cardinality, a join costs its inputs plus its estimated output, and a hash
+//! join additionally pays for building the hash table on its right input.
+//! Cardinalities come from the k-path histogram via
+//! [`pathix_index::CardinalityEstimator`].
+
+use crate::plan::{JoinAlgorithm, PhysicalPlan};
+use pathix_index::CardinalityEstimator;
+
+/// Estimated cardinality and cumulative cost of a plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanCost {
+    /// Estimated number of distinct output pairs.
+    pub cardinality: f64,
+    /// Estimated total work to produce them.
+    pub cost: f64,
+}
+
+/// Costs a physical plan bottom-up.
+pub fn cost_plan(plan: &PhysicalPlan, estimator: &CardinalityEstimator<'_>) -> PlanCost {
+    match plan {
+        PhysicalPlan::IndexScan { path, .. } => {
+            let cardinality = estimator.path_cardinality(path);
+            PlanCost {
+                cardinality,
+                cost: cardinality,
+            }
+        }
+        PhysicalPlan::Epsilon => {
+            let n = estimator.node_count() as f64;
+            PlanCost {
+                cardinality: n,
+                cost: n,
+            }
+        }
+        PhysicalPlan::Join {
+            algorithm,
+            left,
+            right,
+        } => {
+            let l = cost_plan(left, estimator);
+            let r = cost_plan(right, estimator);
+            let cardinality = estimator.join_cardinality(l.cardinality, r.cardinality);
+            let mut cost = l.cost + r.cost + l.cardinality + r.cardinality + cardinality;
+            if *algorithm == JoinAlgorithm::Hash {
+                // Building the hash table touches the right input once more.
+                cost += r.cardinality;
+            }
+            PlanCost { cardinality, cost }
+        }
+        PhysicalPlan::Union(children) => {
+            let mut cardinality = 0.0;
+            let mut cost = 0.0;
+            for child in children {
+                let c = cost_plan(child, estimator);
+                cardinality += c.cardinality;
+                cost += c.cost;
+            }
+            // Final duplicate elimination touches every produced pair.
+            PlanCost {
+                cardinality,
+                cost: cost + cardinality,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathix_graph::SignedLabel;
+    use pathix_index::{EstimationMode, PathHistogram};
+
+    fn sl(code: u16) -> SignedLabel {
+        SignedLabel::from_code(code)
+    }
+
+    fn estimator_fixture() -> (PathHistogram, usize) {
+        let counts = vec![
+            (vec![sl(0)], 100),
+            (vec![sl(2)], 10),
+            (vec![sl(0), sl(2)], 50),
+            (vec![sl(2), sl(0)], 40),
+        ];
+        (
+            PathHistogram::build(&counts, 1000, 2, EstimationMode::Exact),
+            100,
+        )
+    }
+
+    #[test]
+    fn scan_cost_is_its_cardinality() {
+        let (h, n) = estimator_fixture();
+        let est = CardinalityEstimator::new(&h, n);
+        let c = cost_plan(&PhysicalPlan::scan(vec![sl(0)]), &est);
+        assert_eq!(c.cardinality, 100.0);
+        assert_eq!(c.cost, 100.0);
+    }
+
+    #[test]
+    fn hash_join_costs_more_than_merge_join() {
+        let (h, n) = estimator_fixture();
+        let est = CardinalityEstimator::new(&h, n);
+        let merge = PhysicalPlan::Join {
+            algorithm: JoinAlgorithm::Merge,
+            left: Box::new(PhysicalPlan::scan(vec![sl(0)])),
+            right: Box::new(PhysicalPlan::scan(vec![sl(2)])),
+        };
+        let hash = PhysicalPlan::Join {
+            algorithm: JoinAlgorithm::Hash,
+            left: Box::new(PhysicalPlan::scan(vec![sl(0)])),
+            right: Box::new(PhysicalPlan::scan(vec![sl(2)])),
+        };
+        let cm = cost_plan(&merge, &est);
+        let ch = cost_plan(&hash, &est);
+        assert_eq!(cm.cardinality, ch.cardinality);
+        assert!(ch.cost > cm.cost);
+    }
+
+    #[test]
+    fn join_cardinality_uses_independence_assumption() {
+        let (h, n) = estimator_fixture();
+        let est = CardinalityEstimator::new(&h, n);
+        let plan = PhysicalPlan::compose(
+            PhysicalPlan::scan(vec![sl(0)]),
+            PhysicalPlan::scan(vec![sl(2)]),
+        );
+        let c = cost_plan(&plan, &est);
+        assert!((c.cardinality - 100.0 * 10.0 / 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn selective_scans_produce_cheaper_plans() {
+        let (h, n) = estimator_fixture();
+        let est = CardinalityEstimator::new(&h, n);
+        let cheap = cost_plan(&PhysicalPlan::scan(vec![sl(2)]), &est);
+        let pricey = cost_plan(&PhysicalPlan::scan(vec![sl(0)]), &est);
+        assert!(cheap.cost < pricey.cost);
+    }
+
+    #[test]
+    fn union_cost_sums_children_plus_dedup() {
+        let (h, n) = estimator_fixture();
+        let est = CardinalityEstimator::new(&h, n);
+        let union = PhysicalPlan::Union(vec![
+            PhysicalPlan::scan(vec![sl(0)]),
+            PhysicalPlan::scan(vec![sl(2)]),
+        ]);
+        let c = cost_plan(&union, &est);
+        assert_eq!(c.cardinality, 110.0);
+        assert_eq!(c.cost, 100.0 + 10.0 + 110.0);
+    }
+
+    #[test]
+    fn epsilon_costs_node_count() {
+        let (h, n) = estimator_fixture();
+        let est = CardinalityEstimator::new(&h, n);
+        let c = cost_plan(&PhysicalPlan::Epsilon, &est);
+        assert_eq!(c.cardinality, n as f64);
+    }
+}

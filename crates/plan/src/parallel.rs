@@ -1,0 +1,109 @@
+//! Parallel execution of a query's disjunct plans.
+//!
+//! After union pull-up a query is a union of independent label-path
+//! disjuncts (Section 4 of the paper); their physical plans touch the index
+//! read-only, so they can be evaluated concurrently. This module runs each
+//! disjunct plan on a `crossbeam` scoped thread and merges the results under
+//! the paper's set semantics (sorted, duplicate-free pairs).
+
+use crate::executor::execute;
+use crate::plan::PhysicalPlan;
+use pathix_exec::Pair;
+use pathix_index::KPathIndex;
+
+/// Executes the disjunct plans of a query concurrently on up to `threads`
+/// worker threads and merges their answers into one sorted, duplicate-free
+/// pair list.
+///
+/// Passing a [`PhysicalPlan::Union`] runs each child in parallel; any other
+/// plan shape is executed as-is on the calling thread.
+pub fn execute_parallel(plan: &PhysicalPlan, index: &KPathIndex, threads: usize) -> Vec<Pair> {
+    let children: &[PhysicalPlan] = match plan {
+        PhysicalPlan::Union(children) if children.len() > 1 => children,
+        other => return execute(other, index),
+    };
+    let threads = threads.max(1);
+    let chunk_size = children.len().div_ceil(threads);
+
+    let mut merged: Vec<Pair> = crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for chunk in children.chunks(chunk_size) {
+            handles.push(scope.spawn(move |_| {
+                let mut partial = Vec::new();
+                for child in chunk {
+                    partial.extend(execute(child, index));
+                }
+                partial
+            }));
+        }
+        let mut all = Vec::new();
+        for handle in handles {
+            all.append(&mut handle.join().expect("disjunct worker panicked"));
+        }
+        all
+    })
+    .expect("crossbeam scope failed");
+
+    merged.sort_unstable();
+    merged.dedup();
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::{plan_query, PlannerContext, Strategy};
+    use pathix_datagen::paper_example_graph;
+    use pathix_index::{EstimationMode, KPathIndex, PathHistogram};
+    use pathix_rpq::{parse, to_disjuncts, RewriteOptions};
+
+    fn setup() -> (pathix_graph::Graph, KPathIndex, PathHistogram) {
+        let g = paper_example_graph();
+        let index = KPathIndex::build(&g, 2);
+        let histogram = PathHistogram::build(
+            index.per_path_counts(),
+            index.paths_k_size(),
+            2,
+            EstimationMode::default(),
+        );
+        (g, index, histogram)
+    }
+
+    fn plans_for(
+        query: &str,
+        g: &pathix_graph::Graph,
+        ctx: &PlannerContext<'_>,
+    ) -> PhysicalPlan {
+        let expr = parse(query).unwrap().bind(g).unwrap();
+        let disjuncts = to_disjuncts(&expr, RewriteOptions::default()).unwrap();
+        plan_query(Strategy::MinSupport, &disjuncts, ctx)
+    }
+
+    #[test]
+    fn parallel_execution_matches_sequential() {
+        let (g, index, histogram) = setup();
+        let ctx = PlannerContext::new(&index, &histogram);
+        for query in [
+            "knows/knows/worksFor",
+            "(supervisor|worksFor|worksFor-){4,5}",
+            "knows{1,4}",
+            "supervisor/worksFor-",
+        ] {
+            let plan = plans_for(query, &g, &ctx);
+            let sequential = execute(&plan, &index);
+            for threads in [1, 2, 8] {
+                let parallel = execute_parallel(&plan, &index, threads);
+                assert_eq!(parallel, sequential, "query {query}, threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn non_union_plans_run_inline() {
+        let (g, index, histogram) = setup();
+        let ctx = PlannerContext::new(&index, &histogram);
+        let plan = plans_for("knows/worksFor", &g, &ctx);
+        let result = execute_parallel(&plan, &index, 4);
+        assert_eq!(result, execute(&plan, &index));
+    }
+}

@@ -1,0 +1,190 @@
+//! Strategy selection and whole-query planning.
+
+use crate::plan::PhysicalPlan;
+use crate::{min_join, min_support, naive, semi_naive};
+use pathix_index::{CardinalityEstimator, KPathIndex, PathHistogram};
+use pathix_rpq::LabelPath;
+
+/// The four evaluation strategies of the paper (Sections 4 and 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// k fixed at 1: only single edge labels are scanned, equivalent to
+    /// automaton-based evaluation.
+    Naive,
+    /// Left-to-right chunking into length-k segments.
+    SemiNaive,
+    /// Recursive split on the most selective length-k sub-path.
+    MinSupport,
+    /// Minimal number of index lookups, segmentation chosen by cost.
+    MinJoin,
+}
+
+impl Strategy {
+    /// All strategies in the order the paper reports them.
+    pub fn all() -> [Strategy; 4] {
+        [
+            Strategy::Naive,
+            Strategy::SemiNaive,
+            Strategy::MinSupport,
+            Strategy::MinJoin,
+        ]
+    }
+
+    /// The name used in the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::Naive => "naive",
+            Strategy::SemiNaive => "semi-naive",
+            Strategy::MinSupport => "minSupport",
+            Strategy::MinJoin => "minJoin",
+        }
+    }
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Everything a strategy needs to plan: the index (for k and the node count)
+/// and the histogram (for selectivity estimates).
+#[derive(Debug, Clone, Copy)]
+pub struct PlannerContext<'a> {
+    index: &'a KPathIndex,
+    histogram: &'a PathHistogram,
+}
+
+impl<'a> PlannerContext<'a> {
+    /// Creates a context over an index and its histogram.
+    pub fn new(index: &'a KPathIndex, histogram: &'a PathHistogram) -> Self {
+        PlannerContext { index, histogram }
+    }
+
+    /// The index locality parameter k.
+    pub fn k(&self) -> usize {
+        self.index.k()
+    }
+
+    /// Number of nodes of the indexed graph.
+    pub fn node_count(&self) -> usize {
+        self.index.node_count()
+    }
+
+    /// The histogram used for selectivity estimates.
+    pub fn histogram(&self) -> &'a PathHistogram {
+        self.histogram
+    }
+
+    /// The index being planned against.
+    pub fn index(&self) -> &'a KPathIndex {
+        self.index
+    }
+
+    /// A cardinality estimator over the histogram.
+    pub fn estimator(&self) -> CardinalityEstimator<'a> {
+        CardinalityEstimator::new(self.histogram, self.node_count())
+    }
+}
+
+/// Plans a single disjunct (a label path; the empty path is ε).
+pub fn plan_disjunct(
+    strategy: Strategy,
+    disjunct: &LabelPath,
+    ctx: &PlannerContext<'_>,
+) -> PhysicalPlan {
+    if disjunct.is_empty() {
+        return PhysicalPlan::Epsilon;
+    }
+    match strategy {
+        Strategy::Naive => naive::plan_disjunct(disjunct, ctx),
+        Strategy::SemiNaive => semi_naive::plan_disjunct(disjunct, ctx),
+        Strategy::MinSupport => min_support::plan_disjunct(disjunct, ctx),
+        Strategy::MinJoin => min_join::plan_disjunct(disjunct, ctx),
+    }
+}
+
+/// Plans a whole query given its disjuncts: the union of the per-disjunct
+/// plans (a single disjunct skips the union node).
+pub fn plan_query(
+    strategy: Strategy,
+    disjuncts: &[LabelPath],
+    ctx: &PlannerContext<'_>,
+) -> PhysicalPlan {
+    let mut plans: Vec<PhysicalPlan> = disjuncts
+        .iter()
+        .map(|d| plan_disjunct(strategy, d, ctx))
+        .collect();
+    match plans.len() {
+        0 => PhysicalPlan::Union(Vec::new()),
+        1 => plans.pop().expect("one plan"),
+        _ => PhysicalPlan::Union(plans),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathix_datagen::paper_example_graph;
+    use pathix_graph::SignedLabel;
+    use pathix_index::EstimationMode;
+
+    fn fixture() -> (KPathIndex, PathHistogram) {
+        let g = paper_example_graph();
+        let index = KPathIndex::build(&g, 2);
+        let hist = PathHistogram::build(
+            index.per_path_counts(),
+            index.paths_k_size(),
+            2,
+            EstimationMode::Exact,
+        );
+        (index, hist)
+    }
+
+    #[test]
+    fn strategy_names_match_the_paper() {
+        let names: Vec<_> = Strategy::all().iter().map(|s| s.name()).collect();
+        assert_eq!(names, vec!["naive", "semi-naive", "minSupport", "minJoin"]);
+        assert_eq!(Strategy::MinJoin.to_string(), "minJoin");
+    }
+
+    #[test]
+    fn empty_disjunct_plans_to_epsilon() {
+        let (index, hist) = fixture();
+        let ctx = PlannerContext::new(&index, &hist);
+        for s in Strategy::all() {
+            assert_eq!(plan_disjunct(s, &Vec::new(), &ctx), PhysicalPlan::Epsilon);
+        }
+    }
+
+    #[test]
+    fn single_disjunct_skips_union() {
+        let (index, hist) = fixture();
+        let ctx = PlannerContext::new(&index, &hist);
+        let d = vec![SignedLabel::from_code(0)];
+        let plan = plan_query(Strategy::SemiNaive, &[d], &ctx);
+        assert!(!matches!(plan, PhysicalPlan::Union(_)));
+    }
+
+    #[test]
+    fn multiple_disjuncts_form_a_union() {
+        let (index, hist) = fixture();
+        let ctx = PlannerContext::new(&index, &hist);
+        let d1 = vec![SignedLabel::from_code(0)];
+        let d2 = vec![SignedLabel::from_code(2)];
+        let plan = plan_query(Strategy::SemiNaive, &[d1, d2], &ctx);
+        match plan {
+            PhysicalPlan::Union(children) => assert_eq!(children.len(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn context_accessors() {
+        let (index, hist) = fixture();
+        let ctx = PlannerContext::new(&index, &hist);
+        assert_eq!(ctx.k(), 2);
+        assert_eq!(ctx.node_count(), 9);
+        assert_eq!(ctx.estimator().node_count(), 9);
+    }
+}

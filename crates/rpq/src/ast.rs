@@ -1,0 +1,295 @@
+//! Abstract syntax of regular path queries.
+
+use crate::error::BindError;
+use pathix_graph::{Graph, SignedLabel};
+
+/// A regular path query expression, generic over how a navigation step is
+/// represented.
+///
+/// * [`ParsedExpr`] (`Expr<String>`) is what the parser produces: steps carry
+///   label *names*.
+/// * [`BoundExpr`] (`Expr<SignedLabel>`) is the result of resolving names
+///   against a graph vocabulary; inverse marks have been folded into the
+///   [`SignedLabel`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr<S> {
+    /// The identity relation `ε` — every node is related to itself.
+    Epsilon,
+    /// A single navigation step (`ℓ` when `backward` is false, `ℓ⁻` otherwise
+    /// in the parsed form; the bound form encodes direction in the step
+    /// itself and keeps `backward` false).
+    Step {
+        /// Label (name or bound signed label).
+        label: S,
+        /// Whether this step navigates against edge direction. Always `false`
+        /// once bound: direction is carried by the [`SignedLabel`].
+        backward: bool,
+    },
+    /// Composition `R₁ ∘ R₂ ∘ … ∘ Rₙ`.
+    Concat(Vec<Expr<S>>),
+    /// Disjunction `R₁ ∪ R₂ ∪ … ∪ Rₙ`.
+    Union(Vec<Expr<S>>),
+    /// Bounded recursion `R^{min,max}`. `max == None` denotes the Kleene
+    /// forms (`*`, `+`), which are bounded by `n(G)` at rewrite time as the
+    /// paper prescribes.
+    Repeat {
+        /// Repeated sub-expression.
+        inner: Box<Expr<S>>,
+        /// Minimum number of repetitions.
+        min: u32,
+        /// Maximum number of repetitions; `None` for unbounded sugar.
+        max: Option<u32>,
+    },
+}
+
+/// Expression with label names as produced by the parser.
+pub type ParsedExpr = Expr<String>;
+
+/// Expression bound to a graph vocabulary.
+pub type BoundExpr = Expr<SignedLabel>;
+
+/// A label path: a (possibly empty) sequence of signed labels. The empty
+/// path denotes `ε`.
+pub type LabelPath = Vec<SignedLabel>;
+
+impl ParsedExpr {
+    /// Resolves every label name against the vocabulary of `graph`,
+    /// producing a [`BoundExpr`].
+    pub fn bind(&self, graph: &Graph) -> Result<BoundExpr, BindError> {
+        match self {
+            Expr::Epsilon => Ok(Expr::Epsilon),
+            Expr::Step { label, backward } => {
+                let id = graph
+                    .label_id(label)
+                    .ok_or_else(|| BindError::UnknownLabel(label.clone()))?;
+                let signed = if *backward {
+                    SignedLabel::backward(id)
+                } else {
+                    SignedLabel::forward(id)
+                };
+                Ok(Expr::Step {
+                    label: signed,
+                    backward: false,
+                })
+            }
+            Expr::Concat(parts) => Ok(Expr::Concat(
+                parts
+                    .iter()
+                    .map(|p| p.bind(graph))
+                    .collect::<Result<_, _>>()?,
+            )),
+            Expr::Union(parts) => Ok(Expr::Union(
+                parts
+                    .iter()
+                    .map(|p| p.bind(graph))
+                    .collect::<Result<_, _>>()?,
+            )),
+            Expr::Repeat { inner, min, max } => Ok(Expr::Repeat {
+                inner: Box::new(inner.bind(graph)?),
+                min: *min,
+                max: *max,
+            }),
+        }
+    }
+}
+
+impl<S> Expr<S> {
+    /// Number of AST nodes; a rough complexity measure used in diagnostics.
+    pub fn size(&self) -> usize {
+        match self {
+            Expr::Epsilon | Expr::Step { .. } => 1,
+            Expr::Concat(parts) | Expr::Union(parts) => {
+                1 + parts.iter().map(Expr::size).sum::<usize>()
+            }
+            Expr::Repeat { inner, .. } => 1 + inner.size(),
+        }
+    }
+
+    /// `true` if the expression contains any recursion operator.
+    pub fn has_recursion(&self) -> bool {
+        match self {
+            Expr::Epsilon | Expr::Step { .. } => false,
+            Expr::Concat(parts) | Expr::Union(parts) => parts.iter().any(Expr::has_recursion),
+            Expr::Repeat { .. } => true,
+        }
+    }
+}
+
+impl BoundExpr {
+    /// Renders the expression using the label names of `graph`, in the same
+    /// syntax accepted by the parser.
+    pub fn display(&self, graph: &Graph) -> String {
+        fn go(e: &BoundExpr, graph: &Graph, out: &mut String) {
+            match e {
+                Expr::Epsilon => out.push_str("()"),
+                Expr::Step { label, .. } => {
+                    out.push_str(&graph.format_signed_label(*label));
+                }
+                Expr::Concat(parts) => {
+                    out.push('(');
+                    for (i, p) in parts.iter().enumerate() {
+                        if i > 0 {
+                            out.push('/');
+                        }
+                        go(p, graph, out);
+                    }
+                    out.push(')');
+                }
+                Expr::Union(parts) => {
+                    out.push('(');
+                    for (i, p) in parts.iter().enumerate() {
+                        if i > 0 {
+                            out.push('|');
+                        }
+                        go(p, graph, out);
+                    }
+                    out.push(')');
+                }
+                Expr::Repeat { inner, min, max } => {
+                    go(inner, graph, out);
+                    match max {
+                        Some(mx) => out.push_str(&format!("{{{min},{mx}}}")),
+                        None if *min == 0 => out.push('*'),
+                        None if *min == 1 => out.push('+'),
+                        None => out.push_str(&format!("{{{min},}}")),
+                    }
+                }
+            }
+        }
+        let mut out = String::new();
+        go(self, graph, &mut out);
+        out
+    }
+}
+
+/// Renders a label path (as used throughout planning and explain output)
+/// using the label names of `graph`, e.g. `knows/knows/worksFor-`.
+pub fn format_label_path(path: &[SignedLabel], graph: &Graph) -> String {
+    if path.is_empty() {
+        return "()".to_owned();
+    }
+    path.iter()
+        .map(|sl| graph.format_signed_label(*sl))
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// The inverse of a label path: reverse the sequence and invert every step.
+/// `inverse(p)(G)` is the converse relation of `p(G)`.
+pub fn inverse_path(path: &[SignedLabel]) -> LabelPath {
+    path.iter().rev().map(|sl| sl.inverse()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathix_graph::GraphBuilder;
+
+    fn sample_graph() -> Graph {
+        let mut b = GraphBuilder::new();
+        b.add_edge_named("a", "knows", "b");
+        b.add_edge_named("b", "worksFor", "c");
+        b.build()
+    }
+
+    #[test]
+    fn bind_resolves_labels_and_direction() {
+        let g = sample_graph();
+        let parsed = Expr::Concat(vec![
+            Expr::Step {
+                label: "knows".to_owned(),
+                backward: false,
+            },
+            Expr::Step {
+                label: "worksFor".to_owned(),
+                backward: true,
+            },
+        ]);
+        let bound = parsed.bind(&g).unwrap();
+        match bound {
+            Expr::Concat(parts) => {
+                assert_eq!(parts.len(), 2);
+                match (&parts[0], &parts[1]) {
+                    (
+                        Expr::Step { label: a, .. },
+                        Expr::Step { label: b, .. },
+                    ) => {
+                        assert_eq!(a.label, g.label_id("knows").unwrap());
+                        assert!(!a.is_backward());
+                        assert_eq!(b.label, g.label_id("worksFor").unwrap());
+                        assert!(b.is_backward());
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bind_rejects_unknown_labels() {
+        let g = sample_graph();
+        let parsed = Expr::Step {
+            label: "likes".to_owned(),
+            backward: false,
+        };
+        assert_eq!(
+            parsed.bind(&g),
+            Err(BindError::UnknownLabel("likes".to_owned()))
+        );
+    }
+
+    #[test]
+    fn size_and_recursion_flags() {
+        let e: ParsedExpr = Expr::Repeat {
+            inner: Box::new(Expr::Union(vec![
+                Expr::Step {
+                    label: "a".into(),
+                    backward: false,
+                },
+                Expr::Epsilon,
+            ])),
+            min: 1,
+            max: Some(3),
+        };
+        assert_eq!(e.size(), 4);
+        assert!(e.has_recursion());
+        let flat: ParsedExpr = Expr::Concat(vec![Expr::Epsilon, Expr::Epsilon]);
+        assert!(!flat.has_recursion());
+    }
+
+    #[test]
+    fn inverse_path_reverses_and_flips() {
+        let g = sample_graph();
+        let k = SignedLabel::forward(g.label_id("knows").unwrap());
+        let w = SignedLabel::forward(g.label_id("worksFor").unwrap());
+        let p = vec![k, w.inverse()];
+        let inv = inverse_path(&p);
+        assert_eq!(inv, vec![w, k.inverse()]);
+        assert_eq!(inverse_path(&inv), p);
+    }
+
+    #[test]
+    fn display_roundtrips_structure() {
+        let g = sample_graph();
+        let k = SignedLabel::forward(g.label_id("knows").unwrap());
+        let w = SignedLabel::backward(g.label_id("worksFor").unwrap());
+        let e: BoundExpr = Expr::Repeat {
+            inner: Box::new(Expr::Union(vec![
+                Expr::Step {
+                    label: k,
+                    backward: false,
+                },
+                Expr::Step {
+                    label: w,
+                    backward: false,
+                },
+            ])),
+            min: 2,
+            max: Some(4),
+        };
+        assert_eq!(e.display(&g), "(knows|worksFor-){2,4}");
+        assert_eq!(format_label_path(&[k, w], &g), "knows/worksFor-");
+        assert_eq!(format_label_path(&[], &g), "()");
+    }
+}

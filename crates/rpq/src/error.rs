@@ -1,0 +1,89 @@
+//! Error types for parsing, binding and rewriting RPQs.
+
+use std::fmt;
+
+/// Error produced while parsing the textual RPQ syntax.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the input where the error was detected.
+    pub position: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at offset {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Error produced while resolving label names against a graph vocabulary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BindError {
+    /// The query references a label that is not part of the graph vocabulary.
+    UnknownLabel(String),
+}
+
+impl fmt::Display for BindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BindError::UnknownLabel(l) => write!(f, "unknown edge label `{l}`"),
+        }
+    }
+}
+
+impl std::error::Error for BindError {}
+
+/// Error produced while rewriting a query into label-path disjuncts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RewriteError {
+    /// Expanding recursion/unions would exceed the configured disjunct limit.
+    TooManyDisjuncts {
+        /// The configured limit that was exceeded.
+        limit: usize,
+    },
+    /// A bounded repetition has `min > max`.
+    InvalidBounds {
+        /// Lower bound as written.
+        min: u32,
+        /// Upper bound as written.
+        max: u32,
+    },
+}
+
+impl fmt::Display for RewriteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RewriteError::TooManyDisjuncts { limit } => {
+                write!(f, "query expansion exceeds the disjunct limit of {limit}")
+            }
+            RewriteError::InvalidBounds { min, max } => {
+                write!(f, "invalid repetition bounds {{{min},{max}}}: min exceeds max")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RewriteError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let p = ParseError {
+            position: 3,
+            message: "unexpected `)`".into(),
+        };
+        assert!(p.to_string().contains("offset 3"));
+        let b = BindError::UnknownLabel("likes".into());
+        assert!(b.to_string().contains("likes"));
+        let r = RewriteError::TooManyDisjuncts { limit: 10 };
+        assert!(r.to_string().contains("10"));
+        let r = RewriteError::InvalidBounds { min: 5, max: 2 };
+        assert!(r.to_string().contains('5'));
+    }
+}

@@ -1,0 +1,50 @@
+//! # pathix-rpq
+//!
+//! The regular path query (RPQ) language layer: abstract syntax, a textual
+//! parser, the rewriting pipeline that turns queries into unions of label
+//! paths, and query automata.
+//!
+//! Following Section 2.2 of the paper, an RPQ over a vocabulary `L` is a
+//! regular expression over the signed alphabet `{ℓ, ℓ⁻ | ℓ ∈ L}` built from
+//!
+//! * `ε` — the identity,
+//! * `ℓ` / `ℓ⁻` — forward / backward navigation over one edge,
+//! * `R ∘ R` — composition (concatenation),
+//! * `R ∪ R` — disjunction,
+//! * `R^{i,j}` — bounded recursion (with `R*`, `R+`, `R?` as sugar that is
+//!   bounded by a configurable `n(G)` before planning, as the paper
+//!   prescribes).
+//!
+//! ## Textual syntax
+//!
+//! The parser accepts a compact ASCII syntax:
+//!
+//! ```text
+//! knows/worksFor          composition (also '.' as separator)
+//! knows | worksFor        union
+//! worksFor-               backwards navigation (also ^worksFor)
+//! (knows/worksFor){2,4}   bounded recursion
+//! knows*   knows+  knows? Kleene sugar
+//! ()                      epsilon
+//! ```
+//!
+//! ## Pipeline
+//!
+//! [`parse`] produces an [`Expr`]`<String>`; [`Expr::bind`] resolves label
+//! names against a [`pathix_graph::Graph`]; [`rewrite::to_disjuncts`]
+//! performs the paper's first two evaluation steps (expanding bounded
+//! recursion and pulling unions to the top), yielding the label-path
+//! disjuncts the planner works with; [`nfa::Nfa`] builds a Thompson-style
+//! automaton used by the automaton baseline and as a test oracle.
+
+pub mod ast;
+pub mod error;
+pub mod nfa;
+pub mod parser;
+pub mod rewrite;
+
+pub use ast::{BoundExpr, Expr, LabelPath, ParsedExpr};
+pub use error::{BindError, ParseError, RewriteError};
+pub use nfa::{Dfa, Nfa};
+pub use parser::parse;
+pub use rewrite::{to_disjuncts, RewriteOptions};

@@ -1,0 +1,485 @@
+//! Query automata: Thompson-style NFA and subset-construction DFA.
+//!
+//! The automata serve two roles in the reproduction:
+//!
+//! * the **automaton baseline** (approach 1 of the paper's introduction)
+//!   evaluates an RPQ by searching the product of the graph with the query
+//!   NFA (implemented in `pathix-baselines`);
+//! * they are a convenient **test oracle**: `Nfa::accepts` decides membership
+//!   of a label word in the query language independently of the rewriting
+//!   pipeline, so property tests can cross-check the two.
+//!
+//! Unlike the rewriting pipeline, the NFA handles unbounded Kleene forms
+//! exactly (no `n(G)` truncation is needed).
+
+use crate::ast::{BoundExpr, Expr};
+use pathix_graph::SignedLabel;
+use std::collections::{BTreeSet, HashMap};
+
+/// A nondeterministic finite automaton over signed labels with ε-moves.
+#[derive(Debug, Clone)]
+pub struct Nfa {
+    /// Labeled transitions per state.
+    labeled: Vec<Vec<(SignedLabel, usize)>>,
+    /// ε transitions per state.
+    epsilon: Vec<Vec<usize>>,
+    start: usize,
+    accept: usize,
+}
+
+impl Nfa {
+    /// Builds an NFA recognizing exactly the language of `expr` via Thompson
+    /// construction. Bounded repetitions are unrolled; unbounded forms use a
+    /// loop.
+    pub fn from_expr(expr: &BoundExpr) -> Nfa {
+        let mut builder = NfaBuilder::default();
+        let (start, accept) = builder.compile(expr);
+        Nfa {
+            labeled: builder.labeled,
+            epsilon: builder.epsilon,
+            start,
+            accept,
+        }
+    }
+
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.labeled.len()
+    }
+
+    /// The start state.
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// `true` if `state` is the accepting state.
+    pub fn is_accept(&self, state: usize) -> bool {
+        state == self.accept
+    }
+
+    /// Labeled transitions leaving `state`.
+    pub fn labeled_from(&self, state: usize) -> &[(SignedLabel, usize)] {
+        &self.labeled[state]
+    }
+
+    /// ε transitions leaving `state`.
+    pub fn epsilon_from(&self, state: usize) -> &[usize] {
+        &self.epsilon[state]
+    }
+
+    /// ε-closure of a set of states.
+    pub fn epsilon_closure(&self, states: &BTreeSet<usize>) -> BTreeSet<usize> {
+        let mut closure = states.clone();
+        let mut stack: Vec<usize> = states.iter().copied().collect();
+        while let Some(s) = stack.pop() {
+            for &t in &self.epsilon[s] {
+                if closure.insert(t) {
+                    stack.push(t);
+                }
+            }
+        }
+        closure
+    }
+
+    /// The states reachable from `states` over one occurrence of `label`
+    /// (before taking the ε-closure).
+    pub fn step(&self, states: &BTreeSet<usize>, label: SignedLabel) -> BTreeSet<usize> {
+        let mut out = BTreeSet::new();
+        for &s in states {
+            for &(l, t) in &self.labeled[s] {
+                if l == label {
+                    out.insert(t);
+                }
+            }
+        }
+        out
+    }
+
+    /// Decides whether `word` belongs to the query language.
+    pub fn accepts(&self, word: &[SignedLabel]) -> bool {
+        let mut current = self.epsilon_closure(&BTreeSet::from([self.start]));
+        for &label in word {
+            let next = self.step(&current, label);
+            if next.is_empty() {
+                return false;
+            }
+            current = self.epsilon_closure(&next);
+        }
+        current.contains(&self.accept)
+    }
+
+    /// The set of signed labels appearing on any transition.
+    pub fn alphabet(&self) -> Vec<SignedLabel> {
+        let mut set: BTreeSet<SignedLabel> = BTreeSet::new();
+        for trans in &self.labeled {
+            for &(l, _) in trans {
+                set.insert(l);
+            }
+        }
+        set.into_iter().collect()
+    }
+}
+
+#[derive(Default)]
+struct NfaBuilder {
+    labeled: Vec<Vec<(SignedLabel, usize)>>,
+    epsilon: Vec<Vec<usize>>,
+}
+
+impl NfaBuilder {
+    fn new_state(&mut self) -> usize {
+        self.labeled.push(Vec::new());
+        self.epsilon.push(Vec::new());
+        self.labeled.len() - 1
+    }
+
+    fn add_eps(&mut self, from: usize, to: usize) {
+        self.epsilon[from].push(to);
+    }
+
+    fn add_labeled(&mut self, from: usize, label: SignedLabel, to: usize) {
+        self.labeled[from].push((label, to));
+    }
+
+    /// Compiles `expr` into a fragment, returning its (start, accept) states.
+    fn compile(&mut self, expr: &BoundExpr) -> (usize, usize) {
+        match expr {
+            Expr::Epsilon => {
+                let s = self.new_state();
+                let e = self.new_state();
+                self.add_eps(s, e);
+                (s, e)
+            }
+            Expr::Step { label, .. } => {
+                let s = self.new_state();
+                let e = self.new_state();
+                self.add_labeled(s, *label, e);
+                (s, e)
+            }
+            Expr::Concat(parts) => {
+                if parts.is_empty() {
+                    return self.compile(&Expr::Epsilon);
+                }
+                let (start, mut end) = self.compile(&parts[0]);
+                for part in &parts[1..] {
+                    let (s, e) = self.compile(part);
+                    self.add_eps(end, s);
+                    end = e;
+                }
+                (start, end)
+            }
+            Expr::Union(parts) => {
+                let s = self.new_state();
+                let e = self.new_state();
+                if parts.is_empty() {
+                    // The empty union denotes the empty language: no path from
+                    // s to e is added.
+                    return (s, e);
+                }
+                for part in parts {
+                    let (ps, pe) = self.compile(part);
+                    self.add_eps(s, ps);
+                    self.add_eps(pe, e);
+                }
+                (s, e)
+            }
+            Expr::Repeat { inner, min, max } => {
+                let s = self.new_state();
+                let e = self.new_state();
+                // Mandatory prefix: `min` chained copies.
+                let mut cursor = s;
+                for _ in 0..*min {
+                    let (is, ie) = self.compile(inner);
+                    self.add_eps(cursor, is);
+                    cursor = ie;
+                }
+                match max {
+                    Some(max) => {
+                        // Optional copies: each may be skipped straight to the
+                        // accept state.
+                        self.add_eps(cursor, e);
+                        for _ in *min..*max {
+                            let (is, ie) = self.compile(inner);
+                            self.add_eps(cursor, is);
+                            self.add_eps(ie, e);
+                            cursor = ie;
+                        }
+                    }
+                    None => {
+                        // Kleene loop after the mandatory prefix.
+                        let (is, ie) = self.compile(inner);
+                        let hub = self.new_state();
+                        self.add_eps(cursor, hub);
+                        self.add_eps(hub, is);
+                        self.add_eps(ie, hub);
+                        self.add_eps(hub, e);
+                    }
+                }
+                (s, e)
+            }
+        }
+    }
+}
+
+/// A deterministic automaton obtained from an [`Nfa`] by subset construction.
+///
+/// The DFA is used by the automaton baseline when deterministic stepping is
+/// preferable, and in tests to double-check NFA acceptance.
+#[derive(Debug, Clone)]
+pub struct Dfa {
+    /// Transition table: per state, signed-label code → next state.
+    transitions: Vec<HashMap<u16, usize>>,
+    accept: Vec<bool>,
+    start: usize,
+}
+
+impl Dfa {
+    /// Determinizes `nfa`.
+    pub fn from_nfa(nfa: &Nfa) -> Dfa {
+        let alphabet = nfa.alphabet();
+        let start_set = nfa.epsilon_closure(&BTreeSet::from([nfa.start()]));
+        let mut ids: HashMap<BTreeSet<usize>, usize> = HashMap::new();
+        let mut transitions: Vec<HashMap<u16, usize>> = Vec::new();
+        let mut accept: Vec<bool> = Vec::new();
+        let mut worklist: Vec<BTreeSet<usize>> = Vec::new();
+
+        ids.insert(start_set.clone(), 0);
+        transitions.push(HashMap::new());
+        accept.push(start_set.iter().any(|&s| nfa.is_accept(s)));
+        worklist.push(start_set);
+
+        while let Some(set) = worklist.pop() {
+            let id = ids[&set];
+            for &label in &alphabet {
+                let moved = nfa.step(&set, label);
+                if moved.is_empty() {
+                    continue;
+                }
+                let closed = nfa.epsilon_closure(&moved);
+                let next_id = match ids.get(&closed) {
+                    Some(&i) => i,
+                    None => {
+                        let i = transitions.len();
+                        ids.insert(closed.clone(), i);
+                        transitions.push(HashMap::new());
+                        accept.push(closed.iter().any(|&s| nfa.is_accept(s)));
+                        worklist.push(closed);
+                        i
+                    }
+                };
+                transitions[id].insert(label.code(), next_id);
+            }
+        }
+        Dfa {
+            transitions,
+            accept,
+            start: 0,
+        }
+    }
+
+    /// Number of DFA states.
+    pub fn state_count(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// The start state.
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// `true` if `state` is accepting.
+    pub fn is_accept(&self, state: usize) -> bool {
+        self.accept[state]
+    }
+
+    /// Deterministic step; `None` when the word falls out of the language.
+    pub fn step(&self, state: usize, label: SignedLabel) -> Option<usize> {
+        self.transitions[state].get(&label.code()).copied()
+    }
+
+    /// Outgoing transitions of `state` as `(signed label, next state)` pairs.
+    pub fn transitions_from(&self, state: usize) -> Vec<(SignedLabel, usize)> {
+        self.transitions[state]
+            .iter()
+            .map(|(&code, &next)| (SignedLabel::from_code(code), next))
+            .collect()
+    }
+
+    /// Decides whether `word` belongs to the language.
+    pub fn accepts(&self, word: &[SignedLabel]) -> bool {
+        let mut state = self.start;
+        for &label in word {
+            match self.step(state, label) {
+                Some(next) => state = next,
+                None => return false,
+            }
+        }
+        self.accept[state]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::rewrite::{to_disjuncts, RewriteOptions};
+    use pathix_graph::{Graph, GraphBuilder};
+
+    fn graph() -> Graph {
+        let mut b = GraphBuilder::new();
+        b.add_edge_named("a", "k", "b");
+        b.add_edge_named("a", "w", "b");
+        b.add_edge_named("a", "s", "b");
+        b.build()
+    }
+
+    fn bound(query: &str, g: &Graph) -> BoundExpr {
+        parse(query).unwrap().bind(g).unwrap()
+    }
+
+    fn sl(g: &Graph, name: &str, backward: bool) -> SignedLabel {
+        let id = g.label_id(name).unwrap();
+        if backward {
+            SignedLabel::backward(id)
+        } else {
+            SignedLabel::forward(id)
+        }
+    }
+
+    #[test]
+    fn single_step_acceptance() {
+        let g = graph();
+        let nfa = Nfa::from_expr(&bound("k", &g));
+        assert!(nfa.accepts(&[sl(&g, "k", false)]));
+        assert!(!nfa.accepts(&[sl(&g, "w", false)]));
+        assert!(!nfa.accepts(&[]));
+        assert!(!nfa.accepts(&[sl(&g, "k", true)]));
+    }
+
+    #[test]
+    fn epsilon_accepts_only_empty_word() {
+        let g = graph();
+        let nfa = Nfa::from_expr(&bound("()", &g));
+        assert!(nfa.accepts(&[]));
+        assert!(!nfa.accepts(&[sl(&g, "k", false)]));
+    }
+
+    #[test]
+    fn concatenation_and_union() {
+        let g = graph();
+        let nfa = Nfa::from_expr(&bound("k/(w|s)", &g));
+        assert!(nfa.accepts(&[sl(&g, "k", false), sl(&g, "w", false)]));
+        assert!(nfa.accepts(&[sl(&g, "k", false), sl(&g, "s", false)]));
+        assert!(!nfa.accepts(&[sl(&g, "k", false)]));
+        assert!(!nfa.accepts(&[sl(&g, "w", false), sl(&g, "k", false)]));
+    }
+
+    #[test]
+    fn bounded_repetition_lengths() {
+        let g = graph();
+        let nfa = Nfa::from_expr(&bound("k{2,4}", &g));
+        let k = sl(&g, "k", false);
+        assert!(!nfa.accepts(&[k]));
+        assert!(nfa.accepts(&[k, k]));
+        assert!(nfa.accepts(&[k, k, k]));
+        assert!(nfa.accepts(&[k, k, k, k]));
+        assert!(!nfa.accepts(&[k, k, k, k, k]));
+    }
+
+    #[test]
+    fn kleene_star_is_unbounded() {
+        let g = graph();
+        let nfa = Nfa::from_expr(&bound("k*", &g));
+        let k = sl(&g, "k", false);
+        assert!(nfa.accepts(&[]));
+        assert!(nfa.accepts(&[k; 50]));
+        assert!(!nfa.accepts(&[sl(&g, "w", false)]));
+        let plus = Nfa::from_expr(&bound("k+", &g));
+        assert!(!plus.accepts(&[]));
+        assert!(plus.accepts(&[k; 17]));
+    }
+
+    #[test]
+    fn backward_labels_are_distinct_symbols() {
+        let g = graph();
+        let nfa = Nfa::from_expr(&bound("k-/w", &g));
+        assert!(nfa.accepts(&[sl(&g, "k", true), sl(&g, "w", false)]));
+        assert!(!nfa.accepts(&[sl(&g, "k", false), sl(&g, "w", false)]));
+    }
+
+    #[test]
+    fn nfa_agrees_with_disjunct_expansion() {
+        // Every disjunct produced by the rewriting pipeline must be accepted
+        // by the NFA, and words of the same length not in the expansion must
+        // be rejected.
+        let g = graph();
+        let queries = [
+            "k/(k/w){2,4}/w",
+            "(s|w|w-){1,3}",
+            "k?/w{0,2}",
+            "(k/w)|(w/k)|s",
+        ];
+        for q in queries {
+            let expr = bound(q, &g);
+            let nfa = Nfa::from_expr(&expr);
+            let disjuncts = to_disjuncts(&expr, RewriteOptions::default()).unwrap();
+            for d in &disjuncts {
+                assert!(nfa.accepts(d), "query {q}: disjunct {d:?} rejected");
+            }
+        }
+    }
+
+    #[test]
+    fn dfa_agrees_with_nfa() {
+        let g = graph();
+        let queries = ["k/(w|s)", "k{2,4}", "k*/w", "(s|w-){1,2}/k?"];
+        let alphabet: Vec<SignedLabel> = ["k", "w", "s"]
+            .iter()
+            .flat_map(|n| [sl(&g, n, false), sl(&g, n, true)])
+            .collect();
+        for q in queries {
+            let expr = bound(q, &g);
+            let nfa = Nfa::from_expr(&expr);
+            let dfa = Dfa::from_nfa(&nfa);
+            // Exhaustively compare on all words up to length 3.
+            let mut words: Vec<Vec<SignedLabel>> = vec![vec![]];
+            for _ in 0..3 {
+                let mut next = Vec::new();
+                for w in &words {
+                    for &a in &alphabet {
+                        let mut w2 = w.clone();
+                        w2.push(a);
+                        next.push(w2);
+                    }
+                }
+                words.extend(next);
+            }
+            for w in &words {
+                assert_eq!(
+                    nfa.accepts(w),
+                    dfa.accepts(w),
+                    "query {q}: disagreement on {w:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dfa_transitions_from_lists_moves() {
+        let g = graph();
+        let dfa = Dfa::from_nfa(&Nfa::from_expr(&bound("k|w", &g)));
+        let moves = dfa.transitions_from(dfa.start());
+        assert_eq!(moves.len(), 2);
+        assert!(dfa.state_count() >= 2);
+    }
+
+    #[test]
+    fn alphabet_collects_used_labels() {
+        let g = graph();
+        let nfa = Nfa::from_expr(&bound("k/w-|k", &g));
+        let alpha = nfa.alphabet();
+        assert_eq!(alpha.len(), 2);
+        assert!(alpha.contains(&sl(&g, "k", false)));
+        assert!(alpha.contains(&sl(&g, "w", true)));
+    }
+}

@@ -1,0 +1,297 @@
+//! Query rewriting: recursion expansion and union pull-up.
+//!
+//! These are the first two steps of the paper's query processing pipeline
+//! (Section 4): replace every occurrence of bounded recursion by the union
+//! over its expansion, then pull all unions to the top level. The result is a
+//! union of *label paths* (sequences of signed labels, possibly the empty
+//! path ε), which is what the physical planner consumes.
+
+use crate::ast::{BoundExpr, Expr, LabelPath};
+use crate::error::RewriteError;
+
+/// Options controlling the rewrite.
+#[derive(Debug, Clone, Copy)]
+pub struct RewriteOptions {
+    /// Upper bound substituted for unbounded recursion (`*`, `+`, `{i,}`).
+    ///
+    /// The paper observes that for any fixed graph `G` there is an `n(G)`
+    /// with `R*(G) = R^{0,n(G)}(G)`; callers that know the graph (such as
+    /// `pathix-core`) set this to that bound (or a chosen truncation).
+    pub star_bound: u32,
+    /// Maximum number of disjuncts the expansion may produce before the
+    /// rewrite aborts with [`RewriteError::TooManyDisjuncts`].
+    pub max_disjuncts: usize,
+}
+
+impl Default for RewriteOptions {
+    fn default() -> Self {
+        RewriteOptions {
+            star_bound: 4,
+            max_disjuncts: 4096,
+        }
+    }
+}
+
+impl RewriteOptions {
+    /// Options with a specific unbounded-recursion bound.
+    pub fn with_star_bound(star_bound: u32) -> Self {
+        RewriteOptions {
+            star_bound,
+            ..Self::default()
+        }
+    }
+}
+
+/// Rewrites a bound RPQ into its label-path disjuncts.
+///
+/// The returned list is duplicate-free and preserves first-occurrence order.
+/// An empty inner `Vec` denotes the ε disjunct (the identity relation).
+pub fn to_disjuncts(
+    expr: &BoundExpr,
+    options: RewriteOptions,
+) -> Result<Vec<LabelPath>, RewriteError> {
+    let mut out = disjuncts_rec(expr, &options)?;
+    dedup_preserving_order(&mut out);
+    Ok(out)
+}
+
+fn disjuncts_rec(
+    expr: &BoundExpr,
+    options: &RewriteOptions,
+) -> Result<Vec<LabelPath>, RewriteError> {
+    match expr {
+        Expr::Epsilon => Ok(vec![Vec::new()]),
+        Expr::Step { label, .. } => Ok(vec![vec![*label]]),
+        Expr::Union(parts) => {
+            let mut out = Vec::new();
+            for part in parts {
+                out.extend(disjuncts_rec(part, options)?);
+                check_limit(out.len(), options)?;
+            }
+            Ok(out)
+        }
+        Expr::Concat(parts) => {
+            let mut acc: Vec<LabelPath> = vec![Vec::new()];
+            for part in parts {
+                let rhs = disjuncts_rec(part, options)?;
+                acc = cross_concat(&acc, &rhs, options)?;
+            }
+            Ok(acc)
+        }
+        Expr::Repeat { inner, min, max } => {
+            let max = match max {
+                Some(m) => *m,
+                None => options.star_bound.max(*min),
+            };
+            if *min > max {
+                return Err(RewriteError::InvalidBounds { min: *min, max });
+            }
+            let base = disjuncts_rec(inner, options)?;
+            // power = base^m, built incrementally from m = 0 (which is {ε}).
+            let mut power: Vec<LabelPath> = vec![Vec::new()];
+            let mut out: Vec<LabelPath> = Vec::new();
+            for m in 0..=max {
+                if m >= *min {
+                    out.extend(power.iter().cloned());
+                    check_limit(out.len(), options)?;
+                }
+                if m < max {
+                    power = cross_concat(&power, &base, options)?;
+                }
+            }
+            Ok(out)
+        }
+    }
+}
+
+fn cross_concat(
+    lhs: &[LabelPath],
+    rhs: &[LabelPath],
+    options: &RewriteOptions,
+) -> Result<Vec<LabelPath>, RewriteError> {
+    let mut out = Vec::with_capacity(lhs.len().saturating_mul(rhs.len()));
+    for l in lhs {
+        for r in rhs {
+            let mut path = l.clone();
+            path.extend_from_slice(r);
+            out.push(path);
+            check_limit(out.len(), options)?;
+        }
+    }
+    Ok(out)
+}
+
+fn check_limit(len: usize, options: &RewriteOptions) -> Result<(), RewriteError> {
+    if len > options.max_disjuncts {
+        Err(RewriteError::TooManyDisjuncts {
+            limit: options.max_disjuncts,
+        })
+    } else {
+        Ok(())
+    }
+}
+
+fn dedup_preserving_order(paths: &mut Vec<LabelPath>) {
+    let mut seen = std::collections::HashSet::new();
+    paths.retain(|p| seen.insert(p.clone()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use pathix_graph::{Graph, GraphBuilder, SignedLabel};
+
+    fn graph_kws() -> Graph {
+        let mut b = GraphBuilder::new();
+        b.add_edge_named("a", "knows", "b");
+        b.add_edge_named("a", "worksFor", "b");
+        b.add_edge_named("a", "supervisor", "b");
+        b.build()
+    }
+
+    fn disjuncts_of(query: &str, g: &Graph) -> Vec<LabelPath> {
+        let bound = parse(query).unwrap().bind(g).unwrap();
+        to_disjuncts(&bound, RewriteOptions::default()).unwrap()
+    }
+
+    fn k(g: &Graph) -> SignedLabel {
+        SignedLabel::forward(g.label_id("knows").unwrap())
+    }
+    fn w(g: &Graph) -> SignedLabel {
+        SignedLabel::forward(g.label_id("worksFor").unwrap())
+    }
+
+    #[test]
+    fn single_step_single_disjunct() {
+        let g = graph_kws();
+        assert_eq!(disjuncts_of("knows", &g), vec![vec![k(&g)]]);
+        assert_eq!(
+            disjuncts_of("knows-", &g),
+            vec![vec![k(&g).inverse()]]
+        );
+    }
+
+    #[test]
+    fn concat_produces_one_path() {
+        let g = graph_kws();
+        assert_eq!(
+            disjuncts_of("knows/worksFor", &g),
+            vec![vec![k(&g), w(&g)]]
+        );
+    }
+
+    #[test]
+    fn union_produces_one_disjunct_each() {
+        let g = graph_kws();
+        let d = disjuncts_of("knows|worksFor", &g);
+        assert_eq!(d, vec![vec![k(&g)], vec![w(&g)]]);
+    }
+
+    #[test]
+    fn union_distributes_over_concat() {
+        let g = graph_kws();
+        let d = disjuncts_of("(knows|worksFor)/knows", &g);
+        assert_eq!(
+            d,
+            vec![vec![k(&g), k(&g)], vec![w(&g), k(&g)]]
+        );
+    }
+
+    #[test]
+    fn paper_example_expansion() {
+        // R = k (k w)^{2,4} w expands to three disjuncts of lengths 6, 8, 10
+        // (Section 4 of the paper).
+        let g = graph_kws();
+        let d = disjuncts_of("knows/(knows/worksFor){2,4}/worksFor", &g);
+        assert_eq!(d.len(), 3);
+        let lens: Vec<usize> = d.iter().map(Vec::len).collect();
+        assert_eq!(lens, vec![6, 8, 10]);
+        // First disjunct is k k w k w w.
+        assert_eq!(
+            d[0],
+            vec![k(&g), k(&g), w(&g), k(&g), w(&g), w(&g)]
+        );
+    }
+
+    #[test]
+    fn repeat_with_zero_min_includes_epsilon() {
+        let g = graph_kws();
+        let d = disjuncts_of("knows{0,2}", &g);
+        assert_eq!(
+            d,
+            vec![vec![], vec![k(&g)], vec![k(&g), k(&g)]]
+        );
+    }
+
+    #[test]
+    fn optional_is_zero_or_one() {
+        let g = graph_kws();
+        let d = disjuncts_of("knows?", &g);
+        assert_eq!(d, vec![vec![], vec![k(&g)]]);
+    }
+
+    #[test]
+    fn star_uses_configured_bound() {
+        let g = graph_kws();
+        let bound = parse("knows*").unwrap().bind(&g).unwrap();
+        let d = to_disjuncts(&bound, RewriteOptions::with_star_bound(3)).unwrap();
+        assert_eq!(d.len(), 4); // lengths 0..=3
+        let d = to_disjuncts(&bound, RewriteOptions::with_star_bound(6)).unwrap();
+        assert_eq!(d.len(), 7);
+    }
+
+    #[test]
+    fn plus_requires_at_least_one() {
+        let g = graph_kws();
+        let bound = parse("knows+").unwrap().bind(&g).unwrap();
+        let d = to_disjuncts(&bound, RewriteOptions::with_star_bound(3)).unwrap();
+        assert_eq!(d.len(), 3); // lengths 1..=3
+        assert!(d.iter().all(|p| !p.is_empty()));
+    }
+
+    #[test]
+    fn duplicates_are_removed() {
+        let g = graph_kws();
+        let d = disjuncts_of("knows|knows|(knows/())", &g);
+        assert_eq!(d, vec![vec![k(&g)]]);
+    }
+
+    #[test]
+    fn invalid_bounds_is_an_error() {
+        let g = graph_kws();
+        let bound = parse("knows{5,2}").unwrap().bind(&g).unwrap();
+        assert_eq!(
+            to_disjuncts(&bound, RewriteOptions::default()),
+            Err(RewriteError::InvalidBounds { min: 5, max: 2 })
+        );
+    }
+
+    #[test]
+    fn disjunct_explosion_is_detected() {
+        let g = graph_kws();
+        let bound = parse("(knows|worksFor|supervisor){1,12}")
+            .unwrap()
+            .bind(&g)
+            .unwrap();
+        let err = to_disjuncts(
+            &bound,
+            RewriteOptions {
+                star_bound: 4,
+                max_disjuncts: 100,
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, RewriteError::TooManyDisjuncts { limit: 100 });
+    }
+
+    #[test]
+    fn paper_section_2_2_union_recursion_example_counts() {
+        // (supervisor ∪ worksFor ∪ worksFor⁻)^{4,5} has 3^4 + 3^5 = 324
+        // disjuncts before dedup (all distinct here).
+        let g = graph_kws();
+        let d = disjuncts_of("(supervisor|worksFor|worksFor-){4,5}", &g);
+        assert_eq!(d.len(), 324);
+        assert!(d.iter().all(|p| p.len() == 4 || p.len() == 5));
+    }
+}

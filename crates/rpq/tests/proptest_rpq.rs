@@ -1,0 +1,171 @@
+//! Property-based tests of the query language layer: the rewriter's disjunct
+//! expansion must define exactly the language of the expression's automaton,
+//! and the printer / parser / binder round-trip must preserve that language.
+
+use pathix_graph::{Graph, GraphBuilder, LabelId, SignedLabel};
+use pathix_rpq::nfa::Nfa;
+use pathix_rpq::{parse, to_disjuncts, BoundExpr, Expr, RewriteOptions};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// A two-label vocabulary graph used only for binding and display (the graph
+/// contents are irrelevant to the language-level properties).
+fn vocabulary_graph() -> Graph {
+    let mut builder = GraphBuilder::new();
+    builder.add_edge_named("x", "alpha", "y");
+    builder.add_edge_named("y", "beta", "x");
+    builder.build()
+}
+
+/// The four signed symbols over the two-label vocabulary.
+fn alphabet() -> Vec<SignedLabel> {
+    vec![
+        SignedLabel::forward(LabelId(0)),
+        SignedLabel::backward(LabelId(0)),
+        SignedLabel::forward(LabelId(1)),
+        SignedLabel::backward(LabelId(1)),
+    ]
+}
+
+/// Random *bounded* RPQ expressions (no `*` / `+` / open-ended `{i,}`), so
+/// that the defined language is finite and can be compared exhaustively.
+fn bounded_expr() -> impl Strategy<Value = BoundExpr> {
+    let leaf = prop_oneof![
+        1 => Just(Expr::Epsilon),
+        6 => (0u16..2, proptest::bool::ANY).prop_map(|(label, backward)| Expr::Step {
+            label: if backward {
+                SignedLabel::backward(LabelId(label))
+            } else {
+                SignedLabel::forward(LabelId(label))
+            },
+            backward: false,
+        }),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 1..3).prop_map(Expr::Concat),
+            proptest::collection::vec(inner.clone(), 1..3).prop_map(Expr::Union),
+            (inner, 0u32..2, 0u32..2).prop_map(|(e, min, extra)| Expr::Repeat {
+                inner: Box::new(e),
+                min,
+                max: Some(min + extra),
+            }),
+        ]
+    })
+}
+
+/// The set of label-path words denoted by the rewriter.
+fn disjunct_set(expr: &BoundExpr) -> Option<BTreeSet<Vec<SignedLabel>>> {
+    to_disjuncts(expr, RewriteOptions::default())
+        .ok()
+        .map(|d| d.into_iter().collect())
+}
+
+/// Enumerates every word over the signed alphabet with length ≤ `max_len`.
+fn words_up_to(max_len: usize) -> Vec<Vec<SignedLabel>> {
+    let alphabet = alphabet();
+    let mut words: Vec<Vec<SignedLabel>> = vec![Vec::new()];
+    let mut level: Vec<Vec<SignedLabel>> = vec![Vec::new()];
+    for _ in 0..max_len {
+        let mut next = Vec::new();
+        for word in &level {
+            for &sl in &alphabet {
+                let mut w = word.clone();
+                w.push(sl);
+                next.push(w);
+            }
+        }
+        words.extend(next.iter().cloned());
+        level = next;
+    }
+    words
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The union-of-label-paths produced by the rewriter is exactly the
+    /// language of the Glushkov automaton built from the same expression: the
+    /// paper's step-1/step-2 rewrite loses and invents nothing.
+    #[test]
+    fn disjuncts_are_exactly_the_automaton_language(expr in bounded_expr()) {
+        let Some(disjuncts) = disjunct_set(&expr) else {
+            // The expansion exceeded the disjunct budget; nothing to compare.
+            return Ok(());
+        };
+        let max_len = disjuncts.iter().map(Vec::len).max().unwrap_or(0);
+        prop_assume!(max_len <= 5);
+
+        let nfa = Nfa::from_expr(&expr);
+        // Every disjunct is a word of the language …
+        for word in &disjuncts {
+            prop_assert!(nfa.accepts(word), "disjunct {word:?} rejected by the NFA");
+        }
+        // … and no other word up to (and one beyond) the maximum disjunct
+        // length is accepted.
+        for word in words_up_to(max_len + 1) {
+            prop_assert_eq!(
+                nfa.accepts(&word),
+                disjuncts.contains(&word),
+                "acceptance mismatch on {:?}",
+                word
+            );
+        }
+    }
+
+    /// Printing a bound expression and pushing the text back through the
+    /// parser and binder preserves its language (disjunct set).
+    #[test]
+    fn display_parse_bind_round_trip_preserves_the_language(expr in bounded_expr()) {
+        let graph = vocabulary_graph();
+        let Some(expected) = disjunct_set(&expr) else {
+            return Ok(());
+        };
+        let text = expr.display(&graph);
+        let reparsed = parse(&text);
+        prop_assert!(reparsed.is_ok(), "display produced unparsable text {text:?}: {reparsed:?}");
+        let rebound = reparsed.unwrap().bind(&graph);
+        prop_assert!(rebound.is_ok(), "rebinding {text:?} failed: {rebound:?}");
+        let roundtripped = disjunct_set(&rebound.unwrap());
+        prop_assert_eq!(roundtripped, Some(expected), "language changed through {}", text);
+    }
+
+    /// Epsilon is the unit of composition: R, R/(), and ()/R all denote the
+    /// same language.
+    #[test]
+    fn epsilon_is_the_identity_of_composition(expr in bounded_expr()) {
+        let Some(expected) = disjunct_set(&expr) else {
+            return Ok(());
+        };
+        let left = Expr::Concat(vec![Expr::Epsilon, expr.clone()]);
+        let right = Expr::Concat(vec![expr, Expr::Epsilon]);
+        prop_assert_eq!(disjunct_set(&left), Some(expected.clone()));
+        prop_assert_eq!(disjunct_set(&right), Some(expected));
+    }
+
+    /// Union is commutative and idempotent at the language level.
+    #[test]
+    fn union_is_commutative_and_idempotent(a in bounded_expr(), b in bounded_expr()) {
+        let ab = disjunct_set(&Expr::Union(vec![a.clone(), b.clone()]));
+        let ba = disjunct_set(&Expr::Union(vec![b.clone(), a.clone()]));
+        prop_assume!(ab.is_some() && ba.is_some());
+        prop_assert_eq!(ab, ba);
+        let aa = disjunct_set(&Expr::Union(vec![a.clone(), a.clone()]));
+        prop_assert_eq!(aa, disjunct_set(&a));
+    }
+
+    /// Bounded recursion splits into a union of fixed powers:
+    /// `R{i,j} ≡ R{i,i} ∪ R{i+1,j}` whenever `i < j`.
+    #[test]
+    fn bounded_recursion_peels_one_power(inner in bounded_expr(), min in 0u32..2, extra in 1u32..3) {
+        let max = min + extra;
+        let whole = Expr::Repeat { inner: Box::new(inner.clone()), min, max: Some(max) };
+        let first = Expr::Repeat { inner: Box::new(inner.clone()), min, max: Some(min) };
+        let rest = Expr::Repeat { inner: Box::new(inner), min: min + 1, max: Some(max) };
+        let split = Expr::Union(vec![first, rest]);
+        let lhs = disjunct_set(&whole);
+        let rhs = disjunct_set(&split);
+        prop_assume!(lhs.is_some() && rhs.is_some());
+        prop_assert_eq!(lhs, rhs);
+    }
+}

@@ -1,0 +1,239 @@
+//! Abstract syntax of the supported SQL fragment.
+//!
+//! The fragment is exactly what the two translations in [`crate::translate`]
+//! emit — the paper's path-index joins and the recursive-view baseline — plus
+//! small conveniences (`ORDER BY`, `LIMIT`, `COUNT(*)`) that make the
+//! examples and tests pleasant to write.
+
+use crate::value::Value;
+
+/// A reference to a column, optionally qualified by a table alias.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnRef {
+    /// Table or alias qualifier (`t1` in `t1.src`), if given.
+    pub table: Option<String>,
+    /// Column name.
+    pub column: String,
+}
+
+impl ColumnRef {
+    /// Unqualified column reference.
+    pub fn bare<S: Into<String>>(column: S) -> Self {
+        ColumnRef {
+            table: None,
+            column: column.into().to_ascii_lowercase(),
+        }
+    }
+
+    /// Qualified column reference.
+    pub fn qualified<S: Into<String>, T: Into<String>>(table: S, column: T) -> Self {
+        ColumnRef {
+            table: Some(table.into().to_ascii_lowercase()),
+            column: column.into().to_ascii_lowercase(),
+        }
+    }
+
+    /// Renders the reference back to SQL text.
+    pub fn display(&self) -> String {
+        match &self.table {
+            Some(t) => format!("{t}.{}", self.column),
+            None => self.column.clone(),
+        }
+    }
+}
+
+/// One side of a comparison predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Operand {
+    /// A column reference.
+    Column(ColumnRef),
+    /// A constant.
+    Literal(Value),
+}
+
+/// Comparison operators supported in `WHERE`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompareOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+}
+
+/// A single comparison; `WHERE` clauses are conjunctions of these.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Predicate {
+    /// Left operand.
+    pub left: Operand,
+    /// Operator.
+    pub op: CompareOp,
+    /// Right operand.
+    pub right: Operand,
+}
+
+/// An item of the `SELECT` list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// `COUNT(*) [AS alias]`
+    CountStar {
+        /// Output column name, `count` when omitted.
+        alias: Option<String>,
+    },
+    /// `column [AS alias]`
+    Column {
+        /// The referenced column.
+        column: ColumnRef,
+        /// Output column name, the column's own name when omitted.
+        alias: Option<String>,
+    },
+}
+
+/// A table (or CTE) reference in `FROM`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableRef {
+    /// Table or CTE name.
+    pub table: String,
+    /// Alias, if given (`path_index AS t1`).
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    /// The name other clauses use to refer to this input.
+    pub fn binding_name(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.table)
+    }
+}
+
+/// A single `SELECT ... FROM ... WHERE ...` block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Select {
+    /// `SELECT DISTINCT`?
+    pub distinct: bool,
+    /// Projection list.
+    pub projection: Vec<SelectItem>,
+    /// `FROM` inputs (comma-separated and/or `JOIN`ed; joins are normalized
+    /// into this list with their `ON` predicates moved into `selection`).
+    pub from: Vec<TableRef>,
+    /// Conjunctive `WHERE` clause (plus normalized `ON` conditions).
+    pub selection: Vec<Predicate>,
+}
+
+/// A set expression: a select block or a union of them.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SetExpr {
+    /// A plain select block.
+    Select(Box<Select>),
+    /// `left UNION [ALL] right`.
+    Union {
+        /// Left input.
+        left: Box<SetExpr>,
+        /// Right input.
+        right: Box<SetExpr>,
+        /// `UNION ALL` keeps duplicates.
+        all: bool,
+    },
+}
+
+impl SetExpr {
+    /// Flattens nested unions into the list of member select blocks together
+    /// with a flag telling whether *any* union level removes duplicates.
+    pub fn flatten_union(&self) -> (Vec<&Select>, bool) {
+        match self {
+            SetExpr::Select(s) => (vec![s.as_ref()], false),
+            SetExpr::Union { left, right, all } => {
+                let (mut l, l_dedup) = left.flatten_union();
+                let (r, r_dedup) = right.flatten_union();
+                l.extend(r);
+                (l, l_dedup || r_dedup || !all)
+            }
+        }
+    }
+}
+
+/// A common table expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cte {
+    /// CTE name.
+    pub name: String,
+    /// Declared column names (required for recursive CTEs).
+    pub columns: Vec<String>,
+    /// Whether the CTE may reference itself (declared `WITH RECURSIVE`).
+    pub recursive: bool,
+    /// The CTE body.
+    pub body: SetExpr,
+}
+
+/// A full query: optional CTEs, a set expression, ordering and limit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// `WITH [RECURSIVE]` definitions, in declaration order.
+    pub ctes: Vec<Cte>,
+    /// The query body.
+    pub body: SetExpr,
+    /// `ORDER BY` keys with ascending flags.
+    pub order_by: Vec<(ColumnRef, bool)>,
+    /// `LIMIT`, if given.
+    pub limit: Option<usize>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_ref_display_and_case() {
+        assert_eq!(ColumnRef::bare("SRC").display(), "src");
+        assert_eq!(ColumnRef::qualified("T1", "Dst").display(), "t1.dst");
+    }
+
+    #[test]
+    fn table_ref_binding_name() {
+        let plain = TableRef {
+            table: "path_index".into(),
+            alias: None,
+        };
+        let aliased = TableRef {
+            table: "path_index".into(),
+            alias: Some("t1".into()),
+        };
+        assert_eq!(plain.binding_name(), "path_index");
+        assert_eq!(aliased.binding_name(), "t1");
+    }
+
+    #[test]
+    fn flatten_union_collects_all_branches() {
+        let sel = |n: i64| {
+            SetExpr::Select(Box::new(Select {
+                distinct: false,
+                projection: vec![SelectItem::Column {
+                    column: ColumnRef::bare(format!("c{n}")),
+                    alias: None,
+                }],
+                from: vec![],
+                selection: vec![],
+            }))
+        };
+        let expr = SetExpr::Union {
+            left: Box::new(SetExpr::Union {
+                left: Box::new(sel(1)),
+                right: Box::new(sel(2)),
+                all: true,
+            }),
+            right: Box::new(sel(3)),
+            all: false,
+        };
+        let (selects, dedup) = expr.flatten_union();
+        assert_eq!(selects.len(), 3);
+        assert!(dedup, "outer UNION (not ALL) forces dedup");
+    }
+}

@@ -1,0 +1,290 @@
+//! SQL tokenizer.
+//!
+//! Produces the token stream consumed by [`crate::parser`]. The dialect is
+//! the small fragment the paper's RPQ-to-SQL translation emits (plus what the
+//! recursive-view baseline needs): `SELECT` queries with joins, conjunctive
+//! `WHERE` clauses, `UNION [ALL]`, `WITH [RECURSIVE]`, `ORDER BY`, `LIMIT`
+//! and `COUNT(*)`.
+
+use crate::engine::SqlError;
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword or identifier (uppercased keywords are normalized by the
+    /// parser; the original text is preserved here).
+    Ident(String),
+    /// String literal (single quotes, `''` escapes a quote).
+    StringLit(String),
+    /// Integer literal.
+    IntLit(i64),
+    /// Float literal.
+    FloatLit(f64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `;`
+    Semicolon,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::StringLit(s) => write!(f, "'{s}'"),
+            Token::IntLit(i) => write!(f, "{i}"),
+            Token::FloatLit(x) => write!(f, "{x}"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Comma => write!(f, ","),
+            Token::Dot => write!(f, "."),
+            Token::Star => write!(f, "*"),
+            Token::Eq => write!(f, "="),
+            Token::NotEq => write!(f, "<>"),
+            Token::Lt => write!(f, "<"),
+            Token::LtEq => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::GtEq => write!(f, ">="),
+            Token::Semicolon => write!(f, ";"),
+        }
+    }
+}
+
+/// Splits `sql` into tokens.
+pub fn tokenize(sql: &str) -> Result<Vec<Token>, SqlError> {
+    let bytes: Vec<char> = sql.chars().collect();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '-' if bytes.get(i + 1) == Some(&'-') => {
+                // Line comment.
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token::Dot);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token::Semicolon);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            '!' if bytes.get(i + 1) == Some(&'=') => {
+                tokens.push(Token::NotEq);
+                i += 2;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&'>') {
+                    tokens.push(Token::NotEq);
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::LtEq);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::GtEq);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                // String literal with '' escaping.
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(SqlError::Parse("unterminated string literal".into()))
+                        }
+                        Some('\'') if bytes.get(i + 1) == Some(&'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some('\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&ch) => {
+                            s.push(ch);
+                            i += 1;
+                        }
+                    }
+                }
+                tokens.push(Token::StringLit(s));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == '.') {
+                    i += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                if text.contains('.') {
+                    let v = text.parse::<f64>().map_err(|_| {
+                        SqlError::Parse(format!("malformed numeric literal `{text}`"))
+                    })?;
+                    tokens.push(Token::FloatLit(v));
+                } else {
+                    let v = text.parse::<i64>().map_err(|_| {
+                        SqlError::Parse(format!("malformed integer literal `{text}`"))
+                    })?;
+                    tokens.push(Token::IntLit(v));
+                }
+            }
+            c if c.is_alphabetic() || c == '_' || c == '"' => {
+                // Identifier / keyword; double quotes delimit identifiers
+                // with special characters (label paths like "knows.worksFor-"
+                // never appear as identifiers, but aliases may be quoted).
+                if c == '"' {
+                    let mut s = String::new();
+                    i += 1;
+                    while i < bytes.len() && bytes[i] != '"' {
+                        s.push(bytes[i]);
+                        i += 1;
+                    }
+                    if i == bytes.len() {
+                        return Err(SqlError::Parse("unterminated quoted identifier".into()));
+                    }
+                    i += 1;
+                    tokens.push(Token::Ident(s));
+                } else {
+                    let start = i;
+                    while i < bytes.len()
+                        && (bytes[i].is_alphanumeric() || bytes[i] == '_' || bytes[i] == '-')
+                    {
+                        // A '-' is part of an identifier only when followed by
+                        // an alphanumeric character (inverse-label suffixes
+                        // never appear in identifiers; keep it conservative).
+                        if bytes[i] == '-' {
+                            break;
+                        }
+                        i += 1;
+                    }
+                    let text: String = bytes[start..i].iter().collect();
+                    tokens.push(Token::Ident(text));
+                }
+            }
+            other => {
+                return Err(SqlError::Parse(format!(
+                    "unexpected character `{other}` at position {i}"
+                )))
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_a_typical_translation() {
+        let sql = "SELECT DISTINCT t1.src, t2.dst FROM path_index AS t1, path_index AS t2 \
+                   WHERE t1.path = 'knows.knows' AND t2.path = 'worksFor' AND t1.dst = t2.src";
+        let tokens = tokenize(sql).unwrap();
+        assert!(tokens.contains(&Token::Ident("DISTINCT".into())));
+        assert!(tokens.contains(&Token::StringLit("knows.knows".into())));
+        assert!(tokens.contains(&Token::Eq));
+        assert_eq!(tokens.iter().filter(|t| **t == Token::Comma).count(), 2);
+    }
+
+    #[test]
+    fn numbers_strings_and_operators() {
+        let tokens = tokenize("WHERE a >= 10 AND b < 2.5 AND c <> 'it''s'").unwrap();
+        assert!(tokens.contains(&Token::GtEq));
+        assert!(tokens.contains(&Token::IntLit(10)));
+        assert!(tokens.contains(&Token::FloatLit(2.5)));
+        assert!(tokens.contains(&Token::NotEq));
+        assert!(tokens.contains(&Token::StringLit("it's".into())));
+    }
+
+    #[test]
+    fn comments_and_whitespace_are_skipped() {
+        let tokens = tokenize("SELECT * -- projection\nFROM t;").unwrap();
+        assert_eq!(
+            tokens,
+            vec![
+                Token::Ident("SELECT".into()),
+                Token::Star,
+                Token::Ident("FROM".into()),
+                Token::Ident("t".into()),
+                Token::Semicolon,
+            ]
+        );
+    }
+
+    #[test]
+    fn quoted_identifiers_and_errors() {
+        let tokens = tokenize("SELECT \"weird name\" FROM t").unwrap();
+        assert!(tokens.contains(&Token::Ident("weird name".into())));
+        assert!(tokenize("SELECT 'open").is_err());
+        assert!(tokenize("SELECT \"open").is_err());
+        assert!(tokenize("SELECT #").is_err());
+    }
+
+    #[test]
+    fn count_star_shape() {
+        let tokens = tokenize("SELECT COUNT(*) FROM path_index").unwrap();
+        assert_eq!(
+            &tokens[..5],
+            &[
+                Token::Ident("SELECT".into()),
+                Token::Ident("COUNT".into()),
+                Token::LParen,
+                Token::Star,
+                Token::RParen,
+            ]
+        );
+    }
+}

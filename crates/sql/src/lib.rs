@@ -1,0 +1,50 @@
+//! # pathix-sql
+//!
+//! The relational backend of the reproduction: a small SQL engine (tables,
+//! parser, planner, hash/merge joins, `WITH RECURSIVE`) plus the two RPQ
+//! translations the paper discusses:
+//!
+//! * **path-index SQL** — the paper's own prototype translates each RPQ into
+//!   joins over a `path_index(path, src, dst)` relation clustered like the
+//!   composite B+tree key (Section 3.1 of the paper). [`SqlPathDb::query_pairs`]
+//!   runs that translation end-to-end.
+//! * **recursive SQL views** — approach (2) of the paper's introduction:
+//!   RPQs evaluated bottom-up over the raw `edge` relation, with Kleene
+//!   recursion as a `WITH RECURSIVE` fixpoint.
+//!   [`SqlPathDb::query_pairs_recursive`] runs that baseline.
+//!
+//! The engine is deliberately small (the fragment those translations emit),
+//! but it is a real engine: scans, filter pushdown, left-deep join trees,
+//! merge joins when clustered order makes them possible, semi-naive
+//! evaluation of recursive CTEs.
+//!
+//! ```
+//! use pathix_datagen::paper_example_graph;
+//! use pathix_sql::SqlPathDb;
+//!
+//! let db = SqlPathDb::build(paper_example_graph(), 2);
+//! println!("{}", db.sql_for("knows/knows/worksFor").unwrap());
+//! let pairs = db.query_pairs("supervisor/worksFor-").unwrap();
+//! assert_eq!(pairs.len(), 1);
+//! ```
+
+pub mod ast;
+pub mod bridge;
+pub mod catalog;
+pub mod engine;
+pub mod lexer;
+pub mod parser;
+pub mod plan;
+pub mod planner;
+pub mod translate;
+pub mod value;
+
+pub use bridge::{edge_table, histogram_table, nodes_table, path_index_table, SqlPathDb};
+pub use catalog::{Catalog, Column, Schema, Table};
+pub use engine::{ResultSet, SqlEngine, SqlError};
+pub use parser::parse_sql;
+pub use plan::{JoinKind, PhysicalNode, Relation};
+pub use translate::{
+    chunk_disjunct, disjunct_to_sql, path_string, rpq_to_path_index_sql, rpq_to_recursive_sql,
+};
+pub use value::{Row, Value};

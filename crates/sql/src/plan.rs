@@ -1,0 +1,707 @@
+//! Physical query plans and their evaluation.
+//!
+//! Plans are trees of classic relational operators — sequential scans over
+//! catalog tables or CTE results, filters, projections, hash and merge
+//! joins, unions, distinct, sort, limit and `COUNT(*)`. Each node evaluates
+//! to a [`Relation`]: the output column names, the rows, and the prefix of
+//! columns the rows are sorted by. The sortedness metadata is what carries
+//! the paper's clustered-B+tree argument into the relational setting: a scan
+//! of `path_index` filtered on `path = '…'` stays sorted on `(src, dst)`, so
+//! a join on `src` can be a merge join; a join on `dst` cannot.
+
+use crate::ast::CompareOp;
+use crate::catalog::Catalog;
+use crate::engine::SqlError;
+use crate::value::{Row, Value};
+use std::collections::HashMap;
+
+/// A materialized intermediate result.
+#[derive(Debug, Clone, Default)]
+pub struct Relation {
+    /// Output column names (qualified like `t1.src` for scans, bare names
+    /// after projection).
+    pub columns: Vec<String>,
+    /// The tuples.
+    pub rows: Vec<Row>,
+    /// Indexes of the columns the rows are currently sorted by
+    /// (lexicographically); empty when the order is unknown.
+    pub sorted_by: Vec<usize>,
+}
+
+impl Relation {
+    /// Position of a column by exact name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+}
+
+/// One side of a bound predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BoundOperand {
+    /// Column by output index.
+    Column(usize),
+    /// Constant.
+    Literal(Value),
+}
+
+/// A predicate bound to column indexes of its input relation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundPredicate {
+    /// Left operand.
+    pub left: BoundOperand,
+    /// Comparison operator.
+    pub op: CompareOp,
+    /// Right operand.
+    pub right: BoundOperand,
+}
+
+impl BoundPredicate {
+    fn eval(&self, row: &Row) -> bool {
+        let lookup = |op: &BoundOperand| -> Value {
+            match op {
+                BoundOperand::Column(i) => row[*i].clone(),
+                BoundOperand::Literal(v) => v.clone(),
+            }
+        };
+        let left = lookup(&self.left);
+        let right = lookup(&self.right);
+        if left.is_null() || right.is_null() {
+            return false;
+        }
+        let ord = left.sql_cmp(&right);
+        match self.op {
+            CompareOp::Eq => ord == std::cmp::Ordering::Equal,
+            CompareOp::NotEq => ord != std::cmp::Ordering::Equal,
+            CompareOp::Lt => ord == std::cmp::Ordering::Less,
+            CompareOp::LtEq => ord != std::cmp::Ordering::Greater,
+            CompareOp::Gt => ord == std::cmp::Ordering::Greater,
+            CompareOp::GtEq => ord != std::cmp::Ordering::Less,
+        }
+    }
+}
+
+/// Join algorithm chosen by the planner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    /// Build a hash table on the right input, probe with the left.
+    Hash,
+    /// Merge two inputs already sorted on their join keys.
+    Merge,
+    /// Decide at execution time: merge when both inputs arrive sorted on
+    /// their join keys (the clustered-index case the paper exploits), hash
+    /// otherwise.
+    Auto,
+}
+
+/// A node of a physical plan.
+#[derive(Debug, Clone)]
+pub enum PhysicalNode {
+    /// Scan a base table (or a CTE result registered under the same name),
+    /// qualifying output columns with `alias.`.
+    Scan {
+        /// Table or CTE name.
+        table: String,
+        /// Alias used for column qualification.
+        alias: String,
+    },
+    /// Keep rows satisfying all predicates.
+    Filter {
+        /// Input node.
+        input: Box<PhysicalNode>,
+        /// Conjunctive predicates bound to input column indexes.
+        predicates: Vec<BoundPredicate>,
+    },
+    /// Keep (and rename) a subset of columns.
+    Project {
+        /// Input node.
+        input: Box<PhysicalNode>,
+        /// `(input column index, output name)` pairs in output order.
+        columns: Vec<(usize, String)>,
+    },
+    /// Equi-join two inputs (cartesian product when `left_keys` is empty).
+    Join {
+        /// Left input.
+        left: Box<PhysicalNode>,
+        /// Right input.
+        right: Box<PhysicalNode>,
+        /// Join key column indexes of the left input.
+        left_keys: Vec<usize>,
+        /// Join key column indexes of the right input.
+        right_keys: Vec<usize>,
+        /// Hash or merge.
+        kind: JoinKind,
+    },
+    /// Concatenate inputs with identical arity.
+    UnionAll {
+        /// Inputs in order.
+        inputs: Vec<PhysicalNode>,
+    },
+    /// Sort by all columns and drop duplicate rows.
+    Distinct {
+        /// Input node.
+        input: Box<PhysicalNode>,
+    },
+    /// Sort by the given keys (`true` = ascending).
+    Sort {
+        /// Input node.
+        input: Box<PhysicalNode>,
+        /// Sort keys.
+        keys: Vec<(usize, bool)>,
+    },
+    /// Keep the first `limit` rows.
+    Limit {
+        /// Input node.
+        input: Box<PhysicalNode>,
+        /// Row budget.
+        limit: usize,
+    },
+    /// Produce a single row with the input cardinality.
+    CountStar {
+        /// Input node.
+        input: Box<PhysicalNode>,
+        /// Output column name.
+        alias: String,
+    },
+}
+
+/// Extra relations visible to scans besides the catalog (CTE results, and the
+/// delta relation while a recursive CTE iterates).
+pub type Bindings = HashMap<String, Relation>;
+
+impl PhysicalNode {
+    /// Evaluates the plan against `catalog` and `bindings`.
+    pub fn execute(&self, catalog: &Catalog, bindings: &Bindings) -> Result<Relation, SqlError> {
+        match self {
+            PhysicalNode::Scan { table, alias } => scan(catalog, bindings, table, alias),
+            PhysicalNode::Filter { input, predicates } => {
+                let mut rel = input.execute(catalog, bindings)?;
+                rel.rows.retain(|row| predicates.iter().all(|p| p.eval(row)));
+                // Filtering never perturbs the order; additionally, equality
+                // against a literal pins leading sort columns, so they can be
+                // peeled off the sort prefix for downstream merge joins.
+                let mut sorted = rel.sorted_by.clone();
+                while let Some(&first) = sorted.first() {
+                    let pinned = predicates.iter().any(|p| {
+                        p.op == CompareOp::Eq
+                            && matches!(
+                                (&p.left, &p.right),
+                                (BoundOperand::Column(c), BoundOperand::Literal(_)) if *c == first
+                            )
+                            || p.op == CompareOp::Eq
+                                && matches!(
+                                    (&p.left, &p.right),
+                                    (BoundOperand::Literal(_), BoundOperand::Column(c)) if *c == first
+                                )
+                    });
+                    if pinned {
+                        sorted.remove(0);
+                    } else {
+                        break;
+                    }
+                }
+                rel.sorted_by = sorted;
+                Ok(rel)
+            }
+            PhysicalNode::Project { input, columns } => {
+                let rel = input.execute(catalog, bindings)?;
+                let rows = rel
+                    .rows
+                    .iter()
+                    .map(|row| columns.iter().map(|(i, _)| row[*i].clone()).collect())
+                    .collect();
+                // Sort order survives projection as long as its prefix is
+                // preserved (remapped to the new positions).
+                let mut sorted_by = Vec::new();
+                for key in &rel.sorted_by {
+                    match columns.iter().position(|(i, _)| i == key) {
+                        Some(new_idx) => sorted_by.push(new_idx),
+                        None => break,
+                    }
+                }
+                Ok(Relation {
+                    columns: columns.iter().map(|(_, n)| n.clone()).collect(),
+                    rows,
+                    sorted_by,
+                })
+            }
+            PhysicalNode::Join {
+                left,
+                right,
+                left_keys,
+                right_keys,
+                kind,
+            } => {
+                let left_rel = left.execute(catalog, bindings)?;
+                let right_rel = right.execute(catalog, bindings)?;
+                let kind = match kind {
+                    JoinKind::Auto => {
+                        if !left_keys.is_empty()
+                            && left_rel.sorted_by.starts_with(left_keys)
+                            && right_rel.sorted_by.starts_with(right_keys)
+                        {
+                            JoinKind::Merge
+                        } else {
+                            JoinKind::Hash
+                        }
+                    }
+                    other => *other,
+                };
+                match kind {
+                    JoinKind::Merge => Ok(merge_join(left_rel, right_rel, left_keys, right_keys)),
+                    _ => Ok(hash_join(left_rel, right_rel, left_keys, right_keys)),
+                }
+            }
+            PhysicalNode::UnionAll { inputs } => {
+                let mut iter = inputs.iter();
+                let first = iter
+                    .next()
+                    .ok_or_else(|| SqlError::Plan("UNION of zero inputs".into()))?;
+                let mut out = first.execute(catalog, bindings)?;
+                out.sorted_by.clear();
+                for node in iter {
+                    let rel = node.execute(catalog, bindings)?;
+                    if rel.columns.len() != out.columns.len() {
+                        return Err(SqlError::Plan(format!(
+                            "UNION arity mismatch: {} vs {} columns",
+                            out.columns.len(),
+                            rel.columns.len()
+                        )));
+                    }
+                    out.rows.extend(rel.rows);
+                }
+                Ok(out)
+            }
+            PhysicalNode::Distinct { input } => {
+                let mut rel = input.execute(catalog, bindings)?;
+                sort_rows(&mut rel.rows, &(0..rel.columns.len()).map(|i| (i, true)).collect::<Vec<_>>());
+                rel.rows.dedup_by(|a, b| rows_equal(a, b));
+                rel.sorted_by = (0..rel.columns.len()).collect();
+                Ok(rel)
+            }
+            PhysicalNode::Sort { input, keys } => {
+                let mut rel = input.execute(catalog, bindings)?;
+                sort_rows(&mut rel.rows, keys);
+                rel.sorted_by = keys.iter().filter(|(_, asc)| *asc).map(|(i, _)| *i).collect();
+                if keys.iter().any(|(_, asc)| !asc) {
+                    rel.sorted_by.clear();
+                }
+                Ok(rel)
+            }
+            PhysicalNode::Limit { input, limit } => {
+                let mut rel = input.execute(catalog, bindings)?;
+                rel.rows.truncate(*limit);
+                Ok(rel)
+            }
+            PhysicalNode::CountStar { input, alias } => {
+                let rel = input.execute(catalog, bindings)?;
+                Ok(Relation {
+                    columns: vec![alias.clone()],
+                    rows: vec![vec![Value::Int(rel.rows.len() as i64)]],
+                    sorted_by: vec![],
+                })
+            }
+        }
+    }
+
+    /// Renders the plan as an indented EXPLAIN-style tree.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.explain_into(&mut out, 0);
+        out
+    }
+
+    fn explain_into(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        match self {
+            PhysicalNode::Scan { table, alias } => {
+                out.push_str(&format!("{pad}SeqScan {table} AS {alias}\n"));
+            }
+            PhysicalNode::Filter { input, predicates } => {
+                out.push_str(&format!("{pad}Filter ({} predicates)\n", predicates.len()));
+                input.explain_into(out, depth + 1);
+            }
+            PhysicalNode::Project { input, columns } => {
+                let names: Vec<&str> = columns.iter().map(|(_, n)| n.as_str()).collect();
+                out.push_str(&format!("{pad}Project [{}]\n", names.join(", ")));
+                input.explain_into(out, depth + 1);
+            }
+            PhysicalNode::Join { left, right, kind, left_keys, .. } => {
+                let name = match kind {
+                    JoinKind::Hash => "HashJoin",
+                    JoinKind::Merge => "MergeJoin",
+                    JoinKind::Auto => "Join(merge-if-sorted)",
+                };
+                let shape = if left_keys.is_empty() { " (cartesian)" } else { "" };
+                out.push_str(&format!("{pad}{name}{shape}\n"));
+                left.explain_into(out, depth + 1);
+                right.explain_into(out, depth + 1);
+            }
+            PhysicalNode::UnionAll { inputs } => {
+                out.push_str(&format!("{pad}UnionAll ({} inputs)\n", inputs.len()));
+                for i in inputs {
+                    i.explain_into(out, depth + 1);
+                }
+            }
+            PhysicalNode::Distinct { input } => {
+                out.push_str(&format!("{pad}Distinct\n"));
+                input.explain_into(out, depth + 1);
+            }
+            PhysicalNode::Sort { input, keys } => {
+                out.push_str(&format!("{pad}Sort ({} keys)\n", keys.len()));
+                input.explain_into(out, depth + 1);
+            }
+            PhysicalNode::Limit { input, limit } => {
+                out.push_str(&format!("{pad}Limit {limit}\n"));
+                input.explain_into(out, depth + 1);
+            }
+            PhysicalNode::CountStar { input, alias } => {
+                out.push_str(&format!("{pad}Aggregate COUNT(*) AS {alias}\n"));
+                input.explain_into(out, depth + 1);
+            }
+        }
+    }
+}
+
+fn scan(
+    catalog: &Catalog,
+    bindings: &Bindings,
+    table: &str,
+    alias: &str,
+) -> Result<Relation, SqlError> {
+    if let Some(rel) = bindings.get(table) {
+        return Ok(Relation {
+            columns: rel
+                .columns
+                .iter()
+                .map(|c| qualify(alias, strip_qualifier(c)))
+                .collect(),
+            rows: rel.rows.clone(),
+            sorted_by: rel.sorted_by.clone(),
+        });
+    }
+    let t = catalog
+        .get(table)
+        .ok_or_else(|| SqlError::Plan(format!("unknown table `{table}`")))?;
+    Ok(Relation {
+        columns: t
+            .schema()
+            .columns()
+            .iter()
+            .map(|c| qualify(alias, &c.name))
+            .collect(),
+        rows: t.rows().to_vec(),
+        sorted_by: t.sort_order().to_vec(),
+    })
+}
+
+/// Qualifies a bare column name with an alias.
+pub fn qualify(alias: &str, column: &str) -> String {
+    format!("{alias}.{column}")
+}
+
+/// Strips an `alias.` qualifier, if present.
+pub fn strip_qualifier(name: &str) -> &str {
+    match name.rsplit_once('.') {
+        Some((_, col)) => col,
+        None => name,
+    }
+}
+
+fn rows_equal(a: &Row, b: &Row) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(x, y)| x.sql_cmp(y) == std::cmp::Ordering::Equal)
+}
+
+fn sort_rows(rows: &mut [Row], keys: &[(usize, bool)]) {
+    rows.sort_by(|a, b| {
+        for (i, asc) in keys {
+            let ord = a[*i].sql_cmp(&b[*i]);
+            let ord = if *asc { ord } else { ord.reverse() };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+}
+
+fn key_of(row: &Row, keys: &[usize]) -> Vec<Value> {
+    keys.iter().map(|i| row[*i].clone()).collect()
+}
+
+fn keys_cmp(a: &[Value], b: &[Value]) -> std::cmp::Ordering {
+    for (x, y) in a.iter().zip(b) {
+        let ord = x.sql_cmp(y);
+        if ord != std::cmp::Ordering::Equal {
+            return ord;
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+fn joined_columns(left: &Relation, right: &Relation) -> Vec<String> {
+    left.columns
+        .iter()
+        .chain(right.columns.iter())
+        .cloned()
+        .collect()
+}
+
+fn hash_join(left: Relation, right: Relation, left_keys: &[usize], right_keys: &[usize]) -> Relation {
+    let columns = joined_columns(&left, &right);
+    let mut rows = Vec::new();
+    if left_keys.is_empty() {
+        // Cartesian product.
+        for l in &left.rows {
+            for r in &right.rows {
+                rows.push(l.iter().chain(r.iter()).cloned().collect());
+            }
+        }
+    } else {
+        // Build on the right, probe with the left (preserves left order).
+        let mut table: HashMap<String, Vec<usize>> = HashMap::new();
+        for (idx, r) in right.rows.iter().enumerate() {
+            let key = hash_key(&key_of(r, right_keys));
+            table.entry(key).or_default().push(idx);
+        }
+        for l in &left.rows {
+            let key = hash_key(&key_of(l, left_keys));
+            if let Some(matches) = table.get(&key) {
+                for &idx in matches {
+                    let r = &right.rows[idx];
+                    // Guard against hash-key collisions with a real compare.
+                    if keys_cmp(&key_of(l, left_keys), &key_of(r, right_keys))
+                        == std::cmp::Ordering::Equal
+                    {
+                        rows.push(l.iter().chain(r.iter()).cloned().collect());
+                    }
+                }
+            }
+        }
+    }
+    // Probing in left order preserves the left input's sortedness.
+    Relation {
+        columns,
+        rows,
+        sorted_by: left.sorted_by.clone(),
+    }
+}
+
+fn hash_key(values: &[Value]) -> String {
+    let mut s = String::new();
+    for v in values {
+        s.push_str(&format!("{v:?}|"));
+    }
+    s
+}
+
+fn merge_join(left: Relation, right: Relation, left_keys: &[usize], right_keys: &[usize]) -> Relation {
+    let columns = joined_columns(&left, &right);
+    let mut rows = Vec::new();
+    let mut i = 0usize;
+    let mut j = 0usize;
+    while i < left.rows.len() && j < right.rows.len() {
+        let lk = key_of(&left.rows[i], left_keys);
+        let rk = key_of(&right.rows[j], right_keys);
+        match keys_cmp(&lk, &rk) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                // Find the full run of equal keys on both sides.
+                let mut i_end = i + 1;
+                while i_end < left.rows.len()
+                    && keys_cmp(&key_of(&left.rows[i_end], left_keys), &lk)
+                        == std::cmp::Ordering::Equal
+                {
+                    i_end += 1;
+                }
+                let mut j_end = j + 1;
+                while j_end < right.rows.len()
+                    && keys_cmp(&key_of(&right.rows[j_end], right_keys), &rk)
+                        == std::cmp::Ordering::Equal
+                {
+                    j_end += 1;
+                }
+                for l in &left.rows[i..i_end] {
+                    for r in &right.rows[j..j_end] {
+                        rows.push(l.iter().chain(r.iter()).cloned().collect());
+                    }
+                }
+                i = i_end;
+                j = j_end;
+            }
+        }
+    }
+    Relation {
+        columns,
+        rows,
+        sorted_by: left_keys.to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{Schema, Table};
+
+    fn catalog_with_edges() -> Catalog {
+        let mut t = Table::new("edge", Schema::new(vec!["label", "src", "dst"]));
+        t.push(vec!["knows".into(), 1u32.into(), 2u32.into()]);
+        t.push(vec!["knows".into(), 2u32.into(), 3u32.into()]);
+        t.push(vec!["worksFor".into(), 2u32.into(), 9u32.into()]);
+        t.push(vec!["worksFor".into(), 3u32.into(), 9u32.into()]);
+        t.cluster_by(&["label", "src", "dst"]);
+        let mut c = Catalog::new();
+        c.register(t);
+        c
+    }
+
+    fn scan_edge(alias: &str) -> PhysicalNode {
+        PhysicalNode::Scan {
+            table: "edge".into(),
+            alias: alias.into(),
+        }
+    }
+
+    #[test]
+    fn scan_qualifies_columns_and_keeps_clustering() {
+        let rel = scan_edge("e")
+            .execute(&catalog_with_edges(), &Bindings::new())
+            .unwrap();
+        assert_eq!(rel.columns, vec!["e.label", "e.src", "e.dst"]);
+        assert_eq!(rel.rows.len(), 4);
+        assert_eq!(rel.sorted_by, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn filter_peels_pinned_sort_columns() {
+        let node = PhysicalNode::Filter {
+            input: Box::new(scan_edge("e")),
+            predicates: vec![BoundPredicate {
+                left: BoundOperand::Column(0),
+                op: CompareOp::Eq,
+                right: BoundOperand::Literal("knows".into()),
+            }],
+        };
+        let rel = node.execute(&catalog_with_edges(), &Bindings::new()).unwrap();
+        assert_eq!(rel.rows.len(), 2);
+        assert_eq!(rel.sorted_by, vec![1, 2], "label pinned, (src, dst) remain");
+    }
+
+    #[test]
+    fn hash_and_merge_join_agree() {
+        let catalog = catalog_with_edges();
+        let filter = |alias: &str, label: &str| PhysicalNode::Filter {
+            input: Box::new(scan_edge(alias)),
+            predicates: vec![BoundPredicate {
+                left: BoundOperand::Column(0),
+                op: CompareOp::Eq,
+                right: BoundOperand::Literal(label.into()),
+            }],
+        };
+        let join = |kind| PhysicalNode::Join {
+            left: Box::new(filter("a", "knows")),
+            right: Box::new(filter("b", "worksFor")),
+            left_keys: vec![2],
+            right_keys: vec![1],
+            kind,
+        };
+        let hash = join(JoinKind::Hash)
+            .execute(&catalog, &Bindings::new())
+            .unwrap();
+        let merge = join(JoinKind::Merge)
+            .execute(&catalog, &Bindings::new())
+            .unwrap();
+        let normalize = |rel: &Relation| {
+            let mut rows = rel.rows.clone();
+            sort_rows(&mut rows, &[(1, true), (5, true)]);
+            rows
+        };
+        assert_eq!(normalize(&hash), normalize(&merge));
+        assert_eq!(hash.rows.len(), 2, "knows(1,2)->worksFor(2,9) and knows(2,3)->worksFor(3,9)");
+    }
+
+    #[test]
+    fn cartesian_product_when_no_keys() {
+        let node = PhysicalNode::Join {
+            left: Box::new(scan_edge("a")),
+            right: Box::new(scan_edge("b")),
+            left_keys: vec![],
+            right_keys: vec![],
+            kind: JoinKind::Hash,
+        };
+        let rel = node.execute(&catalog_with_edges(), &Bindings::new()).unwrap();
+        assert_eq!(rel.rows.len(), 16);
+        assert_eq!(rel.columns.len(), 6);
+    }
+
+    #[test]
+    fn distinct_sort_limit_count() {
+        let catalog = catalog_with_edges();
+        let project_src = PhysicalNode::Project {
+            input: Box::new(scan_edge("e")),
+            columns: vec![(1, "src".into())],
+        };
+        let distinct = PhysicalNode::Distinct {
+            input: Box::new(project_src.clone()),
+        };
+        let rel = distinct.execute(&catalog, &Bindings::new()).unwrap();
+        assert_eq!(rel.rows.len(), 3, "sources 1, 2, 3");
+
+        let sorted = PhysicalNode::Sort {
+            input: Box::new(project_src.clone()),
+            keys: vec![(0, false)],
+        };
+        let rel = sorted.execute(&catalog, &Bindings::new()).unwrap();
+        assert_eq!(rel.rows[0][0].as_int(), Some(3));
+
+        let limited = PhysicalNode::Limit {
+            input: Box::new(sorted),
+            limit: 2,
+        };
+        assert_eq!(limited.execute(&catalog, &Bindings::new()).unwrap().rows.len(), 2);
+
+        let count = PhysicalNode::CountStar {
+            input: Box::new(project_src),
+            alias: "n".into(),
+        };
+        let rel = count.execute(&catalog, &Bindings::new()).unwrap();
+        assert_eq!(rel.rows, vec![vec![Value::Int(4)]]);
+    }
+
+    #[test]
+    fn bindings_shadow_catalog_tables() {
+        let catalog = catalog_with_edges();
+        let mut bindings = Bindings::new();
+        bindings.insert(
+            "edge".into(),
+            Relation {
+                columns: vec!["label".into(), "src".into(), "dst".into()],
+                rows: vec![vec!["x".into(), 7u32.into(), 8u32.into()]],
+                sorted_by: vec![],
+            },
+        );
+        let rel = scan_edge("e").execute(&catalog, &bindings).unwrap();
+        assert_eq!(rel.rows.len(), 1);
+        assert_eq!(rel.columns, vec!["e.label", "e.src", "e.dst"]);
+    }
+
+    #[test]
+    fn explain_renders_a_tree() {
+        let node = PhysicalNode::Distinct {
+            input: Box::new(PhysicalNode::Join {
+                left: Box::new(scan_edge("a")),
+                right: Box::new(scan_edge("b")),
+                left_keys: vec![2],
+                right_keys: vec![1],
+                kind: JoinKind::Merge,
+            }),
+        };
+        let text = node.explain();
+        assert!(text.contains("Distinct"));
+        assert!(text.contains("MergeJoin"));
+        assert!(text.contains("SeqScan edge AS a"));
+    }
+}

@@ -1,0 +1,495 @@
+//! Binding and physical planning: AST → [`PhysicalNode`].
+//!
+//! The planner mirrors, at the relational level, the physical decisions the
+//! paper's plan generator makes over the path index:
+//!
+//! * every `FROM` input becomes a sequential scan (of a base table or a CTE
+//!   result), qualified by its alias;
+//! * single-input `WHERE` predicates are pushed down onto that scan;
+//! * equality predicates across two inputs become join conditions; joins are
+//!   assembled left-deep in `FROM` order;
+//! * a join runs as a **merge join** when both inputs arrive sorted on their
+//!   join keys (e.g. `path_index` filtered on `path = '…'` is still sorted on
+//!   `(src, dst)`, so joining on `src` merges; joining on `dst` hashes) and a
+//!   **hash join** otherwise.
+
+use crate::ast::{ColumnRef, CompareOp, Operand, Predicate, Query, Select, SelectItem, SetExpr};
+use crate::catalog::Catalog;
+use crate::engine::SqlError;
+use crate::plan::{qualify, strip_qualifier, BoundOperand, BoundPredicate, JoinKind, PhysicalNode};
+use std::collections::HashMap;
+
+/// Column name environment of a (possibly composite) plan node.
+#[derive(Debug, Clone, Default)]
+struct Scope {
+    /// Qualified output column names in order (`alias.column`).
+    columns: Vec<String>,
+    /// Aliases contributing to this scope.
+    aliases: Vec<String>,
+}
+
+impl Scope {
+    fn resolve(&self, col: &ColumnRef) -> Result<usize, SqlError> {
+        match &col.table {
+            Some(alias) => {
+                let name = qualify(alias, &col.column);
+                self.columns
+                    .iter()
+                    .position(|c| c == &name)
+                    .ok_or_else(|| SqlError::Plan(format!("unknown column `{}`", col.display())))
+            }
+            None => {
+                let matches: Vec<usize> = self
+                    .columns
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| strip_qualifier(c) == col.column)
+                    .map(|(i, _)| i)
+                    .collect();
+                match matches.len() {
+                    0 => Err(SqlError::Plan(format!("unknown column `{}`", col.display()))),
+                    1 => Ok(matches[0]),
+                    _ => Err(SqlError::Plan(format!(
+                        "ambiguous column `{}` (qualify it with a table alias)",
+                        col.display()
+                    ))),
+                }
+            }
+        }
+    }
+
+    fn has_alias_of(&self, col: &ColumnRef) -> bool {
+        match &col.table {
+            Some(alias) => self.aliases.iter().any(|a| a == alias),
+            None => self
+                .columns
+                .iter()
+                .any(|c| strip_qualifier(c) == col.column),
+        }
+    }
+}
+
+/// Plans a whole query body (CTEs are handled by the engine; `schemas` maps
+/// CTE names to their column lists so scans of CTEs can be resolved).
+pub fn plan_query(
+    query: &Query,
+    catalog: &Catalog,
+    cte_schemas: &HashMap<String, Vec<String>>,
+) -> Result<PhysicalNode, SqlError> {
+    let (mut node, scope) = plan_set_expr(&query.body, catalog, cte_schemas)?;
+    if !query.order_by.is_empty() {
+        let mut keys = Vec::new();
+        for (col, asc) in &query.order_by {
+            keys.push((scope.resolve(col)?, *asc));
+        }
+        node = PhysicalNode::Sort {
+            input: Box::new(node),
+            keys,
+        };
+    }
+    if let Some(limit) = query.limit {
+        node = PhysicalNode::Limit {
+            input: Box::new(node),
+            limit,
+        };
+    }
+    Ok(node)
+}
+
+/// Plans a set expression (used for CTE bodies), returning just the node.
+pub fn plan_body(
+    expr: &SetExpr,
+    catalog: &Catalog,
+    cte_schemas: &HashMap<String, Vec<String>>,
+) -> Result<PhysicalNode, SqlError> {
+    plan_set_expr(expr, catalog, cte_schemas).map(|(node, _)| node)
+}
+
+/// Plans a set expression, returning the node plus its output scope.
+fn plan_set_expr(
+    expr: &SetExpr,
+    catalog: &Catalog,
+    cte_schemas: &HashMap<String, Vec<String>>,
+) -> Result<(PhysicalNode, Scope), SqlError> {
+    match expr {
+        SetExpr::Select(select) => plan_select(select, catalog, cte_schemas),
+        SetExpr::Union { .. } => {
+            let (selects, dedup) = expr.flatten_union();
+            let mut nodes = Vec::new();
+            let mut scope: Option<Scope> = None;
+            for s in selects {
+                let (node, s_scope) = plan_select(s, catalog, cte_schemas)?;
+                if let Some(existing) = &scope {
+                    if existing.columns.len() != s_scope.columns.len() {
+                        return Err(SqlError::Plan(
+                            "UNION branches have different arities".into(),
+                        ));
+                    }
+                } else {
+                    scope = Some(s_scope);
+                }
+                nodes.push(node);
+            }
+            let mut node = PhysicalNode::UnionAll { inputs: nodes };
+            if dedup {
+                node = PhysicalNode::Distinct {
+                    input: Box::new(node),
+                };
+            }
+            Ok((node, scope.unwrap_or_default()))
+        }
+    }
+}
+
+fn plan_select(
+    select: &Select,
+    catalog: &Catalog,
+    cte_schemas: &HashMap<String, Vec<String>>,
+) -> Result<(PhysicalNode, Scope), SqlError> {
+    if select.from.is_empty() {
+        return Err(SqlError::Plan(
+            "SELECT without FROM is not supported".into(),
+        ));
+    }
+
+    // Scans, with their individual scopes.
+    let mut inputs: Vec<(PhysicalNode, Scope)> = Vec::new();
+    for table_ref in &select.from {
+        let alias = table_ref.binding_name().to_ascii_lowercase();
+        let columns: Vec<String> = if let Some(cols) = cte_schemas.get(&table_ref.table) {
+            cols.iter().map(|c| qualify(&alias, c)).collect()
+        } else if let Some(table) = catalog.get(&table_ref.table) {
+            table
+                .schema()
+                .columns()
+                .iter()
+                .map(|c| qualify(&alias, &c.name))
+                .collect()
+        } else {
+            return Err(SqlError::Plan(format!(
+                "unknown table `{}`",
+                table_ref.table
+            )));
+        };
+        let scope = Scope {
+            columns,
+            aliases: vec![alias.clone()],
+        };
+        let node = PhysicalNode::Scan {
+            table: table_ref.table.clone(),
+            alias,
+        };
+        inputs.push((node, scope));
+    }
+
+    // Classify predicates: single-input (pushed down), equi-join, residual.
+    let mut pushdown: Vec<Vec<&Predicate>> = vec![Vec::new(); inputs.len()];
+    let mut join_preds: Vec<&Predicate> = Vec::new();
+    let mut residual: Vec<&Predicate> = Vec::new();
+    for pred in &select.selection {
+        match classify(pred, &inputs) {
+            Classified::Single(idx) => pushdown[idx].push(pred),
+            Classified::Join => join_preds.push(pred),
+            Classified::Residual => residual.push(pred),
+        }
+    }
+
+    // Push single-table predicates onto their scans.
+    let mut planned: Vec<(PhysicalNode, Scope)> = Vec::new();
+    for (idx, (node, scope)) in inputs.into_iter().enumerate() {
+        let mut node = node;
+        if !pushdown[idx].is_empty() {
+            let predicates = pushdown[idx]
+                .iter()
+                .map(|p| bind_predicate(p, &scope))
+                .collect::<Result<Vec<_>, _>>()?;
+            node = PhysicalNode::Filter {
+                input: Box::new(node),
+                predicates,
+            };
+        }
+        planned.push((node, scope));
+    }
+
+    // Left-deep joins in FROM order.
+    let mut remaining_joins: Vec<&Predicate> = join_preds;
+    let mut iter = planned.into_iter();
+    let (mut node, mut scope) = iter.next().expect("FROM is non-empty");
+    for (right_node, right_scope) in iter {
+        // Join predicates connecting the current composite with this input.
+        let mut left_keys = Vec::new();
+        let mut right_keys = Vec::new();
+        let mut used = Vec::new();
+        for (i, pred) in remaining_joins.iter().enumerate() {
+            if let (Operand::Column(a), CompareOp::Eq, Operand::Column(b)) =
+                (&pred.left, pred.op, &pred.right)
+            {
+                let (l, r) = if scope.has_alias_of(a) && right_scope.has_alias_of(b) {
+                    (a, b)
+                } else if scope.has_alias_of(b) && right_scope.has_alias_of(a) {
+                    (b, a)
+                } else {
+                    continue;
+                };
+                left_keys.push(scope.resolve(l)?);
+                right_keys.push(right_scope.resolve(r)?);
+                used.push(i);
+            }
+        }
+        for i in used.into_iter().rev() {
+            remaining_joins.remove(i);
+        }
+        let kind = if left_keys.is_empty() {
+            JoinKind::Hash
+        } else {
+            // The executor switches to a merge join when both inputs turn out
+            // to be sorted on the join keys (clustered path_index scans).
+            JoinKind::Auto
+        };
+        node = PhysicalNode::Join {
+            left: Box::new(node),
+            right: Box::new(right_node),
+            left_keys,
+            right_keys,
+            kind,
+        };
+        scope = Scope {
+            columns: scope
+                .columns
+                .iter()
+                .chain(right_scope.columns.iter())
+                .cloned()
+                .collect(),
+            aliases: scope
+                .aliases
+                .iter()
+                .chain(right_scope.aliases.iter())
+                .cloned()
+                .collect(),
+        };
+    }
+
+    // Any join predicate that did not find its inputs (plus residual
+    // predicates) is applied on top of the final join tree.
+    let leftover: Vec<&Predicate> = remaining_joins.into_iter().chain(residual).collect();
+    if !leftover.is_empty() {
+        let predicates = leftover
+            .iter()
+            .map(|p| bind_predicate(p, &scope))
+            .collect::<Result<Vec<_>, _>>()?;
+        node = PhysicalNode::Filter {
+            input: Box::new(node),
+            predicates,
+        };
+    }
+
+    // Projection.
+    let (node, out_scope) = plan_projection(select, node, &scope)?;
+    let node = if select.distinct {
+        PhysicalNode::Distinct {
+            input: Box::new(node),
+        }
+    } else {
+        node
+    };
+    Ok((node, out_scope))
+}
+
+fn plan_projection(
+    select: &Select,
+    node: PhysicalNode,
+    scope: &Scope,
+) -> Result<(PhysicalNode, Scope), SqlError> {
+    // COUNT(*) as the only projection item produces a one-column aggregate.
+    if select.projection.len() == 1 {
+        if let SelectItem::CountStar { alias } = &select.projection[0] {
+            let name = alias.clone().unwrap_or_else(|| "count".to_owned());
+            let out_scope = Scope {
+                columns: vec![name.clone()],
+                aliases: vec![],
+            };
+            return Ok((
+                PhysicalNode::CountStar {
+                    input: Box::new(node),
+                    alias: name,
+                },
+                out_scope,
+            ));
+        }
+    }
+
+    let mut columns: Vec<(usize, String)> = Vec::new();
+    for item in &select.projection {
+        match item {
+            SelectItem::Wildcard => {
+                for (i, name) in scope.columns.iter().enumerate() {
+                    columns.push((i, strip_qualifier(name).to_owned()));
+                }
+            }
+            SelectItem::Column { column, alias } => {
+                let idx = scope.resolve(column)?;
+                let name = alias.clone().unwrap_or_else(|| column.column.clone());
+                columns.push((idx, name));
+            }
+            SelectItem::CountStar { .. } => {
+                return Err(SqlError::Plan(
+                    "COUNT(*) cannot be mixed with other projection items".into(),
+                ))
+            }
+        }
+    }
+    let out_scope = Scope {
+        columns: columns.iter().map(|(_, n)| n.clone()).collect(),
+        aliases: vec![],
+    };
+    Ok((
+        PhysicalNode::Project {
+            input: Box::new(node),
+            columns,
+        },
+        out_scope,
+    ))
+}
+
+enum Classified {
+    Single(usize),
+    Join,
+    Residual,
+}
+
+fn classify(pred: &Predicate, inputs: &[(PhysicalNode, Scope)]) -> Classified {
+    let columns: Vec<&ColumnRef> = [&pred.left, &pred.right]
+        .iter()
+        .filter_map(|o| match o {
+            Operand::Column(c) => Some(c),
+            Operand::Literal(_) => None,
+        })
+        .collect();
+    if columns.is_empty() {
+        return Classified::Residual;
+    }
+    // Which single input can see all referenced columns?
+    let single = inputs
+        .iter()
+        .position(|(_, scope)| columns.iter().all(|c| scope.has_alias_of(c)));
+    if let Some(idx) = single {
+        return Classified::Single(idx);
+    }
+    if columns.len() == 2 && pred.op == CompareOp::Eq {
+        return Classified::Join;
+    }
+    Classified::Residual
+}
+
+fn bind_predicate(pred: &Predicate, scope: &Scope) -> Result<BoundPredicate, SqlError> {
+    let bind = |op: &Operand| -> Result<BoundOperand, SqlError> {
+        Ok(match op {
+            Operand::Column(c) => BoundOperand::Column(scope.resolve(c)?),
+            Operand::Literal(v) => BoundOperand::Literal(v.clone()),
+        })
+    };
+    Ok(BoundPredicate {
+        left: bind(&pred.left)?,
+        op: pred.op,
+        right: bind(&pred.right)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{Schema, Table};
+    use crate::parser::parse_sql;
+    use crate::plan::Bindings;
+
+    fn catalog() -> Catalog {
+        let mut pi = Table::new("path_index", Schema::new(vec!["path", "src", "dst"]));
+        for (p, s, d) in [
+            ("knows", 1, 2),
+            ("knows", 2, 3),
+            ("worksFor", 2, 9),
+            ("worksFor", 3, 9),
+            ("knows.worksFor", 1, 9),
+            ("knows.worksFor", 2, 9),
+        ] {
+            pi.push(vec![p.into(), (s as u32).into(), (d as u32).into()]);
+        }
+        pi.cluster_by(&["path", "src", "dst"]);
+        let mut c = Catalog::new();
+        c.register(pi);
+        c
+    }
+
+    fn run(sql: &str) -> crate::plan::Relation {
+        let q = parse_sql(sql).unwrap();
+        let plan = plan_query(&q, &catalog(), &HashMap::new()).unwrap();
+        plan.execute(&catalog(), &Bindings::new()).unwrap()
+    }
+
+    #[test]
+    fn plans_and_runs_a_join_query() {
+        let rel = run(
+            "SELECT DISTINCT t1.src AS src, t2.dst AS dst \
+             FROM path_index AS t1, path_index AS t2 \
+             WHERE t1.path = 'knows' AND t2.path = 'worksFor' AND t1.dst = t2.src",
+        );
+        assert_eq!(rel.columns, vec!["src", "dst"]);
+        assert_eq!(rel.rows.len(), 2);
+    }
+
+    #[test]
+    fn wildcard_order_by_limit() {
+        let rel = run("SELECT * FROM path_index WHERE path = 'knows' ORDER BY src DESC LIMIT 1");
+        assert_eq!(rel.columns, vec!["path", "src", "dst"]);
+        assert_eq!(rel.rows.len(), 1);
+        assert_eq!(rel.rows[0][1].as_int(), Some(2));
+    }
+
+    #[test]
+    fn union_dedups_and_union_all_does_not() {
+        let rel = run(
+            "SELECT src FROM path_index WHERE path = 'knows' \
+             UNION SELECT src FROM path_index WHERE path = 'knows'",
+        );
+        assert_eq!(rel.rows.len(), 2);
+        let rel = run(
+            "SELECT src FROM path_index WHERE path = 'knows' \
+             UNION ALL SELECT src FROM path_index WHERE path = 'knows'",
+        );
+        assert_eq!(rel.rows.len(), 4);
+    }
+
+    #[test]
+    fn count_star_aggregate() {
+        let rel = run("SELECT COUNT(*) AS n FROM path_index WHERE path = 'knows.worksFor'");
+        assert_eq!(rel.columns, vec!["n"]);
+        assert_eq!(rel.rows[0][0].as_int(), Some(2));
+    }
+
+    #[test]
+    fn errors_on_unknown_names_and_ambiguity() {
+        let q = parse_sql("SELECT nope FROM path_index").unwrap();
+        assert!(plan_query(&q, &catalog(), &HashMap::new()).is_err());
+        let q = parse_sql("SELECT src FROM nope").unwrap();
+        assert!(plan_query(&q, &catalog(), &HashMap::new()).is_err());
+        let q = parse_sql(
+            "SELECT src FROM path_index AS a, path_index AS b WHERE a.dst = b.src",
+        )
+        .unwrap();
+        assert!(plan_query(&q, &catalog(), &HashMap::new()).is_err(), "ambiguous src");
+    }
+
+    #[test]
+    fn three_way_join_runs_left_deep() {
+        let rel = run(
+            "SELECT DISTINCT t1.src AS src, t3.dst AS dst \
+             FROM path_index AS t1, path_index AS t2, path_index AS t3 \
+             WHERE t1.path = 'knows' AND t2.path = 'knows' AND t3.path = 'worksFor' \
+               AND t1.dst = t2.src AND t2.dst = t3.src",
+        );
+        // knows(1,2) ∘ knows(2,3) ∘ worksFor(3,9) = (1, 9).
+        assert_eq!(rel.rows.len(), 1);
+        assert_eq!(rel.rows[0][0].as_int(), Some(1));
+        assert_eq!(rel.rows[0][1].as_int(), Some(9));
+    }
+}

@@ -1,0 +1,363 @@
+//! RPQ → SQL translation.
+//!
+//! Two translations are provided, matching the two systems the paper talks
+//! about:
+//!
+//! 1. [`rpq_to_path_index_sql`] — the paper's own prototype: each label-path
+//!    disjunct is chunked into segments of length ≤ k and becomes a join of
+//!    `path_index` scans; the disjuncts are `UNION`ed. This is the SQL the
+//!    authors generate for PostgreSQL (Section 3.1: *"We translate RPQs into
+//!    equivalent SQL statements over `I_{G,k}` implemented as a relational
+//!    table and backed by a B+tree"*).
+//! 2. [`rpq_to_recursive_sql`] — approach (2) from the paper's introduction:
+//!    Datalog-style evaluation as recursive SQL views over the raw `edge`
+//!    relation, with Kleene recursion becoming a `WITH RECURSIVE` fixpoint
+//!    and bounded recursion unrolled.
+
+use pathix_graph::{Graph, SignedLabel};
+use pathix_rpq::{BoundExpr, Expr, LabelPath};
+
+/// Renders a label path as the text key stored in the `path` column of the
+/// `path_index` table, e.g. `knows.knows.worksFor-`.
+pub fn path_string(graph: &Graph, path: &[SignedLabel]) -> String {
+    path.iter()
+        .map(|sl| graph.format_signed_label(*sl))
+        .collect::<Vec<_>>()
+        .join(".")
+}
+
+/// Splits a disjunct into consecutive segments of length ≤ k (the greedy
+/// left-to-right chunking of the paper's *semi-naive* strategy).
+pub fn chunk_disjunct(disjunct: &[SignedLabel], k: usize) -> Vec<Vec<SignedLabel>> {
+    assert!(k > 0, "k must be positive");
+    disjunct.chunks(k).map(<[SignedLabel]>::to_vec).collect()
+}
+
+/// SQL for a single label-path disjunct over the `path_index` / `nodes`
+/// tables (no `DISTINCT`; the caller decides set semantics).
+pub fn disjunct_to_sql(graph: &Graph, disjunct: &[SignedLabel], k: usize) -> String {
+    if disjunct.is_empty() {
+        // The ε disjunct: the identity relation over all nodes.
+        return "SELECT id AS src, id AS dst FROM nodes".to_owned();
+    }
+    let segments = chunk_disjunct(disjunct, k);
+    if segments.len() == 1 {
+        return format!(
+            "SELECT src, dst FROM path_index WHERE path = '{}'",
+            path_string(graph, &segments[0])
+        );
+    }
+    let mut from = Vec::new();
+    let mut wheres = Vec::new();
+    for (i, segment) in segments.iter().enumerate() {
+        let alias = format!("t{}", i + 1);
+        from.push(format!("path_index AS {alias}"));
+        wheres.push(format!(
+            "{alias}.path = '{}'",
+            path_string(graph, segment)
+        ));
+    }
+    for i in 1..segments.len() {
+        wheres.push(format!("t{i}.dst = t{}.src", i + 1));
+    }
+    format!(
+        "SELECT t1.src AS src, t{}.dst AS dst FROM {} WHERE {}",
+        segments.len(),
+        from.join(", "),
+        wheres.join(" AND ")
+    )
+}
+
+/// The paper's translation: the union of the per-disjunct join queries, with
+/// set semantics (duplicate pairs removed).
+pub fn rpq_to_path_index_sql(graph: &Graph, disjuncts: &[LabelPath], k: usize) -> String {
+    assert!(!disjuncts.is_empty(), "a query must have at least one disjunct");
+    if disjuncts.len() == 1 {
+        let body = disjunct_to_sql(graph, &disjuncts[0], k);
+        // Splice DISTINCT into the single select.
+        return body.replacen("SELECT ", "SELECT DISTINCT ", 1);
+    }
+    disjuncts
+        .iter()
+        .map(|d| disjunct_to_sql(graph, d, k))
+        .collect::<Vec<_>>()
+        .join(" UNION ")
+}
+
+/// Builder for the recursive-view translation (approach 2).
+struct RecursiveTranslator<'a> {
+    graph: &'a Graph,
+    star_bound: u32,
+    ctes: Vec<String>,
+    counter: usize,
+}
+
+impl<'a> RecursiveTranslator<'a> {
+    fn fresh(&mut self) -> String {
+        self.counter += 1;
+        format!("e{}", self.counter)
+    }
+
+    fn push_cte(&mut self, name: &str, body: String) {
+        self.ctes.push(format!("{name}(src, dst) AS ({body})"));
+    }
+
+    /// Translates `expr`, returning the name of the CTE holding its result.
+    fn translate(&mut self, expr: &BoundExpr) -> String {
+        match expr {
+            Expr::Epsilon => {
+                let name = self.fresh();
+                self.push_cte(&name, "SELECT id AS src, id AS dst FROM nodes".to_owned());
+                name
+            }
+            Expr::Step { label, .. } => {
+                let name = self.fresh();
+                let label_name = self
+                    .graph
+                    .label_name(label.label)
+                    .unwrap_or("unknown")
+                    .to_owned();
+                let body = if label.is_backward() {
+                    format!("SELECT dst AS src, src AS dst FROM edge WHERE label = '{label_name}'")
+                } else {
+                    format!("SELECT src, dst FROM edge WHERE label = '{label_name}'")
+                };
+                self.push_cte(&name, body);
+                name
+            }
+            Expr::Concat(parts) => {
+                let inner: Vec<String> = parts.iter().map(|p| self.translate(p)).collect();
+                self.concat_ctes(&inner)
+            }
+            Expr::Union(parts) => {
+                let inner: Vec<String> = parts.iter().map(|p| self.translate(p)).collect();
+                let name = self.fresh();
+                let body = inner
+                    .iter()
+                    .map(|c| format!("SELECT src, dst FROM {c}"))
+                    .collect::<Vec<_>>()
+                    .join(" UNION ");
+                self.push_cte(&name, body);
+                name
+            }
+            Expr::Repeat { inner, min, max } => {
+                let base = self.translate(inner);
+                match max {
+                    // Kleene forms: a genuine recursive view (fixpoint),
+                    // which on a finite graph equals the paper's bounded
+                    // expansion R^{min, n(G)}.
+                    None => self.kleene(&base, *min),
+                    Some(max) => self.bounded(&base, *min, *max),
+                }
+            }
+        }
+    }
+
+    /// `c1 ∘ c2 ∘ … ∘ cn` as one join query.
+    fn concat_ctes(&mut self, inner: &[String]) -> String {
+        if inner.len() == 1 {
+            return inner[0].clone();
+        }
+        let name = self.fresh();
+        let from: Vec<String> = inner
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c} AS t{}", i + 1))
+            .collect();
+        let mut wheres = Vec::new();
+        for i in 1..inner.len() {
+            wheres.push(format!("t{i}.dst = t{}.src", i + 1));
+        }
+        let body = format!(
+            "SELECT t1.src AS src, t{}.dst AS dst FROM {} WHERE {}",
+            inner.len(),
+            from.join(", "),
+            wheres.join(" AND ")
+        );
+        self.push_cte(&name, body);
+        name
+    }
+
+    /// `base+` via `WITH RECURSIVE`, then adjusted for `min`.
+    fn kleene(&mut self, base: &str, min: u32) -> String {
+        let closure = self.fresh();
+        let body = format!(
+            "SELECT src, dst FROM {base} UNION \
+             SELECT r.src AS src, s.dst AS dst FROM {closure} AS r, {base} AS s WHERE r.dst = s.src"
+        );
+        self.push_cte(&closure, body);
+        match min {
+            0 => {
+                // ε ∪ base⁺
+                let name = self.fresh();
+                let body = format!(
+                    "SELECT id AS src, id AS dst FROM nodes UNION SELECT src, dst FROM {closure}"
+                );
+                self.push_cte(&name, body);
+                name
+            }
+            1 => closure,
+            n => {
+                // base^{n-1} ∘ base⁺
+                let prefix: Vec<String> =
+                    std::iter::repeat_with(|| base.to_owned()).take((n - 1) as usize).collect();
+                let mut parts = prefix;
+                parts.push(closure);
+                self.concat_ctes(&parts)
+            }
+        }
+    }
+
+    /// `base^{min,max}` unrolled into powers and a union.
+    fn bounded(&mut self, base: &str, min: u32, max: u32) -> String {
+        let max = max.max(min).min(self.star_bound.max(max));
+        // Powers base^1 .. base^max.
+        let mut powers: Vec<String> = Vec::new();
+        for i in 1..=max {
+            if i == 1 {
+                powers.push(base.to_owned());
+            } else {
+                let prev = powers[(i - 2) as usize].clone();
+                let name = self.fresh();
+                let body = format!(
+                    "SELECT a.src AS src, b.dst AS dst FROM {prev} AS a, {base} AS b \
+                     WHERE a.dst = b.src"
+                );
+                self.push_cte(&name, body);
+                powers.push(name);
+            }
+        }
+        let mut branches: Vec<String> = Vec::new();
+        if min == 0 {
+            branches.push("SELECT id AS src, id AS dst FROM nodes".to_owned());
+        }
+        for i in min.max(1)..=max {
+            branches.push(format!("SELECT src, dst FROM {}", powers[(i - 1) as usize]));
+        }
+        let name = self.fresh();
+        self.push_cte(&name, branches.join(" UNION "));
+        name
+    }
+}
+
+/// Approach (2): translate a bound RPQ into recursive SQL views over the
+/// `edge` / `nodes` tables. `star_bound` only matters for malformed bounds
+/// (`max < min`); genuine Kleene recursion becomes a fixpoint CTE.
+pub fn rpq_to_recursive_sql(graph: &Graph, expr: &BoundExpr, star_bound: u32) -> String {
+    let mut tr = RecursiveTranslator {
+        graph,
+        star_bound,
+        ctes: Vec::new(),
+        counter: 0,
+    };
+    let result = tr.translate(expr);
+    format!(
+        "WITH RECURSIVE {} SELECT DISTINCT src, dst FROM {result}",
+        tr.ctes.join(", ")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathix_datagen::paper_example_graph;
+    use pathix_rpq::parse;
+
+    fn bind(graph: &Graph, q: &str) -> BoundExpr {
+        parse(q).unwrap().bind(graph).unwrap()
+    }
+
+    fn sl(graph: &Graph, name: &str) -> SignedLabel {
+        SignedLabel::forward(graph.label_id(name).unwrap())
+    }
+
+    #[test]
+    fn path_strings_include_inverse_marks() {
+        let g = paper_example_graph();
+        let knows = sl(&g, "knows");
+        let works = sl(&g, "worksFor");
+        assert_eq!(path_string(&g, &[knows, works.inverse()]), "knows.worksFor-");
+    }
+
+    #[test]
+    fn chunking_is_greedy_left_to_right() {
+        let g = paper_example_graph();
+        let knows = sl(&g, "knows");
+        let path = vec![knows; 7];
+        let chunks = chunk_disjunct(&path, 3);
+        assert_eq!(chunks.iter().map(Vec::len).collect::<Vec<_>>(), vec![3, 3, 1]);
+    }
+
+    #[test]
+    fn single_segment_disjunct_is_one_scan() {
+        let g = paper_example_graph();
+        let knows = sl(&g, "knows");
+        let sql = disjunct_to_sql(&g, &[knows, knows], 3);
+        assert_eq!(
+            sql,
+            "SELECT src, dst FROM path_index WHERE path = 'knows.knows'"
+        );
+    }
+
+    #[test]
+    fn multi_segment_disjunct_joins_on_dst_src() {
+        let g = paper_example_graph();
+        let knows = sl(&g, "knows");
+        let works = sl(&g, "worksFor");
+        let sql = disjunct_to_sql(&g, &[knows, knows, works, knows, works], 2);
+        assert!(sql.contains("path_index AS t1"));
+        assert!(sql.contains("path_index AS t3"));
+        assert!(sql.contains("t1.path = 'knows.knows'"));
+        assert!(sql.contains("t3.path = 'worksFor'"));
+        assert!(sql.contains("t1.dst = t2.src"));
+        assert!(sql.contains("t2.dst = t3.src"));
+    }
+
+    #[test]
+    fn epsilon_disjunct_scans_nodes() {
+        let g = paper_example_graph();
+        let sql = disjunct_to_sql(&g, &[], 2);
+        assert!(sql.contains("FROM nodes"));
+    }
+
+    #[test]
+    fn union_of_disjuncts_and_distinct_splicing() {
+        let g = paper_example_graph();
+        let knows = sl(&g, "knows");
+        let works = sl(&g, "worksFor");
+        let single = rpq_to_path_index_sql(&g, &[vec![knows, works]], 2);
+        assert!(single.starts_with("SELECT DISTINCT"));
+        let multi = rpq_to_path_index_sql(&g, &[vec![knows], vec![works]], 2);
+        assert_eq!(multi.matches(" UNION ").count(), 1);
+    }
+
+    #[test]
+    fn recursive_translation_emits_fixpoint_for_star() {
+        let g = paper_example_graph();
+        let expr = bind(&g, "knows*");
+        let sql = rpq_to_recursive_sql(&g, &expr, 8);
+        assert!(sql.starts_with("WITH RECURSIVE"));
+        assert!(sql.contains("FROM nodes"), "min = 0 includes the identity");
+        assert!(sql.contains("WHERE r.dst = s.src"), "fixpoint join present");
+    }
+
+    #[test]
+    fn recursive_translation_unrolls_bounded_recursion() {
+        let g = paper_example_graph();
+        let expr = bind(&g, "(knows/worksFor){2,3}");
+        let sql = rpq_to_recursive_sql(&g, &expr, 8);
+        // Unrolled: no self-referencing fixpoint join needed.
+        assert!(!sql.contains("r.dst = s.src"));
+        assert!(sql.contains("UNION"));
+        assert!(sql.contains("edge WHERE label = 'knows'"));
+    }
+
+    #[test]
+    fn recursive_translation_handles_inverse_and_union() {
+        let g = paper_example_graph();
+        let expr = bind(&g, "supervisor|worksFor-");
+        let sql = rpq_to_recursive_sql(&g, &expr, 4);
+        assert!(sql.contains("SELECT dst AS src, src AS dst FROM edge WHERE label = 'worksFor'"));
+        assert!(sql.contains("label = 'supervisor'"));
+    }
+}

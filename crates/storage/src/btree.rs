@@ -1,0 +1,610 @@
+//! The B+tree proper: an ordered dictionary over byte-string keys.
+
+use crate::keys::prefix_successor;
+use crate::node::{InternalNode, LeafNode, Node, MAX_KEYS};
+
+/// An in-memory B+tree mapping byte-string keys to byte-string values.
+///
+/// See the crate-level documentation for the design rationale. The tree is
+/// the storage layer of the k-path index: one entry per
+/// `⟨label path, source, target⟩` triple, values usually empty.
+#[derive(Debug, Clone)]
+pub struct BPlusTree {
+    nodes: Vec<Node>,
+    root: u32,
+    len: usize,
+}
+
+impl Default for BPlusTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Structural statistics of a tree, mostly for diagnostics and experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeStats {
+    /// Number of key/value pairs stored.
+    pub len: usize,
+    /// Height of the tree (a lone leaf has depth 1).
+    pub depth: usize,
+    /// Total number of nodes (internal + leaf).
+    pub node_count: usize,
+    /// Number of leaf nodes.
+    pub leaf_count: usize,
+    /// Approximate heap footprint of keys and values in bytes.
+    pub approx_key_bytes: usize,
+}
+
+impl BPlusTree {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        BPlusTree {
+            nodes: vec![Node::Leaf(LeafNode::empty())],
+            root: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of key/value pairs stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the tree stores no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn push_node(&mut self, node: Node) -> u32 {
+        let id = self.nodes.len() as u32;
+        self.nodes.push(node);
+        id
+    }
+
+    fn leaf(&self, id: u32) -> &LeafNode {
+        match &self.nodes[id as usize] {
+            Node::Leaf(l) => l,
+            Node::Internal(_) => unreachable!("expected leaf node"),
+        }
+    }
+
+    /// Finds the leaf that would contain `key`.
+    fn find_leaf(&self, key: &[u8]) -> u32 {
+        let mut cur = self.root;
+        loop {
+            match &self.nodes[cur as usize] {
+                Node::Internal(int) => {
+                    cur = int.children[int.route(key)];
+                }
+                Node::Leaf(_) => return cur,
+            }
+        }
+    }
+
+    /// Returns the value stored under `key`, if present.
+    pub fn get(&self, key: &[u8]) -> Option<&[u8]> {
+        let leaf = self.leaf(self.find_leaf(key));
+        leaf.keys
+            .binary_search_by(|k| k.as_slice().cmp(key))
+            .ok()
+            .map(|i| leaf.values[i].as_slice())
+    }
+
+    /// `true` if `key` is present.
+    pub fn contains_key(&self, key: &[u8]) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Inserts `key → value`, returning the previous value if the key was
+    /// already present.
+    pub fn insert(&mut self, key: Vec<u8>, value: Vec<u8>) -> Option<Vec<u8>> {
+        let (old, split) = self.insert_rec(self.root, key, value);
+        if let Some((sep, right)) = split {
+            let new_root = Node::Internal(InternalNode {
+                keys: vec![sep],
+                children: vec![self.root, right],
+            });
+            self.root = self.push_node(new_root);
+        }
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Recursive insert; returns the replaced value (if any) and, when the
+    /// node at `node_id` split, the separator plus new right sibling id.
+    fn insert_rec(
+        &mut self,
+        node_id: u32,
+        key: Vec<u8>,
+        value: Vec<u8>,
+    ) -> (Option<Vec<u8>>, Option<(Vec<u8>, u32)>) {
+        let routed = match &self.nodes[node_id as usize] {
+            Node::Internal(int) => {
+                let idx = int.route(&key);
+                Some((idx, int.children[idx]))
+            }
+            Node::Leaf(_) => None,
+        };
+
+        match routed {
+            Some((idx, child_id)) => {
+                let (old, child_split) = self.insert_rec(child_id, key, value);
+                let Some((sep, new_child)) = child_split else {
+                    return (old, None);
+                };
+                let split = {
+                    let Node::Internal(int) = &mut self.nodes[node_id as usize] else {
+                        unreachable!("routing node changed kind during insert")
+                    };
+                    int.keys.insert(idx, sep);
+                    int.children.insert(idx + 1, new_child);
+                    if int.keys.len() > MAX_KEYS {
+                        Some(int.split())
+                    } else {
+                        None
+                    }
+                };
+                match split {
+                    Some((sep_up, right)) => {
+                        let right_id = self.push_node(Node::Internal(right));
+                        (old, Some((sep_up, right_id)))
+                    }
+                    None => (old, None),
+                }
+            }
+            None => {
+                let (old, split) = {
+                    let Node::Leaf(leaf) = &mut self.nodes[node_id as usize] else {
+                        unreachable!("leaf node changed kind during insert")
+                    };
+                    match leaf.keys.binary_search_by(|k| k.as_slice().cmp(&key)) {
+                        Ok(i) => {
+                            let old = std::mem::replace(&mut leaf.values[i], value);
+                            (Some(old), None)
+                        }
+                        Err(i) => {
+                            leaf.keys.insert(i, key);
+                            leaf.values.insert(i, value);
+                            if leaf.keys.len() > MAX_KEYS {
+                                (None, Some(leaf.split()))
+                            } else {
+                                (None, None)
+                            }
+                        }
+                    }
+                };
+                match split {
+                    Some((sep, right)) => {
+                        let right_id = self.push_node(Node::Leaf(right));
+                        // Fix the leaf chain: left now points to the new right
+                        // sibling (the right sibling already inherited the old
+                        // next pointer inside `LeafNode::split`).
+                        if let Node::Leaf(leaf) = &mut self.nodes[node_id as usize] {
+                            leaf.next = Some(right_id);
+                        }
+                        (old, Some((sep, right_id)))
+                    }
+                    None => (old, None),
+                }
+            }
+        }
+    }
+
+    /// Removes `key`, returning its value if it was present.
+    ///
+    /// Deletion is lazy: the pair is removed from its leaf but no structural
+    /// rebalancing happens (see the crate documentation).
+    pub fn delete(&mut self, key: &[u8]) -> Option<Vec<u8>> {
+        let leaf_id = self.find_leaf(key);
+        let Node::Leaf(leaf) = &mut self.nodes[leaf_id as usize] else {
+            unreachable!("find_leaf returned a non-leaf")
+        };
+        match leaf.keys.binary_search_by(|k| k.as_slice().cmp(key)) {
+            Ok(i) => {
+                leaf.keys.remove(i);
+                let value = leaf.values.remove(i);
+                self.len -= 1;
+                Some(value)
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// Iterates over all pairs in ascending key order.
+    pub fn iter(&self) -> RangeIter<'_> {
+        self.range(&[], None)
+    }
+
+    /// Iterates over pairs with `start ≤ key` and, when `end` is given,
+    /// `key < end`.
+    pub fn range(&self, start: &[u8], end: Option<&[u8]>) -> RangeIter<'_> {
+        let leaf_id = self.find_leaf(start);
+        let leaf = self.leaf(leaf_id);
+        let pos = leaf.keys.partition_point(|k| k.as_slice() < start);
+        RangeIter {
+            tree: self,
+            leaf: Some(leaf_id),
+            pos,
+            end: end.map(<[u8]>::to_vec),
+        }
+    }
+
+    /// Iterates over all pairs whose key starts with `prefix`.
+    pub fn scan_prefix(&self, prefix: &[u8]) -> RangeIter<'_> {
+        let end = prefix_successor(prefix);
+        let leaf_id = self.find_leaf(prefix);
+        let leaf = self.leaf(leaf_id);
+        let pos = leaf.keys.partition_point(|k| k.as_slice() < prefix);
+        RangeIter {
+            tree: self,
+            leaf: Some(leaf_id),
+            pos,
+            end,
+        }
+    }
+
+    /// Builds a tree from key-sorted, duplicate-free pairs in O(n).
+    ///
+    /// Panics (in debug builds) if the input is not strictly ascending by key.
+    pub fn bulk_load(pairs: Vec<(Vec<u8>, Vec<u8>)>) -> Self {
+        debug_assert!(
+            pairs.windows(2).all(|w| w[0].0 < w[1].0),
+            "bulk_load requires strictly ascending keys"
+        );
+        if pairs.is_empty() {
+            return Self::new();
+        }
+        let len = pairs.len();
+        let mut tree = BPlusTree {
+            nodes: Vec::new(),
+            root: 0,
+            len,
+        };
+
+        // Build the leaf level.
+        let mut level: Vec<(Vec<u8>, u32)> = Vec::new();
+        let mut prev_leaf: Option<u32> = None;
+        let mut iter = pairs.into_iter().peekable();
+        while iter.peek().is_some() {
+            let mut leaf = LeafNode::empty();
+            while leaf.keys.len() < MAX_KEYS {
+                match iter.next() {
+                    Some((k, v)) => {
+                        leaf.keys.push(k);
+                        leaf.values.push(v);
+                    }
+                    None => break,
+                }
+            }
+            let first = leaf.keys[0].clone();
+            let id = tree.push_node(Node::Leaf(leaf));
+            if let Some(prev) = prev_leaf {
+                if let Node::Leaf(pl) = &mut tree.nodes[prev as usize] {
+                    pl.next = Some(id);
+                }
+            }
+            prev_leaf = Some(id);
+            level.push((first, id));
+        }
+
+        // Build internal levels until a single root remains.
+        while level.len() > 1 {
+            let mut next_level: Vec<(Vec<u8>, u32)> = Vec::new();
+            for chunk in level.chunks(MAX_KEYS + 1) {
+                let first = chunk[0].0.clone();
+                let children: Vec<u32> = chunk.iter().map(|(_, id)| *id).collect();
+                let keys: Vec<Vec<u8>> = chunk[1..].iter().map(|(k, _)| k.clone()).collect();
+                let id = tree.push_node(Node::Internal(InternalNode { keys, children }));
+                next_level.push((first, id));
+            }
+            level = next_level;
+        }
+        tree.root = level[0].1;
+        tree
+    }
+
+    /// Structural statistics (depth, node counts, approximate size).
+    pub fn stats(&self) -> TreeStats {
+        let mut depth = 1;
+        let mut cur = self.root;
+        while let Node::Internal(int) = &self.nodes[cur as usize] {
+            depth += 1;
+            cur = int.children[0];
+        }
+        let mut leaf_count = 0;
+        let mut approx_key_bytes = 0;
+        for node in &self.nodes {
+            match node {
+                Node::Leaf(l) => {
+                    leaf_count += 1;
+                    approx_key_bytes += l
+                        .keys
+                        .iter()
+                        .zip(&l.values)
+                        .map(|(k, v)| k.len() + v.len())
+                        .sum::<usize>();
+                }
+                Node::Internal(i) => {
+                    approx_key_bytes += i.keys.iter().map(Vec::len).sum::<usize>();
+                }
+            }
+        }
+        TreeStats {
+            len: self.len,
+            depth,
+            node_count: self.nodes.len(),
+            leaf_count,
+            approx_key_bytes,
+        }
+    }
+
+    /// Verifies the structural invariants of the tree. Intended for tests;
+    /// panics with a description when an invariant is violated.
+    pub fn check_invariants(&self) {
+        // Every internal node: children = keys + 1, separators ascending.
+        for node in &self.nodes {
+            match node {
+                Node::Internal(int) => {
+                    assert_eq!(
+                        int.children.len(),
+                        int.keys.len() + 1,
+                        "internal node child/key count mismatch"
+                    );
+                    assert!(
+                        int.keys.windows(2).all(|w| w[0] < w[1]),
+                        "internal separators not strictly ascending"
+                    );
+                }
+                Node::Leaf(leaf) => {
+                    assert_eq!(leaf.keys.len(), leaf.values.len());
+                    assert!(
+                        leaf.keys.windows(2).all(|w| w[0] < w[1]),
+                        "leaf keys not strictly ascending"
+                    );
+                }
+            }
+        }
+        // Global key order via the leaf chain, and len consistency.
+        let mut count = 0;
+        let mut prev: Option<Vec<u8>> = None;
+        for (k, _) in self.iter() {
+            if let Some(p) = &prev {
+                assert!(p.as_slice() < k, "iteration order violated");
+            }
+            prev = Some(k.to_vec());
+            count += 1;
+        }
+        assert_eq!(count, self.len, "len does not match number of iterated keys");
+    }
+}
+
+/// Iterator over a contiguous key range, borrowing the tree.
+pub struct RangeIter<'a> {
+    tree: &'a BPlusTree,
+    leaf: Option<u32>,
+    pos: usize,
+    end: Option<Vec<u8>>,
+}
+
+impl<'a> Iterator for RangeIter<'a> {
+    type Item = (&'a [u8], &'a [u8]);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let leaf_id = self.leaf?;
+            let leaf = self.tree.leaf(leaf_id);
+            if self.pos < leaf.keys.len() {
+                let key = leaf.keys[self.pos].as_slice();
+                if let Some(end) = &self.end {
+                    if key >= end.as_slice() {
+                        self.leaf = None;
+                        return None;
+                    }
+                }
+                let value = leaf.values[self.pos].as_slice();
+                self.pos += 1;
+                return Some((key, value));
+            }
+            self.leaf = leaf.next;
+            self.pos = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kv(i: u32) -> (Vec<u8>, Vec<u8>) {
+        (i.to_be_bytes().to_vec(), vec![(i % 251) as u8])
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = BPlusTree::new();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.get(b"missing"), None);
+        assert_eq!(t.iter().count(), 0);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn insert_get_small() {
+        let mut t = BPlusTree::new();
+        assert_eq!(t.insert(b"b".to_vec(), b"2".to_vec()), None);
+        assert_eq!(t.insert(b"a".to_vec(), b"1".to_vec()), None);
+        assert_eq!(t.insert(b"c".to_vec(), b"3".to_vec()), None);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.get(b"a"), Some(&b"1"[..]));
+        assert_eq!(t.get(b"b"), Some(&b"2"[..]));
+        assert_eq!(t.get(b"c"), Some(&b"3"[..]));
+        assert_eq!(t.get(b"d"), None);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn insert_replaces_existing_value() {
+        let mut t = BPlusTree::new();
+        assert_eq!(t.insert(b"k".to_vec(), b"v1".to_vec()), None);
+        assert_eq!(t.insert(b"k".to_vec(), b"v2".to_vec()), Some(b"v1".to_vec()));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(b"k"), Some(&b"v2"[..]));
+    }
+
+    #[test]
+    fn many_inserts_split_correctly() {
+        let mut t = BPlusTree::new();
+        let n = 10_000u32;
+        // Insert in a scrambled but deterministic order.
+        for i in 0..n {
+            let j = i.wrapping_mul(2_654_435_761) ^ (i << 7);
+            let (k, v) = kv(j);
+            t.insert(k, v);
+        }
+        t.check_invariants();
+        assert!(t.stats().depth >= 3, "tree should have grown multiple levels");
+        for i in 0..n {
+            let j = i.wrapping_mul(2_654_435_761) ^ (i << 7);
+            let (k, v) = kv(j);
+            assert_eq!(t.get(&k), Some(v.as_slice()));
+        }
+    }
+
+    #[test]
+    fn iteration_is_sorted_and_complete() {
+        let mut t = BPlusTree::new();
+        for i in (0..2000u32).rev() {
+            let (k, v) = kv(i);
+            t.insert(k, v);
+        }
+        let collected: Vec<Vec<u8>> = t.iter().map(|(k, _)| k.to_vec()).collect();
+        assert_eq!(collected.len(), 2000);
+        assert!(collected.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn range_scan_respects_bounds() {
+        let mut t = BPlusTree::new();
+        for i in 0..500u32 {
+            let (k, v) = kv(i);
+            t.insert(k, v);
+        }
+        let lo = 100u32.to_be_bytes().to_vec();
+        let hi = 200u32.to_be_bytes().to_vec();
+        let hits: Vec<u32> = t
+            .range(&lo, Some(&hi))
+            .map(|(k, _)| u32::from_be_bytes([k[0], k[1], k[2], k[3]]))
+            .collect();
+        assert_eq!(hits, (100..200).collect::<Vec<u32>>());
+        // Open-ended range.
+        let all_from = t.range(&lo, None).count();
+        assert_eq!(all_from, 400);
+    }
+
+    #[test]
+    fn prefix_scan_returns_only_prefixed_keys() {
+        let mut t = BPlusTree::new();
+        for (k, v) in [
+            ("app", "1"),
+            ("apple", "2"),
+            ("applet", "3"),
+            ("apply", "4"),
+            ("banana", "5"),
+        ] {
+            t.insert(k.as_bytes().to_vec(), v.as_bytes().to_vec());
+        }
+        let hits: Vec<String> = t
+            .scan_prefix(b"appl")
+            .map(|(k, _)| String::from_utf8(k.to_vec()).unwrap())
+            .collect();
+        assert_eq!(hits, vec!["apple", "applet", "apply"]);
+        assert_eq!(t.scan_prefix(b"zzz").count(), 0);
+        assert_eq!(t.scan_prefix(b"").count(), 5);
+    }
+
+    #[test]
+    fn delete_removes_keys_lazily() {
+        let mut t = BPlusTree::new();
+        for i in 0..1000u32 {
+            let (k, v) = kv(i);
+            t.insert(k, v);
+        }
+        for i in (0..1000u32).step_by(2) {
+            let (k, v) = kv(i);
+            assert_eq!(t.delete(&k), Some(v));
+        }
+        assert_eq!(t.len(), 500);
+        assert_eq!(t.delete(&kv(0).0), None);
+        for i in 0..1000u32 {
+            let (k, v) = kv(i);
+            if i % 2 == 0 {
+                assert_eq!(t.get(&k), None);
+            } else {
+                assert_eq!(t.get(&k), Some(v.as_slice()));
+            }
+        }
+        t.check_invariants();
+    }
+
+    #[test]
+    fn bulk_load_matches_incremental_inserts() {
+        let pairs: Vec<(Vec<u8>, Vec<u8>)> = (0..5000u32).map(kv).collect();
+        let bulk = BPlusTree::bulk_load(pairs.clone());
+        bulk.check_invariants();
+        assert_eq!(bulk.len(), 5000);
+        let mut incr = BPlusTree::new();
+        for (k, v) in pairs.clone() {
+            incr.insert(k, v);
+        }
+        let a: Vec<_> = bulk.iter().map(|(k, v)| (k.to_vec(), v.to_vec())).collect();
+        let b: Vec<_> = incr.iter().map(|(k, v)| (k.to_vec(), v.to_vec())).collect();
+        assert_eq!(a, b);
+        // Point lookups work on the bulk-loaded tree.
+        for (k, v) in pairs.iter().step_by(97) {
+            assert_eq!(bulk.get(k), Some(v.as_slice()));
+        }
+    }
+
+    #[test]
+    fn bulk_load_empty_and_single() {
+        let t = BPlusTree::bulk_load(vec![]);
+        assert!(t.is_empty());
+        let t = BPlusTree::bulk_load(vec![(b"only".to_vec(), b"one".to_vec())]);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(b"only"), Some(&b"one"[..]));
+        t.check_invariants();
+    }
+
+    #[test]
+    fn inserts_after_bulk_load() {
+        let pairs: Vec<(Vec<u8>, Vec<u8>)> = (0..1000u32).map(|i| kv(i * 2)).collect();
+        let mut t = BPlusTree::bulk_load(pairs);
+        for i in 0..1000u32 {
+            let (k, v) = kv(i * 2 + 1);
+            t.insert(k, v);
+        }
+        assert_eq!(t.len(), 2000);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn stats_reflect_structure() {
+        let mut t = BPlusTree::new();
+        let s = t.stats();
+        assert_eq!(s.depth, 1);
+        assert_eq!(s.leaf_count, 1);
+        for i in 0..10_000u32 {
+            let (k, v) = kv(i);
+            t.insert(k, v);
+        }
+        let s = t.stats();
+        assert_eq!(s.len, 10_000);
+        assert!(s.depth >= 3);
+        assert!(s.leaf_count > 100);
+        assert!(s.approx_key_bytes >= 10_000 * 4);
+    }
+}

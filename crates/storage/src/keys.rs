@@ -1,0 +1,169 @@
+//! Order-preserving composite key encoding helpers.
+//!
+//! Index keys are byte strings compared lexicographically. Fixed-width
+//! big-endian encodings of unsigned integers preserve numeric order, so a
+//! composite key built by concatenating big-endian fields sorts exactly like
+//! the tuple of its fields — provided every prefix of fields has a fixed
+//! width, which is how the k-path index lays out
+//! `⟨label path, sourceID, targetID⟩`.
+
+/// Incrementally builds a composite byte key from fixed-width big-endian
+/// fields.
+#[derive(Debug, Default, Clone)]
+pub struct KeyBuf {
+    bytes: Vec<u8>,
+}
+
+impl KeyBuf {
+    /// Creates an empty key buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a key buffer with pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        KeyBuf {
+            bytes: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Appends a single byte.
+    pub fn push_u8(&mut self, v: u8) -> &mut Self {
+        self.bytes.push(v);
+        self
+    }
+
+    /// Appends a big-endian `u16`.
+    pub fn push_u16(&mut self, v: u16) -> &mut Self {
+        self.bytes.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Appends a big-endian `u32`.
+    pub fn push_u32(&mut self, v: u32) -> &mut Self {
+        self.bytes.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Appends a big-endian `u64`.
+    pub fn push_u64(&mut self, v: u64) -> &mut Self {
+        self.bytes.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Appends raw bytes verbatim.
+    pub fn push_bytes(&mut self, v: &[u8]) -> &mut Self {
+        self.bytes.extend_from_slice(v);
+        self
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// `true` when no bytes have been appended.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Consumes the buffer, returning the key bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// Borrow the bytes accumulated so far.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+/// Reads a big-endian `u16` at `offset`, if in bounds.
+pub fn read_u16(bytes: &[u8], offset: usize) -> Option<u16> {
+    bytes
+        .get(offset..offset + 2)
+        .map(|b| u16::from_be_bytes([b[0], b[1]]))
+}
+
+/// Reads a big-endian `u32` at `offset`, if in bounds.
+pub fn read_u32(bytes: &[u8], offset: usize) -> Option<u32> {
+    bytes
+        .get(offset..offset + 4)
+        .map(|b| u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+}
+
+/// Computes the smallest byte string strictly greater than every string that
+/// starts with `prefix`, or `None` when no such string exists (the prefix is
+/// empty or consists solely of `0xFF` bytes). Used to turn a prefix scan into
+/// a half-open range scan `[prefix, successor)`.
+pub fn prefix_successor(prefix: &[u8]) -> Option<Vec<u8>> {
+    let mut out = prefix.to_vec();
+    while let Some(last) = out.last_mut() {
+        if *last < 0xFF {
+            *last += 1;
+            return Some(out);
+        }
+        out.pop();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keybuf_fields_are_order_preserving() {
+        let key = |a: u16, b: u32| {
+            let mut k = KeyBuf::new();
+            k.push_u16(a).push_u32(b);
+            k.finish()
+        };
+        assert!(key(1, 500) < key(2, 0));
+        assert!(key(1, 1) < key(1, 2));
+        assert!(key(0, u32::MAX) < key(1, 0));
+    }
+
+    #[test]
+    fn keybuf_len_and_accessors() {
+        let mut k = KeyBuf::with_capacity(16);
+        assert!(k.is_empty());
+        k.push_u8(7).push_u16(300).push_u32(70_000).push_u64(1 << 40);
+        assert_eq!(k.len(), 1 + 2 + 4 + 8);
+        assert_eq!(k.as_slice().len(), k.len());
+        k.push_bytes(b"xy");
+        assert_eq!(k.finish().len(), 17);
+    }
+
+    #[test]
+    fn read_back_fields() {
+        let mut k = KeyBuf::new();
+        k.push_u16(0xBEEF).push_u32(0xDEADBEEF);
+        let bytes = k.finish();
+        assert_eq!(read_u16(&bytes, 0), Some(0xBEEF));
+        assert_eq!(read_u32(&bytes, 2), Some(0xDEADBEEF));
+        assert_eq!(read_u32(&bytes, 3), None);
+    }
+
+    #[test]
+    fn prefix_successor_simple() {
+        assert_eq!(prefix_successor(b"abc"), Some(b"abd".to_vec()));
+        assert_eq!(prefix_successor(&[1, 2, 0xFF]), Some(vec![1, 3]));
+        assert_eq!(prefix_successor(&[0xFF, 0xFF]), None);
+        assert_eq!(prefix_successor(b""), None);
+    }
+
+    #[test]
+    fn prefix_successor_bounds_all_extensions() {
+        let prefix = vec![9u8, 0xFF, 3];
+        let succ = prefix_successor(&prefix).unwrap();
+        // Any key starting with the prefix is < successor.
+        for ext in [vec![], vec![0u8], vec![0xFFu8; 4]] {
+            let mut key = prefix.clone();
+            key.extend_from_slice(&ext);
+            assert!(key.as_slice() < succ.as_slice());
+        }
+        // And the successor does not itself start with the prefix.
+        assert!(!succ.starts_with(&prefix));
+    }
+}

@@ -1,0 +1,47 @@
+//! # pathix-storage
+//!
+//! A from-scratch, in-memory B+tree over order-preserving byte-string keys.
+//!
+//! The EDBT 2016 paper prototypes its k-path index on top of PostgreSQL
+//! B+tree tables; its companion work (reference [14] in the paper) builds the
+//! same index "from scratch". This crate is that from-scratch substrate: an
+//! ordered dictionary with
+//!
+//! * point lookups ([`BPlusTree::get`]),
+//! * ordered insertion ([`BPlusTree::insert`]) and deletion
+//!   ([`BPlusTree::delete`]),
+//! * **range scans** ([`BPlusTree::range`]) and **prefix scans**
+//!   ([`BPlusTree::scan_prefix`]) over linked leaves — the operation the
+//!   k-path index uses to answer `I_{G,k}(p)`, `I_{G,k}(p, a)` and
+//!   `I_{G,k}(p, a, b)` lookups,
+//! * sorted **bulk loading** ([`BPlusTree::bulk_load`]) used when the index is
+//!   first constructed,
+//! * a binary file snapshot ([`BPlusTree::write_snapshot`] /
+//!   [`BPlusTree::read_snapshot`]).
+//!
+//! Deletion is *lazy*: keys are removed from their leaf but leaves are not
+//! merged or rebalanced. The k-path index workload is bulk-load-then-read, so
+//! structural rebalancing would add complexity without measurable benefit;
+//! the tree remains correct (searches and scans skip empty leaves).
+//!
+//! Keys are arbitrary byte strings compared lexicographically; helpers for
+//! building order-preserving composite keys live in [`keys`].
+//!
+//! ```
+//! use pathix_storage::BPlusTree;
+//!
+//! let mut t = BPlusTree::new();
+//! t.insert(b"knows/1/2".to_vec(), vec![]);
+//! t.insert(b"knows/1/3".to_vec(), vec![]);
+//! t.insert(b"worksFor/2/1".to_vec(), vec![]);
+//! let hits: Vec<_> = t.scan_prefix(b"knows/").map(|(k, _)| k.to_vec()).collect();
+//! assert_eq!(hits.len(), 2);
+//! ```
+
+pub mod btree;
+pub mod keys;
+pub mod node;
+pub mod snapshot;
+
+pub use btree::{BPlusTree, TreeStats};
+pub use keys::{prefix_successor, KeyBuf};

@@ -1,0 +1,170 @@
+//! B+tree node representation.
+//!
+//! Nodes live in a flat arena (`Vec<Node>`) inside [`crate::BPlusTree`] and
+//! refer to each other by index, which keeps the tree `Send`, trivially
+//! droppable, and cheap to snapshot.
+
+/// Maximum number of keys a node may hold before it is split.
+///
+/// 64 keys per node keeps internal nodes around a cache-line-friendly few
+/// kilobytes for the short composite keys used by the k-path index, while
+/// keeping the tree shallow (three levels already address ~64³ ≈ 260k keys).
+pub const MAX_KEYS: usize = 64;
+
+/// An internal (routing) node.
+///
+/// Invariant: `children.len() == keys.len() + 1`, and `keys[i]` equals the
+/// smallest key stored in the subtree rooted at `children[i + 1]`.
+#[derive(Debug, Clone)]
+pub struct InternalNode {
+    /// Separator keys.
+    pub keys: Vec<Vec<u8>>,
+    /// Child node ids (arena indices).
+    pub children: Vec<u32>,
+}
+
+impl InternalNode {
+    /// Index of the child subtree that may contain `key`.
+    #[inline]
+    pub fn route(&self, key: &[u8]) -> usize {
+        self.keys.partition_point(|k| k.as_slice() <= key)
+    }
+
+    /// Splits an over-full internal node, returning the separator key that
+    /// moves up to the parent and the new right sibling.
+    pub fn split(&mut self) -> (Vec<u8>, InternalNode) {
+        let mid = self.keys.len() / 2;
+        let sep = self.keys[mid].clone();
+        let right_keys = self.keys.split_off(mid + 1);
+        self.keys.pop(); // drop the separator from the left node
+        let right_children = self.children.split_off(mid + 1);
+        (
+            sep,
+            InternalNode {
+                keys: right_keys,
+                children: right_children,
+            },
+        )
+    }
+}
+
+/// A leaf node holding key/value pairs, linked to the next leaf in key order.
+#[derive(Debug, Clone)]
+pub struct LeafNode {
+    /// Keys in ascending order.
+    pub keys: Vec<Vec<u8>>,
+    /// Values parallel to `keys`.
+    pub values: Vec<Vec<u8>>,
+    /// Arena index of the next leaf in key order, if any.
+    pub next: Option<u32>,
+}
+
+impl LeafNode {
+    /// Creates an empty, unlinked leaf.
+    pub fn empty() -> Self {
+        LeafNode {
+            keys: Vec::new(),
+            values: Vec::new(),
+            next: None,
+        }
+    }
+
+    /// Splits an over-full leaf, returning the separator key (the first key
+    /// of the right sibling) and the right sibling itself. The caller is
+    /// responsible for fixing the leaf chain (`next` pointers).
+    pub fn split(&mut self) -> (Vec<u8>, LeafNode) {
+        let mid = self.keys.len() / 2;
+        let right_keys = self.keys.split_off(mid);
+        let right_values = self.values.split_off(mid);
+        let sep = right_keys[0].clone();
+        (
+            sep,
+            LeafNode {
+                keys: right_keys,
+                values: right_values,
+                next: self.next,
+            },
+        )
+    }
+}
+
+/// A B+tree node: either routing or leaf.
+#[derive(Debug, Clone)]
+pub enum Node {
+    /// Internal routing node.
+    Internal(InternalNode),
+    /// Leaf node with data.
+    Leaf(LeafNode),
+}
+
+impl Node {
+    /// `true` if this node is a leaf.
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, Node::Leaf(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(b: u8) -> Vec<u8> {
+        vec![b]
+    }
+
+    #[test]
+    fn route_picks_correct_child() {
+        let node = InternalNode {
+            keys: vec![k(10), k(20)],
+            children: vec![0, 1, 2],
+        };
+        assert_eq!(node.route(&k(5)), 0);
+        assert_eq!(node.route(&k(10)), 1);
+        assert_eq!(node.route(&k(15)), 1);
+        assert_eq!(node.route(&k(20)), 2);
+        assert_eq!(node.route(&k(99)), 2);
+    }
+
+    #[test]
+    fn leaf_split_halves_and_returns_first_right_key() {
+        let mut leaf = LeafNode {
+            keys: (0..6u8).map(k).collect(),
+            values: (0..6u8).map(k).collect(),
+            next: Some(42),
+        };
+        let (sep, right) = leaf.split();
+        assert_eq!(sep, k(3));
+        assert_eq!(leaf.keys, vec![k(0), k(1), k(2)]);
+        assert_eq!(right.keys, vec![k(3), k(4), k(5)]);
+        assert_eq!(right.values.len(), 3);
+        // Right inherits the old next pointer.
+        assert_eq!(right.next, Some(42));
+    }
+
+    #[test]
+    fn internal_split_moves_middle_key_up() {
+        let mut node = InternalNode {
+            keys: vec![k(1), k(2), k(3), k(4), k(5)],
+            children: vec![10, 11, 12, 13, 14, 15],
+        };
+        let (sep, right) = node.split();
+        assert_eq!(sep, k(3));
+        assert_eq!(node.keys, vec![k(1), k(2)]);
+        assert_eq!(node.children, vec![10, 11, 12]);
+        assert_eq!(right.keys, vec![k(4), k(5)]);
+        assert_eq!(right.children, vec![13, 14, 15]);
+        // Both halves keep the children = keys + 1 invariant.
+        assert_eq!(node.children.len(), node.keys.len() + 1);
+        assert_eq!(right.children.len(), right.keys.len() + 1);
+    }
+
+    #[test]
+    fn node_is_leaf() {
+        assert!(Node::Leaf(LeafNode::empty()).is_leaf());
+        assert!(!Node::Internal(InternalNode {
+            keys: vec![],
+            children: vec![0]
+        })
+        .is_leaf());
+    }
+}

@@ -1,0 +1,194 @@
+//! Binary file snapshots of a B+tree.
+//!
+//! The snapshot format is a flat, length-prefixed dump of the key/value pairs
+//! in key order:
+//!
+//! ```text
+//! magic  "PXBT"            4 bytes
+//! version u32 LE           4 bytes
+//! count  u64 LE            8 bytes
+//! repeat count times:
+//!     key_len   u32 LE
+//!     key       key_len bytes
+//!     value_len u32 LE
+//!     value     value_len bytes
+//! ```
+//!
+//! Restoring uses [`BPlusTree::bulk_load`], so loading a snapshot is linear
+//! in its size and produces a compact tree regardless of the insertion
+//! history of the original.
+
+use crate::btree::BPlusTree;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"PXBT";
+const VERSION: u32 = 1;
+
+/// Errors produced when reading a snapshot.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file did not start with the expected magic bytes.
+    BadMagic,
+    /// The file uses an unsupported format version.
+    BadVersion(u32),
+    /// The file ended before the advertised number of entries was read.
+    Truncated,
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot i/o error: {e}"),
+            SnapshotError::BadMagic => write!(f, "not a pathix B+tree snapshot (bad magic)"),
+            SnapshotError::BadVersion(v) => write!(f, "unsupported snapshot version {v}"),
+            SnapshotError::Truncated => write!(f, "snapshot file is truncated"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<io::Error> for SnapshotError {
+    fn from(e: io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+impl BPlusTree {
+    /// Writes all pairs to `path` in the snapshot format.
+    pub fn write_snapshot(&self, path: impl AsRef<Path>) -> Result<(), SnapshotError> {
+        let file = File::create(path)?;
+        let mut w = BufWriter::new(file);
+        w.write_all(MAGIC)?;
+        w.write_all(&VERSION.to_le_bytes())?;
+        w.write_all(&(self.len() as u64).to_le_bytes())?;
+        for (k, v) in self.iter() {
+            w.write_all(&(k.len() as u32).to_le_bytes())?;
+            w.write_all(k)?;
+            w.write_all(&(v.len() as u32).to_le_bytes())?;
+            w.write_all(v)?;
+        }
+        w.flush()?;
+        Ok(())
+    }
+
+    /// Reads a snapshot previously written by [`BPlusTree::write_snapshot`].
+    pub fn read_snapshot(path: impl AsRef<Path>) -> Result<BPlusTree, SnapshotError> {
+        let file = File::open(path)?;
+        let mut r = BufReader::new(file);
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)
+            .map_err(|_| SnapshotError::Truncated)?;
+        if &magic != MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = read_u32(&mut r)?;
+        if version != VERSION {
+            return Err(SnapshotError::BadVersion(version));
+        }
+        let count = read_u64(&mut r)?;
+        let mut pairs = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let klen = read_u32(&mut r)? as usize;
+            let mut key = vec![0u8; klen];
+            r.read_exact(&mut key).map_err(|_| SnapshotError::Truncated)?;
+            let vlen = read_u32(&mut r)? as usize;
+            let mut value = vec![0u8; vlen];
+            r.read_exact(&mut value)
+                .map_err(|_| SnapshotError::Truncated)?;
+            pairs.push((key, value));
+        }
+        Ok(BPlusTree::bulk_load(pairs))
+    }
+}
+
+fn read_u32(r: &mut impl Read) -> Result<u32, SnapshotError> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf).map_err(|_| SnapshotError::Truncated)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn read_u64(r: &mut impl Read) -> Result<u64, SnapshotError> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf).map_err(|_| SnapshotError::Truncated)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("pathix_storage_snapshot_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn roundtrip_preserves_all_pairs() {
+        let mut t = BPlusTree::new();
+        for i in 0..3000u32 {
+            t.insert(i.to_be_bytes().to_vec(), vec![(i % 256) as u8; (i % 5) as usize]);
+        }
+        let path = temp_path("roundtrip.pxbt");
+        t.write_snapshot(&path).unwrap();
+        let restored = BPlusTree::read_snapshot(&path).unwrap();
+        assert_eq!(restored.len(), t.len());
+        let a: Vec<_> = t.iter().map(|(k, v)| (k.to_vec(), v.to_vec())).collect();
+        let b: Vec<_> = restored
+            .iter()
+            .map(|(k, v)| (k.to_vec(), v.to_vec()))
+            .collect();
+        assert_eq!(a, b);
+        restored.check_invariants();
+    }
+
+    #[test]
+    fn empty_tree_roundtrip() {
+        let t = BPlusTree::new();
+        let path = temp_path("empty.pxbt");
+        t.write_snapshot(&path).unwrap();
+        let restored = BPlusTree::read_snapshot(&path).unwrap();
+        assert!(restored.is_empty());
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let path = temp_path("bad_magic.pxbt");
+        std::fs::write(&path, b"NOPE00000000").unwrap();
+        assert!(matches!(
+            BPlusTree::read_snapshot(&path),
+            Err(SnapshotError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn truncated_file_is_rejected() {
+        let mut t = BPlusTree::new();
+        for i in 0..100u32 {
+            t.insert(i.to_be_bytes().to_vec(), vec![1, 2, 3]);
+        }
+        let path = temp_path("trunc.pxbt");
+        t.write_snapshot(&path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(matches!(
+            BPlusTree::read_snapshot(&path),
+            Err(SnapshotError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let path = temp_path("does_not_exist.pxbt");
+        let _ = std::fs::remove_file(&path);
+        assert!(matches!(
+            BPlusTree::read_snapshot(&path),
+            Err(SnapshotError::Io(_))
+        ));
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests: the B+tree must behave exactly like a
+//! `std::collections::BTreeMap` model under arbitrary operation sequences.
+
+use pathix_storage::{prefix_successor, BPlusTree};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(Vec<u8>, Vec<u8>),
+    Delete(Vec<u8>),
+    Get(Vec<u8>),
+}
+
+fn key_strategy() -> impl Strategy<Value = Vec<u8>> {
+    // Small alphabet and short keys maximize collisions, which is what
+    // stresses replace/delete paths.
+    prop::collection::vec(0u8..6, 0..6)
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (key_strategy(), prop::collection::vec(any::<u8>(), 0..4))
+            .prop_map(|(k, v)| Op::Insert(k, v)),
+        key_strategy().prop_map(Op::Delete),
+        key_strategy().prop_map(Op::Get),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn behaves_like_btreemap(ops in prop::collection::vec(op_strategy(), 1..400)) {
+        let mut tree = BPlusTree::new();
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => {
+                    let expected = model.insert(k.clone(), v.clone());
+                    let actual = tree.insert(k, v);
+                    prop_assert_eq!(actual, expected);
+                }
+                Op::Delete(k) => {
+                    let expected = model.remove(&k);
+                    let actual = tree.delete(&k);
+                    prop_assert_eq!(actual, expected);
+                }
+                Op::Get(k) => {
+                    let expected = model.get(&k).map(|v| v.as_slice());
+                    let actual = tree.get(&k);
+                    prop_assert_eq!(actual, expected);
+                }
+            }
+            prop_assert_eq!(tree.len(), model.len());
+        }
+        tree.check_invariants();
+        let tree_pairs: Vec<_> = tree.iter().map(|(k, v)| (k.to_vec(), v.to_vec())).collect();
+        let model_pairs: Vec<_> = model.into_iter().collect();
+        prop_assert_eq!(tree_pairs, model_pairs);
+    }
+
+    #[test]
+    fn range_scans_match_model(
+        keys in prop::collection::btree_set(prop::collection::vec(0u8..8, 1..5), 0..300),
+        lo in prop::collection::vec(0u8..8, 0..5),
+        hi in prop::collection::vec(0u8..8, 0..5),
+    ) {
+        let model: BTreeMap<Vec<u8>, Vec<u8>> =
+            keys.into_iter().map(|k| (k, vec![1u8])).collect();
+        let tree = BPlusTree::bulk_load(model.iter().map(|(k, v)| (k.clone(), v.clone())).collect());
+        let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+        let expected: Vec<Vec<u8>> = model
+            .range(lo.clone()..hi.clone())
+            .map(|(k, _)| k.clone())
+            .collect();
+        let actual: Vec<Vec<u8>> = tree
+            .range(&lo, Some(&hi))
+            .map(|(k, _)| k.to_vec())
+            .collect();
+        prop_assert_eq!(actual, expected);
+    }
+
+    #[test]
+    fn prefix_scans_match_model(
+        keys in prop::collection::btree_set(prop::collection::vec(0u8..4, 1..6), 0..300),
+        prefix in prop::collection::vec(0u8..4, 0..4),
+    ) {
+        let model: BTreeMap<Vec<u8>, Vec<u8>> =
+            keys.into_iter().map(|k| (k, Vec::new())).collect();
+        let tree = BPlusTree::bulk_load(model.iter().map(|(k, v)| (k.clone(), v.clone())).collect());
+        let expected: Vec<Vec<u8>> = model
+            .keys()
+            .filter(|k| k.starts_with(&prefix))
+            .cloned()
+            .collect();
+        let actual: Vec<Vec<u8>> = tree
+            .scan_prefix(&prefix)
+            .map(|(k, _)| k.to_vec())
+            .collect();
+        prop_assert_eq!(actual, expected);
+    }
+
+    #[test]
+    fn prefix_successor_is_a_tight_upper_bound(prefix in prop::collection::vec(any::<u8>(), 1..8)) {
+        if let Some(succ) = prefix_successor(&prefix) {
+            // Every extension of the prefix sorts strictly below the successor.
+            prop_assert!(prefix < succ);
+            let mut extended = prefix.clone();
+            extended.extend_from_slice(&[0xFF; 4]);
+            prop_assert!(extended < succ);
+            prop_assert!(!succ.starts_with(&prefix));
+        } else {
+            // Only all-0xFF prefixes have no successor.
+            prop_assert!(prefix.iter().all(|&b| b == 0xFF));
+        }
+    }
+}

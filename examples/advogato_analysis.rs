@@ -1,0 +1,61 @@
+//! A miniature version of the paper's Figure 2 experiment: the eight
+//! Advogato benchmark queries evaluated with all four strategies over an
+//! Advogato-like trust network, for k = 1, 2, 3.
+//!
+//! Run with (scale and k range are modest so the example finishes quickly;
+//! the full experiment lives in `crates/bench`):
+//!
+//! ```text
+//! cargo run --release --example advogato_analysis
+//! ```
+
+use pathix::datagen::{advogato_like, advogato_queries, AdvogatoConfig};
+use pathix::{PathDb, PathDbConfig, Strategy};
+use std::time::Instant;
+
+fn main() {
+    let scale = 0.1;
+    let config = AdvogatoConfig::scaled(scale);
+    println!(
+        "generating Advogato-like trust network at scale {scale} ({} nodes, ~{} edges)…",
+        config.node_count(),
+        config.edge_count()
+    );
+    let graph = advogato_like(config);
+    let queries = advogato_queries();
+
+    for k in 1..=3 {
+        let start = Instant::now();
+        let db = PathDb::build(graph.clone(), PathDbConfig::with_k(k));
+        let stats = db.stats();
+        println!(
+            "\nk = {k}: index has {} entries over {} paths (built in {:?})",
+            stats.index.entries,
+            stats.index.distinct_paths,
+            start.elapsed()
+        );
+        println!(
+            "{:<6} {:>14} {:>14} {:>14} {:>14} {:>10}",
+            "query", "naive", "semi-naive", "minSupport", "minJoin", "answers"
+        );
+        for q in &queries {
+            let mut row = format!("{:<6}", q.name);
+            let mut answers = 0;
+            for strategy in Strategy::all() {
+                let result = db
+                    .query_with(&q.text, strategy)
+                    .unwrap_or_else(|e| panic!("query {} failed: {e}", q.name));
+                answers = result.len();
+                row.push_str(&format!(" {:>13.2?}", result.stats.elapsed));
+            }
+            row.push_str(&format!(" {answers:>10}"));
+            println!("{row}");
+        }
+    }
+
+    println!(
+        "\nObservations to compare with the paper (Section 5): naive should be slowest, \
+         semi-naive in between, minSupport/minJoin fastest and similar; increasing k should \
+         help every method except naive."
+    );
+}

@@ -1,0 +1,97 @@
+//! Social-network analytics with RPQs: a larger synthetic graph with
+//! `knows`, `worksFor` and `supervisor` edges, queried with every strategy.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example social_network
+//! ```
+
+use pathix::datagen::{social_network, SocialConfig};
+use pathix::{PathDb, PathDbConfig, Strategy};
+use std::time::Instant;
+
+fn main() {
+    let config = SocialConfig {
+        people: 2_000,
+        companies: 60,
+        knows_per_person: 10,
+        supervisor_fraction: 0.4,
+        seed: 7,
+    };
+    println!(
+        "generating social network: {} people, {} companies …",
+        config.people, config.companies
+    );
+    let graph = social_network(config);
+    println!(
+        "graph: {} nodes, {} edges\n",
+        graph.node_count(),
+        graph.edge_count()
+    );
+
+    let build_start = Instant::now();
+    let db = PathDb::build(graph, PathDbConfig::with_k(2));
+    println!(
+        "built k=2 path index with {} entries in {:?}\n",
+        db.stats().index.entries,
+        build_start.elapsed()
+    );
+
+    // Analytics questions phrased as RPQs.
+    let questions: [(&str, &str); 5] = [
+        (
+            "colleagues",
+            // Two people working for the same company.
+            "worksFor/worksFor-",
+        ),
+        (
+            "friend-of-friend colleagues",
+            "knows/knows/worksFor/worksFor-",
+        ),
+        (
+            "reports of reports (2-3 levels)",
+            "supervisor{2,3}",
+        ),
+        (
+            "knows someone in the same management chain",
+            "knows/(supervisor|supervisor-){1,2}",
+        ),
+        (
+            "co-workers reachable through up to three acquaintances",
+            "knows{1,3}/worksFor",
+        ),
+    ];
+
+    println!(
+        "{:<48} {:>12} {:>12} {:>12} {:>12} {:>10}",
+        "question", "naive", "semi-naive", "minSupport", "minJoin", "answers"
+    );
+    for (name, query) in questions {
+        let mut row = format!("{name:<48}");
+        let mut answers = 0;
+        for strategy in Strategy::all() {
+            let result = db
+                .query_with(query, strategy)
+                .unwrap_or_else(|e| panic!("query {query} failed: {e}"));
+            answers = result.len();
+            row.push_str(&format!(" {:>11.2?}", result.stats.elapsed));
+        }
+        row.push_str(&format!(" {answers:>10}"));
+        println!("{row}");
+    }
+
+    println!("\nexample answers for \"colleagues of p0\":");
+    let result = db.query("worksFor/worksFor-").unwrap();
+    let p0 = db.graph().node_id("p0").unwrap();
+    let colleagues = result.targets_of(p0);
+    println!(
+        "p0 has {} colleagues, e.g. {:?}",
+        colleagues.len(),
+        colleagues
+            .iter()
+            .take(8)
+            .filter_map(|&n| db.graph().node_name(n))
+            .collect::<Vec<_>>()
+    );
+}

@@ -1,0 +1,505 @@
+//! `pathix_cli` — an interactive shell for the path-index RPQ engine.
+//!
+//! This is the "hands-on overview of the life of a regular path query" of the
+//! paper's Section 6 packaged as a command-line tool: load or generate a
+//! graph, build the k-path index, then submit RPQs and inspect how each
+//! strategy parses, rewrites, plans and executes them.
+//!
+//! ```text
+//! # the paper's running example graph, k = 3
+//! cargo run --release --bin pathix_cli
+//!
+//! # a synthetic Advogato-like graph at 10% scale, one-shot query
+//! cargo run --release --bin pathix_cli -- --dataset advogato --scale 0.1 \
+//!     -q "knows/(knows/worksFor){2,4}/worksFor"
+//!
+//! # your own edge list (one `source label target` triple per line)
+//! cargo run --release --bin pathix_cli -- --graph my_graph.tsv --k 2
+//! ```
+//!
+//! Inside the shell, lines starting with `\` are commands (`\help` lists
+//! them); every other line is evaluated as a regular path query.
+
+use pathix::datagen::{advogato_like, paper_example_graph, social_network, AdvogatoConfig, SocialConfig};
+use pathix::graph::load_edge_list;
+use pathix::{Graph, PathDb, PathDbConfig, Strategy};
+use std::io::{self, BufRead, Write};
+
+/// A parsed shell input line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Command {
+    /// Show the command reference.
+    Help,
+    /// Show graph / index / histogram statistics.
+    Stats,
+    /// Change the default evaluation strategy.
+    SetStrategy(String),
+    /// Rebuild the database with a different locality parameter k.
+    SetK(usize),
+    /// Change how many answer pairs are printed per query.
+    SetLimit(usize),
+    /// Show the physical plan for a query under the current strategy.
+    Explain(String),
+    /// Show the physical plans for a query under all four strategies.
+    Plans(String),
+    /// Run a query under all strategies and the two baselines, with timings.
+    Compare(String),
+    /// Evaluate a regular path query under the current strategy.
+    Query(String),
+    /// Leave the shell.
+    Quit,
+    /// Ignore the line (blank input or comment).
+    Nothing,
+    /// The line looked like a command but could not be parsed.
+    Invalid(String),
+}
+
+/// Parses one input line into a [`Command`].
+fn parse_command(line: &str) -> Command {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Command::Nothing;
+    }
+    let Some(rest) = line.strip_prefix('\\') else {
+        return Command::Query(line.to_owned());
+    };
+    let (name, arg) = match rest.split_once(char::is_whitespace) {
+        Some((name, arg)) => (name, arg.trim()),
+        None => (rest, ""),
+    };
+    match (name, arg) {
+        ("help" | "h" | "?", _) => Command::Help,
+        ("stats", _) => Command::Stats,
+        ("quit" | "q" | "exit", _) => Command::Quit,
+        ("strategy", s) if !s.is_empty() => Command::SetStrategy(s.to_owned()),
+        ("k", n) => match n.parse() {
+            Ok(k) if k >= 1 => Command::SetK(k),
+            _ => Command::Invalid("usage: \\k <positive integer>".to_owned()),
+        },
+        ("limit", n) => match n.parse() {
+            Ok(l) => Command::SetLimit(l),
+            Err(_) => Command::Invalid("usage: \\limit <non-negative integer>".to_owned()),
+        },
+        ("explain", q) if !q.is_empty() => Command::Explain(q.to_owned()),
+        ("plans", q) if !q.is_empty() => Command::Plans(q.to_owned()),
+        ("compare", q) if !q.is_empty() => Command::Compare(q.to_owned()),
+        _ => Command::Invalid(format!("unknown or incomplete command `\\{rest}` — try \\help")),
+    }
+}
+
+/// Parses a strategy name as accepted by `\strategy`.
+fn parse_strategy(name: &str) -> Option<Strategy> {
+    match name.to_ascii_lowercase().replace(['-', '_'], "").as_str() {
+        "naive" => Some(Strategy::Naive),
+        "seminaive" => Some(Strategy::SemiNaive),
+        "minsupport" => Some(Strategy::MinSupport),
+        "minjoin" => Some(Strategy::MinJoin),
+        _ => None,
+    }
+}
+
+const HELP: &str = "\
+commands:
+  <rpq>                 evaluate a regular path query, e.g. knows/worksFor-
+  \\explain <rpq>        show the physical plan under the current strategy
+  \\plans <rpq>          show the plans of all four strategies
+  \\compare <rpq>        time all strategies and the automaton/Datalog baselines
+  \\strategy <name>      set the strategy: naive | semi-naive | minSupport | minJoin
+  \\k <n>                rebuild the index with locality parameter n
+  \\limit <n>            print at most n answer pairs per query
+  \\stats                graph, index and histogram statistics
+  \\help                 this text
+  \\quit                 leave the shell
+
+query syntax: `/` composition, `|` union, `label-` inverse, `{i,j}` bounded
+recursion, plus `*` `+` `?` sugar; parentheses group.";
+
+/// The interactive session: a database plus the shell's mutable settings.
+struct Session {
+    db: PathDb,
+    strategy: Strategy,
+    limit: usize,
+}
+
+impl Session {
+    fn new(graph: Graph, k: usize) -> Self {
+        Session {
+            db: PathDb::build(graph, PathDbConfig::with_k(k)),
+            strategy: Strategy::MinSupport,
+            limit: 10,
+        }
+    }
+
+    /// Executes one command and returns the text to print.
+    fn run(&mut self, command: Command) -> String {
+        match command {
+            Command::Help => HELP.to_owned(),
+            Command::Nothing => String::new(),
+            Command::Quit => String::new(),
+            Command::Invalid(message) => message,
+            Command::Stats => self.stats(),
+            Command::SetStrategy(name) => match parse_strategy(&name) {
+                Some(strategy) => {
+                    self.strategy = strategy;
+                    format!("strategy set to {strategy}")
+                }
+                None => format!(
+                    "unknown strategy `{name}` — expected naive, semi-naive, minSupport or minJoin"
+                ),
+            },
+            Command::SetK(k) => {
+                let graph = self.db.graph().clone();
+                self.db = PathDb::build(graph, PathDbConfig::with_k(k));
+                format!("rebuilt index with k = {k}\n{}", self.stats())
+            }
+            Command::SetLimit(limit) => {
+                self.limit = limit;
+                format!("printing at most {limit} pairs per query")
+            }
+            Command::Explain(query) => match self.db.explain(&query, self.strategy) {
+                Ok(plan) => format!("-- {} plan\n{plan}", self.strategy),
+                Err(e) => format!("error: {e}"),
+            },
+            Command::Plans(query) => {
+                let mut out = String::new();
+                for strategy in Strategy::all() {
+                    match self.db.explain(&query, strategy) {
+                        Ok(plan) => {
+                            out.push_str(&format!("-- {strategy} plan\n{plan}\n"));
+                        }
+                        Err(e) => return format!("error: {e}"),
+                    }
+                }
+                out
+            }
+            Command::Compare(query) => self.compare(&query),
+            Command::Query(query) => self.query(&query),
+        }
+    }
+
+    fn stats(&self) -> String {
+        let stats = self.db.stats();
+        format!(
+            "graph     : {} nodes, {} edges, {} labels\n\
+             index     : k = {}, {} entries over {} label paths, depth {}, ~{} KiB, built in {:?}\n\
+             histogram : {} paths summarized in {} buckets\n\
+             strategy  : {} (answers capped at {} printed pairs)",
+            stats.nodes,
+            stats.edges,
+            stats.labels,
+            stats.index.k,
+            stats.index.entries,
+            stats.index.distinct_paths,
+            stats.index.tree_depth,
+            stats.index.approx_bytes / 1024,
+            stats.index.build_time,
+            stats.histogram_paths,
+            stats.histogram_buckets,
+            self.strategy,
+            self.limit
+        )
+    }
+
+    fn query(&self, query: &str) -> String {
+        match self.db.query_with(query, self.strategy) {
+            Ok(result) => {
+                let mut out = format!(
+                    "{} pairs in {:?} ({} joins, {} merge) under {}\n",
+                    result.len(),
+                    result.stats.elapsed,
+                    result.stats.joins,
+                    result.stats.merge_joins,
+                    self.strategy
+                );
+                for (a, b) in result.named_pairs(&self.db).iter().take(self.limit) {
+                    out.push_str(&format!("  ({a}, {b})\n"));
+                }
+                if result.len() > self.limit {
+                    out.push_str(&format!("  … and {} more\n", result.len() - self.limit));
+                }
+                out
+            }
+            Err(e) => format!("error: {e}"),
+        }
+    }
+
+    fn compare(&self, query: &str) -> String {
+        let mut out = format!("{:<12} {:>12} {:>10}\n", "method", "time", "answers");
+        let mut reference: Option<usize> = None;
+        for strategy in Strategy::all() {
+            match self.db.query_with(query, strategy) {
+                Ok(result) => {
+                    out.push_str(&format!(
+                        "{:<12} {:>12?} {:>10}\n",
+                        strategy.to_string(),
+                        result.stats.elapsed,
+                        result.len()
+                    ));
+                    if let Some(expected) = reference {
+                        if expected != result.len() {
+                            out.push_str("  ^ answer count diverges from the previous strategy!\n");
+                        }
+                    }
+                    reference = Some(result.len());
+                }
+                Err(e) => return format!("error: {e}"),
+            }
+        }
+        for name in ["automaton", "datalog"] {
+            let start = std::time::Instant::now();
+            let outcome = if name == "automaton" {
+                self.db.query_automaton(query)
+            } else {
+                self.db.query_datalog(query)
+            };
+            match outcome {
+                Ok(pairs) => {
+                    out.push_str(&format!(
+                        "{:<12} {:>12?} {:>10}\n",
+                        name,
+                        start.elapsed(),
+                        pairs.len()
+                    ));
+                }
+                Err(e) => return format!("error: {e}"),
+            }
+        }
+        out
+    }
+}
+
+/// Command-line options (hand-rolled; the binary has no CLI dependency).
+struct Options {
+    dataset: String,
+    graph_file: Option<String>,
+    scale: f64,
+    k: usize,
+    one_shot: Vec<String>,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut options = Options {
+        dataset: "paper".to_owned(),
+        graph_file: None,
+        scale: 0.05,
+        k: 3,
+        one_shot: Vec::new(),
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} expects a value"))
+        };
+        match arg.as_str() {
+            "--dataset" => options.dataset = value("--dataset")?,
+            "--graph" => options.graph_file = Some(value("--graph")?),
+            "--scale" => {
+                options.scale = value("--scale")?
+                    .parse()
+                    .map_err(|_| "--scale expects a number".to_owned())?;
+            }
+            "--k" => {
+                options.k = value("--k")?
+                    .parse()
+                    .map_err(|_| "--k expects a positive integer".to_owned())?;
+            }
+            "-q" | "--query" => options.one_shot.push(value("--query")?),
+            "--help" | "-h" => {
+                return Err(format!(
+                    "usage: pathix_cli [--dataset paper|advogato|social] [--scale f] \
+                     [--graph FILE] [--k n] [-q RPQ]...\n\n{HELP}"
+                ));
+            }
+            other => return Err(format!("unknown option `{other}` — try --help")),
+        }
+    }
+    if options.k == 0 {
+        return Err("--k must be at least 1".to_owned());
+    }
+    Ok(options)
+}
+
+fn build_graph(options: &Options) -> Result<Graph, String> {
+    if let Some(path) = &options.graph_file {
+        return load_edge_list(path).map_err(|e| format!("cannot load {path}: {e}"));
+    }
+    match options.dataset.as_str() {
+        "paper" => Ok(paper_example_graph()),
+        "advogato" => Ok(advogato_like(AdvogatoConfig {
+            scale: options.scale,
+            ..Default::default()
+        })),
+        "social" => Ok(social_network(SocialConfig {
+            people: ((options.scale * 10_000.0) as usize).max(50),
+            companies: ((options.scale * 500.0) as usize).max(5),
+            ..Default::default()
+        })),
+        other => Err(format!(
+            "unknown dataset `{other}` — expected paper, advogato or social"
+        )),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse_options(&args) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    };
+    let graph = match build_graph(&options) {
+        Ok(graph) => graph,
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    };
+
+    println!(
+        "pathix — RPQ evaluation with k-path indexes (k = {}, {} nodes, {} edges)",
+        options.k,
+        graph.node_count(),
+        graph.edge_count()
+    );
+    let mut session = Session::new(graph, options.k);
+
+    // One-shot mode: run the -q queries and exit.
+    if !options.one_shot.is_empty() {
+        for query in &options.one_shot {
+            println!("> {query}");
+            println!("{}", session.run(Command::Query(query.clone())));
+        }
+        return;
+    }
+
+    println!("type \\help for commands, \\quit to leave\n");
+    let stdin = io::stdin();
+    loop {
+        print!("pathix> ");
+        io::stdout().flush().expect("stdout is writable");
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("input error: {e}");
+                break;
+            }
+        }
+        let command = parse_command(&line);
+        if command == Command::Quit {
+            break;
+        }
+        let output = session.run(command);
+        if !output.is_empty() {
+            println!("{output}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lines_parse_into_commands() {
+        assert_eq!(parse_command("  "), Command::Nothing);
+        assert_eq!(parse_command("# comment"), Command::Nothing);
+        assert_eq!(parse_command("\\help"), Command::Help);
+        assert_eq!(parse_command("\\quit"), Command::Quit);
+        assert_eq!(parse_command("\\stats"), Command::Stats);
+        assert_eq!(parse_command("\\k 2"), Command::SetK(2));
+        assert_eq!(parse_command("\\limit 3"), Command::SetLimit(3));
+        assert_eq!(
+            parse_command("\\strategy minJoin"),
+            Command::SetStrategy("minJoin".to_owned())
+        );
+        assert_eq!(
+            parse_command("\\explain knows/worksFor"),
+            Command::Explain("knows/worksFor".to_owned())
+        );
+        assert_eq!(
+            parse_command("knows/(knows|worksFor)*"),
+            Command::Query("knows/(knows|worksFor)*".to_owned())
+        );
+        assert!(matches!(parse_command("\\k zero"), Command::Invalid(_)));
+        assert!(matches!(parse_command("\\bogus"), Command::Invalid(_)));
+        assert!(matches!(parse_command("\\explain"), Command::Invalid(_)));
+    }
+
+    #[test]
+    fn strategy_names_are_recognized_loosely() {
+        assert_eq!(parse_strategy("naive"), Some(Strategy::Naive));
+        assert_eq!(parse_strategy("semi-naive"), Some(Strategy::SemiNaive));
+        assert_eq!(parse_strategy("semi_naive"), Some(Strategy::SemiNaive));
+        assert_eq!(parse_strategy("MINSUPPORT"), Some(Strategy::MinSupport));
+        assert_eq!(parse_strategy("minjoin"), Some(Strategy::MinJoin));
+        assert_eq!(parse_strategy("greedy"), None);
+    }
+
+    #[test]
+    fn session_answers_queries_and_commands() {
+        let mut session = Session::new(paper_example_graph(), 2);
+        let out = session.run(Command::Query("supervisor/worksFor-".to_owned()));
+        assert!(out.contains("1 pairs"), "unexpected output: {out}");
+        assert!(out.contains("(kim, sue)"), "unexpected output: {out}");
+
+        let out = session.run(Command::SetStrategy("semi-naive".to_owned()));
+        assert!(out.contains("semi-naive"));
+        let out = session.run(Command::Stats);
+        assert!(out.contains("9 nodes") && out.contains("k = 2"), "{out}");
+
+        let out = session.run(Command::Explain("knows/knows/worksFor".to_owned()));
+        assert!(out.contains("plan"), "{out}");
+        let out = session.run(Command::Plans("knows/knows".to_owned()));
+        assert!(out.contains("naive plan") && out.contains("minJoin plan"), "{out}");
+
+        let out = session.run(Command::Compare("knows/worksFor".to_owned()));
+        assert!(out.contains("automaton") && out.contains("datalog"), "{out}");
+
+        let out = session.run(Command::Query("not a query ///".to_owned()));
+        assert!(out.starts_with("error:"), "{out}");
+    }
+
+    #[test]
+    fn rebuilding_with_a_new_k_keeps_answers_correct() {
+        let mut session = Session::new(paper_example_graph(), 1);
+        let before = session.run(Command::Query("knows/knows/worksFor".to_owned()));
+        session.run(Command::SetK(3));
+        let after = session.run(Command::Query("knows/knows/worksFor".to_owned()));
+        let count = |s: &str| s.split(" pairs").next().unwrap().to_owned();
+        assert_eq!(count(&before), count(&after));
+    }
+
+    #[test]
+    fn options_parse_and_reject_unknown_flags() {
+        let ok = parse_options(&[
+            "--dataset".into(),
+            "social".into(),
+            "--scale".into(),
+            "0.2".into(),
+            "--k".into(),
+            "2".into(),
+            "-q".into(),
+            "knows".into(),
+        ])
+        .unwrap();
+        assert_eq!(ok.dataset, "social");
+        assert_eq!(ok.k, 2);
+        assert_eq!(ok.one_shot, vec!["knows".to_owned()]);
+        assert!(parse_options(&["--nope".into()]).is_err());
+        assert!(parse_options(&["--k".into(), "0".into()]).is_err());
+        assert!(build_graph(&Options {
+            dataset: "unknown".into(),
+            graph_file: None,
+            scale: 1.0,
+            k: 1,
+            one_shot: vec![],
+        })
+        .is_err());
+    }
+}

@@ -1,0 +1,67 @@
+//! # pathix
+//!
+//! Regular path query (RPQ) evaluation over edge-labeled graphs using
+//! localized **k-path indexes**, reproducing Fletcher, Peters and
+//! Poulovassilis, *"Efficient regular path query evaluation using path
+//! indexes"* (EDBT 2016).
+//!
+//! This umbrella crate re-exports the public API of the workspace:
+//!
+//! * [`PathDb`] — build an index over a graph and run RPQs with any of the
+//!   paper's four strategies (`naive`, `semi-naive`, `minSupport`,
+//!   `minJoin`);
+//! * [`graph`] — the graph substrate (builders, loaders, CSR adjacency);
+//! * [`datagen`] — synthetic datasets (Advogato-like, Erdős–Rényi,
+//!   Barabási–Albert, social networks) and RPQ workloads;
+//! * [`rpq`] — the query language (parser, rewriter, automata);
+//! * [`index`] — the k-path index and histogram;
+//! * [`plan`] — planning strategies, cost model, executor and explain;
+//! * [`baselines`] — the automaton, Datalog and reachability baselines the
+//!   paper's introduction describes;
+//! * [`pagestore`] — disk-oriented storage (buffer pool, paged B+tree,
+//!   compression) mirroring the companion study of index size;
+//! * [`sql`] — the relational backend: the paper's RPQ-to-SQL translation
+//!   over a `path_index` table, executed by a small SQL engine.
+//!
+//! See the `examples/` directory for runnable walkthroughs and
+//! `crates/bench` for the harness that regenerates the paper's figures.
+//!
+//! ```
+//! use pathix::{PathDb, PathDbConfig, Strategy};
+//! use pathix::datagen::paper_example_graph;
+//!
+//! let db = PathDb::build(paper_example_graph(), PathDbConfig::with_k(2));
+//! let answer = db.query_with("supervisor/worksFor-", Strategy::MinSupport).unwrap();
+//! assert_eq!(answer.named_pairs(&db), vec![("kim".to_string(), "sue".to_string())]);
+//! ```
+
+pub use pathix_core::{
+    DbStats, EstimationMode, ExecutionStats, Graph, GraphBuilder, IndexStats, LabelId, NodeId,
+    PathDb, PathDbConfig, PhysicalPlan, QueryError, QueryResult, SignedLabel, Strategy,
+};
+
+/// The graph substrate crate.
+pub use pathix_graph as graph;
+
+/// Synthetic datasets and workloads.
+pub use pathix_datagen as datagen;
+
+/// The RPQ language: parser, AST, rewriter and automata.
+pub use pathix_rpq as rpq;
+
+/// The k-path index and histogram.
+pub use pathix_index as index;
+
+/// Planning strategies, cost model and executor.
+pub use pathix_plan as plan;
+
+/// Baseline evaluators (automaton product BFS, Datalog, reachability).
+pub use pathix_baselines as baselines;
+
+/// Disk-oriented storage: pager, buffer pool, paged B+tree, compressed
+/// pair blocks and the paged k-path index.
+pub use pathix_pagestore as pagestore;
+
+/// Relational backend: the small SQL engine and the paper's RPQ-to-SQL
+/// translation (plus the recursive-SQL-views baseline).
+pub use pathix_sql as sql;

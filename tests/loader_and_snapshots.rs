@@ -1,0 +1,88 @@
+//! Integration tests for the data-in/data-out paths: edge-list loading,
+//! graph snapshots, and B+tree snapshot persistence feeding the query
+//! pipeline.
+
+use pathix::graph::loader::{load_edge_list_str, to_edge_list_string};
+use pathix::graph::GraphSnapshot;
+use pathix::{PathDb, PathDbConfig, Strategy};
+use pathix_storage::BPlusTree;
+
+const EDGES: &str = "\
+# a tiny project/person graph
+alice knows bob
+bob knows carol
+carol knows dave
+alice worksFor acme
+bob worksFor acme
+carol worksFor globex
+dave worksFor globex
+carol supervisor dave
+";
+
+#[test]
+fn edge_list_to_queries() {
+    let graph = load_edge_list_str(EDGES).unwrap();
+    assert_eq!(graph.node_count(), 6);
+    assert_eq!(graph.edge_count(), 8);
+    let db = PathDb::build(graph, PathDbConfig::with_k(2));
+    // Colleagues: same employer.
+    let colleagues = db.query("worksFor/worksFor-").unwrap();
+    assert!(colleagues.contains_named(&db, "alice", "bob"));
+    assert!(colleagues.contains_named(&db, "carol", "dave"));
+    assert!(!colleagues.contains_named(&db, "alice", "carol"));
+    // Knows someone supervised by carol.
+    let q = db.query("knows/supervisor-").unwrap();
+    assert!(q.contains_named(&db, "carol", "carol") || !q.is_empty());
+}
+
+#[test]
+fn edge_list_roundtrip_preserves_query_answers() {
+    let graph = load_edge_list_str(EDGES).unwrap();
+    let text = to_edge_list_string(&graph);
+    let graph2 = load_edge_list_str(&text).unwrap();
+    let db1 = PathDb::build(graph, PathDbConfig::with_k(2));
+    let db2 = PathDb::build(graph2, PathDbConfig::with_k(2));
+    for query in ["knows/knows", "worksFor/worksFor-", "supervisor?"] {
+        let a = db1.query(query).unwrap().named_pairs(&db1);
+        let b = db2.query(query).unwrap().named_pairs(&db2);
+        let mut a = a;
+        let mut b = b;
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "answers changed across edge-list roundtrip for {query}");
+    }
+}
+
+#[test]
+fn graph_snapshot_roundtrip_preserves_query_answers() {
+    let graph = load_edge_list_str(EDGES).unwrap();
+    let snapshot = GraphSnapshot::from_graph(&graph);
+    let restored = snapshot.into_graph();
+    let db1 = PathDb::build(graph, PathDbConfig::with_k(2));
+    let db2 = PathDb::build(restored, PathDbConfig::with_k(2));
+    for strategy in Strategy::all() {
+        let a = db1.query_with("knows{1,3}/worksFor", strategy).unwrap();
+        let b = db2.query_with("knows{1,3}/worksFor", strategy).unwrap();
+        assert_eq!(a.pairs(), b.pairs());
+    }
+}
+
+#[test]
+fn btree_snapshot_survives_disk_roundtrip() {
+    // The storage layer's persistence path, exercised end to end.
+    let mut tree = BPlusTree::new();
+    for i in 0..5_000u32 {
+        tree.insert(i.to_be_bytes().to_vec(), vec![(i % 7) as u8]);
+    }
+    let dir = std::env::temp_dir().join("pathix_integration_snapshots");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("tree.pxbt");
+    tree.write_snapshot(&path).unwrap();
+    let restored = BPlusTree::read_snapshot(&path).unwrap();
+    assert_eq!(restored.len(), tree.len());
+    assert_eq!(
+        restored.scan_prefix(&[0, 0]).count(),
+        tree.scan_prefix(&[0, 0]).count()
+    );
+    restored.check_invariants();
+}

@@ -1,0 +1,100 @@
+//! Cross-crate equivalence for the two remaining extensions: parallel index
+//! construction / query execution, and the reachability-index baseline
+//! (approach 3 of the paper's introduction).
+
+use pathix::baselines::{evaluate_automaton, evaluate_reachability};
+use pathix::datagen::{barabasi_albert, erdos_renyi, paper_example_graph};
+use pathix::index::KPathIndex;
+use pathix::rpq::parse;
+use pathix::{Graph, NodeId, PathDb, PathDbConfig, Strategy};
+
+fn sorted(mut pairs: Vec<(NodeId, NodeId)>) -> Vec<(NodeId, NodeId)> {
+    pairs.sort_unstable();
+    pairs.dedup();
+    pairs
+}
+
+#[test]
+fn parallel_index_build_is_identical_on_random_graphs() {
+    for (name, graph) in [
+        ("barabasi_albert", barabasi_albert(250, 3, &["a", "b", "c"], 7)),
+        ("erdos_renyi", erdos_renyi(200, 900, &["a", "b", "c"], 11)),
+    ] {
+        let sequential = KPathIndex::build(&graph, 2);
+        let parallel = KPathIndex::build_parallel(&graph, 2, 4);
+        assert_eq!(
+            parallel.stats().entries,
+            sequential.stats().entries,
+            "dataset {name}"
+        );
+        for (path, _) in sequential.per_path_counts() {
+            let a: Vec<_> = sequential.scan_path(path).collect();
+            let b: Vec<_> = parallel.scan_path(path).collect();
+            assert_eq!(a, b, "dataset {name}, path {path:?}");
+        }
+    }
+}
+
+#[test]
+fn parallel_query_execution_matches_sequential_for_every_strategy() {
+    let db = PathDb::build(barabasi_albert(200, 3, &["a", "b", "c"], 5), PathDbConfig::with_k(2));
+    let labels = db.graph().label_names().join("|");
+    let queries = [
+        format!("({labels}){{1,3}}"),
+        "a/b".to_owned(),
+        "a{1,4}".to_owned(),
+        "c-/a/b".to_owned(),
+    ];
+    for query in &queries {
+        for strategy in Strategy::all() {
+            let sequential = db.query_with(query, strategy);
+            let parallel = db.query_parallel(query, strategy, 4);
+            let sequential = sequential.unwrap();
+            let parallel = parallel.unwrap();
+            assert_eq!(
+                sequential.pairs(),
+                parallel.pairs(),
+                "query {query}, strategy {}",
+                strategy.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn reachability_baseline_agrees_with_the_automaton_on_supported_queries() {
+    let graphs: Vec<(&str, Graph)> = vec![
+        ("paper_example", paper_example_graph()),
+        ("barabasi_albert", barabasi_albert(120, 3, &["a", "b"], 13)),
+    ];
+    for (name, graph) in &graphs {
+        let labels: Vec<String> = graph.label_names().iter().map(|s| s.to_string()).collect();
+        let l0 = &labels[0];
+        let l1 = labels.get(1).cloned().unwrap_or_else(|| l0.clone());
+        let queries = [
+            format!("{l0}*"),
+            format!("{l0}+"),
+            format!("({l0}|{l1})*"),
+            format!("{l1}/{l0}*"),
+        ];
+        for query in &queries {
+            let expr = parse(query).unwrap().bind(graph).unwrap();
+            let via_reach = evaluate_reachability(graph, &expr)
+                .unwrap_or_else(|| panic!("{query} should be in the restricted fragment"));
+            let via_automaton = sorted(evaluate_automaton(graph, &expr));
+            assert_eq!(sorted(via_reach), via_automaton, "dataset {name}, query {query}");
+        }
+    }
+}
+
+#[test]
+fn reachability_baseline_rejects_general_rpqs() {
+    let graph = paper_example_graph();
+    for query in ["knows{2,4}", "(knows/worksFor)*", "knows/(knows|worksFor/knows)*"] {
+        let expr = parse(query).unwrap().bind(&graph).unwrap();
+        assert!(
+            evaluate_reachability(&graph, &expr).is_none(),
+            "query {query} is outside approach (3)'s fragment and must be rejected"
+        );
+    }
+}

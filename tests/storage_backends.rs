@@ -1,0 +1,60 @@
+//! Cross-crate equivalence of the three index representations: the in-memory
+//! B+tree index (`pathix-index`), the paged on-disk index and the compressed
+//! per-path blocks (`pathix-pagestore`) must expose identical contents.
+
+use pathix::datagen::{advogato_like, barabasi_albert, AdvogatoConfig};
+use pathix::index::KPathIndex;
+use pathix::pagestore::{BufferPool, CompressedPathStore, DiskManager, PagedBTree, PagedPathIndex};
+
+#[test]
+fn paged_and_compressed_indexes_match_the_memory_index() {
+    let graph = barabasi_albert(300, 3, &["a", "b", "c"], 42);
+    for k in 1..=2usize {
+        let memory = KPathIndex::build(&graph, k);
+        let paged = PagedPathIndex::build_in_memory(&graph, k, 32).unwrap();
+        let compressed = CompressedPathStore::from_index(&memory);
+
+        assert_eq!(paged.len(), memory.stats().entries as u64, "k = {k}");
+        assert_eq!(compressed.path_count(), memory.per_path_counts().len());
+
+        for (path, count) in memory.per_path_counts() {
+            let expected: Vec<_> = memory.scan_path(path).collect();
+            assert_eq!(paged.scan_path(path).unwrap(), expected, "paged, path {path:?}");
+            assert_eq!(compressed.pairs(path), expected, "compressed, path {path:?}");
+            assert_eq!(compressed.path_cardinality(path), Some(*count));
+        }
+    }
+}
+
+#[test]
+fn paged_index_survives_a_round_trip_through_a_file() {
+    let graph = advogato_like(AdvogatoConfig::scaled(0.005));
+    let dir = std::env::temp_dir().join(format!("pathix-it-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("roundtrip.pages");
+
+    let entries_before = {
+        let index = PagedPathIndex::build_on_disk(&graph, 2, &path, 16).unwrap();
+        index.len()
+    };
+    // Re-open the raw page file as a plain paged B+tree and check the entry
+    // count survived (the index itself is a thin wrapper over the tree).
+    let pool = BufferPool::new(DiskManager::open(&path).unwrap(), 16);
+    let tree = PagedBTree::open(pool).unwrap();
+    assert_eq!(tree.len(), entries_before);
+    tree.check_invariants().unwrap();
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn compression_saves_space_on_a_realistic_graph() {
+    let graph = advogato_like(AdvogatoConfig::scaled(0.01));
+    let store = CompressedPathStore::build(&graph, 2);
+    let stats = store.stats();
+    assert!(stats.pairs > 1_000, "the scaled graph should produce a real index");
+    assert!(
+        stats.ratio() > 2.0,
+        "delta/varint blocks should be at least 2x smaller than per-entry keys, got {:.2}",
+        stats.ratio()
+    );
+}

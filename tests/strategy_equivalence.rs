@@ -1,0 +1,75 @@
+//! Property-based equivalence: on random graphs and random queries, all four
+//! planning strategies, the automaton baseline and the Datalog baseline must
+//! produce identical answers.
+
+use pathix::datagen::{erdos_renyi, WorkloadConfig, WorkloadGenerator};
+use pathix::{PathDb, PathDbConfig, Strategy};
+use proptest::prelude::*;
+
+proptest! {
+    // Each case builds indexes and runs six evaluators, so keep the count
+    // moderate; the inner workload loop still exercises dozens of queries.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn all_evaluation_routes_agree(
+        nodes in 6usize..28,
+        edges in 10usize..90,
+        label_count in 1usize..4,
+        k in 1usize..4,
+        graph_seed in 0u64..1000,
+        workload_seed in 0u64..1000,
+    ) {
+        let label_names: Vec<String> = (0..label_count).map(|i| format!("l{i}")).collect();
+        let label_refs: Vec<&str> = label_names.iter().map(String::as_str).collect();
+        let graph = erdos_renyi(nodes, edges, &label_refs, graph_seed);
+        let db = PathDb::build(graph.clone(), PathDbConfig::with_k(k));
+
+        let mut generator = WorkloadGenerator::new(
+            &graph,
+            WorkloadConfig {
+                max_chain_len: 4,
+                max_recursion: 3,
+                seed: workload_seed,
+                ..Default::default()
+            },
+        );
+        for query in generator.generate_mixed(8) {
+            let reference = db.query_automaton(&query.text).unwrap();
+            let datalog = db.query_datalog(&query.text).unwrap();
+            // The Datalog and automaton baselines handle unbounded recursion
+            // exactly, whereas the index pipeline truncates at star_bound;
+            // generated queries only use bounded recursion, so all must
+            // agree.
+            prop_assert_eq!(&datalog, &reference, "datalog vs automaton on {}", query.text);
+            for strategy in Strategy::all() {
+                let result = db.query_with(&query.text, strategy).unwrap();
+                prop_assert_eq!(
+                    result.pairs(),
+                    &reference[..],
+                    "strategy {} on {} (k={})",
+                    strategy,
+                    query.text,
+                    k
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn index_scans_match_reference_on_random_graphs(
+        nodes in 4usize..20,
+        edges in 5usize..60,
+        seed in 0u64..1000,
+        k in 1usize..4,
+    ) {
+        let graph = erdos_renyi(nodes, edges, &["a", "b"], seed);
+        let db = PathDb::build(graph.clone(), PathDbConfig::with_k(k));
+        for (path, count) in db.index().per_path_counts() {
+            let expected = pathix::index::naive_path_eval(&graph, path);
+            let scanned: Vec<_> = db.index().scan_path(path).collect();
+            prop_assert_eq!(&scanned, &expected);
+            prop_assert_eq!(*count as usize, expected.len());
+        }
+    }
+}
