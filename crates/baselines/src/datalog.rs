@@ -104,14 +104,14 @@ impl DatalogEngine {
                     // Semi-naive: at least one body atom must be matched
                     // against the last iteration's delta.
                     let delta_pred = &rule.body[delta_position].predicate;
-                    if delta.get(delta_pred).map_or(true, HashSet::is_empty) {
+                    if delta.get(delta_pred).is_none_or(HashSet::is_empty) {
                         continue;
                     }
                     let derived = evaluate_rule(rule, delta_position, &all, &delta);
                     for tuple in derived {
                         let known = all
                             .get(&rule.head.predicate)
-                            .map_or(false, |s| s.contains(&tuple));
+                            .is_some_and(|s| s.contains(&tuple));
                         if !known {
                             new_delta
                                 .entry(rule.head.predicate.clone())
@@ -367,7 +367,10 @@ mod tests {
             ],
         });
         let result = DatalogEngine::evaluate(&p);
-        assert_eq!(result.relation("even"), vec![vec![0], vec![2], vec![4], vec![6]]);
+        assert_eq!(
+            result.relation("even"),
+            vec![vec![0], vec![2], vec![4], vec![6]]
+        );
         assert_eq!(result.relation("odd"), vec![vec![1], vec![3], vec![5]]);
     }
 

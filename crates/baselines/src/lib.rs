@@ -26,6 +26,6 @@ pub mod reachability;
 pub mod translate;
 
 pub use automaton::evaluate_automaton;
-pub use reachability::{evaluate_reachability, ReachabilityIndex};
 pub use datalog::{Atom, DatalogEngine, Program, Rule, Term};
+pub use reachability::{evaluate_reachability, ReachabilityIndex};
 pub use translate::{evaluate_datalog, rpq_to_datalog};

@@ -204,10 +204,8 @@ impl ReachabilityIndex {
 
     /// `true` when there is a path of length ≥ 1 from `a` to `b`.
     pub fn reachable_nonempty(&self, a: NodeId, b: NodeId) -> bool {
-        let (Some(&ca), Some(&cb)) = (
-            self.component.get(a.index()),
-            self.component.get(b.index()),
-        ) else {
+        let (Some(&ca), Some(&cb)) = (self.component.get(a.index()), self.component.get(b.index()))
+        else {
             return false;
         };
         if ca == cb {
@@ -255,9 +253,7 @@ pub fn evaluate_reachability(graph: &Graph, expr: &BoundExpr) -> Option<Vec<(Nod
                 pairs.dedup();
                 pairs
             }
-            Item::Star { labels, min } => {
-                ReachabilityIndex::build(graph, &labels).all_pairs(min)
-            }
+            Item::Star { labels, min } => ReachabilityIndex::build(graph, &labels).all_pairs(min),
         };
         result = Some(match result {
             None => pairs,
@@ -290,12 +286,10 @@ fn restricted_items(expr: &BoundExpr) -> Option<Vec<Item>> {
 fn restricted_item(expr: &BoundExpr) -> Option<Item> {
     match expr {
         Expr::Step { label, .. } => Some(Item::Step(*label)),
-        Expr::Repeat { inner, min, max } if max.is_none() && *min <= 1 => {
-            Some(Item::Star {
-                labels: star_labels(inner)?,
-                min: *min,
-            })
-        }
+        Expr::Repeat { inner, min, max } if max.is_none() && *min <= 1 => Some(Item::Star {
+            labels: star_labels(inner)?,
+            min: *min,
+        }),
         _ => None,
     }
 }
@@ -373,7 +367,10 @@ mod tests {
         assert!(index.reachable_nonempty(node("a"), node("c")));
         assert!(!index.reachable_nonempty(node("c"), node("a")));
         assert!(index.reachable(node("c"), node("c")), "empty path");
-        assert!(!index.reachable_nonempty(node("c"), node("c")), "c is acyclic");
+        assert!(
+            !index.reachable_nonempty(node("c"), node("c")),
+            "c is acyclic"
+        );
         assert!(index.reachable_nonempty(node("x"), node("x")), "2-cycle");
         assert!(index.reachable_nonempty(node("z"), node("z")), "self-loop");
         assert!(index.component_count() <= g.node_count());

@@ -55,7 +55,10 @@ pub fn evaluate_datalog(graph: &Graph, expr: &BoundExpr) -> Vec<(NodeId, NodeId)
 fn edge_predicate(graph: &Graph, label: pathix_graph::LabelId) -> String {
     format!(
         "edge_{}",
-        graph.label_name(label).unwrap_or("unknown").replace(' ', "_")
+        graph
+            .label_name(label)
+            .unwrap_or("unknown")
+            .replace(' ', "_")
     )
 }
 

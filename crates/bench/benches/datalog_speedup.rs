@@ -16,12 +16,16 @@ fn datalog_bench(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(300));
     group.measurement_time(std::time::Duration::from_secs(1));
     for q in queries.iter().take(4) {
-        group.bench_with_input(BenchmarkId::new("index_minSupport", &q.name), &q.text, |b, text| {
-            b.iter(|| {
-                let r = db.query_with(text, Strategy::MinSupport).unwrap();
-                criterion::black_box(r.len())
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("index_minSupport", &q.name),
+            &q.text,
+            |b, text| {
+                b.iter(|| {
+                    let r = db.query_with(text, Strategy::MinSupport).unwrap();
+                    criterion::black_box(r.len())
+                })
+            },
+        );
         group.bench_with_input(BenchmarkId::new("datalog", &q.name), &q.text, |b, text| {
             b.iter(|| {
                 let r = db.query_datalog(text).unwrap();

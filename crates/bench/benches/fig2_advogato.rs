@@ -18,8 +18,8 @@ fn fig2_bench(c: &mut Criterion) {
         let db = build_advogato_db(scale, k);
         let mut group = c.benchmark_group(format!("fig2/k{k}"));
         group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_secs(1));
+        group.warm_up_time(std::time::Duration::from_millis(300));
+        group.measurement_time(std::time::Duration::from_secs(1));
         for q in &queries {
             for strategy in Strategy::all() {
                 group.bench_with_input(

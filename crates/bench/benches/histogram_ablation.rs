@@ -29,15 +29,33 @@ fn ablation_bench(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(300));
     group.measurement_time(std::time::Duration::from_secs(1));
     for q in queries.iter().take(4) {
-        group.bench_with_input(BenchmarkId::new("semi_naive_no_stats", &q.name), &q.text, |b, t| {
-            b.iter(|| criterion::black_box(equi.query_with(t, Strategy::SemiNaive).unwrap().len()))
-        });
-        group.bench_with_input(BenchmarkId::new("minSupport_equi_depth", &q.name), &q.text, |b, t| {
-            b.iter(|| criterion::black_box(equi.query_with(t, Strategy::MinSupport).unwrap().len()))
-        });
-        group.bench_with_input(BenchmarkId::new("minSupport_exact", &q.name), &q.text, |b, t| {
-            b.iter(|| criterion::black_box(exact.query_with(t, Strategy::MinSupport).unwrap().len()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("semi_naive_no_stats", &q.name),
+            &q.text,
+            |b, t| {
+                b.iter(|| {
+                    criterion::black_box(equi.query_with(t, Strategy::SemiNaive).unwrap().len())
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("minSupport_equi_depth", &q.name),
+            &q.text,
+            |b, t| {
+                b.iter(|| {
+                    criterion::black_box(equi.query_with(t, Strategy::MinSupport).unwrap().len())
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("minSupport_exact", &q.name),
+            &q.text,
+            |b, t| {
+                b.iter(|| {
+                    criterion::black_box(exact.query_with(t, Strategy::MinSupport).unwrap().len())
+                })
+            },
+        );
     }
     group.finish();
 }

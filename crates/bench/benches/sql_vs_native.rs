@@ -12,19 +12,27 @@ fn sql_vs_native_bench(c: &mut Criterion) {
     let scale = (bench_scale() * 0.2).clamp(0.005, 0.05);
     let graph = build_advogato(scale);
     let native = PathDb::build(graph, PathDbConfig::with_k(3));
-    let relational = SqlPathDb::from_path_db(&native);
+    let relational = SqlPathDb::from_path_db(&native).unwrap();
 
     let mut group = c.benchmark_group("sql_vs_native");
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(300));
     group.measurement_time(std::time::Duration::from_secs(1));
     for q in advogato_queries().iter().take(4) {
-        group.bench_with_input(BenchmarkId::new("native_minSupport", &q.name), &q.text, |b, t| {
-            b.iter(|| criterion::black_box(native.query_with(t, Strategy::MinSupport).unwrap().len()))
-        });
-        group.bench_with_input(BenchmarkId::new("path_index_sql", &q.name), &q.text, |b, t| {
-            b.iter(|| criterion::black_box(relational.query_pairs(t).unwrap().len()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("native_minSupport", &q.name),
+            &q.text,
+            |b, t| {
+                b.iter(|| {
+                    criterion::black_box(native.query_with(t, Strategy::MinSupport).unwrap().len())
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("path_index_sql", &q.name),
+            &q.text,
+            |b, t| b.iter(|| criterion::black_box(relational.query_pairs(t).unwrap().len())),
+        );
     }
     group.finish();
 }

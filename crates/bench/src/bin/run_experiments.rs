@@ -19,8 +19,9 @@
 //! graph because the baselines are orders of magnitude slower.
 
 use pathix_bench::{
-    automaton_comparison, bench_scale, datalog_speedup, fig2, histogram_ablation,
-    incremental_maintenance, index_construction, paged_index, parallel, scaling, sql_comparison,
+    automaton_comparison, backend_comparison, bench_scale, datalog_speedup, fig2,
+    histogram_ablation, incremental_maintenance, index_construction, paged_index, parallel,
+    scaling, sql_comparison,
 };
 
 fn main() {
@@ -60,6 +61,9 @@ fn main() {
         "paged" => {
             paged_index(scale);
         }
+        "backends" => {
+            backend_comparison(scale, 2);
+        }
         "parallel" => {
             parallel(scale);
         }
@@ -75,13 +79,14 @@ fn main() {
             histogram_ablation(scale);
             sql_comparison(baseline_scale);
             paged_index(scale);
+            backend_comparison(scale, 2);
             parallel(scale);
             incremental_maintenance(scale);
         }
         other => {
             eprintln!(
                 "unknown experiment `{other}`; expected one of: fig2, datalog, automaton, \
-                 index, scaling, ablation, sql, paged, parallel, incremental, all"
+                 index, scaling, ablation, sql, paged, backends, parallel, incremental, all"
             );
             std::process::exit(2);
         }

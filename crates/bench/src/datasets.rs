@@ -45,13 +45,6 @@ mod tests {
     use super::*;
 
     #[test]
-    fn scale_parsing_defaults_and_clamps() {
-        // No env manipulation here (tests run in parallel); just check the
-        // default constant is sane.
-        assert!(DEFAULT_SCALE > 0.0 && DEFAULT_SCALE <= 1.0);
-    }
-
-    #[test]
     fn tiny_advogato_db_builds() {
         let db = build_advogato_db(0.01, 2);
         assert!(db.stats().index.entries > 0);

@@ -8,10 +8,9 @@ use crate::datasets::build_advogato;
 use crate::report::{write_json, Table};
 use pathix_core::{EstimationMode, PathDb, PathDbConfig, Strategy};
 use pathix_datagen::advogato_queries;
-use serde::Serialize;
 
 /// One query measured under the three planner configurations.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct AblationRow {
     /// Query name.
     pub query: String,
@@ -24,7 +23,7 @@ pub struct AblationRow {
 }
 
 /// The X3 report.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct AblationReport {
     /// Scale factor used.
     pub scale: f64,
@@ -94,6 +93,14 @@ pub fn histogram_ablation(scale: f64) -> AblationReport {
     write_json("histogram_ablation", &report);
     report
 }
+
+crate::impl_to_json!(AblationRow {
+    query,
+    no_histogram_ms,
+    equi_depth_ms,
+    exact_ms
+});
+crate::impl_to_json!(AblationReport { scale, k, rows });
 
 #[cfg(test)]
 mod tests {

@@ -5,11 +5,10 @@ use crate::datasets::build_advogato;
 use crate::report::{write_json, Table};
 use pathix_core::{PathDb, PathDbConfig, Strategy};
 use pathix_datagen::advogato_queries;
-use serde::Serialize;
 use std::time::Instant;
 
 /// One query measured under the index pipeline and the automaton baseline.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct AutomatonRow {
     /// Query name.
     pub query: String,
@@ -22,7 +21,7 @@ pub struct AutomatonRow {
 }
 
 /// The full X4 report.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct AutomatonReport {
     /// Scale factor used.
     pub scale: f64,
@@ -50,7 +49,12 @@ pub fn automaton_comparison(scale: f64) -> AutomatonReport {
         let start = Instant::now();
         let automaton_answer = db.query_automaton(&q.text).unwrap();
         let automaton_ms = start.elapsed().as_secs_f64() * 1e3;
-        assert_eq!(automaton_answer.len(), result.len(), "answers differ for {}", q.name);
+        assert_eq!(
+            automaton_answer.len(),
+            result.len(),
+            "answers differ for {}",
+            q.name
+        );
         let speedup = automaton_ms / index_ms.max(1e-6);
         table.push_row(vec![
             q.name.clone(),
@@ -76,6 +80,18 @@ pub fn automaton_comparison(scale: f64) -> AutomatonReport {
     write_json("automaton_comparison", &report);
     report
 }
+
+crate::impl_to_json!(AutomatonRow {
+    query,
+    index_ms,
+    automaton_ms,
+    speedup
+});
+crate::impl_to_json!(AutomatonReport {
+    scale,
+    rows,
+    mean_speedup
+});
 
 #[cfg(test)]
 mod tests {

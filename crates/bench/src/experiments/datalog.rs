@@ -6,11 +6,10 @@ use crate::datasets::build_advogato;
 use crate::report::{write_json, Table};
 use pathix_core::{PathDb, PathDbConfig, Strategy};
 use pathix_datagen::advogato_queries;
-use serde::Serialize;
 use std::time::Instant;
 
 /// One query measured under the index pipeline and the Datalog baseline.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct DatalogRow {
     /// Query name.
     pub query: String,
@@ -25,7 +24,7 @@ pub struct DatalogRow {
 }
 
 /// The full S6 report.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct DatalogReport {
     /// Scale used (the Datalog baseline is much slower, so this experiment
     /// defaults to a smaller graph than F2).
@@ -106,6 +105,21 @@ pub fn datalog_speedup(scale: f64) -> DatalogReport {
     write_json("datalog_speedup", &report);
     report
 }
+
+crate::impl_to_json!(DatalogRow {
+    query,
+    index_ms,
+    datalog_ms,
+    speedup,
+    answers
+});
+crate::impl_to_json!(DatalogReport {
+    scale,
+    k,
+    rows,
+    geometric_mean_speedup,
+    mean_speedup
+});
 
 #[cfg(test)]
 mod tests {

@@ -6,12 +6,11 @@ use crate::datasets::build_advogato;
 use crate::report::{format_duration_ms, write_json, Table};
 use pathix_core::{PathDb, PathDbConfig, Strategy};
 use pathix_datagen::advogato_queries;
-use serde::Serialize;
 use std::collections::HashMap;
 use std::time::Instant;
 
 /// One measurement: a query evaluated with one strategy over one index.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig2Row {
     /// Query name (A1–A8).
     pub query: String,
@@ -26,7 +25,7 @@ pub struct Fig2Row {
 }
 
 /// The full Figure 2 dataset plus dataset metadata.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig2Report {
     /// Scale factor relative to the real Advogato.
     pub scale: f64,
@@ -134,6 +133,21 @@ fn print_summary(rows: &[Fig2Row], ks: &[usize]) {
     );
 }
 
+crate::impl_to_json!(Fig2Row {
+    query,
+    k,
+    strategy,
+    millis,
+    answers
+});
+crate::impl_to_json!(Fig2Report {
+    scale,
+    nodes,
+    edges,
+    index_build_ms,
+    rows
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,7 +167,10 @@ mod tests {
                     .filter(|r| r.query == q && r.k == k)
                     .map(|r| r.answers)
                     .collect();
-                assert!(counts.windows(2).all(|w| w[0] == w[1]), "{q} k={k}: {counts:?}");
+                assert!(
+                    counts.windows(2).all(|w| w[0] == w[1]),
+                    "{q} k={k}: {counts:?}"
+                );
             }
         }
     }

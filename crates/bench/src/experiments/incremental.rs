@@ -11,11 +11,10 @@ use crate::datasets::build_advogato;
 use crate::report::{write_json, Table};
 use pathix_graph::{Graph, LabelId, NodeId};
 use pathix_index::{IncrementalKPathIndex, KPathIndex};
-use serde::Serialize;
 use std::time::Instant;
 
 /// One `(k, batch)` measurement.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct IncrementalRow {
     /// Locality parameter.
     pub k: usize,
@@ -36,7 +35,7 @@ pub struct IncrementalRow {
 }
 
 /// The X9 report.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct IncrementalReport {
     /// Advogato-like scale factor.
     pub scale: f64,
@@ -80,7 +79,11 @@ pub fn incremental_maintenance(scale: f64) -> IncrementalReport {
 
         let mut live = IncrementalKPathIndex::from_graph(&graph, k);
         let entries = live.entry_count();
-        assert_eq!(entries, rebuilt.stats().entries, "seeding must match a rebuild");
+        assert_eq!(
+            entries,
+            rebuilt.stats().entries,
+            "seeding must match a rebuild"
+        );
 
         let batch = update_batch(&graph, graph.edge_count() / 200);
         let start = Instant::now();
@@ -130,6 +133,17 @@ pub fn incremental_maintenance(scale: f64) -> IncrementalReport {
     write_json("incremental_maintenance", &report);
     report
 }
+
+crate::impl_to_json!(IncrementalRow {
+    k,
+    entries,
+    batch,
+    delete_us,
+    insert_us,
+    rebuild_ms,
+    rebuild_per_insert
+});
+crate::impl_to_json!(IncrementalReport { scale, rows });
 
 #[cfg(test)]
 mod tests {

@@ -6,11 +6,10 @@ use crate::datasets::{build_advogato, build_ba};
 use crate::report::{write_json, Table};
 use pathix_core::{PathDb, PathDbConfig};
 use pathix_graph::Graph;
-use serde::Serialize;
 use std::time::Instant;
 
 /// One `(dataset, k)` measurement.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct IndexBuildRow {
     /// Dataset name.
     pub dataset: String,
@@ -21,20 +20,20 @@ pub struct IndexBuildRow {
     /// Locality parameter.
     pub k: usize,
     /// Index entries (`⟨p, a, b⟩` triples).
-    pub entries: usize,
+    pub entries: u64,
     /// Distinct label paths indexed.
     pub paths: usize,
-    /// B+tree depth.
+    /// B+tree depth (the in-memory backend's tree; X1 builds `Memory`).
     pub tree_depth: usize,
     /// Approximate key bytes stored.
-    pub approx_bytes: usize,
+    pub approx_bytes: u64,
     /// Wall-clock construction time in milliseconds (enumeration +
     /// histogram + bulk load).
     pub build_ms: f64,
 }
 
 /// The X1 report.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct IndexBuildReport {
     /// Scale used for the Advogato-like dataset.
     pub scale: f64,
@@ -42,18 +41,30 @@ pub struct IndexBuildReport {
     pub rows: Vec<IndexBuildRow>,
 }
 
-fn measure(name: &str, graph: &Graph, ks: &[usize], rows: &mut Vec<IndexBuildRow>, table: &mut Table) {
+fn measure(
+    name: &str,
+    graph: &Graph,
+    ks: &[usize],
+    rows: &mut Vec<IndexBuildRow>,
+    table: &mut Table,
+) {
     for &k in ks {
         let start = Instant::now();
         let db = PathDb::build(graph.clone(), PathDbConfig::with_k(k));
         let build_ms = start.elapsed().as_secs_f64() * 1e3;
         let stats = db.stats().index;
+        // X1 always builds the in-memory backend, whose B+tree exposes depth.
+        let tree_depth = db
+            .index()
+            .as_memory()
+            .map(|index| index.stats().tree_depth)
+            .unwrap_or(0);
         table.push_row(vec![
             name.to_owned(),
             k.to_string(),
             stats.entries.to_string(),
             stats.distinct_paths.to_string(),
-            stats.tree_depth.to_string(),
+            tree_depth.to_string(),
             format!("{:.1}", stats.approx_bytes as f64 / (1024.0 * 1024.0)),
             format!("{build_ms:.0}"),
         ]);
@@ -64,7 +75,7 @@ fn measure(name: &str, graph: &Graph, ks: &[usize], rows: &mut Vec<IndexBuildRow
             k,
             entries: stats.entries,
             paths: stats.distinct_paths,
-            tree_depth: stats.tree_depth,
+            tree_depth,
             approx_bytes: stats.approx_bytes,
             build_ms,
         });
@@ -97,6 +108,19 @@ pub fn index_construction(scale: f64, ks: &[usize]) -> IndexBuildReport {
     write_json("index_construction", &report);
     report
 }
+
+crate::impl_to_json!(IndexBuildRow {
+    dataset,
+    nodes,
+    edges,
+    k,
+    entries,
+    paths,
+    tree_depth,
+    approx_bytes,
+    build_ms
+});
+crate::impl_to_json!(IndexBuildReport { scale, rows });
 
 #[cfg(test)]
 mod tests {

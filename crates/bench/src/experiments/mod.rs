@@ -2,6 +2,7 @@
 
 pub mod ablation;
 pub mod automaton;
+pub mod backends;
 pub mod datalog;
 pub mod fig2;
 pub mod incremental;

@@ -17,11 +17,10 @@ use crate::report::{write_json, Table};
 use pathix_graph::SignedLabel;
 use pathix_index::KPathIndex;
 use pathix_pagestore::{CompressedPathStore, PagedPathIndex};
-use serde::Serialize;
 use std::time::Instant;
 
 /// One `(k)` size measurement.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct PagedRow {
     /// Locality parameter.
     pub k: usize,
@@ -42,7 +41,7 @@ pub struct PagedRow {
 }
 
 /// The X6 report.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct PagedReport {
     /// Scale factor used.
     pub scale: f64,
@@ -138,6 +137,23 @@ pub fn paged_index(scale: f64) -> PagedReport {
     write_json("paged_index", &report);
     report
 }
+
+crate::impl_to_json!(PagedRow {
+    k,
+    entries,
+    memory_bytes,
+    pages,
+    disk_bytes,
+    compressed_bytes,
+    compression_ratio,
+    paged_build_ms
+});
+crate::impl_to_json!(PagedReport {
+    scale,
+    rows,
+    cold_misses,
+    warm_misses
+});
 
 #[cfg(test)]
 mod tests {

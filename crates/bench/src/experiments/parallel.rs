@@ -10,11 +10,10 @@ use crate::datasets::build_advogato;
 use crate::report::{write_json, Table};
 use pathix_core::{PathDb, PathDbConfig, Strategy};
 use pathix_index::KPathIndex;
-use serde::Serialize;
 use std::time::Instant;
 
 /// Build-time rows per thread count.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ParallelBuildRow {
     /// Worker threads used.
     pub threads: usize,
@@ -25,7 +24,7 @@ pub struct ParallelBuildRow {
 }
 
 /// Query rows comparing sequential and parallel disjunct execution.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ParallelQueryRow {
     /// Query name.
     pub query: String,
@@ -38,7 +37,7 @@ pub struct ParallelQueryRow {
 }
 
 /// The X7 report.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ParallelReport {
     /// Scale factor used.
     pub scale: f64,
@@ -93,7 +92,12 @@ pub fn parallel(scale: f64) -> ParallelReport {
         ("U3", "apprentice/(journeyer|master){2,3}"),
     ];
     let mut query_rows = Vec::new();
-    let mut query_table = Table::new(vec!["query", "disjuncts", "sequential (ms)", "4 threads (ms)"]);
+    let mut query_table = Table::new(vec![
+        "query",
+        "disjuncts",
+        "sequential (ms)",
+        "4 threads (ms)",
+    ]);
     for (name, text) in queries {
         // Skip queries whose labels this dataset does not have.
         let Ok(expr) = db.compile(text) else { continue };
@@ -135,6 +139,24 @@ pub fn parallel(scale: f64) -> ParallelReport {
     write_json("parallel", &report);
     report
 }
+
+crate::impl_to_json!(ParallelBuildRow {
+    threads,
+    build_ms,
+    speedup
+});
+crate::impl_to_json!(ParallelQueryRow {
+    query,
+    disjuncts,
+    sequential_ms,
+    parallel_ms
+});
+crate::impl_to_json!(ParallelReport {
+    scale,
+    k,
+    build,
+    queries
+});
 
 #[cfg(test)]
 mod tests {

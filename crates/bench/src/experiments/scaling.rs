@@ -5,10 +5,9 @@ use crate::datasets::build_ba;
 use crate::report::{write_json, Table};
 use pathix_core::{PathDb, PathDbConfig, Strategy};
 use pathix_datagen::{WorkloadConfig, WorkloadGenerator};
-use serde::Serialize;
 
 /// One `(graph size, strategy)` measurement, averaged over a query workload.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ScalingRow {
     /// Nodes in the graph.
     pub nodes: usize,
@@ -25,7 +24,7 @@ pub struct ScalingRow {
 }
 
 /// The X2 report.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ScalingReport {
     /// The graph sizes measured.
     pub sizes: Vec<usize>,
@@ -94,6 +93,16 @@ pub fn scaling(sizes: &[usize]) -> ScalingReport {
     write_json("scaling", &report);
     report
 }
+
+crate::impl_to_json!(ScalingRow {
+    nodes,
+    edges,
+    k,
+    strategy,
+    mean_ms,
+    total_answers
+});
+crate::impl_to_json!(ScalingReport { sizes, rows });
 
 #[cfg(test)]
 mod tests {

@@ -17,11 +17,10 @@ use crate::report::{write_json, Table};
 use pathix_core::{PathDb, PathDbConfig, Strategy};
 use pathix_datagen::advogato_queries;
 use pathix_sql::SqlPathDb;
-use serde::Serialize;
 use std::time::Instant;
 
 /// One query measured across the three execution routes.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SqlRow {
     /// Query name.
     pub query: String,
@@ -37,7 +36,7 @@ pub struct SqlRow {
 }
 
 /// The X5 report.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SqlReport {
     /// Scale factor used.
     pub scale: f64,
@@ -58,7 +57,7 @@ pub fn sql_comparison(scale: f64) -> SqlReport {
         graph.edge_count()
     );
     let native = PathDb::build(graph.clone(), PathDbConfig::with_k(k));
-    let relational = SqlPathDb::from_path_db(&native);
+    let relational = SqlPathDb::from_path_db(&native).unwrap();
 
     let mut rows = Vec::new();
     let mut table = Table::new(vec![
@@ -117,6 +116,15 @@ pub fn sql_comparison(scale: f64) -> SqlReport {
     write_json("sql_comparison", &report);
     report
 }
+
+crate::impl_to_json!(SqlRow {
+    query,
+    pairs,
+    native_ms,
+    sql_ms,
+    recursive_sql_ms
+});
+crate::impl_to_json!(SqlReport { scale, k, rows });
 
 #[cfg(test)]
 mod tests {

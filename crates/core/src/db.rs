@@ -1,18 +1,154 @@
-//! [`PathDb`]: graph + k-path index + histogram + query pipeline.
+//! [`PathDb`]: graph + pluggable k-path index backend + histogram + query
+//! pipeline.
 
 use crate::error::QueryError;
 use crate::result::QueryResult;
 use pathix_baselines::{evaluate_automaton, evaluate_datalog};
-use pathix_graph::{Graph, NodeId};
-use pathix_index::{EstimationMode, IndexStats, KPathIndex, PathHistogram};
+use pathix_graph::{Graph, NodeId, SignedLabel};
+use pathix_index::{
+    BackendError, BackendResult, BackendScan, BackendStats, EstimationMode, KPathIndex,
+    PathHistogram, PathIndexBackend,
+};
+use pathix_pagestore::{CompressedPathStore, PagedPathIndex};
 use pathix_plan::{
     execute_parallel, execute_with_stats, explain as explain_plan, plan_query, PhysicalPlan,
     PlannerContext, Strategy,
 };
 use pathix_rpq::{parse, to_disjuncts, BoundExpr, LabelPath, RewriteOptions};
+use std::path::PathBuf;
+
+/// Which storage backend serves the k-path index of a [`PathDb`].
+///
+/// All variants expose the identical [`PathIndexBackend`] contract, so the
+/// whole parse → bind → rewrite → plan → execute pipeline runs unchanged on
+/// each; they differ in where the index entries live.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum BackendChoice {
+    /// The in-memory B+tree index (`pathix-index`): fastest, bounded by RAM.
+    #[default]
+    Memory,
+    /// The paged B+tree behind a buffer pool with an **in-memory** page
+    /// store: exercises the full paging machinery without touching the
+    /// filesystem (useful for tests and for measuring cache behaviour).
+    PagedInMemory {
+        /// Number of buffer-pool frames (pages kept resident).
+        pool_frames: usize,
+    },
+    /// The paged B+tree stored in a page file on disk: the index can be far
+    /// larger than RAM; only `pool_frames` pages are resident at a time.
+    OnDisk {
+        /// Page file path (created or truncated at build time).
+        path: PathBuf,
+        /// Number of buffer-pool frames (pages kept resident).
+        pool_frames: usize,
+    },
+    /// Delta/varint-compressed per-path pair blocks: smallest footprint,
+    /// scans decode on the fly.
+    Compressed,
+}
+
+/// The selected index backend of a [`PathDb`].
+///
+/// One enum rather than a boxed trait object so the database stays a plain
+/// value (no lifetime or allocation games), while still implementing
+/// [`PathIndexBackend`] itself — the pipeline underneath is generic and never
+/// looks inside.
+#[derive(Debug)]
+pub enum IndexBackend {
+    /// In-memory B+tree index.
+    Memory(KPathIndex),
+    /// Buffer-pool-backed paged index (in-memory or on-disk page store).
+    Paged(PagedPathIndex),
+    /// Compressed per-path pair blocks.
+    Compressed(CompressedPathStore),
+}
+
+impl IndexBackend {
+    /// The in-memory index, when this backend is [`IndexBackend::Memory`].
+    pub fn as_memory(&self) -> Option<&KPathIndex> {
+        match self {
+            IndexBackend::Memory(index) => Some(index),
+            _ => None,
+        }
+    }
+
+    /// The paged index, when this backend is [`IndexBackend::Paged`].
+    pub fn as_paged(&self) -> Option<&PagedPathIndex> {
+        match self {
+            IndexBackend::Paged(index) => Some(index),
+            _ => None,
+        }
+    }
+
+    /// The compressed store, when this backend is
+    /// [`IndexBackend::Compressed`].
+    pub fn as_compressed(&self) -> Option<&CompressedPathStore> {
+        match self {
+            IndexBackend::Compressed(store) => Some(store),
+            _ => None,
+        }
+    }
+}
+
+macro_rules! delegate {
+    ($self:ident, $inner:ident => $body:expr) => {
+        match $self {
+            IndexBackend::Memory($inner) => $body,
+            IndexBackend::Paged($inner) => $body,
+            IndexBackend::Compressed($inner) => $body,
+        }
+    };
+}
+
+impl PathIndexBackend for IndexBackend {
+    fn backend_name(&self) -> &'static str {
+        delegate!(self, b => b.backend_name())
+    }
+
+    fn k(&self) -> usize {
+        delegate!(self, b => PathIndexBackend::k(b))
+    }
+
+    fn node_count(&self) -> usize {
+        delegate!(self, b => PathIndexBackend::node_count(b))
+    }
+
+    fn scan_path(&self, path: &[SignedLabel]) -> BackendResult<BackendScan<'_>> {
+        delegate!(self, b => PathIndexBackend::scan_path(b, path))
+    }
+
+    fn scan_path_from(&self, path: &[SignedLabel], source: NodeId) -> BackendResult<Vec<NodeId>> {
+        delegate!(self, b => PathIndexBackend::scan_path_from(b, path, source))
+    }
+
+    fn contains(
+        &self,
+        path: &[SignedLabel],
+        source: NodeId,
+        target: NodeId,
+    ) -> BackendResult<bool> {
+        delegate!(self, b => PathIndexBackend::contains(b, path, source, target))
+    }
+
+    fn path_cardinality(&self, path: &[SignedLabel]) -> Option<u64> {
+        delegate!(self, b => PathIndexBackend::path_cardinality(b, path))
+    }
+
+    fn per_path_counts(&self) -> &[(Vec<SignedLabel>, u64)] {
+        delegate!(self, b => PathIndexBackend::per_path_counts(b))
+    }
+
+    fn paths_k_size(&self) -> u64 {
+        delegate!(self, b => PathIndexBackend::paths_k_size(b))
+    }
+
+    fn stats(&self) -> BackendStats {
+        delegate!(self, b => PathIndexBackend::stats(b))
+    }
+}
 
 /// Configuration of a [`PathDb`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct PathDbConfig {
     /// Locality parameter k of the path index (the paper evaluates 1–3).
     pub k: usize,
@@ -26,6 +162,8 @@ pub struct PathDbConfig {
     pub max_disjuncts: usize,
     /// Strategy used by [`PathDb::query`].
     pub default_strategy: Strategy,
+    /// Storage backend serving the index.
+    pub backend: BackendChoice,
 }
 
 impl Default for PathDbConfig {
@@ -36,6 +174,7 @@ impl Default for PathDbConfig {
             star_bound: 4,
             max_disjuncts: 4096,
             default_strategy: Strategy::MinSupport,
+            backend: BackendChoice::Memory,
         }
     }
 }
@@ -48,6 +187,12 @@ impl PathDbConfig {
             ..Self::default()
         }
     }
+
+    /// This configuration with a different storage backend.
+    pub fn with_backend(mut self, backend: BackendChoice) -> Self {
+        self.backend = backend;
+        self
+    }
 }
 
 /// Combined statistics of a database instance.
@@ -59,8 +204,8 @@ pub struct DbStats {
     pub edges: usize,
     /// Number of edge labels.
     pub labels: usize,
-    /// Statistics of the k-path index.
-    pub index: IndexStats,
+    /// Statistics of the k-path index backend.
+    pub index: BackendStats,
     /// Number of label paths the histogram summarizes.
     pub histogram_paths: usize,
     /// Number of histogram buckets.
@@ -68,34 +213,65 @@ pub struct DbStats {
 }
 
 /// An RPQ-queryable graph database backed by a localized k-path index.
-#[derive(Debug, Clone)]
+///
+/// The index lives behind the backend selected in
+/// [`PathDbConfig::backend`]; queries run the same pipeline on every
+/// backend and surface backend I/O failures as
+/// [`QueryError::Backend`] instead of panicking.
+#[derive(Debug)]
 pub struct PathDb {
     graph: Graph,
-    index: KPathIndex,
+    backend: IndexBackend,
     histogram: PathHistogram,
     config: PathDbConfig,
 }
 
 impl PathDb {
     /// Builds the index and histogram for `graph` under `config`.
-    pub fn build(graph: Graph, config: PathDbConfig) -> Self {
-        let index = KPathIndex::build(&graph, config.k);
+    ///
+    /// Backend construction for `PagedInMemory`/`OnDisk` performs I/O; any
+    /// failure is reported as [`QueryError::Backend`].
+    pub fn try_build(graph: Graph, config: PathDbConfig) -> Result<Self, QueryError> {
+        let k = config.k;
+        let backend = match &config.backend {
+            BackendChoice::Memory => IndexBackend::Memory(KPathIndex::build(&graph, k)),
+            BackendChoice::PagedInMemory { pool_frames } => IndexBackend::Paged(
+                PagedPathIndex::build_in_memory(&graph, k, *pool_frames)
+                    .map_err(|e| BackendError::io("paged", &e))?,
+            ),
+            BackendChoice::OnDisk { path, pool_frames } => IndexBackend::Paged(
+                PagedPathIndex::build_on_disk(&graph, k, path, *pool_frames)
+                    .map_err(|e| BackendError::io("paged", &e))?,
+            ),
+            BackendChoice::Compressed => {
+                IndexBackend::Compressed(CompressedPathStore::build(&graph, k))
+            }
+        };
         let histogram = PathHistogram::build(
-            index.per_path_counts(),
-            index.paths_k_size(),
-            config.k,
+            backend.per_path_counts(),
+            backend.paths_k_size(),
+            k,
             config.estimation,
         );
-        PathDb {
+        Ok(PathDb {
             graph,
-            index,
+            backend,
             histogram,
             config,
-        }
+        })
+    }
+
+    /// Builds the index and histogram for `graph` under `config`.
+    ///
+    /// # Panics
+    /// Panics if the configured backend fails to initialize (I/O on the
+    /// paged backends). Use [`PathDb::try_build`] to handle that case.
+    pub fn build(graph: Graph, config: PathDbConfig) -> Self {
+        Self::try_build(graph, config).expect("index backend construction failed")
     }
 
     /// Builds with the default configuration (k = 2, equi-depth histogram,
-    /// minSupport planning).
+    /// minSupport planning, in-memory backend).
     pub fn with_defaults(graph: Graph) -> Self {
         Self::build(graph, PathDbConfig::default())
     }
@@ -105,9 +281,15 @@ impl PathDb {
         &self.graph
     }
 
-    /// The k-path index.
-    pub fn index(&self) -> &KPathIndex {
-        &self.index
+    /// The selected k-path index backend.
+    pub fn index(&self) -> &IndexBackend {
+        &self.backend
+    }
+
+    /// The short name of the active backend (`"memory"`, `"paged"`,
+    /// `"compressed"`).
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.backend_name()
     }
 
     /// The k-path histogram.
@@ -117,7 +299,7 @@ impl PathDb {
 
     /// The configuration the database was built with.
     pub fn config(&self) -> PathDbConfig {
-        self.config
+        self.config.clone()
     }
 
     /// The locality parameter k.
@@ -143,7 +325,7 @@ impl PathDb {
     pub fn plan(&self, query: &str, strategy: Strategy) -> Result<PhysicalPlan, QueryError> {
         let expr = self.compile(query)?;
         let disjuncts = self.disjuncts(&expr)?;
-        let ctx = PlannerContext::new(&self.index, &self.histogram);
+        let ctx = PlannerContext::new(&self.backend, &self.histogram);
         Ok(plan_query(strategy, &disjuncts, &ctx))
     }
 
@@ -155,7 +337,7 @@ impl PathDb {
     /// Evaluates a query with an explicit strategy.
     pub fn query_with(&self, query: &str, strategy: Strategy) -> Result<QueryResult, QueryError> {
         let plan = self.plan(query, strategy)?;
-        let (pairs, stats) = execute_with_stats(&plan, &self.index);
+        let (pairs, stats) = execute_with_stats(&plan, &self.backend)?;
         Ok(QueryResult::new(pairs, stats, strategy))
     }
 
@@ -170,7 +352,7 @@ impl PathDb {
     ) -> Result<QueryResult, QueryError> {
         let plan = self.plan(query, strategy)?;
         let start = std::time::Instant::now();
-        let pairs = execute_parallel(&plan, &self.index, threads);
+        let pairs = execute_parallel(&plan, &self.backend, threads)?;
         let stats = pathix_plan::ExecutionStats {
             elapsed: start.elapsed(),
             result_pairs: pairs.len(),
@@ -183,7 +365,7 @@ impl PathDb {
     /// Renders the physical plan of a query as an indented tree.
     pub fn explain(&self, query: &str, strategy: Strategy) -> Result<String, QueryError> {
         let plan = self.plan(query, strategy)?;
-        let ctx = PlannerContext::new(&self.index, &self.histogram);
+        let ctx = PlannerContext::new(&self.backend, &self.histogram);
         Ok(explain_plan(&plan, &self.graph, &ctx))
     }
 
@@ -207,7 +389,7 @@ impl PathDb {
             nodes: self.graph.node_count(),
             edges: self.graph.edge_count(),
             labels: self.graph.label_count(),
-            index: self.index.stats(),
+            index: self.backend.stats(),
             histogram_paths: self.histogram.path_count(),
             histogram_buckets: self.histogram.buckets().len(),
         }
@@ -224,6 +406,14 @@ mod tests {
         PathDb::build(paper_example_graph(), PathDbConfig::with_k(k))
     }
 
+    fn backend_choices() -> Vec<BackendChoice> {
+        vec![
+            BackendChoice::Memory,
+            BackendChoice::PagedInMemory { pool_frames: 8 },
+            BackendChoice::Compressed,
+        ]
+    }
+
     #[test]
     fn build_and_stats() {
         let db = example_db(2);
@@ -234,6 +424,7 @@ mod tests {
         assert!(stats.index.entries > 0);
         assert!(stats.histogram_paths > 0);
         assert_eq!(db.k(), 2);
+        assert_eq!(db.backend_name(), "memory");
     }
 
     #[test]
@@ -256,6 +447,50 @@ mod tests {
     }
 
     #[test]
+    fn every_backend_answers_the_worked_example() {
+        for choice in backend_choices() {
+            let config = PathDbConfig::with_k(2).with_backend(choice.clone());
+            let db = PathDb::try_build(paper_example_graph(), config).unwrap();
+            let result = db.query("supervisor/worksFor-").unwrap();
+            assert_eq!(
+                result.named_pairs(&db),
+                vec![("kim".into(), "sue".into())],
+                "backend {choice:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn on_disk_backend_runs_the_pipeline() {
+        let dir = std::env::temp_dir().join(format!("pathix-db-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("example.pages");
+        let config = PathDbConfig::with_k(2).with_backend(BackendChoice::OnDisk {
+            path: file.clone(),
+            pool_frames: 8,
+        });
+        let db = PathDb::try_build(paper_example_graph(), config).unwrap();
+        assert_eq!(db.backend_name(), "paged");
+        let result = db.query("supervisor/worksFor-").unwrap();
+        assert_eq!(result.named_pairs(&db), vec![("kim".into(), "sue".into())]);
+        assert!(std::fs::metadata(&file).unwrap().len() > 0);
+        drop(db);
+        std::fs::remove_file(&file).ok();
+    }
+
+    #[test]
+    fn on_disk_backend_build_failure_is_an_error_not_a_panic() {
+        let config = PathDbConfig::with_k(2).with_backend(BackendChoice::OnDisk {
+            path: PathBuf::from("/definitely/not/a/writable/dir/idx.pages"),
+            pool_frames: 8,
+        });
+        match PathDb::try_build(paper_example_graph(), config) {
+            Err(QueryError::Backend(e)) => assert_eq!(e.backend(), "paged"),
+            other => panic!("expected a backend error, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn paper_section_2_2_first_example() {
         let db = example_db(2);
         let result = db.query("supervisor/worksFor-").unwrap();
@@ -267,7 +502,10 @@ mod tests {
         let db = example_db(1);
         assert!(matches!(db.query("///"), Err(QueryError::Parse(_))));
         assert!(matches!(db.query("likes"), Err(QueryError::Bind(_))));
-        assert!(matches!(db.query("knows{5,2}"), Err(QueryError::Rewrite(_))));
+        assert!(matches!(
+            db.query("knows{5,2}"),
+            Err(QueryError::Rewrite(_))
+        ));
     }
 
     #[test]

@@ -1,11 +1,13 @@
 //! Error type covering the whole query pipeline.
 
+use pathix_index::BackendError;
 use pathix_rpq::{BindError, ParseError, RewriteError};
 use std::fmt;
 
 /// Anything that can go wrong between receiving a query string and producing
-/// a physical plan. Execution itself is infallible (plans only reference
-/// indexed paths).
+/// an answer. Planning itself is infallible (plans only reference indexed
+/// paths); execution can fail when a disk-resident index backend hits I/O
+/// trouble, which surfaces as [`QueryError::Backend`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum QueryError {
     /// The query text does not conform to the RPQ syntax.
@@ -15,6 +17,9 @@ pub enum QueryError {
     /// Rewriting failed (invalid bounds or an expansion past the disjunct
     /// limit).
     Rewrite(RewriteError),
+    /// The index backend failed while building or scanning (typically I/O on
+    /// the paged path).
+    Backend(BackendError),
 }
 
 impl fmt::Display for QueryError {
@@ -23,6 +28,7 @@ impl fmt::Display for QueryError {
             QueryError::Parse(e) => write!(f, "{e}"),
             QueryError::Bind(e) => write!(f, "{e}"),
             QueryError::Rewrite(e) => write!(f, "{e}"),
+            QueryError::Backend(e) => write!(f, "{e}"),
         }
     }
 }
@@ -33,6 +39,7 @@ impl std::error::Error for QueryError {
             QueryError::Parse(e) => Some(e),
             QueryError::Bind(e) => Some(e),
             QueryError::Rewrite(e) => Some(e),
+            QueryError::Backend(e) => Some(e),
         }
     }
 }
@@ -55,6 +62,12 @@ impl From<RewriteError> for QueryError {
     }
 }
 
+impl From<BackendError> for QueryError {
+    fn from(e: BackendError) -> Self {
+        QueryError::Backend(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -72,5 +85,8 @@ mod tests {
         let r: QueryError = RewriteError::TooManyDisjuncts { limit: 3 }.into();
         assert!(r.to_string().contains('3'));
         assert!(std::error::Error::source(&r).is_some());
+        let k: QueryError = BackendError::new("paged", "page torn").into();
+        assert!(k.to_string().contains("page torn"));
+        assert!(std::error::Error::source(&k).is_some());
     }
 }

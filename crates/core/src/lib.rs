@@ -24,13 +24,13 @@ pub mod db;
 pub mod error;
 pub mod result;
 
-pub use db::{DbStats, PathDb, PathDbConfig};
+pub use db::{BackendChoice, DbStats, IndexBackend, PathDb, PathDbConfig};
 pub use error::QueryError;
 pub use result::QueryResult;
 
 // Re-export the vocabulary a downstream user needs without adding every
 // sub-crate as a direct dependency.
 pub use pathix_graph::{Graph, GraphBuilder, LabelId, NodeId, SignedLabel};
-pub use pathix_index::{EstimationMode, IndexStats};
+pub use pathix_index::{BackendError, BackendStats, EstimationMode, IndexStats, PathIndexBackend};
 pub use pathix_plan::{ExecutionStats, PhysicalPlan, Strategy};
 pub use pathix_rpq::{ParseError, RewriteOptions};

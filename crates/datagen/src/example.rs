@@ -22,7 +22,9 @@ use pathix_graph::{Graph, GraphBuilder};
 pub fn paper_example_graph() -> Graph {
     let mut b = GraphBuilder::new();
     // Register nodes first so ids follow a stable, documented order.
-    for name in ["ada", "jan", "joe", "kim", "liz", "sam", "sue", "tim", "zoe"] {
+    for name in [
+        "ada", "jan", "joe", "kim", "liz", "sam", "sue", "tim", "zoe",
+    ] {
         b.add_node(name);
     }
     // knows edges (directed "trusts/knows" statements).

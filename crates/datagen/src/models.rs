@@ -58,7 +58,10 @@ pub fn erdos_renyi(n: usize, m: usize, labels: &[&str], seed: u64) -> Graph {
 pub fn barabasi_albert(n: usize, edges_per_node: usize, labels: &[&str], seed: u64) -> Graph {
     assert!(!labels.is_empty(), "at least one label is required");
     assert!(n >= 2, "at least two nodes are required");
-    assert!(edges_per_node >= 1, "each node must attach at least one edge");
+    assert!(
+        edges_per_node >= 1,
+        "each node must attach at least one edge"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut builder = GraphBuilder::with_capacity(n * edges_per_node);
     for i in 0..n {
@@ -139,7 +142,12 @@ mod tests {
         degrees.sort_unstable_by(|a, b| b.cmp(a));
         // The largest hub should have far more than the median degree.
         let median = degrees[degrees.len() / 2];
-        assert!(degrees[0] >= median * 5, "max {} median {}", degrees[0], median);
+        assert!(
+            degrees[0] >= median * 5,
+            "max {} median {}",
+            degrees[0],
+            median
+        );
     }
 
     #[test]

@@ -49,9 +49,7 @@ impl Default for SocialConfig {
 ///   company.
 pub fn social_network(config: SocialConfig) -> Graph {
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut builder = GraphBuilder::with_capacity(
-        config.people * (config.knows_per_person + 2),
-    );
+    let mut builder = GraphBuilder::with_capacity(config.people * (config.knows_per_person + 2));
     for p in 0..config.people {
         builder.add_node(&format!("p{p}"));
     }
@@ -137,8 +135,14 @@ mod tests {
         let knows = g.label_edge_count(g.label_id("knows").unwrap());
         let works = g.label_edge_count(g.label_id("worksFor").unwrap());
         let sup = g.label_edge_count(g.label_id("supervisor").unwrap());
-        assert!(knows > works, "knows ({knows}) should dominate worksFor ({works})");
-        assert!(works > sup, "worksFor ({works}) should dominate supervisor ({sup})");
+        assert!(
+            knows > works,
+            "knows ({knows}) should dominate worksFor ({works})"
+        );
+        assert!(
+            works > sup,
+            "worksFor ({works}) should dominate supervisor ({sup})"
+        );
     }
 
     #[test]

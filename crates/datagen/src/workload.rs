@@ -121,11 +121,7 @@ impl WorkloadGenerator {
     ///
     /// Panics if the graph has no labels.
     pub fn new(graph: &Graph, config: WorkloadConfig) -> Self {
-        let labels: Vec<String> = graph
-            .label_names()
-            .into_iter()
-            .map(str::to_owned)
-            .collect();
+        let labels: Vec<String> = graph.label_names().into_iter().map(str::to_owned).collect();
         assert!(!labels.is_empty(), "graph has no labels to query");
         WorkloadGenerator {
             labels,
@@ -168,7 +164,9 @@ impl WorkloadGenerator {
             }
             QueryFamily::ChainWithInverse => self.random_chain(2),
             QueryFamily::UnionOfChains => {
-                let branches = self.rng.gen_range(2..=self.config.max_union_branches.max(2));
+                let branches = self
+                    .rng
+                    .gen_range(2..=self.config.max_union_branches.max(2));
                 let parts: Vec<String> = (0..branches)
                     .map(|_| format!("({})", self.random_chain(1)))
                     .collect();
@@ -176,7 +174,9 @@ impl WorkloadGenerator {
             }
             QueryFamily::BoundedRecursion => {
                 let min = self.rng.gen_range(0..=1u32);
-                let max = self.rng.gen_range(min.max(1)..=self.config.max_recursion.max(1));
+                let max = self
+                    .rng
+                    .gen_range(min.max(1)..=self.config.max_recursion.max(1));
                 let body = self.random_chain(1);
                 format!("({body}){{{min},{max}}}")
             }
@@ -246,7 +246,8 @@ mod tests {
         let g = paper_example_graph();
         let mut gen = WorkloadGenerator::new(&g, WorkloadConfig::default());
         for q in gen.generate_mixed(40) {
-            parse(&q.text).unwrap_or_else(|e| panic!("generated query {:?} does not parse: {e}", q.text));
+            parse(&q.text)
+                .unwrap_or_else(|e| panic!("generated query {:?} does not parse: {e}", q.text));
         }
     }
 
@@ -271,6 +272,9 @@ mod tests {
         let g = paper_example_graph();
         let mut gen = WorkloadGenerator::new(&g, WorkloadConfig::default());
         let q = gen.generate(QueryFamily::BoundedRecursion);
-        assert!(q.contains('{') && q.contains('}'), "query {q:?} lacks bounds");
+        assert!(
+            q.contains('{') && q.contains('}'),
+            "query {q:?} lacks bounds"
+        );
     }
 }

@@ -6,6 +6,7 @@
 
 use crate::operator::{BoxedPairStream, Pair, PairStream, Sortedness};
 use pathix_graph::NodeId;
+use pathix_index::backend::{BackendError, BackendResult};
 use std::collections::HashMap;
 
 /// Merge join over the shared middle node.
@@ -19,13 +20,18 @@ pub struct MergeJoinOp<'a> {
     right: BoxedPairStream<'a>,
     left_peek: Option<Pair>,
     right_peek: Option<Pair>,
+    primed: bool,
     out_buf: std::vec::IntoIter<Pair>,
+    // A backend error is latched: polling again after an error must re-raise
+    // it, never resume merging from half-advanced input cursors.
+    poisoned: Option<BackendError>,
 }
 
 impl<'a> MergeJoinOp<'a> {
     /// Creates a merge join. Panics if the inputs do not provide the
     /// required sort orders — the planner must only emit valid merge joins.
-    pub fn new(mut left: BoxedPairStream<'a>, mut right: BoxedPairStream<'a>) -> Self {
+    /// (Input *errors* are deferred to the first `next_pair` call.)
+    pub fn new(left: BoxedPairStream<'a>, right: BoxedPairStream<'a>) -> Self {
         assert!(
             left.sortedness().is_by_target(),
             "merge join requires the left input sorted by target"
@@ -34,30 +40,35 @@ impl<'a> MergeJoinOp<'a> {
             right.sortedness().is_by_source(),
             "merge join requires the right input sorted by source"
         );
-        let left_peek = left.next_pair();
-        let right_peek = right.next_pair();
         MergeJoinOp {
             left,
             right,
-            left_peek,
-            right_peek,
+            left_peek: None,
+            right_peek: None,
+            primed: false,
             out_buf: Vec::new().into_iter(),
+            poisoned: None,
         }
     }
 
     /// Gathers the next group of matching pairs into `out_buf`.
-    fn refill(&mut self) -> bool {
+    fn refill(&mut self) -> BackendResult<bool> {
+        if !self.primed {
+            self.primed = true;
+            self.left_peek = self.left.next_pair()?;
+            self.right_peek = self.right.next_pair()?;
+        }
         loop {
             let (lp, rp) = match (self.left_peek, self.right_peek) {
                 (Some(l), Some(r)) => (l, r),
-                _ => return false,
+                _ => return Ok(false),
             };
             let lkey = lp.1;
             let rkey = rp.0;
             if lkey < rkey {
-                self.left_peek = self.left.next_pair();
+                self.left_peek = self.left.next_pair()?;
             } else if rkey < lkey {
-                self.right_peek = self.right.next_pair();
+                self.right_peek = self.right.next_pair()?;
             } else {
                 // Collect the full group on both sides.
                 let key = lkey;
@@ -67,7 +78,7 @@ impl<'a> MergeJoinOp<'a> {
                         break;
                     }
                     left_group.push(src);
-                    self.left_peek = self.left.next_pair();
+                    self.left_peek = self.left.next_pair()?;
                 }
                 let mut right_group: Vec<NodeId> = Vec::new();
                 while let Some((src, tgt)) = self.right_peek {
@@ -75,7 +86,7 @@ impl<'a> MergeJoinOp<'a> {
                         break;
                     }
                     right_group.push(tgt);
-                    self.right_peek = self.right.next_pair();
+                    self.right_peek = self.right.next_pair()?;
                 }
                 let mut buf = Vec::with_capacity(left_group.len() * right_group.len());
                 for &x in &left_group {
@@ -84,20 +95,28 @@ impl<'a> MergeJoinOp<'a> {
                     }
                 }
                 self.out_buf = buf.into_iter();
-                return true;
+                return Ok(true);
             }
         }
     }
 }
 
 impl PairStream for MergeJoinOp<'_> {
-    fn next_pair(&mut self) -> Option<Pair> {
+    fn next_pair(&mut self) -> BackendResult<Option<Pair>> {
+        if let Some(e) = &self.poisoned {
+            return Err(e.clone());
+        }
         loop {
             if let Some(pair) = self.out_buf.next() {
-                return Some(pair);
+                return Ok(Some(pair));
             }
-            if !self.refill() {
-                return None;
+            match self.refill() {
+                Ok(true) => {}
+                Ok(false) => return Ok(None),
+                Err(e) => {
+                    self.poisoned = Some(e.clone());
+                    return Err(e);
+                }
             }
         }
     }
@@ -118,6 +137,9 @@ pub struct HashJoinOp<'a> {
     right: Option<BoxedPairStream<'a>>,
     table: HashMap<NodeId, Vec<NodeId>>,
     pending: std::vec::IntoIter<Pair>,
+    // A backend error is latched: polling again after an error must re-raise
+    // it, never stream answers computed from a partially built hash table.
+    poisoned: Option<BackendError>,
 }
 
 impl<'a> HashJoinOp<'a> {
@@ -129,26 +151,28 @@ impl<'a> HashJoinOp<'a> {
             right: Some(right),
             table: HashMap::new(),
             pending: Vec::new().into_iter(),
+            poisoned: None,
         }
     }
 
-    fn ensure_built(&mut self) {
+    fn ensure_built(&mut self) -> BackendResult<()> {
         if let Some(mut right) = self.right.take() {
-            while let Some((src, tgt)) = right.next_pair() {
+            while let Some((src, tgt)) = right.next_pair()? {
                 self.table.entry(src).or_default().push(tgt);
             }
         }
+        Ok(())
     }
-}
 
-impl PairStream for HashJoinOp<'_> {
-    fn next_pair(&mut self) -> Option<Pair> {
-        self.ensure_built();
+    fn next_pair_inner(&mut self) -> BackendResult<Option<Pair>> {
+        self.ensure_built()?;
         loop {
             if let Some(pair) = self.pending.next() {
-                return Some(pair);
+                return Ok(Some(pair));
             }
-            let (src, tgt) = self.left.next_pair()?;
+            let Some((src, tgt)) = self.left.next_pair()? else {
+                return Ok(None);
+            };
             if let Some(matches) = self.table.get(&tgt) {
                 self.pending = matches
                     .iter()
@@ -156,6 +180,21 @@ impl PairStream for HashJoinOp<'_> {
                     .collect::<Vec<_>>()
                     .into_iter();
             }
+        }
+    }
+}
+
+impl PairStream for HashJoinOp<'_> {
+    fn next_pair(&mut self) -> BackendResult<Option<Pair>> {
+        if let Some(e) = &self.poisoned {
+            return Err(e.clone());
+        }
+        match self.next_pair_inner() {
+            Err(e) => {
+                self.poisoned = Some(e.clone());
+                Err(e)
+            }
+            ok => ok,
         }
     }
 
@@ -202,23 +241,33 @@ mod tests {
     #[test]
     fn merge_join_composes_relations() {
         let left = vec![(n(1), n(10)), (n(2), n(10)), (n(3), n(11)), (n(4), n(12))];
-        let right = vec![(n(10), n(20)), (n(10), n(21)), (n(12), n(22)), (n(13), n(23))];
+        let right = vec![
+            (n(10), n(20)),
+            (n(10), n(21)),
+            (n(12), n(22)),
+            (n(13), n(23)),
+        ];
         let join = MergeJoinOp::new(
             Box::new(by_target(left.clone())),
             Box::new(by_source(right.clone())),
         );
-        assert_eq!(collect_pairs(join), compose(&left, &right));
+        assert_eq!(collect_pairs(join).unwrap(), compose(&left, &right));
     }
 
     #[test]
     fn hash_join_composes_relations() {
         let left = vec![(n(1), n(10)), (n(2), n(10)), (n(3), n(11)), (n(4), n(12))];
-        let right = vec![(n(10), n(20)), (n(10), n(21)), (n(12), n(22)), (n(13), n(23))];
+        let right = vec![
+            (n(10), n(20)),
+            (n(10), n(21)),
+            (n(12), n(22)),
+            (n(13), n(23)),
+        ];
         let join = HashJoinOp::new(
             Box::new(MaterializedOp::new(left.clone(), Sortedness::Unsorted)),
             Box::new(MaterializedOp::new(right.clone(), Sortedness::Unsorted)),
         );
-        assert_eq!(collect_pairs(join), compose(&left, &right));
+        assert_eq!(collect_pairs(join).unwrap(), compose(&left, &right));
     }
 
     #[test]
@@ -235,8 +284,8 @@ mod tests {
             Box::new(MaterializedOp::new(right.clone(), Sortedness::Unsorted)),
         );
         let expected = compose(&left, &right);
-        assert_eq!(collect_pairs(merge), expected);
-        assert_eq!(collect_pairs(hash), expected);
+        assert_eq!(collect_pairs(merge).unwrap(), expected);
+        assert_eq!(collect_pairs(hash).unwrap(), expected);
         assert_eq!(expected.len(), 20 * 5);
     }
 
@@ -247,12 +296,12 @@ mod tests {
             Box::new(by_target(vec![])),
             Box::new(by_source(some.clone())),
         );
-        assert!(collect_pairs(merge).is_empty());
+        assert!(collect_pairs(merge).unwrap().is_empty());
         let hash = HashJoinOp::new(
             Box::new(MaterializedOp::new(some, Sortedness::Unsorted)),
             Box::new(MaterializedOp::new(vec![], Sortedness::Unsorted)),
         );
-        assert!(collect_pairs(hash).is_empty());
+        assert!(collect_pairs(hash).unwrap().is_empty());
     }
 
     #[test]
@@ -263,7 +312,77 @@ mod tests {
             Box::new(by_target(left.clone())),
             Box::new(by_source(right.clone())),
         );
-        assert!(collect_pairs(merge).is_empty());
+        assert!(collect_pairs(merge).unwrap().is_empty());
+    }
+
+    /// A stream that yields one pair, then an error, then (wrongly, like a
+    /// drained backend scan would) a clean end — the shape that could trick a
+    /// join into returning silently partial results on re-poll.
+    struct FailingOp {
+        yielded: bool,
+        errored: bool,
+        sortedness: Sortedness,
+    }
+
+    impl FailingOp {
+        fn new(sortedness: Sortedness) -> Self {
+            FailingOp {
+                yielded: false,
+                errored: false,
+                sortedness,
+            }
+        }
+    }
+
+    impl PairStream for FailingOp {
+        fn next_pair(&mut self) -> pathix_index::BackendResult<Option<Pair>> {
+            if !self.yielded {
+                self.yielded = true;
+                return Ok(Some((n(1), n(10))));
+            }
+            if !self.errored {
+                self.errored = true;
+                return Err(pathix_index::BackendError::new("test", "page torn"));
+            }
+            Ok(None)
+        }
+
+        fn sortedness(&self) -> Sortedness {
+            self.sortedness
+        }
+    }
+
+    #[test]
+    fn joins_stay_poisoned_after_a_backend_error() {
+        // Hash join: the error hits while building the right side; polling
+        // again must re-raise it, not answer from a partial hash table.
+        let mut hash = HashJoinOp::new(
+            Box::new(by_source(vec![(n(1), n(10)), (n(2), n(10))])),
+            Box::new(FailingOp::new(Sortedness::BySource)),
+        );
+        let first = hash.next_pair();
+        assert!(first.is_err(), "build-side error must surface");
+        let second = hash.next_pair();
+        assert_eq!(
+            first.unwrap_err(),
+            second.unwrap_err(),
+            "hash join must stay poisoned"
+        );
+
+        // Merge join: the error hits while gathering the left group (the
+        // operator peeks past the first tuple before emitting anything).
+        let mut merge = MergeJoinOp::new(
+            Box::new(FailingOp::new(Sortedness::ByTarget)),
+            Box::new(by_source(vec![(n(10), n(20)), (n(10), n(21))])),
+        );
+        let first = merge.next_pair();
+        assert!(first.is_err(), "input error must surface");
+        let second = merge.next_pair();
+        assert_eq!(
+            first.unwrap_err(),
+            second.unwrap_err(),
+            "merge join must stay poisoned"
+        );
     }
 
     #[test]

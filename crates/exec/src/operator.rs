@@ -1,6 +1,7 @@
 //! The operator protocol shared by all physical operators.
 
 use pathix_graph::NodeId;
+use pathix_index::backend::BackendResult;
 
 /// A partial query result: the start node of the matched path prefix and the
 /// current frontier node.
@@ -32,9 +33,15 @@ impl Sortedness {
 }
 
 /// A pull-based stream of node pairs.
+///
+/// `next_pair` is fallible: index scans may read from disk-resident backends,
+/// so any operator (and anything stacked on top of one) can surface a
+/// [`pathix_index::BackendError`] instead of a pair. Operators propagate
+/// errors upward unchanged; the executor converts them into query errors.
 pub trait PairStream {
-    /// Produces the next pair, or `None` when exhausted.
-    fn next_pair(&mut self) -> Option<Pair>;
+    /// Produces the next pair, `Ok(None)` when exhausted, or the backend
+    /// error that interrupted the scan.
+    fn next_pair(&mut self) -> BackendResult<Option<Pair>>;
 
     /// The order guarantee of this stream.
     fn sortedness(&self) -> Sortedness;
@@ -45,7 +52,7 @@ pub trait PairStream {
 pub type BoxedPairStream<'a> = Box<dyn PairStream + 'a>;
 
 impl<'a> PairStream for BoxedPairStream<'a> {
-    fn next_pair(&mut self) -> Option<Pair> {
+    fn next_pair(&mut self) -> BackendResult<Option<Pair>> {
         (**self).next_pair()
     }
 
@@ -55,15 +62,15 @@ impl<'a> PairStream for BoxedPairStream<'a> {
 }
 
 /// Drains a stream into a sorted, duplicate-free vector — the final
-/// set-semantics answer of an RPQ.
-pub fn collect_pairs(mut stream: impl PairStream) -> Vec<Pair> {
+/// set-semantics answer of an RPQ — or the first backend error encountered.
+pub fn collect_pairs(mut stream: impl PairStream) -> BackendResult<Vec<Pair>> {
     let mut out = Vec::new();
-    while let Some(pair) = stream.next_pair() {
+    while let Some(pair) = stream.next_pair()? {
         out.push(pair);
     }
     out.sort_unstable();
     out.dedup();
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -89,7 +96,7 @@ mod tests {
             Sortedness::Unsorted,
         );
         assert_eq!(
-            collect_pairs(stream),
+            collect_pairs(stream).unwrap(),
             vec![(n(0), n(9)), (n(1), n(2)), (n(3), n(1))]
         );
     }
@@ -100,7 +107,7 @@ mod tests {
         let inner = MaterializedOp::new(vec![(n(1), n(1))], Sortedness::Both);
         let mut boxed: BoxedPairStream<'_> = Box::new(inner);
         assert_eq!(boxed.sortedness(), Sortedness::Both);
-        assert_eq!(boxed.next_pair(), Some((n(1), n(1))));
-        assert_eq!(boxed.next_pair(), None);
+        assert_eq!(boxed.next_pair().unwrap(), Some((n(1), n(1))));
+        assert_eq!(boxed.next_pair().unwrap(), None);
     }
 }

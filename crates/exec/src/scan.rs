@@ -1,9 +1,9 @@
 //! Leaf operators: index scans, the identity relation, materialized inputs.
 
 use crate::operator::{Pair, PairStream, Sortedness};
-use pathix_graph::{NodeId, SignedLabel};
-use pathix_index::kpath::PairScan;
-use pathix_index::KPathIndex;
+use pathix_graph::NodeId;
+use pathix_graph::SignedLabel;
+use pathix_index::backend::{BackendResult, BackendScan, PathIndexBackend};
 use pathix_rpq::ast::inverse_path;
 
 /// Whether an index scan reads the path itself or its inverse.
@@ -21,33 +21,48 @@ pub enum ScanOrientation {
     Inverse,
 }
 
-/// A prefix scan of the k-path index for one label path.
+/// A prefix scan of a k-path index backend for one label path.
+///
+/// The operator is built against any [`PathIndexBackend`] — the in-memory
+/// B+tree, the buffer-pool-backed paged index or the compressed pair blocks —
+/// and streams whatever the backend streams, surfacing its errors.
 pub struct IndexScanOp<'a> {
-    scan: PairScan<'a>,
+    scan: BackendScan<'a>,
     orientation: ScanOrientation,
 }
 
 impl<'a> IndexScanOp<'a> {
     /// Creates a scan of `path` over `index` with the given orientation.
     ///
-    /// Panics (in the index) if `path` is empty or longer than the index k.
-    pub fn new(index: &'a KPathIndex, path: &[SignedLabel], orientation: ScanOrientation) -> Self {
+    /// Fails (with the backend's error) if the scan cannot be opened, e.g.
+    /// when the first page of a disk-resident index cannot be read or the
+    /// path length violates the planner contract.
+    pub fn new<B: PathIndexBackend + ?Sized>(
+        index: &'a B,
+        path: &[SignedLabel],
+        orientation: ScanOrientation,
+    ) -> BackendResult<Self> {
         let scan = match orientation {
-            ScanOrientation::Forward => index.scan_path(path),
-            ScanOrientation::Inverse => index.scan_path(&inverse_path(path)),
+            ScanOrientation::Forward => index.scan_path(path)?,
+            ScanOrientation::Inverse => index.scan_path(&inverse_path(path))?,
         };
-        IndexScanOp { scan, orientation }
+        Ok(IndexScanOp { scan, orientation })
     }
 }
 
 impl PairStream for IndexScanOp<'_> {
-    fn next_pair(&mut self) -> Option<Pair> {
-        match self.orientation {
-            ScanOrientation::Forward => self.scan.next(),
-            // The index stores the inverse path's pairs as (target, source of
-            // the original path); swap them back so the semantic orientation
-            // is uniform while the physical order stays target-major.
-            ScanOrientation::Inverse => self.scan.next().map(|(a, b)| (b, a)),
+    fn next_pair(&mut self) -> BackendResult<Option<Pair>> {
+        match self.scan.next() {
+            None => Ok(None),
+            Some(Err(e)) => Err(e),
+            Some(Ok(pair)) => Ok(Some(match self.orientation {
+                ScanOrientation::Forward => pair,
+                // The index stores the inverse path's pairs as (target, source
+                // of the original path); swap them back so the semantic
+                // orientation is uniform while the physical order stays
+                // target-major.
+                ScanOrientation::Inverse => (pair.1, pair.0),
+            })),
         }
     }
 
@@ -76,13 +91,13 @@ impl EpsilonScanOp {
 }
 
 impl PairStream for EpsilonScanOp {
-    fn next_pair(&mut self) -> Option<Pair> {
+    fn next_pair(&mut self) -> BackendResult<Option<Pair>> {
         if self.next >= self.node_count {
-            return None;
+            return Ok(None);
         }
         let n = NodeId(self.next);
         self.next += 1;
-        Some((n, n))
+        Ok(Some((n, n)))
     }
 
     fn sortedness(&self) -> Sortedness {
@@ -108,8 +123,8 @@ impl MaterializedOp {
 }
 
 impl PairStream for MaterializedOp {
-    fn next_pair(&mut self) -> Option<Pair> {
-        self.pairs.next()
+    fn next_pair(&mut self) -> BackendResult<Option<Pair>> {
+        Ok(self.pairs.next())
     }
 
     fn sortedness(&self) -> Sortedness {
@@ -122,7 +137,7 @@ mod tests {
     use super::*;
     use crate::operator::collect_pairs;
     use pathix_datagen::paper_example_graph;
-    use pathix_index::naive_path_eval;
+    use pathix_index::{naive_path_eval, KPathIndex};
 
     #[test]
     fn forward_scan_is_source_sorted_and_complete() {
@@ -130,10 +145,10 @@ mod tests {
         let index = KPathIndex::build(&g, 2);
         let knows = SignedLabel::forward(g.label_id("knows").unwrap());
         let path = vec![knows, knows];
-        let mut scan = IndexScanOp::new(&index, &path, ScanOrientation::Forward);
+        let mut scan = IndexScanOp::new(&index, &path, ScanOrientation::Forward).unwrap();
         assert_eq!(scan.sortedness(), Sortedness::BySource);
         let mut pairs = Vec::new();
-        while let Some(p) = scan.next_pair() {
+        while let Some(p) = scan.next_pair().unwrap() {
             pairs.push(p);
         }
         assert!(pairs.windows(2).all(|w| w[0] <= w[1]));
@@ -147,14 +162,16 @@ mod tests {
         let knows = SignedLabel::forward(g.label_id("knows").unwrap());
         let works = SignedLabel::forward(g.label_id("worksFor").unwrap());
         let path = vec![knows, works];
-        let mut scan = IndexScanOp::new(&index, &path, ScanOrientation::Inverse);
+        let mut scan = IndexScanOp::new(&index, &path, ScanOrientation::Inverse).unwrap();
         assert_eq!(scan.sortedness(), Sortedness::ByTarget);
         let mut pairs = Vec::new();
-        while let Some(p) = scan.next_pair() {
+        while let Some(p) = scan.next_pair().unwrap() {
             pairs.push(p);
         }
         // Target-major order.
-        assert!(pairs.windows(2).all(|w| (w[0].1, w[0].0) <= (w[1].1, w[1].0)));
+        assert!(pairs
+            .windows(2)
+            .all(|w| (w[0].1, w[0].0) <= (w[1].1, w[1].0)));
         // Same relation as the forward scan.
         let mut sorted = pairs;
         sorted.sort_unstable();
@@ -162,10 +179,30 @@ mod tests {
     }
 
     #[test]
+    fn scans_work_through_a_trait_object() {
+        let g = paper_example_graph();
+        let index = KPathIndex::build(&g, 2);
+        let backend: &dyn PathIndexBackend = &index;
+        let knows = SignedLabel::forward(g.label_id("knows").unwrap());
+        let path = vec![knows];
+        let scan = IndexScanOp::new(backend, &path, ScanOrientation::Forward).unwrap();
+        assert_eq!(collect_pairs(scan).unwrap(), naive_path_eval(&g, &path));
+    }
+
+    #[test]
+    fn contract_violations_surface_as_errors() {
+        let g = paper_example_graph();
+        let index = KPathIndex::build(&g, 1);
+        let knows = SignedLabel::forward(g.label_id("knows").unwrap());
+        let err = IndexScanOp::new(&index, &[knows, knows], ScanOrientation::Forward);
+        assert!(err.is_err(), "scanning past k must error, not panic");
+    }
+
+    #[test]
     fn epsilon_scan_is_identity() {
         let g = paper_example_graph();
         let scan = EpsilonScanOp::new(g.node_count());
-        let pairs = collect_pairs(scan);
+        let pairs = collect_pairs(scan).unwrap();
         assert_eq!(pairs.len(), g.node_count());
         assert!(pairs.iter().all(|&(a, b)| a == b));
     }
@@ -175,6 +212,6 @@ mod tests {
         let n = NodeId;
         let op = MaterializedOp::new(vec![(n(0), n(1)), (n(2), n(3))], Sortedness::BySource);
         assert_eq!(op.sortedness(), Sortedness::BySource);
-        assert_eq!(collect_pairs(op).len(), 2);
+        assert_eq!(collect_pairs(op).unwrap().len(), 2);
     }
 }

@@ -1,6 +1,7 @@
 //! Union and duplicate elimination.
 
 use crate::operator::{BoxedPairStream, Pair, PairStream, Sortedness};
+use pathix_index::backend::BackendResult;
 use std::collections::HashSet;
 
 /// Concatenates the outputs of several streams (bag semantics).
@@ -21,14 +22,14 @@ impl<'a> UnionAllOp<'a> {
 }
 
 impl PairStream for UnionAllOp<'_> {
-    fn next_pair(&mut self) -> Option<Pair> {
+    fn next_pair(&mut self) -> BackendResult<Option<Pair>> {
         while self.current < self.inputs.len() {
-            if let Some(pair) = self.inputs[self.current].next_pair() {
-                return Some(pair);
+            if let Some(pair) = self.inputs[self.current].next_pair()? {
+                return Ok(Some(pair));
             }
             self.current += 1;
         }
-        None
+        Ok(None)
     }
 
     fn sortedness(&self) -> Sortedness {
@@ -53,11 +54,13 @@ impl<'a> DistinctOp<'a> {
 }
 
 impl PairStream for DistinctOp<'_> {
-    fn next_pair(&mut self) -> Option<Pair> {
+    fn next_pair(&mut self) -> BackendResult<Option<Pair>> {
         loop {
-            let (a, b) = self.input.next_pair()?;
+            let Some((a, b)) = self.input.next_pair()? else {
+                return Ok(None);
+            };
             if self.seen.insert((a.0, b.0)) {
-                return Some((a, b));
+                return Ok(Some((a, b)));
             }
         }
     }
@@ -89,14 +92,14 @@ mod tests {
             mat(vec![]),
             mat(vec![(n(3), n(4)), (n(1), n(2))]),
         ]);
-        let pairs = collect_pairs(union);
+        let pairs = collect_pairs(union).unwrap();
         assert_eq!(pairs, vec![(n(1), n(2)), (n(3), n(4))]);
     }
 
     #[test]
     fn union_of_nothing_is_empty() {
         let union = UnionAllOp::new(vec![]);
-        assert!(collect_pairs(union).is_empty());
+        assert!(collect_pairs(union).unwrap().is_empty());
     }
 
     #[test]
@@ -109,7 +112,7 @@ mod tests {
             (n(7), n(8)),
         ]));
         let mut out = Vec::new();
-        while let Some(p) = distinct.next_pair() {
+        while let Some(p) = distinct.next_pair().unwrap() {
             out.push(p);
         }
         assert_eq!(out, vec![(n(5), n(6)), (n(1), n(2)), (n(7), n(8))]);

@@ -1,19 +1,30 @@
-//! Property-based tests for the physical pair operators: both join
+//! Randomized property tests for the physical pair operators: both join
 //! algorithms must compute exactly the relational composition, and the union
 //! / distinct operators must implement bag concatenation and set semantics.
+//!
+//! Driven by the vendored deterministic PRNG (the environment is offline, so
+//! no proptest); every case is seeded and reproduces exactly.
 
 use pathix_exec::{
     collect_pairs, BoxedPairStream, DistinctOp, HashJoinOp, MaterializedOp, MergeJoinOp, Pair,
     PairStream, Sortedness, UnionAllOp,
 };
 use pathix_graph::NodeId;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::collections::BTreeSet;
 
 /// A small random pair relation over node ids `0..domain`.
-fn relation(domain: u32, max_len: usize) -> impl Strategy<Value = Vec<Pair>> {
-    proptest::collection::vec((0..domain, 0..domain), 0..max_len)
-        .prop_map(|pairs| pairs.into_iter().map(|(a, b)| (NodeId(a), NodeId(b))).collect())
+fn relation(rng: &mut StdRng, domain: u32, max_len: usize) -> Vec<Pair> {
+    let len = rng.gen_range(0..=max_len);
+    (0..len)
+        .map(|_| {
+            (
+                NodeId(rng.gen_range(0..domain)),
+                NodeId(rng.gen_range(0..domain)),
+            )
+        })
+        .collect()
 }
 
 /// Reference composition `L ∘ R` with set semantics.
@@ -42,51 +53,60 @@ fn by_source(mut pairs: Vec<Pair>) -> MaterializedOp {
     MaterializedOp::new(pairs, Sortedness::BySource)
 }
 
-proptest! {
-    /// Merge join and hash join agree with the nested-loop reference on any
-    /// input relations, regardless of duplicates or skew.
-    #[test]
-    fn joins_compute_relational_composition(
-        left in relation(12, 60),
-        right in relation(12, 60),
-    ) {
+/// Merge join and hash join agree with the nested-loop reference on any
+/// input relations, regardless of duplicates or skew.
+#[test]
+fn joins_compute_relational_composition() {
+    for case in 0..200u64 {
+        let mut rng = StdRng::seed_from_u64(0x101 + case);
+        let left = relation(&mut rng, 12, 60);
+        let right = relation(&mut rng, 12, 60);
         let expected = compose_reference(&left, &right);
 
         let merge = MergeJoinOp::new(
             Box::new(by_target(left.clone())),
             Box::new(by_source(right.clone())),
         );
-        prop_assert_eq!(collect_pairs(merge), expected.clone());
+        assert_eq!(
+            collect_pairs(merge).unwrap(),
+            expected,
+            "merge, case {case}"
+        );
 
         let hash = HashJoinOp::new(
             Box::new(by_source(left.clone())),
             Box::new(by_source(right.clone())),
         );
-        prop_assert_eq!(collect_pairs(hash), expected);
+        assert_eq!(collect_pairs(hash).unwrap(), expected, "hash, case {case}");
     }
+}
 
-    /// Composition with the empty relation is empty on either side.
-    #[test]
-    fn joining_with_the_empty_relation_is_empty(left in relation(10, 40)) {
+/// Composition with the empty relation is empty on either side.
+#[test]
+fn joining_with_the_empty_relation_is_empty() {
+    for case in 0..100u64 {
+        let mut rng = StdRng::seed_from_u64(0xE019 + case);
+        let left = relation(&mut rng, 10, 40);
         let merge = MergeJoinOp::new(
             Box::new(by_target(left.clone())),
             Box::new(by_source(Vec::new())),
         );
-        prop_assert!(collect_pairs(merge).is_empty());
-        let hash = HashJoinOp::new(
-            Box::new(by_source(Vec::new())),
-            Box::new(by_source(left)),
-        );
-        prop_assert!(collect_pairs(hash).is_empty());
+        assert!(collect_pairs(merge).unwrap().is_empty(), "case {case}");
+        let hash = HashJoinOp::new(Box::new(by_source(Vec::new())), Box::new(by_source(left)));
+        assert!(collect_pairs(hash).unwrap().is_empty(), "case {case}");
     }
+}
 
-    /// UnionAll concatenates its inputs (bag semantics): the multiset of
-    /// emitted pairs is the concatenation of the input multisets, and
-    /// collect_pairs on top restores exactly the set union.
-    #[test]
-    fn union_all_concatenates_and_collect_restores_set_union(
-        parts in proptest::collection::vec(relation(10, 30), 0..5),
-    ) {
+/// UnionAll concatenates its inputs (bag semantics): the multiset of emitted
+/// pairs is the concatenation of the input multisets, and collect_pairs on
+/// top restores exactly the set union.
+#[test]
+fn union_all_concatenates_and_collect_restores_set_union() {
+    for case in 0..100u64 {
+        let mut rng = StdRng::seed_from_u64(0xC0C0 + case);
+        let parts: Vec<Vec<Pair>> = (0..rng.gen_range(0..5usize))
+            .map(|_| relation(&mut rng, 10, 30))
+            .collect();
         let streams: Vec<BoxedPairStream> = parts
             .iter()
             .map(|p| {
@@ -95,11 +115,11 @@ proptest! {
             .collect();
         let mut union = UnionAllOp::new(streams);
         let mut emitted = Vec::new();
-        while let Some(pair) = union.next_pair() {
+        while let Some(pair) = union.next_pair().unwrap() {
             emitted.push(pair);
         }
         let expected_bag: Vec<Pair> = parts.iter().flatten().copied().collect();
-        prop_assert_eq!(&emitted, &expected_bag);
+        assert_eq!(emitted, expected_bag, "case {case}");
 
         let streams: Vec<BoxedPairStream> = parts
             .iter()
@@ -108,57 +128,58 @@ proptest! {
             })
             .collect();
         let expected_set: BTreeSet<Pair> = expected_bag.into_iter().collect();
-        prop_assert_eq!(
-            collect_pairs(UnionAllOp::new(streams)),
-            expected_set.into_iter().collect::<Vec<_>>()
+        assert_eq!(
+            collect_pairs(UnionAllOp::new(streams)).unwrap(),
+            expected_set.into_iter().collect::<Vec<_>>(),
+            "case {case}"
         );
     }
+}
 
-    /// Distinct preserves first occurrences, never emits a duplicate, and
-    /// keeps exactly the set of input pairs.
-    #[test]
-    fn distinct_emits_each_pair_once_in_first_occurrence_order(
-        pairs in relation(8, 80),
-    ) {
+/// Distinct preserves first occurrences, never emits a duplicate, and keeps
+/// exactly the set of input pairs.
+#[test]
+fn distinct_emits_each_pair_once_in_first_occurrence_order() {
+    for case in 0..100u64 {
+        let mut rng = StdRng::seed_from_u64(0xD157 + case);
+        let pairs = relation(&mut rng, 8, 80);
         let mut distinct = DistinctOp::new(Box::new(MaterializedOp::new(
             pairs.clone(),
             Sortedness::Unsorted,
         )));
         let mut emitted = Vec::new();
-        while let Some(pair) = distinct.next_pair() {
+        while let Some(pair) = distinct.next_pair().unwrap() {
             emitted.push(pair);
         }
         // Expected: first occurrences in order.
         let mut seen = BTreeSet::new();
-        let expected: Vec<Pair> = pairs
-            .iter()
-            .copied()
-            .filter(|p| seen.insert(*p))
-            .collect();
-        prop_assert_eq!(emitted, expected);
+        let expected: Vec<Pair> = pairs.iter().copied().filter(|p| seen.insert(*p)).collect();
+        assert_eq!(emitted, expected, "case {case}");
     }
+}
 
-    /// Joins are associative on the final answer sets: (L ∘ M) ∘ R = L ∘ (M ∘ R).
-    #[test]
-    fn composition_is_associative(
-        left in relation(8, 30),
-        middle in relation(8, 30),
-        right in relation(8, 30),
-    ) {
+/// Joins are associative on the final answer sets: (L ∘ M) ∘ R = L ∘ (M ∘ R).
+#[test]
+fn composition_is_associative() {
+    for case in 0..100u64 {
+        let mut rng = StdRng::seed_from_u64(0xA550 + case);
+        let left = relation(&mut rng, 8, 30);
+        let middle = relation(&mut rng, 8, 30);
+        let right = relation(&mut rng, 8, 30);
         let lm_r = compose_reference(&compose_reference(&left, &middle), &right);
         let l_mr = compose_reference(&left, &compose_reference(&middle, &right));
-        prop_assert_eq!(&lm_r, &l_mr);
+        assert_eq!(lm_r, l_mr, "case {case}");
 
         // And the hash join pipeline reproduces the same relation.
         let lm = HashJoinOp::new(
             Box::new(by_source(left.clone())),
             Box::new(by_source(middle.clone())),
         );
-        let lm_pairs = collect_pairs(lm);
+        let lm_pairs = collect_pairs(lm).unwrap();
         let piped = HashJoinOp::new(
             Box::new(by_source(lm_pairs)),
             Box::new(by_source(right.clone())),
         );
-        prop_assert_eq!(collect_pairs(piped), lm_r);
+        assert_eq!(collect_pairs(piped).unwrap(), lm_r, "case {case}");
     }
 }

@@ -105,8 +105,7 @@ impl GraphBuilder {
             per_label.dedup();
             edge_count += per_label.len();
             forward.push(Csr::from_edges(node_count, per_label));
-            let reversed: Vec<(NodeId, NodeId)> =
-                per_label.iter().map(|&(s, d)| (d, s)).collect();
+            let reversed: Vec<(NodeId, NodeId)> = per_label.iter().map(|&(s, d)| (d, s)).collect();
             backward.push(Csr::from_edges(node_count, &reversed));
         }
         Graph {

@@ -115,6 +115,9 @@ mod tests {
         }
         let collected: Vec<(u32, &str)> = d.iter().collect();
         assert_eq!(collected, vec![(0, "k"), (1, "w"), (2, "s")]);
-        assert_eq!(d.names(), &["k".to_string(), "w".to_string(), "s".to_string()]);
+        assert_eq!(
+            d.names(),
+            &["k".to_string(), "w".to_string(), "s".to_string()]
+        );
     }
 }

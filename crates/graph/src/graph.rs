@@ -263,6 +263,9 @@ mod tests {
         let g = sample();
         let knows = g.label_id("knows").unwrap();
         assert_eq!(g.format_signed_label(SignedLabel::forward(knows)), "knows");
-        assert_eq!(g.format_signed_label(SignedLabel::backward(knows)), "knows-");
+        assert_eq!(
+            g.format_signed_label(SignedLabel::backward(knows)),
+            "knows-"
+        );
     }
 }

@@ -6,14 +6,13 @@
 //! `(label, direction)` — this ordering is what the k-path index key encoding
 //! relies on.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Dense identifier of a node in a [`crate::Graph`].
 ///
 /// Node ids are assigned contiguously from zero in insertion order by
 /// [`crate::GraphBuilder`]; a graph with `n` nodes uses ids `0..n`.
-#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -43,7 +42,7 @@ impl From<u32> for NodeId {
 }
 
 /// Dense identifier of an edge label (an element of the vocabulary `L`).
-#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LabelId(pub u16);
 
 impl LabelId {
@@ -67,7 +66,7 @@ impl From<u16> for LabelId {
 }
 
 /// Traversal direction of a label occurrence inside a label path.
-#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum Direction {
     /// Follow an edge from its source to its target (`ℓ`).
     Forward,
@@ -98,7 +97,7 @@ impl Direction {
 /// `SignedLabel` is `Copy`, small (4 bytes) and totally ordered by
 /// `(label, direction)` with `Forward < Backward`, which makes sequences of
 /// signed labels directly usable as ordered index-key components.
-#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SignedLabel {
     /// The underlying vocabulary label.
     pub label: LabelId,

@@ -63,8 +63,7 @@ pub fn load_edge_list_str(text: &str) -> Result<Graph, LoadError> {
             continue;
         }
         let mut fields = line.split_whitespace();
-        let (src, label, dst) = match (fields.next(), fields.next(), fields.next(), fields.next())
-        {
+        let (src, label, dst) = match (fields.next(), fields.next(), fields.next(), fields.next()) {
             (Some(s), Some(l), Some(d), None) => (s, l, d),
             _ => {
                 return Err(LoadError::Malformed {
@@ -103,7 +102,8 @@ pub fn to_edge_list_string(graph: &Graph) -> String {
 mod tests {
     use super::*;
 
-    const SAMPLE: &str = "\n# a comment\n% another comment\nada knows jan\njan knows zoe\n zoe worksFor ada \n";
+    const SAMPLE: &str =
+        "\n# a comment\n% another comment\nada knows jan\njan knows zoe\n zoe worksFor ada \n";
 
     #[test]
     fn loads_simple_edge_list() {

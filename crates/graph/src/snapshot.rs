@@ -1,15 +1,15 @@
-//! Serde-friendly snapshot representation of a graph.
+//! Plain-old-data snapshot representation of a graph.
 //!
 //! [`GraphSnapshot`] is a plain-old-data mirror of [`Graph`] that can be
-//! serialized with any serde format (the bench harness uses JSON for small
-//! reports). The CSR structures are rebuilt on restore rather than stored.
+//! serialized with any hand-rolled format (the bench harness writes JSON for
+//! small reports). The CSR structures are rebuilt on restore rather than
+//! stored.
 
 use crate::builder::GraphBuilder;
 use crate::graph::Graph;
-use serde::{Deserialize, Serialize};
 
 /// Serializable form of a [`Graph`].
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GraphSnapshot {
     /// Node names in id order.
     pub nodes: Vec<String>,

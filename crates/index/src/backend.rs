@@ -1,0 +1,223 @@
+//! The pluggable storage interface of the query pipeline.
+//!
+//! The paper's k-path index is storage-agnostic: the same search key
+//! `⟨label path, sourceID, targetID⟩` and the same three lookup shapes
+//! (Example 3.1) can be served by an in-memory B+tree, a buffer-pool-backed
+//! paged B+tree, or compressed per-path pair blocks — the three
+//! representations studied by the paper and its companion work (ref. [14]).
+//!
+//! [`PathIndexBackend`] captures exactly the contract the layers above
+//! storage rely on: forward prefix scans in `(source, target)` order (the
+//! inverse-path trick for target-major order goes through the same entry
+//! point), point membership, per-path cardinalities for the histogram, and a
+//! couple of structural numbers (`k`, node count, `|paths_k(G)|`). Everything
+//! in `pathix-exec`, `pathix-plan` and `pathix-core` is generic over this
+//! trait, so the identical RPQ → rewrite → plan → execute pipeline runs
+//! unchanged on every backend.
+//!
+//! Scans stream `Result` items: disk-resident backends can fail mid-scan, and
+//! those failures must surface as query errors rather than panics.
+
+use pathix_graph::{NodeId, SignedLabel};
+use std::fmt;
+
+/// An error produced by an index backend (typically I/O on the paged path).
+///
+/// The error is self-contained text (not a wrapped [`std::io::Error`]) so
+/// that query errors stay `Clone`/`PartialEq` — the pipeline compares and
+/// replays them freely in tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BackendError {
+    backend: &'static str,
+    message: String,
+}
+
+impl BackendError {
+    /// Creates an error attributed to `backend`.
+    pub fn new(backend: &'static str, message: impl Into<String>) -> Self {
+        BackendError {
+            backend,
+            message: message.into(),
+        }
+    }
+
+    /// Converts an I/O error raised by `backend`.
+    pub fn io(backend: &'static str, error: &std::io::Error) -> Self {
+        BackendError::new(backend, error.to_string())
+    }
+
+    /// The backend that raised the error.
+    pub fn backend(&self) -> &'static str {
+        self.backend
+    }
+
+    /// The error description.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for BackendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} backend error: {}", self.backend, self.message)
+    }
+}
+
+impl std::error::Error for BackendError {}
+
+/// Result alias used throughout the backend-facing pipeline.
+pub type BackendResult<T> = Result<T, BackendError>;
+
+/// A streaming scan over the `(source, target)` pairs of one label path, in
+/// ascending `(source, target)` order. Items are `Result`s because
+/// disk-resident backends can fail while the scan is being drained.
+pub type BackendScan<'a> = Box<dyn Iterator<Item = BackendResult<(NodeId, NodeId)>> + 'a>;
+
+/// Structural statistics common to every backend.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackendStats {
+    /// A short, stable backend name (`"memory"`, `"paged"`, `"compressed"`).
+    pub backend: &'static str,
+    /// The locality parameter k.
+    pub k: usize,
+    /// Number of `⟨p, a, b⟩` entries stored.
+    pub entries: u64,
+    /// Number of distinct non-empty label paths indexed.
+    pub distinct_paths: usize,
+    /// `|paths_k(G)|` — the selectivity denominator.
+    pub paths_k_size: u64,
+    /// Approximate resident or on-disk size in bytes.
+    pub approx_bytes: u64,
+}
+
+/// A storage backend serving the k-path index `I_{G,k}`.
+///
+/// The trait is object-safe: `pathix-core` stores the selected backend behind
+/// one enum, while `pathix-exec`/`pathix-plan` stay generic (`B: ?Sized`
+/// bounds accept both concrete backends and `dyn PathIndexBackend`).
+pub trait PathIndexBackend {
+    /// A short, stable backend name used in errors and reports.
+    fn backend_name(&self) -> &'static str;
+
+    /// The locality parameter k the index was built with.
+    fn k(&self) -> usize;
+
+    /// Number of nodes of the indexed graph.
+    fn node_count(&self) -> usize;
+
+    /// `I_{G,k}(⟨p⟩)`: all pairs of `p(G)` in `(source, target)` order.
+    ///
+    /// Paths of length 0 or longer than k are a planner contract violation
+    /// and produce an error (never a panic). A well-formed path that simply
+    /// has no matches yields an empty scan.
+    fn scan_path(&self, path: &[SignedLabel]) -> BackendResult<BackendScan<'_>>;
+
+    /// `I_{G,k}(⟨p, source⟩)`: targets reachable from `source` via `p`, in
+    /// ascending order.
+    fn scan_path_from(&self, path: &[SignedLabel], source: NodeId) -> BackendResult<Vec<NodeId>>;
+
+    /// `I_{G,k}(⟨p, source, target⟩)`: membership test.
+    fn contains(&self, path: &[SignedLabel], source: NodeId, target: NodeId)
+        -> BackendResult<bool>;
+
+    /// Exact `|p(G)|` for an indexed path (`None` when `|p| > k` or the
+    /// relation is empty).
+    fn path_cardinality(&self, path: &[SignedLabel]) -> Option<u64>;
+
+    /// Exact per-path cardinalities `(p, |p(G)|)` gathered at build time —
+    /// the raw material for the k-path histogram.
+    fn per_path_counts(&self) -> &[(Vec<SignedLabel>, u64)];
+
+    /// `|paths_k(G)|` — the selectivity denominator.
+    fn paths_k_size(&self) -> u64;
+
+    /// Structural statistics of the backend.
+    fn stats(&self) -> BackendStats;
+}
+
+/// Checks the planner contract `1 ≤ |path| ≤ k`, producing the shared error.
+pub fn check_scan_path(backend: &'static str, k: usize, path: &[SignedLabel]) -> BackendResult<()> {
+    if path.is_empty() || path.len() > k {
+        return Err(BackendError::new(
+            backend,
+            format!(
+                "scan_path expects a path of length 1..={k}, got length {}",
+                path.len()
+            ),
+        ));
+    }
+    Ok(())
+}
+
+impl<B: PathIndexBackend + ?Sized> PathIndexBackend for &B {
+    fn backend_name(&self) -> &'static str {
+        (**self).backend_name()
+    }
+
+    fn k(&self) -> usize {
+        (**self).k()
+    }
+
+    fn node_count(&self) -> usize {
+        (**self).node_count()
+    }
+
+    fn scan_path(&self, path: &[SignedLabel]) -> BackendResult<BackendScan<'_>> {
+        (**self).scan_path(path)
+    }
+
+    fn scan_path_from(&self, path: &[SignedLabel], source: NodeId) -> BackendResult<Vec<NodeId>> {
+        (**self).scan_path_from(path, source)
+    }
+
+    fn contains(
+        &self,
+        path: &[SignedLabel],
+        source: NodeId,
+        target: NodeId,
+    ) -> BackendResult<bool> {
+        (**self).contains(path, source, target)
+    }
+
+    fn path_cardinality(&self, path: &[SignedLabel]) -> Option<u64> {
+        (**self).path_cardinality(path)
+    }
+
+    fn per_path_counts(&self) -> &[(Vec<SignedLabel>, u64)] {
+        (**self).per_path_counts()
+    }
+
+    fn paths_k_size(&self) -> u64 {
+        (**self).paths_k_size()
+    }
+
+    fn stats(&self) -> BackendStats {
+        (**self).stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_error_display_and_accessors() {
+        let e = BackendError::new("paged", "page 7 unreadable");
+        assert_eq!(e.backend(), "paged");
+        assert_eq!(e.message(), "page 7 unreadable");
+        assert!(e.to_string().contains("paged backend error"));
+        let io = std::io::Error::other("disk gone");
+        let e2 = BackendError::io("paged", &io);
+        assert!(e2.message().contains("disk gone"));
+    }
+
+    #[test]
+    fn scan_path_contract_is_checked() {
+        assert!(check_scan_path("memory", 2, &[]).is_err());
+        let l = SignedLabel::from_code(0);
+        assert!(check_scan_path("memory", 2, &[l]).is_ok());
+        assert!(check_scan_path("memory", 2, &[l, l]).is_ok());
+        let err = check_scan_path("memory", 2, &[l, l, l]).unwrap_err();
+        assert!(err.message().contains("1..=2"));
+    }
+}

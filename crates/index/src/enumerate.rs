@@ -181,8 +181,7 @@ mod tests {
         // Exhaustively enumerate all signed label sequences of length ≤ k and
         // verify presence iff non-empty.
         let alphabet: Vec<SignedLabel> = g.signed_labels().collect();
-        let mut all_paths: Vec<Vec<SignedLabel>> =
-            alphabet.iter().map(|&sl| vec![sl]).collect();
+        let mut all_paths: Vec<Vec<SignedLabel>> = alphabet.iter().map(|&sl| vec![sl]).collect();
         let singles = all_paths.clone();
         for _ in 1..k {
             let mut next = Vec::new();

@@ -55,22 +55,13 @@ impl<'a> CardinalityEstimator<'a> {
         }
         let k = self.histogram.k();
         if path.len() <= k {
-            return self
-                .histogram
-                .estimated_cardinality(path)
-                .unwrap_or(0.0);
+            return self.histogram.estimated_cardinality(path).unwrap_or(0.0);
         }
         let mut chunks = path.chunks(k);
         let first = chunks.next().expect("non-empty path has a first chunk");
-        let mut estimate = self
-            .histogram
-            .estimated_cardinality(first)
-            .unwrap_or(0.0);
+        let mut estimate = self.histogram.estimated_cardinality(first).unwrap_or(0.0);
         for chunk in chunks {
-            let chunk_card = self
-                .histogram
-                .estimated_cardinality(chunk)
-                .unwrap_or(0.0);
+            let chunk_card = self.histogram.estimated_cardinality(chunk).unwrap_or(0.0);
             estimate = self.join_cardinality(estimate, chunk_card);
         }
         estimate

@@ -86,35 +86,32 @@ impl PathHistogram {
             }
             EstimationMode::EquiDepth { buckets: requested } => {
                 let requested = requested.max(1);
-                let mut sorted: Vec<(&Vec<SignedLabel>, u64)> = per_path_counts
-                    .iter()
-                    .map(|(p, c)| (p, *c))
-                    .collect();
+                let mut sorted: Vec<(&Vec<SignedLabel>, u64)> =
+                    per_path_counts.iter().map(|(p, c)| (p, *c)).collect();
                 sorted.sort_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(b.0)));
                 let grand_total: u64 = sorted.iter().map(|(_, c)| *c).sum();
                 let depth_target = (grand_total as f64 / requested as f64).max(1.0);
                 let mut current: Vec<(&Vec<SignedLabel>, u64)> = Vec::new();
                 let mut current_depth = 0u64;
-                let flush =
-                    |members: &mut Vec<(&Vec<SignedLabel>, u64)>,
-                     estimates: &mut HashMap<Vec<SignedLabel>, f64>,
-                     buckets: &mut Vec<BucketSummary>| {
-                        if members.is_empty() {
-                            return;
-                        }
-                        let total: u64 = members.iter().map(|(_, c)| *c).sum();
-                        let estimate = total as f64 / members.len() as f64;
-                        buckets.push(BucketSummary {
-                            paths: members.len(),
-                            total_count: total,
-                            estimate,
-                            min_count: members.iter().map(|(_, c)| *c).min().unwrap_or(0),
-                            max_count: members.iter().map(|(_, c)| *c).max().unwrap_or(0),
-                        });
-                        for (path, _) in members.drain(..) {
-                            estimates.insert(path.clone(), estimate);
-                        }
-                    };
+                let flush = |members: &mut Vec<(&Vec<SignedLabel>, u64)>,
+                             estimates: &mut HashMap<Vec<SignedLabel>, f64>,
+                             buckets: &mut Vec<BucketSummary>| {
+                    if members.is_empty() {
+                        return;
+                    }
+                    let total: u64 = members.iter().map(|(_, c)| *c).sum();
+                    let estimate = total as f64 / members.len() as f64;
+                    buckets.push(BucketSummary {
+                        paths: members.len(),
+                        total_count: total,
+                        estimate,
+                        min_count: members.iter().map(|(_, c)| *c).min().unwrap_or(0),
+                        max_count: members.iter().map(|(_, c)| *c).max().unwrap_or(0),
+                    });
+                    for (path, _) in members.drain(..) {
+                        estimates.insert(path.clone(), estimate);
+                    }
+                };
                 for (path, count) in sorted {
                     // Close the current bucket before a heavy path would blow
                     // past the depth target; heavy hitters then occupy their

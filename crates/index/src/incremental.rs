@@ -206,11 +206,7 @@ impl IncrementalKPathIndex {
     /// Exact distinct-pair cardinalities `(p, |p(G)|)`, the raw material for
     /// rebuilding a [`crate::PathHistogram`] after a batch of updates.
     pub fn per_path_counts(&self) -> Vec<(Vec<SignedLabel>, u64)> {
-        let mut counts: Vec<_> = self
-            .per_path
-            .iter()
-            .map(|(p, c)| (p.clone(), *c))
-            .collect();
+        let mut counts: Vec<_> = self.per_path.iter().map(|(p, c)| (p.clone(), *c)).collect();
         counts.sort_by(|a, b| (a.0.len(), &a.0).cmp(&(b.0.len(), &b.0)));
         counts
     }
@@ -735,70 +731,72 @@ mod tests {
 
     mod property {
         use super::*;
-        use proptest::prelude::*;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
 
-        /// A random update script over ≤ 5 nodes and 2 labels; deletions pick
+        /// A random update over ≤ 5 nodes and 2 labels; deletions pick
         /// arbitrary edges and are skipped when absent, so scripts freely mix
         /// effective and no-op updates.
-        fn update_strategy() -> impl Strategy<Value = GraphUpdate> {
-            (0u32..5, 0u16..2, 0u32..5, proptest::bool::ANY).prop_map(|(s, l, d, insert)| {
-                if insert {
-                    GraphUpdate::InsertEdge {
-                        src: NodeId(s),
-                        label: LabelId(l),
-                        dst: NodeId(d),
-                    }
-                } else {
-                    GraphUpdate::DeleteEdge {
-                        src: NodeId(s),
-                        label: LabelId(l),
-                        dst: NodeId(d),
-                    }
-                }
-            })
+        fn random_update(rng: &mut StdRng) -> GraphUpdate {
+            let src = NodeId(rng.gen_range(0..5u32));
+            let label = LabelId(rng.gen_range(0..2u32) as u16);
+            let dst = NodeId(rng.gen_range(0..5u32));
+            if rng.gen_bool(0.5) {
+                GraphUpdate::InsertEdge { src, label, dst }
+            } else {
+                GraphUpdate::DeleteEdge { src, label, dst }
+            }
         }
 
-        proptest! {
-            #![proptest_config(ProptestConfig::with_cases(64))]
-
-            /// After any update script, every path's pair set equals a fresh
-            /// evaluation over the surviving edge set.
-            #[test]
-            fn random_update_scripts_match_oracle(
-                script in proptest::collection::vec(update_strategy(), 1..40),
-                k in 1usize..=3,
-            ) {
+        /// After any update script, every path's pair set equals a fresh
+        /// evaluation over the surviving edge set.
+        #[test]
+        fn random_update_scripts_match_oracle() {
+            for case in 0..64u64 {
+                let mut rng = StdRng::seed_from_u64(0x0AC1E + case);
+                let k = rng.gen_range(1..=3usize);
                 let mut index = IncrementalKPathIndex::new(k);
                 let mut edges: BTreeSet<Edge> = BTreeSet::new();
-                for update in script {
+                for _ in 0..rng.gen_range(1..40usize) {
+                    let update = random_update(&mut rng);
                     let changed = index.apply(update);
                     let expected_change = match update {
-                        GraphUpdate::InsertEdge { src, label, dst } => edges.insert((src, label, dst)),
-                        GraphUpdate::DeleteEdge { src, label, dst } => edges.remove(&(src, label, dst)),
+                        GraphUpdate::InsertEdge { src, label, dst } => {
+                            edges.insert((src, label, dst))
+                        }
+                        GraphUpdate::DeleteEdge { src, label, dst } => {
+                            edges.remove(&(src, label, dst))
+                        }
                     };
-                    prop_assert_eq!(changed, expected_change);
+                    assert_eq!(changed, expected_change, "case {case}");
                 }
                 for path in all_paths(2, k) {
-                    prop_assert_eq!(index.scan_path(&path), oracle_pairs(&edges, &path));
+                    assert_eq!(
+                        index.scan_path(&path),
+                        oracle_pairs(&edges, &path),
+                        "case {case}"
+                    );
                 }
             }
+        }
 
-            /// Walk counts are symmetric under path inversion: the number of
-            /// p-walks a→b equals the number of p⁻-walks b→a.
-            #[test]
-            fn walk_counts_are_converse_symmetric(
-                script in proptest::collection::vec(update_strategy(), 1..25),
-            ) {
+        /// Walk counts are symmetric under path inversion: the number of
+        /// p-walks a→b equals the number of p⁻-walks b→a.
+        #[test]
+        fn walk_counts_are_converse_symmetric() {
+            for case in 0..64u64 {
+                let mut rng = StdRng::seed_from_u64(0xC0A0E + case);
                 let mut index = IncrementalKPathIndex::new(2);
-                for update in script {
-                    index.apply(update);
+                for _ in 0..rng.gen_range(1..25usize) {
+                    index.apply(random_update(&mut rng));
                 }
                 for path in all_paths(2, 2) {
                     let inv = pathix_rpq::ast::inverse_path(&path);
                     for (a, b) in index.scan_path(&path) {
-                        prop_assert_eq!(
+                        assert_eq!(
                             index.walk_count(&path, a, b),
-                            index.walk_count(&inv, b, a)
+                            index.walk_count(&inv, b, a),
+                            "case {case}"
                         );
                     }
                 }

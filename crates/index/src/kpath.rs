@@ -1,9 +1,8 @@
 //! The localized k-path index `I_{G,k}`.
 
+use crate::backend::{check_scan_path, BackendResult, BackendScan, BackendStats, PathIndexBackend};
 use crate::enumerate::{enumerate_paths, paths_k_cardinality, PathRelation};
-use crate::pathkey::{
-    decode_pair, encode_entry, encode_path_prefix, encode_path_source_prefix,
-};
+use crate::pathkey::{decode_pair, encode_entry, encode_path_prefix, encode_path_source_prefix};
 use pathix_graph::{Graph, NodeId, SignedLabel};
 use pathix_storage::btree::RangeIter;
 use pathix_storage::BPlusTree;
@@ -56,11 +55,7 @@ impl KPathIndex {
     /// Builds the index from pre-computed relations. Exposed so callers that
     /// already enumerated paths (e.g. to build the histogram with a custom
     /// mode) do not pay for enumeration twice.
-    pub fn build_from_relations(
-        graph: &Graph,
-        k: usize,
-        relations: Vec<PathRelation>,
-    ) -> Self {
+    pub fn build_from_relations(graph: &Graph, k: usize, relations: Vec<PathRelation>) -> Self {
         let start = Instant::now();
         let paths_k_size = paths_k_cardinality(graph, &relations);
         Self::from_relations(graph, k, relations, paths_k_size, start)
@@ -169,6 +164,63 @@ impl KPathIndex {
             tree_nodes: tree_stats.node_count,
             approx_bytes: tree_stats.approx_key_bytes,
             build_time: self.build_time,
+        }
+    }
+}
+
+impl PathIndexBackend for KPathIndex {
+    fn backend_name(&self) -> &'static str {
+        "memory"
+    }
+
+    fn k(&self) -> usize {
+        self.k
+    }
+
+    fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    fn scan_path(&self, path: &[SignedLabel]) -> BackendResult<BackendScan<'_>> {
+        check_scan_path(self.backend_name(), self.k, path)?;
+        Ok(Box::new(KPathIndex::scan_path(self, path).map(Ok)))
+    }
+
+    fn scan_path_from(&self, path: &[SignedLabel], source: NodeId) -> BackendResult<Vec<NodeId>> {
+        check_scan_path(self.backend_name(), self.k, path)?;
+        Ok(KPathIndex::scan_path_from(self, path, source))
+    }
+
+    fn contains(
+        &self,
+        path: &[SignedLabel],
+        source: NodeId,
+        target: NodeId,
+    ) -> BackendResult<bool> {
+        Ok(KPathIndex::contains(self, path, source, target))
+    }
+
+    fn path_cardinality(&self, path: &[SignedLabel]) -> Option<u64> {
+        KPathIndex::path_cardinality(self, path)
+    }
+
+    fn per_path_counts(&self) -> &[(Vec<SignedLabel>, u64)] {
+        KPathIndex::per_path_counts(self)
+    }
+
+    fn paths_k_size(&self) -> u64 {
+        self.paths_k_size
+    }
+
+    fn stats(&self) -> BackendStats {
+        let s = KPathIndex::stats(self);
+        BackendStats {
+            backend: self.backend_name(),
+            k: s.k,
+            entries: s.entries as u64,
+            distinct_paths: s.distinct_paths,
+            paths_k_size: s.paths_k_size,
+            approx_bytes: s.approx_bytes as u64,
         }
     }
 }
@@ -284,11 +336,10 @@ mod tests {
         let stats = index.stats();
         assert_eq!(stats.k, 1);
         assert_eq!(stats.distinct_paths, 6);
-        assert_eq!(stats.entries as u64, index
-            .per_path_counts()
-            .iter()
-            .map(|(_, c)| *c)
-            .sum::<u64>());
+        assert_eq!(
+            stats.entries as u64,
+            index.per_path_counts().iter().map(|(_, c)| *c).sum::<u64>()
+        );
     }
 
     #[test]

@@ -28,6 +28,7 @@
 //! assert!(!pairs.is_empty());
 //! ```
 
+pub mod backend;
 pub mod enumerate;
 pub mod estimate;
 pub mod histogram;
@@ -36,9 +37,10 @@ pub mod kpath;
 pub mod parallel;
 pub mod pathkey;
 
-pub use enumerate::{enumerate_paths, naive_path_eval, PathRelation};
-pub use incremental::{GraphUpdate, IncrementalKPathIndex};
-pub use parallel::enumerate_paths_parallel;
+pub use backend::{BackendError, BackendResult, BackendScan, BackendStats, PathIndexBackend};
+pub use enumerate::{enumerate_paths, naive_path_eval, paths_k_cardinality, PathRelation};
 pub use estimate::CardinalityEstimator;
 pub use histogram::{EstimationMode, PathHistogram};
+pub use incremental::{GraphUpdate, IncrementalKPathIndex};
 pub use kpath::{IndexStats, KPathIndex};
+pub use parallel::enumerate_paths_parallel;

@@ -2,7 +2,7 @@
 //!
 //! Index construction is the expensive part of the paper's approach (the
 //! price paid once so that queries become index lookups). This module
-//! parallelizes it with `crossbeam` scoped threads: the signed level-1 labels
+//! parallelizes it with `std::thread` scoped threads: the signed level-1 labels
 //! are partitioned across worker threads and each worker extends *all* label
 //! paths that start with its assigned labels up to length k. Every label path
 //! starts with exactly one signed label, so the workers' outputs are disjoint
@@ -30,18 +30,17 @@ pub fn enumerate_paths_parallel(graph: &Graph, k: usize, threads: usize) -> Vec<
     }
     let chunk_size = seeds.len().div_ceil(threads);
 
-    let mut result: Vec<PathRelation> = crossbeam::thread::scope(|scope| {
+    let mut result: Vec<PathRelation> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for chunk in seeds.chunks(chunk_size) {
-            handles.push(scope.spawn(move |_| enumerate_from_seeds(graph, k, chunk)));
+            handles.push(scope.spawn(move || enumerate_from_seeds(graph, k, chunk)));
         }
         let mut all = Vec::new();
         for handle in handles {
             all.append(&mut handle.join().expect("enumeration worker panicked"));
         }
         all
-    })
-    .expect("crossbeam scope failed");
+    });
 
     result.sort_by(|a, b| (a.path.len(), &a.path).cmp(&(b.path.len(), &b.path)));
     result

@@ -29,6 +29,12 @@ use crate::slotted;
 use pathix_storage::prefix_successor;
 use std::io;
 
+/// A leaf cell: key and value bytes.
+type LeafEntry = (Vec<u8>, Vec<u8>);
+
+/// An internal cell: separator key and child page.
+type InternalCell = (Vec<u8>, PageId);
+
 const META_MAGIC: u32 = 0x5058_5049; // "PXPI"
 const META_OFF_MAGIC: usize = 12;
 const META_OFF_ROOT: usize = 16;
@@ -193,7 +199,7 @@ impl PagedBTree {
         (key, PageId(child))
     }
 
-    fn read_leaf(&self, pid: PageId) -> io::Result<(Vec<(Vec<u8>, Vec<u8>)>, PageId)> {
+    fn read_leaf(&self, pid: PageId) -> io::Result<(Vec<LeafEntry>, PageId)> {
         self.pool.with_page(pid, |p| {
             debug_assert_eq!(slotted::kind(p), slotted::KIND_LEAF, "{pid} is not a leaf");
             let entries = (0..slotted::cell_count(p))
@@ -203,7 +209,7 @@ impl PagedBTree {
         })
     }
 
-    fn read_internal(&self, pid: PageId) -> io::Result<(Vec<(Vec<u8>, PageId)>, PageId)> {
+    fn read_internal(&self, pid: PageId) -> io::Result<(Vec<InternalCell>, PageId)> {
         self.pool.with_page(pid, |p| {
             debug_assert_eq!(
                 slotted::kind(p),
@@ -217,13 +223,19 @@ impl PagedBTree {
         })
     }
 
-    fn write_leaf(&self, pid: PageId, entries: &[(Vec<u8>, Vec<u8>)], next: PageId) -> io::Result<()> {
+    fn write_leaf(
+        &self,
+        pid: PageId,
+        entries: &[(Vec<u8>, Vec<u8>)],
+        next: PageId,
+    ) -> io::Result<()> {
         let cells: Vec<Vec<u8>> = entries
             .iter()
             .map(|(k, v)| Self::encode_leaf_cell(k, v))
             .collect();
-        self.pool
-            .with_page_mut(pid, |p| slotted::rewrite(p, slotted::KIND_LEAF, next.0, &cells))
+        self.pool.with_page_mut(pid, |p| {
+            slotted::rewrite(p, slotted::KIND_LEAF, next.0, &cells)
+        })
     }
 
     fn write_internal(
@@ -418,7 +430,7 @@ impl PagedBTree {
         let mut prev_key: Option<Vec<u8>> = None;
 
         let flush_leaf = |current: &mut Vec<(Vec<u8>, Vec<u8>)>,
-                              leaves: &mut Vec<(Vec<u8>, PageId)>|
+                          leaves: &mut Vec<(Vec<u8>, PageId)>|
          -> io::Result<()> {
             if current.is_empty() {
                 return Ok(());
@@ -622,7 +634,13 @@ impl PagedBTree {
             } else {
                 upper
             };
-            self.check_node(cells[i].1, level - 1, child_lower, child_upper, leaf_entries)?;
+            self.check_node(
+                cells[i].1,
+                level - 1,
+                child_lower,
+                child_upper,
+                leaf_entries,
+            )?;
         }
         Ok(())
     }
@@ -770,8 +788,7 @@ mod tests {
         assert!(tree.is_empty());
         tree.check_invariants().unwrap();
 
-        let tree =
-            PagedBTree::bulk_load(BufferPool::in_memory(8), vec![(key(1), val(1))]).unwrap();
+        let tree = PagedBTree::bulk_load(BufferPool::in_memory(8), vec![(key(1), val(1))]).unwrap();
         assert_eq!(tree.len(), 1);
         assert_eq!(tree.get(&key(1)).unwrap(), Some(val(1)));
         tree.check_invariants().unwrap();
@@ -830,8 +847,7 @@ mod tests {
         let n = 1_200u32;
         {
             let pool = BufferPool::new(crate::DiskManager::create(&path).unwrap(), 16);
-            let mut tree =
-                PagedBTree::bulk_load(pool, (0..n).map(|i| (key(i), val(i)))).unwrap();
+            let mut tree = PagedBTree::bulk_load(pool, (0..n).map(|i| (key(i), val(i)))).unwrap();
             tree.flush().unwrap();
         }
         {
@@ -863,6 +879,9 @@ mod tests {
         }
         let stats = tree.pool().stats();
         assert!(stats.evictions > 0);
-        assert!(stats.misses > stats.hits / 100, "pool is too small to mostly hit");
+        assert!(
+            stats.misses > stats.hits / 100,
+            "pool is too small to mostly hit"
+        );
     }
 }

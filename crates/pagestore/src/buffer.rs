@@ -8,15 +8,15 @@
 //! benchmark harness can report the I/O behaviour of cold vs. warm index
 //! scans.
 //!
-//! The pool is internally synchronized with a [`parking_lot::Mutex`], so a
+//! The pool is internally synchronized with a [`std::sync::Mutex`], so a
 //! shared reference can be used from several threads (the parallel query
 //! executor scans disjuncts concurrently).
 
 use crate::disk::{DiskManager, DiskStats};
 use crate::page::{PageId, PAGE_SIZE};
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io;
+use std::sync::Mutex;
 
 /// Cache-behaviour counters of a [`BufferPool`].
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -67,6 +67,14 @@ pub struct BufferPool {
 }
 
 impl BufferPool {
+    /// Locks the pool, recovering the guard if a panicking thread poisoned
+    /// the mutex (the pool's state is a cache and stays structurally valid).
+    fn locked(&self) -> std::sync::MutexGuard<'_, PoolInner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
     /// Creates a pool with room for `capacity` resident pages (minimum 2:
     /// the B+tree meta page plus one data page).
     pub fn new(disk: DiskManager, capacity: usize) -> Self {
@@ -89,37 +97,37 @@ impl BufferPool {
 
     /// Number of frames in the pool.
     pub fn capacity(&self) -> usize {
-        self.inner.lock().frames.len()
+        self.locked().frames.len()
     }
 
     /// Number of pages allocated on the underlying disk.
     pub fn num_pages(&self) -> u32 {
-        self.inner.lock().disk.num_pages()
+        self.locked().disk.num_pages()
     }
 
     /// Size of the backing store in bytes.
     pub fn size_bytes(&self) -> u64 {
-        self.inner.lock().disk.size_bytes()
+        self.locked().disk.size_bytes()
     }
 
     /// Cache statistics so far.
     pub fn stats(&self) -> PoolStats {
-        self.inner.lock().stats
+        self.locked().stats
     }
 
     /// Physical I/O statistics of the underlying disk manager.
     pub fn disk_stats(&self) -> DiskStats {
-        self.inner.lock().disk.stats()
+        self.locked().disk.stats()
     }
 
     /// Resets the hit/miss/eviction counters (the disk counters are kept).
     pub fn reset_stats(&self) {
-        self.inner.lock().stats = PoolStats::default();
+        self.locked().stats = PoolStats::default();
     }
 
     /// Allocates a fresh page on disk and caches it (zero-filled, dirty).
     pub fn allocate_page(&self) -> io::Result<PageId> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.locked();
         let pid = inner.disk.allocate()?;
         let frame_idx = inner.acquire_frame(pid)?;
         let frame = &mut inner.frames[frame_idx];
@@ -131,7 +139,7 @@ impl BufferPool {
 
     /// Runs `f` over an immutable view of page `pid`.
     pub fn with_page<R>(&self, pid: PageId, f: impl FnOnce(&[u8]) -> R) -> io::Result<R> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.locked();
         let frame_idx = inner.load_frame(pid)?;
         let frame = &mut inner.frames[frame_idx];
         frame.referenced = true;
@@ -140,7 +148,7 @@ impl BufferPool {
 
     /// Runs `f` over a mutable view of page `pid` and marks the page dirty.
     pub fn with_page_mut<R>(&self, pid: PageId, f: impl FnOnce(&mut [u8]) -> R) -> io::Result<R> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.locked();
         let frame_idx = inner.load_frame(pid)?;
         let frame = &mut inner.frames[frame_idx];
         frame.referenced = true;
@@ -150,7 +158,7 @@ impl BufferPool {
 
     /// Writes every dirty resident page back to disk and syncs the file.
     pub fn flush_all(&self) -> io::Result<()> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.locked();
         for idx in 0..inner.frames.len() {
             inner.write_back(idx)?;
         }
@@ -241,7 +249,8 @@ mod tests {
         let mut pids = Vec::new();
         for i in 0..16u32 {
             let pid = pool.allocate_page().unwrap();
-            pool.with_page_mut(pid, |p| put_u32(p, 0, i * 7 + 1)).unwrap();
+            pool.with_page_mut(pid, |p| put_u32(p, 0, i * 7 + 1))
+                .unwrap();
             pids.push(pid);
         }
         for (i, pid) in pids.iter().enumerate() {
@@ -278,7 +287,8 @@ mod tests {
         {
             let pool = BufferPool::new(DiskManager::create(&path).unwrap(), 4);
             let pid = pool.allocate_page().unwrap();
-            pool.with_page_mut(pid, |p| put_u32(p, 100, 0xC0FFEE)).unwrap();
+            pool.with_page_mut(pid, |p| put_u32(p, 100, 0xC0FFEE))
+                .unwrap();
             pool.flush_all().unwrap();
         }
         {

@@ -13,10 +13,13 @@
 //! instead of seeking directly.
 
 use crate::varint::{encode_pairs, PairDecoder};
-use pathix_graph::{NodeId, SignedLabel};
-use pathix_index::pathkey::encode_path_prefix;
-use pathix_index::{enumerate_paths, KPathIndex};
 use pathix_graph::Graph;
+use pathix_graph::{NodeId, SignedLabel};
+use pathix_index::backend::{
+    check_scan_path, BackendResult, BackendScan, BackendStats, PathIndexBackend,
+};
+use pathix_index::pathkey::encode_path_prefix;
+use pathix_index::{enumerate_paths, paths_k_cardinality, KPathIndex};
 use std::collections::BTreeMap;
 
 /// Size accounting of a [`CompressedPathStore`] compared against the
@@ -49,6 +52,9 @@ impl CompressionStats {
 #[derive(Debug, Clone)]
 pub struct CompressedPathStore {
     k: usize,
+    node_count: usize,
+    per_path_counts: Vec<(Vec<SignedLabel>, u64)>,
+    paths_k_size: u64,
     blocks: BTreeMap<Vec<u8>, Block>,
 }
 
@@ -62,12 +68,14 @@ impl CompressedPathStore {
     /// Builds the store for every label path of length ≤ k over `graph`.
     pub fn build(graph: &Graph, k: usize) -> Self {
         let relations = enumerate_paths(graph, k);
+        let paths_k_size = paths_k_cardinality(graph, &relations);
+        let mut per_path_counts = Vec::with_capacity(relations.len());
         let mut blocks = BTreeMap::new();
         for rel in &relations {
-            let mut pairs: Vec<(u32, u32)> =
-                rel.pairs.iter().map(|(s, t)| (s.0, t.0)).collect();
+            let mut pairs: Vec<(u32, u32)> = rel.pairs.iter().map(|(s, t)| (s.0, t.0)).collect();
             pairs.sort_unstable();
             pairs.dedup();
+            per_path_counts.push((rel.path.clone(), pairs.len() as u64));
             blocks.insert(
                 encode_path_prefix(&rel.path),
                 Block {
@@ -76,20 +84,26 @@ impl CompressedPathStore {
                 },
             );
         }
-        CompressedPathStore { k, blocks }
+        CompressedPathStore {
+            k,
+            node_count: graph.node_count(),
+            per_path_counts,
+            paths_k_size,
+            blocks,
+        }
     }
 
     /// Builds the store from an already-constructed [`KPathIndex`] (avoids
     /// re-enumerating paths when both representations are wanted).
     pub fn from_index(index: &KPathIndex) -> Self {
+        let mut per_path_counts = Vec::with_capacity(index.per_path_counts().len());
         let mut blocks = BTreeMap::new();
         for (path, _) in index.per_path_counts() {
-            let mut pairs: Vec<(u32, u32)> = index
-                .scan_path(path)
-                .map(|(s, t)| (s.0, t.0))
-                .collect();
+            let mut pairs: Vec<(u32, u32)> =
+                index.scan_path(path).map(|(s, t)| (s.0, t.0)).collect();
             pairs.sort_unstable();
             pairs.dedup();
+            per_path_counts.push((path.clone(), pairs.len() as u64));
             blocks.insert(
                 encode_path_prefix(path),
                 Block {
@@ -100,8 +114,16 @@ impl CompressedPathStore {
         }
         CompressedPathStore {
             k: index.k(),
+            node_count: index.node_count(),
+            per_path_counts,
+            paths_k_size: index.paths_k_size(),
             blocks,
         }
+    }
+
+    /// Number of nodes of the indexed graph.
+    pub fn node_count(&self) -> usize {
+        self.node_count
     }
 
     /// The locality parameter the store was built with.
@@ -169,6 +191,65 @@ impl CompressedPathStore {
             pairs,
             compressed_bytes: compressed,
             uncompressed_bytes: uncompressed,
+        }
+    }
+}
+
+impl PathIndexBackend for CompressedPathStore {
+    fn backend_name(&self) -> &'static str {
+        "compressed"
+    }
+
+    fn k(&self) -> usize {
+        self.k
+    }
+
+    fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    fn scan_path(&self, path: &[SignedLabel]) -> BackendResult<BackendScan<'_>> {
+        check_scan_path(self.backend_name(), self.k, path)?;
+        Ok(Box::new(
+            CompressedPathStore::scan_path(self, path).map(|(s, t)| Ok((NodeId(s), NodeId(t)))),
+        ))
+    }
+
+    fn scan_path_from(&self, path: &[SignedLabel], source: NodeId) -> BackendResult<Vec<NodeId>> {
+        check_scan_path(self.backend_name(), self.k, path)?;
+        Ok(self.targets_from(path, source))
+    }
+
+    fn contains(
+        &self,
+        path: &[SignedLabel],
+        source: NodeId,
+        target: NodeId,
+    ) -> BackendResult<bool> {
+        Ok(CompressedPathStore::contains(self, path, source, target))
+    }
+
+    fn path_cardinality(&self, path: &[SignedLabel]) -> Option<u64> {
+        CompressedPathStore::path_cardinality(self, path)
+    }
+
+    fn per_path_counts(&self) -> &[(Vec<SignedLabel>, u64)] {
+        &self.per_path_counts
+    }
+
+    fn paths_k_size(&self) -> u64 {
+        self.paths_k_size
+    }
+
+    fn stats(&self) -> BackendStats {
+        let s = CompressedPathStore::stats(self);
+        BackendStats {
+            backend: self.backend_name(),
+            k: self.k,
+            entries: s.pairs,
+            distinct_paths: s.paths,
+            paths_k_size: self.paths_k_size,
+            approx_bytes: s.compressed_bytes,
         }
     }
 }

@@ -3,17 +3,26 @@
 //! This is the paged counterpart of [`pathix_index::KPathIndex`]: the same
 //! search key `⟨label path, sourceID, targetID⟩` and the same three lookup
 //! shapes (Example 3.1 of the paper), but entries live in buffer-pool pages
-//! so index size, build I/O and cold-vs-warm scan behaviour can be measured —
-//! the questions studied by the companion work the paper cites (ref. [14]).
+//! so the index can be (much) larger than memory and its I/O behaviour can be
+//! measured — the questions studied by the companion work the paper cites
+//! (ref. [14]).
+//!
+//! The index implements [`PathIndexBackend`], so the whole query pipeline
+//! (`pathix-exec` operators, every `pathix-plan` strategy, `PathDb`) runs
+//! directly against it; scans stream page by page and surface I/O errors as
+//! [`BackendError`]s instead of materializing or panicking.
 
-use crate::btree::{PagedBTree, PagedTreeStats};
+use crate::btree::{PagedBTree, PagedRangeIter, PagedTreeStats};
 use crate::buffer::{BufferPool, PoolStats};
 use crate::disk::DiskManager;
 use pathix_graph::{Graph, NodeId, SignedLabel};
+use pathix_index::backend::{
+    check_scan_path, BackendError, BackendResult, BackendScan, BackendStats, PathIndexBackend,
+};
 use pathix_index::pathkey::{
     decode_entry, encode_entry, encode_path_prefix, encode_path_source_prefix,
 };
-use pathix_index::enumerate_paths;
+use pathix_index::{enumerate_paths, paths_k_cardinality};
 use std::io;
 
 /// Construction and size statistics of a [`PagedPathIndex`].
@@ -33,7 +42,9 @@ pub struct PagedIndexStats {
 #[derive(Debug)]
 pub struct PagedPathIndex {
     k: usize,
-    paths: usize,
+    node_count: usize,
+    per_path_counts: Vec<(Vec<SignedLabel>, u64)>,
+    paths_k_size: u64,
     tree: PagedBTree,
 }
 
@@ -41,7 +52,11 @@ impl PagedPathIndex {
     /// Builds the index for `graph` with locality `k` into a fresh in-memory
     /// page store with `pool_frames` buffer frames.
     pub fn build_in_memory(graph: &Graph, k: usize, pool_frames: usize) -> io::Result<Self> {
-        Self::build(graph, k, BufferPool::new(DiskManager::in_memory(), pool_frames))
+        Self::build(
+            graph,
+            k,
+            BufferPool::new(DiskManager::in_memory(), pool_frames),
+        )
     }
 
     /// Builds the index for `graph` with locality `k` into a page file at
@@ -52,35 +67,51 @@ impl PagedPathIndex {
         path: P,
         pool_frames: usize,
     ) -> io::Result<Self> {
-        Self::build(graph, k, BufferPool::new(DiskManager::create(path)?, pool_frames))
+        Self::build(
+            graph,
+            k,
+            BufferPool::new(DiskManager::create(path)?, pool_frames),
+        )
     }
 
     /// Builds the index into the given (empty) buffer pool.
     pub fn build(graph: &Graph, k: usize, pool: BufferPool) -> io::Result<Self> {
         let relations = enumerate_paths(graph, k);
-        let paths = relations.len();
+        let paths_k_size = paths_k_cardinality(graph, &relations);
         // Entries must reach bulk_load in key order; relations are produced
         // per path, so collect and sort the full key set once.
+        let mut per_path_counts = Vec::with_capacity(relations.len());
         let mut keys: Vec<Vec<u8>> = Vec::new();
         for rel in &relations {
             let mut pairs = rel.pairs.clone();
             pairs.sort_unstable();
             pairs.dedup();
+            per_path_counts.push((rel.path.clone(), pairs.len() as u64));
             for (s, t) in pairs {
                 keys.push(encode_entry(&rel.path, s, t));
             }
         }
         keys.sort_unstable();
         keys.dedup();
-        let mut tree =
-            PagedBTree::bulk_load(pool, keys.into_iter().map(|k| (k, Vec::new())))?;
+        let mut tree = PagedBTree::bulk_load(pool, keys.into_iter().map(|k| (k, Vec::new())))?;
         tree.flush()?;
-        Ok(PagedPathIndex { k, paths, tree })
+        Ok(PagedPathIndex {
+            k,
+            node_count: graph.node_count(),
+            per_path_counts,
+            paths_k_size,
+            tree,
+        })
     }
 
     /// The locality parameter k.
     pub fn k(&self) -> usize {
         self.k
+    }
+
+    /// Number of nodes of the indexed graph.
+    pub fn node_count(&self) -> usize {
+        self.node_count
     }
 
     /// Number of `⟨p, a, b⟩` entries.
@@ -98,7 +129,7 @@ impl PagedPathIndex {
         PagedIndexStats {
             k: self.k,
             entries: self.tree.len(),
-            paths: self.paths,
+            paths: self.per_path_counts.len(),
             tree: self.tree.stats(),
         }
     }
@@ -113,26 +144,25 @@ impl PagedPathIndex {
         self.tree.pool().reset_stats()
     }
 
-    /// `I_{G,k}(p)`: every pair connected by label path `p`, ordered by
-    /// `(source, target)`.
-    pub fn scan_path(&self, path: &[SignedLabel]) -> io::Result<Vec<(NodeId, NodeId)>> {
+    /// `I_{G,k}(p)`: a **streaming** scan of every pair connected by label
+    /// path `p`, ordered by `(source, target)`. Pages are pulled through the
+    /// buffer pool as the iterator advances; I/O failures surface as items.
+    pub fn stream_path(&self, path: &[SignedLabel]) -> io::Result<PagedPairScan<'_>> {
         let prefix = encode_path_prefix(path);
-        let mut out = Vec::new();
-        for item in self.tree.scan_prefix(&prefix)? {
-            let (key, _) = item?;
-            if let Some((_, s, t)) = decode_entry(&key) {
-                out.push((s, t));
-            }
-        }
-        Ok(out)
+        Ok(PagedPairScan {
+            inner: self.tree.scan_prefix(&prefix)?,
+        })
+    }
+
+    /// `I_{G,k}(p)`: every pair connected by label path `p`, materialized in
+    /// `(source, target)` order. Convenience wrapper over
+    /// [`PagedPathIndex::stream_path`].
+    pub fn scan_path(&self, path: &[SignedLabel]) -> io::Result<Vec<(NodeId, NodeId)>> {
+        self.stream_path(path)?.collect()
     }
 
     /// `I_{G,k}(p, a)`: targets reachable from `source` via `p`, in order.
-    pub fn scan_path_from(
-        &self,
-        path: &[SignedLabel],
-        source: NodeId,
-    ) -> io::Result<Vec<NodeId>> {
+    pub fn scan_path_from(&self, path: &[SignedLabel], source: NodeId) -> io::Result<Vec<NodeId>> {
         let prefix = encode_path_source_prefix(path, source);
         let mut out = Vec::new();
         for item in self.tree.scan_prefix(&prefix)? {
@@ -152,6 +182,98 @@ impl PagedPathIndex {
         target: NodeId,
     ) -> io::Result<bool> {
         self.tree.contains_key(&encode_entry(path, source, target))
+    }
+}
+
+/// Streaming iterator over the `(source, target)` pairs of one indexed path
+/// in a [`PagedPathIndex`], pulling pages through the buffer pool on demand.
+pub struct PagedPairScan<'a> {
+    inner: PagedRangeIter<'a>,
+}
+
+impl Iterator for PagedPairScan<'_> {
+    type Item = io::Result<(NodeId, NodeId)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self.inner.next()? {
+            Ok((key, _)) => Some(match decode_entry(&key) {
+                Some((_, s, t)) => Ok((s, t)),
+                // Malformed keys cannot appear in a tree we built, but a
+                // corrupted page file could produce one: report it.
+                None => Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "malformed k-path index key",
+                )),
+            }),
+            Err(e) => Some(Err(e)),
+        }
+    }
+}
+
+impl PathIndexBackend for PagedPathIndex {
+    fn backend_name(&self) -> &'static str {
+        "paged"
+    }
+
+    fn k(&self) -> usize {
+        self.k
+    }
+
+    fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    fn scan_path(&self, path: &[SignedLabel]) -> BackendResult<BackendScan<'_>> {
+        check_scan_path(self.backend_name(), self.k, path)?;
+        let scan = self
+            .stream_path(path)
+            .map_err(|e| BackendError::io(self.backend_name(), &e))?;
+        Ok(Box::new(scan.map(|item| {
+            item.map_err(|e| BackendError::io("paged", &e))
+        })))
+    }
+
+    fn scan_path_from(&self, path: &[SignedLabel], source: NodeId) -> BackendResult<Vec<NodeId>> {
+        check_scan_path(self.backend_name(), self.k, path)?;
+        PagedPathIndex::scan_path_from(self, path, source)
+            .map_err(|e| BackendError::io(self.backend_name(), &e))
+    }
+
+    fn contains(
+        &self,
+        path: &[SignedLabel],
+        source: NodeId,
+        target: NodeId,
+    ) -> BackendResult<bool> {
+        PagedPathIndex::contains(self, path, source, target)
+            .map_err(|e| BackendError::io(self.backend_name(), &e))
+    }
+
+    fn path_cardinality(&self, path: &[SignedLabel]) -> Option<u64> {
+        self.per_path_counts
+            .iter()
+            .find(|(p, _)| p == path)
+            .map(|(_, c)| *c)
+    }
+
+    fn per_path_counts(&self) -> &[(Vec<SignedLabel>, u64)] {
+        &self.per_path_counts
+    }
+
+    fn paths_k_size(&self) -> u64 {
+        self.paths_k_size
+    }
+
+    fn stats(&self) -> BackendStats {
+        let s = PagedPathIndex::stats(self);
+        BackendStats {
+            backend: self.backend_name(),
+            k: s.k,
+            entries: s.entries,
+            distinct_paths: s.paths,
+            paths_k_size: self.paths_k_size,
+            approx_bytes: s.tree.bytes_on_disk,
+        }
     }
 }
 
@@ -181,13 +303,50 @@ mod tests {
     }
 
     #[test]
+    fn streaming_scan_equals_materialized_scan() {
+        let g = paper_example_graph();
+        let paged = PagedPathIndex::build_in_memory(&g, 2, 4).unwrap();
+        for (path, count) in paged.per_path_counts() {
+            let streamed: Vec<_> = paged
+                .stream_path(path)
+                .unwrap()
+                .collect::<io::Result<Vec<_>>>()
+                .unwrap();
+            assert_eq!(streamed, paged.scan_path(path).unwrap());
+            assert_eq!(streamed.len() as u64, *count);
+        }
+    }
+
+    #[test]
+    fn backend_trait_view_matches_inherent_api() {
+        let g = paper_example_graph();
+        let paged = PagedPathIndex::build_in_memory(&g, 2, 8).unwrap();
+        let backend: &dyn PathIndexBackend = &paged;
+        assert_eq!(backend.backend_name(), "paged");
+        assert_eq!(backend.k(), 2);
+        assert_eq!(backend.node_count(), g.node_count());
+        let (path, count) = &backend.per_path_counts()[0].clone();
+        let via_trait: Vec<_> = backend
+            .scan_path(path)
+            .unwrap()
+            .collect::<BackendResult<Vec<_>>>()
+            .unwrap();
+        assert_eq!(via_trait.len() as u64, *count);
+        assert_eq!(backend.path_cardinality(path), Some(*count));
+        assert!(backend.paths_k_size() > 0);
+        assert_eq!(backend.stats().entries, paged.len());
+        // Contract violations are errors, not panics.
+        assert!(backend.scan_path(&[]).is_err());
+    }
+
+    #[test]
     fn on_disk_index_round_trips_through_a_file() {
         let dir = std::env::temp_dir().join(format!("pathix-pidx-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("kpath.pages");
         let g = paper_example_graph();
         let idx = PagedPathIndex::build_on_disk(&g, 2, &path, 8).unwrap();
-        assert!(idx.len() > 0);
+        assert!(!idx.is_empty());
         let stats = idx.stats();
         assert!(stats.tree.pages > 1);
         assert_eq!(stats.k, 2);

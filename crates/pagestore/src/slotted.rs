@@ -155,7 +155,9 @@ pub fn remove_cell(page: &mut [u8], idx: usize) {
 
 /// Reads every cell into owned byte vectors, in slot order.
 pub fn read_cells(page: &[u8]) -> Vec<Vec<u8>> {
-    (0..cell_count(page)).map(|i| cell(page, i).to_vec()).collect()
+    (0..cell_count(page))
+        .map(|i| cell(page, i).to_vec())
+        .collect()
 }
 
 /// Re-initializes the page (same kind, preserved `next`) and writes `cells`
@@ -229,7 +231,10 @@ mod tests {
         assert!(insert_cell_at(p.as_mut_slice(), 1, b"c"));
         assert!(insert_cell_at(p.as_mut_slice(), 0, b"a"));
         let cells = read_cells(p.as_slice());
-        assert_eq!(cells, vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec(), b"d".to_vec()]);
+        assert_eq!(
+            cells,
+            vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec(), b"d".to_vec()]
+        );
         remove_cell(p.as_mut_slice(), 2);
         assert_eq!(
             read_cells(p.as_slice()),
@@ -265,10 +270,7 @@ mod tests {
         }
         let before_free = free_space(p.as_slice());
         // Keep only every other cell and compact.
-        let keep: Vec<Vec<u8>> = read_cells(p.as_slice())
-            .into_iter()
-            .step_by(2)
-            .collect();
+        let keep: Vec<Vec<u8>> = read_cells(p.as_slice()).into_iter().step_by(2).collect();
         rewrite(p.as_mut_slice(), KIND_LEAF, 42, &keep);
         assert_eq!(cell_count(p.as_slice()), 5);
         assert_eq!(next(p.as_slice()), 42);
@@ -279,7 +281,7 @@ mod tests {
 
     #[test]
     fn required_size_matches_fill_behaviour() {
-        let lens = vec![100usize; 10];
+        let lens = [100usize; 10];
         let needed = required_size(lens.iter().copied());
         assert_eq!(needed, HEADER_SIZE + 10 * 104);
         assert!(needed < PAGE_SIZE);

@@ -48,8 +48,8 @@ pub fn decode_u64(bytes: &[u8], pos: &mut usize) -> Option<u64> {
 
 /// Number of bytes [`encode_u64`] uses for `value`.
 pub fn encoded_len_u64(value: u64) -> usize {
-    let bits = 64 - value.leading_zeros().max(0);
-    ((bits.max(1) + 6) / 7) as usize
+    let bits = 64 - value.leading_zeros();
+    bits.max(1).div_ceil(7) as usize
 }
 
 /// Delta- and varint-encodes a pair list sorted by `(source, target)`.
@@ -70,9 +70,7 @@ pub fn encode_pairs(pairs: &[(u32, u32)]) -> Vec<u8> {
         match prev {
             // Same source as the previous pair: targets are strictly
             // increasing, store the gap minus one.
-            Some((_, prev_dst)) if dsrc == 0 => {
-                encode_u64(u64::from(dst - prev_dst - 1), &mut out)
-            }
+            Some((_, prev_dst)) if dsrc == 0 => encode_u64(u64::from(dst - prev_dst - 1), &mut out),
             _ => encode_u64(u64::from(dst), &mut out),
         }
         prev = Some((src, dst));

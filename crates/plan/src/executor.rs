@@ -1,17 +1,25 @@
 //! Turning physical plans into `pathix-exec` operator trees and running them.
+//!
+//! Execution is generic over the [`PathIndexBackend`], so the same physical
+//! plan runs unchanged against the in-memory, paged or compressed index.
+//! Every entry point returns a `Result`: disk-resident backends surface I/O
+//! failures as [`pathix_index::BackendError`]s instead of panicking.
 
 use crate::plan::{JoinAlgorithm, PhysicalPlan};
 use pathix_exec::{
     collect_pairs, BoxedPairStream, DistinctOp, EpsilonScanOp, HashJoinOp, IndexScanOp,
     MergeJoinOp, Pair, UnionAllOp,
 };
-use pathix_index::KPathIndex;
+use pathix_index::{BackendResult, PathIndexBackend};
 use std::time::{Duration, Instant};
 
 /// Executes `plan` against `index`, returning the answer as a sorted,
 /// duplicate-free pair list (the paper's set semantics).
-pub fn execute(plan: &PhysicalPlan, index: &KPathIndex) -> Vec<Pair> {
-    collect_pairs(build_stream(plan, index))
+pub fn execute<B: PathIndexBackend + ?Sized>(
+    plan: &PhysicalPlan,
+    index: &B,
+) -> BackendResult<Vec<Pair>> {
+    collect_pairs(build_stream(plan, index)?)
 }
 
 /// Timing and size information recorded by [`execute_with_stats`].
@@ -28,23 +36,29 @@ pub struct ExecutionStats {
 }
 
 /// Executes `plan` and reports execution statistics along with the result.
-pub fn execute_with_stats(plan: &PhysicalPlan, index: &KPathIndex) -> (Vec<Pair>, ExecutionStats) {
+pub fn execute_with_stats<B: PathIndexBackend + ?Sized>(
+    plan: &PhysicalPlan,
+    index: &B,
+) -> BackendResult<(Vec<Pair>, ExecutionStats)> {
     let start = Instant::now();
-    let result = execute(plan, index);
+    let result = execute(plan, index)?;
     let stats = ExecutionStats {
         elapsed: start.elapsed(),
         result_pairs: result.len(),
         joins: plan.join_count(),
         merge_joins: plan.merge_join_count(),
     };
-    (result, stats)
+    Ok((result, stats))
 }
 
 /// Recursively builds the operator tree for a plan.
-fn build_stream<'a>(plan: &'a PhysicalPlan, index: &'a KPathIndex) -> BoxedPairStream<'a> {
-    match plan {
+fn build_stream<'a, B: PathIndexBackend + ?Sized>(
+    plan: &'a PhysicalPlan,
+    index: &'a B,
+) -> BackendResult<BoxedPairStream<'a>> {
+    Ok(match plan {
         PhysicalPlan::IndexScan { path, orientation } => {
-            Box::new(IndexScanOp::new(index, path, *orientation))
+            Box::new(IndexScanOp::new(index, path, *orientation)?)
         }
         PhysicalPlan::Epsilon => Box::new(EpsilonScanOp::new(index.node_count())),
         PhysicalPlan::Join {
@@ -52,8 +66,8 @@ fn build_stream<'a>(plan: &'a PhysicalPlan, index: &'a KPathIndex) -> BoxedPairS
             left,
             right,
         } => {
-            let l = build_stream(left, index);
-            let r = build_stream(right, index);
+            let l = build_stream(left, index)?;
+            let r = build_stream(right, index)?;
             match algorithm {
                 JoinAlgorithm::Merge => Box::new(MergeJoinOp::new(l, r)),
                 JoinAlgorithm::Hash => Box::new(HashJoinOp::new(l, r)),
@@ -63,10 +77,10 @@ fn build_stream<'a>(plan: &'a PhysicalPlan, index: &'a KPathIndex) -> BoxedPairS
             let streams: Vec<BoxedPairStream<'a>> = children
                 .iter()
                 .map(|child| build_stream(child, index))
-                .collect();
+                .collect::<BackendResult<_>>()?;
             Box::new(DistinctOp::new(Box::new(UnionAllOp::new(streams))))
         }
-    }
+    })
 }
 
 #[cfg(test)]
@@ -93,8 +107,7 @@ mod tests {
     /// Reference answer: union of the per-disjunct reference evaluations.
     fn reference(g: &Graph, query: &str, star_bound: u32) -> Vec<Pair> {
         let expr = parse(query).unwrap().bind(g).unwrap();
-        let disjuncts =
-            to_disjuncts(&expr, RewriteOptions::with_star_bound(star_bound)).unwrap();
+        let disjuncts = to_disjuncts(&expr, RewriteOptions::with_star_bound(star_bound)).unwrap();
         let mut out = Vec::new();
         for d in disjuncts {
             out.extend(naive_path_eval(g, &d));
@@ -122,11 +135,10 @@ mod tests {
             for query in queries {
                 let expected = reference(&g, query, 4);
                 let expr = parse(query).unwrap().bind(&g).unwrap();
-                let disjuncts =
-                    to_disjuncts(&expr, RewriteOptions::with_star_bound(4)).unwrap();
+                let disjuncts = to_disjuncts(&expr, RewriteOptions::with_star_bound(4)).unwrap();
                 for strategy in Strategy::all() {
                     let plan = plan_query(strategy, &disjuncts, &ctx);
-                    let result = execute(&plan, &index);
+                    let result = execute(&plan, &index).unwrap();
                     assert_eq!(
                         result, expected,
                         "strategy {strategy} disagrees on {query:?} with k={k}"
@@ -143,7 +155,7 @@ mod tests {
         let expr = parse("supervisor/worksFor-").unwrap().bind(&g).unwrap();
         let disjuncts = to_disjuncts(&expr, RewriteOptions::default()).unwrap();
         let plan = plan_query(Strategy::MinSupport, &disjuncts, &ctx);
-        let result = execute(&plan, &index);
+        let result = execute(&plan, &index).unwrap();
         let kim = g.node_id("kim").unwrap();
         let sue = g.node_id("sue").unwrap();
         assert_eq!(result, vec![(kim, sue)]);
@@ -156,7 +168,7 @@ mod tests {
         let expr = parse("()").unwrap().bind(&g).unwrap();
         let disjuncts = to_disjuncts(&expr, RewriteOptions::default()).unwrap();
         let plan = plan_query(Strategy::SemiNaive, &disjuncts, &ctx);
-        let result = execute(&plan, &index);
+        let result = execute(&plan, &index).unwrap();
         assert_eq!(result.len(), g.node_count());
         assert!(result.iter().all(|&(a, b)| a == b));
     }
@@ -165,10 +177,13 @@ mod tests {
     fn execute_with_stats_reports_plan_shape() {
         let (g, index, hist) = fixture(2);
         let ctx = PlannerContext::new(&index, &hist);
-        let expr = parse("knows/worksFor/knows/worksFor").unwrap().bind(&g).unwrap();
+        let expr = parse("knows/worksFor/knows/worksFor")
+            .unwrap()
+            .bind(&g)
+            .unwrap();
         let disjuncts = to_disjuncts(&expr, RewriteOptions::default()).unwrap();
         let plan = plan_query(Strategy::SemiNaive, &disjuncts, &ctx);
-        let (result, stats) = execute_with_stats(&plan, &index);
+        let (result, stats) = execute_with_stats(&plan, &index).unwrap();
         assert_eq!(stats.result_pairs, result.len());
         assert_eq!(stats.joins, 1);
         assert_eq!(stats.merge_joins, 1);
@@ -184,8 +199,24 @@ mod tests {
         let disjuncts = to_disjuncts(&expr, RewriteOptions::default()).unwrap();
         for strategy in Strategy::all() {
             let plan = plan_query(strategy, &disjuncts, &ctx);
-            assert!(execute(&plan, &index).is_empty(), "strategy {strategy}");
+            assert!(
+                execute(&plan, &index).unwrap().is_empty(),
+                "strategy {strategy}"
+            );
         }
+    }
+
+    #[test]
+    fn execution_works_through_a_trait_object() {
+        let (g, index, hist) = fixture(2);
+        let dyn_index: &dyn PathIndexBackend = &index;
+        let ctx = PlannerContext::new(dyn_index, &hist);
+        let expr = parse("knows/worksFor").unwrap().bind(&g).unwrap();
+        let disjuncts = to_disjuncts(&expr, RewriteOptions::default()).unwrap();
+        let plan = plan_query(Strategy::MinJoin, &disjuncts, &ctx);
+        let via_dyn = execute(&plan, dyn_index).unwrap();
+        let via_concrete = execute(&plan, &index).unwrap();
+        assert_eq!(via_dyn, via_concrete);
     }
 
     #[test]
@@ -195,10 +226,11 @@ mod tests {
         let expr = parse("(knows|worksFor){1,3}").unwrap().bind(&g).unwrap();
         let disjuncts = to_disjuncts(&expr, RewriteOptions::default()).unwrap();
         let plan = plan_query(Strategy::MinJoin, &disjuncts, &ctx);
-        let result = execute(&plan, &index);
+        let result = execute(&plan, &index).unwrap();
         assert!(result.windows(2).all(|w| w[0] < w[1]));
-        assert!(result.iter().all(|&(a, b)| a.0 < g.node_count() as u32
-            && b.0 < g.node_count() as u32));
+        assert!(result
+            .iter()
+            .all(|&(a, b)| a.0 < g.node_count() as u32 && b.0 < g.node_count() as u32));
         let _ = NodeId(0); // silence unused import lint paths in some cfgs
     }
 }

@@ -5,22 +5,27 @@ use crate::plan::{JoinAlgorithm, PhysicalPlan};
 use crate::planner::PlannerContext;
 use pathix_exec::ScanOrientation;
 use pathix_graph::Graph;
+use pathix_index::PathIndexBackend;
 use pathix_rpq::ast::format_label_path;
 
 /// Renders a physical plan as an indented tree with label names, join
 /// algorithms, scan orientations and cost estimates — the "life of a query"
 /// view the paper's demonstration walks through.
-pub fn explain(plan: &PhysicalPlan, graph: &Graph, ctx: &PlannerContext<'_>) -> String {
+pub fn explain<B: PathIndexBackend + ?Sized>(
+    plan: &PhysicalPlan,
+    graph: &Graph,
+    ctx: &PlannerContext<'_, B>,
+) -> String {
     let estimator = ctx.estimator();
     let mut out = String::new();
     render(plan, graph, ctx, &estimator, 0, &mut out);
     out
 }
 
-fn render(
+fn render<B: PathIndexBackend + ?Sized>(
     plan: &PhysicalPlan,
     graph: &Graph,
-    ctx: &PlannerContext<'_>,
+    ctx: &PlannerContext<'_, B>,
     estimator: &pathix_index::CardinalityEstimator<'_>,
     depth: usize,
     out: &mut String,

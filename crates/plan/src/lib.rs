@@ -31,7 +31,8 @@
 //! let expr = parse("knows/worksFor").unwrap().bind(&g).unwrap();
 //! let disjuncts = to_disjuncts(&expr, RewriteOptions::default()).unwrap();
 //! let plan = plan_query(Strategy::MinSupport, &disjuncts, &ctx);
-//! let result = execute(&plan, &index);
+//! // Execution is fallible: disk-resident backends surface I/O errors.
+//! let result = execute(&plan, &index).unwrap();
 //! assert!(!result.is_empty());
 //! ```
 
@@ -48,7 +49,7 @@ pub mod semi_naive;
 
 pub use cost::{cost_plan, PlanCost};
 pub use executor::{execute, execute_with_stats, ExecutionStats};
-pub use parallel::execute_parallel;
 pub use explain::explain;
+pub use parallel::execute_parallel;
 pub use plan::{JoinAlgorithm, PhysicalPlan};
 pub use planner::{plan_disjunct, plan_query, PlannerContext, Strategy};

@@ -18,11 +18,14 @@ use crate::cost::cost_plan;
 use crate::plan::PhysicalPlan;
 use crate::planner::PlannerContext;
 use pathix_graph::SignedLabel;
-use pathix_index::CardinalityEstimator;
+use pathix_index::{CardinalityEstimator, PathIndexBackend};
 use pathix_rpq::LabelPath;
 
 /// Plans one non-empty disjunct with the minJoin strategy.
-pub fn plan_disjunct(disjunct: &LabelPath, ctx: &PlannerContext<'_>) -> PhysicalPlan {
+pub fn plan_disjunct<B: PathIndexBackend + ?Sized>(
+    disjunct: &LabelPath,
+    ctx: &PlannerContext<'_, B>,
+) -> PhysicalPlan {
     debug_assert!(!disjunct.is_empty());
     let k = ctx.k();
     if disjunct.len() <= k {
@@ -97,9 +100,9 @@ fn cut(disjunct: &[SignedLabel], lens: &[usize]) -> Vec<LabelPath> {
 
 /// Builds a join tree over adjacent chunks, starting from the most selective
 /// chunk and expanding toward whichever neighbor is estimated smaller.
-fn greedy_join_tree(
+fn greedy_join_tree<B: PathIndexBackend + ?Sized>(
     chunks: &[LabelPath],
-    ctx: &PlannerContext<'_>,
+    ctx: &PlannerContext<'_, B>,
     estimator: &CardinalityEstimator<'_>,
 ) -> PhysicalPlan {
     debug_assert!(!chunks.is_empty());
@@ -177,7 +180,7 @@ mod tests {
         assert_eq!(s.len(), 6); // 1+3+3, 3+1+3, 3+3+1, 2+2+3, 2+3+2, 3+2+2
         for lens in &s {
             assert_eq!(lens.iter().sum::<usize>(), 7);
-            assert!(lens.iter().all(|&l| l >= 1 && l <= 3));
+            assert!(lens.iter().all(|&l| (1..=3).contains(&l)));
         }
     }
 
@@ -188,9 +191,7 @@ mod tests {
         let k = sl(&g, "knows");
         let w = sl(&g, "worksFor");
         for len in 1usize..=9 {
-            let disjunct: LabelPath = (0..len)
-                .map(|i| if i % 2 == 0 { k } else { w })
-                .collect();
+            let disjunct: LabelPath = (0..len).map(|i| if i % 2 == 0 { k } else { w }).collect();
             let plan = plan_disjunct(&disjunct, &ctx);
             assert_eq!(plan.scan_count(), len.div_ceil(3), "length {len}");
             assert_eq!(plan.join_count(), len.div_ceil(3) - 1, "length {len}");

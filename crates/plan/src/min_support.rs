@@ -12,18 +12,21 @@
 use crate::cost::cost_plan;
 use crate::plan::PhysicalPlan;
 use crate::planner::PlannerContext;
-use pathix_index::CardinalityEstimator;
+use pathix_index::{CardinalityEstimator, PathIndexBackend};
 use pathix_rpq::LabelPath;
 
 /// Plans one non-empty disjunct with the minSupport strategy.
-pub fn plan_disjunct(disjunct: &LabelPath, ctx: &PlannerContext<'_>) -> PhysicalPlan {
+pub fn plan_disjunct<B: PathIndexBackend + ?Sized>(
+    disjunct: &LabelPath,
+    ctx: &PlannerContext<'_, B>,
+) -> PhysicalPlan {
     let estimator = ctx.estimator();
     plan_rec(disjunct, ctx, &estimator)
 }
 
-fn plan_rec(
+fn plan_rec<B: PathIndexBackend + ?Sized>(
     disjunct: &[pathix_graph::SignedLabel],
-    ctx: &PlannerContext<'_>,
+    ctx: &PlannerContext<'_, B>,
     estimator: &CardinalityEstimator<'_>,
 ) -> PhysicalPlan {
     debug_assert!(!disjunct.is_empty());
@@ -65,10 +68,10 @@ fn plan_rec(
 
 /// Index of the most selective (smallest estimated cardinality) length-k
 /// window of `disjunct`; ties break toward the leftmost window.
-fn most_selective_window(
+fn most_selective_window<B: PathIndexBackend + ?Sized>(
     disjunct: &[pathix_graph::SignedLabel],
     k: usize,
-    ctx: &PlannerContext<'_>,
+    ctx: &PlannerContext<'_, B>,
 ) -> usize {
     let histogram = ctx.histogram();
     let mut best_index = 0;

@@ -8,11 +8,15 @@
 
 use crate::plan::PhysicalPlan;
 use crate::planner::PlannerContext;
+use pathix_index::PathIndexBackend;
 use pathix_rpq::LabelPath;
 
 /// Plans one non-empty disjunct with single-label scans composed left to
 /// right.
-pub fn plan_disjunct(disjunct: &LabelPath, _ctx: &PlannerContext<'_>) -> PhysicalPlan {
+pub fn plan_disjunct<B: PathIndexBackend + ?Sized>(
+    disjunct: &LabelPath,
+    _ctx: &PlannerContext<'_, B>,
+) -> PhysicalPlan {
     debug_assert!(!disjunct.is_empty());
     let mut plan = PhysicalPlan::scan(vec![disjunct[0]]);
     for &step in &disjunct[1..] {

@@ -3,21 +3,28 @@
 //! After union pull-up a query is a union of independent label-path
 //! disjuncts (Section 4 of the paper); their physical plans touch the index
 //! read-only, so they can be evaluated concurrently. This module runs each
-//! disjunct plan on a `crossbeam` scoped thread and merges the results under
-//! the paper's set semantics (sorted, duplicate-free pairs).
+//! disjunct plan on a scoped `std::thread` and merges the results under the
+//! paper's set semantics (sorted, duplicate-free pairs). Any backend error
+//! raised by a worker aborts the query and is reported to the caller.
 
 use crate::executor::execute;
 use crate::plan::PhysicalPlan;
 use pathix_exec::Pair;
-use pathix_index::KPathIndex;
+use pathix_index::{BackendResult, PathIndexBackend};
 
 /// Executes the disjunct plans of a query concurrently on up to `threads`
 /// worker threads and merges their answers into one sorted, duplicate-free
 /// pair list.
 ///
 /// Passing a [`PhysicalPlan::Union`] runs each child in parallel; any other
-/// plan shape is executed as-is on the calling thread.
-pub fn execute_parallel(plan: &PhysicalPlan, index: &KPathIndex, threads: usize) -> Vec<Pair> {
+/// plan shape is executed as-is on the calling thread. The backend only
+/// needs to be `Sync` — all three built-in backends are (the paged index
+/// serializes page access through its buffer-pool mutex).
+pub fn execute_parallel<B: PathIndexBackend + Sync + ?Sized>(
+    plan: &PhysicalPlan,
+    index: &B,
+    threads: usize,
+) -> BackendResult<Vec<Pair>> {
     let children: &[PhysicalPlan] = match plan {
         PhysicalPlan::Union(children) if children.len() > 1 => children,
         other => return execute(other, index),
@@ -25,28 +32,30 @@ pub fn execute_parallel(plan: &PhysicalPlan, index: &KPathIndex, threads: usize)
     let threads = threads.max(1);
     let chunk_size = children.len().div_ceil(threads);
 
-    let mut merged: Vec<Pair> = crossbeam::thread::scope(|scope| {
+    let mut merged: Vec<Pair> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for chunk in children.chunks(chunk_size) {
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut partial = Vec::new();
                 for child in chunk {
-                    partial.extend(execute(child, index));
+                    partial.extend(execute(child, index)?);
                 }
-                partial
+                Ok(partial)
             }));
         }
         let mut all = Vec::new();
         for handle in handles {
-            all.append(&mut handle.join().expect("disjunct worker panicked"));
+            match handle.join().expect("disjunct worker panicked") {
+                Ok(mut partial) => all.append(&mut partial),
+                Err(e) => return Err(e),
+            }
         }
-        all
-    })
-    .expect("crossbeam scope failed");
+        Ok(all)
+    })?;
 
     merged.sort_unstable();
     merged.dedup();
-    merged
+    Ok(merged)
 }
 
 #[cfg(test)]
@@ -72,7 +81,7 @@ mod tests {
     fn plans_for(
         query: &str,
         g: &pathix_graph::Graph,
-        ctx: &PlannerContext<'_>,
+        ctx: &PlannerContext<'_, KPathIndex>,
     ) -> PhysicalPlan {
         let expr = parse(query).unwrap().bind(g).unwrap();
         let disjuncts = to_disjuncts(&expr, RewriteOptions::default()).unwrap();
@@ -90,9 +99,9 @@ mod tests {
             "supervisor/worksFor-",
         ] {
             let plan = plans_for(query, &g, &ctx);
-            let sequential = execute(&plan, &index);
+            let sequential = execute(&plan, &index).unwrap();
             for threads in [1, 2, 8] {
-                let parallel = execute_parallel(&plan, &index, threads);
+                let parallel = execute_parallel(&plan, &index, threads).unwrap();
                 assert_eq!(parallel, sequential, "query {query}, threads {threads}");
             }
         }
@@ -103,7 +112,7 @@ mod tests {
         let (g, index, histogram) = setup();
         let ctx = PlannerContext::new(&index, &histogram);
         let plan = plans_for("knows/worksFor", &g, &ctx);
-        let result = execute_parallel(&plan, &index, 4);
-        assert_eq!(result, execute(&plan, &index));
+        let result = execute_parallel(&plan, &index, 4).unwrap();
+        assert_eq!(result, execute(&plan, &index).unwrap());
     }
 }

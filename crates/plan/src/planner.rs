@@ -2,7 +2,7 @@
 
 use crate::plan::PhysicalPlan;
 use crate::{min_join, min_support, naive, semi_naive};
-use pathix_index::{CardinalityEstimator, KPathIndex, PathHistogram};
+use pathix_index::{CardinalityEstimator, PathHistogram, PathIndexBackend};
 use pathix_rpq::LabelPath;
 
 /// The four evaluation strategies of the paper (Sections 4 and 5).
@@ -47,17 +47,38 @@ impl std::fmt::Display for Strategy {
     }
 }
 
-/// Everything a strategy needs to plan: the index (for k and the node count)
-/// and the histogram (for selectivity estimates).
-#[derive(Debug, Clone, Copy)]
-pub struct PlannerContext<'a> {
-    index: &'a KPathIndex,
+/// Everything a strategy needs to plan: the index backend (for k and the
+/// node count) and the histogram (for selectivity estimates).
+///
+/// The context is generic over the [`PathIndexBackend`], so the same
+/// strategies plan against the in-memory, paged and compressed indexes;
+/// `B: ?Sized` additionally admits `dyn PathIndexBackend`.
+pub struct PlannerContext<'a, B: PathIndexBackend + ?Sized> {
+    index: &'a B,
     histogram: &'a PathHistogram,
 }
 
-impl<'a> PlannerContext<'a> {
-    /// Creates a context over an index and its histogram.
-    pub fn new(index: &'a KPathIndex, histogram: &'a PathHistogram) -> Self {
+impl<B: PathIndexBackend + ?Sized> Clone for PlannerContext<'_, B> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<B: PathIndexBackend + ?Sized> Copy for PlannerContext<'_, B> {}
+
+impl<B: PathIndexBackend + ?Sized> std::fmt::Debug for PlannerContext<'_, B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlannerContext")
+            .field("backend", &self.index.backend_name())
+            .field("k", &self.k())
+            .field("node_count", &self.node_count())
+            .finish()
+    }
+}
+
+impl<'a, B: PathIndexBackend + ?Sized> PlannerContext<'a, B> {
+    /// Creates a context over an index backend and its histogram.
+    pub fn new(index: &'a B, histogram: &'a PathHistogram) -> Self {
         PlannerContext { index, histogram }
     }
 
@@ -76,8 +97,8 @@ impl<'a> PlannerContext<'a> {
         self.histogram
     }
 
-    /// The index being planned against.
-    pub fn index(&self) -> &'a KPathIndex {
+    /// The index backend being planned against.
+    pub fn index(&self) -> &'a B {
         self.index
     }
 
@@ -88,10 +109,10 @@ impl<'a> PlannerContext<'a> {
 }
 
 /// Plans a single disjunct (a label path; the empty path is ε).
-pub fn plan_disjunct(
+pub fn plan_disjunct<B: PathIndexBackend + ?Sized>(
     strategy: Strategy,
     disjunct: &LabelPath,
-    ctx: &PlannerContext<'_>,
+    ctx: &PlannerContext<'_, B>,
 ) -> PhysicalPlan {
     if disjunct.is_empty() {
         return PhysicalPlan::Epsilon;
@@ -106,10 +127,10 @@ pub fn plan_disjunct(
 
 /// Plans a whole query given its disjuncts: the union of the per-disjunct
 /// plans (a single disjunct skips the union node).
-pub fn plan_query(
+pub fn plan_query<B: PathIndexBackend + ?Sized>(
     strategy: Strategy,
     disjuncts: &[LabelPath],
-    ctx: &PlannerContext<'_>,
+    ctx: &PlannerContext<'_, B>,
 ) -> PhysicalPlan {
     let mut plans: Vec<PhysicalPlan> = disjuncts
         .iter()
@@ -127,7 +148,7 @@ mod tests {
     use super::*;
     use pathix_datagen::paper_example_graph;
     use pathix_graph::SignedLabel;
-    use pathix_index::EstimationMode;
+    use pathix_index::{EstimationMode, KPathIndex};
 
     fn fixture() -> (KPathIndex, PathHistogram) {
         let g = paper_example_graph();
@@ -180,11 +201,24 @@ mod tests {
     }
 
     #[test]
+    fn context_works_through_a_trait_object() {
+        let (index, hist) = fixture();
+        let dyn_index: &dyn PathIndexBackend = &index;
+        let ctx = PlannerContext::new(dyn_index, &hist);
+        assert_eq!(ctx.k(), 2);
+        assert_eq!(ctx.node_count(), 9);
+        let d = vec![SignedLabel::from_code(0), SignedLabel::from_code(2)];
+        let plan = plan_query(Strategy::MinSupport, &[d], &ctx);
+        assert!(plan.scan_count() >= 1);
+    }
+
+    #[test]
     fn context_accessors() {
         let (index, hist) = fixture();
         let ctx = PlannerContext::new(&index, &hist);
         assert_eq!(ctx.k(), 2);
         assert_eq!(ctx.node_count(), 9);
         assert_eq!(ctx.estimator().node_count(), 9);
+        assert!(format!("{ctx:?}").contains("memory"));
     }
 }

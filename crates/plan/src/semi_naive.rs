@@ -13,6 +13,7 @@
 
 use crate::plan::PhysicalPlan;
 use crate::planner::PlannerContext;
+use pathix_index::PathIndexBackend;
 use pathix_rpq::LabelPath;
 
 /// Splits a disjunct into consecutive chunks of at most `k` labels.
@@ -22,7 +23,10 @@ pub fn chunk_left_to_right(disjunct: &LabelPath, k: usize) -> Vec<LabelPath> {
 
 /// Plans one non-empty disjunct by composing its length-k chunks left to
 /// right.
-pub fn plan_disjunct(disjunct: &LabelPath, ctx: &PlannerContext<'_>) -> PhysicalPlan {
+pub fn plan_disjunct<B: PathIndexBackend + ?Sized>(
+    disjunct: &LabelPath,
+    ctx: &PlannerContext<'_, B>,
+) -> PhysicalPlan {
     debug_assert!(!disjunct.is_empty());
     let chunks = chunk_left_to_right(disjunct, ctx.k());
     let mut iter = chunks.into_iter();
@@ -55,7 +59,9 @@ mod tests {
     }
 
     fn path_of_len(n: usize) -> LabelPath {
-        (0..n).map(|i| SignedLabel::from_code((i % 4) as u16)).collect()
+        (0..n)
+            .map(|i| SignedLabel::from_code((i % 4) as u16))
+            .collect()
     }
 
     #[test]
@@ -102,22 +108,20 @@ mod tests {
         let ctx = PlannerContext::new(&index, &hist);
         let plan = plan_disjunct(&path_of_len(6), &ctx);
         match &plan {
-            PhysicalPlan::Join { left, right, .. } => {
-                match (left.as_ref(), right.as_ref()) {
-                    (
-                        PhysicalPlan::IndexScan {
-                            orientation: o1, ..
-                        },
-                        PhysicalPlan::IndexScan {
-                            orientation: o2, ..
-                        },
-                    ) => {
-                        assert_eq!(*o1, ScanOrientation::Inverse);
-                        assert_eq!(*o2, ScanOrientation::Forward);
-                    }
-                    other => panic!("unexpected children {other:?}"),
+            PhysicalPlan::Join { left, right, .. } => match (left.as_ref(), right.as_ref()) {
+                (
+                    PhysicalPlan::IndexScan {
+                        orientation: o1, ..
+                    },
+                    PhysicalPlan::IndexScan {
+                        orientation: o2, ..
+                    },
+                ) => {
+                    assert_eq!(*o1, ScanOrientation::Inverse);
+                    assert_eq!(*o2, ScanOrientation::Forward);
                 }
-            }
+                other => panic!("unexpected children {other:?}"),
+            },
             other => panic!("unexpected {other:?}"),
         }
     }

@@ -210,10 +210,7 @@ mod tests {
             Expr::Concat(parts) => {
                 assert_eq!(parts.len(), 2);
                 match (&parts[0], &parts[1]) {
-                    (
-                        Expr::Step { label: a, .. },
-                        Expr::Step { label: b, .. },
-                    ) => {
+                    (Expr::Step { label: a, .. }, Expr::Step { label: b, .. }) => {
                         assert_eq!(a.label, g.label_id("knows").unwrap());
                         assert!(!a.is_backward());
                         assert_eq!(b.label, g.label_id("worksFor").unwrap());

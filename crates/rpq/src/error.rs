@@ -13,7 +13,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at offset {}: {}", self.position, self.message)
+        write!(
+            f,
+            "parse error at offset {}: {}",
+            self.position, self.message
+        )
     }
 }
 
@@ -60,7 +64,10 @@ impl fmt::Display for RewriteError {
                 write!(f, "query expansion exceeds the disjunct limit of {limit}")
             }
             RewriteError::InvalidBounds { min, max } => {
-                write!(f, "invalid repetition bounds {{{min},{max}}}: min exceeds max")
+                write!(
+                    f,
+                    "invalid repetition bounds {{{min},{max}}}: min exceeds max"
+                )
             }
         }
     }

@@ -290,19 +290,13 @@ mod tests {
 
     #[test]
     fn union_binds_looser_than_concat() {
-        let expected = Expr::Union(vec![
-            Expr::Concat(vec![step("a"), step("b")]),
-            step("c"),
-        ]);
+        let expected = Expr::Union(vec![Expr::Concat(vec![step("a"), step("b")]), step("c")]);
         assert_eq!(parse("a/b|c").unwrap(), expected);
     }
 
     #[test]
     fn parentheses_group() {
-        let expected = Expr::Concat(vec![
-            step("a"),
-            Expr::Union(vec![step("b"), step("c")]),
-        ]);
+        let expected = Expr::Concat(vec![step("a"), Expr::Union(vec![step("b"), step("c")])]);
         assert_eq!(parse("a/(b|c)").unwrap(), expected);
     }
 
@@ -388,7 +382,14 @@ mod tests {
         match q {
             Expr::Concat(parts) => {
                 assert_eq!(parts.len(), 3);
-                assert!(matches!(parts[1], Expr::Repeat { min: 2, max: Some(4), .. }));
+                assert!(matches!(
+                    parts[1],
+                    Expr::Repeat {
+                        min: 2,
+                        max: Some(4),
+                        ..
+                    }
+                ));
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -403,9 +404,14 @@ mod tests {
 
     #[test]
     fn error_cases_report_position() {
-        for bad in ["", "   ", "a/", "a|", "(a", "a)", "a{2", "a{}", "a{,3}", "/a", "a b", "123", "a--"] {
+        for bad in [
+            "", "   ", "a/", "a|", "(a", "a)", "a{2", "a{}", "a{,3}", "/a", "a b", "123", "a--",
+        ] {
             let err = parse(bad).unwrap_err();
-            assert!(err.position <= bad.len(), "position out of range for {bad:?}");
+            assert!(
+                err.position <= bad.len(),
+                "position out of range for {bad:?}"
+            );
         }
     }
 

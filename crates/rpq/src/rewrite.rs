@@ -166,19 +166,13 @@ mod tests {
     fn single_step_single_disjunct() {
         let g = graph_kws();
         assert_eq!(disjuncts_of("knows", &g), vec![vec![k(&g)]]);
-        assert_eq!(
-            disjuncts_of("knows-", &g),
-            vec![vec![k(&g).inverse()]]
-        );
+        assert_eq!(disjuncts_of("knows-", &g), vec![vec![k(&g).inverse()]]);
     }
 
     #[test]
     fn concat_produces_one_path() {
         let g = graph_kws();
-        assert_eq!(
-            disjuncts_of("knows/worksFor", &g),
-            vec![vec![k(&g), w(&g)]]
-        );
+        assert_eq!(disjuncts_of("knows/worksFor", &g), vec![vec![k(&g), w(&g)]]);
     }
 
     #[test]
@@ -192,10 +186,7 @@ mod tests {
     fn union_distributes_over_concat() {
         let g = graph_kws();
         let d = disjuncts_of("(knows|worksFor)/knows", &g);
-        assert_eq!(
-            d,
-            vec![vec![k(&g), k(&g)], vec![w(&g), k(&g)]]
-        );
+        assert_eq!(d, vec![vec![k(&g), k(&g)], vec![w(&g), k(&g)]]);
     }
 
     #[test]
@@ -208,20 +199,14 @@ mod tests {
         let lens: Vec<usize> = d.iter().map(Vec::len).collect();
         assert_eq!(lens, vec![6, 8, 10]);
         // First disjunct is k k w k w w.
-        assert_eq!(
-            d[0],
-            vec![k(&g), k(&g), w(&g), k(&g), w(&g), w(&g)]
-        );
+        assert_eq!(d[0], vec![k(&g), k(&g), w(&g), k(&g), w(&g), w(&g)]);
     }
 
     #[test]
     fn repeat_with_zero_min_includes_epsilon() {
         let g = graph_kws();
         let d = disjuncts_of("knows{0,2}", &g);
-        assert_eq!(
-            d,
-            vec![vec![], vec![k(&g)], vec![k(&g), k(&g)]]
-        );
+        assert_eq!(d, vec![vec![], vec![k(&g)], vec![k(&g), k(&g)]]);
     }
 
     #[test]

@@ -1,11 +1,15 @@
-//! Property-based tests of the query language layer: the rewriter's disjunct
+//! Randomized tests of the query language layer: the rewriter's disjunct
 //! expansion must define exactly the language of the expression's automaton,
 //! and the printer / parser / binder round-trip must preserve that language.
+//!
+//! Driven by the vendored deterministic PRNG (the environment is offline, so
+//! no proptest); every case is seeded and reproduces exactly.
 
 use pathix_graph::{Graph, GraphBuilder, LabelId, SignedLabel};
 use pathix_rpq::nfa::Nfa;
 use pathix_rpq::{parse, to_disjuncts, BoundExpr, Expr, RewriteOptions};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::collections::BTreeSet;
 
 /// A two-label vocabulary graph used only for binding and display (the graph
@@ -29,29 +33,43 @@ fn alphabet() -> Vec<SignedLabel> {
 
 /// Random *bounded* RPQ expressions (no `*` / `+` / open-ended `{i,}`), so
 /// that the defined language is finite and can be compared exhaustively.
-fn bounded_expr() -> impl Strategy<Value = BoundExpr> {
-    let leaf = prop_oneof![
-        1 => Just(Expr::Epsilon),
-        6 => (0u16..2, proptest::bool::ANY).prop_map(|(label, backward)| Expr::Step {
-            label: if backward {
-                SignedLabel::backward(LabelId(label))
-            } else {
-                SignedLabel::forward(LabelId(label))
-            },
-            backward: false,
-        }),
-    ];
-    leaf.prop_recursive(3, 24, 3, |inner| {
-        prop_oneof![
-            proptest::collection::vec(inner.clone(), 1..3).prop_map(Expr::Concat),
-            proptest::collection::vec(inner.clone(), 1..3).prop_map(Expr::Union),
-            (inner, 0u32..2, 0u32..2).prop_map(|(e, min, extra)| Expr::Repeat {
-                inner: Box::new(e),
+/// Mirrors the recursive shape proptest's `prop_recursive` produced: leaves
+/// are ε or a signed step, inner nodes concatenate, union or repeat.
+fn random_expr(rng: &mut StdRng, depth: usize) -> BoundExpr {
+    if depth == 0 || rng.gen_range(0..4u32) == 0 {
+        return if rng.gen_range(0..7u32) == 0 {
+            Expr::Epsilon
+        } else {
+            let label = LabelId(rng.gen_range(0..2u32) as u16);
+            Expr::Step {
+                label: if rng.gen_bool(0.5) {
+                    SignedLabel::backward(label)
+                } else {
+                    SignedLabel::forward(label)
+                },
+                backward: false,
+            }
+        };
+    }
+    match rng.gen_range(0..3u32) {
+        0 => {
+            let n = rng.gen_range(1..3usize);
+            Expr::Concat((0..n).map(|_| random_expr(rng, depth - 1)).collect())
+        }
+        1 => {
+            let n = rng.gen_range(1..3usize);
+            Expr::Union((0..n).map(|_| random_expr(rng, depth - 1)).collect())
+        }
+        _ => {
+            let min = rng.gen_range(0..2u32);
+            let extra = rng.gen_range(0..2u32);
+            Expr::Repeat {
+                inner: Box::new(random_expr(rng, depth - 1)),
                 min,
                 max: Some(min + extra),
-            }),
-        ]
-    })
+            }
+        }
+    }
 }
 
 /// The set of label-path words denoted by the rewriter.
@@ -81,91 +99,136 @@ fn words_up_to(max_len: usize) -> Vec<Vec<SignedLabel>> {
     words
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// The union-of-label-paths produced by the rewriter is exactly the
-    /// language of the Glushkov automaton built from the same expression: the
-    /// paper's step-1/step-2 rewrite loses and invents nothing.
-    #[test]
-    fn disjuncts_are_exactly_the_automaton_language(expr in bounded_expr()) {
+/// The union-of-label-paths produced by the rewriter is exactly the language
+/// of the Glushkov automaton built from the same expression: the paper's
+/// step-1/step-2 rewrite loses and invents nothing.
+#[test]
+fn disjuncts_are_exactly_the_automaton_language() {
+    for case in 0..128u64 {
+        let mut rng = StdRng::seed_from_u64(0x1A6 + case);
+        let expr = random_expr(&mut rng, 3);
         let Some(disjuncts) = disjunct_set(&expr) else {
             // The expansion exceeded the disjunct budget; nothing to compare.
-            return Ok(());
+            continue;
         };
         let max_len = disjuncts.iter().map(Vec::len).max().unwrap_or(0);
-        prop_assume!(max_len <= 5);
+        if max_len > 5 {
+            continue;
+        }
 
         let nfa = Nfa::from_expr(&expr);
         // Every disjunct is a word of the language …
         for word in &disjuncts {
-            prop_assert!(nfa.accepts(word), "disjunct {word:?} rejected by the NFA");
+            assert!(
+                nfa.accepts(word),
+                "case {case}: disjunct {word:?} rejected by the NFA"
+            );
         }
         // … and no other word up to (and one beyond) the maximum disjunct
         // length is accepted.
         for word in words_up_to(max_len + 1) {
-            prop_assert_eq!(
+            assert_eq!(
                 nfa.accepts(&word),
                 disjuncts.contains(&word),
-                "acceptance mismatch on {:?}",
-                word
+                "case {case}: acceptance mismatch on {word:?}"
             );
         }
     }
+}
 
-    /// Printing a bound expression and pushing the text back through the
-    /// parser and binder preserves its language (disjunct set).
-    #[test]
-    fn display_parse_bind_round_trip_preserves_the_language(expr in bounded_expr()) {
-        let graph = vocabulary_graph();
+/// Printing a bound expression and pushing the text back through the parser
+/// and binder preserves its language (disjunct set).
+#[test]
+fn display_parse_bind_round_trip_preserves_the_language() {
+    let graph = vocabulary_graph();
+    for case in 0..128u64 {
+        let mut rng = StdRng::seed_from_u64(0x0DD + case);
+        let expr = random_expr(&mut rng, 3);
         let Some(expected) = disjunct_set(&expr) else {
-            return Ok(());
+            continue;
         };
         let text = expr.display(&graph);
         let reparsed = parse(&text);
-        prop_assert!(reparsed.is_ok(), "display produced unparsable text {text:?}: {reparsed:?}");
+        assert!(
+            reparsed.is_ok(),
+            "case {case}: display produced unparsable text {text:?}: {reparsed:?}"
+        );
         let rebound = reparsed.unwrap().bind(&graph);
-        prop_assert!(rebound.is_ok(), "rebinding {text:?} failed: {rebound:?}");
+        assert!(rebound.is_ok(), "case {case}: rebinding {text:?} failed");
         let roundtripped = disjunct_set(&rebound.unwrap());
-        prop_assert_eq!(roundtripped, Some(expected), "language changed through {}", text);
+        assert_eq!(
+            roundtripped,
+            Some(expected),
+            "case {case}: language changed through {text}"
+        );
     }
+}
 
-    /// Epsilon is the unit of composition: R, R/(), and ()/R all denote the
-    /// same language.
-    #[test]
-    fn epsilon_is_the_identity_of_composition(expr in bounded_expr()) {
+/// Epsilon is the unit of composition: R, R/(), and ()/R all denote the same
+/// language.
+#[test]
+fn epsilon_is_the_identity_of_composition() {
+    for case in 0..128u64 {
+        let mut rng = StdRng::seed_from_u64(0xE95 + case);
+        let expr = random_expr(&mut rng, 3);
         let Some(expected) = disjunct_set(&expr) else {
-            return Ok(());
+            continue;
         };
         let left = Expr::Concat(vec![Expr::Epsilon, expr.clone()]);
         let right = Expr::Concat(vec![expr, Expr::Epsilon]);
-        prop_assert_eq!(disjunct_set(&left), Some(expected.clone()));
-        prop_assert_eq!(disjunct_set(&right), Some(expected));
+        assert_eq!(disjunct_set(&left), Some(expected.clone()), "case {case}");
+        assert_eq!(disjunct_set(&right), Some(expected), "case {case}");
     }
+}
 
-    /// Union is commutative and idempotent at the language level.
-    #[test]
-    fn union_is_commutative_and_idempotent(a in bounded_expr(), b in bounded_expr()) {
+/// Union is commutative and idempotent at the language level.
+#[test]
+fn union_is_commutative_and_idempotent() {
+    for case in 0..128u64 {
+        let mut rng = StdRng::seed_from_u64(0x0C1 + case);
+        let a = random_expr(&mut rng, 3);
+        let b = random_expr(&mut rng, 3);
         let ab = disjunct_set(&Expr::Union(vec![a.clone(), b.clone()]));
         let ba = disjunct_set(&Expr::Union(vec![b.clone(), a.clone()]));
-        prop_assume!(ab.is_some() && ba.is_some());
-        prop_assert_eq!(ab, ba);
+        if ab.is_none() || ba.is_none() {
+            continue;
+        }
+        assert_eq!(ab, ba, "case {case}");
         let aa = disjunct_set(&Expr::Union(vec![a.clone(), a.clone()]));
-        prop_assert_eq!(aa, disjunct_set(&a));
+        assert_eq!(aa, disjunct_set(&a), "case {case}");
     }
+}
 
-    /// Bounded recursion splits into a union of fixed powers:
-    /// `R{i,j} ≡ R{i,i} ∪ R{i+1,j}` whenever `i < j`.
-    #[test]
-    fn bounded_recursion_peels_one_power(inner in bounded_expr(), min in 0u32..2, extra in 1u32..3) {
-        let max = min + extra;
-        let whole = Expr::Repeat { inner: Box::new(inner.clone()), min, max: Some(max) };
-        let first = Expr::Repeat { inner: Box::new(inner.clone()), min, max: Some(min) };
-        let rest = Expr::Repeat { inner: Box::new(inner), min: min + 1, max: Some(max) };
+/// Bounded recursion splits into a union of fixed powers:
+/// `R{i,j} ≡ R{i,i} ∪ R{i+1,j}` whenever `i < j`.
+#[test]
+fn bounded_recursion_peels_one_power() {
+    for case in 0..128u64 {
+        let mut rng = StdRng::seed_from_u64(0x9EE1 + case);
+        let inner = random_expr(&mut rng, 3);
+        let min = rng.gen_range(0..2u32);
+        let max = min + rng.gen_range(1..3u32);
+        let whole = Expr::Repeat {
+            inner: Box::new(inner.clone()),
+            min,
+            max: Some(max),
+        };
+        let first = Expr::Repeat {
+            inner: Box::new(inner.clone()),
+            min,
+            max: Some(min),
+        };
+        let rest = Expr::Repeat {
+            inner: Box::new(inner),
+            min: min + 1,
+            max: Some(max),
+        };
         let split = Expr::Union(vec![first, rest]);
         let lhs = disjunct_set(&whole);
         let rhs = disjunct_set(&split);
-        prop_assume!(lhs.is_some() && rhs.is_some());
-        prop_assert_eq!(lhs, rhs);
+        if lhs.is_none() || rhs.is_none() {
+            continue;
+        }
+        assert_eq!(lhs, rhs, "case {case}");
     }
 }

@@ -12,8 +12,14 @@ use crate::engine::{ResultSet, SqlEngine, SqlError};
 use crate::translate::{path_string, rpq_to_path_index_sql, rpq_to_recursive_sql};
 use pathix_core::PathDb;
 use pathix_graph::Graph;
-use pathix_index::KPathIndex;
+use pathix_index::{BackendError, KPathIndex, PathIndexBackend};
 use pathix_rpq::{parse, to_disjuncts, RewriteOptions};
+
+impl From<BackendError> for SqlError {
+    fn from(e: BackendError) -> Self {
+        SqlError::Exec(format!("index backend error while bridging: {e}"))
+    }
+}
 
 /// Builds the `nodes(id)` table.
 pub fn nodes_table(graph: &Graph) -> Table {
@@ -38,22 +44,28 @@ pub fn edge_table(graph: &Graph) -> Table {
     t
 }
 
-/// Builds the `path_index(path, src, dst)` table from a [`KPathIndex`],
-/// clustered exactly like the paper's composite B+tree key.
-pub fn path_index_table(index: &KPathIndex, graph: &Graph) -> Table {
+/// Builds the `path_index(path, src, dst)` table from any
+/// [`PathIndexBackend`], clustered exactly like the paper's composite B+tree
+/// key. Backend scan failures surface as [`SqlError::Exec`].
+pub fn path_index_table<B: PathIndexBackend + ?Sized>(
+    index: &B,
+    graph: &Graph,
+) -> Result<Table, SqlError> {
     let mut t = Table::new("path_index", Schema::new(vec!["path", "src", "dst"]));
     for (path, _) in index.per_path_counts() {
         let text = path_string(graph, path);
-        for (s, d) in index.scan_path(path) {
+        for item in index.scan_path(path)? {
+            let (s, d) = item?;
             t.push(vec![text.clone().into(), s.0.into(), d.0.into()]);
         }
     }
     t.cluster_by(&["path", "src", "dst"]);
-    t
+    Ok(t)
 }
 
-/// Builds the `path_histogram(path, pairs, selectivity)` table.
-pub fn histogram_table(index: &KPathIndex, graph: &Graph) -> Table {
+/// Builds the `path_histogram(path, pairs, selectivity)` table from any
+/// [`PathIndexBackend`].
+pub fn histogram_table<B: PathIndexBackend + ?Sized>(index: &B, graph: &Graph) -> Table {
     let mut t = Table::new(
         "path_histogram",
         Schema::new(vec!["path", "pairs", "selectivity"]),
@@ -87,27 +99,33 @@ impl SqlPathDb {
     pub fn build(graph: Graph, k: usize) -> Self {
         let index = KPathIndex::build(&graph, k);
         Self::from_parts(graph, &index, k)
+            .expect("in-memory index scans cannot fail while bridging")
     }
 
     /// Builds the relational mirror of an existing [`PathDb`] (same graph,
-    /// same k, same index contents).
-    pub fn from_path_db(db: &PathDb) -> Self {
+    /// same k, same index contents). Works with every index backend; scan
+    /// failures of disk-resident backends surface as [`SqlError::Exec`].
+    pub fn from_path_db(db: &PathDb) -> Result<Self, SqlError> {
         Self::from_parts(db.graph().clone(), db.index(), db.k())
     }
 
-    fn from_parts(graph: Graph, index: &KPathIndex, k: usize) -> Self {
+    fn from_parts<B: PathIndexBackend + ?Sized>(
+        graph: Graph,
+        index: &B,
+        k: usize,
+    ) -> Result<Self, SqlError> {
         let mut engine = SqlEngine::new();
         engine.register(nodes_table(&graph));
         engine.register(edge_table(&graph));
-        engine.register(path_index_table(index, &graph));
+        engine.register(path_index_table(index, &graph)?);
         engine.register(histogram_table(index, &graph));
-        SqlPathDb {
+        Ok(SqlPathDb {
             engine,
             graph,
             k,
             star_bound: 4,
             max_disjuncts: 4096,
-        }
+        })
     }
 
     /// Sets the bound substituted for unbounded recursion (`*`, `+`).
@@ -216,7 +234,7 @@ mod tests {
         let index = KPathIndex::build(&g, 2);
         assert_eq!(nodes_table(&g).len(), g.node_count());
         assert_eq!(edge_table(&g).len(), g.edge_count());
-        let pi = path_index_table(&index, &g);
+        let pi = path_index_table(&index, &g).unwrap();
         assert_eq!(pi.len() as u64, index.stats().entries as u64);
         assert_eq!(pi.sort_order(), &[0, 1, 2]);
         let hist = histogram_table(&index, &g);
@@ -227,7 +245,7 @@ mod tests {
     fn sql_pipeline_matches_the_native_pipeline() {
         let g = paper_example_graph();
         let db = PathDb::build(g.clone(), PathDbConfig::with_k(2));
-        let sql_db = SqlPathDb::from_path_db(&db);
+        let sql_db = SqlPathDb::from_path_db(&db).unwrap();
         for query in [
             "supervisor/worksFor-",
             "knows/knows/worksFor",
@@ -254,7 +272,7 @@ mod tests {
                 ..PathDbConfig::default()
             },
         );
-        let sql_db = SqlPathDb::from_path_db(&db).with_star_bound(10);
+        let sql_db = SqlPathDb::from_path_db(&db).unwrap().with_star_bound(10);
         for query in ["knows{1,2}", "knows*", "supervisor/knows*", "worksFor+"] {
             let native = native_pairs(&db, query, Strategy::SemiNaive);
             let recursive = sql_db.query_pairs_recursive(query).unwrap();

@@ -160,9 +160,9 @@ impl Table {
         let idxs: Vec<usize> = columns
             .iter()
             .map(|c| {
-                self.schema
-                    .index_of(c)
-                    .unwrap_or_else(|| panic!("unknown cluster column `{c}` in table {}", self.name))
+                self.schema.index_of(c).unwrap_or_else(|| {
+                    panic!("unknown cluster column `{c}` in table {}", self.name)
+                })
             })
             .collect();
         self.rows.sort_by(|a, b| {
@@ -266,7 +266,11 @@ mod tests {
         t.cluster_by(&["label", "src"]);
         assert_eq!(t.sort_order(), &[0, 1]);
         let first = &t.rows()[0];
-        assert_eq!(first[1].as_int(), Some(1), "clustered order starts at knows,1");
+        assert_eq!(
+            first[1].as_int(),
+            Some(1),
+            "clustered order starts at knows,1"
+        );
         // A later push voids the clustering.
         t.push(vec!["knows".into(), 0u32.into(), 0u32.into()]);
         assert!(t.sort_order().is_empty());

@@ -95,9 +95,11 @@ impl ResultSet {
                 .collect::<Vec<_>>()
                 .join("  ")
         };
-        out.push_str(&fmt_row(&self.columns.iter().cloned().collect::<Vec<_>>()));
+        out.push_str(&fmt_row(&self.columns.to_vec()));
         out.push('\n');
-        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+        out.push_str(
+            &"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)),
+        );
         out.push('\n');
         for row in rendered {
             out.push_str(&fmt_row(&row));
@@ -395,9 +397,7 @@ mod tests {
     fn recursive_cte_requires_columns_and_base() {
         let engine = engine_with_edges();
         let err = engine
-            .execute(
-                "WITH RECURSIVE r AS (SELECT src, dst FROM r) SELECT src FROM r",
-            )
+            .execute("WITH RECURSIVE r AS (SELECT src, dst FROM r) SELECT src FROM r")
             .unwrap_err();
         assert!(matches!(err, SqlError::Plan(_)));
     }
@@ -431,7 +431,10 @@ mod tests {
     #[test]
     fn errors_are_reported_by_phase() {
         let engine = engine_with_edges();
-        assert!(matches!(engine.execute("SELEC oops"), Err(SqlError::Parse(_))));
+        assert!(matches!(
+            engine.execute("SELEC oops"),
+            Err(SqlError::Parse(_))
+        ));
         assert!(matches!(
             engine.execute("SELECT x FROM edge"),
             Err(SqlError::Plan(_))

@@ -144,9 +144,7 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>, SqlError> {
                 i += 1;
                 loop {
                     match bytes.get(i) {
-                        None => {
-                            return Err(SqlError::Parse("unterminated string literal".into()))
-                        }
+                        None => return Err(SqlError::Parse("unterminated string literal".into())),
                         Some('\'') if bytes.get(i + 1) == Some(&'\'') => {
                             s.push('\'');
                             i += 2;

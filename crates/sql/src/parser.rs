@@ -55,7 +55,9 @@ impl Parser {
     }
 
     fn peek_text(&self) -> String {
-        self.peek().map(ToString::to_string).unwrap_or_else(|| "<end>".into())
+        self.peek()
+            .map(ToString::to_string)
+            .unwrap_or_else(|| "<end>".into())
     }
 
     fn advance(&mut self) -> Option<Token> {
@@ -118,7 +120,9 @@ impl Parser {
             Some(Token::Ident(s)) => Ok(s),
             other => Err(SqlError::Parse(format!(
                 "expected identifier, found `{}`",
-                other.map(|t| t.to_string()).unwrap_or_else(|| "<end>".into())
+                other
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "<end>".into())
             ))),
         }
     }
@@ -158,7 +162,9 @@ impl Parser {
                 other => {
                     return Err(SqlError::Parse(format!(
                         "LIMIT expects a non-negative integer, found `{}`",
-                        other.map(|t| t.to_string()).unwrap_or_else(|| "<end>".into())
+                        other
+                            .map(|t| t.to_string())
+                            .unwrap_or_else(|| "<end>".into())
                     )))
                 }
             }
@@ -336,7 +342,9 @@ impl Parser {
             other => {
                 return Err(SqlError::Parse(format!(
                     "expected comparison operator, found `{}`",
-                    other.map(|t| t.to_string()).unwrap_or_else(|| "<end>".into())
+                    other
+                        .map(|t| t.to_string())
+                        .unwrap_or_else(|| "<end>".into())
                 )))
             }
         };
@@ -367,7 +375,9 @@ impl Parser {
             Some(Token::Ident(_)) => Ok(Operand::Column(self.parse_column_ref()?)),
             other => Err(SqlError::Parse(format!(
                 "expected column or literal, found `{}`",
-                other.map(ToString::to_string).unwrap_or_else(|| "<end>".into())
+                other
+                    .map(ToString::to_string)
+                    .unwrap_or_else(|| "<end>".into())
             ))),
         }
     }

@@ -175,7 +175,8 @@ impl PhysicalNode {
             PhysicalNode::Scan { table, alias } => scan(catalog, bindings, table, alias),
             PhysicalNode::Filter { input, predicates } => {
                 let mut rel = input.execute(catalog, bindings)?;
-                rel.rows.retain(|row| predicates.iter().all(|p| p.eval(row)));
+                rel.rows
+                    .retain(|row| predicates.iter().all(|p| p.eval(row)));
                 // Filtering never perturbs the order; additionally, equality
                 // against a literal pins leading sort columns, so they can be
                 // peeled off the sort prefix for downstream merge joins.
@@ -185,13 +186,10 @@ impl PhysicalNode {
                         p.op == CompareOp::Eq
                             && matches!(
                                 (&p.left, &p.right),
-                                (BoundOperand::Column(c), BoundOperand::Literal(_)) if *c == first
+                                (BoundOperand::Column(c), BoundOperand::Literal(_))
+                                    | (BoundOperand::Literal(_), BoundOperand::Column(c))
+                                    if *c == first
                             )
-                            || p.op == CompareOp::Eq
-                                && matches!(
-                                    (&p.left, &p.right),
-                                    (BoundOperand::Literal(_), BoundOperand::Column(c)) if *c == first
-                                )
                     });
                     if pinned {
                         sorted.remove(0);
@@ -273,7 +271,12 @@ impl PhysicalNode {
             }
             PhysicalNode::Distinct { input } => {
                 let mut rel = input.execute(catalog, bindings)?;
-                sort_rows(&mut rel.rows, &(0..rel.columns.len()).map(|i| (i, true)).collect::<Vec<_>>());
+                sort_rows(
+                    &mut rel.rows,
+                    &(0..rel.columns.len())
+                        .map(|i| (i, true))
+                        .collect::<Vec<_>>(),
+                );
                 rel.rows.dedup_by(|a, b| rows_equal(a, b));
                 rel.sorted_by = (0..rel.columns.len()).collect();
                 Ok(rel)
@@ -281,7 +284,11 @@ impl PhysicalNode {
             PhysicalNode::Sort { input, keys } => {
                 let mut rel = input.execute(catalog, bindings)?;
                 sort_rows(&mut rel.rows, keys);
-                rel.sorted_by = keys.iter().filter(|(_, asc)| *asc).map(|(i, _)| *i).collect();
+                rel.sorted_by = keys
+                    .iter()
+                    .filter(|(_, asc)| *asc)
+                    .map(|(i, _)| *i)
+                    .collect();
                 if keys.iter().any(|(_, asc)| !asc) {
                     rel.sorted_by.clear();
                 }
@@ -325,13 +332,23 @@ impl PhysicalNode {
                 out.push_str(&format!("{pad}Project [{}]\n", names.join(", ")));
                 input.explain_into(out, depth + 1);
             }
-            PhysicalNode::Join { left, right, kind, left_keys, .. } => {
+            PhysicalNode::Join {
+                left,
+                right,
+                kind,
+                left_keys,
+                ..
+            } => {
                 let name = match kind {
                     JoinKind::Hash => "HashJoin",
                     JoinKind::Merge => "MergeJoin",
                     JoinKind::Auto => "Join(merge-if-sorted)",
                 };
-                let shape = if left_keys.is_empty() { " (cartesian)" } else { "" };
+                let shape = if left_keys.is_empty() {
+                    " (cartesian)"
+                } else {
+                    ""
+                };
                 out.push_str(&format!("{pad}{name}{shape}\n"));
                 left.explain_into(out, depth + 1);
                 right.explain_into(out, depth + 1);
@@ -449,7 +466,12 @@ fn joined_columns(left: &Relation, right: &Relation) -> Vec<String> {
         .collect()
 }
 
-fn hash_join(left: Relation, right: Relation, left_keys: &[usize], right_keys: &[usize]) -> Relation {
+fn hash_join(
+    left: Relation,
+    right: Relation,
+    left_keys: &[usize],
+    right_keys: &[usize],
+) -> Relation {
     let columns = joined_columns(&left, &right);
     let mut rows = Vec::new();
     if left_keys.is_empty() {
@@ -497,7 +519,12 @@ fn hash_key(values: &[Value]) -> String {
     s
 }
 
-fn merge_join(left: Relation, right: Relation, left_keys: &[usize], right_keys: &[usize]) -> Relation {
+fn merge_join(
+    left: Relation,
+    right: Relation,
+    left_keys: &[usize],
+    right_keys: &[usize],
+) -> Relation {
     let columns = joined_columns(&left, &right);
     let mut rows = Vec::new();
     let mut i = 0usize;
@@ -585,7 +612,9 @@ mod tests {
                 right: BoundOperand::Literal("knows".into()),
             }],
         };
-        let rel = node.execute(&catalog_with_edges(), &Bindings::new()).unwrap();
+        let rel = node
+            .execute(&catalog_with_edges(), &Bindings::new())
+            .unwrap();
         assert_eq!(rel.rows.len(), 2);
         assert_eq!(rel.sorted_by, vec![1, 2], "label pinned, (src, dst) remain");
     }
@@ -620,7 +649,11 @@ mod tests {
             rows
         };
         assert_eq!(normalize(&hash), normalize(&merge));
-        assert_eq!(hash.rows.len(), 2, "knows(1,2)->worksFor(2,9) and knows(2,3)->worksFor(3,9)");
+        assert_eq!(
+            hash.rows.len(),
+            2,
+            "knows(1,2)->worksFor(2,9) and knows(2,3)->worksFor(3,9)"
+        );
     }
 
     #[test]
@@ -632,7 +665,9 @@ mod tests {
             right_keys: vec![],
             kind: JoinKind::Hash,
         };
-        let rel = node.execute(&catalog_with_edges(), &Bindings::new()).unwrap();
+        let rel = node
+            .execute(&catalog_with_edges(), &Bindings::new())
+            .unwrap();
         assert_eq!(rel.rows.len(), 16);
         assert_eq!(rel.columns.len(), 6);
     }
@@ -661,7 +696,14 @@ mod tests {
             input: Box::new(sorted),
             limit: 2,
         };
-        assert_eq!(limited.execute(&catalog, &Bindings::new()).unwrap().rows.len(), 2);
+        assert_eq!(
+            limited
+                .execute(&catalog, &Bindings::new())
+                .unwrap()
+                .rows
+                .len(),
+            2
+        );
 
         let count = PhysicalNode::CountStar {
             input: Box::new(project_src),

@@ -47,7 +47,10 @@ impl Scope {
                     .map(|(i, _)| i)
                     .collect();
                 match matches.len() {
-                    0 => Err(SqlError::Plan(format!("unknown column `{}`", col.display()))),
+                    0 => Err(SqlError::Plan(format!(
+                        "unknown column `{}`",
+                        col.display()
+                    ))),
                     1 => Ok(matches[0]),
                     _ => Err(SqlError::Plan(format!(
                         "ambiguous column `{}` (qualify it with a table alias)",
@@ -428,11 +431,9 @@ mod tests {
 
     #[test]
     fn plans_and_runs_a_join_query() {
-        let rel = run(
-            "SELECT DISTINCT t1.src AS src, t2.dst AS dst \
+        let rel = run("SELECT DISTINCT t1.src AS src, t2.dst AS dst \
              FROM path_index AS t1, path_index AS t2 \
-             WHERE t1.path = 'knows' AND t2.path = 'worksFor' AND t1.dst = t2.src",
-        );
+             WHERE t1.path = 'knows' AND t2.path = 'worksFor' AND t1.dst = t2.src");
         assert_eq!(rel.columns, vec!["src", "dst"]);
         assert_eq!(rel.rows.len(), 2);
     }
@@ -447,15 +448,11 @@ mod tests {
 
     #[test]
     fn union_dedups_and_union_all_does_not() {
-        let rel = run(
-            "SELECT src FROM path_index WHERE path = 'knows' \
-             UNION SELECT src FROM path_index WHERE path = 'knows'",
-        );
+        let rel = run("SELECT src FROM path_index WHERE path = 'knows' \
+             UNION SELECT src FROM path_index WHERE path = 'knows'");
         assert_eq!(rel.rows.len(), 2);
-        let rel = run(
-            "SELECT src FROM path_index WHERE path = 'knows' \
-             UNION ALL SELECT src FROM path_index WHERE path = 'knows'",
-        );
+        let rel = run("SELECT src FROM path_index WHERE path = 'knows' \
+             UNION ALL SELECT src FROM path_index WHERE path = 'knows'");
         assert_eq!(rel.rows.len(), 4);
     }
 
@@ -472,21 +469,20 @@ mod tests {
         assert!(plan_query(&q, &catalog(), &HashMap::new()).is_err());
         let q = parse_sql("SELECT src FROM nope").unwrap();
         assert!(plan_query(&q, &catalog(), &HashMap::new()).is_err());
-        let q = parse_sql(
-            "SELECT src FROM path_index AS a, path_index AS b WHERE a.dst = b.src",
-        )
-        .unwrap();
-        assert!(plan_query(&q, &catalog(), &HashMap::new()).is_err(), "ambiguous src");
+        let q = parse_sql("SELECT src FROM path_index AS a, path_index AS b WHERE a.dst = b.src")
+            .unwrap();
+        assert!(
+            plan_query(&q, &catalog(), &HashMap::new()).is_err(),
+            "ambiguous src"
+        );
     }
 
     #[test]
     fn three_way_join_runs_left_deep() {
-        let rel = run(
-            "SELECT DISTINCT t1.src AS src, t3.dst AS dst \
+        let rel = run("SELECT DISTINCT t1.src AS src, t3.dst AS dst \
              FROM path_index AS t1, path_index AS t2, path_index AS t3 \
              WHERE t1.path = 'knows' AND t2.path = 'knows' AND t3.path = 'worksFor' \
-               AND t1.dst = t2.src AND t2.dst = t3.src",
-        );
+               AND t1.dst = t2.src AND t2.dst = t3.src");
         // knows(1,2) ∘ knows(2,3) ∘ worksFor(3,9) = (1, 9).
         assert_eq!(rel.rows.len(), 1);
         assert_eq!(rel.rows[0][0].as_int(), Some(1));

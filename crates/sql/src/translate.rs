@@ -52,10 +52,7 @@ pub fn disjunct_to_sql(graph: &Graph, disjunct: &[SignedLabel], k: usize) -> Str
     for (i, segment) in segments.iter().enumerate() {
         let alias = format!("t{}", i + 1);
         from.push(format!("path_index AS {alias}"));
-        wheres.push(format!(
-            "{alias}.path = '{}'",
-            path_string(graph, segment)
-        ));
+        wheres.push(format!("{alias}.path = '{}'", path_string(graph, segment)));
     }
     for i in 1..segments.len() {
         wheres.push(format!("t{i}.dst = t{}.src", i + 1));
@@ -71,7 +68,10 @@ pub fn disjunct_to_sql(graph: &Graph, disjunct: &[SignedLabel], k: usize) -> Str
 /// The paper's translation: the union of the per-disjunct join queries, with
 /// set semantics (duplicate pairs removed).
 pub fn rpq_to_path_index_sql(graph: &Graph, disjuncts: &[LabelPath], k: usize) -> String {
-    assert!(!disjuncts.is_empty(), "a query must have at least one disjunct");
+    assert!(
+        !disjuncts.is_empty(),
+        "a query must have at least one disjunct"
+    );
     if disjuncts.len() == 1 {
         let body = disjunct_to_sql(graph, &disjuncts[0], k);
         // Splice DISTINCT into the single select.
@@ -199,8 +199,9 @@ impl<'a> RecursiveTranslator<'a> {
             1 => closure,
             n => {
                 // base^{n-1} ∘ base⁺
-                let prefix: Vec<String> =
-                    std::iter::repeat_with(|| base.to_owned()).take((n - 1) as usize).collect();
+                let prefix: Vec<String> = std::iter::repeat_with(|| base.to_owned())
+                    .take((n - 1) as usize)
+                    .collect();
                 let mut parts = prefix;
                 parts.push(closure);
                 self.concat_ctes(&parts)
@@ -276,7 +277,10 @@ mod tests {
         let g = paper_example_graph();
         let knows = sl(&g, "knows");
         let works = sl(&g, "worksFor");
-        assert_eq!(path_string(&g, &[knows, works.inverse()]), "knows.worksFor-");
+        assert_eq!(
+            path_string(&g, &[knows, works.inverse()]),
+            "knows.worksFor-"
+        );
     }
 
     #[test]
@@ -285,7 +289,10 @@ mod tests {
         let knows = sl(&g, "knows");
         let path = vec![knows; 7];
         let chunks = chunk_disjunct(&path, 3);
-        assert_eq!(chunks.iter().map(Vec::len).collect::<Vec<_>>(), vec![3, 3, 1]);
+        assert_eq!(
+            chunks.iter().map(Vec::len).collect::<Vec<_>>(),
+            vec![3, 3, 1]
+        );
     }
 
     #[test]

@@ -3,6 +3,10 @@
 use crate::keys::prefix_successor;
 use crate::node::{InternalNode, LeafNode, Node, MAX_KEYS};
 
+/// A node split propagated to the parent: the separator key and the new
+/// right sibling's id.
+type SplitInfo = (Vec<u8>, u32);
+
 /// An in-memory B+tree mapping byte-string keys to byte-string values.
 ///
 /// See the crate-level documentation for the design rationale. The tree is
@@ -120,7 +124,7 @@ impl BPlusTree {
         node_id: u32,
         key: Vec<u8>,
         value: Vec<u8>,
-    ) -> (Option<Vec<u8>>, Option<(Vec<u8>, u32)>) {
+    ) -> (Option<Vec<u8>>, Option<SplitInfo>) {
         let routed = match &self.nodes[node_id as usize] {
             Node::Internal(int) => {
                 let idx = int.route(&key);
@@ -377,7 +381,10 @@ impl BPlusTree {
             prev = Some(k.to_vec());
             count += 1;
         }
-        assert_eq!(count, self.len, "len does not match number of iterated keys");
+        assert_eq!(
+            count, self.len,
+            "len does not match number of iterated keys"
+        );
     }
 }
 
@@ -450,7 +457,10 @@ mod tests {
     fn insert_replaces_existing_value() {
         let mut t = BPlusTree::new();
         assert_eq!(t.insert(b"k".to_vec(), b"v1".to_vec()), None);
-        assert_eq!(t.insert(b"k".to_vec(), b"v2".to_vec()), Some(b"v1".to_vec()));
+        assert_eq!(
+            t.insert(b"k".to_vec(), b"v2".to_vec()),
+            Some(b"v1".to_vec())
+        );
         assert_eq!(t.len(), 1);
         assert_eq!(t.get(b"k"), Some(&b"v2"[..]));
     }
@@ -466,7 +476,10 @@ mod tests {
             t.insert(k, v);
         }
         t.check_invariants();
-        assert!(t.stats().depth >= 3, "tree should have grown multiple levels");
+        assert!(
+            t.stats().depth >= 3,
+            "tree should have grown multiple levels"
+        );
         for i in 0..n {
             let j = i.wrapping_mul(2_654_435_761) ^ (i << 7);
             let (k, v) = kv(j);

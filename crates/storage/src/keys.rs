@@ -128,7 +128,10 @@ mod tests {
     fn keybuf_len_and_accessors() {
         let mut k = KeyBuf::with_capacity(16);
         assert!(k.is_empty());
-        k.push_u8(7).push_u16(300).push_u32(70_000).push_u64(1 << 40);
+        k.push_u8(7)
+            .push_u16(300)
+            .push_u32(70_000)
+            .push_u64(1 << 40);
         assert_eq!(k.len(), 1 + 2 + 4 + 8);
         assert_eq!(k.as_slice().len(), k.len());
         k.push_bytes(b"xy");

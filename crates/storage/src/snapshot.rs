@@ -95,7 +95,8 @@ impl BPlusTree {
         for _ in 0..count {
             let klen = read_u32(&mut r)? as usize;
             let mut key = vec![0u8; klen];
-            r.read_exact(&mut key).map_err(|_| SnapshotError::Truncated)?;
+            r.read_exact(&mut key)
+                .map_err(|_| SnapshotError::Truncated)?;
             let vlen = read_u32(&mut r)? as usize;
             let mut value = vec![0u8; vlen];
             r.read_exact(&mut value)
@@ -108,13 +109,15 @@ impl BPlusTree {
 
 fn read_u32(r: &mut impl Read) -> Result<u32, SnapshotError> {
     let mut buf = [0u8; 4];
-    r.read_exact(&mut buf).map_err(|_| SnapshotError::Truncated)?;
+    r.read_exact(&mut buf)
+        .map_err(|_| SnapshotError::Truncated)?;
     Ok(u32::from_le_bytes(buf))
 }
 
 fn read_u64(r: &mut impl Read) -> Result<u64, SnapshotError> {
     let mut buf = [0u8; 8];
-    r.read_exact(&mut buf).map_err(|_| SnapshotError::Truncated)?;
+    r.read_exact(&mut buf)
+        .map_err(|_| SnapshotError::Truncated)?;
     Ok(u64::from_le_bytes(buf))
 }
 
@@ -132,7 +135,10 @@ mod tests {
     fn roundtrip_preserves_all_pairs() {
         let mut t = BPlusTree::new();
         for i in 0..3000u32 {
-            t.insert(i.to_be_bytes().to_vec(), vec![(i % 256) as u8; (i % 5) as usize]);
+            t.insert(
+                i.to_be_bytes().to_vec(),
+                vec![(i % 256) as u8; (i % 5) as usize],
+            );
         }
         let path = temp_path("roundtrip.pxbt");
         t.write_snapshot(&path).unwrap();

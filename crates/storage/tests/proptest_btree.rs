@@ -1,74 +1,76 @@
-//! Property-based tests: the B+tree must behave exactly like a
+//! Randomized model tests: the B+tree must behave exactly like a
 //! `std::collections::BTreeMap` model under arbitrary operation sequences.
+//!
+//! The build environment is offline, so instead of proptest these properties
+//! are driven by the vendored deterministic PRNG: every case is seeded, so a
+//! failure reproduces exactly.
 
 use pathix_storage::{prefix_successor, BPlusTree};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
 
-#[derive(Debug, Clone)]
-enum Op {
-    Insert(Vec<u8>, Vec<u8>),
-    Delete(Vec<u8>),
-    Get(Vec<u8>),
+fn random_key(rng: &mut StdRng, alphabet: u8, max_len: usize) -> Vec<u8> {
+    let len = rng.gen_range(0..=max_len);
+    (0..len)
+        .map(|_| rng.gen_range(0..alphabet as u32) as u8)
+        .collect()
 }
 
-fn key_strategy() -> impl Strategy<Value = Vec<u8>> {
-    // Small alphabet and short keys maximize collisions, which is what
-    // stresses replace/delete paths.
-    prop::collection::vec(0u8..6, 0..6)
-}
-
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (key_strategy(), prop::collection::vec(any::<u8>(), 0..4))
-            .prop_map(|(k, v)| Op::Insert(k, v)),
-        key_strategy().prop_map(Op::Delete),
-        key_strategy().prop_map(Op::Get),
-    ]
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn behaves_like_btreemap(ops in prop::collection::vec(op_strategy(), 1..400)) {
+#[test]
+fn behaves_like_btreemap() {
+    for case in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(0xB7EE + case);
         let mut tree = BPlusTree::new();
         let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
-        for op in ops {
-            match op {
-                Op::Insert(k, v) => {
+        let ops = rng.gen_range(1..400usize);
+        for _ in 0..ops {
+            // Small alphabet and short keys maximize collisions, which is
+            // what stresses replace/delete paths.
+            let k = random_key(&mut rng, 6, 5);
+            match rng.gen_range(0..3u32) {
+                0 => {
+                    let v = random_key(&mut rng, 255, 3);
                     let expected = model.insert(k.clone(), v.clone());
                     let actual = tree.insert(k, v);
-                    prop_assert_eq!(actual, expected);
+                    assert_eq!(actual, expected, "case {case}");
                 }
-                Op::Delete(k) => {
+                1 => {
                     let expected = model.remove(&k);
                     let actual = tree.delete(&k);
-                    prop_assert_eq!(actual, expected);
+                    assert_eq!(actual, expected, "case {case}");
                 }
-                Op::Get(k) => {
+                _ => {
                     let expected = model.get(&k).map(|v| v.as_slice());
                     let actual = tree.get(&k);
-                    prop_assert_eq!(actual, expected);
+                    assert_eq!(actual, expected, "case {case}");
                 }
             }
-            prop_assert_eq!(tree.len(), model.len());
+            assert_eq!(tree.len(), model.len(), "case {case}");
         }
         tree.check_invariants();
         let tree_pairs: Vec<_> = tree.iter().map(|(k, v)| (k.to_vec(), v.to_vec())).collect();
         let model_pairs: Vec<_> = model.into_iter().collect();
-        prop_assert_eq!(tree_pairs, model_pairs);
+        assert_eq!(tree_pairs, model_pairs, "case {case}");
     }
+}
 
-    #[test]
-    fn range_scans_match_model(
-        keys in prop::collection::btree_set(prop::collection::vec(0u8..8, 1..5), 0..300),
-        lo in prop::collection::vec(0u8..8, 0..5),
-        hi in prop::collection::vec(0u8..8, 0..5),
-    ) {
-        let model: BTreeMap<Vec<u8>, Vec<u8>> =
-            keys.into_iter().map(|k| (k, vec![1u8])).collect();
-        let tree = BPlusTree::bulk_load(model.iter().map(|(k, v)| (k.clone(), v.clone())).collect());
+#[test]
+fn range_scans_match_model() {
+    for case in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(0x5CA4 + case);
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        for _ in 0..rng.gen_range(0..300usize) {
+            let mut k = random_key(&mut rng, 8, 4);
+            if k.is_empty() {
+                k.push(0);
+            }
+            model.insert(k, vec![1u8]);
+        }
+        let tree =
+            BPlusTree::bulk_load(model.iter().map(|(k, v)| (k.clone(), v.clone())).collect());
+        let lo = random_key(&mut rng, 8, 4);
+        let hi = random_key(&mut rng, 8, 4);
         let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
         let expected: Vec<Vec<u8>> = model
             .range(lo.clone()..hi.clone())
@@ -78,41 +80,61 @@ proptest! {
             .range(&lo, Some(&hi))
             .map(|(k, _)| k.to_vec())
             .collect();
-        prop_assert_eq!(actual, expected);
+        assert_eq!(actual, expected, "case {case}");
     }
+}
 
-    #[test]
-    fn prefix_scans_match_model(
-        keys in prop::collection::btree_set(prop::collection::vec(0u8..4, 1..6), 0..300),
-        prefix in prop::collection::vec(0u8..4, 0..4),
-    ) {
-        let model: BTreeMap<Vec<u8>, Vec<u8>> =
-            keys.into_iter().map(|k| (k, Vec::new())).collect();
-        let tree = BPlusTree::bulk_load(model.iter().map(|(k, v)| (k.clone(), v.clone())).collect());
+#[test]
+fn prefix_scans_match_model() {
+    for case in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(0xF1E7 + case);
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        for _ in 0..rng.gen_range(0..300usize) {
+            let mut k = random_key(&mut rng, 4, 5);
+            if k.is_empty() {
+                k.push(0);
+            }
+            model.insert(k, Vec::new());
+        }
+        let tree =
+            BPlusTree::bulk_load(model.iter().map(|(k, v)| (k.clone(), v.clone())).collect());
+        let prefix = random_key(&mut rng, 4, 3);
         let expected: Vec<Vec<u8>> = model
             .keys()
             .filter(|k| k.starts_with(&prefix))
             .cloned()
             .collect();
-        let actual: Vec<Vec<u8>> = tree
-            .scan_prefix(&prefix)
-            .map(|(k, _)| k.to_vec())
-            .collect();
-        prop_assert_eq!(actual, expected);
+        let actual: Vec<Vec<u8>> = tree.scan_prefix(&prefix).map(|(k, _)| k.to_vec()).collect();
+        assert_eq!(actual, expected, "case {case}");
     }
+}
 
-    #[test]
-    fn prefix_successor_is_a_tight_upper_bound(prefix in prop::collection::vec(any::<u8>(), 1..8)) {
+#[test]
+fn prefix_successor_is_a_tight_upper_bound() {
+    let mut rng = StdRng::seed_from_u64(0x5CC);
+    for case in 0..512 {
+        let len = rng.gen_range(1..8usize);
+        // Bias toward 0xFF bytes so the carry path is exercised often.
+        let prefix: Vec<u8> = (0..len)
+            .map(|_| {
+                if rng.gen_bool(0.3) {
+                    0xFF
+                } else {
+                    rng.gen_range(0..256u32) as u8
+                }
+            })
+            .collect();
         if let Some(succ) = prefix_successor(&prefix) {
-            // Every extension of the prefix sorts strictly below the successor.
-            prop_assert!(prefix < succ);
+            // Every extension of the prefix sorts strictly below the
+            // successor.
+            assert!(prefix < succ, "case {case}");
             let mut extended = prefix.clone();
             extended.extend_from_slice(&[0xFF; 4]);
-            prop_assert!(extended < succ);
-            prop_assert!(!succ.starts_with(&prefix));
+            assert!(extended < succ, "case {case}");
+            assert!(!succ.starts_with(&prefix), "case {case}");
         } else {
             // Only all-0xFF prefixes have no successor.
-            prop_assert!(prefix.iter().all(|&b| b == 0xFF));
+            assert!(prefix.iter().all(|&b| b == 0xFF), "case {case}");
         }
     }
 }

@@ -62,7 +62,9 @@ fn main() {
     }
 
     // Buffer-pool behaviour: a cold scan misses, repeating it hits.
-    println!("\nbuffer pool behaviour (k = 2, 8-frame pool, scanning the `journeyer.journeyer` paths):");
+    println!(
+        "\nbuffer pool behaviour (k = 2, 8-frame pool, scanning the `journeyer.journeyer` paths):"
+    );
     let paged = PagedPathIndex::build_in_memory(&graph, 2, 8).unwrap();
     let knows = SignedLabel::forward(graph.label_id("journeyer").unwrap());
     paged.reset_pool_stats();

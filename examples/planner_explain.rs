@@ -19,12 +19,19 @@ fn main() {
 
     // Step 0: parsing.
     let parsed = parse(query).expect("query parses");
-    println!("parsed AST has {} nodes, recursion: {}\n", parsed.size(), parsed.has_recursion());
+    println!(
+        "parsed AST has {} nodes, recursion: {}\n",
+        parsed.size(),
+        parsed.has_recursion()
+    );
 
     // Steps 1 & 2 of the paper: expand recursion, pull unions up.
     let bound = parsed.bind(&graph).expect("labels resolve");
     let disjuncts = to_disjuncts(&bound, RewriteOptions::default()).expect("expansion fits");
-    println!("rewriting produces {} label-path disjuncts:", disjuncts.len());
+    println!(
+        "rewriting produces {} label-path disjuncts:",
+        disjuncts.len()
+    );
     for d in &disjuncts {
         println!("  {}", pathix::rpq::ast::format_label_path(d, &graph));
     }

@@ -39,7 +39,11 @@ fn main() {
             std::process::exit(1);
         }
     };
-    println!("== 2. parsing\n   AST size: {} nodes, recursion: {}\n", parsed.size(), parsed.has_recursion());
+    println!(
+        "== 2. parsing\n   AST size: {} nodes, recursion: {}\n",
+        parsed.size(),
+        parsed.has_recursion()
+    );
 
     // Binding + rewriting (recursion expansion, union pull-up).
     let bound = match db.compile(&query) {
@@ -56,14 +60,21 @@ fn main() {
         disjuncts.len()
     );
     for d in &disjuncts {
-        println!("     {}", pathix::rpq::ast::format_label_path(d, db.graph()));
+        println!(
+            "     {}",
+            pathix::rpq::ast::format_label_path(d, db.graph())
+        );
     }
     println!();
 
     // Optimization: the four strategies and their physical plans.
     println!("== 4. optimization (physical plans per strategy)\n");
     for strategy in Strategy::all() {
-        println!("-- {}\n{}", strategy.name(), db.explain(&query, strategy).unwrap());
+        println!(
+            "-- {}\n{}",
+            strategy.name(),
+            db.explain(&query, strategy).unwrap()
+        );
     }
 
     // Execution.

@@ -25,8 +25,8 @@ fn main() {
     let db = PathDb::build(graph, PathDbConfig::with_k(2));
     let stats = db.stats();
     println!(
-        "k-path index: k={}, {} entries over {} label paths, built in {:?}\n",
-        stats.index.k, stats.index.entries, stats.index.distinct_paths, stats.index.build_time
+        "k-path index ({} backend): k={}, {} entries over {} label paths\n",
+        stats.index.backend, stats.index.k, stats.index.entries, stats.index.distinct_paths
     );
 
     // 3. Run queries. The default strategy is minSupport (histogram-guided).
@@ -73,5 +73,8 @@ fn main() {
     let indexed = db.query(query).unwrap();
     assert_eq!(reference, datalog);
     assert_eq!(reference.as_slice(), indexed.pairs());
-    println!("all three evaluation routes agree on {} answer pairs ✔", reference.len());
+    println!(
+        "all three evaluation routes agree on {} answer pairs ✔",
+        reference.len()
+    );
 }

@@ -49,10 +49,7 @@ fn main() {
             "friend-of-friend colleagues",
             "knows/knows/worksFor/worksFor-",
         ),
-        (
-            "reports of reports (2-3 levels)",
-            "supervisor{2,3}",
-        ),
+        ("reports of reports (2-3 levels)", "supervisor{2,3}"),
         (
             "knows someone in the same management chain",
             "knows/(supervisor|supervisor-){1,2}",

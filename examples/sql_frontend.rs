@@ -20,12 +20,16 @@ fn main() {
     let native = PathDb::build(graph.clone(), PathDbConfig::with_k(k));
     // … and its relational mirror: the same index contents loaded into the
     // `path_index` table, plus `nodes`, `edge` and `path_histogram`.
-    let relational = SqlPathDb::from_path_db(&native);
+    let relational = SqlPathDb::from_path_db(&native).unwrap();
 
     println!("tables registered in the SQL engine:");
     for name in relational.engine().catalog().table_names() {
         let table = relational.engine().catalog().get(name).unwrap();
-        println!("  {name:<15} {:>6} rows, schema {}", table.len(), table.schema());
+        println!(
+            "  {name:<15} {:>6} rows, schema {}",
+            table.len(),
+            table.schema()
+        );
     }
 
     let query = "knows/(knows/worksFor){2,4}/worksFor";
@@ -37,7 +41,10 @@ fn main() {
 
     // 2. The relational physical plan (merge joins appear exactly where the
     //    clustered (path, src, dst) order makes them possible).
-    println!("-- relational EXPLAIN\n{}", relational.explain(query).unwrap());
+    println!(
+        "-- relational EXPLAIN\n{}",
+        relational.explain(query).unwrap()
+    );
 
     // 3. Results agree with the native pipeline.
     let via_sql = relational.query_pairs(query).unwrap();
@@ -54,14 +61,15 @@ fn main() {
     let recursive_sql = relational.recursive_sql_for(star_query).unwrap();
     println!("\nRPQ: {star_query}\n-- recursive-view translation (approach 2)\n{recursive_sql}\n");
     let reachable = relational.query_pairs_recursive(star_query).unwrap();
-    println!("knows* reaches {} node pairs (including the identity pairs)", reachable.len());
+    println!(
+        "knows* reaches {} node pairs (including the identity pairs)",
+        reachable.len()
+    );
 
     // 5. The bridged tables also answer ad-hoc SQL, e.g. the histogram the
     //    minSupport planner consults.
     let top = relational
-        .raw_sql(
-            "SELECT path, pairs, selectivity FROM path_histogram ORDER BY pairs DESC LIMIT 5",
-        )
+        .raw_sql("SELECT path, pairs, selectivity FROM path_histogram ORDER BY pairs DESC LIMIT 5")
         .unwrap();
     println!("five least selective label paths (straight SQL over path_histogram):");
     println!("{}", top.to_table_string());

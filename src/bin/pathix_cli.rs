@@ -20,7 +20,9 @@
 //! Inside the shell, lines starting with `\` are commands (`\help` lists
 //! them); every other line is evaluated as a regular path query.
 
-use pathix::datagen::{advogato_like, paper_example_graph, social_network, AdvogatoConfig, SocialConfig};
+use pathix::datagen::{
+    advogato_like, paper_example_graph, social_network, AdvogatoConfig, SocialConfig,
+};
 use pathix::graph::load_edge_list;
 use pathix::{Graph, PathDb, PathDbConfig, Strategy};
 use std::io::{self, BufRead, Write};
@@ -83,7 +85,9 @@ fn parse_command(line: &str) -> Command {
         ("explain", q) if !q.is_empty() => Command::Explain(q.to_owned()),
         ("plans", q) if !q.is_empty() => Command::Plans(q.to_owned()),
         ("compare", q) if !q.is_empty() => Command::Compare(q.to_owned()),
-        _ => Command::Invalid(format!("unknown or incomplete command `\\{rest}` — try \\help")),
+        _ => Command::Invalid(format!(
+            "unknown or incomplete command `\\{rest}` — try \\help"
+        )),
     }
 }
 
@@ -181,18 +185,17 @@ impl Session {
         let stats = self.db.stats();
         format!(
             "graph     : {} nodes, {} edges, {} labels\n\
-             index     : k = {}, {} entries over {} label paths, depth {}, ~{} KiB, built in {:?}\n\
+             index     : {} backend, k = {}, {} entries over {} label paths, ~{} KiB\n\
              histogram : {} paths summarized in {} buckets\n\
              strategy  : {} (answers capped at {} printed pairs)",
             stats.nodes,
             stats.edges,
             stats.labels,
+            stats.index.backend,
             stats.index.k,
             stats.index.entries,
             stats.index.distinct_paths,
-            stats.index.tree_depth,
             stats.index.approx_bytes / 1024,
-            stats.index.build_time,
             stats.histogram_paths,
             stats.histogram_buckets,
             self.strategy,
@@ -456,10 +459,16 @@ mod tests {
         let out = session.run(Command::Explain("knows/knows/worksFor".to_owned()));
         assert!(out.contains("plan"), "{out}");
         let out = session.run(Command::Plans("knows/knows".to_owned()));
-        assert!(out.contains("naive plan") && out.contains("minJoin plan"), "{out}");
+        assert!(
+            out.contains("naive plan") && out.contains("minJoin plan"),
+            "{out}"
+        );
 
         let out = session.run(Command::Compare("knows/worksFor".to_owned()));
-        assert!(out.contains("automaton") && out.contains("datalog"), "{out}");
+        assert!(
+            out.contains("automaton") && out.contains("datalog"),
+            "{out}"
+        );
 
         let out = session.run(Command::Query("not a query ///".to_owned()));
         assert!(out.starts_with("error:"), "{out}");

@@ -34,10 +34,44 @@
 //! let answer = db.query_with("supervisor/worksFor-", Strategy::MinSupport).unwrap();
 //! assert_eq!(answer.named_pairs(&db), vec![("kim".to_string(), "sue".to_string())]);
 //! ```
+//!
+//! ## Choosing an index backend
+//!
+//! The entire query pipeline is generic over the
+//! [`PathIndexBackend`] trait, so the same parse → bind → rewrite → plan →
+//! execute flow runs against any of the built-in index representations.
+//! Select one with [`PathDbConfig::backend`] / [`BackendChoice`]:
+//!
+//! * [`BackendChoice::Memory`] (the default) — the in-memory B+tree; fastest
+//!   scans, bounded by RAM.
+//! * [`BackendChoice::PagedInMemory`] — the paged B+tree behind a
+//!   clock-eviction buffer pool with an in-memory page store; exercises the
+//!   full paging machinery (useful for tests and cache measurements).
+//! * [`BackendChoice::OnDisk`] — the paged B+tree over a page file on disk;
+//!   only `pool_frames` 4 KiB pages stay resident, so the index can be far
+//!   larger than memory.
+//! * [`BackendChoice::Compressed`] — delta/varint-compressed per-path pair
+//!   blocks; the smallest footprint, decoding on scan.
+//!
+//! Backends answering a query never panic on I/O: failures surface as
+//! [`QueryError::Backend`].
+//!
+//! ```
+//! use pathix::{BackendChoice, PathDb, PathDbConfig};
+//! use pathix::datagen::paper_example_graph;
+//!
+//! let config = PathDbConfig::with_k(2)
+//!     .with_backend(BackendChoice::PagedInMemory { pool_frames: 32 });
+//! let db = PathDb::try_build(paper_example_graph(), config).unwrap();
+//! assert_eq!(db.backend_name(), "paged");
+//! let answer = db.query("supervisor/worksFor-").unwrap();
+//! assert_eq!(answer.len(), 1);
+//! ```
 
 pub use pathix_core::{
-    DbStats, EstimationMode, ExecutionStats, Graph, GraphBuilder, IndexStats, LabelId, NodeId,
-    PathDb, PathDbConfig, PhysicalPlan, QueryError, QueryResult, SignedLabel, Strategy,
+    BackendChoice, BackendError, BackendStats, DbStats, EstimationMode, ExecutionStats, Graph,
+    GraphBuilder, IndexBackend, IndexStats, LabelId, NodeId, PathDb, PathDbConfig,
+    PathIndexBackend, PhysicalPlan, QueryError, QueryResult, SignedLabel, Strategy,
 };
 
 /// The graph substrate crate.

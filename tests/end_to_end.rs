@@ -1,7 +1,9 @@
 //! End-to-end behaviour of the public `PathDb` API on larger synthetic data:
 //! strategies, baselines, error handling, statistics and plan inspection.
 
-use pathix::datagen::{advogato_like, advogato_queries, social_network, AdvogatoConfig, SocialConfig};
+use pathix::datagen::{
+    advogato_like, advogato_queries, social_network, AdvogatoConfig, SocialConfig,
+};
 use pathix::{EstimationMode, PathDb, PathDbConfig, QueryError, Strategy};
 
 fn social_db(k: usize) -> PathDb {
@@ -71,10 +73,18 @@ fn histogram_modes_produce_identical_answers() {
             ..PathDbConfig::with_k(2)
         },
     );
-    for query in ["knows/worksFor", "supervisor/knows-", "(knows|supervisor){1,2}"] {
+    for query in [
+        "knows/worksFor",
+        "supervisor/knows-",
+        "(knows|supervisor){1,2}",
+    ] {
         let a = exact.query(query).unwrap();
         let b = equi.query(query).unwrap();
-        assert_eq!(a.pairs(), b.pairs(), "histogram mode changed answers for {query}");
+        assert_eq!(
+            a.pairs(),
+            b.pairs(),
+            "histogram mode changed answers for {query}"
+        );
     }
 }
 

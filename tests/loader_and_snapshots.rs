@@ -49,7 +49,10 @@ fn edge_list_roundtrip_preserves_query_answers() {
         let mut b = b;
         a.sort();
         b.sort();
-        assert_eq!(a, b, "answers changed across edge-list roundtrip for {query}");
+        assert_eq!(
+            a, b,
+            "answers changed across edge-list roundtrip for {query}"
+        );
     }
 }
 

@@ -17,7 +17,10 @@ fn sorted(mut pairs: Vec<(NodeId, NodeId)>) -> Vec<(NodeId, NodeId)> {
 #[test]
 fn parallel_index_build_is_identical_on_random_graphs() {
     for (name, graph) in [
-        ("barabasi_albert", barabasi_albert(250, 3, &["a", "b", "c"], 7)),
+        (
+            "barabasi_albert",
+            barabasi_albert(250, 3, &["a", "b", "c"], 7),
+        ),
         ("erdos_renyi", erdos_renyi(200, 900, &["a", "b", "c"], 11)),
     ] {
         let sequential = KPathIndex::build(&graph, 2);
@@ -37,7 +40,10 @@ fn parallel_index_build_is_identical_on_random_graphs() {
 
 #[test]
 fn parallel_query_execution_matches_sequential_for_every_strategy() {
-    let db = PathDb::build(barabasi_albert(200, 3, &["a", "b", "c"], 5), PathDbConfig::with_k(2));
+    let db = PathDb::build(
+        barabasi_albert(200, 3, &["a", "b", "c"], 5),
+        PathDbConfig::with_k(2),
+    );
     let labels = db.graph().label_names().join("|");
     let queries = [
         format!("({labels}){{1,3}}"),
@@ -82,7 +88,11 @@ fn reachability_baseline_agrees_with_the_automaton_on_supported_queries() {
             let via_reach = evaluate_reachability(graph, &expr)
                 .unwrap_or_else(|| panic!("{query} should be in the restricted fragment"));
             let via_automaton = sorted(evaluate_automaton(graph, &expr));
-            assert_eq!(sorted(via_reach), via_automaton, "dataset {name}, query {query}");
+            assert_eq!(
+                sorted(via_reach),
+                via_automaton,
+                "dataset {name}, query {query}"
+            );
         }
     }
 }
@@ -90,7 +100,11 @@ fn reachability_baseline_agrees_with_the_automaton_on_supported_queries() {
 #[test]
 fn reachability_baseline_rejects_general_rpqs() {
     let graph = paper_example_graph();
-    for query in ["knows{2,4}", "(knows/worksFor)*", "knows/(knows|worksFor/knows)*"] {
+    for query in [
+        "knows{2,4}",
+        "(knows/worksFor)*",
+        "knows/(knows|worksFor/knows)*",
+    ] {
         let expr = parse(query).unwrap().bind(&graph).unwrap();
         assert!(
             evaluate_reachability(&graph, &expr).is_none(),

@@ -23,7 +23,7 @@ fn native_pairs(db: &PathDb, query: &str, strategy: Strategy) -> Vec<(u32, u32)>
 #[test]
 fn sql_translation_agrees_with_every_strategy_on_the_paper_example() {
     let db = PathDb::build(paper_example_graph(), PathDbConfig::with_k(2));
-    let relational = SqlPathDb::from_path_db(&db);
+    let relational = SqlPathDb::from_path_db(&db).unwrap();
     let queries = [
         "supervisor/worksFor-",
         "(supervisor|worksFor|worksFor-){4,5}",
@@ -51,7 +51,7 @@ fn sql_translation_agrees_on_a_synthetic_social_network() {
     // merge/hash decision more than the 9-node example.
     let graph = advogato_like(AdvogatoConfig::scaled(0.01));
     let db = PathDb::build(graph, PathDbConfig::with_k(2));
-    let relational = SqlPathDb::from_path_db(&db);
+    let relational = SqlPathDb::from_path_db(&db).unwrap();
     for query in [
         "journeyer/master",
         "apprentice/journeyer-",
@@ -76,8 +76,13 @@ fn recursive_sql_views_agree_with_the_datalog_baseline() {
             ..PathDbConfig::with_k(2)
         },
     );
-    let relational = SqlPathDb::from_path_db(&db).with_star_bound(12);
-    for query in ["knows*", "knows+", "supervisor/knows*", "worksFor-/worksFor"] {
+    let relational = SqlPathDb::from_path_db(&db).unwrap().with_star_bound(12);
+    for query in [
+        "knows*",
+        "knows+",
+        "supervisor/knows*",
+        "worksFor-/worksFor",
+    ] {
         let mut via_datalog: Vec<(u32, u32)> = db
             .query_datalog(query)
             .unwrap()
@@ -97,7 +102,7 @@ fn recursive_sql_views_agree_with_the_datalog_baseline() {
 #[test]
 fn generated_sql_is_parseable_and_explainable() {
     let db = PathDb::build(paper_example_graph(), PathDbConfig::with_k(3));
-    let relational = SqlPathDb::from_path_db(&db);
+    let relational = SqlPathDb::from_path_db(&db).unwrap();
     for query in ["knows/knows/worksFor/knows/worksFor", "knows{1,4}"] {
         let sql = relational.sql_for(query).unwrap();
         assert!(sql.contains("path_index"));

@@ -1,0 +1,208 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so this workspace vendors the
+//! subset of the criterion API its benches use: [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`black_box`] and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. Measurement is a simple
+//! wall-clock loop (median of a fixed number of timed batches) rather than
+//! criterion's statistical machinery — good enough to compare backends and
+//! catch order-of-magnitude regressions without external dependencies.
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched work.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// A benchmark identifier: a function name plus a parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id `"{name}/{parameter}"`.
+    pub fn new<P: fmt::Display>(name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            name: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Creates an id from a bare parameter (criterion's `from_parameter`).
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// The timing driver handed to bench closures.
+pub struct Bencher {
+    /// Number of timed batches to run.
+    batches: usize,
+    /// Measured batch times, one per batch.
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, running one warm-up batch plus `batches` timed ones.
+    pub fn iter<O, Rt: FnMut() -> O>(&mut self, mut routine: Rt) {
+        black_box(routine());
+        for _ in 0..self.batches {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// A named group of related benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed batches per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; the stand-in has no target time.
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; warm-up is one untimed batch.
+    pub fn warm_up_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<Id: fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: Id,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            batches: self.sample_size.min(16),
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        self.report(&id.to_string(), &mut bencher.samples);
+        self
+    }
+
+    /// Runs one benchmark that closes over an explicit input.
+    pub fn bench_with_input<Id: fmt::Display, I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: Id,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            batches: self.sample_size.min(16),
+            samples: Vec::new(),
+        };
+        f(&mut bencher, input);
+        self.report(&id.to_string(), &mut bencher.samples);
+        self
+    }
+
+    /// Ends the group (printing is per-benchmark, so this is a no-op).
+    pub fn finish(&mut self) {}
+
+    fn report(&mut self, id: &str, samples: &mut [Duration]) {
+        let line = if samples.is_empty() {
+            format!("{}/{id}: no samples", self.name)
+        } else {
+            samples.sort_unstable();
+            let median = samples[samples.len() / 2];
+            let min = samples[0];
+            let max = samples[samples.len() - 1];
+            format!(
+                "{}/{id}: median {} (min {}, max {}, n={})",
+                self.name,
+                fmt_duration(median),
+                fmt_duration(min),
+                fmt_duration(max),
+                samples.len()
+            )
+        };
+        println!("{line}");
+        self.parent.lines.push(line);
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// The top-level bench context. One instance is created per bench binary by
+/// [`criterion_main!`].
+#[derive(Default)]
+pub struct Criterion {
+    lines: Vec<String>,
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== bench group: {name}");
+        BenchmarkGroup {
+            parent: self,
+            name,
+            sample_size: 10,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.benchmark_group(id.to_string())
+            .bench_function("run", f);
+        self
+    }
+}
+
+/// Declares a bench group function list, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+        }
+    };
+}
