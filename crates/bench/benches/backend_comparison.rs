@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pathix_bench::{bench_scale, build_advogato};
-use pathix_core::{BackendChoice, PathDb, PathDbConfig, Strategy};
+use pathix_core::{BackendChoice, PathDb, PathDbConfig, QueryOptions, Strategy};
 use pathix_datagen::advogato_queries;
 
 fn backend_configs() -> Vec<(&'static str, BackendChoice)> {
@@ -33,7 +33,7 @@ fn backend_query_latency(c: &mut Criterion) {
                 &query.text,
                 |b, text| {
                     b.iter(|| {
-                        db.query_with(text, Strategy::MinSupport)
+                        db.run(text, QueryOptions::with_strategy(Strategy::MinSupport))
                             .expect("query failed")
                             .len()
                     })

@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pathix_bench::build_advogato_db;
-use pathix_core::Strategy;
+use pathix_core::{QueryOptions, Strategy};
 use pathix_datagen::advogato_queries;
 
 fn datalog_bench(c: &mut Criterion) {
@@ -21,7 +21,9 @@ fn datalog_bench(c: &mut Criterion) {
             &q.text,
             |b, text| {
                 b.iter(|| {
-                    let r = db.query_with(text, Strategy::MinSupport).unwrap();
+                    let r = db
+                        .run(text, QueryOptions::with_strategy(Strategy::MinSupport))
+                        .unwrap();
                     criterion::black_box(r.len())
                 })
             },

@@ -6,7 +6,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pathix_bench::{bench_scale, build_advogato_db};
-use pathix_core::Strategy;
+use pathix_core::{QueryOptions, Strategy};
 use pathix_datagen::advogato_queries;
 
 fn fig2_bench(c: &mut Criterion) {
@@ -27,7 +27,8 @@ fn fig2_bench(c: &mut Criterion) {
                     &q.text,
                     |b, text| {
                         b.iter(|| {
-                            let result = db.query_with(text, strategy).unwrap();
+                            let result =
+                                db.run(text, QueryOptions::with_strategy(strategy)).unwrap();
                             criterion::black_box(result.len())
                         })
                     },

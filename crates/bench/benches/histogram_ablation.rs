@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pathix_bench::{bench_scale, build_advogato};
-use pathix_core::{EstimationMode, PathDb, PathDbConfig, Strategy};
+use pathix_core::{EstimationMode, PathDb, PathDbConfig, QueryOptions, Strategy};
 use pathix_datagen::advogato_queries;
 
 fn ablation_bench(c: &mut Criterion) {
@@ -34,7 +34,11 @@ fn ablation_bench(c: &mut Criterion) {
             &q.text,
             |b, t| {
                 b.iter(|| {
-                    criterion::black_box(equi.query_with(t, Strategy::SemiNaive).unwrap().len())
+                    criterion::black_box(
+                        equi.run(t, QueryOptions::with_strategy(Strategy::SemiNaive))
+                            .unwrap()
+                            .len(),
+                    )
                 })
             },
         );
@@ -43,7 +47,11 @@ fn ablation_bench(c: &mut Criterion) {
             &q.text,
             |b, t| {
                 b.iter(|| {
-                    criterion::black_box(equi.query_with(t, Strategy::MinSupport).unwrap().len())
+                    criterion::black_box(
+                        equi.run(t, QueryOptions::with_strategy(Strategy::MinSupport))
+                            .unwrap()
+                            .len(),
+                    )
                 })
             },
         );
@@ -52,7 +60,12 @@ fn ablation_bench(c: &mut Criterion) {
             &q.text,
             |b, t| {
                 b.iter(|| {
-                    criterion::black_box(exact.query_with(t, Strategy::MinSupport).unwrap().len())
+                    criterion::black_box(
+                        exact
+                            .run(t, QueryOptions::with_strategy(Strategy::MinSupport))
+                            .unwrap()
+                            .len(),
+                    )
                 })
             },
         );

@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pathix_bench::datasets::build_ba;
-use pathix_core::{PathDb, PathDbConfig, Strategy};
+use pathix_core::{PathDb, PathDbConfig, QueryOptions, Strategy};
 use pathix_datagen::{WorkloadConfig, WorkloadGenerator};
 
 fn scaling_bench(c: &mut Criterion) {
@@ -32,7 +32,10 @@ fn scaling_bench(c: &mut Criterion) {
                     b.iter(|| {
                         let mut total = 0usize;
                         for q in workload {
-                            total += db.query_with(&q.text, strategy).unwrap().len();
+                            total += db
+                                .run(&q.text, QueryOptions::with_strategy(strategy))
+                                .unwrap()
+                                .len();
                         }
                         criterion::black_box(total)
                     })

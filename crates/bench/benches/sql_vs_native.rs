@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pathix_bench::{bench_scale, build_advogato};
-use pathix_core::{PathDb, PathDbConfig, Strategy};
+use pathix_core::{PathDb, PathDbConfig, QueryOptions, Strategy};
 use pathix_datagen::advogato_queries;
 use pathix_sql::SqlPathDb;
 
@@ -24,7 +24,12 @@ fn sql_vs_native_bench(c: &mut Criterion) {
             &q.text,
             |b, t| {
                 b.iter(|| {
-                    criterion::black_box(native.query_with(t, Strategy::MinSupport).unwrap().len())
+                    criterion::black_box(
+                        native
+                            .run(t, QueryOptions::with_strategy(Strategy::MinSupport))
+                            .unwrap()
+                            .len(),
+                    )
                 })
             },
         );

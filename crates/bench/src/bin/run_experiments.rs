@@ -11,6 +11,7 @@
 //!   scaling    extension: query time vs graph size
 //!   ablation   extension: equi-depth histogram vs exact statistics
 //!   incremental extension: incremental index maintenance vs rebuild
+//!   amortization extension: parse-per-call vs plan-cache vs prepared throughput
 //!   all        everything above (default)
 //! ```
 //!
@@ -19,7 +20,7 @@
 //! graph because the baselines are orders of magnitude slower.
 
 use pathix_bench::{
-    automaton_comparison, backend_comparison, bench_scale, datalog_speedup, fig2,
+    amortization, automaton_comparison, backend_comparison, bench_scale, datalog_speedup, fig2,
     histogram_ablation, incremental_maintenance, index_construction, paged_index, parallel,
     scaling, sql_comparison,
 };
@@ -64,6 +65,9 @@ fn main() {
         "backends" => {
             backend_comparison(scale, 2);
         }
+        "amortization" => {
+            amortization(scale, 2);
+        }
         "parallel" => {
             parallel(scale);
         }
@@ -80,13 +84,15 @@ fn main() {
             sql_comparison(baseline_scale);
             paged_index(scale);
             backend_comparison(scale, 2);
+            amortization(scale, 2);
             parallel(scale);
             incremental_maintenance(scale);
         }
         other => {
             eprintln!(
                 "unknown experiment `{other}`; expected one of: fig2, datalog, automaton, \
-                 index, scaling, ablation, sql, paged, backends, parallel, incremental, all"
+                 index, scaling, ablation, sql, paged, backends, amortization, parallel, \
+                 incremental, all"
             );
             std::process::exit(2);
         }

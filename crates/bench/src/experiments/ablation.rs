@@ -6,7 +6,7 @@
 
 use crate::datasets::build_advogato;
 use crate::report::{write_json, Table};
-use pathix_core::{EstimationMode, PathDb, PathDbConfig, Strategy};
+use pathix_core::{EstimationMode, PathDb, PathDbConfig, QueryOptions, Strategy};
 use pathix_datagen::advogato_queries;
 
 /// One query measured under the three planner configurations.
@@ -64,9 +64,15 @@ pub fn histogram_ablation(scale: f64) -> AblationReport {
         "minSupport + exact (ms)",
     ]);
     for q in advogato_queries() {
-        let no_hist = equi.query_with(&q.text, Strategy::SemiNaive).unwrap();
-        let with_equi = equi.query_with(&q.text, Strategy::MinSupport).unwrap();
-        let with_exact = exact.query_with(&q.text, Strategy::MinSupport).unwrap();
+        let no_hist = equi
+            .run(&q.text, QueryOptions::with_strategy(Strategy::SemiNaive))
+            .unwrap();
+        let with_equi = equi
+            .run(&q.text, QueryOptions::with_strategy(Strategy::MinSupport))
+            .unwrap();
+        let with_exact = exact
+            .run(&q.text, QueryOptions::with_strategy(Strategy::MinSupport))
+            .unwrap();
         assert_eq!(no_hist.len(), with_equi.len());
         assert_eq!(with_equi.len(), with_exact.len());
         let row = AblationRow {

@@ -3,7 +3,7 @@
 
 use crate::datasets::build_advogato;
 use crate::report::{write_json, Table};
-use pathix_core::{PathDb, PathDbConfig, Strategy};
+use pathix_core::{PathDb, PathDbConfig, QueryOptions, Strategy};
 use pathix_datagen::advogato_queries;
 use std::time::Instant;
 
@@ -44,7 +44,9 @@ pub fn automaton_comparison(scale: f64) -> AutomatonReport {
     let mut rows = Vec::new();
     let mut table = Table::new(vec!["query", "index (ms)", "automaton (ms)", "speedup"]);
     for q in advogato_queries() {
-        let result = db.query_with(&q.text, Strategy::MinSupport).unwrap();
+        let result = db
+            .run(&q.text, QueryOptions::with_strategy(Strategy::MinSupport))
+            .unwrap();
         let index_ms = result.stats.elapsed.as_secs_f64() * 1e3;
         let start = Instant::now();
         let automaton_answer = db.query_automaton(&q.text).unwrap();

@@ -3,7 +3,7 @@
 //! B+tree, the buffer-pool-backed paged B+tree and the compressed per-path
 //! pair blocks.
 //!
-//! The paper's index is storage-agnostic; its companion study (ref. [14])
+//! The paper's index is storage-agnostic; its companion study (ref. \[14\])
 //! measures the in-memory vs disk-resident vs compressed trade-off. With the
 //! `PathIndexBackend` refactor the identical plan runs on each backend, so
 //! this experiment can report (a) that the answers agree and (b) what each
@@ -11,7 +11,7 @@
 
 use crate::datasets::build_advogato;
 use crate::report::{format_duration_ms, write_json, Table};
-use pathix_core::{BackendChoice, PathDb, PathDbConfig, PathIndexBackend, Strategy};
+use pathix_core::{BackendChoice, PathDb, PathDbConfig, PathIndexBackend, QueryOptions, Strategy};
 use pathix_datagen::advogato_queries;
 use std::time::Instant;
 
@@ -47,7 +47,7 @@ fn median_latency_ms(db: &PathDb, query: &str, runs: usize) -> (usize, f64) {
         .map(|_| {
             let start = Instant::now();
             let result = db
-                .query_with(query, Strategy::MinSupport)
+                .run(query, QueryOptions::with_strategy(Strategy::MinSupport))
                 .expect("benchmark query failed");
             answers = result.len();
             start.elapsed().as_secs_f64() * 1e3

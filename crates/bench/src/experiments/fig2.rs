@@ -4,7 +4,7 @@
 
 use crate::datasets::build_advogato;
 use crate::report::{format_duration_ms, write_json, Table};
-use pathix_core::{PathDb, PathDbConfig, Strategy};
+use pathix_core::{PathDb, PathDbConfig, QueryOptions, Strategy};
 use pathix_datagen::advogato_queries;
 use std::collections::HashMap;
 use std::time::Instant;
@@ -76,7 +76,7 @@ pub fn fig2(scale: f64, ks: &[usize]) -> Fig2Report {
             let mut answers = 0;
             for strategy in Strategy::all() {
                 let result = db
-                    .query_with(&q.text, strategy)
+                    .run(&q.text, QueryOptions::with_strategy(strategy))
                     .unwrap_or_else(|e| panic!("{} failed: {e}", q.name));
                 answers = result.len();
                 cells.push(format_duration_ms(result.stats.elapsed));

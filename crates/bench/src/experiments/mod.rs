@@ -1,6 +1,7 @@
 //! Experiment runners, one module per experiment id in DESIGN.md §3.
 
 pub mod ablation;
+pub mod amortization;
 pub mod automaton;
 pub mod backends;
 pub mod datalog;

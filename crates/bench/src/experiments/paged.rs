@@ -1,5 +1,5 @@
 //! Experiment **X6** (extension): index size on disk and compression — the
-//! dimension of the companion study the paper cites (reference [14]).
+//! dimension of the companion study the paper cites (reference \[14\]).
 //!
 //! For k ∈ {1, 2, 3} the k-path index is materialized three ways:
 //!

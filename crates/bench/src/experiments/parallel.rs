@@ -8,7 +8,7 @@
 
 use crate::datasets::build_advogato;
 use crate::report::{write_json, Table};
-use pathix_core::{PathDb, PathDbConfig, Strategy};
+use pathix_core::{PathDb, PathDbConfig, QueryOptions, Strategy};
 use pathix_index::KPathIndex;
 use std::time::Instant;
 
@@ -102,11 +102,16 @@ pub fn parallel(scale: f64) -> ParallelReport {
         // Skip queries whose labels this dataset does not have.
         let Ok(expr) = db.compile(text) else { continue };
         let disjuncts = db.disjuncts(&expr).map(|d| d.len()).unwrap_or(0);
-        let Ok(sequential) = db.query_with(text, Strategy::MinSupport) else {
+        let Ok(sequential) = db.run(text, QueryOptions::with_strategy(Strategy::MinSupport)) else {
             continue;
         };
         let start = Instant::now();
-        let parallel_result = db.query_parallel(text, Strategy::MinSupport, 4).unwrap();
+        let parallel_result = db
+            .run(
+                text,
+                QueryOptions::with_strategy(Strategy::MinSupport).threads(4),
+            )
+            .unwrap();
         let parallel_ms = start.elapsed().as_secs_f64() * 1e3;
         assert_eq!(parallel_result.len(), sequential.len());
         let row = ParallelQueryRow {

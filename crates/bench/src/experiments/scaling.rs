@@ -3,7 +3,7 @@
 
 use crate::datasets::build_ba;
 use crate::report::{write_json, Table};
-use pathix_core::{PathDb, PathDbConfig, Strategy};
+use pathix_core::{PathDb, PathDbConfig, QueryOptions, Strategy};
 use pathix_datagen::{WorkloadConfig, WorkloadGenerator};
 
 /// One `(graph size, strategy)` measurement, averaged over a query workload.
@@ -64,7 +64,9 @@ pub fn scaling(sizes: &[usize]) -> ScalingReport {
             let mut total_ms = 0.0;
             let mut total_answers = 0;
             for q in &workload {
-                let result = db.query_with(&q.text, strategy).unwrap();
+                let result = db
+                    .run(&q.text, QueryOptions::with_strategy(strategy))
+                    .unwrap();
                 total_ms += result.stats.elapsed.as_secs_f64() * 1e3;
                 total_answers += result.len();
             }

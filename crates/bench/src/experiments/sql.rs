@@ -14,7 +14,7 @@
 
 use crate::datasets::build_advogato;
 use crate::report::{write_json, Table};
-use pathix_core::{PathDb, PathDbConfig, Strategy};
+use pathix_core::{PathDb, PathDbConfig, QueryOptions, Strategy};
 use pathix_datagen::advogato_queries;
 use pathix_sql::SqlPathDb;
 use std::time::Instant;
@@ -68,7 +68,9 @@ pub fn sql_comparison(scale: f64) -> SqlReport {
         "recursive SQL (ms)",
     ]);
     for q in advogato_queries() {
-        let native_result = native.query_with(&q.text, Strategy::MinSupport).unwrap();
+        let native_result = native
+            .run(&q.text, QueryOptions::with_strategy(Strategy::MinSupport))
+            .unwrap();
         let native_ms = native_result.stats.elapsed.as_secs_f64() * 1e3;
 
         let start = Instant::now();

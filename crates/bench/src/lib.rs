@@ -22,9 +22,9 @@ pub mod report;
 
 pub use datasets::{bench_scale, build_advogato, build_advogato_db};
 pub use experiments::{
-    ablation::histogram_ablation, automaton::automaton_comparison, backends::backend_comparison,
-    datalog::datalog_speedup, fig2::fig2, incremental::incremental_maintenance,
-    index_build::index_construction, paged::paged_index, parallel::parallel, scaling::scaling,
-    sql::sql_comparison,
+    ablation::histogram_ablation, amortization::amortization, automaton::automaton_comparison,
+    backends::backend_comparison, datalog::datalog_speedup, fig2::fig2,
+    incremental::incremental_maintenance, index_build::index_construction, paged::paged_index,
+    parallel::parallel, scaling::scaling, sql::sql_comparison,
 };
 pub use report::{format_duration_ms, Table};

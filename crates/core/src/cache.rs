@@ -1,0 +1,312 @@
+//! The per-database LRU plan cache behind [`PathDb::prepare`] and the ad-hoc
+//! query entry points.
+//!
+//! Compilation (parse → bind → rewrite) and planning are pure functions of
+//! the query text, the database vocabulary and the chosen strategy, so their
+//! results can be reused across calls. The cache stores one compiled entry
+//! per query text; each entry carries the rewritten disjunct list plus one
+//! lazily-planned [`PhysicalPlan`] slot per strategy.
+//! A [`PreparedQuery`](crate::PreparedQuery) is a handle on such an entry, so
+//! prepared queries and repeated ad-hoc `query()` calls share the same
+//! compiled artifacts.
+//!
+//! [`PathDb::prepare`]: crate::PathDb::prepare
+
+use pathix_plan::{PhysicalPlan, Strategy};
+use pathix_rpq::LabelPath;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// One compiled query: the rewritten disjuncts of a query text plus one
+/// lazily-initialized physical plan per strategy.
+///
+/// Entries are immutable once compiled (the plan slots fill in at most once),
+/// so they can be shared freely between the cache, prepared queries and
+/// concurrent sessions.
+#[derive(Debug)]
+pub(crate) struct CompiledQuery {
+    text: String,
+    disjuncts: Vec<LabelPath>,
+    plans: [OnceLock<Arc<PhysicalPlan>>; 4],
+}
+
+/// The slot index of a strategy in [`CompiledQuery::plans`].
+fn slot(strategy: Strategy) -> usize {
+    match strategy {
+        Strategy::Naive => 0,
+        Strategy::SemiNaive => 1,
+        Strategy::MinSupport => 2,
+        Strategy::MinJoin => 3,
+    }
+}
+
+impl CompiledQuery {
+    pub(crate) fn new(text: String, disjuncts: Vec<LabelPath>) -> Self {
+        CompiledQuery {
+            text,
+            disjuncts,
+            plans: [const { OnceLock::new() }; 4],
+        }
+    }
+
+    /// The original query text.
+    pub(crate) fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// The label-path disjuncts the query rewrote to.
+    pub(crate) fn disjuncts(&self) -> &[LabelPath] {
+        &self.disjuncts
+    }
+
+    /// The cached plan for `strategy`, planning it on first use via `plan`.
+    ///
+    /// The closure runs at most once per strategy over the lifetime of the
+    /// entry, however many threads race on it.
+    pub(crate) fn plan_for(
+        &self,
+        strategy: Strategy,
+        plan: impl FnOnce(&[LabelPath]) -> PhysicalPlan,
+    ) -> &Arc<PhysicalPlan> {
+        self.plans[slot(strategy)].get_or_init(|| Arc::new(plan(&self.disjuncts)))
+    }
+
+    /// The cached plan for `strategy`, if it has been planned already.
+    pub(crate) fn existing_plan(&self, strategy: Strategy) -> Option<&Arc<PhysicalPlan>> {
+        self.plans[slot(strategy)].get()
+    }
+}
+
+/// Counters describing the behaviour of a database's plan cache.
+///
+/// `compilations` and `plans` are the expensive events: a prepared query
+/// executed N times under S distinct strategies contributes exactly one
+/// compilation and at most S plans, however large N grows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Cache lookups that found an existing compiled entry.
+    pub hits: u64,
+    /// Cache lookups that had to compile the query text.
+    pub misses: u64,
+    /// Full parse → bind → rewrite runs performed.
+    pub compilations: u64,
+    /// `plan_query` runs performed (at most one per cached entry and
+    /// strategy).
+    pub plans: u64,
+    /// Entries evicted because the cache was full.
+    pub evictions: u64,
+    /// Compiled entries currently resident.
+    pub entries: usize,
+    /// Maximum number of resident entries (0 disables caching).
+    pub capacity: usize,
+}
+
+impl PlanCacheStats {
+    /// Fraction of lookups served from the cache (0.0 when no lookups yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// An LRU map of query text → [`CompiledQuery`].
+///
+/// Recency is tracked with an ordered key list; the cache is small (hundreds
+/// of entries), so the O(entries) touch on hit is noise next to the
+/// compilation it saves.
+#[derive(Debug, Default)]
+struct LruState {
+    entries: HashMap<String, Arc<CompiledQuery>>,
+    /// Keys from least- to most-recently used.
+    order: Vec<String>,
+}
+
+/// The plan cache of one [`PathDb`](crate::PathDb): an LRU over compiled
+/// queries plus the monotonic counters of [`PlanCacheStats`].
+#[derive(Debug)]
+pub(crate) struct PlanCache {
+    capacity: usize,
+    state: Mutex<LruState>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    compilations: AtomicU64,
+    plans: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl PlanCache {
+    /// Creates a cache holding at most `capacity` compiled queries.
+    /// `capacity == 0` disables caching (every lookup misses and nothing is
+    /// retained), which keeps a one-shot workload from paying the bookkeeping.
+    pub(crate) fn new(capacity: usize) -> Self {
+        PlanCache {
+            capacity,
+            state: Mutex::new(LruState::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            compilations: AtomicU64::new(0),
+            plans: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up `text`, compiling and inserting it on a miss.
+    ///
+    /// `compile` is only invoked on a miss; its error is returned verbatim
+    /// and nothing is cached in that case (errors are cheap to rediscover and
+    /// caching them would pin garbage).
+    pub(crate) fn get_or_compile<E>(
+        &self,
+        text: &str,
+        compile: impl FnOnce() -> Result<Vec<LabelPath>, E>,
+    ) -> Result<Arc<CompiledQuery>, E> {
+        if self.capacity == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.compilations.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::new(CompiledQuery::new(text.to_owned(), compile()?)));
+        }
+        {
+            let mut state = self.state.lock().expect("plan cache poisoned");
+            if let Some(entry) = state.entries.get(text).cloned() {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                // Touch: move the key to the most-recently-used end.
+                if let Some(pos) = state.order.iter().position(|k| k == text) {
+                    let key = state.order.remove(pos);
+                    state.order.push(key);
+                }
+                return Ok(entry);
+            }
+        }
+        // Compile outside the lock so concurrent sessions never serialize on
+        // each other's parse/rewrite work. Two racing threads may both
+        // compile the same text; the second insert wins and the loser's entry
+        // is dropped — correctness is unaffected, and the counters report the
+        // duplicated work honestly.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.compilations.fetch_add(1, Ordering::Relaxed);
+        let entry = Arc::new(CompiledQuery::new(text.to_owned(), compile()?));
+        let mut state = self.state.lock().expect("plan cache poisoned");
+        if !state.entries.contains_key(text) {
+            while state.entries.len() >= self.capacity {
+                let victim = state.order.remove(0);
+                state.entries.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+            state.entries.insert(text.to_owned(), Arc::clone(&entry));
+            state.order.push(text.to_owned());
+        }
+        Ok(entry)
+    }
+
+    /// Records that a `plan_query` run happened on some cached entry.
+    pub(crate) fn record_plan(&self) {
+        self.plans.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A snapshot of the counters.
+    pub(crate) fn stats(&self) -> PlanCacheStats {
+        let entries = self
+            .state
+            .lock()
+            .expect("plan cache poisoned")
+            .entries
+            .len();
+        PlanCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            compilations: self.compilations.load(Ordering::Relaxed),
+            plans: self.plans.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries,
+            capacity: self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::convert::Infallible;
+
+    fn compile_ok() -> Result<Vec<LabelPath>, Infallible> {
+        Ok(vec![Vec::new()])
+    }
+
+    #[test]
+    fn hits_and_misses_are_counted() {
+        let cache = PlanCache::new(4);
+        let a = cache.get_or_compile("a", compile_ok).unwrap();
+        let a2 = cache.get_or_compile("a", compile_ok).unwrap();
+        assert!(Arc::ptr_eq(&a, &a2));
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.compilations, 1);
+        assert_eq!(stats.entries, 1);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used_entry() {
+        let cache = PlanCache::new(2);
+        cache.get_or_compile("a", compile_ok).unwrap();
+        cache.get_or_compile("b", compile_ok).unwrap();
+        cache.get_or_compile("a", compile_ok).unwrap(); // touch a
+        cache.get_or_compile("c", compile_ok).unwrap(); // evicts b
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.entries, 2);
+        // a was touched, so it survived the eviction...
+        cache.get_or_compile("a", compile_ok).unwrap();
+        assert_eq!(cache.stats().compilations, 3);
+        // ...while b is gone: looking it up again compiles.
+        cache.get_or_compile("b", compile_ok).unwrap();
+        assert_eq!(cache.stats().compilations, 4);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = PlanCache::new(0);
+        cache.get_or_compile("a", compile_ok).unwrap();
+        cache.get_or_compile("a", compile_ok).unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.compilations, 2);
+        assert_eq!(stats.entries, 0);
+    }
+
+    #[test]
+    fn compile_errors_are_not_cached() {
+        let cache = PlanCache::new(4);
+        let err: Result<_, &str> = cache.get_or_compile("bad", || Err("boom"));
+        assert_eq!(err.unwrap_err(), "boom");
+        assert_eq!(cache.stats().entries, 0);
+        // A later success for the same text compiles again.
+        let ok: Result<_, &str> = cache.get_or_compile("bad", || Ok(vec![]));
+        assert!(ok.is_ok());
+        assert_eq!(cache.stats().compilations, 2);
+    }
+
+    #[test]
+    fn plans_fill_at_most_once_per_strategy() {
+        let entry = CompiledQuery::new("q".into(), vec![Vec::new()]);
+        let mut runs = 0;
+        for _ in 0..3 {
+            entry.plan_for(Strategy::Naive, |_| {
+                runs += 1;
+                PhysicalPlan::Epsilon
+            });
+        }
+        assert_eq!(runs, 1);
+        assert!(entry.existing_plan(Strategy::Naive).is_some());
+        assert!(entry.existing_plan(Strategy::MinJoin).is_none());
+        assert_eq!(entry.text(), "q");
+        assert_eq!(entry.disjuncts().len(), 1);
+    }
+}

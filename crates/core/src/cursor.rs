@@ -1,0 +1,162 @@
+//! Streaming query results: pull answers one at a time instead of
+//! materializing the whole relation.
+
+use crate::error::QueryError;
+use crate::options::QueryOptions;
+use pathix_exec::{BoxedPairStream, PairStream};
+use pathix_graph::NodeId;
+use pathix_plan::ExecutionStats;
+use std::collections::HashSet;
+use std::time::Instant;
+
+/// A streaming iterator over the distinct answer pairs of a query.
+///
+/// The cursor pulls from the same fallible operator tree the batch executor
+/// drains, but lazily: each `next()` advances the tree only far enough to
+/// produce one more *distinct* pair that survives the options' bindings.
+/// Dropping the cursor (or hitting its `limit`) abandons the rest of the
+/// computation — this is what makes `limit`/`exists` terminate early, which
+/// [`Cursor::stats`] makes observable via
+/// [`ExecutionStats::pairs_pulled`].
+///
+/// Unlike the batch API the pairs arrive in operator order, not sorted by
+/// `(source, target)`; they are still duplicate-free (set semantics is
+/// enforced incrementally with a hash set of seen pairs).
+///
+/// A cursor borrows both the prepared query it came from and the database it
+/// runs on:
+///
+/// ```
+/// use pathix_core::{PathDb, PathDbConfig, QueryOptions};
+/// use pathix_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new();
+/// b.add_edge_named("ada", "knows", "jan");
+/// b.add_edge_named("ada", "knows", "kim");
+/// let db = PathDb::build(b.build(), PathDbConfig::with_k(2));
+///
+/// let prepared = db.prepare("knows").unwrap();
+/// let mut cursor = prepared.cursor(&db, QueryOptions::new().limit(1)).unwrap();
+/// assert!(cursor.next().unwrap().is_ok());
+/// assert!(cursor.next().is_none()); // limit reached — the second pair is never computed
+/// ```
+pub struct Cursor<'a> {
+    stream: BoxedPairStream<'a>,
+    options: QueryOptions,
+    seen: HashSet<(u32, u32)>,
+    /// Distinct admitted pairs still allowed out (from `limit`).
+    remaining: Option<usize>,
+    pulled: usize,
+    returned: usize,
+    done: bool,
+    joins: usize,
+    merge_joins: usize,
+    started: Instant,
+}
+
+impl<'a> Cursor<'a> {
+    pub(crate) fn new(
+        stream: BoxedPairStream<'a>,
+        options: QueryOptions,
+        joins: usize,
+        merge_joins: usize,
+    ) -> Self {
+        Cursor {
+            stream,
+            remaining: options.limit_value(),
+            options,
+            seen: HashSet::new(),
+            pulled: 0,
+            returned: 0,
+            done: false,
+            joins,
+            merge_joins,
+            started: Instant::now(),
+        }
+    }
+
+    /// Execution statistics of the cursor *so far*: wall-clock time since the
+    /// cursor was opened, pairs returned, and — the early-termination
+    /// evidence — how many pairs were pulled from the operator tree.
+    pub fn stats(&self) -> ExecutionStats {
+        ExecutionStats {
+            elapsed: self.started.elapsed(),
+            result_pairs: self.returned,
+            pairs_pulled: self.pulled,
+            joins: self.joins,
+            merge_joins: self.merge_joins,
+        }
+    }
+
+    /// `true` once the cursor is exhausted (end of answer, limit reached, or
+    /// a backend error was reported).
+    pub fn is_done(&self) -> bool {
+        self.done || self.remaining == Some(0)
+    }
+
+    /// Drains the cursor, returning how many distinct pairs it produced.
+    /// Respects the limit, so `options.exists()` makes this a cheap 0/1
+    /// probe.
+    pub fn count(self) -> Result<usize, QueryError> {
+        let mut n = 0;
+        for item in self {
+            item?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Drains the cursor into a sorted, duplicate-free pair list (the batch
+    /// API's answer shape, restricted by the cursor's options).
+    pub fn collect_sorted(self) -> Result<Vec<(NodeId, NodeId)>, QueryError> {
+        let mut pairs = self.collect::<Result<Vec<_>, _>>()?;
+        pairs.sort_unstable();
+        Ok(pairs)
+    }
+}
+
+impl std::fmt::Debug for Cursor<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cursor")
+            .field("returned", &self.returned)
+            .field("pairs_pulled", &self.pulled)
+            .field("done", &self.is_done())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Iterator for Cursor<'_> {
+    type Item = Result<(NodeId, NodeId), QueryError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done || self.remaining == Some(0) {
+            return None;
+        }
+        loop {
+            match self.stream.next_pair() {
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(QueryError::Backend(e)));
+                }
+                Ok(None) => {
+                    self.done = true;
+                    return None;
+                }
+                Ok(Some(pair)) => {
+                    self.pulled += 1;
+                    if !self.options.admits(pair) {
+                        continue;
+                    }
+                    if !self.seen.insert((pair.0 .0, pair.1 .0)) {
+                        continue;
+                    }
+                    if let Some(remaining) = &mut self.remaining {
+                        *remaining -= 1;
+                    }
+                    self.returned += 1;
+                    return Some(Ok(pair));
+                }
+            }
+        }
+    }
+}

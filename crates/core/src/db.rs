@@ -1,7 +1,10 @@
 //! [`PathDb`]: graph + pluggable k-path index backend + histogram + query
 //! pipeline.
 
+use crate::cache::{PlanCache, PlanCacheStats};
 use crate::error::QueryError;
+use crate::options::QueryOptions;
+use crate::prepared::PreparedQuery;
 use crate::result::QueryResult;
 use pathix_baselines::{evaluate_automaton, evaluate_datalog};
 use pathix_graph::{Graph, NodeId, SignedLabel};
@@ -10,12 +13,10 @@ use pathix_index::{
     PathHistogram, PathIndexBackend,
 };
 use pathix_pagestore::{CompressedPathStore, PagedPathIndex};
-use pathix_plan::{
-    execute_parallel, execute_with_stats, explain as explain_plan, plan_query, PhysicalPlan,
-    PlannerContext, Strategy,
-};
+use pathix_plan::{explain as explain_plan, plan_query, PhysicalPlan, PlannerContext, Strategy};
 use pathix_rpq::{parse, to_disjuncts, BoundExpr, LabelPath, RewriteOptions};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Which storage backend serves the k-path index of a [`PathDb`].
 ///
@@ -164,6 +165,11 @@ pub struct PathDbConfig {
     pub default_strategy: Strategy,
     /// Storage backend serving the index.
     pub backend: BackendChoice,
+    /// Maximum number of compiled queries the plan cache keeps resident
+    /// (query text → disjuncts + per-strategy plans). 0 disables caching, so
+    /// every ad-hoc call recompiles — useful for one-shot workloads and as
+    /// the baseline of the amortization experiment.
+    pub plan_cache_capacity: usize,
 }
 
 impl Default for PathDbConfig {
@@ -175,6 +181,7 @@ impl Default for PathDbConfig {
             max_disjuncts: 4096,
             default_strategy: Strategy::MinSupport,
             backend: BackendChoice::Memory,
+            plan_cache_capacity: 256,
         }
     }
 }
@@ -224,7 +231,14 @@ pub struct PathDb {
     backend: IndexBackend,
     histogram: PathHistogram,
     config: PathDbConfig,
+    plan_cache: PlanCache,
+    /// Process-unique id used to pin [`PreparedQuery`] handles to the
+    /// database whose vocabulary they were compiled against.
+    instance_id: u64,
 }
+
+/// Source of [`PathDb::instance_id`] values.
+static NEXT_INSTANCE_ID: AtomicU64 = AtomicU64::new(1);
 
 impl PathDb {
     /// Builds the index and histogram for `graph` under `config`.
@@ -253,11 +267,14 @@ impl PathDb {
             k,
             config.estimation,
         );
+        let plan_cache = PlanCache::new(config.plan_cache_capacity);
         Ok(PathDb {
             graph,
             backend,
             histogram,
             config,
+            plan_cache,
+            instance_id: NEXT_INSTANCE_ID.fetch_add(1, Ordering::Relaxed),
         })
     }
 
@@ -298,8 +315,27 @@ impl PathDb {
     }
 
     /// The configuration the database was built with.
-    pub fn config(&self) -> PathDbConfig {
-        self.config.clone()
+    pub fn config(&self) -> &PathDbConfig {
+        &self.config
+    }
+
+    /// Counters of the plan cache: lookups, compilations, planning runs and
+    /// evictions. The acceptance check for prepared queries — N executions,
+    /// one compilation, at most one plan per strategy — is assertable from
+    /// this snapshot.
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.plan_cache.stats()
+    }
+
+    /// The plan cache itself (crate-internal: [`PreparedQuery`] records its
+    /// planning runs here).
+    pub(crate) fn plan_cache(&self) -> &PlanCache {
+        &self.plan_cache
+    }
+
+    /// The process-unique identity of this database instance.
+    pub(crate) fn instance_id(&self) -> u64 {
+        self.instance_id
     }
 
     /// The locality parameter k.
@@ -321,52 +357,88 @@ impl PathDb {
         Ok(to_disjuncts(expr, options)?)
     }
 
-    /// Plans a query with the given strategy without executing it.
-    pub fn plan(&self, query: &str, strategy: Strategy) -> Result<PhysicalPlan, QueryError> {
-        let expr = self.compile(query)?;
-        let disjuncts = self.disjuncts(&expr)?;
-        let ctx = PlannerContext::new(&self.backend, &self.histogram);
-        Ok(plan_query(strategy, &disjuncts, &ctx))
+    /// Prepares a query: one parse → bind → rewrite, shared through the plan
+    /// cache, with physical plans planned lazily per strategy. The returned
+    /// handle executes many times against this database via
+    /// [`PreparedQuery::run`] / [`PreparedQuery::cursor`].
+    pub fn prepare(&self, query: &str) -> Result<PreparedQuery, QueryError> {
+        let entry = self.plan_cache.get_or_compile(query, || {
+            let expr = self.compile(query)?;
+            self.disjuncts(&expr)
+        })?;
+        Ok(PreparedQuery::new(entry, self.instance_id))
     }
 
-    /// Evaluates a query with the default strategy.
+    /// Plans `disjuncts` under `strategy` against this database's index and
+    /// histogram (crate-internal planning primitive behind the cached
+    /// per-strategy plan slots).
+    pub(crate) fn plan_disjuncts(
+        &self,
+        strategy: Strategy,
+        disjuncts: &[LabelPath],
+    ) -> PhysicalPlan {
+        let ctx = PlannerContext::new(&self.backend, &self.histogram);
+        plan_query(strategy, disjuncts, &ctx)
+    }
+
+    /// Plans a query with the given strategy without executing it.
+    ///
+    /// Compilation and planning go through the plan cache, so repeated calls
+    /// for the same text and strategy only pay a clone of the cached plan.
+    pub fn plan(&self, query: &str, strategy: Strategy) -> Result<PhysicalPlan, QueryError> {
+        let prepared = self.prepare(query)?;
+        Ok(prepared.plan(self, strategy)?.as_ref().clone())
+    }
+
+    /// Evaluates a query with the default strategy and options.
+    ///
+    /// Repeated calls for the same text hit the plan cache, skipping
+    /// recompilation; [`PathDb::prepare`] additionally keeps the compiled
+    /// query alive across cache evictions.
     pub fn query(&self, query: &str) -> Result<QueryResult, QueryError> {
-        self.query_with(query, self.config.default_strategy)
+        self.run(query, QueryOptions::new())
+    }
+
+    /// Evaluates a query under explicit [`QueryOptions`] (strategy, worker
+    /// threads, limit, bindings, count-only) — the single execution entry
+    /// point the former `query_with`/`query_parallel` zoo collapsed into.
+    pub fn run(&self, query: &str, options: QueryOptions) -> Result<QueryResult, QueryError> {
+        self.prepare(query)?.run(self, options)
     }
 
     /// Evaluates a query with an explicit strategy.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `run(query, QueryOptions::with_strategy(...))`"
+    )]
     pub fn query_with(&self, query: &str, strategy: Strategy) -> Result<QueryResult, QueryError> {
-        let plan = self.plan(query, strategy)?;
-        let (pairs, stats) = execute_with_stats(&plan, &self.backend)?;
-        Ok(QueryResult::new(pairs, stats, strategy))
+        self.run(query, QueryOptions::with_strategy(strategy))
     }
 
     /// Evaluates a query with an explicit strategy, running the disjunct
-    /// plans concurrently on up to `threads` worker threads. The answer is
-    /// identical to [`PathDb::query_with`]; only wall-clock time differs.
+    /// plans concurrently on up to `threads` worker threads.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `run(query, QueryOptions::with_strategy(...).threads(n))`"
+    )]
     pub fn query_parallel(
         &self,
         query: &str,
         strategy: Strategy,
         threads: usize,
     ) -> Result<QueryResult, QueryError> {
-        let plan = self.plan(query, strategy)?;
-        let start = std::time::Instant::now();
-        let pairs = execute_parallel(&plan, &self.backend, threads)?;
-        let stats = pathix_plan::ExecutionStats {
-            elapsed: start.elapsed(),
-            result_pairs: pairs.len(),
-            joins: plan.join_count(),
-            merge_joins: plan.merge_join_count(),
-        };
-        Ok(QueryResult::new(pairs, stats, strategy))
+        self.run(
+            query,
+            QueryOptions::with_strategy(strategy).threads(threads),
+        )
     }
 
     /// Renders the physical plan of a query as an indented tree.
     pub fn explain(&self, query: &str, strategy: Strategy) -> Result<String, QueryError> {
-        let plan = self.plan(query, strategy)?;
+        let prepared = self.prepare(query)?;
+        let plan = prepared.plan(self, strategy)?;
         let ctx = PlannerContext::new(&self.backend, &self.histogram);
-        Ok(explain_plan(&plan, &self.graph, &ctx))
+        Ok(explain_plan(plan.as_ref(), &self.graph, &ctx))
     }
 
     /// Evaluates a query with the automaton baseline (approach 1 of the
@@ -440,7 +512,9 @@ mod tests {
             let datalog = db.query_datalog(query).unwrap();
             assert_eq!(reference, datalog, "baselines disagree on {query}");
             for strategy in Strategy::all() {
-                let result = db.query_with(query, strategy).unwrap();
+                let result = db
+                    .run(query, QueryOptions::with_strategy(strategy))
+                    .unwrap();
                 assert_eq!(result.pairs(), &reference[..], "{strategy} on {query}");
             }
         }
@@ -460,11 +534,38 @@ mod tests {
         }
     }
 
+    /// A per-test scratch directory: unique across processes *and* test
+    /// threads, removed (with everything in it) when the test ends — even on
+    /// panic, since cleanup rides the `Drop` impl.
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            static SEQ: AtomicU64 = AtomicU64::new(0);
+            let dir = std::env::temp_dir().join(format!(
+                "pathix-db-{}-{}-{tag}",
+                std::process::id(),
+                SEQ.fetch_add(1, Ordering::Relaxed)
+            ));
+            std::fs::create_dir_all(&dir).unwrap();
+            TempDir(dir)
+        }
+
+        fn path(&self, file: &str) -> PathBuf {
+            self.0.join(file)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
     #[test]
     fn on_disk_backend_runs_the_pipeline() {
-        let dir = std::env::temp_dir().join(format!("pathix-db-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let file = dir.join("example.pages");
+        let dir = TempDir::new("on-disk-pipeline");
+        let file = dir.path("example.pages");
         let config = PathDbConfig::with_k(2).with_backend(BackendChoice::OnDisk {
             path: file.clone(),
             pool_frames: 8,
@@ -474,8 +575,6 @@ mod tests {
         let result = db.query("supervisor/worksFor-").unwrap();
         assert_eq!(result.named_pairs(&db), vec![("kim".into(), "sue".into())]);
         assert!(std::fs::metadata(&file).unwrap().len() > 0);
-        drop(db);
-        std::fs::remove_file(&file).ok();
     }
 
     #[test]
@@ -555,8 +654,89 @@ mod tests {
         let db = example_db(2);
         let r = db.query("knows").unwrap();
         assert_eq!(r.strategy, Strategy::MinSupport);
-        let r2 = db.query_with("knows", Strategy::Naive).unwrap();
+        let r2 = db
+            .run("knows", QueryOptions::with_strategy(Strategy::Naive))
+            .unwrap();
         assert_eq!(r2.strategy, Strategy::Naive);
         assert_eq!(r.pairs(), r2.pairs());
+    }
+
+    #[test]
+    fn deprecated_shims_still_answer() {
+        let db = example_db(2);
+        #[allow(deprecated)]
+        let with = db.query_with("knows", Strategy::Naive).unwrap();
+        #[allow(deprecated)]
+        let parallel = db.query_parallel("knows", Strategy::Naive, 2).unwrap();
+        assert_eq!(with.pairs(), parallel.pairs());
+    }
+
+    #[test]
+    fn config_is_borrowed_not_cloned() {
+        let db = example_db(2);
+        let a: &PathDbConfig = db.config();
+        let b: &PathDbConfig = db.config();
+        assert!(std::ptr::eq(a, b));
+        assert_eq!(a.k, 2);
+    }
+
+    #[test]
+    fn ad_hoc_queries_hit_the_plan_cache() {
+        let db = example_db(2);
+        db.query("supervisor/worksFor-").unwrap();
+        db.query("supervisor/worksFor-").unwrap();
+        db.query("supervisor/worksFor-").unwrap();
+        let stats = db.plan_cache_stats();
+        assert_eq!(stats.compilations, 1, "{stats:?}");
+        assert_eq!(stats.plans, 1, "{stats:?}");
+        assert_eq!(stats.hits, 2, "{stats:?}");
+        assert_eq!(stats.misses, 1, "{stats:?}");
+    }
+
+    #[test]
+    fn prepared_queries_reject_foreign_databases() {
+        let db = example_db(2);
+        let other = example_db(2);
+        let prepared = db.prepare("knows").unwrap();
+        assert!(prepared.run(&db, QueryOptions::new()).is_ok());
+        assert!(matches!(
+            prepared.run(&other, QueryOptions::new()),
+            Err(QueryError::DatabaseMismatch)
+        ));
+        assert!(matches!(
+            prepared.cursor(&other, QueryOptions::new()),
+            Err(QueryError::DatabaseMismatch)
+        ));
+    }
+
+    #[test]
+    fn bound_source_and_target_reproduce_example_3_1_lookups() {
+        let db = example_db(2);
+        let kim = db.graph().node_id("kim").unwrap();
+        let sue = db.graph().node_id("sue").unwrap();
+        let prepared = db.prepare("supervisor/worksFor-").unwrap();
+        // (p, s, ·): which nodes does kim reach?
+        let from_kim = prepared.run(&db, QueryOptions::new().source(kim)).unwrap();
+        assert_eq!(from_kim.pairs(), &[(kim, sue)]);
+        // (p, s, t): does kim reach sue? Does sue reach kim?
+        assert!(prepared
+            .exists(&db, QueryOptions::new().source(kim).target(sue))
+            .unwrap());
+        assert!(!prepared
+            .exists(&db, QueryOptions::new().source(sue).target(kim))
+            .unwrap());
+        // (p, ·, t): who reaches sue?
+        let to_sue = prepared
+            .count(&db, QueryOptions::new().target(sue))
+            .unwrap();
+        assert_eq!(to_sue, 1);
+    }
+
+    #[test]
+    fn count_only_reports_the_count_without_pairs() {
+        let db = example_db(2);
+        let result = db.run("knows", QueryOptions::new().count_only()).unwrap();
+        assert!(result.pairs().is_empty());
+        assert_eq!(result.stats.result_pairs, db.query("knows").unwrap().len());
     }
 }

@@ -20,6 +20,11 @@ pub enum QueryError {
     /// The index backend failed while building or scanning (typically I/O on
     /// the paged path).
     Backend(BackendError),
+    /// A prepared query was executed against a database other than the one
+    /// that prepared it (its disjuncts reference the preparing database's
+    /// label vocabulary, so running it elsewhere would silently answer the
+    /// wrong question).
+    DatabaseMismatch,
 }
 
 impl fmt::Display for QueryError {
@@ -29,6 +34,10 @@ impl fmt::Display for QueryError {
             QueryError::Bind(e) => write!(f, "{e}"),
             QueryError::Rewrite(e) => write!(f, "{e}"),
             QueryError::Backend(e) => write!(f, "{e}"),
+            QueryError::DatabaseMismatch => write!(
+                f,
+                "prepared query executed against a database other than the one that prepared it"
+            ),
         }
     }
 }
@@ -40,6 +49,7 @@ impl std::error::Error for QueryError {
             QueryError::Bind(e) => Some(e),
             QueryError::Rewrite(e) => Some(e),
             QueryError::Backend(e) => Some(e),
+            QueryError::DatabaseMismatch => None,
         }
     }
 }

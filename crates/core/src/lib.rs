@@ -2,11 +2,21 @@
 //!
 //! The public facade of pathix: [`PathDb`] bundles a graph, its k-path index
 //! and k-path histogram, and exposes parse → bind → rewrite → plan → execute
-//! as a single `query` call, plus `explain`, baseline evaluators and
-//! statistics.
+//! through a compile-once / execute-many API:
+//!
+//! * [`PathDb::prepare`] compiles a query once into a [`PreparedQuery`]
+//!   (plans are cached lazily per strategy);
+//! * [`QueryOptions`] selects strategy, worker threads, limits and the
+//!   paper's Example 3.1 source/target bindings for one execution;
+//! * [`PreparedQuery::run`] materializes an answer, [`PreparedQuery::cursor`]
+//!   streams it through a [`Cursor`] with early termination;
+//! * [`Session`] shares an `Arc<PathDb>` (and its plan cache) across
+//!   concurrent clients with per-session default options;
+//! * [`PathDb::query`] / [`PathDb::run`] stay available for ad-hoc calls and
+//!   hit the same LRU plan cache.
 //!
 //! ```
-//! use pathix_core::{PathDb, PathDbConfig, Strategy};
+//! use pathix_core::{PathDb, PathDbConfig, QueryOptions, Strategy};
 //! use pathix_graph::GraphBuilder;
 //!
 //! let mut b = GraphBuilder::new();
@@ -16,17 +26,30 @@
 //! let db = PathDb::build(b.build(), PathDbConfig::with_k(2));
 //!
 //! // Colleagues of ada: people working for the same employer.
-//! let result = db.query_with("worksFor/worksFor-", Strategy::MinSupport).unwrap();
+//! let colleagues = db.prepare("worksFor/worksFor-").unwrap();
+//! let result = colleagues
+//!     .run(&db, QueryOptions::with_strategy(Strategy::MinSupport))
+//!     .unwrap();
 //! assert!(result.contains_named(&db, "ada", "jan"));
 //! ```
 
+pub mod cache;
+pub mod cursor;
 pub mod db;
 pub mod error;
+pub mod options;
+pub mod prepared;
 pub mod result;
+pub mod session;
 
+pub use cache::PlanCacheStats;
+pub use cursor::Cursor;
 pub use db::{BackendChoice, DbStats, IndexBackend, PathDb, PathDbConfig};
 pub use error::QueryError;
+pub use options::QueryOptions;
+pub use prepared::PreparedQuery;
 pub use result::QueryResult;
+pub use session::Session;
 
 // Re-export the vocabulary a downstream user needs without adding every
 // sub-crate as a direct dependency.

@@ -1,0 +1,195 @@
+//! Per-execution options: the builder that replaces the
+//! `query`/`query_with`/`query_parallel` method zoo.
+
+use pathix_graph::NodeId;
+use pathix_plan::Strategy;
+
+/// How (and how much of) a query execution should run.
+///
+/// An options value is independent of any database, so it can be stored as a
+/// session default and reused across queries:
+///
+/// ```
+/// use pathix_core::{PathDb, PathDbConfig, QueryOptions, Strategy};
+/// use pathix_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new();
+/// b.add_edge_named("ada", "knows", "jan");
+/// b.add_edge_named("jan", "worksFor", "acme");
+/// let db = PathDb::build(b.build(), PathDbConfig::with_k(2));
+///
+/// let prepared = db.prepare("knows/worksFor").unwrap();
+/// let result = prepared
+///     .run(&db, QueryOptions::new().strategy(Strategy::MinJoin).limit(10))
+///     .unwrap();
+/// assert_eq!(result.len(), 1);
+/// ```
+///
+/// The `source`/`target` bindings reproduce the paper's Example 3.1 lookup
+/// shapes: a fully unbound query enumerates `p(G)`, binding the source asks
+/// "which nodes does `s` reach", binding both asks "does `s` reach `t`"
+/// (which combines naturally with [`QueryOptions::exists`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QueryOptions {
+    strategy: Option<Strategy>,
+    threads: usize,
+    limit: Option<usize>,
+    count_only: bool,
+    source: Option<NodeId>,
+    target: Option<NodeId>,
+}
+
+impl QueryOptions {
+    /// Default options: the database's default strategy, sequential
+    /// execution, no limit, no bindings, materialized pairs.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Shorthand for `QueryOptions::new().strategy(strategy)`, the most
+    /// common override.
+    pub fn with_strategy(strategy: Strategy) -> Self {
+        Self::new().strategy(strategy)
+    }
+
+    /// Evaluate with an explicit strategy instead of the database default.
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = Some(strategy);
+        self
+    }
+
+    /// Run the disjunct plans concurrently on up to `threads` worker threads
+    /// (1 = sequential). Parallel execution materializes every disjunct, so
+    /// `limit`/`exists` early termination only applies to sequential runs.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Stop after `limit` distinct answer pairs. On the sequential path the
+    /// operator tree stops being pulled as soon as the limit is reached.
+    pub fn limit(mut self, limit: usize) -> Self {
+        self.limit = Some(limit);
+        self
+    }
+
+    /// Count distinct answers without materializing them: the result carries
+    /// statistics (including the count in `stats.result_pairs`) but an empty
+    /// pair list.
+    pub fn count_only(mut self) -> Self {
+        self.count_only = true;
+        self
+    }
+
+    /// Shorthand for `limit(1).count_only()`: "is the answer non-empty",
+    /// terminating at the first match.
+    pub fn exists(self) -> Self {
+        self.limit(1).count_only()
+    }
+
+    /// Only keep answers whose source is `source` (Example 3.1's
+    /// `(p, s, ·)` lookup shape).
+    pub fn source(mut self, source: NodeId) -> Self {
+        self.source = Some(source);
+        self
+    }
+
+    /// Only keep answers whose target is `target` (Example 3.1's
+    /// `(p, ·, t)` lookup shape).
+    pub fn target(mut self, target: NodeId) -> Self {
+        self.target = Some(target);
+        self
+    }
+
+    /// The explicit strategy, if one was set.
+    pub fn strategy_override(&self) -> Option<Strategy> {
+        self.strategy
+    }
+
+    /// The worker thread count (1 = sequential).
+    pub fn thread_count(&self) -> usize {
+        self.threads.max(1)
+    }
+
+    /// The answer-pair limit, if one was set.
+    pub fn limit_value(&self) -> Option<usize> {
+        self.limit
+    }
+
+    /// Whether only the answer count is wanted.
+    pub fn is_count_only(&self) -> bool {
+        self.count_only
+    }
+
+    /// The bound source node, if any.
+    pub fn bound_source(&self) -> Option<NodeId> {
+        self.source
+    }
+
+    /// The bound target node, if any.
+    pub fn bound_target(&self) -> Option<NodeId> {
+        self.target
+    }
+
+    /// `true` when nothing restricts or reshapes the answer: no limit, no
+    /// bindings, full materialization. Such runs can use the batch executor
+    /// and its whole-answer statistics.
+    pub(crate) fn is_full_materialization(&self) -> bool {
+        self.limit.is_none() && !self.count_only && self.source.is_none() && self.target.is_none()
+    }
+
+    /// `true` when `pair` survives the source/target bindings.
+    pub(crate) fn admits(&self, pair: (NodeId, NodeId)) -> bool {
+        self.source.is_none_or(|s| s == pair.0) && self.target.is_none_or(|t| t == pair.1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_settings() {
+        let options = QueryOptions::new()
+            .strategy(Strategy::MinJoin)
+            .threads(4)
+            .limit(100)
+            .count_only();
+        assert_eq!(options.strategy_override(), Some(Strategy::MinJoin));
+        assert_eq!(options.thread_count(), 4);
+        assert_eq!(options.limit_value(), Some(100));
+        assert!(options.is_count_only());
+        assert!(!options.is_full_materialization());
+    }
+
+    #[test]
+    fn defaults_are_a_full_materialization() {
+        let options = QueryOptions::new();
+        assert_eq!(options.strategy_override(), None);
+        assert_eq!(options.thread_count(), 1);
+        assert!(options.is_full_materialization());
+        assert!(options.admits((NodeId(1), NodeId(2))));
+    }
+
+    #[test]
+    fn exists_is_limit_one_count_only() {
+        let options = QueryOptions::new().exists();
+        assert_eq!(options.limit_value(), Some(1));
+        assert!(options.is_count_only());
+    }
+
+    #[test]
+    fn bindings_filter_pairs() {
+        let options = QueryOptions::new().source(NodeId(1)).target(NodeId(2));
+        assert_eq!(options.bound_source(), Some(NodeId(1)));
+        assert_eq!(options.bound_target(), Some(NodeId(2)));
+        assert!(options.admits((NodeId(1), NodeId(2))));
+        assert!(!options.admits((NodeId(1), NodeId(3))));
+        assert!(!options.admits((NodeId(0), NodeId(2))));
+    }
+
+    #[test]
+    fn zero_threads_normalizes_to_sequential() {
+        assert_eq!(QueryOptions::new().threads(0).thread_count(), 1);
+    }
+}

@@ -1,0 +1,206 @@
+//! Compile once, execute many: the prepared-query half of the API split.
+
+use crate::cache::CompiledQuery;
+use crate::cursor::Cursor;
+use crate::db::PathDb;
+use crate::error::QueryError;
+use crate::options::QueryOptions;
+use crate::result::QueryResult;
+use pathix_plan::{
+    execute_parallel_with_stats, execute_with_stats, open_stream, ExecutionStats, PhysicalPlan,
+    Strategy,
+};
+use pathix_rpq::LabelPath;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A query whose parse → bind → rewrite work has been done once, up front.
+///
+/// Created by [`PathDb::prepare`]. The handle owns the rewritten disjunct
+/// list and lazily caches one [`PhysicalPlan`] per strategy, so executing it
+/// N times under S strategies costs exactly one compilation and at most S
+/// planning runs — the rest is pure execution. The underlying compiled entry
+/// is shared with the database's plan cache, so the handle stays valid (and
+/// cheap to clone) even after the cache evicts the entry.
+///
+/// A prepared query is bound to the database that prepared it: the disjuncts
+/// reference that database's label vocabulary and the plans its histogram.
+/// Running it against any other [`PathDb`] is rejected with
+/// [`QueryError::DatabaseMismatch`].
+///
+/// ```
+/// use pathix_core::{PathDb, PathDbConfig, QueryOptions, Strategy};
+/// use pathix_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new();
+/// b.add_edge_named("ada", "knows", "jan");
+/// b.add_edge_named("jan", "worksFor", "acme");
+/// let db = PathDb::build(b.build(), PathDbConfig::with_k(2));
+///
+/// let colleagues = db.prepare("knows/worksFor").unwrap();
+/// for _ in 0..3 {
+///     let result = colleagues.run(&db, QueryOptions::new()).unwrap();
+///     assert_eq!(result.len(), 1);
+/// }
+/// // One compilation, one plan — however often the query ran.
+/// let stats = db.plan_cache_stats();
+/// assert_eq!(stats.compilations, 1);
+/// assert_eq!(stats.plans, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PreparedQuery {
+    entry: Arc<CompiledQuery>,
+    /// Identity of the preparing database, checked on every execution.
+    db_id: u64,
+}
+
+impl PreparedQuery {
+    pub(crate) fn new(entry: Arc<CompiledQuery>, db_id: u64) -> Self {
+        PreparedQuery { entry, db_id }
+    }
+
+    /// The original query text.
+    pub fn text(&self) -> &str {
+        self.entry.text()
+    }
+
+    /// The label-path disjuncts the query rewrote to.
+    pub fn disjuncts(&self) -> &[LabelPath] {
+        self.entry.disjuncts()
+    }
+
+    /// `true` once a physical plan for `strategy` has been planned (plans
+    /// are lazy: preparing a query plans nothing).
+    pub fn is_planned(&self, strategy: Strategy) -> bool {
+        self.entry.existing_plan(strategy).is_some()
+    }
+
+    fn check_db(&self, db: &PathDb) -> Result<(), QueryError> {
+        if db.instance_id() == self.db_id {
+            Ok(())
+        } else {
+            Err(QueryError::DatabaseMismatch)
+        }
+    }
+
+    /// The physical plan of this query under `strategy`, planning it on
+    /// first use and reusing it afterwards.
+    pub fn plan<'a>(
+        &'a self,
+        db: &PathDb,
+        strategy: Strategy,
+    ) -> Result<&'a Arc<PhysicalPlan>, QueryError> {
+        self.check_db(db)?;
+        let mut planned = false;
+        let plan = self.entry.plan_for(strategy, |disjuncts| {
+            planned = true;
+            db.plan_disjuncts(strategy, disjuncts)
+        });
+        if planned {
+            db.plan_cache().record_plan();
+        }
+        Ok(plan)
+    }
+
+    /// Executes the query under `options`, returning the materialized
+    /// answer.
+    ///
+    /// * Unrestricted runs (`threads(1)`, no limit/bindings/count) behave
+    ///   exactly like [`PathDb::query`]: the full sorted, duplicate-free pair
+    ///   set.
+    /// * `threads(n > 1)` evaluates the disjunct plans concurrently.
+    /// * `limit`/`source`/`target` restrict the answer; on the sequential
+    ///   path execution stops as soon as the limit is satisfied.
+    /// * `count_only` reports the distinct-answer count in
+    ///   `stats.result_pairs` while leaving the pair list empty.
+    pub fn run(&self, db: &PathDb, options: QueryOptions) -> Result<QueryResult, QueryError> {
+        let strategy = options
+            .strategy_override()
+            .unwrap_or(db.config().default_strategy);
+        let plan = self.plan(db, strategy)?;
+
+        if options.thread_count() > 1 {
+            // Parallel disjunct execution materializes the full answer; the
+            // options then restrict it after the fact.
+            let start = Instant::now();
+            let (pairs, pulled) =
+                execute_parallel_with_stats(plan.as_ref(), db.index(), options.thread_count())?;
+            let mut pairs: Vec<_> = pairs.into_iter().filter(|&p| options.admits(p)).collect();
+            if let Some(limit) = options.limit_value() {
+                pairs.truncate(limit);
+            }
+            let count = pairs.len();
+            if options.is_count_only() {
+                pairs.clear();
+            }
+            let stats = ExecutionStats {
+                elapsed: start.elapsed(),
+                result_pairs: count,
+                pairs_pulled: pulled,
+                joins: plan.join_count(),
+                merge_joins: plan.merge_join_count(),
+            };
+            return Ok(QueryResult::new(pairs, stats, strategy));
+        }
+
+        if options.is_full_materialization() {
+            let (pairs, stats) = execute_with_stats(plan.as_ref(), db.index())?;
+            return Ok(QueryResult::new(pairs, stats, strategy));
+        }
+
+        // Restricted sequential runs stream through a cursor so limits
+        // terminate early.
+        let mut cursor = self.cursor(db, options.clone())?;
+        if options.is_count_only() {
+            // Count without materializing: drain the cursor, keep nothing.
+            for item in &mut cursor {
+                item?;
+            }
+            let stats = cursor.stats();
+            return Ok(QueryResult::new(Vec::new(), stats, strategy));
+        }
+        let mut pairs = Vec::new();
+        for item in &mut cursor {
+            pairs.push(item?);
+        }
+        let mut stats = cursor.stats();
+        pairs.sort_unstable();
+        stats.result_pairs = pairs.len();
+        Ok(QueryResult::new(pairs, stats, strategy))
+    }
+
+    /// Opens a streaming [`Cursor`] over the answer under `options`.
+    ///
+    /// The cursor borrows this prepared query (for its plan) and the
+    /// database (for its index); `threads` is ignored — cursors are
+    /// sequential by construction.
+    pub fn cursor<'a>(
+        &'a self,
+        db: &'a PathDb,
+        options: QueryOptions,
+    ) -> Result<Cursor<'a>, QueryError> {
+        let strategy = options
+            .strategy_override()
+            .unwrap_or(db.config().default_strategy);
+        let plan = self.plan(db, strategy)?;
+        let stream = open_stream(plan.as_ref(), db.index())?;
+        Ok(Cursor::new(
+            stream,
+            options,
+            plan.join_count(),
+            plan.merge_join_count(),
+        ))
+    }
+
+    /// Number of distinct answers under `options` (respecting limit and
+    /// bindings) without materializing them.
+    pub fn count(&self, db: &PathDb, options: QueryOptions) -> Result<usize, QueryError> {
+        self.cursor(db, options)?.count()
+    }
+
+    /// `true` if the query has at least one answer under the options'
+    /// bindings. Terminates at the first match.
+    pub fn exists(&self, db: &PathDb, options: QueryOptions) -> Result<bool, QueryError> {
+        Ok(self.count(db, options.limit(1))? > 0)
+    }
+}

@@ -1,0 +1,136 @@
+//! A shareable connection handle over an [`Arc<PathDb>`] for concurrent
+//! serving.
+
+use crate::cursor::Cursor;
+use crate::db::PathDb;
+use crate::error::QueryError;
+use crate::options::QueryOptions;
+use crate::prepared::PreparedQuery;
+use crate::result::QueryResult;
+use std::sync::Arc;
+
+/// A lightweight handle on a shared database plus per-session default
+/// options.
+///
+/// Sessions are the serving-side entry point: build the database once, wrap
+/// it in an [`Arc`], and hand each client its own (cheaply cloned) session.
+/// All sessions share the database's index, histogram and plan cache, so a
+/// query prepared or compiled by one session is a cache hit for every other.
+/// `Session` is `Send + Sync + Clone` and never blocks readers against each
+/// other beyond the index backend's own synchronization.
+///
+/// ```
+/// use pathix_core::{PathDb, PathDbConfig, QueryOptions, Session, Strategy};
+/// use pathix_graph::GraphBuilder;
+/// use std::sync::Arc;
+///
+/// let mut b = GraphBuilder::new();
+/// b.add_edge_named("ada", "knows", "jan");
+/// b.add_edge_named("jan", "worksFor", "acme");
+/// let db = Arc::new(PathDb::build(b.build(), PathDbConfig::with_k(2)));
+///
+/// let session = Session::new(Arc::clone(&db))
+///     .with_defaults(QueryOptions::with_strategy(Strategy::MinJoin));
+/// let result = session.query("knows/worksFor").unwrap();
+/// assert_eq!(result.strategy, Strategy::MinJoin);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Session {
+    db: Arc<PathDb>,
+    defaults: QueryOptions,
+}
+
+impl Session {
+    /// Opens a session over a shared database with default options.
+    pub fn new(db: Arc<PathDb>) -> Self {
+        Session {
+            db,
+            defaults: QueryOptions::new(),
+        }
+    }
+
+    /// This session with different default options (applied by
+    /// [`Session::query`] and as the base of [`Session::run`]).
+    pub fn with_defaults(mut self, defaults: QueryOptions) -> Self {
+        self.defaults = defaults;
+        self
+    }
+
+    /// The session's default options.
+    pub fn defaults(&self) -> &QueryOptions {
+        &self.defaults
+    }
+
+    /// The shared database.
+    pub fn db(&self) -> &Arc<PathDb> {
+        &self.db
+    }
+
+    /// Prepares a query against the shared database (one compilation,
+    /// shared with all sessions through the plan cache).
+    pub fn prepare(&self, query: &str) -> Result<PreparedQuery, QueryError> {
+        self.db.prepare(query)
+    }
+
+    /// Evaluates `query` under the session's default options.
+    pub fn query(&self, query: &str) -> Result<QueryResult, QueryError> {
+        self.run(query, self.defaults.clone())
+    }
+
+    /// Evaluates `query` under explicit options (the session defaults are
+    /// ignored in favour of `options`).
+    pub fn run(&self, query: &str, options: QueryOptions) -> Result<QueryResult, QueryError> {
+        self.db.run(query, options)
+    }
+
+    /// Opens a streaming cursor over the answer of `prepared` under the
+    /// session's default options.
+    pub fn cursor<'a>(&'a self, prepared: &'a PreparedQuery) -> Result<Cursor<'a>, QueryError> {
+        prepared.cursor(&self.db, self.defaults.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::PathDbConfig;
+    use pathix_datagen::paper_example_graph;
+    use pathix_plan::Strategy;
+
+    fn shared_db() -> Arc<PathDb> {
+        Arc::new(PathDb::build(
+            paper_example_graph(),
+            PathDbConfig::with_k(2),
+        ))
+    }
+
+    #[test]
+    fn session_defaults_apply_to_query() {
+        let session = Session::new(shared_db())
+            .with_defaults(QueryOptions::with_strategy(Strategy::Naive).limit(2));
+        let result = session.query("knows").unwrap();
+        assert_eq!(result.strategy, Strategy::Naive);
+        assert!(result.len() <= 2);
+        assert_eq!(session.defaults().limit_value(), Some(2));
+    }
+
+    #[test]
+    fn sessions_share_the_plan_cache() {
+        let db = shared_db();
+        let a = Session::new(Arc::clone(&db));
+        let b = a.clone();
+        a.query("supervisor/worksFor-").unwrap();
+        b.query("supervisor/worksFor-").unwrap();
+        let stats = db.plan_cache_stats();
+        assert_eq!(stats.compilations, 1);
+        assert_eq!(stats.hits, 1);
+    }
+
+    #[test]
+    fn session_cursor_streams_under_defaults() {
+        let session = Session::new(shared_db()).with_defaults(QueryOptions::new().limit(1));
+        let prepared = session.prepare("knows").unwrap();
+        let cursor = session.cursor(&prepared).unwrap();
+        assert_eq!(cursor.count().unwrap(), 1);
+    }
+}

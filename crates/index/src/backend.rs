@@ -4,7 +4,7 @@
 //! `⟨label path, sourceID, targetID⟩` and the same three lookup shapes
 //! (Example 3.1) can be served by an in-memory B+tree, a buffer-pool-backed
 //! paged B+tree, or compressed per-path pair blocks — the three
-//! representations studied by the paper and its companion work (ref. [14]).
+//! representations studied by the paper and its companion work (ref. \[14\]).
 //!
 //! [`PathIndexBackend`] captures exactly the contract the layers above
 //! storage rely on: forward prefix scans in `(source, target)` order (the

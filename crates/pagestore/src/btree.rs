@@ -6,7 +6,7 @@
 //! load), but with nodes stored in fixed-size pages behind a
 //! [`BufferPool`], so the index can be larger than memory and its I/O
 //! behaviour can be measured — the dimension the paper's companion work
-//! (reference [14]) studies.
+//! (reference \[14\]) studies.
 //!
 //! Layout:
 //!

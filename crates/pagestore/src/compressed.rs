@@ -1,6 +1,6 @@
 //! Compressed per-path pair blocks.
 //!
-//! The paper's companion work (reference [14]) investigates the *size* of a
+//! The paper's companion work (reference \[14\]) investigates the *size* of a
 //! from-scratch path index and how far compression can shrink it. This module
 //! provides that compressed representation: for every label path `p` of
 //! length ≤ k, the sorted pair set `p(G)` is stored as one delta/varint block

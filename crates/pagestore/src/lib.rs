@@ -5,7 +5,7 @@
 //! compression of pair lists, and a paged variant of the k-path index.
 //!
 //! The EDBT 2016 paper prototypes `I_{G,k}` on PostgreSQL B+tree tables; its
-//! companion work (reference [14]) builds the index from scratch and studies
+//! companion work (reference \[14\]) builds the index from scratch and studies
 //! *index size, compression and performance*. The in-memory
 //! [`pathix_storage::BPlusTree`] answers the query-planning questions of the
 //! paper itself; this crate answers the storage questions of that companion

@@ -5,7 +5,7 @@
 //! shapes (Example 3.1 of the paper), but entries live in buffer-pool pages
 //! so the index can be (much) larger than memory and its I/O behaviour can be
 //! measured — the questions studied by the companion work the paper cites
-//! (ref. [14]).
+//! (ref. \[14\]).
 //!
 //! The index implements [`PathIndexBackend`], so the whole query pipeline
 //! (`pathix-exec` operators, every `pathix-plan` strategy, `PathDb`) runs

@@ -3,7 +3,7 @@
 //! The k-path index is highly compressible: within one label path the pairs
 //! are sorted by `(source, target)`, so consecutive sources are
 //! non-decreasing and, within one source, targets are strictly increasing.
-//! The companion work the paper cites (reference [14]) studies exactly this —
+//! The companion work the paper cites (reference \[14\]) studies exactly this —
 //! index size and compression of a from-scratch path index. This module
 //! provides the two building blocks:
 //!

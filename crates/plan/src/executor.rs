@@ -8,7 +8,7 @@
 use crate::plan::{JoinAlgorithm, PhysicalPlan};
 use pathix_exec::{
     collect_pairs, BoxedPairStream, DistinctOp, EpsilonScanOp, HashJoinOp, IndexScanOp,
-    MergeJoinOp, Pair, UnionAllOp,
+    MergeJoinOp, Pair, PairStream, UnionAllOp,
 };
 use pathix_index::{BackendResult, PathIndexBackend};
 use std::time::{Duration, Instant};
@@ -19,7 +19,7 @@ pub fn execute<B: PathIndexBackend + ?Sized>(
     plan: &PhysicalPlan,
     index: &B,
 ) -> BackendResult<Vec<Pair>> {
-    collect_pairs(build_stream(plan, index)?)
+    collect_pairs(open_stream(plan, index)?)
 }
 
 /// Timing and size information recorded by [`execute_with_stats`].
@@ -29,6 +29,13 @@ pub struct ExecutionStats {
     pub elapsed: Duration,
     /// Number of result pairs after duplicate elimination.
     pub result_pairs: usize,
+    /// Number of pairs pulled from the root of the operator tree, before
+    /// the executor's final sort/dedup and before any consumer-side `limit`.
+    /// (Union plans carry a distinct operator inside the tree, so their root
+    /// already emits deduplicated pairs; join-rooted plans can emit
+    /// duplicates.) A consumer that stops early pulls fewer pairs than a
+    /// full drain, which makes early termination observable.
+    pub pairs_pulled: usize,
     /// Number of joins in the executed plan.
     pub joins: usize,
     /// How many of those were merge joins.
@@ -41,18 +48,32 @@ pub fn execute_with_stats<B: PathIndexBackend + ?Sized>(
     index: &B,
 ) -> BackendResult<(Vec<Pair>, ExecutionStats)> {
     let start = Instant::now();
-    let result = execute(plan, index)?;
+    let mut stream = open_stream(plan, index)?;
+    let mut result = Vec::new();
+    while let Some(pair) = stream.next_pair()? {
+        result.push(pair);
+    }
+    let pairs_pulled = result.len();
+    result.sort_unstable();
+    result.dedup();
     let stats = ExecutionStats {
         elapsed: start.elapsed(),
         result_pairs: result.len(),
+        pairs_pulled,
         joins: plan.join_count(),
         merge_joins: plan.merge_join_count(),
     };
     Ok((result, stats))
 }
 
-/// Recursively builds the operator tree for a plan.
-fn build_stream<'a, B: PathIndexBackend + ?Sized>(
+/// Recursively builds the operator tree for a plan and returns its root as a
+/// pull-based pair stream.
+///
+/// This is the streaming entry point: callers that want incremental results
+/// (cursors, `limit`, `exists`) pull pairs one at a time instead of
+/// materializing the whole answer via [`execute`]. The stream borrows both
+/// the plan and the index.
+pub fn open_stream<'a, B: PathIndexBackend + ?Sized>(
     plan: &'a PhysicalPlan,
     index: &'a B,
 ) -> BackendResult<BoxedPairStream<'a>> {
@@ -66,8 +87,8 @@ fn build_stream<'a, B: PathIndexBackend + ?Sized>(
             left,
             right,
         } => {
-            let l = build_stream(left, index)?;
-            let r = build_stream(right, index)?;
+            let l = open_stream(left, index)?;
+            let r = open_stream(right, index)?;
             match algorithm {
                 JoinAlgorithm::Merge => Box::new(MergeJoinOp::new(l, r)),
                 JoinAlgorithm::Hash => Box::new(HashJoinOp::new(l, r)),
@@ -76,7 +97,7 @@ fn build_stream<'a, B: PathIndexBackend + ?Sized>(
         PhysicalPlan::Union(children) => {
             let streams: Vec<BoxedPairStream<'a>> = children
                 .iter()
-                .map(|child| build_stream(child, index))
+                .map(|child| open_stream(child, index))
                 .collect::<BackendResult<_>>()?;
             Box::new(DistinctOp::new(Box::new(UnionAllOp::new(streams))))
         }
@@ -185,6 +206,7 @@ mod tests {
         let plan = plan_query(Strategy::SemiNaive, &disjuncts, &ctx);
         let (result, stats) = execute_with_stats(&plan, &index).unwrap();
         assert_eq!(stats.result_pairs, result.len());
+        assert!(stats.pairs_pulled >= stats.result_pairs);
         assert_eq!(stats.joins, 1);
         assert_eq!(stats.merge_joins, 1);
     }

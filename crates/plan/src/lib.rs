@@ -48,8 +48,8 @@ pub mod planner;
 pub mod semi_naive;
 
 pub use cost::{cost_plan, PlanCost};
-pub use executor::{execute, execute_with_stats, ExecutionStats};
+pub use executor::{execute, execute_with_stats, open_stream, ExecutionStats};
 pub use explain::explain;
-pub use parallel::execute_parallel;
+pub use parallel::{execute_parallel, execute_parallel_with_stats};
 pub use plan::{JoinAlgorithm, PhysicalPlan};
 pub use planner::{plan_disjunct, plan_query, PlannerContext, Strategy};

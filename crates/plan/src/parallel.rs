@@ -7,9 +7,9 @@
 //! paper's set semantics (sorted, duplicate-free pairs). Any backend error
 //! raised by a worker aborts the query and is reported to the caller.
 
-use crate::executor::execute;
+use crate::executor::open_stream;
 use crate::plan::PhysicalPlan;
-use pathix_exec::Pair;
+use pathix_exec::{Pair, PairStream};
 use pathix_index::{BackendResult, PathIndexBackend};
 
 /// Executes the disjunct plans of a query concurrently on up to `threads`
@@ -25,9 +25,34 @@ pub fn execute_parallel<B: PathIndexBackend + Sync + ?Sized>(
     index: &B,
     threads: usize,
 ) -> BackendResult<Vec<Pair>> {
+    Ok(execute_parallel_with_stats(plan, index, threads)?.0)
+}
+
+/// [`execute_parallel`], additionally reporting how many pairs the workers
+/// pulled from their operator trees before the final merge's duplicate
+/// elimination — the parallel analogue of
+/// [`crate::ExecutionStats::pairs_pulled`]. Workers pull the raw disjunct
+/// outputs (the union's distinct runs in the merge instead of inside the
+/// tree), so on union plans this can exceed the count a sequential drain of
+/// the same plan reports.
+pub fn execute_parallel_with_stats<B: PathIndexBackend + Sync + ?Sized>(
+    plan: &PhysicalPlan,
+    index: &B,
+    threads: usize,
+) -> BackendResult<(Vec<Pair>, usize)> {
     let children: &[PhysicalPlan] = match plan {
         PhysicalPlan::Union(children) if children.len() > 1 => children,
-        other => return execute(other, index),
+        other => {
+            let mut stream = open_stream(other, index)?;
+            let mut out = Vec::new();
+            while let Some(pair) = stream.next_pair()? {
+                out.push(pair);
+            }
+            let pulled = out.len();
+            out.sort_unstable();
+            out.dedup();
+            return Ok((out, pulled));
+        }
     };
     let threads = threads.max(1);
     let chunk_size = children.len().div_ceil(threads);
@@ -38,7 +63,10 @@ pub fn execute_parallel<B: PathIndexBackend + Sync + ?Sized>(
             handles.push(scope.spawn(move || {
                 let mut partial = Vec::new();
                 for child in chunk {
-                    partial.extend(execute(child, index)?);
+                    let mut stream = open_stream(child, index)?;
+                    while let Some(pair) = stream.next_pair()? {
+                        partial.push(pair);
+                    }
                 }
                 Ok(partial)
             }));
@@ -53,14 +81,16 @@ pub fn execute_parallel<B: PathIndexBackend + Sync + ?Sized>(
         Ok(all)
     })?;
 
+    let pulled = merged.len();
     merged.sort_unstable();
     merged.dedup();
-    Ok(merged)
+    Ok((merged, pulled))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::executor::execute;
     use crate::planner::{plan_query, PlannerContext, Strategy};
     use pathix_datagen::paper_example_graph;
     use pathix_index::{EstimationMode, KPathIndex, PathHistogram};

@@ -217,11 +217,13 @@ fn sorted_pairs(rs: ResultSet) -> Vec<(u32, u32)> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pathix_core::{PathDbConfig, Strategy};
+    use pathix_core::{PathDbConfig, QueryOptions, Strategy};
     use pathix_datagen::paper_example_graph;
 
     fn native_pairs(db: &PathDb, query: &str, strategy: Strategy) -> Vec<(u32, u32)> {
-        let result = db.query_with(query, strategy).unwrap();
+        let result = db
+            .run(query, QueryOptions::with_strategy(strategy))
+            .unwrap();
         let mut pairs: Vec<(u32, u32)> = result.pairs().iter().map(|&(a, b)| (a.0, b.0)).collect();
         pairs.sort_unstable();
         pairs.dedup();

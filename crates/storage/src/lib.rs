@@ -3,7 +3,7 @@
 //! A from-scratch, in-memory B+tree over order-preserving byte-string keys.
 //!
 //! The EDBT 2016 paper prototypes its k-path index on top of PostgreSQL
-//! B+tree tables; its companion work (reference [14] in the paper) builds the
+//! B+tree tables; its companion work (reference \[14\] in the paper) builds the
 //! same index "from scratch". This crate is that from-scratch substrate: an
 //! ordered dictionary with
 //!

@@ -10,7 +10,7 @@
 //! ```
 
 use pathix::datagen::{advogato_like, advogato_queries, AdvogatoConfig};
-use pathix::{PathDb, PathDbConfig, Strategy};
+use pathix::{PathDb, PathDbConfig, QueryOptions, Strategy};
 use std::time::Instant;
 
 fn main() {
@@ -43,7 +43,7 @@ fn main() {
             let mut answers = 0;
             for strategy in Strategy::all() {
                 let result = db
-                    .query_with(&q.text, strategy)
+                    .run(&q.text, QueryOptions::with_strategy(strategy))
                     .unwrap_or_else(|e| panic!("query {} failed: {e}", q.name));
                 answers = result.len();
                 row.push_str(&format!(" {:>13.2?}", result.stats.elapsed));

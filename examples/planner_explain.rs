@@ -10,7 +10,7 @@
 
 use pathix::datagen::paper_example_graph;
 use pathix::rpq::{parse, to_disjuncts, RewriteOptions};
-use pathix::{PathDb, PathDbConfig, Strategy};
+use pathix::{PathDb, PathDbConfig, QueryOptions, Strategy};
 
 fn main() {
     let graph = paper_example_graph();
@@ -53,7 +53,9 @@ fn main() {
         for strategy in Strategy::all() {
             println!("---- {strategy}");
             print!("{}", db.explain(query, strategy).unwrap());
-            let result = db.query_with(query, strategy).unwrap();
+            let result = db
+                .run(query, QueryOptions::with_strategy(strategy))
+                .unwrap();
             println!(
                 "=> {} answers in {:?} ({} joins, {} merge)\n",
                 result.len(),

@@ -1,6 +1,7 @@
 //! The life of a regular path query — the walkthrough of the paper's
 //! demonstration (Section 6): from submission through parsing, rewriting and
-//! optimization to execution, under all four planning strategies.
+//! optimization to execution, under all four planning strategies, using the
+//! compile-once / execute-many API (prepare → options → run/cursor).
 //!
 //! Run with:
 //!
@@ -15,7 +16,8 @@
 
 use pathix::datagen::paper_example_graph;
 use pathix::rpq::parse;
-use pathix::{PathDb, PathDbConfig, Strategy};
+use pathix::{PathDb, PathDbConfig, QueryOptions, Session, Strategy};
+use std::sync::Arc;
 
 fn main() {
     let query = std::env::args()
@@ -27,11 +29,12 @@ fn main() {
         .unwrap_or(3);
 
     let graph = paper_example_graph();
-    let db = PathDb::build(graph, PathDbConfig::with_k(k));
+    let db = Arc::new(PathDb::build(graph, PathDbConfig::with_k(k)));
+    let session = Session::new(Arc::clone(&db));
 
     println!("== 1. submission\n   query: {query}\n   index: k = {k}\n");
 
-    // Parsing.
+    // Parsing (standalone, to show the AST before binding).
     let parsed = match parse(&query) {
         Ok(expr) => expr,
         Err(e) => {
@@ -45,21 +48,21 @@ fn main() {
         parsed.has_recursion()
     );
 
-    // Binding + rewriting (recursion expansion, union pull-up).
-    let bound = match db.compile(&query) {
-        Ok(expr) => expr,
+    // Preparation: parse → bind → rewrite happen once, here. Everything
+    // after this point reuses the compiled artifacts.
+    let prepared = match session.prepare(&query) {
+        Ok(prepared) => prepared,
         Err(e) => {
-            eprintln!("bind error: {e}");
+            eprintln!("compile error: {e}");
             std::process::exit(1);
         }
     };
-    let disjuncts = db.disjuncts(&bound).unwrap();
     println!(
-        "== 3. rewriting\n   bound form: {}\n   {} label-path disjuncts after recursion expansion and union pull-up:",
-        bound.display(db.graph()),
-        disjuncts.len()
+        "== 3. preparation (bind + rewrite)\n   {} label-path disjuncts after recursion \
+         expansion and union pull-up:",
+        prepared.disjuncts().len()
     );
-    for d in &disjuncts {
+    for d in prepared.disjuncts() {
         println!(
             "     {}",
             pathix::rpq::ast::format_label_path(d, db.graph())
@@ -67,17 +70,19 @@ fn main() {
     }
     println!();
 
-    // Optimization: the four strategies and their physical plans.
+    // Optimization: plans are planned lazily, per strategy, on first use —
+    // `explain` fills the same cached plan slots the executions below reuse.
     println!("== 4. optimization (physical plans per strategy)\n");
     for strategy in Strategy::all() {
         println!(
-            "-- {}\n{}",
+            "-- {} (planned before this explain: {})\n{}",
             strategy.name(),
+            prepared.is_planned(strategy),
             db.explain(&query, strategy).unwrap()
         );
     }
 
-    // Execution.
+    // Execution: the same prepared query under each strategy.
     println!("== 5. execution\n");
     println!(
         "{:<12} {:>10} {:>8} {:>12} {:>12}",
@@ -85,7 +90,9 @@ fn main() {
     );
     let mut reference: Option<usize> = None;
     for strategy in Strategy::all() {
-        let result = db.query_with(&query, strategy).unwrap();
+        let result = prepared
+            .run(&db, QueryOptions::with_strategy(strategy))
+            .unwrap();
         if let Some(expected) = reference {
             assert_eq!(result.len(), expected, "strategies must agree");
         } else {
@@ -101,10 +108,23 @@ fn main() {
         );
     }
 
-    // The answer itself, with node names.
-    let result = db.query(&query).unwrap();
-    println!("\n== 6. answer ({} pairs)\n", result.len());
-    for (src, dst) in result.named_pairs(&db) {
-        println!("   {src} -> {dst}");
+    // The compile-once guarantee, in numbers: one compilation, ≤ 4 plans,
+    // however many times the query ran above.
+    let cache = db.plan_cache_stats();
+    println!(
+        "\n   plan cache: {} compilation(s), {} plan(s), {} hit(s)",
+        cache.compilations, cache.plans, cache.hits
+    );
+
+    // The answer itself, streamed through a cursor with node names.
+    let cursor = prepared.cursor(&db, QueryOptions::new()).unwrap();
+    let pairs = cursor.collect_sorted().unwrap();
+    println!("\n== 6. answer ({} pairs)\n", pairs.len());
+    for (src, dst) in pairs {
+        println!(
+            "   {} -> {}",
+            db.graph().node_name(src).unwrap_or("?"),
+            db.graph().node_name(dst).unwrap_or("?")
+        );
     }
 }

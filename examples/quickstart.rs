@@ -1,4 +1,5 @@
-//! Quickstart: build a small graph, index it, and run regular path queries.
+//! Quickstart: build a small graph, index it, prepare queries once and run
+//! them many ways — materialized, streamed, counted.
 //!
 //! Run with:
 //!
@@ -7,7 +8,7 @@
 //! ```
 
 use pathix::datagen::paper_example_graph;
-use pathix::{PathDb, PathDbConfig, Strategy};
+use pathix::{PathDb, PathDbConfig, QueryOptions, Strategy};
 
 fn main() {
     // 1. A graph. This is the nine-person social graph used as the running
@@ -29,7 +30,9 @@ fn main() {
         stats.index.backend, stats.index.k, stats.index.entries, stats.index.distinct_paths
     );
 
-    // 3. Run queries. The default strategy is minSupport (histogram-guided).
+    // 3. Prepare queries: parse → bind → rewrite runs once per query text,
+    //    then each prepared query executes as often as needed. The default
+    //    strategy is minSupport (histogram-guided).
     let queries = [
         // Who does kim indirectly reach through a supervision + employment?
         "supervisor/worksFor-",
@@ -41,7 +44,10 @@ fn main() {
         "(supervisor|worksFor|worksFor-){4,5}",
     ];
     for query in queries {
-        let result = db.query(query).expect("query should evaluate");
+        let prepared = db.prepare(query).expect("query should compile");
+        let result = prepared
+            .run(&db, QueryOptions::new())
+            .expect("query should evaluate");
         println!("query  : {query}");
         println!(
             "answer : {} pairs in {:?} ({} joins, {} merge)",
@@ -59,7 +65,28 @@ fn main() {
         println!();
     }
 
-    // 4. Inspect a plan: EXPLAIN output for one query under two strategies.
+    // 4. Stream instead of materializing: a cursor pulls one distinct pair
+    //    at a time, so a limit abandons the rest of the computation. The
+    //    pulled-pairs counter shows how much work the limit saved.
+    let prepared = db.prepare("(supervisor|worksFor|worksFor-){4,5}").unwrap();
+    let mut cursor = prepared.cursor(&db, QueryOptions::new().limit(3)).unwrap();
+    println!("-- first 3 answers, streamed");
+    for item in &mut cursor {
+        let (a, b) = item.unwrap();
+        println!(
+            "   ({}, {})",
+            db.graph().node_name(a).unwrap_or("?"),
+            db.graph().node_name(b).unwrap_or("?")
+        );
+    }
+    let full = prepared.run(&db, QueryOptions::new()).unwrap();
+    println!(
+        "   cursor pulled {} pairs; the full answer pulls {}\n",
+        cursor.stats().pairs_pulled,
+        full.stats.pairs_pulled
+    );
+
+    // 5. Inspect a plan: EXPLAIN output for one query under two strategies.
     let query = "knows/(knows/worksFor){2,4}/worksFor";
     for strategy in [Strategy::SemiNaive, Strategy::MinSupport] {
         println!("--- {strategy} plan for {query}");
@@ -67,7 +94,7 @@ fn main() {
         println!();
     }
 
-    // 5. Cross-check against the baselines the paper compares with.
+    // 6. Cross-check against the baselines the paper compares with.
     let reference = db.query_automaton(query).unwrap();
     let datalog = db.query_datalog(query).unwrap();
     let indexed = db.query(query).unwrap();
@@ -76,5 +103,15 @@ fn main() {
     println!(
         "all three evaluation routes agree on {} answer pairs ✔",
         reference.len()
+    );
+
+    // 7. The whole walkthrough compiled each query text exactly once.
+    let cache = db.plan_cache_stats();
+    println!(
+        "plan cache: {} compilations, {} plans, {} hits ({}% hit rate)",
+        cache.compilations,
+        cache.plans,
+        cache.hits,
+        (cache.hit_rate() * 100.0).round()
     );
 }

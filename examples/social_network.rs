@@ -8,7 +8,7 @@
 //! ```
 
 use pathix::datagen::{social_network, SocialConfig};
-use pathix::{PathDb, PathDbConfig, Strategy};
+use pathix::{PathDb, PathDbConfig, QueryOptions, Strategy};
 use std::time::Instant;
 
 fn main() {
@@ -69,7 +69,7 @@ fn main() {
         let mut answers = 0;
         for strategy in Strategy::all() {
             let result = db
-                .query_with(query, strategy)
+                .run(query, QueryOptions::with_strategy(strategy))
                 .unwrap_or_else(|e| panic!("query {query} failed: {e}"));
             answers = result.len();
             row.push_str(&format!(" {:>11.2?}", result.stats.elapsed));

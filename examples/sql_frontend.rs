@@ -10,7 +10,7 @@
 
 use pathix::datagen::paper_example_graph;
 use pathix::sql::SqlPathDb;
-use pathix::{PathDb, PathDbConfig, Strategy};
+use pathix::{PathDb, PathDbConfig, QueryOptions, Strategy};
 
 fn main() {
     let graph = paper_example_graph();
@@ -48,7 +48,9 @@ fn main() {
 
     // 3. Results agree with the native pipeline.
     let via_sql = relational.query_pairs(query).unwrap();
-    let via_native = native.query_with(query, Strategy::MinSupport).unwrap();
+    let via_native = native
+        .run(query, QueryOptions::with_strategy(Strategy::MinSupport))
+        .unwrap();
     println!(
         "result: {} pairs via SQL, {} pairs via the native pipeline",
         via_sql.len(),

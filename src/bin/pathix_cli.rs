@@ -24,7 +24,7 @@ use pathix::datagen::{
     advogato_like, paper_example_graph, social_network, AdvogatoConfig, SocialConfig,
 };
 use pathix::graph::load_edge_list;
-use pathix::{Graph, PathDb, PathDbConfig, Strategy};
+use pathix::{Graph, PathDb, PathDbConfig, QueryOptions, Strategy};
 use std::io::{self, BufRead, Write};
 
 /// A parsed shell input line.
@@ -118,16 +118,16 @@ commands:
 query syntax: `/` composition, `|` union, `label-` inverse, `{i,j}` bounded
 recursion, plus `*` `+` `?` sugar; parentheses group.";
 
-/// The interactive session: a database plus the shell's mutable settings.
-struct Session {
+/// The interactive shell state: a database plus the shell's mutable settings.
+struct Shell {
     db: PathDb,
     strategy: Strategy,
     limit: usize,
 }
 
-impl Session {
+impl Shell {
     fn new(graph: Graph, k: usize) -> Self {
-        Session {
+        Shell {
             db: PathDb::build(graph, PathDbConfig::with_k(k)),
             strategy: Strategy::MinSupport,
             limit: 10,
@@ -204,7 +204,12 @@ impl Session {
     }
 
     fn query(&self, query: &str) -> String {
-        match self.db.query_with(query, self.strategy) {
+        // Repeated queries hit the database's plan cache, so an interactive
+        // session never re-parses a query it has seen before.
+        match self
+            .db
+            .run(query, QueryOptions::with_strategy(self.strategy))
+        {
             Ok(result) => {
                 let mut out = format!(
                     "{} pairs in {:?} ({} joins, {} merge) under {}\n",
@@ -227,10 +232,15 @@ impl Session {
     }
 
     fn compare(&self, query: &str) -> String {
+        // One compilation for all four strategies: prepare once, run each.
+        let prepared = match self.db.prepare(query) {
+            Ok(prepared) => prepared,
+            Err(e) => return format!("error: {e}"),
+        };
         let mut out = format!("{:<12} {:>12} {:>10}\n", "method", "time", "answers");
         let mut reference: Option<usize> = None;
         for strategy in Strategy::all() {
-            match self.db.query_with(query, strategy) {
+            match prepared.run(&self.db, QueryOptions::with_strategy(strategy)) {
                 Ok(result) => {
                     out.push_str(&format!(
                         "{:<12} {:>12?} {:>10}\n",
@@ -368,13 +378,13 @@ fn main() {
         graph.node_count(),
         graph.edge_count()
     );
-    let mut session = Session::new(graph, options.k);
+    let mut shell = Shell::new(graph, options.k);
 
     // One-shot mode: run the -q queries and exit.
     if !options.one_shot.is_empty() {
         for query in &options.one_shot {
             println!("> {query}");
-            println!("{}", session.run(Command::Query(query.clone())));
+            println!("{}", shell.run(Command::Query(query.clone())));
         }
         return;
     }
@@ -397,7 +407,7 @@ fn main() {
         if command == Command::Quit {
             break;
         }
-        let output = session.run(command);
+        let output = shell.run(command);
         if !output.is_empty() {
             println!("{output}");
         }
@@ -446,40 +456,40 @@ mod tests {
 
     #[test]
     fn session_answers_queries_and_commands() {
-        let mut session = Session::new(paper_example_graph(), 2);
-        let out = session.run(Command::Query("supervisor/worksFor-".to_owned()));
+        let mut shell = Shell::new(paper_example_graph(), 2);
+        let out = shell.run(Command::Query("supervisor/worksFor-".to_owned()));
         assert!(out.contains("1 pairs"), "unexpected output: {out}");
         assert!(out.contains("(kim, sue)"), "unexpected output: {out}");
 
-        let out = session.run(Command::SetStrategy("semi-naive".to_owned()));
+        let out = shell.run(Command::SetStrategy("semi-naive".to_owned()));
         assert!(out.contains("semi-naive"));
-        let out = session.run(Command::Stats);
+        let out = shell.run(Command::Stats);
         assert!(out.contains("9 nodes") && out.contains("k = 2"), "{out}");
 
-        let out = session.run(Command::Explain("knows/knows/worksFor".to_owned()));
+        let out = shell.run(Command::Explain("knows/knows/worksFor".to_owned()));
         assert!(out.contains("plan"), "{out}");
-        let out = session.run(Command::Plans("knows/knows".to_owned()));
+        let out = shell.run(Command::Plans("knows/knows".to_owned()));
         assert!(
             out.contains("naive plan") && out.contains("minJoin plan"),
             "{out}"
         );
 
-        let out = session.run(Command::Compare("knows/worksFor".to_owned()));
+        let out = shell.run(Command::Compare("knows/worksFor".to_owned()));
         assert!(
             out.contains("automaton") && out.contains("datalog"),
             "{out}"
         );
 
-        let out = session.run(Command::Query("not a query ///".to_owned()));
+        let out = shell.run(Command::Query("not a query ///".to_owned()));
         assert!(out.starts_with("error:"), "{out}");
     }
 
     #[test]
     fn rebuilding_with_a_new_k_keeps_answers_correct() {
-        let mut session = Session::new(paper_example_graph(), 1);
-        let before = session.run(Command::Query("knows/knows/worksFor".to_owned()));
-        session.run(Command::SetK(3));
-        let after = session.run(Command::Query("knows/knows/worksFor".to_owned()));
+        let mut shell = Shell::new(paper_example_graph(), 1);
+        let before = shell.run(Command::Query("knows/knows/worksFor".to_owned()));
+        shell.run(Command::SetK(3));
+        let after = shell.run(Command::Query("knows/knows/worksFor".to_owned()));
         let count = |s: &str| s.split(" pairs").next().unwrap().to_owned();
         assert_eq!(count(&before), count(&after));
     }

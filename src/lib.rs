@@ -9,7 +9,10 @@
 //!
 //! * [`PathDb`] — build an index over a graph and run RPQs with any of the
 //!   paper's four strategies (`naive`, `semi-naive`, `minSupport`,
-//!   `minJoin`);
+//!   `minJoin`); [`PathDb::prepare`] compiles a query once into a
+//!   [`PreparedQuery`], [`QueryOptions`] configures each execution,
+//!   [`Cursor`] streams answers with early termination, and [`Session`]
+//!   shares a database across concurrent clients;
 //! * [`graph`] — the graph substrate (builders, loaders, CSR adjacency);
 //! * [`datagen`] — synthetic datasets (Advogato-like, Erdős–Rényi,
 //!   Barabási–Albert, social networks) and RPQ workloads;
@@ -27,12 +30,21 @@
 //! `crates/bench` for the harness that regenerates the paper's figures.
 //!
 //! ```
-//! use pathix::{PathDb, PathDbConfig, Strategy};
+//! use pathix::{PathDb, PathDbConfig, QueryOptions, Strategy};
 //! use pathix::datagen::paper_example_graph;
 //!
 //! let db = PathDb::build(paper_example_graph(), PathDbConfig::with_k(2));
-//! let answer = db.query_with("supervisor/worksFor-", Strategy::MinSupport).unwrap();
+//!
+//! // Compile once, execute many: parse/bind/rewrite happen a single time.
+//! let prepared = db.prepare("supervisor/worksFor-").unwrap();
+//! let answer = prepared
+//!     .run(&db, QueryOptions::with_strategy(Strategy::MinSupport))
+//!     .unwrap();
 //! assert_eq!(answer.named_pairs(&db), vec![("kim".to_string(), "sue".to_string())]);
+//!
+//! // Ad-hoc calls share the same plan cache.
+//! assert_eq!(db.query("supervisor/worksFor-").unwrap().len(), 1);
+//! assert_eq!(db.plan_cache_stats().compilations, 1);
 //! ```
 //!
 //! ## Choosing an index backend
@@ -69,9 +81,10 @@
 //! ```
 
 pub use pathix_core::{
-    BackendChoice, BackendError, BackendStats, DbStats, EstimationMode, ExecutionStats, Graph,
-    GraphBuilder, IndexBackend, IndexStats, LabelId, NodeId, PathDb, PathDbConfig,
-    PathIndexBackend, PhysicalPlan, QueryError, QueryResult, SignedLabel, Strategy,
+    BackendChoice, BackendError, BackendStats, Cursor, DbStats, EstimationMode, ExecutionStats,
+    Graph, GraphBuilder, IndexBackend, IndexStats, LabelId, NodeId, PathDb, PathDbConfig,
+    PathIndexBackend, PhysicalPlan, PlanCacheStats, PreparedQuery, QueryError, QueryOptions,
+    QueryResult, Session, SignedLabel, Strategy,
 };
 
 /// The graph substrate crate.

@@ -4,7 +4,7 @@
 use pathix::datagen::{
     advogato_like, advogato_queries, social_network, AdvogatoConfig, SocialConfig,
 };
-use pathix::{EstimationMode, PathDb, PathDbConfig, QueryError, Strategy};
+use pathix::{EstimationMode, PathDb, PathDbConfig, QueryError, QueryOptions, Strategy};
 
 fn social_db(k: usize) -> PathDb {
     let graph = social_network(SocialConfig {
@@ -30,7 +30,9 @@ fn strategies_agree_on_a_social_graph() {
     for query in queries {
         let baseline = db.query_automaton(query).unwrap();
         for strategy in Strategy::all() {
-            let result = db.query_with(query, strategy).unwrap();
+            let result = db
+                .run(query, QueryOptions::with_strategy(strategy))
+                .unwrap();
             assert_eq!(result.pairs(), &baseline[..], "{strategy} on {query}");
         }
     }

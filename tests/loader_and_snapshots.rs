@@ -4,7 +4,7 @@
 
 use pathix::graph::loader::{load_edge_list_str, to_edge_list_string};
 use pathix::graph::GraphSnapshot;
-use pathix::{PathDb, PathDbConfig, Strategy};
+use pathix::{PathDb, PathDbConfig, QueryOptions, Strategy};
 use pathix_storage::BPlusTree;
 
 const EDGES: &str = "\
@@ -64,8 +64,12 @@ fn graph_snapshot_roundtrip_preserves_query_answers() {
     let db1 = PathDb::build(graph, PathDbConfig::with_k(2));
     let db2 = PathDb::build(restored, PathDbConfig::with_k(2));
     for strategy in Strategy::all() {
-        let a = db1.query_with("knows{1,3}/worksFor", strategy).unwrap();
-        let b = db2.query_with("knows{1,3}/worksFor", strategy).unwrap();
+        let a = db1
+            .run("knows{1,3}/worksFor", QueryOptions::with_strategy(strategy))
+            .unwrap();
+        let b = db2
+            .run("knows{1,3}/worksFor", QueryOptions::with_strategy(strategy))
+            .unwrap();
         assert_eq!(a.pairs(), b.pairs());
     }
 }

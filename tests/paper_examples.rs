@@ -9,7 +9,7 @@
 
 use pathix::datagen::paper_example_graph;
 use pathix::index::naive_path_eval;
-use pathix::{PathDb, PathDbConfig, PathIndexBackend, SignedLabel, Strategy};
+use pathix::{PathDb, PathDbConfig, PathIndexBackend, QueryOptions, SignedLabel, Strategy};
 
 fn db(k: usize) -> PathDb {
     PathDb::build(paper_example_graph(), PathDbConfig::with_k(k))
@@ -21,7 +21,12 @@ fn section_2_2_supervisor_works_for_inverse() {
     for k in 1..=3 {
         let db = db(k);
         for strategy in Strategy::all() {
-            let result = db.query_with("supervisor/worksFor-", strategy).unwrap();
+            let result = db
+                .run(
+                    "supervisor/worksFor-",
+                    QueryOptions::with_strategy(strategy),
+                )
+                .unwrap();
             assert_eq!(
                 result.named_pairs(&db),
                 vec![("kim".to_owned(), "sue".to_owned())],
@@ -43,7 +48,9 @@ fn section_2_2_bounded_recursion_over_union() {
     assert!(!reference.is_empty());
     assert_eq!(db.query_datalog(query).unwrap(), reference);
     for strategy in Strategy::all() {
-        let result = db.query_with(query, strategy).unwrap();
+        let result = db
+            .run(query, QueryOptions::with_strategy(strategy))
+            .unwrap();
         assert_eq!(result.pairs(), &reference[..], "strategy {strategy}");
     }
 }
@@ -122,7 +129,9 @@ fn section_4_running_example_all_k() {
         let db = db(k);
         let reference = db.query_automaton(query).unwrap();
         for strategy in Strategy::all() {
-            let result = db.query_with(query, strategy).unwrap();
+            let result = db
+                .run(query, QueryOptions::with_strategy(strategy))
+                .unwrap();
             assert_eq!(
                 result.pairs(),
                 &reference[..],

@@ -6,7 +6,7 @@ use pathix::baselines::{evaluate_automaton, evaluate_reachability};
 use pathix::datagen::{barabasi_albert, erdos_renyi, paper_example_graph};
 use pathix::index::KPathIndex;
 use pathix::rpq::parse;
-use pathix::{Graph, NodeId, PathDb, PathDbConfig, Strategy};
+use pathix::{Graph, NodeId, PathDb, PathDbConfig, QueryOptions, Strategy};
 
 fn sorted(mut pairs: Vec<(NodeId, NodeId)>) -> Vec<(NodeId, NodeId)> {
     pairs.sort_unstable();
@@ -53,8 +53,8 @@ fn parallel_query_execution_matches_sequential_for_every_strategy() {
     ];
     for query in &queries {
         for strategy in Strategy::all() {
-            let sequential = db.query_with(query, strategy);
-            let parallel = db.query_parallel(query, strategy, 4);
+            let sequential = db.run(query, QueryOptions::with_strategy(strategy));
+            let parallel = db.run(query, QueryOptions::with_strategy(strategy).threads(4));
             let sequential = sequential.unwrap();
             let parallel = parallel.unwrap();
             assert_eq!(

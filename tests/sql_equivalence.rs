@@ -5,11 +5,11 @@
 
 use pathix::datagen::{advogato_like, paper_example_graph, AdvogatoConfig};
 use pathix::sql::SqlPathDb;
-use pathix::{NodeId, PathDb, PathDbConfig, Strategy};
+use pathix::{NodeId, PathDb, PathDbConfig, QueryOptions, Strategy};
 
 fn native_pairs(db: &PathDb, query: &str, strategy: Strategy) -> Vec<(u32, u32)> {
     let mut pairs: Vec<(u32, u32)> = db
-        .query_with(query, strategy)
+        .run(query, QueryOptions::with_strategy(strategy))
         .unwrap()
         .pairs()
         .iter()

@@ -10,7 +10,7 @@ use pathix::datagen::{
 };
 use pathix::index::KPathIndex;
 use pathix::pagestore::{BufferPool, CompressedPathStore, DiskManager, PagedBTree, PagedPathIndex};
-use pathix::{BackendChoice, PathDb, PathDbConfig, Strategy};
+use pathix::{BackendChoice, PathDb, PathDbConfig, QueryOptions, Strategy};
 
 #[test]
 fn paged_and_compressed_indexes_match_the_memory_index() {
@@ -104,9 +104,14 @@ fn workload_answers_are_identical_across_all_backends_and_strategies() {
         );
         for query in generator.generate_mixed(10) {
             for strategy in Strategy::all() {
-                let reference = dbs[0].0.query_with(&query.text, strategy).unwrap();
+                let reference = dbs[0]
+                    .0
+                    .run(&query.text, QueryOptions::with_strategy(strategy))
+                    .unwrap();
                 for (db, name) in &dbs[1..] {
-                    let result = db.query_with(&query.text, strategy).unwrap();
+                    let result = db
+                        .run(&query.text, QueryOptions::with_strategy(strategy))
+                        .unwrap();
                     assert_eq!(
                         result.pairs(),
                         reference.pairs(),

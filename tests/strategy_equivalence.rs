@@ -6,7 +6,7 @@
 //! no proptest); every case is seeded and reproduces exactly.
 
 use pathix::datagen::{erdos_renyi, WorkloadConfig, WorkloadGenerator};
-use pathix::{BackendChoice, PathDb, PathDbConfig, PathIndexBackend, Strategy};
+use pathix::{BackendChoice, PathDb, PathDbConfig, PathIndexBackend, QueryOptions, Strategy};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -50,7 +50,9 @@ fn all_evaluation_routes_agree() {
                 query.text
             );
             for strategy in Strategy::all() {
-                let result = db.query_with(&query.text, strategy).unwrap();
+                let result = db
+                    .run(&query.text, QueryOptions::with_strategy(strategy))
+                    .unwrap();
                 assert_eq!(
                     result.pairs(),
                     &reference[..],
@@ -95,9 +97,13 @@ fn backends_agree_on_random_graphs_and_queries() {
         );
         for query in generator.generate_mixed(6) {
             for strategy in Strategy::all() {
-                let reference = memory.query_with(&query.text, strategy).unwrap();
+                let reference = memory
+                    .run(&query.text, QueryOptions::with_strategy(strategy))
+                    .unwrap();
                 for db in [&paged, &compressed] {
-                    let result = db.query_with(&query.text, strategy).unwrap();
+                    let result = db
+                        .run(&query.text, QueryOptions::with_strategy(strategy))
+                        .unwrap();
                     assert_eq!(
                         result.pairs(),
                         reference.pairs(),
