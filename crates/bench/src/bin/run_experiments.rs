@@ -12,6 +12,7 @@
 //!   ablation   extension: equi-depth histogram vs exact statistics
 //!   incremental extension: incremental index maintenance vs rebuild
 //!   amortization extension: parse-per-call vs plan-cache vs prepared throughput
+//!   updates    extension: live PathDb::apply throughput vs full rebuild
 //!   all        everything above (default)
 //! ```
 //!
@@ -21,8 +22,8 @@
 
 use pathix_bench::{
     amortization, automaton_comparison, backend_comparison, bench_scale, datalog_speedup, fig2,
-    histogram_ablation, incremental_maintenance, index_construction, paged_index, parallel,
-    scaling, sql_comparison,
+    histogram_ablation, incremental_maintenance, index_construction, live_updates, paged_index,
+    parallel, scaling, sql_comparison,
 };
 
 fn main() {
@@ -74,6 +75,9 @@ fn main() {
         "incremental" => {
             incremental_maintenance(scale);
         }
+        "updates" => {
+            live_updates(scale, 2);
+        }
         "all" => {
             fig2(scale, &ks);
             datalog_speedup(baseline_scale);
@@ -87,12 +91,13 @@ fn main() {
             amortization(scale, 2);
             parallel(scale);
             incremental_maintenance(scale);
+            live_updates(scale, 2);
         }
         other => {
             eprintln!(
                 "unknown experiment `{other}`; expected one of: fig2, datalog, automaton, \
                  index, scaling, ablation, sql, paged, backends, amortization, parallel, \
-                 incremental, all"
+                 incremental, updates, all"
             );
             std::process::exit(2);
         }

@@ -12,3 +12,4 @@ pub mod paged;
 pub mod parallel;
 pub mod scaling;
 pub mod sql;
+pub mod updates;

@@ -1,0 +1,214 @@
+//! Experiment **X10** (extension): live `PathDb::apply` update throughput
+//! versus rebuilding the database from scratch.
+//!
+//! X9 measured the raw index delta rules; this experiment measures the whole
+//! serving path a live deployment actually exercises: [`PathDb::apply`]
+//! validates the batch, routes it through the counting index, keeps the graph
+//! adjacency in sync, refreshes the histogram under the configured policy and
+//! publishes a fresh immutable snapshot (epoch bump + read-optimized index
+//! freeze). The alternative — the only way a read-only database can stay
+//! fresh — is a full [`PathDb::build`] per batch. Queries running between
+//! batches confirm both routes answer identically.
+
+use crate::datasets::build_advogato;
+use crate::report::{write_json, Table};
+use pathix_core::{PathDb, PathDbConfig, QueryOptions, Strategy};
+use pathix_graph::{Graph, LabelId, NodeId};
+use pathix_index::GraphUpdate;
+use std::time::Instant;
+
+/// One `(batch size)` measurement.
+#[derive(Debug, Clone)]
+pub struct UpdatesRow {
+    /// Updates per `apply` batch.
+    pub batch: usize,
+    /// Batches applied.
+    pub batches: usize,
+    /// Mean time of one `PathDb::apply` batch, in milliseconds.
+    pub apply_ms: f64,
+    /// Updates applied per second through `apply`.
+    pub updates_per_s: f64,
+    /// Time of one full `PathDb::build` over the same graph, in milliseconds.
+    pub rebuild_ms: f64,
+    /// `rebuild_ms / apply_ms` — how much cheaper staying fresh is per batch.
+    pub speedup_vs_rebuild: f64,
+}
+
+/// The X10 report.
+#[derive(Debug, Clone)]
+pub struct UpdatesReport {
+    /// Advogato-like scale factor.
+    pub scale: f64,
+    /// Locality parameter used.
+    pub k: usize,
+    /// Epoch the live database reached.
+    pub final_epoch: u64,
+    /// All rows.
+    pub rows: Vec<UpdatesRow>,
+}
+
+/// Every `step`-th edge of the graph as `(src, label, dst)` triples.
+fn edge_sample(graph: &Graph, step: usize) -> Vec<(NodeId, LabelId, NodeId)> {
+    graph
+        .labels()
+        .flat_map(|l| graph.edges(l).iter().map(move |&(s, d)| (s, l, d)))
+        .step_by(step.max(1))
+        .collect()
+}
+
+/// Runs the live-update throughput experiment at the given scale with
+/// locality `k`.
+pub fn live_updates(scale: f64, k: usize) -> UpdatesReport {
+    let graph = build_advogato(scale);
+    println!(
+        "== X10: PathDb::apply throughput vs full rebuild (scale {scale}: {} nodes, {} edges, \
+         k = {k})\n",
+        graph.node_count(),
+        graph.edge_count()
+    );
+
+    let start = Instant::now();
+    let db = PathDb::build(graph.clone(), PathDbConfig::with_k(k));
+    let rebuild_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    // The update stream: a slice of existing edges, deleted and re-inserted,
+    // so the database ends every round where it started.
+    let sample = edge_sample(&graph, graph.edge_count() / 256);
+    let query = "journeyer/journeyer";
+    let reference = db.query(query).unwrap().len();
+
+    let mut rows = Vec::new();
+    let mut table = Table::new(vec![
+        "batch",
+        "apply (ms/batch)",
+        "updates/s",
+        "rebuild (ms)",
+        "speedup vs rebuild",
+    ]);
+    for &batch in &[1usize, 16, 128] {
+        let rounds: Vec<Vec<GraphUpdate>> = sample
+            .chunks(batch)
+            .map(|chunk| {
+                chunk
+                    .iter()
+                    .map(|&(src, label, dst)| GraphUpdate::DeleteEdge { src, label, dst })
+                    .collect()
+            })
+            .collect();
+        let reinserts: Vec<Vec<GraphUpdate>> = sample
+            .chunks(batch)
+            .map(|chunk| {
+                chunk
+                    .iter()
+                    .map(|&(src, label, dst)| GraphUpdate::InsertEdge { src, label, dst })
+                    .collect()
+            })
+            .collect();
+
+        let start = Instant::now();
+        let mut applied = 0usize;
+        let mut batches = 0usize;
+        for round in rounds.iter().chain(reinserts.iter()) {
+            let stats = db.apply(round).unwrap();
+            applied += (stats.inserted + stats.deleted) as usize;
+            batches += 1;
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        let apply_ms = elapsed * 1e3 / batches.max(1) as f64;
+        let updates_per_s = applied as f64 / elapsed.max(1e-9);
+        let speedup = rebuild_ms / apply_ms.max(1e-9);
+
+        // Delete + re-insert restores the edge set: the live database must
+        // still agree with the original build.
+        assert_eq!(
+            db.query(query).unwrap().len(),
+            reference,
+            "batch {batch}: answers diverged after the update rounds"
+        );
+
+        table.push_row(vec![
+            batch.to_string(),
+            format!("{apply_ms:.2}"),
+            format!("{updates_per_s:.0}"),
+            format!("{rebuild_ms:.1}"),
+            format!("{speedup:.1}x"),
+        ]);
+        rows.push(UpdatesRow {
+            batch,
+            batches,
+            apply_ms,
+            updates_per_s,
+            rebuild_ms,
+            speedup_vs_rebuild: speedup,
+        });
+    }
+    println!("{}", table.render());
+
+    // Prepared-query staleness check at bench scale: a plan compiled before
+    // an update keeps answering correctly after it.
+    let prepared = db.prepare(query).unwrap();
+    let before = prepared.run(&db, QueryOptions::with_strategy(Strategy::MinSupport));
+    let &(src, label, dst) = sample.first().expect("non-empty sample");
+    db.apply(&[GraphUpdate::DeleteEdge { src, label, dst }])
+        .unwrap();
+    let after = prepared.run(&db, QueryOptions::with_strategy(Strategy::MinSupport));
+    db.apply(&[GraphUpdate::InsertEdge { src, label, dst }])
+        .unwrap();
+    println!(
+        "prepared query across an update: {} answers before, {} after the delete (epoch {})\n",
+        before.map(|r| r.len()).unwrap_or(0),
+        after.map(|r| r.len()).unwrap_or(0),
+        db.epoch()
+    );
+    println!(
+        "expected shape: staying fresh after every single update (batch 1) beats a rebuild per \
+         update, and updates/s grows with batch size as the fixed publish cost (snapshot freeze, \
+         O(index)) amortizes. The publish dominates apply — the delta rules themselves are \
+         microseconds per edge (X9) — so the apply-vs-rebuild gap at one scale understates the \
+         asymptotic one: rebuild re-joins every path relation of the whole graph while apply \
+         touches only the batch's k-neighborhoods plus one linear freeze. Answers match the \
+         rebuilt database throughout.\n"
+    );
+
+    let report = UpdatesReport {
+        scale,
+        k,
+        final_epoch: db.epoch(),
+        rows,
+    };
+    write_json("live_updates", &report);
+    report
+}
+
+crate::impl_to_json!(UpdatesRow {
+    batch,
+    batches,
+    apply_ms,
+    updates_per_s,
+    rebuild_ms,
+    speedup_vs_rebuild
+});
+crate::impl_to_json!(UpdatesReport {
+    scale,
+    k,
+    final_epoch,
+    rows
+});
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn live_updates_experiment_runs_at_tiny_scale() {
+        let report = live_updates(0.01, 2);
+        assert_eq!(report.rows.len(), 3);
+        assert!(report.final_epoch > 0);
+        for row in &report.rows {
+            assert!(row.batches > 0);
+            assert!(row.apply_ms > 0.0);
+            assert!(row.updates_per_s > 0.0);
+            assert!(row.rebuild_ms > 0.0);
+        }
+    }
+}

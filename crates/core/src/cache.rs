@@ -16,20 +16,27 @@ use pathix_plan::{PhysicalPlan, Strategy};
 use pathix_rpq::LabelPath;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex};
 
 /// One compiled query: the rewritten disjuncts of a query text plus one
-/// lazily-initialized physical plan per strategy.
+/// lazily-planned, **epoch-tagged** physical plan per strategy.
 ///
-/// Entries are immutable once compiled (the plan slots fill in at most once),
-/// so they can be shared freely between the cache, prepared queries and
-/// concurrent sessions.
+/// The disjuncts are immutable once compiled — they depend only on the query
+/// text and the database's label vocabulary, which live updates never change.
+/// Plans additionally depend on the histogram, so each plan slot remembers
+/// the database [epoch](crate::PathDb::epoch) it was planned at;
+/// [`CompiledQuery::plan_for`] transparently replans when the database has
+/// moved on, which is how prepared queries and cached ad-hoc plans never
+/// serve a physical plan optimized for statistics that no longer exist.
 #[derive(Debug)]
 pub(crate) struct CompiledQuery {
     text: String,
     disjuncts: Vec<LabelPath>,
-    plans: [OnceLock<Arc<PhysicalPlan>>; 4],
+    plans: [PlanSlot; 4],
 }
+
+/// One lazily-planned, epoch-tagged plan: `(epoch planned at, the plan)`.
+type PlanSlot = Mutex<Option<(u64, Arc<PhysicalPlan>)>>;
 
 /// The slot index of a strategy in [`CompiledQuery::plans`].
 fn slot(strategy: Strategy) -> usize {
@@ -46,7 +53,7 @@ impl CompiledQuery {
         CompiledQuery {
             text,
             disjuncts,
-            plans: [const { OnceLock::new() }; 4],
+            plans: [const { PlanSlot::new(None) }; 4],
         }
     }
 
@@ -60,21 +67,44 @@ impl CompiledQuery {
         &self.disjuncts
     }
 
-    /// The cached plan for `strategy`, planning it on first use via `plan`.
+    /// The cached plan for `strategy` at database epoch `epoch`, planning (or
+    /// **replanning**, when the cached plan was compiled at an older epoch)
+    /// via `plan`. Returns the plan and whether the closure ran.
     ///
-    /// The closure runs at most once per strategy over the lifetime of the
-    /// entry, however many threads race on it.
+    /// A plan tagged with a *newer* epoch is served as-is to readers still on
+    /// older snapshots: plans are answer-invariant (only their cost quality
+    /// depends on the statistics), so draining pre-update executions must not
+    /// thrash the slot against post-update ones.
+    ///
+    /// The slot lock is held across planning, so concurrent executions of the
+    /// same entry and strategy plan exactly once per epoch instead of racing.
     pub(crate) fn plan_for(
         &self,
         strategy: Strategy,
+        epoch: u64,
         plan: impl FnOnce(&[LabelPath]) -> PhysicalPlan,
-    ) -> &Arc<PhysicalPlan> {
-        self.plans[slot(strategy)].get_or_init(|| Arc::new(plan(&self.disjuncts)))
+    ) -> (Arc<PhysicalPlan>, bool) {
+        let mut slot = self.plans[slot(strategy)]
+            .lock()
+            .expect("plan slot poisoned");
+        if let Some((cached_epoch, cached)) = slot.as_ref() {
+            if *cached_epoch >= epoch {
+                return (Arc::clone(cached), false);
+            }
+        }
+        let planned = Arc::new(plan(&self.disjuncts));
+        *slot = Some((epoch, Arc::clone(&planned)));
+        (planned, true)
     }
 
-    /// The cached plan for `strategy`, if it has been planned already.
-    pub(crate) fn existing_plan(&self, strategy: Strategy) -> Option<&Arc<PhysicalPlan>> {
-        self.plans[slot(strategy)].get()
+    /// The cached plan for `strategy` (and the epoch it was planned at), if
+    /// any.
+    pub(crate) fn existing_plan(&self, strategy: Strategy) -> Option<(u64, Arc<PhysicalPlan>)> {
+        self.plans[slot(strategy)]
+            .lock()
+            .expect("plan slot poisoned")
+            .as_ref()
+            .map(|(epoch, plan)| (*epoch, Arc::clone(plan)))
     }
 }
 
@@ -294,11 +324,11 @@ mod tests {
     }
 
     #[test]
-    fn plans_fill_at_most_once_per_strategy() {
+    fn plans_fill_at_most_once_per_strategy_and_epoch() {
         let entry = CompiledQuery::new("q".into(), vec![Vec::new()]);
         let mut runs = 0;
         for _ in 0..3 {
-            entry.plan_for(Strategy::Naive, |_| {
+            entry.plan_for(Strategy::Naive, 0, |_| {
                 runs += 1;
                 PhysicalPlan::Epsilon
             });
@@ -308,5 +338,26 @@ mod tests {
         assert!(entry.existing_plan(Strategy::MinJoin).is_none());
         assert_eq!(entry.text(), "q");
         assert_eq!(entry.disjuncts().len(), 1);
+    }
+
+    #[test]
+    fn an_epoch_bump_invalidates_the_cached_plan() {
+        let entry = CompiledQuery::new("q".into(), vec![Vec::new()]);
+        let (_, planned) = entry.plan_for(Strategy::Naive, 0, |_| PhysicalPlan::Epsilon);
+        assert!(planned);
+        // Same epoch: served from the slot.
+        let (_, planned) = entry.plan_for(Strategy::Naive, 0, |_| PhysicalPlan::Epsilon);
+        assert!(!planned);
+        // Newer epoch: transparently replanned and re-tagged.
+        let (_, planned) = entry.plan_for(Strategy::Naive, 1, |_| PhysicalPlan::Epsilon);
+        assert!(planned);
+        assert_eq!(entry.existing_plan(Strategy::Naive).unwrap().0, 1);
+        let (_, planned) = entry.plan_for(Strategy::Naive, 1, |_| PhysicalPlan::Epsilon);
+        assert!(!planned);
+        // A reader still draining an older snapshot is served the newer plan
+        // instead of thrashing the slot back and forth.
+        let (_, planned) = entry.plan_for(Strategy::Naive, 0, |_| PhysicalPlan::Epsilon);
+        assert!(!planned);
+        assert_eq!(entry.existing_plan(Strategy::Naive).unwrap().0, 1);
     }
 }

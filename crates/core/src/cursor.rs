@@ -1,13 +1,51 @@
 //! Streaming query results: pull answers one at a time instead of
 //! materializing the whole relation.
 
+use crate::db::Snapshot;
 use crate::error::QueryError;
 use crate::options::QueryOptions;
 use pathix_exec::{BoxedPairStream, PairStream};
 use pathix_graph::NodeId;
-use pathix_plan::ExecutionStats;
+use pathix_plan::{open_stream, ExecutionStats, PhysicalPlan};
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
+
+/// A pull stream bundled with the snapshot and plan it reads from, so the
+/// whole package is an owned, movable value.
+struct OwnedStream {
+    /// Borrows the heap data behind `_plan` and `_snapshot`. Declared first
+    /// so it is dropped before its owners (fields drop in declaration order).
+    stream: BoxedPairStream<'static>,
+    /// Keep-alive for the physical plan the operator tree references.
+    _plan: Arc<PhysicalPlan>,
+    /// Keep-alive for the database state the leaf scans read.
+    _snapshot: Snapshot,
+}
+
+impl OwnedStream {
+    fn open(snapshot: Snapshot, plan: Arc<PhysicalPlan>) -> Result<Self, QueryError> {
+        let stream = {
+            let raw: BoxedPairStream<'_> = open_stream(plan.as_ref(), snapshot.index())?;
+            // SAFETY: `raw` borrows only from the plan behind `plan` and the
+            // index behind `snapshot`, both heap allocations owned by `Arc`s
+            // that are moved (not dropped) into the returned struct, so the
+            // borrowed data outlives the stream and never moves. Snapshots
+            // are immutable by construction — updates publish *new* snapshots
+            // instead of mutating published ones — so no aliasing mutation
+            // can occur. The forged `'static` lifetime never escapes: the
+            // field is private and only touched through `&mut self`, and the
+            // declaration order above drops the stream before the `Arc`s.
+            unsafe { std::mem::transmute::<BoxedPairStream<'_>, BoxedPairStream<'static>>(raw) }
+        };
+        Ok(OwnedStream {
+            stream,
+            _plan: plan,
+            _snapshot: snapshot,
+        })
+    }
+}
 
 /// A streaming iterator over the distinct answer pairs of a query.
 ///
@@ -17,14 +55,22 @@ use std::time::Instant;
 /// Dropping the cursor (or hitting its `limit`) abandons the rest of the
 /// computation — this is what makes `limit`/`exists` terminate early, which
 /// [`Cursor::stats`] makes observable via
-/// [`ExecutionStats::pairs_pulled`].
+/// [`ExecutionStats::pairs_pulled`]. On drop the cursor additionally flushes
+/// its pull count into [`crate::PathDb::pairs_pulled_total`], so
+/// early-terminated runs report the work they actually did.
+///
+/// ## Snapshot-at-open semantics
+///
+/// A cursor owns the [`Snapshot`] that was current when it was opened and
+/// streams from it for its whole lifetime: updates applied through
+/// [`crate::PathDb::apply`] while the cursor is open are **not** visible to
+/// it (and never block on it). Every pair a cursor emits is therefore
+/// consistent with one single database state — the one at open — never a mix
+/// of pre- and post-update data. Open a new cursor to observe newer epochs.
 ///
 /// Unlike the batch API the pairs arrive in operator order, not sorted by
 /// `(source, target)`; they are still duplicate-free (set semantics is
 /// enforced incrementally with a hash set of seen pairs).
-///
-/// A cursor borrows both the prepared query it came from and the database it
-/// runs on:
 ///
 /// ```
 /// use pathix_core::{PathDb, PathDbConfig, QueryOptions};
@@ -40,8 +86,8 @@ use std::time::Instant;
 /// assert!(cursor.next().unwrap().is_ok());
 /// assert!(cursor.next().is_none()); // limit reached — the second pair is never computed
 /// ```
-pub struct Cursor<'a> {
-    stream: BoxedPairStream<'a>,
+pub struct Cursor {
+    stream: OwnedStream,
     options: QueryOptions,
     seen: HashSet<(u32, u32)>,
     /// Distinct admitted pairs still allowed out (from `limit`).
@@ -52,17 +98,21 @@ pub struct Cursor<'a> {
     joins: usize,
     merge_joins: usize,
     started: Instant,
+    /// The owning database's cumulative pull counter, fed on drop.
+    pulled_sink: Arc<AtomicU64>,
 }
 
-impl<'a> Cursor<'a> {
-    pub(crate) fn new(
-        stream: BoxedPairStream<'a>,
+impl Cursor {
+    pub(crate) fn open(
+        snapshot: Snapshot,
+        plan: Arc<PhysicalPlan>,
         options: QueryOptions,
-        joins: usize,
-        merge_joins: usize,
-    ) -> Self {
-        Cursor {
-            stream,
+        pulled_sink: Arc<AtomicU64>,
+    ) -> Result<Self, QueryError> {
+        let joins = plan.join_count();
+        let merge_joins = plan.merge_join_count();
+        Ok(Cursor {
+            stream: OwnedStream::open(snapshot, plan)?,
             remaining: options.limit_value(),
             options,
             seen: HashSet::new(),
@@ -72,7 +122,13 @@ impl<'a> Cursor<'a> {
             joins,
             merge_joins,
             started: Instant::now(),
-        }
+            pulled_sink,
+        })
+    }
+
+    /// The epoch of the snapshot this cursor streams from.
+    pub fn epoch(&self) -> u64 {
+        self.stream._snapshot.epoch()
     }
 
     /// Execution statistics of the cursor *so far*: wall-clock time since the
@@ -115,17 +171,28 @@ impl<'a> Cursor<'a> {
     }
 }
 
-impl std::fmt::Debug for Cursor<'_> {
+impl Drop for Cursor {
+    fn drop(&mut self) {
+        // Flush the work done into the database's cumulative counter even if
+        // the cursor was abandoned mid-stream (limit hit, exists() probe,
+        // caller lost interest): early termination must not hide real work.
+        self.pulled_sink
+            .fetch_add(self.pulled as u64, Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Debug for Cursor {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Cursor")
             .field("returned", &self.returned)
             .field("pairs_pulled", &self.pulled)
+            .field("epoch", &self.epoch())
             .field("done", &self.is_done())
             .finish_non_exhaustive()
     }
 }
 
-impl Iterator for Cursor<'_> {
+impl Iterator for Cursor {
     type Item = Result<(NodeId, NodeId), QueryError>;
 
     fn next(&mut self) -> Option<Self::Item> {
@@ -133,7 +200,7 @@ impl Iterator for Cursor<'_> {
             return None;
         }
         loop {
-            match self.stream.next_pair() {
+            match self.stream.stream.next_pair() {
                 Err(e) => {
                     self.done = true;
                     return Some(Err(QueryError::Backend(e)));

@@ -1,5 +1,17 @@
 //! [`PathDb`]: graph + pluggable k-path index backend + histogram + query
-//! pipeline.
+//! pipeline, with live edge updates on the memory backend.
+//!
+//! ## Concurrency model
+//!
+//! A database is a sequence of immutable **snapshots** ([`Snapshot`]): graph,
+//! index and histogram bundled behind `Arc`s, tagged with a monotonically
+//! increasing **epoch**. Readers clone the current snapshot (two atomic
+//! refcounts) and never block writers; [`PathDb::apply`] routes edge updates
+//! through the counting [`IncrementalKPathIndex`], publishes a fresh snapshot
+//! and bumps the epoch. Compiled plans are tagged with the epoch they were
+//! planned at and transparently replanned on mismatch, so neither the plan
+//! cache nor a long-lived [`PreparedQuery`] ever serves a plan optimized for
+//! statistics that no longer describe the data.
 
 use crate::cache::{PlanCache, PlanCacheStats};
 use crate::error::QueryError;
@@ -9,20 +21,23 @@ use crate::result::QueryResult;
 use pathix_baselines::{evaluate_automaton, evaluate_datalog};
 use pathix_graph::{Graph, NodeId, SignedLabel};
 use pathix_index::{
-    BackendError, BackendResult, BackendScan, BackendStats, EstimationMode, KPathIndex,
-    PathHistogram, PathIndexBackend,
+    BackendError, BackendResult, BackendScan, BackendStats, EstimationMode, GraphUpdate,
+    IncrementalKPathIndex, KPathIndex, MutablePathIndexBackend, PathHistogram, PathIndexBackend,
 };
 use pathix_pagestore::{CompressedPathStore, PagedPathIndex};
 use pathix_plan::{explain as explain_plan, plan_query, PhysicalPlan, PlannerContext, Strategy};
 use pathix_rpq::{parse, to_disjuncts, BoundExpr, LabelPath, RewriteOptions};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// Which storage backend serves the k-path index of a [`PathDb`].
 ///
 /// All variants expose the identical [`PathIndexBackend`] contract, so the
 /// whole parse → bind → rewrite → plan → execute pipeline runs unchanged on
-/// each; they differ in where the index entries live.
+/// each; they differ in where the index entries live. Only
+/// [`BackendChoice::Memory`] additionally supports live updates via
+/// [`PathDb::apply`]; the others are bulk-built and read-only.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub enum BackendChoice {
     /// The in-memory B+tree index (`pathix-index`): fastest, bounded by RAM.
@@ -148,6 +163,30 @@ impl PathIndexBackend for IndexBackend {
     }
 }
 
+/// When [`PathDb::apply`] rebuilds the k-path histogram from the live index's
+/// exact per-path counts.
+///
+/// Stale statistics never make answers wrong — plans are answer-invariant and
+/// always execute against the current snapshot — but they steer the
+/// `minSupport`/`minJoin` cost model. The policy trades that plan quality
+/// against the rebuild cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HistogramRefresh {
+    /// Rebuild once at least `n` effective updates (no-ops excluded) have
+    /// accumulated since the last rebuild; `EveryUpdates(1)` keeps the
+    /// histogram exact after every batch. `n` is clamped to ≥ 1.
+    EveryUpdates(u64),
+    /// Never rebuild automatically; the owner calls
+    /// [`PathDb::refresh_histogram`] at its own cadence.
+    Manual,
+}
+
+impl Default for HistogramRefresh {
+    fn default() -> Self {
+        HistogramRefresh::EveryUpdates(1)
+    }
+}
+
 /// Configuration of a [`PathDb`].
 #[derive(Debug, Clone)]
 pub struct PathDbConfig {
@@ -170,6 +209,8 @@ pub struct PathDbConfig {
     /// every ad-hoc call recompiles — useful for one-shot workloads and as
     /// the baseline of the amortization experiment.
     pub plan_cache_capacity: usize,
+    /// When [`PathDb::apply`] refreshes the histogram from the live index.
+    pub histogram_refresh: HistogramRefresh,
 }
 
 impl Default for PathDbConfig {
@@ -182,6 +223,7 @@ impl Default for PathDbConfig {
             default_strategy: Strategy::MinSupport,
             backend: BackendChoice::Memory,
             plan_cache_capacity: 256,
+            histogram_refresh: HistogramRefresh::default(),
         }
     }
 }
@@ -198,6 +240,12 @@ impl PathDbConfig {
     /// This configuration with a different storage backend.
     pub fn with_backend(mut self, backend: BackendChoice) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// This configuration with a different histogram refresh policy.
+    pub fn with_histogram_refresh(mut self, policy: HistogramRefresh) -> Self {
+        self.histogram_refresh = policy;
         self
     }
 }
@@ -219,19 +267,138 @@ pub struct DbStats {
     pub histogram_buckets: usize,
 }
 
+/// What one [`PathDb::apply`] batch did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UpdateStats {
+    /// Edges actually inserted (duplicates excluded).
+    pub inserted: u64,
+    /// Edges actually deleted (absent edges excluded).
+    pub deleted: u64,
+    /// Updates that changed nothing (duplicate inserts, absent deletes).
+    pub no_ops: u64,
+    /// The database epoch after the batch. Unchanged when the whole batch
+    /// was a no-op.
+    pub epoch: u64,
+    /// Whether the histogram was rebuilt under the configured
+    /// [`HistogramRefresh`] policy.
+    pub histogram_refreshed: bool,
+}
+
+/// The immutable state one database epoch published: graph, index backend and
+/// histogram behind shared pointers.
+#[derive(Debug)]
+struct DbState {
+    graph: Arc<Graph>,
+    backend: Arc<IndexBackend>,
+    histogram: Arc<PathHistogram>,
+    epoch: u64,
+}
+
+/// A consistent, immutable view of a [`PathDb`] at one epoch.
+///
+/// Cloning is two atomic increments; holding a snapshot never blocks readers
+/// or writers — updates applied after the snapshot was taken simply publish
+/// newer snapshots next to it. Every query execution (and every
+/// [`crate::Cursor`]) runs against exactly one snapshot, which is what makes
+/// answers consistent under concurrent updates.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    state: Arc<DbState>,
+}
+
+impl Snapshot {
+    fn new(
+        graph: Arc<Graph>,
+        backend: Arc<IndexBackend>,
+        histogram: Arc<PathHistogram>,
+        epoch: u64,
+    ) -> Self {
+        Snapshot {
+            state: Arc::new(DbState {
+                graph,
+                backend,
+                histogram,
+                epoch,
+            }),
+        }
+    }
+
+    /// The graph as of this snapshot.
+    pub fn graph(&self) -> &Graph {
+        &self.state.graph
+    }
+
+    /// The index backend as of this snapshot.
+    pub fn index(&self) -> &IndexBackend {
+        &self.state.backend
+    }
+
+    /// The histogram as of this snapshot.
+    pub fn histogram(&self) -> &PathHistogram {
+        &self.state.histogram
+    }
+
+    /// The epoch this snapshot was published at (0 = as built).
+    pub fn epoch(&self) -> u64 {
+        self.state.epoch
+    }
+
+    fn graph_arc(&self) -> Arc<Graph> {
+        Arc::clone(&self.state.graph)
+    }
+
+    fn backend_arc(&self) -> Arc<IndexBackend> {
+        Arc::clone(&self.state.backend)
+    }
+
+    fn histogram_arc(&self) -> Arc<PathHistogram> {
+        Arc::clone(&self.state.histogram)
+    }
+
+    /// Plans `disjuncts` under `strategy` against this snapshot's index and
+    /// histogram.
+    pub(crate) fn plan_disjuncts(
+        &self,
+        strategy: Strategy,
+        disjuncts: &[LabelPath],
+    ) -> PhysicalPlan {
+        let ctx = PlannerContext::new(self.index(), self.histogram());
+        plan_query(strategy, disjuncts, &ctx)
+    }
+}
+
+/// Writer-side state: the counting index the delta rules maintain, built
+/// lazily on the first update, plus the histogram-refresh bookkeeping.
+#[derive(Debug, Default)]
+struct LiveState {
+    index: Option<IncrementalKPathIndex>,
+    updates_since_refresh: u64,
+}
+
 /// An RPQ-queryable graph database backed by a localized k-path index.
 ///
 /// The index lives behind the backend selected in
 /// [`PathDbConfig::backend`]; queries run the same pipeline on every
 /// backend and surface backend I/O failures as
 /// [`QueryError::Backend`] instead of panicking.
+///
+/// Databases built on the memory backend are **live**: [`PathDb::apply`]
+/// absorbs edge insertions and deletions through the counting delta rules of
+/// [`IncrementalKPathIndex`] and publishes a fresh [`Snapshot`]; concurrent
+/// readers keep streaming from the snapshot they opened
+/// (see [`crate::Cursor`]).
 #[derive(Debug)]
 pub struct PathDb {
-    graph: Graph,
-    backend: IndexBackend,
-    histogram: PathHistogram,
+    /// The currently published snapshot. Writers swap it; readers clone it.
+    state: RwLock<Snapshot>,
+    /// Writer serialization point + the live counting index.
+    live: Mutex<LiveState>,
     config: PathDbConfig,
     plan_cache: PlanCache,
+    /// Cumulative pairs pulled from operator trees across every execution of
+    /// this database, including cursors that terminated early (flushed on
+    /// cursor drop).
+    pulled_total: Arc<AtomicU64>,
     /// Process-unique id used to pin [`PreparedQuery`] handles to the
     /// database whose vocabulary they were compiled against.
     instance_id: u64,
@@ -268,12 +435,13 @@ impl PathDb {
             config.estimation,
         );
         let plan_cache = PlanCache::new(config.plan_cache_capacity);
+        let snapshot = Snapshot::new(Arc::new(graph), Arc::new(backend), Arc::new(histogram), 0);
         Ok(PathDb {
-            graph,
-            backend,
-            histogram,
+            state: RwLock::new(snapshot),
+            live: Mutex::new(LiveState::default()),
             config,
             plan_cache,
+            pulled_total: Arc::new(AtomicU64::new(0)),
             instance_id: NEXT_INSTANCE_ID.fetch_add(1, Ordering::Relaxed),
         })
     }
@@ -293,25 +461,37 @@ impl PathDb {
         Self::build(graph, PathDbConfig::default())
     }
 
-    /// The underlying graph.
-    pub fn graph(&self) -> &Graph {
-        &self.graph
+    /// A consistent view of the database as of now. All read accessors below
+    /// are shorthands over this.
+    pub fn snapshot(&self) -> Snapshot {
+        self.state.read().expect("snapshot lock poisoned").clone()
     }
 
-    /// The selected k-path index backend.
-    pub fn index(&self) -> &IndexBackend {
-        &self.backend
+    /// The current graph (shared with the snapshot it came from).
+    pub fn graph(&self) -> Arc<Graph> {
+        self.snapshot().graph_arc()
+    }
+
+    /// The currently published k-path index backend.
+    pub fn index(&self) -> Arc<IndexBackend> {
+        self.snapshot().backend_arc()
     }
 
     /// The short name of the active backend (`"memory"`, `"paged"`,
     /// `"compressed"`).
     pub fn backend_name(&self) -> &'static str {
-        self.backend.backend_name()
+        self.snapshot().index().backend_name()
     }
 
-    /// The k-path histogram.
-    pub fn histogram(&self) -> &PathHistogram {
-        &self.histogram
+    /// The current k-path histogram.
+    pub fn histogram(&self) -> Arc<PathHistogram> {
+        self.snapshot().histogram_arc()
+    }
+
+    /// The current database epoch: 0 as built, bumped by every effective
+    /// [`PathDb::apply`] batch and every [`PathDb::refresh_histogram`].
+    pub fn epoch(&self) -> u64 {
+        self.snapshot().epoch()
     }
 
     /// The configuration the database was built with.
@@ -321,8 +501,8 @@ impl PathDb {
 
     /// Counters of the plan cache: lookups, compilations, planning runs and
     /// evictions. The acceptance check for prepared queries — N executions,
-    /// one compilation, at most one plan per strategy — is assertable from
-    /// this snapshot.
+    /// one compilation, at most one plan per strategy *per epoch* — is
+    /// assertable from this snapshot.
     pub fn plan_cache_stats(&self) -> PlanCacheStats {
         self.plan_cache.stats()
     }
@@ -338,14 +518,175 @@ impl PathDb {
         self.instance_id
     }
 
+    /// Cumulative pairs pulled from operator trees across every execution on
+    /// this database. Cursors flush their pull count here when dropped, so
+    /// early-terminated `limit`/`exists` runs report the work they actually
+    /// did rather than vanishing from the accounting.
+    pub fn pairs_pulled_total(&self) -> u64 {
+        self.pulled_total.load(Ordering::Relaxed)
+    }
+
+    /// The sink cursors flush into (shared so cursors can outlive no borrow).
+    pub(crate) fn pulled_sink(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.pulled_total)
+    }
+
+    /// Records pulls from a batch (non-cursor) execution.
+    pub(crate) fn record_pulled(&self, pulled: usize) {
+        self.pulled_total
+            .fetch_add(pulled as u64, Ordering::Relaxed);
+    }
+
     /// The locality parameter k.
     pub fn k(&self) -> usize {
         self.config.k
     }
 
+    /// Applies a batch of edge insertions and deletions, returning what the
+    /// batch did.
+    ///
+    /// Updates route through the counting delta rules of
+    /// [`IncrementalKPathIndex`] (built lazily from the current graph on the
+    /// first call), keep the graph adjacency in sync, refresh the histogram
+    /// under [`PathDbConfig::histogram_refresh`], and publish a new
+    /// [`Snapshot`] with a bumped epoch. Readers are never blocked: queries
+    /// and cursors opened before the batch keep answering from their own
+    /// snapshot, and plans cached at older epochs are transparently replanned
+    /// on next use.
+    ///
+    /// Only the memory backend supports updates; the paged and compressed
+    /// backends return [`QueryError::UpdatesUnsupported`] naming themselves.
+    /// Updates must reference interned node and label ids
+    /// ([`QueryError::InvalidUpdate`] otherwise); the whole batch is
+    /// validated before anything is applied.
+    pub fn apply(&self, updates: &[GraphUpdate]) -> Result<UpdateStats, QueryError> {
+        // Writers serialize on the live-state lock; the snapshot lock is only
+        // taken (briefly) to read the current state and to publish the result.
+        let mut live = self.live.lock().expect("live index lock poisoned");
+        let current = self.snapshot();
+        if !matches!(current.index(), IndexBackend::Memory(_)) {
+            return Err(QueryError::UpdatesUnsupported {
+                backend: current.index().backend_name(),
+            });
+        }
+        for update in updates {
+            validate_update(current.graph(), update)?;
+        }
+
+        let live_state = &mut *live;
+        let live_index = live_state.index.get_or_insert_with(|| {
+            IncrementalKPathIndex::bulk_from_graph(current.graph(), self.config.k)
+        });
+
+        let mut graph: Option<Graph> = None;
+        let mut inserted = 0u64;
+        let mut deleted = 0u64;
+        let mut no_ops = 0u64;
+        let mut failure = None;
+        for &update in updates {
+            let changed = match live_index.apply_update(update) {
+                Ok(changed) => changed,
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            };
+            if !changed {
+                no_ops += 1;
+                continue;
+            }
+            let graph = graph.get_or_insert_with(|| current.graph().clone());
+            match update {
+                GraphUpdate::InsertEdge { src, label, dst } => {
+                    graph.insert_edge(src, label, dst);
+                    inserted += 1;
+                }
+                GraphUpdate::DeleteEdge { src, label, dst } => {
+                    graph.remove_edge(src, label, dst);
+                    deleted += 1;
+                }
+            }
+        }
+        if let Some(e) = failure {
+            // The counting index may have absorbed a prefix of the batch
+            // that will never be published: discard it so the next apply()
+            // reseeds from the published graph. Failed batches apply nothing.
+            live_state.index = None;
+            live_state.updates_since_refresh = 0;
+            return Err(QueryError::Backend(e));
+        }
+        let Some(graph) = graph else {
+            // The whole batch was a no-op: nothing changed, nothing to
+            // publish, plans stay valid.
+            return Ok(UpdateStats {
+                inserted: 0,
+                deleted: 0,
+                no_ops,
+                epoch: current.epoch(),
+                histogram_refreshed: false,
+            });
+        };
+
+        live_state.updates_since_refresh += inserted + deleted;
+        let refresh = match self.config.histogram_refresh {
+            HistogramRefresh::EveryUpdates(n) => live_state.updates_since_refresh >= n.max(1),
+            HistogramRefresh::Manual => false,
+        };
+        let histogram = if refresh {
+            live_state.updates_since_refresh = 0;
+            Arc::new(PathHistogram::build(
+                live_index.per_path_counts(),
+                live_index.paths_k_size(),
+                self.config.k,
+                self.config.estimation,
+            ))
+        } else {
+            current.histogram_arc()
+        };
+        let backend = Arc::new(IndexBackend::Memory(live_index.freeze()));
+        let epoch = current.epoch() + 1;
+        *self.state.write().expect("snapshot lock poisoned") =
+            Snapshot::new(Arc::new(graph), backend, histogram, epoch);
+        Ok(UpdateStats {
+            inserted,
+            deleted,
+            no_ops,
+            epoch,
+            histogram_refreshed: refresh,
+        })
+    }
+
+    /// Rebuilds the histogram from the live index's exact counts right now,
+    /// regardless of the configured [`HistogramRefresh`] policy, and bumps
+    /// the epoch so cached plans re-cost themselves against the fresh
+    /// statistics. Returns `false` (and does nothing) when no update was
+    /// ever applied — the built histogram is still exact.
+    pub fn refresh_histogram(&self) -> bool {
+        let mut live = self.live.lock().expect("live index lock poisoned");
+        let live_state = &mut *live;
+        let Some(live_index) = &live_state.index else {
+            return false;
+        };
+        let current = self.snapshot();
+        let histogram = Arc::new(PathHistogram::build(
+            live_index.per_path_counts(),
+            live_index.paths_k_size(),
+            self.config.k,
+            self.config.estimation,
+        ));
+        live_state.updates_since_refresh = 0;
+        *self.state.write().expect("snapshot lock poisoned") = Snapshot::new(
+            current.graph_arc(),
+            current.backend_arc(),
+            histogram,
+            current.epoch() + 1,
+        );
+        true
+    }
+
     /// Parses and binds a query against this database's vocabulary.
     pub fn compile(&self, query: &str) -> Result<BoundExpr, QueryError> {
-        Ok(parse(query)?.bind(&self.graph)?)
+        Ok(parse(query)?.bind(self.snapshot().graph())?)
     }
 
     /// Rewrites a compiled query into its label-path disjuncts.
@@ -358,9 +699,10 @@ impl PathDb {
     }
 
     /// Prepares a query: one parse → bind → rewrite, shared through the plan
-    /// cache, with physical plans planned lazily per strategy. The returned
-    /// handle executes many times against this database via
-    /// [`PreparedQuery::run`] / [`PreparedQuery::cursor`].
+    /// cache, with physical plans planned lazily per strategy (and replanned
+    /// per epoch — see [`PathDb::apply`]). The returned handle executes many
+    /// times against this database via [`PreparedQuery::run`] /
+    /// [`PreparedQuery::cursor`].
     pub fn prepare(&self, query: &str) -> Result<PreparedQuery, QueryError> {
         let entry = self.plan_cache.get_or_compile(query, || {
             let expr = self.compile(query)?;
@@ -369,22 +711,11 @@ impl PathDb {
         Ok(PreparedQuery::new(entry, self.instance_id))
     }
 
-    /// Plans `disjuncts` under `strategy` against this database's index and
-    /// histogram (crate-internal planning primitive behind the cached
-    /// per-strategy plan slots).
-    pub(crate) fn plan_disjuncts(
-        &self,
-        strategy: Strategy,
-        disjuncts: &[LabelPath],
-    ) -> PhysicalPlan {
-        let ctx = PlannerContext::new(&self.backend, &self.histogram);
-        plan_query(strategy, disjuncts, &ctx)
-    }
-
     /// Plans a query with the given strategy without executing it.
     ///
     /// Compilation and planning go through the plan cache, so repeated calls
-    /// for the same text and strategy only pay a clone of the cached plan.
+    /// for the same text, strategy and epoch only pay a clone of the cached
+    /// plan.
     pub fn plan(&self, query: &str, strategy: Strategy) -> Result<PhysicalPlan, QueryError> {
         let prepared = self.prepare(query)?;
         Ok(prepared.plan(self, strategy)?.as_ref().clone())
@@ -401,78 +732,84 @@ impl PathDb {
 
     /// Evaluates a query under explicit [`QueryOptions`] (strategy, worker
     /// threads, limit, bindings, count-only) — the single execution entry
-    /// point the former `query_with`/`query_parallel` zoo collapsed into.
+    /// point.
     pub fn run(&self, query: &str, options: QueryOptions) -> Result<QueryResult, QueryError> {
         self.prepare(query)?.run(self, options)
-    }
-
-    /// Evaluates a query with an explicit strategy.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `run(query, QueryOptions::with_strategy(...))`"
-    )]
-    pub fn query_with(&self, query: &str, strategy: Strategy) -> Result<QueryResult, QueryError> {
-        self.run(query, QueryOptions::with_strategy(strategy))
-    }
-
-    /// Evaluates a query with an explicit strategy, running the disjunct
-    /// plans concurrently on up to `threads` worker threads.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `run(query, QueryOptions::with_strategy(...).threads(n))`"
-    )]
-    pub fn query_parallel(
-        &self,
-        query: &str,
-        strategy: Strategy,
-        threads: usize,
-    ) -> Result<QueryResult, QueryError> {
-        self.run(
-            query,
-            QueryOptions::with_strategy(strategy).threads(threads),
-        )
     }
 
     /// Renders the physical plan of a query as an indented tree.
     pub fn explain(&self, query: &str, strategy: Strategy) -> Result<String, QueryError> {
         let prepared = self.prepare(query)?;
-        let plan = prepared.plan(self, strategy)?;
-        let ctx = PlannerContext::new(&self.backend, &self.histogram);
-        Ok(explain_plan(plan.as_ref(), &self.graph, &ctx))
+        let snapshot = self.snapshot();
+        let plan = prepared.plan_on(self, &snapshot, strategy)?;
+        let ctx = PlannerContext::new(snapshot.index(), snapshot.histogram());
+        Ok(explain_plan(plan.as_ref(), snapshot.graph(), &ctx))
     }
 
     /// Evaluates a query with the automaton baseline (approach 1 of the
     /// paper's introduction). Unbounded recursion is handled exactly.
     pub fn query_automaton(&self, query: &str) -> Result<Vec<(NodeId, NodeId)>, QueryError> {
-        let expr = self.compile(query)?;
-        Ok(evaluate_automaton(&self.graph, &expr))
+        let snapshot = self.snapshot();
+        let expr = parse(query)?.bind(snapshot.graph())?;
+        Ok(evaluate_automaton(snapshot.graph(), &expr))
     }
 
     /// Evaluates a query with the Datalog baseline (approach 2). Unbounded
     /// recursion becomes genuinely recursive rules.
     pub fn query_datalog(&self, query: &str) -> Result<Vec<(NodeId, NodeId)>, QueryError> {
-        let expr = self.compile(query)?;
-        Ok(evaluate_datalog(&self.graph, &expr))
+        let snapshot = self.snapshot();
+        let expr = parse(query)?.bind(snapshot.graph())?;
+        Ok(evaluate_datalog(snapshot.graph(), &expr))
     }
 
     /// Aggregated statistics about the graph, index and histogram.
     pub fn stats(&self) -> DbStats {
+        let snapshot = self.snapshot();
         DbStats {
-            nodes: self.graph.node_count(),
-            edges: self.graph.edge_count(),
-            labels: self.graph.label_count(),
-            index: self.backend.stats(),
-            histogram_paths: self.histogram.path_count(),
-            histogram_buckets: self.histogram.buckets().len(),
+            nodes: snapshot.graph().node_count(),
+            edges: snapshot.graph().edge_count(),
+            labels: snapshot.graph().label_count(),
+            index: snapshot.index().stats(),
+            histogram_paths: snapshot.histogram().path_count(),
+            histogram_buckets: snapshot.histogram().buckets().len(),
         }
     }
+}
+
+/// Checks one update's ids against the graph's interned vocabulary.
+fn validate_update(graph: &Graph, update: &GraphUpdate) -> Result<(), QueryError> {
+    let (src, label, dst) = match *update {
+        GraphUpdate::InsertEdge { src, label, dst }
+        | GraphUpdate::DeleteEdge { src, label, dst } => (src, label, dst),
+    };
+    check_node(graph, src)?;
+    check_node(graph, dst)?;
+    if label.index() >= graph.label_count() {
+        return Err(QueryError::InvalidUpdate(format!(
+            "label id {} was never interned (the graph has {} labels)",
+            label.0,
+            graph.label_count()
+        )));
+    }
+    Ok(())
+}
+
+fn check_node(graph: &Graph, node: NodeId) -> Result<(), QueryError> {
+    if node.index() >= graph.node_count() {
+        return Err(QueryError::InvalidUpdate(format!(
+            "node id {} was never interned (the graph has {} nodes)",
+            node.0,
+            graph.node_count()
+        )));
+    }
+    Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use pathix_datagen::paper_example_graph;
-    use pathix_graph::GraphBuilder;
+    use pathix_graph::{GraphBuilder, LabelId};
 
     fn example_db(k: usize) -> PathDb {
         PathDb::build(paper_example_graph(), PathDbConfig::with_k(k))
@@ -497,6 +834,7 @@ mod tests {
         assert!(stats.histogram_paths > 0);
         assert_eq!(db.k(), 2);
         assert_eq!(db.backend_name(), "memory");
+        assert_eq!(db.epoch(), 0);
     }
 
     #[test]
@@ -662,16 +1000,6 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_shims_still_answer() {
-        let db = example_db(2);
-        #[allow(deprecated)]
-        let with = db.query_with("knows", Strategy::Naive).unwrap();
-        #[allow(deprecated)]
-        let parallel = db.query_parallel("knows", Strategy::Naive, 2).unwrap();
-        assert_eq!(with.pairs(), parallel.pairs());
-    }
-
-    #[test]
     fn config_is_borrowed_not_cloned() {
         let db = example_db(2);
         let a: &PathDbConfig = db.config();
@@ -738,5 +1066,241 @@ mod tests {
         let result = db.run("knows", QueryOptions::new().count_only()).unwrap();
         assert!(result.pairs().is_empty());
         assert_eq!(result.stats.result_pairs, db.query("knows").unwrap().len());
+    }
+
+    // ---- live updates -----------------------------------------------------
+
+    fn update(db: &PathDb, kind: &str, src: &str, label: &str, dst: &str) -> GraphUpdate {
+        let graph = db.graph();
+        let src = graph.node_id(src).unwrap();
+        let dst = graph.node_id(dst).unwrap();
+        let label = graph.label_id(label).unwrap();
+        match kind {
+            "insert" => GraphUpdate::InsertEdge { src, label, dst },
+            _ => GraphUpdate::DeleteEdge { src, label, dst },
+        }
+    }
+
+    #[test]
+    fn apply_inserts_and_deletes_show_up_in_answers() {
+        let db = example_db(2);
+        assert_eq!(db.query("supervisor/worksFor-").unwrap().len(), 1);
+
+        // sue gets a second supervisor: tim (who works for the same company
+        // as sue does not — use existing names from the paper graph).
+        let stats = db
+            .apply(&[update(&db, "insert", "tim", "supervisor", "joe")])
+            .unwrap();
+        assert_eq!(stats.inserted, 1);
+        assert_eq!(stats.epoch, 1);
+        assert_eq!(db.epoch(), 1);
+        let after_insert = db.query("supervisor/worksFor-").unwrap();
+        assert!(!after_insert.is_empty());
+
+        // Deleting the original supervisor edge removes the worked example's
+        // answer.
+        let stats = db
+            .apply(&[update(&db, "delete", "kim", "supervisor", "liz")])
+            .unwrap();
+        assert_eq!(stats.deleted, 1);
+        assert_eq!(db.epoch(), 2);
+        let after_delete = db.query("supervisor/worksFor-").unwrap();
+        assert!(!after_delete.contains_named(&db, "kim", "sue"));
+
+        // Graph adjacency stayed in sync with the index.
+        let graph = db.graph();
+        let kim = graph.node_id("kim").unwrap();
+        let ann = graph.node_id("liz").unwrap();
+        let supervisor = graph.label_id("supervisor").unwrap();
+        assert!(!graph.has_edge(kim, supervisor, ann));
+    }
+
+    #[test]
+    fn apply_matches_a_rebuilt_database() {
+        let db = example_db(2);
+        let updates = vec![
+            update(&db, "insert", "tim", "knows", "zoe"),
+            update(&db, "delete", "jan", "knows", "kim"),
+            update(&db, "insert", "sue", "worksFor", "kim"),
+            update(&db, "insert", "tim", "knows", "zoe"), // duplicate: no-op
+        ];
+        let stats = db.apply(&updates).unwrap();
+        assert_eq!(stats.inserted, 2);
+        assert_eq!(stats.deleted, 1);
+        assert_eq!(stats.no_ops, 1);
+
+        let rebuilt = PathDb::build(db.graph().as_ref().clone(), PathDbConfig::with_k(2));
+        for query in ["knows/worksFor", "knows-/knows", "worksFor/worksFor-"] {
+            for strategy in Strategy::all() {
+                let live = db
+                    .run(query, QueryOptions::with_strategy(strategy))
+                    .unwrap();
+                let fresh = rebuilt
+                    .run(query, QueryOptions::with_strategy(strategy))
+                    .unwrap();
+                assert_eq!(live.pairs(), fresh.pairs(), "{strategy} on {query}");
+            }
+        }
+        // The published snapshot's statistics agree with the rebuild too.
+        assert_eq!(db.stats().index.entries, rebuilt.stats().index.entries);
+        assert_eq!(
+            db.stats().index.paths_k_size,
+            rebuilt.stats().index.paths_k_size
+        );
+    }
+
+    #[test]
+    fn read_only_backends_reject_updates_by_name() {
+        for (choice, name) in [
+            (BackendChoice::PagedInMemory { pool_frames: 8 }, "paged"),
+            (BackendChoice::Compressed, "compressed"),
+        ] {
+            let db = PathDb::try_build(
+                paper_example_graph(),
+                PathDbConfig::with_k(2).with_backend(choice),
+            )
+            .unwrap();
+            let u = update(&db, "insert", "tim", "knows", "zoe");
+            match db.apply(&[u]) {
+                Err(QueryError::UpdatesUnsupported { backend }) => assert_eq!(backend, name),
+                other => panic!("expected UpdatesUnsupported, got {other:?}"),
+            }
+            assert_eq!(db.epoch(), 0, "a rejected batch must not bump the epoch");
+        }
+    }
+
+    #[test]
+    fn invalid_update_ids_are_rejected_before_anything_applies() {
+        let db = example_db(2);
+        let knows = db.graph().label_id("knows").unwrap();
+        let bad_node = GraphUpdate::InsertEdge {
+            src: NodeId(9999),
+            label: knows,
+            dst: NodeId(0),
+        };
+        assert!(matches!(
+            db.apply(&[bad_node]),
+            Err(QueryError::InvalidUpdate(_))
+        ));
+        let bad_label = GraphUpdate::InsertEdge {
+            src: NodeId(0),
+            label: LabelId(999),
+            dst: NodeId(1),
+        };
+        let good = update(&db, "insert", "tim", "knows", "zoe");
+        // A batch with one bad update applies nothing at all.
+        assert!(matches!(
+            db.apply(&[good, bad_label]),
+            Err(QueryError::InvalidUpdate(_))
+        ));
+        assert_eq!(db.epoch(), 0);
+        let tim = db.graph().node_id("tim").unwrap();
+        let ann = db.graph().node_id("zoe").unwrap();
+        assert!(!db.graph().has_edge(tim, knows, ann));
+    }
+
+    #[test]
+    fn no_op_batches_do_not_bump_the_epoch() {
+        let db = example_db(2);
+        // Deleting an absent edge and re-inserting an existing one.
+        let absent = update(&db, "delete", "tim", "knows", "zoe");
+        let existing = update(&db, "insert", "kim", "supervisor", "liz");
+        let stats = db.apply(&[absent, existing]).unwrap();
+        assert_eq!(stats.inserted + stats.deleted, 0);
+        assert_eq!(stats.no_ops, 2);
+        assert_eq!(stats.epoch, 0);
+        assert_eq!(db.epoch(), 0);
+        assert!(!stats.histogram_refreshed);
+    }
+
+    #[test]
+    fn cached_plans_recompile_after_an_update() {
+        let db = example_db(2);
+        db.query("supervisor/worksFor-").unwrap();
+        db.query("supervisor/worksFor-").unwrap();
+        assert_eq!(db.plan_cache_stats().plans, 1);
+
+        db.apply(&[update(&db, "insert", "tim", "supervisor", "joe")])
+            .unwrap();
+        // The next execution replans against the new epoch — exactly once.
+        db.query("supervisor/worksFor-").unwrap();
+        db.query("supervisor/worksFor-").unwrap();
+        let stats = db.plan_cache_stats();
+        assert_eq!(stats.plans, 2, "{stats:?}");
+        assert_eq!(
+            stats.compilations, 1,
+            "disjuncts survive updates: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn histogram_refresh_policy_every_n_and_manual() {
+        let every2 = PathDb::build(
+            paper_example_graph(),
+            PathDbConfig::with_k(2).with_histogram_refresh(HistogramRefresh::EveryUpdates(2)),
+        );
+        let first = every2
+            .apply(&[update(&every2, "insert", "tim", "knows", "zoe")])
+            .unwrap();
+        assert!(!first.histogram_refreshed, "1 < 2 accumulated updates");
+        let second = every2
+            .apply(&[update(&every2, "insert", "sue", "knows", "joe")])
+            .unwrap();
+        assert!(second.histogram_refreshed, "2 ≥ 2 accumulated updates");
+
+        let manual = PathDb::build(
+            paper_example_graph(),
+            PathDbConfig::with_k(2).with_histogram_refresh(HistogramRefresh::Manual),
+        );
+        assert!(!manual.refresh_histogram(), "nothing applied yet");
+        let knows_count_before = manual
+            .histogram()
+            .estimated_cardinality(&[SignedLabel::forward(
+                manual.graph().label_id("knows").unwrap(),
+            )])
+            .unwrap();
+        let stats = manual
+            .apply(&[update(&manual, "insert", "tim", "knows", "zoe")])
+            .unwrap();
+        assert!(!stats.histogram_refreshed);
+        // Data moved, statistics did not.
+        assert_eq!(
+            manual
+                .histogram()
+                .estimated_cardinality(&[SignedLabel::forward(
+                    manual.graph().label_id("knows").unwrap(),
+                )])
+                .unwrap(),
+            knows_count_before
+        );
+        let epoch_before = manual.epoch();
+        assert!(manual.refresh_histogram());
+        assert_eq!(manual.epoch(), epoch_before + 1);
+        assert!(
+            manual
+                .histogram()
+                .estimated_cardinality(&[SignedLabel::forward(
+                    manual.graph().label_id("knows").unwrap(),
+                )])
+                .unwrap()
+                > knows_count_before
+        );
+    }
+
+    #[test]
+    fn snapshots_pin_the_state_they_were_taken_at() {
+        let db = example_db(2);
+        let before = db.snapshot();
+        db.apply(&[update(&db, "delete", "kim", "supervisor", "liz")])
+            .unwrap();
+        let after = db.snapshot();
+        assert_eq!(before.epoch(), 0);
+        assert_eq!(after.epoch(), 1);
+        // The old snapshot still sees the deleted edge.
+        let kim = before.graph().node_id("kim").unwrap();
+        let ann = before.graph().node_id("liz").unwrap();
+        let supervisor = before.graph().label_id("supervisor").unwrap();
+        assert!(before.graph().has_edge(kim, supervisor, ann));
+        assert!(!after.graph().has_edge(kim, supervisor, ann));
     }
 }

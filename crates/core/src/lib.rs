@@ -13,7 +13,11 @@
 //! * [`Session`] shares an `Arc<PathDb>` (and its plan cache) across
 //!   concurrent clients with per-session default options;
 //! * [`PathDb::query`] / [`PathDb::run`] stay available for ad-hoc calls and
-//!   hit the same LRU plan cache.
+//!   hit the same LRU plan cache;
+//! * [`PathDb::apply`] absorbs live edge insertions and deletions (memory
+//!   backend) through the incremental k-path index, publishing immutable
+//!   epoch-tagged [`Snapshot`]s — cached plans replan on epoch mismatch and
+//!   open [`Cursor`]s keep streaming from the snapshot they opened on.
 //!
 //! ```
 //! use pathix_core::{PathDb, PathDbConfig, QueryOptions, Strategy};
@@ -44,7 +48,10 @@ pub mod session;
 
 pub use cache::PlanCacheStats;
 pub use cursor::Cursor;
-pub use db::{BackendChoice, DbStats, IndexBackend, PathDb, PathDbConfig};
+pub use db::{
+    BackendChoice, DbStats, HistogramRefresh, IndexBackend, PathDb, PathDbConfig, Snapshot,
+    UpdateStats,
+};
 pub use error::QueryError;
 pub use options::QueryOptions;
 pub use prepared::PreparedQuery;
@@ -54,6 +61,9 @@ pub use session::Session;
 // Re-export the vocabulary a downstream user needs without adding every
 // sub-crate as a direct dependency.
 pub use pathix_graph::{Graph, GraphBuilder, LabelId, NodeId, SignedLabel};
-pub use pathix_index::{BackendError, BackendStats, EstimationMode, IndexStats, PathIndexBackend};
+pub use pathix_index::{
+    BackendError, BackendStats, EstimationMode, GraphUpdate, IndexStats, MutablePathIndexBackend,
+    PathIndexBackend,
+};
 pub use pathix_plan::{ExecutionStats, PhysicalPlan, Strategy};
 pub use pathix_rpq::{ParseError, RewriteOptions};

@@ -1,5 +1,5 @@
-//! Per-execution options: the builder that replaces the
-//! `query`/`query_with`/`query_parallel` method zoo.
+//! Per-execution options: strategy, worker threads, limits and the paper's
+//! Example 3.1 source/target bindings, as one reusable builder.
 
 use pathix_graph::NodeId;
 use pathix_plan::Strategy;

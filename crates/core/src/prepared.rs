@@ -2,13 +2,12 @@
 
 use crate::cache::CompiledQuery;
 use crate::cursor::Cursor;
-use crate::db::PathDb;
+use crate::db::{PathDb, Snapshot};
 use crate::error::QueryError;
 use crate::options::QueryOptions;
 use crate::result::QueryResult;
 use pathix_plan::{
-    execute_parallel_with_stats, execute_with_stats, open_stream, ExecutionStats, PhysicalPlan,
-    Strategy,
+    execute_parallel_with_stats, execute_with_stats, ExecutionStats, PhysicalPlan, Strategy,
 };
 use pathix_rpq::LabelPath;
 use std::sync::Arc;
@@ -17,16 +16,20 @@ use std::time::Instant;
 /// A query whose parse → bind → rewrite work has been done once, up front.
 ///
 /// Created by [`PathDb::prepare`]. The handle owns the rewritten disjunct
-/// list and lazily caches one [`PhysicalPlan`] per strategy, so executing it
-/// N times under S strategies costs exactly one compilation and at most S
-/// planning runs — the rest is pure execution. The underlying compiled entry
-/// is shared with the database's plan cache, so the handle stays valid (and
-/// cheap to clone) even after the cache evicts the entry.
+/// list and lazily caches one [`PhysicalPlan`] per strategy **per database
+/// epoch**: executing it N times under S strategies costs exactly one
+/// compilation and at most S planning runs while the database stands still,
+/// and after a [`PathDb::apply`] batch the next execution transparently
+/// replans against the fresh statistics instead of serving a stale physical
+/// plan. The underlying compiled entry is shared with the database's plan
+/// cache, so the handle stays valid (and cheap to clone) even after the cache
+/// evicts the entry.
 ///
 /// A prepared query is bound to the database that prepared it: the disjuncts
 /// reference that database's label vocabulary and the plans its histogram.
 /// Running it against any other [`PathDb`] is rejected with
-/// [`QueryError::DatabaseMismatch`].
+/// [`QueryError::DatabaseMismatch`]. (Live updates never change the
+/// vocabulary, so the handle survives them.)
 ///
 /// ```
 /// use pathix_core::{PathDb, PathDbConfig, QueryOptions, Strategy};
@@ -70,7 +73,8 @@ impl PreparedQuery {
     }
 
     /// `true` once a physical plan for `strategy` has been planned (plans
-    /// are lazy: preparing a query plans nothing).
+    /// are lazy: preparing a query plans nothing). The plan may still be
+    /// replanned on next use if the database has moved to a newer epoch.
     pub fn is_planned(&self, strategy: Strategy) -> bool {
         self.entry.existing_plan(strategy).is_some()
     }
@@ -84,18 +88,26 @@ impl PreparedQuery {
     }
 
     /// The physical plan of this query under `strategy`, planning it on
-    /// first use and reusing it afterwards.
-    pub fn plan<'a>(
-        &'a self,
+    /// first use and reusing it while the database stays at the same epoch.
+    pub fn plan(&self, db: &PathDb, strategy: Strategy) -> Result<Arc<PhysicalPlan>, QueryError> {
+        let snapshot = db.snapshot();
+        self.plan_on(db, &snapshot, strategy)
+    }
+
+    /// [`PreparedQuery::plan`] against an explicit snapshot, so one execution
+    /// plans and runs against the same epoch.
+    pub(crate) fn plan_on(
+        &self,
         db: &PathDb,
+        snapshot: &Snapshot,
         strategy: Strategy,
-    ) -> Result<&'a Arc<PhysicalPlan>, QueryError> {
+    ) -> Result<Arc<PhysicalPlan>, QueryError> {
         self.check_db(db)?;
-        let mut planned = false;
-        let plan = self.entry.plan_for(strategy, |disjuncts| {
-            planned = true;
-            db.plan_disjuncts(strategy, disjuncts)
-        });
+        let (plan, planned) = self
+            .entry
+            .plan_for(strategy, snapshot.epoch(), |disjuncts| {
+                snapshot.plan_disjuncts(strategy, disjuncts)
+            });
         if planned {
             db.plan_cache().record_plan();
         }
@@ -103,7 +115,8 @@ impl PreparedQuery {
     }
 
     /// Executes the query under `options`, returning the materialized
-    /// answer.
+    /// answer. The whole execution runs against one [`Snapshot`], taken at
+    /// entry.
     ///
     /// * Unrestricted runs (`threads(1)`, no limit/bindings/count) behave
     ///   exactly like [`PathDb::query`]: the full sorted, duplicate-free pair
@@ -117,14 +130,19 @@ impl PreparedQuery {
         let strategy = options
             .strategy_override()
             .unwrap_or(db.config().default_strategy);
-        let plan = self.plan(db, strategy)?;
+        let snapshot = db.snapshot();
+        let plan = self.plan_on(db, &snapshot, strategy)?;
 
         if options.thread_count() > 1 {
             // Parallel disjunct execution materializes the full answer; the
             // options then restrict it after the fact.
             let start = Instant::now();
-            let (pairs, pulled) =
-                execute_parallel_with_stats(plan.as_ref(), db.index(), options.thread_count())?;
+            let (pairs, pulled) = execute_parallel_with_stats(
+                plan.as_ref(),
+                snapshot.index(),
+                options.thread_count(),
+            )?;
+            db.record_pulled(pulled);
             let mut pairs: Vec<_> = pairs.into_iter().filter(|&p| options.admits(p)).collect();
             if let Some(limit) = options.limit_value() {
                 pairs.truncate(limit);
@@ -144,13 +162,15 @@ impl PreparedQuery {
         }
 
         if options.is_full_materialization() {
-            let (pairs, stats) = execute_with_stats(plan.as_ref(), db.index())?;
+            let (pairs, stats) = execute_with_stats(plan.as_ref(), snapshot.index())?;
+            db.record_pulled(stats.pairs_pulled);
             return Ok(QueryResult::new(pairs, stats, strategy));
         }
 
         // Restricted sequential runs stream through a cursor so limits
-        // terminate early.
-        let mut cursor = self.cursor(db, options.clone())?;
+        // terminate early. The cursor owns the snapshot, so it observes
+        // exactly the state this run planned against.
+        let mut cursor = Cursor::open(snapshot, plan, options.clone(), db.pulled_sink())?;
         if options.is_count_only() {
             // Count without materializing: drain the cursor, keep nothing.
             for item in &mut cursor {
@@ -171,25 +191,17 @@ impl PreparedQuery {
 
     /// Opens a streaming [`Cursor`] over the answer under `options`.
     ///
-    /// The cursor borrows this prepared query (for its plan) and the
-    /// database (for its index); `threads` is ignored — cursors are
-    /// sequential by construction.
-    pub fn cursor<'a>(
-        &'a self,
-        db: &'a PathDb,
-        options: QueryOptions,
-    ) -> Result<Cursor<'a>, QueryError> {
+    /// The cursor owns a [`Snapshot`] taken at open — see the
+    /// snapshot-at-open contract on [`Cursor`] — so it needs no borrow of
+    /// the database and never blocks concurrent updates; `threads` is
+    /// ignored — cursors are sequential by construction.
+    pub fn cursor(&self, db: &PathDb, options: QueryOptions) -> Result<Cursor, QueryError> {
         let strategy = options
             .strategy_override()
             .unwrap_or(db.config().default_strategy);
-        let plan = self.plan(db, strategy)?;
-        let stream = open_stream(plan.as_ref(), db.index())?;
-        Ok(Cursor::new(
-            stream,
-            options,
-            plan.join_count(),
-            plan.merge_join_count(),
-        ))
+        let snapshot = db.snapshot();
+        let plan = self.plan_on(db, &snapshot, strategy)?;
+        Cursor::open(snapshot, plan, options, db.pulled_sink())
     }
 
     /// Number of distinct answers under `options` (respecting limit and

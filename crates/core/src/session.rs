@@ -2,11 +2,12 @@
 //! serving.
 
 use crate::cursor::Cursor;
-use crate::db::PathDb;
+use crate::db::{PathDb, UpdateStats};
 use crate::error::QueryError;
 use crate::options::QueryOptions;
 use crate::prepared::PreparedQuery;
 use crate::result::QueryResult;
+use pathix_index::GraphUpdate;
 use std::sync::Arc;
 
 /// A lightweight handle on a shared database plus per-session default
@@ -84,9 +85,18 @@ impl Session {
     }
 
     /// Opens a streaming cursor over the answer of `prepared` under the
-    /// session's default options.
-    pub fn cursor<'a>(&'a self, prepared: &'a PreparedQuery) -> Result<Cursor<'a>, QueryError> {
+    /// session's default options. The cursor owns a snapshot of the shared
+    /// database, so it keeps streaming consistently even while other
+    /// sessions apply updates.
+    pub fn cursor(&self, prepared: &PreparedQuery) -> Result<Cursor, QueryError> {
         prepared.cursor(&self.db, self.defaults.clone())
+    }
+
+    /// Applies edge updates to the shared database (memory backend only —
+    /// see [`PathDb::apply`]). Every session observes the new state on its
+    /// next query; cursors already open keep their snapshot.
+    pub fn apply(&self, updates: &[GraphUpdate]) -> Result<UpdateStats, QueryError> {
+        self.db.apply(updates)
     }
 }
 

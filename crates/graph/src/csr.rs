@@ -80,6 +80,51 @@ impl Csr {
     pub fn contains(&self, src: NodeId, dst: NodeId) -> bool {
         self.neighbors(src).binary_search(&dst).is_ok()
     }
+
+    /// Inserts `(src, dst)` in place, keeping the adjacency run of `src`
+    /// sorted. Returns `false` (and changes nothing) if the edge is already
+    /// present. `src` must be within the node range the CSR was built for.
+    ///
+    /// The shift of the target array and offset vector is O(edges); this is
+    /// the maintenance path for live updates, not a bulk-load substitute.
+    pub fn insert(&mut self, src: NodeId, dst: NodeId) -> bool {
+        let v = src.index();
+        assert!(
+            v + 1 < self.offsets.len(),
+            "CSR insert: source node out of range"
+        );
+        let lo = self.offsets[v] as usize;
+        let hi = self.offsets[v + 1] as usize;
+        let pos = match self.targets[lo..hi].binary_search(&dst) {
+            Ok(_) => return false,
+            Err(pos) => lo + pos,
+        };
+        self.targets.insert(pos, dst);
+        for offset in &mut self.offsets[v + 1..] {
+            *offset += 1;
+        }
+        true
+    }
+
+    /// Removes `(src, dst)` in place. Returns `false` if the edge is absent
+    /// (including when `src` is out of range).
+    pub fn remove(&mut self, src: NodeId, dst: NodeId) -> bool {
+        let v = src.index();
+        if v + 1 >= self.offsets.len() {
+            return false;
+        }
+        let lo = self.offsets[v] as usize;
+        let hi = self.offsets[v + 1] as usize;
+        let pos = match self.targets[lo..hi].binary_search(&dst) {
+            Ok(pos) => lo + pos,
+            Err(_) => return false,
+        };
+        self.targets.remove(pos);
+        for offset in &mut self.offsets[v + 1..] {
+            *offset -= 1;
+        }
+        true
+    }
 }
 
 #[cfg(test)]
@@ -127,6 +172,42 @@ mod tests {
         let csr = Csr::from_edges(2, &edges);
         assert_eq!(csr.neighbors(n(0)), &[n(1), n(1)]);
         assert_eq!(csr.edge_count(), 2);
+    }
+
+    #[test]
+    fn insert_keeps_runs_sorted_and_updates_offsets() {
+        let edges = vec![(n(0), n(2)), (n(1), n(0))];
+        let mut csr = Csr::from_edges(3, &edges);
+        assert!(csr.insert(n(0), n(1)));
+        assert!(!csr.insert(n(0), n(1)), "duplicate insert is a no-op");
+        assert!(csr.insert(n(2), n(2)));
+        assert_eq!(csr.neighbors(n(0)), &[n(1), n(2)]);
+        assert_eq!(csr.neighbors(n(1)), &[n(0)]);
+        assert_eq!(csr.neighbors(n(2)), &[n(2)]);
+        assert_eq!(csr.edge_count(), 4);
+    }
+
+    #[test]
+    fn remove_deletes_only_the_requested_edge() {
+        let edges = vec![(n(0), n(1)), (n(0), n(2)), (n(1), n(2))];
+        let mut csr = Csr::from_edges(3, &edges);
+        assert!(csr.remove(n(0), n(1)));
+        assert!(!csr.remove(n(0), n(1)), "absent removal is a no-op");
+        assert!(!csr.remove(n(42), n(0)), "out-of-range removal is a no-op");
+        assert_eq!(csr.neighbors(n(0)), &[n(2)]);
+        assert_eq!(csr.neighbors(n(1)), &[n(2)]);
+        assert_eq!(csr.edge_count(), 2);
+    }
+
+    #[test]
+    fn insert_then_remove_restores_the_original() {
+        let edges = vec![(n(0), n(1)), (n(2), n(0))];
+        let mut csr = Csr::from_edges(3, &edges);
+        let before: Vec<Vec<NodeId>> = (0..3).map(|v| csr.neighbors(n(v)).to_vec()).collect();
+        assert!(csr.insert(n(1), n(2)));
+        assert!(csr.remove(n(1), n(2)));
+        let after: Vec<Vec<NodeId>> = (0..3).map(|v| csr.neighbors(n(v)).to_vec()).collect();
+        assert_eq!(before, after);
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! The immutable edge-labeled graph snapshot.
+//! The edge-labeled graph: bulk-built via [`crate::GraphBuilder`], then
+//! optionally mutated edge-by-edge for live updates.
 
 use crate::csr::Csr;
 use crate::dict::Dictionary;
@@ -6,11 +7,15 @@ use crate::ids::{LabelId, NodeId, SignedLabel};
 
 /// A finite, directed, edge-labeled graph (Section 2.1 of the paper).
 ///
-/// The graph is immutable once built (see [`crate::GraphBuilder`]); all query
-/// and indexing machinery treats it as a read-only snapshot. Per label the
-/// graph stores the deduplicated edge relation sorted by `(source, target)`
-/// plus forward and backward CSR adjacency, so both `ℓ` and `ℓ⁻` navigation
-/// are O(degree).
+/// Built in bulk via [`crate::GraphBuilder`]; all query and indexing
+/// machinery treats a shared `&Graph` as a consistent snapshot. The **edge
+/// set** can additionally be mutated in place over the fixed node/label
+/// vocabulary ([`Graph::insert_edge`] / [`Graph::remove_edge`]) — this is the
+/// maintenance path `PathDb::apply` uses to keep a private copy of the
+/// adjacency in sync with incremental index updates before publishing it.
+/// Per label the graph stores the deduplicated edge relation sorted by
+/// `(source, target)` plus forward and backward CSR adjacency, so both `ℓ`
+/// and `ℓ⁻` navigation are O(degree).
 #[derive(Debug, Clone)]
 pub struct Graph {
     pub(crate) node_dict: Dictionary,
@@ -156,6 +161,60 @@ impl Graph {
         self.edges(label).len()
     }
 
+    /// Inserts the labeled edge `label(src, dst)` in place, keeping the
+    /// sorted edge relation and both CSR adjacencies consistent. Returns
+    /// `false` (and changes nothing) if the edge is already present.
+    ///
+    /// Both endpoints and the label must already be interned — live updates
+    /// mutate the edge set over a fixed vocabulary, matching the delta rules
+    /// of the incremental k-path index.
+    ///
+    /// # Panics
+    /// Panics if `src`, `dst` or `label` were never interned.
+    pub fn insert_edge(&mut self, src: NodeId, label: LabelId, dst: NodeId) -> bool {
+        self.check_update_ids(src, label, dst);
+        let edges = &mut self.edges_by_label[label.index()];
+        let pos = match edges.binary_search(&(src, dst)) {
+            Ok(_) => return false,
+            Err(pos) => pos,
+        };
+        edges.insert(pos, (src, dst));
+        self.forward[label.index()].insert(src, dst);
+        self.backward[label.index()].insert(dst, src);
+        self.edge_count += 1;
+        true
+    }
+
+    /// Removes the labeled edge `label(src, dst)` in place. Returns `false`
+    /// if the edge is absent.
+    ///
+    /// # Panics
+    /// Panics if `src`, `dst` or `label` were never interned.
+    pub fn remove_edge(&mut self, src: NodeId, label: LabelId, dst: NodeId) -> bool {
+        self.check_update_ids(src, label, dst);
+        let edges = &mut self.edges_by_label[label.index()];
+        let pos = match edges.binary_search(&(src, dst)) {
+            Ok(pos) => pos,
+            Err(_) => return false,
+        };
+        edges.remove(pos);
+        self.forward[label.index()].remove(src, dst);
+        self.backward[label.index()].remove(dst, src);
+        self.edge_count -= 1;
+        true
+    }
+
+    fn check_update_ids(&self, src: NodeId, label: LabelId, dst: NodeId) {
+        assert!(
+            src.index() < self.node_count() && dst.index() < self.node_count(),
+            "edge endpoint was not interned in this graph"
+        );
+        assert!(
+            label.index() < self.label_count(),
+            "edge label was not interned in this graph"
+        );
+    }
+
     /// Renders a human-readable label-path string such as `knows/worksFor-`
     /// for diagnostics and explain output.
     pub fn format_signed_label(&self, sl: SignedLabel) -> String {
@@ -256,6 +315,53 @@ mod tests {
         let alphabet: Vec<_> = g.signed_labels().collect();
         assert_eq!(alphabet.len(), 4);
         assert!(alphabet.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn insert_edge_updates_relation_and_both_adjacencies() {
+        let mut g = sample();
+        let knows = g.label_id("knows").unwrap();
+        let jan = g.node_id("jan").unwrap();
+        let ada = g.node_id("ada").unwrap();
+        assert!(!g.has_edge(jan, knows, ada));
+        assert!(g.insert_edge(jan, knows, ada));
+        assert!(!g.insert_edge(jan, knows, ada), "duplicate is a no-op");
+        assert_eq!(g.edge_count(), 5);
+        assert!(g.has_edge(jan, knows, ada));
+        assert!(g.neighbors(jan, SignedLabel::forward(knows)).contains(&ada));
+        assert!(g
+            .neighbors(ada, SignedLabel::backward(knows))
+            .contains(&jan));
+        assert!(g.edges(knows).windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn remove_edge_restores_the_previous_state() {
+        let mut g = sample();
+        let knows = g.label_id("knows").unwrap();
+        let ada = g.node_id("ada").unwrap();
+        let jan = g.node_id("jan").unwrap();
+        let before_edges = g.edges(knows).to_vec();
+        let zoe = g.node_id("zoe").unwrap();
+        assert!(g.insert_edge(jan, knows, ada));
+        assert!(g.remove_edge(jan, knows, ada));
+        assert_eq!(g.edges(knows), &before_edges[..]);
+        assert_eq!(g.edge_count(), 4);
+        assert!(!g.remove_edge(jan, knows, ada), "absent removal is a no-op");
+        // Removing a real edge drops it from both directions.
+        assert!(g.remove_edge(ada, knows, zoe));
+        assert!(!g.has_edge(ada, knows, zoe));
+        assert!(!g
+            .neighbors(zoe, SignedLabel::backward(knows))
+            .contains(&ada));
+    }
+
+    #[test]
+    #[should_panic(expected = "was not interned")]
+    fn inserting_with_unknown_node_panics() {
+        let mut g = sample();
+        let knows = g.label_id("knows").unwrap();
+        g.insert_edge(NodeId(99), knows, NodeId(0));
     }
 
     #[test]

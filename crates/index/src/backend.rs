@@ -135,6 +135,24 @@ pub trait PathIndexBackend {
     fn stats(&self) -> BackendStats;
 }
 
+/// The optional mutable extension of [`PathIndexBackend`]: a backend that can
+/// absorb live edge insertions and deletions while staying consistent with a
+/// full rebuild over the updated graph.
+///
+/// Only the in-memory counting index
+/// ([`crate::IncrementalKPathIndex`]) implements this today; the paged and
+/// compressed backends are bulk-built and read-only, which is why
+/// `PathDb::apply` reports them as unsupported rather than silently
+/// rebuilding.
+pub trait MutablePathIndexBackend: PathIndexBackend {
+    /// Applies one edge update, returning `Ok(true)` if the maintained graph
+    /// changed (duplicate insertions and absent deletions are no-ops).
+    fn apply_update(&mut self, update: crate::incremental::GraphUpdate) -> BackendResult<bool>;
+
+    /// Number of effective `(insertions, deletions)` applied so far.
+    fn updates_applied(&self) -> (u64, u64);
+}
+
 /// Checks the planner contract `1 ≤ |path| ≤ k`, producing the shared error.
 pub fn check_scan_path(backend: &'static str, k: usize, path: &[SignedLabel]) -> BackendResult<()> {
     if path.is_empty() || path.len() > k {

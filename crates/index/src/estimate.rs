@@ -49,22 +49,35 @@ impl<'a> CardinalityEstimator<'a> {
     /// `|c₁| · Π (|cᵢ| / |V|)` — each additional chunk acts as a filter whose
     /// matching probability is `|cᵢ| / (|V|·|V|)` applied to `|V|` candidate
     /// extensions.
+    ///
+    /// Every chunk estimate is clamped to a floor of 1: a chunk absent from
+    /// the histogram (or summarized at zero) would otherwise zero out the
+    /// whole product, collapsing the `minSupport`/`minJoin` cost ordering —
+    /// every candidate plan containing such a chunk would cost the same 0 and
+    /// the planner would pick arbitrarily.
     pub fn path_cardinality(&self, path: &[SignedLabel]) -> f64 {
         if path.is_empty() {
             return self.node_count as f64;
         }
         let k = self.histogram.k();
         if path.len() <= k {
-            return self.histogram.estimated_cardinality(path).unwrap_or(0.0);
+            return self.chunk_cardinality(path);
         }
         let mut chunks = path.chunks(k);
         let first = chunks.next().expect("non-empty path has a first chunk");
-        let mut estimate = self.histogram.estimated_cardinality(first).unwrap_or(0.0);
+        let mut estimate = self.chunk_cardinality(first);
         for chunk in chunks {
-            let chunk_card = self.histogram.estimated_cardinality(chunk).unwrap_or(0.0);
-            estimate = self.join_cardinality(estimate, chunk_card);
+            estimate = self.join_cardinality(estimate, self.chunk_cardinality(chunk));
         }
         estimate
+    }
+
+    /// Histogram estimate for a chunk of length ≤ k, floored at 1.
+    fn chunk_cardinality(&self, chunk: &[SignedLabel]) -> f64 {
+        self.histogram
+            .estimated_cardinality(chunk)
+            .unwrap_or(0.0)
+            .max(1.0)
     }
 
     /// Estimated cardinality of joining two pair relations on a shared node
@@ -136,11 +149,15 @@ mod tests {
     }
 
     #[test]
-    fn unknown_chunks_yield_zero() {
+    fn unknown_chunks_floor_at_one() {
         let h = histogram();
         let est = CardinalityEstimator::new(&h, 100);
-        assert_eq!(est.path_cardinality(&[sl(7)]), 0.0);
-        assert_eq!(est.path_cardinality(&[sl(0), sl(1), sl(7)]), 0.0);
+        // A path absent from the histogram estimates the floor, not zero...
+        assert_eq!(est.path_cardinality(&[sl(7)]), 1.0);
+        // ...and an unknown chunk no longer zeroes out the whole product:
+        // chunk [0,1] (200) joined with chunk [7] (floored to 1) over 100
+        // nodes.
+        assert_eq!(est.path_cardinality(&[sl(0), sl(1), sl(7)]), 2.0);
     }
 
     #[test]

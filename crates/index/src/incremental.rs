@@ -26,10 +26,18 @@
 //! [`IncrementalKPathIndex::per_path_counts`] at whatever cadence their
 //! optimizer needs.
 
-use crate::pathkey::{decode_pair, encode_entry, encode_path_prefix};
+use crate::backend::{
+    check_scan_path, BackendResult, BackendScan, BackendStats, MutablePathIndexBackend,
+    PathIndexBackend,
+};
+use crate::pathkey::{decode_pair, encode_entry, encode_path_prefix, encode_path_source_prefix};
+use crate::KPathIndex;
 use pathix_graph::{Graph, LabelId, NodeId, SignedLabel};
+use pathix_rpq::ast::inverse_path;
 use pathix_storage::BPlusTree;
+use std::cmp::Ordering;
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// An edge update applied to an [`IncrementalKPathIndex`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -112,6 +120,23 @@ impl DynAdjacency {
     fn neighbors(&self, node: NodeId, sl: SignedLabel) -> &[NodeId] {
         self.succ.get(&(node, sl)).map_or(&[], Vec::as_slice)
     }
+
+    /// Builds the adjacency from an existing graph's (deduplicated) edges.
+    fn from_graph(graph: &Graph) -> Self {
+        let mut adj = DynAdjacency::default();
+        for label in graph.labels() {
+            for &(src, dst) in graph.edges(label) {
+                adj.insert(src, label, dst);
+            }
+        }
+        adj
+    }
+}
+
+/// Packs a node pair into one map key.
+#[inline]
+fn pack_pair(a: NodeId, b: NodeId) -> u64 {
+    ((a.0 as u64) << 32) | b.0 as u64
 }
 
 /// A k-path index that stays consistent under edge insertions and deletions.
@@ -140,8 +165,17 @@ pub struct IncrementalKPathIndex {
     adj: DynAdjacency,
     /// `⟨p, a, b⟩ → walk count` (count stored as little-endian `u64`).
     tree: BPlusTree,
-    /// Distinct pair count per indexed path (only non-empty paths).
-    per_path: HashMap<Vec<SignedLabel>, u64>,
+    /// Distinct pair count per indexed path (only non-empty paths), sorted by
+    /// `(length, path)` — the same order [`crate::KPathIndex`] reports.
+    per_path: Vec<(Vec<SignedLabel>, u64)>,
+    /// `packed (a, b) → number of label paths currently realizing the pair`:
+    /// the bookkeeping behind the `|paths_k(G)|` selectivity denominator.
+    pair_refs: HashMap<u64, u32>,
+    /// Distinct non-identity pairs currently referenced (cached so
+    /// [`IncrementalKPathIndex::paths_k_size`] is O(1)).
+    linked_pairs: u64,
+    /// Number of nodes of the maintained graph (grows with observed ids).
+    node_count: usize,
     inserts_applied: u64,
     deletes_applied: u64,
 }
@@ -154,7 +188,10 @@ impl IncrementalKPathIndex {
             k,
             adj: DynAdjacency::default(),
             tree: BPlusTree::new(),
-            per_path: HashMap::new(),
+            per_path: Vec::new(),
+            pair_refs: HashMap::new(),
+            linked_pairs: 0,
+            node_count: 0,
             inserts_applied: 0,
             deletes_applied: 0,
         }
@@ -163,14 +200,77 @@ impl IncrementalKPathIndex {
     /// Builds the index over an existing graph by replaying its edges as
     /// insertions. The resulting pair sets are identical to
     /// [`crate::KPathIndex::build`] over the same graph.
+    ///
+    /// Each replayed edge pays the full delta computation; prefer
+    /// [`IncrementalKPathIndex::bulk_from_graph`] when seeding from a large
+    /// graph.
     pub fn from_graph(graph: &Graph, k: usize) -> Self {
         let mut index = Self::new(k);
+        index.node_count = graph.node_count();
         for label in graph.labels() {
             for &(src, dst) in graph.edges(label) {
                 index.insert_edge(src, label, dst);
             }
         }
         index
+    }
+
+    /// Builds the index over an existing graph with bulk counted path
+    /// enumeration — the same level-by-level joins [`crate::KPathIndex`] uses,
+    /// except carrying walk multiplicities — and a single sorted bulk load.
+    ///
+    /// The result is identical to [`IncrementalKPathIndex::from_graph`]
+    /// (property-tested) at a fraction of the seeding cost, which is what
+    /// makes upgrading a bulk-built database to live updates affordable.
+    pub fn bulk_from_graph(graph: &Graph, k: usize) -> Self {
+        assert!(k >= 1, "the k-path index requires k ≥ 1");
+        let relations = enumerate_counted_paths(graph, k);
+
+        let mut per_path = Vec::with_capacity(relations.len());
+        let mut pair_refs: HashMap<u64, u32> = HashMap::new();
+        let mut linked_pairs = 0u64;
+        let mut entries: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+        for (path, pairs) in &relations {
+            per_path.push((path.clone(), pairs.len() as u64));
+            for &((a, b), walks) in pairs {
+                entries.push((encode_entry(path, a, b), encode_count(walks)));
+                let refs = pair_refs.entry(pack_pair(a, b)).or_insert(0);
+                *refs += 1;
+                if *refs == 1 && a != b {
+                    linked_pairs += 1;
+                }
+            }
+        }
+        entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        IncrementalKPathIndex {
+            k,
+            adj: DynAdjacency::from_graph(graph),
+            tree: BPlusTree::bulk_load(entries),
+            per_path,
+            pair_refs,
+            linked_pairs,
+            node_count: graph.node_count(),
+            inserts_applied: 0,
+            deletes_applied: 0,
+        }
+    }
+
+    /// Freezes the current state into a read-optimized [`crate::KPathIndex`]
+    /// (walk counts dropped, entries bulk-loaded in key order). This is how a
+    /// live database publishes immutable read snapshots after a batch of
+    /// updates without re-enumerating any path relation.
+    pub fn freeze(&self) -> KPathIndex {
+        let start = Instant::now();
+        let mut entries: Vec<(Vec<u8>, Vec<u8>)> = Vec::with_capacity(self.tree.len());
+        entries.extend(self.tree.iter().map(|(key, _)| (key.to_vec(), Vec::new())));
+        KPathIndex::from_raw_parts(
+            self.k,
+            self.node_count,
+            BPlusTree::bulk_load(entries),
+            self.per_path.clone(),
+            self.paths_k_size(),
+            start,
+        )
     }
 
     /// The locality parameter k.
@@ -193,7 +293,22 @@ impl IncrementalKPathIndex {
         self.per_path.len()
     }
 
-    /// Number of insert / delete updates applied so far (no-ops excluded).
+    /// Number of nodes of the maintained graph. Seeded from the source graph
+    /// by the `from_graph` constructors and grown to cover every node id an
+    /// insertion mentions; deletions never shrink it (ids stay interned).
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// `|paths_k(G)|`: distinct node pairs connected by some path of length
+    /// ≤ k, including the `node_count` zero-length identity pairs — the
+    /// paper's selectivity denominator, maintained incrementally.
+    pub fn paths_k_size(&self) -> u64 {
+        self.node_count as u64 + self.linked_pairs
+    }
+
+    /// Number of insert / delete updates applied so far (no-ops excluded;
+    /// bulk seeding counts as zero updates).
     pub fn updates_applied(&self) -> (u64, u64) {
         (self.inserts_applied, self.deletes_applied)
     }
@@ -203,12 +318,11 @@ impl IncrementalKPathIndex {
         self.adj.contains(src, label, dst)
     }
 
-    /// Exact distinct-pair cardinalities `(p, |p(G)|)`, the raw material for
-    /// rebuilding a [`crate::PathHistogram`] after a batch of updates.
-    pub fn per_path_counts(&self) -> Vec<(Vec<SignedLabel>, u64)> {
-        let mut counts: Vec<_> = self.per_path.iter().map(|(p, c)| (p.clone(), *c)).collect();
-        counts.sort_by(|a, b| (a.0.len(), &a.0).cmp(&(b.0.len(), &b.0)));
-        counts
+    /// Exact distinct-pair cardinalities `(p, |p(G)|)` sorted by
+    /// `(length, path)`, the raw material for rebuilding a
+    /// [`crate::PathHistogram`] after a batch of updates.
+    pub fn per_path_counts(&self) -> &[(Vec<SignedLabel>, u64)] {
+        &self.per_path
     }
 
     /// `I_{G,k}(⟨p⟩)`: the current pairs of `p(G)` in `(source, target)`
@@ -256,6 +370,7 @@ impl IncrementalKPathIndex {
         if !self.adj.insert(src, label, dst) {
             return false;
         }
+        self.node_count = self.node_count.max(src.index() + 1).max(dst.index() + 1);
         // Prefixes are evaluated on the old graph (new graph minus the edge),
         // suffixes on the new graph: Δ(R₁⋯Rₙ) = Σᵢ R₁ᵒ⋯Rᵢ₋₁ᵒ · Δe · Rᵢ₊₁ⁿ⋯Rₙⁿ.
         let delta = self.edge_delta(src, label, dst);
@@ -408,9 +523,17 @@ impl IncrementalKPathIndex {
             }
             None => {
                 self.tree.insert(key.to_vec(), encode_count(delta));
-                let (path, _, _) =
+                let (path, a, b) =
                     crate::pathkey::decode_entry(key).expect("index keys are well-formed");
-                *self.per_path.entry(path).or_insert(0) += 1;
+                match self.path_slot(&path) {
+                    Ok(i) => self.per_path[i].1 += 1,
+                    Err(i) => self.per_path.insert(i, (path, 1)),
+                }
+                let refs = self.pair_refs.entry(pack_pair(a, b)).or_insert(0);
+                *refs += 1;
+                if *refs == 1 && a != b {
+                    self.linked_pairs += 1;
+                }
             }
         }
     }
@@ -426,15 +549,169 @@ impl IncrementalKPathIndex {
             self.tree.insert(key.to_vec(), encode_count(count - delta));
         } else {
             self.tree.delete(key);
-            let (path, _, _) =
+            let (path, a, b) =
                 crate::pathkey::decode_entry(key).expect("index keys are well-formed");
-            if let Some(pairs) = self.per_path.get_mut(&path) {
-                *pairs -= 1;
-                if *pairs == 0 {
-                    self.per_path.remove(&path);
+            if let Ok(i) = self.path_slot(&path) {
+                self.per_path[i].1 -= 1;
+                if self.per_path[i].1 == 0 {
+                    self.per_path.remove(i);
+                }
+            }
+            let refs = self
+                .pair_refs
+                .get_mut(&pack_pair(a, b))
+                .expect("entry removal must target a referenced pair");
+            *refs -= 1;
+            if *refs == 0 {
+                self.pair_refs.remove(&pack_pair(a, b));
+                if a != b {
+                    self.linked_pairs -= 1;
                 }
             }
         }
+    }
+
+    /// Position of `path` in the `(length, path)`-sorted per-path vector.
+    fn path_slot(&self, path: &[SignedLabel]) -> Result<usize, usize> {
+        self.per_path
+            .binary_search_by(|(p, _)| (p.len(), p.as_slice()).cmp(&(path.len(), path)))
+    }
+}
+
+/// A label path with its walk-counted pair relation, sorted by `(a, b)`.
+type CountedRelation = (Vec<SignedLabel>, Vec<((NodeId, NodeId), u64)>);
+
+/// Computes, level by level, the counted relation of every label path of
+/// length ≤ k: `path → sorted [((a, b), #walks)]`. The mirror-path trick of
+/// [`crate::enumerate_paths`] applies unchanged because walk counts are
+/// converse-symmetric. The result is ordered by `(length, path)`.
+fn enumerate_counted_paths(graph: &Graph, k: usize) -> Vec<CountedRelation> {
+    let mut result: Vec<CountedRelation> = Vec::new();
+    let mut prev: Vec<CountedRelation> = graph
+        .signed_labels()
+        .filter_map(|sl| {
+            let pairs: Vec<((NodeId, NodeId), u64)> = graph
+                .signed_pairs(sl)
+                .into_iter()
+                .map(|pair| (pair, 1))
+                .collect();
+            (!pairs.is_empty()).then(|| (vec![sl], pairs))
+        })
+        .collect();
+    for _level in 2..=k {
+        let mut next: Vec<CountedRelation> = Vec::new();
+        for (path, pairs) in &prev {
+            for sl in graph.signed_labels() {
+                let mut extended = path.clone();
+                extended.push(sl);
+                let inv = inverse_path(&extended);
+                if extended.cmp(&inv) == Ordering::Greater {
+                    continue;
+                }
+                let mut counted: HashMap<(NodeId, NodeId), u64> = HashMap::new();
+                for &((a, b), walks) in pairs {
+                    for &c in graph.neighbors(b, sl) {
+                        *counted.entry((a, c)).or_insert(0) += walks;
+                    }
+                }
+                if counted.is_empty() {
+                    continue;
+                }
+                let mut sorted: Vec<_> = counted.into_iter().collect();
+                sorted.sort_unstable_by_key(|&(pair, _)| pair);
+                if extended != inv {
+                    let mut mirror: Vec<_> = sorted
+                        .iter()
+                        .map(|&((a, b), walks)| ((b, a), walks))
+                        .collect();
+                    mirror.sort_unstable_by_key(|&(pair, _)| pair);
+                    next.push((inv, mirror));
+                }
+                next.push((extended, sorted));
+            }
+        }
+        result.append(&mut prev);
+        prev = next;
+    }
+    result.append(&mut prev);
+    result.sort_by(|a, b| (a.0.len(), &a.0).cmp(&(b.0.len(), &b.0)));
+    result
+}
+
+impl PathIndexBackend for IncrementalKPathIndex {
+    fn backend_name(&self) -> &'static str {
+        "incremental"
+    }
+
+    fn k(&self) -> usize {
+        self.k
+    }
+
+    fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    fn scan_path(&self, path: &[SignedLabel]) -> BackendResult<BackendScan<'_>> {
+        check_scan_path(PathIndexBackend::backend_name(self), self.k, path)?;
+        let prefix = encode_path_prefix(path);
+        Ok(Box::new(
+            self.tree
+                .scan_prefix(&prefix)
+                .map(|(key, _)| Ok(decode_pair(key))),
+        ))
+    }
+
+    fn scan_path_from(&self, path: &[SignedLabel], source: NodeId) -> BackendResult<Vec<NodeId>> {
+        check_scan_path(PathIndexBackend::backend_name(self), self.k, path)?;
+        let prefix = encode_path_source_prefix(path, source);
+        Ok(self
+            .tree
+            .scan_prefix(&prefix)
+            .map(|(key, _)| decode_pair(key).1)
+            .collect())
+    }
+
+    fn contains(
+        &self,
+        path: &[SignedLabel],
+        source: NodeId,
+        target: NodeId,
+    ) -> BackendResult<bool> {
+        Ok(IncrementalKPathIndex::contains(self, path, source, target))
+    }
+
+    fn path_cardinality(&self, path: &[SignedLabel]) -> Option<u64> {
+        self.path_slot(path).ok().map(|i| self.per_path[i].1)
+    }
+
+    fn per_path_counts(&self) -> &[(Vec<SignedLabel>, u64)] {
+        &self.per_path
+    }
+
+    fn paths_k_size(&self) -> u64 {
+        IncrementalKPathIndex::paths_k_size(self)
+    }
+
+    fn stats(&self) -> BackendStats {
+        let tree_stats = self.tree.stats();
+        BackendStats {
+            backend: PathIndexBackend::backend_name(self),
+            k: self.k,
+            entries: tree_stats.len as u64,
+            distinct_paths: self.per_path.len(),
+            paths_k_size: IncrementalKPathIndex::paths_k_size(self),
+            approx_bytes: tree_stats.approx_key_bytes as u64,
+        }
+    }
+}
+
+impl MutablePathIndexBackend for IncrementalKPathIndex {
+    fn apply_update(&mut self, update: GraphUpdate) -> BackendResult<bool> {
+        Ok(IncrementalKPathIndex::apply(self, update))
+    }
+
+    fn updates_applied(&self) -> (u64, u64) {
+        IncrementalKPathIndex::updates_applied(self)
     }
 }
 
@@ -628,7 +905,7 @@ mod tests {
         let g = paper_example_graph();
         let mut index = IncrementalKPathIndex::from_graph(&g, 2);
         let before_entries = index.entry_count();
-        let before_counts = index.per_path_counts();
+        let before_counts = index.per_path_counts().to_vec();
         let knows = g.label_id("knows").unwrap();
         let sue = g.node_id("sue").unwrap();
         let tim = g.node_id("tim").unwrap();
@@ -637,7 +914,7 @@ mod tests {
         assert_ne!(index.entry_count(), before_entries);
         assert!(index.delete_edge(sue, knows, tim));
         assert_eq!(index.entry_count(), before_entries);
-        assert_eq!(index.per_path_counts(), before_counts);
+        assert_eq!(index.per_path_counts(), &before_counts[..]);
     }
 
     #[test]
@@ -695,6 +972,138 @@ mod tests {
         let pairs = index.scan_path(&[knows, knows]);
         assert!(!pairs.is_empty());
         assert!(pairs.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn bulk_build_matches_replayed_insertions() {
+        let g = paper_example_graph();
+        for k in 1..=3 {
+            let replayed = IncrementalKPathIndex::from_graph(&g, k);
+            let bulk = IncrementalKPathIndex::bulk_from_graph(&g, k);
+            assert_eq!(bulk.entry_count(), replayed.entry_count());
+            assert_eq!(bulk.per_path_counts(), replayed.per_path_counts());
+            assert_eq!(bulk.paths_k_size(), replayed.paths_k_size());
+            assert_eq!(bulk.edge_count(), replayed.edge_count());
+            assert_eq!(bulk.updates_applied(), (0, 0));
+            for (path, _) in replayed.per_path_counts() {
+                assert_eq!(bulk.scan_path(path), replayed.scan_path(path));
+                for (a, b) in replayed.scan_path(path) {
+                    assert_eq!(
+                        bulk.walk_count(path, a, b),
+                        replayed.walk_count(path, a, b),
+                        "walk counts diverge for {path:?} ({a:?}, {b:?})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bulk_build_stays_consistent_under_further_updates() {
+        let g = paper_example_graph();
+        let mut index = IncrementalKPathIndex::bulk_from_graph(&g, 2);
+        let mut edges: BTreeSet<Edge> = g
+            .labels()
+            .flat_map(|l| g.edges(l).iter().map(move |&(s, d)| (s, l, d)))
+            .collect();
+        let labels = g.label_count() as u16;
+        let removed: Vec<Edge> = edges.iter().copied().step_by(2).collect();
+        for edge in removed {
+            assert!(index.delete_edge(edge.0, edge.1, edge.2));
+            edges.remove(&edge);
+        }
+        assert_matches_oracle(&index, &edges, labels);
+    }
+
+    #[test]
+    fn freeze_matches_a_full_bulk_rebuild() {
+        let g = paper_example_graph();
+        let mut index = IncrementalKPathIndex::bulk_from_graph(&g, 2);
+        let knows = g.label_id("knows").unwrap();
+        let sue = g.node_id("sue").unwrap();
+        let tim = g.node_id("tim").unwrap();
+        assert!(index.insert_edge(sue, knows, tim));
+
+        let frozen = index.freeze();
+        let mut updated = g.clone();
+        assert!(updated.insert_edge(sue, knows, tim));
+        let rebuilt = KPathIndex::build(&updated, 2);
+        assert_eq!(frozen.stats().entries, rebuilt.stats().entries);
+        assert_eq!(frozen.per_path_counts(), rebuilt.per_path_counts());
+        assert_eq!(frozen.paths_k_size(), rebuilt.paths_k_size());
+        assert_eq!(frozen.node_count(), rebuilt.node_count());
+        for (path, _) in rebuilt.per_path_counts() {
+            let expected: Vec<_> = rebuilt.scan_path(path).collect();
+            let actual: Vec<_> = frozen.scan_path(path).collect();
+            assert_eq!(actual, expected, "path {path:?}");
+        }
+    }
+
+    #[test]
+    fn paths_k_size_matches_the_enumeration_denominator() {
+        let g = paper_example_graph();
+        for k in 1..=3 {
+            let expected = crate::paths_k_cardinality(&g, &crate::enumerate_paths(&g, k));
+            assert_eq!(
+                IncrementalKPathIndex::from_graph(&g, k).paths_k_size(),
+                expected,
+                "k = {k}"
+            );
+            assert_eq!(
+                IncrementalKPathIndex::bulk_from_graph(&g, k).paths_k_size(),
+                expected,
+                "bulk, k = {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn the_incremental_index_serves_as_a_backend() {
+        let g = paper_example_graph();
+        let index = IncrementalKPathIndex::bulk_from_graph(&g, 2);
+        let backend: &dyn PathIndexBackend = &index;
+        assert_eq!(backend.backend_name(), "incremental");
+        assert_eq!(backend.k(), 2);
+        assert_eq!(backend.node_count(), g.node_count());
+        let knows = SignedLabel::forward(g.label_id("knows").unwrap());
+        let via_trait: Vec<_> = backend
+            .scan_path(&[knows])
+            .unwrap()
+            .collect::<BackendResult<_>>()
+            .unwrap();
+        assert_eq!(via_trait, index.scan_path(&[knows]));
+        let (a, b) = via_trait[0];
+        assert!(backend.contains(&[knows], a, b).unwrap());
+        assert_eq!(
+            backend.scan_path_from(&[knows], a).unwrap(),
+            via_trait
+                .iter()
+                .filter(|&&(s, _)| s == a)
+                .map(|&(_, t)| t)
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(
+            backend.path_cardinality(&[knows]),
+            Some(via_trait.len() as u64)
+        );
+        assert!(backend.scan_path(&[knows, knows, knows]).is_err());
+        let stats = backend.stats();
+        assert_eq!(stats.entries as usize, index.entry_count());
+
+        // The mutable extension drives the same delta rules.
+        let mut live = index.clone();
+        let mutable: &mut dyn MutablePathIndexBackend = &mut live;
+        let tim = g.node_id("tim").unwrap();
+        let sue = g.node_id("sue").unwrap();
+        let knows_id = g.label_id("knows").unwrap();
+        assert!(mutable
+            .apply_update(GraphUpdate::InsertEdge {
+                src: sue,
+                label: knows_id,
+                dst: tim,
+            })
+            .unwrap());
+        assert_eq!(MutablePathIndexBackend::updates_applied(&live), (1, 0));
     }
 
     #[test]

@@ -92,6 +92,29 @@ impl KPathIndex {
         }
     }
 
+    /// Assembles an index from already-materialized parts: a loaded B+tree of
+    /// `⟨p, a, b⟩` keys plus the per-path statistics describing it. Used by
+    /// [`crate::IncrementalKPathIndex::freeze`] to publish read-optimized
+    /// snapshots without re-enumerating any path relation; `start` anchors the
+    /// reported build time.
+    pub(crate) fn from_raw_parts(
+        k: usize,
+        node_count: usize,
+        tree: BPlusTree,
+        per_path_counts: Vec<(Vec<SignedLabel>, u64)>,
+        paths_k_size: u64,
+        start: Instant,
+    ) -> Self {
+        KPathIndex {
+            k,
+            tree,
+            node_count,
+            per_path_counts,
+            paths_k_size,
+            build_time: start.elapsed(),
+        }
+    }
+
     /// The locality parameter k.
     pub fn k(&self) -> usize {
         self.k

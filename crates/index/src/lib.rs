@@ -37,7 +37,10 @@ pub mod kpath;
 pub mod parallel;
 pub mod pathkey;
 
-pub use backend::{BackendError, BackendResult, BackendScan, BackendStats, PathIndexBackend};
+pub use backend::{
+    BackendError, BackendResult, BackendScan, BackendStats, MutablePathIndexBackend,
+    PathIndexBackend,
+};
 pub use enumerate::{enumerate_paths, naive_path_eval, paths_k_cardinality, PathRelation};
 pub use estimate::CardinalityEstimator;
 pub use histogram::{EstimationMode, PathHistogram};

@@ -153,6 +153,47 @@ mod tests {
         assert_eq!(c.cost, 100.0 + 10.0 + 110.0);
     }
 
+    /// Regression test for the zero-estimate degeneration: a label path
+    /// absent from the histogram used to estimate 0, so every plan containing
+    /// it cost ~0 and the `minSupport`/`minJoin` cost comparison could not
+    /// tell candidates apart. With the floor of 1 the ordering stays strict.
+    #[test]
+    fn absent_paths_floor_at_one_so_cost_ordering_never_degenerates() {
+        let (h, n) = estimator_fixture();
+        let est = CardinalityEstimator::new(&h, n);
+        // sl(9) is absent from the histogram.
+        let absent = PhysicalPlan::scan(vec![sl(9)]);
+        let c = cost_plan(&absent, &est);
+        assert_eq!(c.cardinality, 1.0, "absent paths estimate the floor");
+        assert!(c.cost >= 1.0);
+
+        // A join involving the absent path still costs strictly more than the
+        // bare scans it contains — zero estimates used to collapse this sum.
+        let join = PhysicalPlan::compose(
+            PhysicalPlan::scan(vec![sl(0)]),
+            PhysicalPlan::scan(vec![sl(9)]),
+        );
+        let cj = cost_plan(&join, &est);
+        let scan0 = cost_plan(&PhysicalPlan::scan(vec![sl(0)]), &est);
+        assert!(cj.cost > scan0.cost, "{cj:?} vs {scan0:?}");
+        assert!(cj.cardinality > 0.0);
+
+        // And two candidates that differ only in a known sub-path keep their
+        // strict cost order even when both contain the absent path.
+        let cheap = PhysicalPlan::compose(
+            PhysicalPlan::scan(vec![sl(2)]),
+            PhysicalPlan::scan(vec![sl(9)]),
+        );
+        let pricey = PhysicalPlan::compose(
+            PhysicalPlan::scan(vec![sl(0)]),
+            PhysicalPlan::scan(vec![sl(9)]),
+        );
+        assert!(
+            cost_plan(&cheap, &est).cost < cost_plan(&pricey, &est).cost,
+            "cost ordering must not degenerate on paths with no statistics"
+        );
+    }
+
     #[test]
     fn epsilon_costs_node_count() {
         let (h, n) = estimator_fixture();

@@ -103,10 +103,12 @@ impl SqlPathDb {
     }
 
     /// Builds the relational mirror of an existing [`PathDb`] (same graph,
-    /// same k, same index contents). Works with every index backend; scan
-    /// failures of disk-resident backends surface as [`SqlError::Exec`].
+    /// same k, same index contents) from one consistent snapshot. Works with
+    /// every index backend; scan failures of disk-resident backends surface
+    /// as [`SqlError::Exec`].
     pub fn from_path_db(db: &PathDb) -> Result<Self, SqlError> {
-        Self::from_parts(db.graph().clone(), db.index(), db.k())
+        let snapshot = db.snapshot();
+        Self::from_parts(snapshot.graph().clone(), snapshot.index(), db.k())
     }
 
     fn from_parts<B: PathIndexBackend + ?Sized>(

@@ -65,7 +65,7 @@ fn main() {
     for d in prepared.disjuncts() {
         println!(
             "     {}",
-            pathix::rpq::ast::format_label_path(d, db.graph())
+            pathix::rpq::ast::format_label_path(d, &db.graph())
         );
     }
     println!();

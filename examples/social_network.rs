@@ -80,7 +80,8 @@ fn main() {
 
     println!("\nexample answers for \"colleagues of p0\":");
     let result = db.query("worksFor/worksFor-").unwrap();
-    let p0 = db.graph().node_id("p0").unwrap();
+    let graph = db.graph();
+    let p0 = graph.node_id("p0").unwrap();
     let colleagues = result.targets_of(p0);
     println!(
         "p0 has {} colleagues, e.g. {:?}",
@@ -88,7 +89,7 @@ fn main() {
         colleagues
             .iter()
             .take(8)
-            .filter_map(|&n| db.graph().node_name(n))
+            .filter_map(|&n| graph.node_name(n))
             .collect::<Vec<_>>()
     );
 }

@@ -24,7 +24,7 @@ use pathix::datagen::{
     advogato_like, paper_example_graph, social_network, AdvogatoConfig, SocialConfig,
 };
 use pathix::graph::load_edge_list;
-use pathix::{Graph, PathDb, PathDbConfig, QueryOptions, Strategy};
+use pathix::{Graph, GraphUpdate, PathDb, PathDbConfig, QueryOptions, Strategy};
 use std::io::{self, BufRead, Write};
 
 /// A parsed shell input line.
@@ -46,6 +46,11 @@ enum Command {
     Plans(String),
     /// Run a query under all strategies and the two baselines, with timings.
     Compare(String),
+    /// Insert a labeled edge (`\update src label dst`) through the live
+    /// update path.
+    Update(String),
+    /// Delete a labeled edge (`\delete-edge src label dst`).
+    DeleteEdge(String),
     /// Evaluate a regular path query under the current strategy.
     Query(String),
     /// Leave the shell.
@@ -85,6 +90,8 @@ fn parse_command(line: &str) -> Command {
         ("explain", q) if !q.is_empty() => Command::Explain(q.to_owned()),
         ("plans", q) if !q.is_empty() => Command::Plans(q.to_owned()),
         ("compare", q) if !q.is_empty() => Command::Compare(q.to_owned()),
+        ("update", e) if !e.is_empty() => Command::Update(e.to_owned()),
+        ("delete-edge", e) if !e.is_empty() => Command::DeleteEdge(e.to_owned()),
         _ => Command::Invalid(format!(
             "unknown or incomplete command `\\{rest}` — try \\help"
         )),
@@ -108,6 +115,8 @@ commands:
   \\explain <rpq>        show the physical plan under the current strategy
   \\plans <rpq>          show the plans of all four strategies
   \\compare <rpq>        time all strategies and the automaton/Datalog baselines
+  \\update <s> <l> <t>   insert the edge l(s, t) live (memory backend only)
+  \\delete-edge <s> <l> <t>  delete the edge l(s, t) live
   \\strategy <name>      set the strategy: naive | semi-naive | minSupport | minJoin
   \\k <n>                rebuild the index with locality parameter n
   \\limit <n>            print at most n answer pairs per query
@@ -152,7 +161,7 @@ impl Shell {
                 ),
             },
             Command::SetK(k) => {
-                let graph = self.db.graph().clone();
+                let graph = self.db.graph().as_ref().clone();
                 self.db = PathDb::build(graph, PathDbConfig::with_k(k));
                 format!("rebuilt index with k = {k}\n{}", self.stats())
             }
@@ -177,14 +186,64 @@ impl Shell {
                 out
             }
             Command::Compare(query) => self.compare(&query),
+            Command::Update(edge) => self.update(&edge, true),
+            Command::DeleteEdge(edge) => self.update(&edge, false),
             Command::Query(query) => self.query(&query),
+        }
+    }
+
+    /// Parses `src label dst` against the graph's vocabulary and applies the
+    /// edge insertion or deletion live.
+    fn update(&mut self, edge: &str, insert: bool) -> String {
+        let parts: Vec<&str> = edge.split_whitespace().collect();
+        let [src_name, label_name, dst_name] = parts[..] else {
+            return format!(
+                "usage: \\{} <source> <label> <target>",
+                if insert { "update" } else { "delete-edge" }
+            );
+        };
+        let graph = self.db.graph();
+        let Some(src) = graph.node_id(src_name) else {
+            return format!("unknown node `{src_name}` — live updates use existing nodes");
+        };
+        let Some(dst) = graph.node_id(dst_name) else {
+            return format!("unknown node `{dst_name}` — live updates use existing nodes");
+        };
+        let Some(label) = graph.label_id(label_name) else {
+            return format!(
+                "unknown label `{label_name}` — live updates use the existing vocabulary"
+            );
+        };
+        drop(graph);
+        let update = if insert {
+            GraphUpdate::InsertEdge { src, label, dst }
+        } else {
+            GraphUpdate::DeleteEdge { src, label, dst }
+        };
+        match self.db.apply(&[update]) {
+            Ok(stats) if stats.inserted + stats.deleted == 0 => format!(
+                "no-op: the edge {label_name}({src_name}, {dst_name}) was {}",
+                if insert { "already present" } else { "absent" }
+            ),
+            Ok(stats) => format!(
+                "{} {label_name}({src_name}, {dst_name}) — now at epoch {}, histogram {}",
+                if insert { "inserted" } else { "deleted" },
+                stats.epoch,
+                if stats.histogram_refreshed {
+                    "refreshed"
+                } else {
+                    "unchanged"
+                }
+            ),
+            Err(e) => format!("error: {e}"),
         }
     }
 
     fn stats(&self) -> String {
         let stats = self.db.stats();
+        let epoch = self.db.epoch();
         format!(
-            "graph     : {} nodes, {} edges, {} labels\n\
+            "graph     : {} nodes, {} edges, {} labels (epoch {epoch})\n\
              index     : {} backend, k = {}, {} entries over {} label paths, ~{} KiB\n\
              histogram : {} paths summarized in {} buckets\n\
              strategy  : {} (answers capped at {} printed pairs)",
@@ -439,9 +498,47 @@ mod tests {
             parse_command("knows/(knows|worksFor)*"),
             Command::Query("knows/(knows|worksFor)*".to_owned())
         );
+        assert_eq!(
+            parse_command("\\update kim knows sue"),
+            Command::Update("kim knows sue".to_owned())
+        );
+        assert_eq!(
+            parse_command("\\delete-edge kim supervisor liz"),
+            Command::DeleteEdge("kim supervisor liz".to_owned())
+        );
         assert!(matches!(parse_command("\\k zero"), Command::Invalid(_)));
         assert!(matches!(parse_command("\\bogus"), Command::Invalid(_)));
         assert!(matches!(parse_command("\\explain"), Command::Invalid(_)));
+        assert!(matches!(parse_command("\\update"), Command::Invalid(_)));
+    }
+
+    #[test]
+    fn live_updates_change_answers_in_the_shell() {
+        let mut shell = Shell::new(paper_example_graph(), 2);
+        let before = shell.run(Command::Query("supervisor/worksFor-".to_owned()));
+        assert!(before.contains("(kim, sue)"), "{before}");
+
+        let out = shell.run(Command::DeleteEdge("kim supervisor liz".to_owned()));
+        assert!(out.contains("deleted") && out.contains("epoch 1"), "{out}");
+        let after = shell.run(Command::Query("supervisor/worksFor-".to_owned()));
+        assert!(after.contains("0 pairs"), "{after}");
+
+        let out = shell.run(Command::Update("kim supervisor liz".to_owned()));
+        assert!(out.contains("inserted") && out.contains("epoch 2"), "{out}");
+        let restored = shell.run(Command::Query("supervisor/worksFor-".to_owned()));
+        assert!(restored.contains("(kim, sue)"), "{restored}");
+
+        // No-ops, bad names and bad arity are reported, not applied.
+        let out = shell.run(Command::Update("kim supervisor liz".to_owned()));
+        assert!(out.contains("no-op"), "{out}");
+        let out = shell.run(Command::Update("kim likes liz".to_owned()));
+        assert!(out.contains("unknown label"), "{out}");
+        let out = shell.run(Command::Update("kim supervisor nobody".to_owned()));
+        assert!(out.contains("unknown node"), "{out}");
+        let out = shell.run(Command::Update("kim supervisor".to_owned()));
+        assert!(out.contains("usage"), "{out}");
+        let stats = shell.run(Command::Stats);
+        assert!(stats.contains("epoch 2"), "{stats}");
     }
 
     #[test]

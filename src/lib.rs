@@ -82,9 +82,10 @@
 
 pub use pathix_core::{
     BackendChoice, BackendError, BackendStats, Cursor, DbStats, EstimationMode, ExecutionStats,
-    Graph, GraphBuilder, IndexBackend, IndexStats, LabelId, NodeId, PathDb, PathDbConfig,
-    PathIndexBackend, PhysicalPlan, PlanCacheStats, PreparedQuery, QueryError, QueryOptions,
-    QueryResult, Session, SignedLabel, Strategy,
+    Graph, GraphBuilder, GraphUpdate, HistogramRefresh, IndexBackend, IndexStats, LabelId,
+    MutablePathIndexBackend, NodeId, PathDb, PathDbConfig, PathIndexBackend, PhysicalPlan,
+    PlanCacheStats, PreparedQuery, QueryError, QueryOptions, QueryResult, Session, SignedLabel,
+    Snapshot, Strategy, UpdateStats,
 };
 
 /// The graph substrate crate.
