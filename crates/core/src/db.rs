@@ -1,5 +1,5 @@
 //! [`PathDb`]: graph + pluggable k-path index backend + histogram + query
-//! pipeline, with live edge updates on the memory backend.
+//! pipeline, with live edge updates on **every** backend.
 //!
 //! ## Concurrency model
 //!
@@ -12,6 +12,24 @@
 //! planned at and transparently replanned on mismatch, so neither the plan
 //! cache nor a long-lived [`PreparedQuery`] ever serves a plan optimized for
 //! statistics that no longer describe the data.
+//!
+//! ## Update path per backend
+//!
+//! The counting delta enumeration runs **once** per batch (in the shared
+//! [`IncrementalKPathIndex`]); what differs is how each backend absorbs the
+//! resulting key transitions:
+//!
+//! * **memory** — the counting index freezes into a fresh read-optimized
+//!   B+tree; snapshots are fully isolated (old epochs keep their tree);
+//! * **paged / on-disk** — the key deltas become B+tree inserts/deletes with
+//!   page splits, merges and free-list recycling, written back through the
+//!   buffer pool after every batch; snapshots share pages with the writer, so
+//!   the isolation unit is the published batch (see
+//!   [`PagedPathIndex::reader_view`]);
+//! * **compressed** — the key deltas land in per-path overlay side-tables
+//!   that scans merge on the fly, compacted into block rewrites past
+//!   [`PathDbConfig::compressed_compaction_threshold`]; snapshots are fully
+//!   isolated (blocks are shared immutably, overlays are copied).
 
 use crate::cache::{PlanCache, PlanCacheStats};
 use crate::error::QueryError;
@@ -21,8 +39,9 @@ use crate::result::QueryResult;
 use pathix_baselines::{evaluate_automaton, evaluate_datalog};
 use pathix_graph::{Graph, NodeId, SignedLabel};
 use pathix_index::{
-    BackendError, BackendResult, BackendScan, BackendStats, EstimationMode, GraphUpdate,
-    IncrementalKPathIndex, KPathIndex, MutablePathIndexBackend, PathHistogram, PathIndexBackend,
+    BackendError, BackendResult, BackendScan, BackendStats, DeltaBatch, EntryDeltas,
+    EstimationMode, GraphUpdate, IncrementalKPathIndex, KPathIndex, MutablePathIndexBackend,
+    PathHistogram, PathIndexBackend,
 };
 use pathix_pagestore::{CompressedPathStore, PagedPathIndex};
 use pathix_plan::{explain as explain_plan, plan_query, PhysicalPlan, PlannerContext, Strategy};
@@ -35,9 +54,9 @@ use std::sync::{Arc, Mutex, RwLock};
 ///
 /// All variants expose the identical [`PathIndexBackend`] contract, so the
 /// whole parse → bind → rewrite → plan → execute pipeline runs unchanged on
-/// each; they differ in where the index entries live. Only
-/// [`BackendChoice::Memory`] additionally supports live updates via
-/// [`PathDb::apply`]; the others are bulk-built and read-only.
+/// each; they differ in where the index entries live. Every variant supports
+/// live updates via [`PathDb::apply`] (see the module docs for how each
+/// absorbs them).
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub enum BackendChoice {
     /// The in-memory B+tree index (`pathix-index`): fastest, bounded by RAM.
@@ -211,6 +230,13 @@ pub struct PathDbConfig {
     pub plan_cache_capacity: usize,
     /// When [`PathDb::apply`] refreshes the histogram from the live index.
     pub histogram_refresh: HistogramRefresh,
+    /// Overlay size (membership overrides per path) at which the compressed
+    /// backend folds a path's delta overlay into a rewritten block. Smaller
+    /// values keep scans closer to pure block decodes at the price of more
+    /// frequent rewrites; larger values batch more updates per rewrite but
+    /// make every scan merge a bigger side-table. Clamped to ≥ 1; ignored by
+    /// the other backends.
+    pub compressed_compaction_threshold: usize,
 }
 
 impl Default for PathDbConfig {
@@ -224,6 +250,7 @@ impl Default for PathDbConfig {
             backend: BackendChoice::Memory,
             plan_cache_capacity: 256,
             histogram_refresh: HistogramRefresh::default(),
+            compressed_compaction_threshold: CompressedPathStore::DEFAULT_COMPACTION_THRESHOLD,
         }
     }
 }
@@ -367,12 +394,31 @@ impl Snapshot {
     }
 }
 
-/// Writer-side state: the counting index the delta rules maintain, built
-/// lazily on the first update, plus the histogram-refresh bookkeeping.
+/// The writer-side handle of a physical backend that absorbs key deltas in
+/// place: it owns the mutable paged tree / compressed store whose reader
+/// views the published snapshots hold.
+#[derive(Debug)]
+enum WriterBackend {
+    /// Mutable paged B+tree index (in-memory or on-disk page store).
+    Paged(PagedPathIndex),
+    /// Mutable compressed store (blocks + delta overlays).
+    Compressed(CompressedPathStore),
+}
+
+/// Writer-side state: the counting index the delta rules maintain (built
+/// lazily on the first update), the mutable physical backend for the
+/// paged/compressed choices, and the histogram-refresh bookkeeping.
 #[derive(Debug, Default)]
 struct LiveState {
     index: Option<IncrementalKPathIndex>,
     updates_since_refresh: u64,
+    /// `None` for the memory backend (which publishes by freezing the
+    /// counting index instead of mutating in place).
+    writer: Option<WriterBackend>,
+    /// Set when a delta batch failed midway on a disk-resident backend: the
+    /// tree may hold a partial batch, so later applies fail loudly until the
+    /// database is rebuilt. Reads keep serving the last published snapshot.
+    failed: Option<BackendError>,
 }
 
 /// An RPQ-queryable graph database backed by a localized k-path index.
@@ -382,11 +428,11 @@ struct LiveState {
 /// backend and surface backend I/O failures as
 /// [`QueryError::Backend`] instead of panicking.
 ///
-/// Databases built on the memory backend are **live**: [`PathDb::apply`]
+/// Every database is **live**, regardless of backend: [`PathDb::apply`]
 /// absorbs edge insertions and deletions through the counting delta rules of
-/// [`IncrementalKPathIndex`] and publishes a fresh [`Snapshot`]; concurrent
-/// readers keep streaming from the snapshot they opened
-/// (see [`crate::Cursor`]).
+/// [`IncrementalKPathIndex`], hands the resulting key deltas to the selected
+/// backend, and publishes a fresh [`Snapshot`]; concurrent readers keep
+/// streaming from the snapshot they opened (see [`crate::Cursor`]).
 #[derive(Debug)]
 pub struct PathDb {
     /// The currently published snapshot. Writers swap it; readers clone it.
@@ -414,18 +460,31 @@ impl PathDb {
     /// failure is reported as [`QueryError::Backend`].
     pub fn try_build(graph: Graph, config: PathDbConfig) -> Result<Self, QueryError> {
         let k = config.k;
-        let backend = match &config.backend {
-            BackendChoice::Memory => IndexBackend::Memory(KPathIndex::build(&graph, k)),
-            BackendChoice::PagedInMemory { pool_frames } => IndexBackend::Paged(
-                PagedPathIndex::build_in_memory(&graph, k, *pool_frames)
-                    .map_err(|e| BackendError::io("paged", &e))?,
-            ),
-            BackendChoice::OnDisk { path, pool_frames } => IndexBackend::Paged(
-                PagedPathIndex::build_on_disk(&graph, k, path, *pool_frames)
-                    .map_err(|e| BackendError::io("paged", &e))?,
-            ),
+        let (backend, writer) = match &config.backend {
+            BackendChoice::Memory => (IndexBackend::Memory(KPathIndex::build(&graph, k)), None),
+            BackendChoice::PagedInMemory { pool_frames } => {
+                let index = PagedPathIndex::build_in_memory(&graph, k, *pool_frames)
+                    .map_err(|e| BackendError::io("paged", &e))?;
+                (
+                    IndexBackend::Paged(index.reader_view()),
+                    Some(WriterBackend::Paged(index)),
+                )
+            }
+            BackendChoice::OnDisk { path, pool_frames } => {
+                let index = PagedPathIndex::build_on_disk(&graph, k, path, *pool_frames)
+                    .map_err(|e| BackendError::io("paged", &e))?;
+                (
+                    IndexBackend::Paged(index.reader_view()),
+                    Some(WriterBackend::Paged(index)),
+                )
+            }
             BackendChoice::Compressed => {
-                IndexBackend::Compressed(CompressedPathStore::build(&graph, k))
+                let store = CompressedPathStore::build(&graph, k)
+                    .with_compaction_threshold(config.compressed_compaction_threshold);
+                (
+                    IndexBackend::Compressed(store.reader_view()),
+                    Some(WriterBackend::Compressed(store)),
+                )
             }
         };
         let histogram = PathHistogram::build(
@@ -438,7 +497,10 @@ impl PathDb {
         let snapshot = Snapshot::new(Arc::new(graph), Arc::new(backend), Arc::new(histogram), 0);
         Ok(PathDb {
             state: RwLock::new(snapshot),
-            live: Mutex::new(LiveState::default()),
+            live: Mutex::new(LiveState {
+                writer,
+                ..LiveState::default()
+            }),
             config,
             plan_cache,
             pulled_total: Arc::new(AtomicU64::new(0)),
@@ -543,32 +605,40 @@ impl PathDb {
     }
 
     /// Applies a batch of edge insertions and deletions, returning what the
-    /// batch did.
+    /// batch did. Works identically on **every** backend.
     ///
     /// Updates route through the counting delta rules of
     /// [`IncrementalKPathIndex`] (built lazily from the current graph on the
     /// first call), keep the graph adjacency in sync, refresh the histogram
     /// under [`PathDbConfig::histogram_refresh`], and publish a new
-    /// [`Snapshot`] with a bumped epoch. Readers are never blocked: queries
-    /// and cursors opened before the batch keep answering from their own
-    /// snapshot, and plans cached at older epochs are transparently replanned
-    /// on next use.
+    /// [`Snapshot`] with a bumped epoch. The memory backend publishes a
+    /// frozen copy of the counting index; the paged and compressed backends
+    /// replay the batch's key deltas against their own storage (B+tree
+    /// inserts/deletes with page writeback, overlay entries with threshold
+    /// compaction) and publish a reader view. Readers are never blocked:
+    /// queries and cursors opened before the batch keep answering from their
+    /// own snapshot (on the paged backends, whose views share pages with the
+    /// writer, "their own snapshot" means the most recently published batch —
+    /// see [`PagedPathIndex::reader_view`]), and plans cached at older epochs
+    /// are transparently replanned on next use.
     ///
-    /// Only the memory backend supports updates; the paged and compressed
-    /// backends return [`QueryError::UpdatesUnsupported`] naming themselves.
     /// Updates must reference interned node and label ids
     /// ([`QueryError::InvalidUpdate`] otherwise); the whole batch is
-    /// validated before anything is applied.
+    /// validated before anything is applied. A batch that fails midway on a
+    /// disk-resident backend ([`QueryError::Backend`]) rejects all further
+    /// updates until the database is rebuilt; memory- and compressed-backend
+    /// reads are unaffected (their snapshots own their data), while paged
+    /// reads may observe the partially applied batch through the shared
+    /// pages — rebuild (or reopen the page file from its last writeback) to
+    /// recover.
     pub fn apply(&self, updates: &[GraphUpdate]) -> Result<UpdateStats, QueryError> {
         // Writers serialize on the live-state lock; the snapshot lock is only
         // taken (briefly) to read the current state and to publish the result.
         let mut live = self.live.lock().expect("live index lock poisoned");
-        let current = self.snapshot();
-        if !matches!(current.index(), IndexBackend::Memory(_)) {
-            return Err(QueryError::UpdatesUnsupported {
-                backend: current.index().backend_name(),
-            });
+        if let Some(e) = &live.failed {
+            return Err(QueryError::Backend(e.clone()));
         }
+        let current = self.snapshot();
         for update in updates {
             validate_update(current.graph(), update)?;
         }
@@ -578,20 +648,13 @@ impl PathDb {
             IncrementalKPathIndex::bulk_from_graph(current.graph(), self.config.k)
         });
 
+        let mut deltas = EntryDeltas::new();
         let mut graph: Option<Graph> = None;
         let mut inserted = 0u64;
         let mut deleted = 0u64;
         let mut no_ops = 0u64;
-        let mut failure = None;
         for &update in updates {
-            let changed = match live_index.apply_update(update) {
-                Ok(changed) => changed,
-                Err(e) => {
-                    failure = Some(e);
-                    break;
-                }
-            };
-            if !changed {
+            if !live_index.apply_logged(update, &mut deltas) {
                 no_ops += 1;
                 continue;
             }
@@ -606,14 +669,6 @@ impl PathDb {
                     deleted += 1;
                 }
             }
-        }
-        if let Some(e) = failure {
-            // The counting index may have absorbed a prefix of the batch
-            // that will never be published: discard it so the next apply()
-            // reseeds from the published graph. Failed batches apply nothing.
-            live_state.index = None;
-            live_state.updates_since_refresh = 0;
-            return Err(QueryError::Backend(e));
         }
         let Some(graph) = graph else {
             // The whole batch was a no-op: nothing changed, nothing to
@@ -643,10 +698,41 @@ impl PathDb {
         } else {
             current.histogram_arc()
         };
-        let backend = Arc::new(IndexBackend::Memory(live_index.freeze()));
+
+        // Publish. The counting enumeration ran once above; each backend now
+        // absorbs the same key transitions its own way.
+        let batch = DeltaBatch {
+            deltas: &deltas,
+            per_path_counts: live_index.per_path_counts(),
+            paths_k_size: live_index.paths_k_size(),
+            node_count: live_index.node_count(),
+            inserted_edges: inserted,
+            deleted_edges: deleted,
+        };
+        let published = match &mut live_state.writer {
+            None => Ok(IndexBackend::Memory(live_index.freeze())),
+            Some(WriterBackend::Paged(index)) => index
+                .apply_delta_batch(&batch)
+                .map(|()| IndexBackend::Paged(index.reader_view())),
+            Some(WriterBackend::Compressed(store)) => store
+                .apply_delta_batch(&batch)
+                .map(|()| IndexBackend::Compressed(store.reader_view())),
+        };
+        let backend = match published {
+            Ok(backend) => backend,
+            Err(e) => {
+                // The physical backend may hold a partial batch, and the
+                // counting index has absorbed updates that were never
+                // published: poison the writer so every later apply (and
+                // manual histogram refresh) fails loudly instead of
+                // publishing diverged state.
+                live_state.failed = Some(e.clone());
+                return Err(QueryError::Backend(e));
+            }
+        };
         let epoch = current.epoch() + 1;
         *self.state.write().expect("snapshot lock poisoned") =
-            Snapshot::new(Arc::new(graph), backend, histogram, epoch);
+            Snapshot::new(Arc::new(graph), Arc::new(backend), histogram, epoch);
         Ok(UpdateStats {
             inserted,
             deleted,
@@ -664,6 +750,12 @@ impl PathDb {
     pub fn refresh_histogram(&self) -> bool {
         let mut live = self.live.lock().expect("live index lock poisoned");
         let live_state = &mut *live;
+        if live_state.failed.is_some() {
+            // A failed delta batch left the counting index ahead of the
+            // published state; refreshing from it would publish statistics
+            // for updates that never landed.
+            return false;
+        }
         let Some(live_index) = &live_state.index else {
             return false;
         };
@@ -1150,23 +1242,77 @@ mod tests {
     }
 
     #[test]
-    fn read_only_backends_reject_updates_by_name() {
-        for (choice, name) in [
-            (BackendChoice::PagedInMemory { pool_frames: 8 }, "paged"),
-            (BackendChoice::Compressed, "compressed"),
-        ] {
-            let db = PathDb::try_build(
-                paper_example_graph(),
-                PathDbConfig::with_k(2).with_backend(choice),
-            )
-            .unwrap();
-            let u = update(&db, "insert", "tim", "knows", "zoe");
-            match db.apply(&[u]) {
-                Err(QueryError::UpdatesUnsupported { backend }) => assert_eq!(backend, name),
-                other => panic!("expected UpdatesUnsupported, got {other:?}"),
+    fn every_backend_absorbs_updates_and_matches_a_rebuild() {
+        let dir = TempDir::new("all-backends-apply");
+        let choices = vec![
+            BackendChoice::Memory,
+            BackendChoice::PagedInMemory { pool_frames: 8 },
+            BackendChoice::OnDisk {
+                path: dir.path("apply.pages"),
+                pool_frames: 8,
+            },
+            BackendChoice::Compressed,
+        ];
+        for choice in choices {
+            let config = PathDbConfig::with_k(2).with_backend(choice.clone());
+            let db = PathDb::try_build(paper_example_graph(), config).unwrap();
+            let stats = db
+                .apply(&[
+                    update(&db, "insert", "tim", "supervisor", "joe"),
+                    update(&db, "delete", "kim", "supervisor", "liz"),
+                ])
+                .unwrap();
+            assert_eq!(stats.inserted, 1, "backend {choice:?}");
+            assert_eq!(stats.deleted, 1, "backend {choice:?}");
+            assert_eq!(db.epoch(), 1, "backend {choice:?}");
+
+            let rebuilt = PathDb::build(db.graph().as_ref().clone(), PathDbConfig::with_k(2));
+            for query in ["supervisor/worksFor-", "knows/worksFor", "knows-/knows"] {
+                for strategy in Strategy::all() {
+                    let live = db
+                        .run(query, QueryOptions::with_strategy(strategy))
+                        .unwrap();
+                    let fresh = rebuilt
+                        .run(query, QueryOptions::with_strategy(strategy))
+                        .unwrap();
+                    assert_eq!(
+                        live.pairs(),
+                        fresh.pairs(),
+                        "backend {choice:?}, {strategy} on {query}"
+                    );
+                }
             }
-            assert_eq!(db.epoch(), 0, "a rejected batch must not bump the epoch");
+            assert_eq!(
+                db.stats().index.entries,
+                rebuilt.stats().index.entries,
+                "backend {choice:?}"
+            );
+            assert_eq!(
+                db.stats().index.paths_k_size,
+                rebuilt.stats().index.paths_k_size,
+                "backend {choice:?}"
+            );
         }
+    }
+
+    #[test]
+    fn compressed_compaction_threshold_is_plumbed_through_config() {
+        let config = PathDbConfig {
+            compressed_compaction_threshold: 1,
+            ..PathDbConfig::with_k(2).with_backend(BackendChoice::Compressed)
+        };
+        let db = PathDb::try_build(paper_example_graph(), config).unwrap();
+        db.apply(&[update(&db, "insert", "tim", "knows", "zoe")])
+            .unwrap();
+        let snapshot = db.snapshot();
+        let store = snapshot.index().as_compressed().unwrap();
+        let overlay = store.overlay_stats();
+        assert_eq!(overlay.compaction_threshold, 1);
+        assert_eq!(
+            overlay.overlay_entries, 0,
+            "threshold 1 must compact every touched path"
+        );
+        assert!(overlay.compactions > 0);
     }
 
     #[test]

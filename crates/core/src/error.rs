@@ -25,14 +25,6 @@ pub enum QueryError {
     /// label vocabulary, so running it elsewhere would silently answer the
     /// wrong question).
     DatabaseMismatch,
-    /// `PathDb::apply` was called on a database whose index backend cannot
-    /// absorb live updates (the paged and compressed backends are bulk-built
-    /// and read-only). Carries the offending backend's name.
-    UpdatesUnsupported {
-        /// The short name of the backend that rejected the update
-        /// (`"paged"`, `"compressed"`).
-        backend: &'static str,
-    },
     /// A graph update referenced a node or label id outside the database's
     /// interned vocabulary. Live updates mutate the edge set over a fixed
     /// vocabulary; growing it requires a rebuild.
@@ -50,11 +42,6 @@ impl fmt::Display for QueryError {
                 f,
                 "prepared query executed against a database other than the one that prepared it"
             ),
-            QueryError::UpdatesUnsupported { backend } => write!(
-                f,
-                "the {backend} index backend is bulk-built and read-only; live updates are only \
-                 supported on the memory backend"
-            ),
             QueryError::InvalidUpdate(message) => write!(f, "invalid graph update: {message}"),
         }
     }
@@ -68,7 +55,6 @@ impl std::error::Error for QueryError {
             QueryError::Rewrite(e) => Some(e),
             QueryError::Backend(e) => Some(e),
             QueryError::DatabaseMismatch => None,
-            QueryError::UpdatesUnsupported { .. } => None,
             QueryError::InvalidUpdate(_) => None,
         }
     }
@@ -118,9 +104,6 @@ mod tests {
         let k: QueryError = BackendError::new("paged", "page torn").into();
         assert!(k.to_string().contains("page torn"));
         assert!(std::error::Error::source(&k).is_some());
-        let u = QueryError::UpdatesUnsupported { backend: "paged" };
-        assert!(u.to_string().contains("paged"));
-        assert!(std::error::Error::source(&u).is_none());
         let i = QueryError::InvalidUpdate("node id 99 was never interned".into());
         assert!(i.to_string().contains("99"));
         assert!(std::error::Error::source(&i).is_none());

@@ -62,8 +62,8 @@ pub use session::Session;
 // sub-crate as a direct dependency.
 pub use pathix_graph::{Graph, GraphBuilder, LabelId, NodeId, SignedLabel};
 pub use pathix_index::{
-    BackendError, BackendStats, EstimationMode, GraphUpdate, IndexStats, MutablePathIndexBackend,
-    PathIndexBackend,
+    BackendError, BackendStats, DeltaBatch, EntryChange, EntryDeltas, EstimationMode, GraphUpdate,
+    IndexStats, MutablePathIndexBackend, PathIndexBackend,
 };
 pub use pathix_plan::{ExecutionStats, PhysicalPlan, Strategy};
 pub use pathix_rpq::{ParseError, RewriteOptions};

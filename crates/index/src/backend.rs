@@ -135,21 +135,101 @@ pub trait PathIndexBackend {
     fn stats(&self) -> BackendStats;
 }
 
-/// The optional mutable extension of [`PathIndexBackend`]: a backend that can
-/// absorb live edge insertions and deletions while staying consistent with a
+/// Whether a `⟨p, a, b⟩` entry appeared or disappeared under an update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntryChange {
+    /// The entry's walk count went from 0 to positive: the key now exists.
+    Added,
+    /// The entry's walk count reached 0: the key must be removed.
+    Removed,
+}
+
+/// The key-level effect of a sequence of graph updates: which index entries
+/// appeared and disappeared, in the order the transitions happened.
+///
+/// The counting delta rules of [`crate::IncrementalKPathIndex`] produce this
+/// log (via [`crate::IncrementalKPathIndex::apply_logged`]) **once** per
+/// batch; every storage backend then replays the same log against its own
+/// representation — B+tree key inserts/deletes for the paged index, overlay
+/// entries for the compressed store. Ordering matters: a key can be added and
+/// later removed within one batch, and replaying out of order would leave it
+/// behind.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EntryDeltas {
+    ops: Vec<(Vec<u8>, EntryChange)>,
+}
+
+impl EntryDeltas {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one key transition.
+    pub fn record(&mut self, key: &[u8], change: EntryChange) {
+        self.ops.push((key.to_vec(), change));
+    }
+
+    /// The recorded transitions, oldest first.
+    pub fn ops(&self) -> &[(Vec<u8>, EntryChange)] {
+        &self.ops
+    }
+
+    /// Number of recorded transitions.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// `true` when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Forgets all recorded transitions (keeps the allocation).
+    pub fn clear(&mut self) {
+        self.ops.clear();
+    }
+}
+
+/// Everything a storage backend needs to absorb one effective update batch:
+/// the ordered key transitions plus the fresh structural statistics computed
+/// by the counting index that produced them.
+#[derive(Debug, Clone, Copy)]
+pub struct DeltaBatch<'a> {
+    /// Ordered `⟨p, a, b⟩` key transitions of the batch.
+    pub deltas: &'a EntryDeltas,
+    /// Exact per-path distinct-pair cardinalities after the batch, sorted by
+    /// `(length, path)`.
+    pub per_path_counts: &'a [(Vec<SignedLabel>, u64)],
+    /// `|paths_k(G)|` after the batch.
+    pub paths_k_size: u64,
+    /// Node count of the maintained graph after the batch.
+    pub node_count: usize,
+    /// Edges effectively inserted by the batch (no-ops excluded).
+    pub inserted_edges: u64,
+    /// Edges effectively deleted by the batch (no-ops excluded).
+    pub deleted_edges: u64,
+}
+
+/// The mutable extension of [`PathIndexBackend`]: a backend that can absorb
+/// the key-level effects of live edge updates while staying consistent with a
 /// full rebuild over the updated graph.
 ///
-/// Only the in-memory counting index
-/// ([`crate::IncrementalKPathIndex`]) implements this today; the paged and
-/// compressed backends are bulk-built and read-only, which is why
-/// `PathDb::apply` reports them as unsupported rather than silently
-/// rebuilding.
+/// The counting delta enumeration happens once, backend-agnostically, in
+/// [`crate::IncrementalKPathIndex::apply_logged`]; implementors only replay
+/// the resulting [`DeltaBatch`] against their own storage. All three physical
+/// representations implement this: the in-memory B+tree (via the counting
+/// index itself), the paged B+tree (key inserts/deletes with page splits and
+/// merges) and the compressed store (a delta overlay compacted into block
+/// rewrites).
 pub trait MutablePathIndexBackend: PathIndexBackend {
-    /// Applies one edge update, returning `Ok(true)` if the maintained graph
-    /// changed (duplicate insertions and absent deletions are no-ops).
-    fn apply_update(&mut self, update: crate::incremental::GraphUpdate) -> BackendResult<bool>;
+    /// Replays one batch of key transitions and adopts the batch's fresh
+    /// statistics. Returns an error (leaving the backend in need of a
+    /// rebuild) only when the underlying storage fails, e.g. I/O trouble on
+    /// a disk-resident tree.
+    fn apply_delta_batch(&mut self, batch: &DeltaBatch<'_>) -> BackendResult<()>;
 
-    /// Number of effective `(insertions, deletions)` applied so far.
+    /// Number of effective `(insertions, deletions)` absorbed so far.
     fn updates_applied(&self) -> (u64, u64);
 }
 
@@ -227,6 +307,26 @@ mod tests {
         let io = std::io::Error::other("disk gone");
         let e2 = BackendError::io("paged", &io);
         assert!(e2.message().contains("disk gone"));
+    }
+
+    #[test]
+    fn entry_deltas_record_in_order() {
+        let mut log = EntryDeltas::new();
+        assert!(log.is_empty());
+        log.record(b"k1", EntryChange::Added);
+        log.record(b"k1", EntryChange::Removed);
+        log.record(b"k2", EntryChange::Added);
+        assert_eq!(log.len(), 3);
+        assert_eq!(
+            log.ops(),
+            &[
+                (b"k1".to_vec(), EntryChange::Added),
+                (b"k1".to_vec(), EntryChange::Removed),
+                (b"k2".to_vec(), EntryChange::Added),
+            ]
+        );
+        log.clear();
+        assert!(log.is_empty());
     }
 
     #[test]

@@ -27,7 +27,7 @@
 //! optimizer needs.
 
 use crate::backend::{
-    check_scan_path, BackendResult, BackendScan, BackendStats, MutablePathIndexBackend,
+    check_scan_path, BackendResult, BackendScan, BackendStats, EntryChange, EntryDeltas,
     PathIndexBackend,
 };
 use crate::pathkey::{decode_pair, encode_entry, encode_path_prefix, encode_path_source_prefix};
@@ -357,9 +357,30 @@ impl IncrementalKPathIndex {
 
     /// Applies a single update, returning `true` if it changed the graph.
     pub fn apply(&mut self, update: GraphUpdate) -> bool {
+        self.apply_inner(update, None)
+    }
+
+    /// Applies a single update like [`IncrementalKPathIndex::apply`], but
+    /// additionally records every key-level transition (entry appeared /
+    /// entry disappeared) in `log`.
+    ///
+    /// This is the bridge that makes the other storage backends mutable: the
+    /// counting delta enumeration runs once here, and the resulting
+    /// [`EntryDeltas`] are replayed verbatim against the paged B+tree and the
+    /// compressed overlay (see
+    /// [`MutablePathIndexBackend`](crate::MutablePathIndexBackend)).
+    pub fn apply_logged(&mut self, update: GraphUpdate, log: &mut EntryDeltas) -> bool {
+        self.apply_inner(update, Some(log))
+    }
+
+    fn apply_inner(&mut self, update: GraphUpdate, log: Option<&mut EntryDeltas>) -> bool {
         match update {
-            GraphUpdate::InsertEdge { src, label, dst } => self.insert_edge(src, label, dst),
-            GraphUpdate::DeleteEdge { src, label, dst } => self.delete_edge(src, label, dst),
+            GraphUpdate::InsertEdge { src, label, dst } => {
+                self.insert_edge_inner(src, label, dst, log)
+            }
+            GraphUpdate::DeleteEdge { src, label, dst } => {
+                self.delete_edge_inner(src, label, dst, log)
+            }
         }
     }
 
@@ -367,6 +388,16 @@ impl IncrementalKPathIndex {
     /// entry. Returns `false` (and changes nothing) if the edge was already
     /// present.
     pub fn insert_edge(&mut self, src: NodeId, label: LabelId, dst: NodeId) -> bool {
+        self.insert_edge_inner(src, label, dst, None)
+    }
+
+    fn insert_edge_inner(
+        &mut self,
+        src: NodeId,
+        label: LabelId,
+        dst: NodeId,
+        mut log: Option<&mut EntryDeltas>,
+    ) -> bool {
         if !self.adj.insert(src, label, dst) {
             return false;
         }
@@ -375,7 +406,7 @@ impl IncrementalKPathIndex {
         // suffixes on the new graph: Δ(R₁⋯Rₙ) = Σᵢ R₁ᵒ⋯Rᵢ₋₁ᵒ · Δe · Rᵢ₊₁ⁿ⋯Rₙⁿ.
         let delta = self.edge_delta(src, label, dst);
         for (key, count) in delta {
-            self.add_to_entry(&key, count);
+            self.add_to_entry(&key, count, log.as_deref_mut());
         }
         self.inserts_applied += 1;
         true
@@ -384,6 +415,16 @@ impl IncrementalKPathIndex {
     /// Deletes the edge `src --label--> dst`, updating every affected index
     /// entry. Returns `false` (and changes nothing) if the edge was absent.
     pub fn delete_edge(&mut self, src: NodeId, label: LabelId, dst: NodeId) -> bool {
+        self.delete_edge_inner(src, label, dst, None)
+    }
+
+    fn delete_edge_inner(
+        &mut self,
+        src: NodeId,
+        label: LabelId,
+        dst: NodeId,
+        mut log: Option<&mut EntryDeltas>,
+    ) -> bool {
         if !self.adj.contains(src, label, dst) {
             return false;
         }
@@ -393,7 +434,7 @@ impl IncrementalKPathIndex {
         // removed from the adjacency.
         let delta = self.edge_delta(src, label, dst);
         for (key, count) in delta {
-            self.subtract_from_entry(&key, count);
+            self.subtract_from_entry(&key, count, log.as_deref_mut());
         }
         self.adj.remove(src, label, dst);
         self.deletes_applied += 1;
@@ -514,7 +555,7 @@ impl IncrementalKPathIndex {
             .collect()
     }
 
-    fn add_to_entry(&mut self, key: &[u8], delta: u64) {
+    fn add_to_entry(&mut self, key: &[u8], delta: u64, log: Option<&mut EntryDeltas>) {
         debug_assert!(delta > 0);
         let existing = self.tree.get(key).map(decode_count);
         match existing {
@@ -522,6 +563,9 @@ impl IncrementalKPathIndex {
                 self.tree.insert(key.to_vec(), encode_count(count + delta));
             }
             None => {
+                if let Some(log) = log {
+                    log.record(key, EntryChange::Added);
+                }
                 self.tree.insert(key.to_vec(), encode_count(delta));
                 let (path, a, b) =
                     crate::pathkey::decode_entry(key).expect("index keys are well-formed");
@@ -538,7 +582,7 @@ impl IncrementalKPathIndex {
         }
     }
 
-    fn subtract_from_entry(&mut self, key: &[u8], delta: u64) {
+    fn subtract_from_entry(&mut self, key: &[u8], delta: u64, log: Option<&mut EntryDeltas>) {
         let count = self
             .tree
             .get(key)
@@ -548,6 +592,9 @@ impl IncrementalKPathIndex {
         if count > delta {
             self.tree.insert(key.to_vec(), encode_count(count - delta));
         } else {
+            if let Some(log) = log {
+                log.record(key, EntryChange::Removed);
+            }
             self.tree.delete(key);
             let (path, a, b) =
                 crate::pathkey::decode_entry(key).expect("index keys are well-formed");
@@ -702,16 +749,6 @@ impl PathIndexBackend for IncrementalKPathIndex {
             paths_k_size: IncrementalKPathIndex::paths_k_size(self),
             approx_bytes: tree_stats.approx_key_bytes as u64,
         }
-    }
-}
-
-impl MutablePathIndexBackend for IncrementalKPathIndex {
-    fn apply_update(&mut self, update: GraphUpdate) -> BackendResult<bool> {
-        Ok(IncrementalKPathIndex::apply(self, update))
-    }
-
-    fn updates_applied(&self) -> (u64, u64) {
-        IncrementalKPathIndex::updates_applied(self)
     }
 }
 
@@ -1089,21 +1126,99 @@ mod tests {
         assert!(backend.scan_path(&[knows, knows, knows]).is_err());
         let stats = backend.stats();
         assert_eq!(stats.entries as usize, index.entry_count());
+    }
 
-        // The mutable extension drives the same delta rules.
-        let mut live = index.clone();
-        let mutable: &mut dyn MutablePathIndexBackend = &mut live;
-        let tim = g.node_id("tim").unwrap();
-        let sue = g.node_id("sue").unwrap();
-        let knows_id = g.label_id("knows").unwrap();
-        assert!(mutable
-            .apply_update(GraphUpdate::InsertEdge {
-                src: sue,
-                label: knows_id,
-                dst: tim,
-            })
-            .unwrap());
-        assert_eq!(MutablePathIndexBackend::updates_applied(&live), (1, 0));
+    #[test]
+    fn apply_logged_records_key_transitions() {
+        let knows = LabelId(0);
+        let mut index = IncrementalKPathIndex::new(2);
+        let mut log = EntryDeltas::new();
+
+        // A fresh edge creates entries: every logged op is an Added key that
+        // the index now contains.
+        assert!(index.apply_logged(
+            GraphUpdate::InsertEdge {
+                src: NodeId(0),
+                label: knows,
+                dst: NodeId(1),
+            },
+            &mut log,
+        ));
+        assert_eq!(log.len(), index.entry_count());
+        for (key, change) in log.ops() {
+            assert_eq!(*change, EntryChange::Added);
+            let (path, a, b) = crate::pathkey::decode_entry(key).unwrap();
+            assert!(index.contains(&path, a, b));
+        }
+
+        // Deleting the edge reverses every transition; replaying the log in
+        // order over a set reproduces the index's key set at each point.
+        log.clear();
+        assert!(index.apply_logged(
+            GraphUpdate::DeleteEdge {
+                src: NodeId(0),
+                label: knows,
+                dst: NodeId(1),
+            },
+            &mut log,
+        ));
+        assert!(log.ops().iter().all(|(_, c)| *c == EntryChange::Removed));
+        assert_eq!(index.entry_count(), 0);
+
+        // A no-op update logs nothing.
+        log.clear();
+        assert!(!index.apply_logged(
+            GraphUpdate::DeleteEdge {
+                src: NodeId(0),
+                label: knows,
+                dst: NodeId(1),
+            },
+            &mut log,
+        ));
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn replaying_the_log_reproduces_the_key_set() {
+        use std::collections::BTreeSet;
+        let g = paper_example_graph();
+        let mut index = IncrementalKPathIndex::bulk_from_graph(&g, 2);
+        let mut shadow: BTreeSet<Vec<u8>> = index.tree.iter().map(|(k, _)| k.to_vec()).collect();
+
+        let mut rng_edges: Vec<Edge> = g
+            .labels()
+            .flat_map(|l| g.edges(l).iter().map(move |&(s, d)| (s, l, d)))
+            .collect();
+        rng_edges.truncate(6);
+        let mut log = EntryDeltas::new();
+        for &(s, l, d) in &rng_edges {
+            index.apply_logged(
+                GraphUpdate::DeleteEdge {
+                    src: s,
+                    label: l,
+                    dst: d,
+                },
+                &mut log,
+            );
+        }
+        for &(s, l, d) in &rng_edges {
+            index.apply_logged(
+                GraphUpdate::InsertEdge {
+                    src: s,
+                    label: l,
+                    dst: d,
+                },
+                &mut log,
+            );
+        }
+        for (key, change) in log.ops() {
+            match change {
+                EntryChange::Added => assert!(shadow.insert(key.clone()), "double add"),
+                EntryChange::Removed => assert!(shadow.remove(key), "remove of absent key"),
+            }
+        }
+        let live: BTreeSet<Vec<u8>> = index.tree.iter().map(|(k, _)| k.to_vec()).collect();
+        assert_eq!(shadow, live, "log replay diverged from the index");
     }
 
     #[test]

@@ -38,8 +38,8 @@ pub mod parallel;
 pub mod pathkey;
 
 pub use backend::{
-    BackendError, BackendResult, BackendScan, BackendStats, MutablePathIndexBackend,
-    PathIndexBackend,
+    BackendError, BackendResult, BackendScan, BackendStats, DeltaBatch, EntryChange, EntryDeltas,
+    MutablePathIndexBackend, PathIndexBackend,
 };
 pub use enumerate::{enumerate_paths, naive_path_eval, paths_k_cardinality, PathRelation};
 pub use estimate::CardinalityEstimator;

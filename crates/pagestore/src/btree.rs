@@ -20,8 +20,11 @@
 //!
 //! Structural changes rewrite whole nodes (read cells → modify → compact
 //! rewrite), which keeps the split logic simple and pages always compacted.
-//! Deletion is lazy (no merging), mirroring the in-memory tree: the k-path
-//! index workload is bulk-load-then-read.
+//! Inserts split overflowing leaves and internal nodes top-down; deletes
+//! merge or rebalance underflowing nodes bottom-up (freed pages go onto a
+//! free list threaded through the meta page and are reused by later splits),
+//! so a live, update-heavy index neither leaks pages nor degrades into
+//! half-empty chains.
 
 use crate::buffer::BufferPool;
 use crate::page::{get_u32, get_u64, put_u32, put_u64, PageId, PAGE_SIZE};
@@ -40,10 +43,15 @@ const META_OFF_MAGIC: usize = 12;
 const META_OFF_ROOT: usize = 16;
 const META_OFF_HEIGHT: usize = 20;
 const META_OFF_COUNT: usize = 24;
+const META_OFF_FREE: usize = 32;
 
 /// Largest key + value payload accepted by [`PagedBTree::insert`]; guarantees
 /// that any page can hold at least four cells, so splits always succeed.
 pub const MAX_ENTRY_SIZE: usize = (PAGE_SIZE - slotted::HEADER_SIZE) / 4 - slotted::SLOT_SIZE - 4;
+
+/// A node whose occupied bytes fall below this threshold after a deletion is
+/// merged with (or borrows from) an adjacent sibling.
+pub const MIN_FILL: usize = PAGE_SIZE / 4;
 
 /// Fill factor used by [`PagedBTree::bulk_load`]: leaves are filled to this
 /// fraction of their capacity so that later inserts do not immediately split.
@@ -69,6 +77,10 @@ pub struct PagedBTree {
     root: PageId,
     height: u32,
     entries: u64,
+    /// Head of the free-page list (pages released by node merges), threaded
+    /// through the freed pages' `next` pointers. Reused before the backing
+    /// store is extended.
+    free_head: PageId,
 }
 
 impl PagedBTree {
@@ -83,6 +95,7 @@ impl PagedBTree {
             root,
             height: 1,
             entries: 0,
+            free_head: PageId::INVALID,
         };
         tree.write_meta()?;
         Ok(tree)
@@ -90,12 +103,13 @@ impl PagedBTree {
 
     /// Opens a tree previously persisted in `pool`'s backing store.
     pub fn open(pool: BufferPool) -> io::Result<Self> {
-        let (magic, root, height, entries) = pool.with_page(PageId(0), |p| {
+        let (magic, root, height, entries, free_head) = pool.with_page(PageId(0), |p| {
             (
                 get_u32(p, META_OFF_MAGIC),
                 get_u32(p, META_OFF_ROOT),
                 get_u32(p, META_OFF_HEIGHT),
                 get_u64(p, META_OFF_COUNT),
+                get_u32(p, META_OFF_FREE),
             )
         })?;
         if magic != META_MAGIC {
@@ -109,20 +123,77 @@ impl PagedBTree {
             root: PageId(root),
             height,
             entries,
+            free_head: PageId(free_head),
         })
+    }
+
+    /// A handle over the same tree sharing the buffer pool (and thus the
+    /// backing store), with the tree metadata (root, height, entry count)
+    /// copied at call time.
+    ///
+    /// The share is intended for **reading** while the original handle keeps
+    /// mutating: page contents are shared, so a share taken after a batch of
+    /// updates observes them, while the structural metadata stays pinned.
+    /// Holding a share across *later* mutations reads the pages as they then
+    /// are — see `PagedPathIndex::reader_view` in this crate for the
+    /// snapshot contract built on top.
+    pub fn share(&self) -> PagedBTree {
+        PagedBTree {
+            pool: self.pool.clone(),
+            root: self.root,
+            height: self.height,
+            entries: self.entries,
+            free_head: self.free_head,
+        }
     }
 
     fn write_meta(&mut self) -> io::Result<()> {
         let root = self.root;
         let height = self.height;
         let entries = self.entries;
+        let free_head = self.free_head;
         self.pool.with_page_mut(PageId(0), |p| {
             slotted::init(p, slotted::KIND_META);
             put_u32(p, META_OFF_MAGIC, META_MAGIC);
             put_u32(p, META_OFF_ROOT, root.0);
             put_u32(p, META_OFF_HEIGHT, height);
             put_u64(p, META_OFF_COUNT, entries);
+            put_u32(p, META_OFF_FREE, free_head.0);
         })
+    }
+
+    /// Reuses a page from the free list, extending the store only when the
+    /// list is empty.
+    fn alloc_page(&mut self) -> io::Result<PageId> {
+        if !self.free_head.is_valid() {
+            return self.pool.allocate_page();
+        }
+        let pid = self.free_head;
+        let next = self.pool.with_page(pid, slotted::next)?;
+        self.free_head = PageId(next);
+        Ok(pid)
+    }
+
+    /// Pushes `pid` onto the free list (marking it [`slotted::KIND_FREE`]).
+    fn free_page(&mut self, pid: PageId) -> io::Result<()> {
+        let head = self.free_head;
+        self.pool.with_page_mut(pid, |p| {
+            slotted::init(p, slotted::KIND_FREE);
+            slotted::set_next(p, head.0);
+        })?;
+        self.free_head = pid;
+        Ok(())
+    }
+
+    /// Number of pages currently parked on the free list.
+    pub fn free_page_count(&self) -> io::Result<u32> {
+        let mut count = 0;
+        let mut cursor = self.free_head;
+        while cursor.is_valid() {
+            cursor = PageId(self.pool.with_page(cursor, slotted::next)?);
+            count += 1;
+        }
+        Ok(count)
     }
 
     /// The buffer pool backing this tree.
@@ -329,7 +400,7 @@ impl PagedBTree {
             // next pointer and the separator is its first key.
             let mid = entries.len() / 2;
             let right_entries = entries.split_off(mid);
-            let right_pid = self.pool.allocate_page()?;
+            let right_pid = self.alloc_page()?;
             let separator = right_entries[0].0.clone();
             self.write_leaf(right_pid, &right_entries, next)?;
             self.write_leaf(leaf, &entries, right_pid)?;
@@ -358,7 +429,7 @@ impl PagedBTree {
         loop {
             let Some(parent) = path.pop() else {
                 // The root itself split: grow the tree by one level.
-                let new_root = self.pool.allocate_page()?;
+                let new_root = self.alloc_page()?;
                 self.write_internal(new_root, &[(separator, right)], left)?;
                 self.root = new_root;
                 self.height += 1;
@@ -378,7 +449,7 @@ impl PagedBTree {
             let mid = cells.len() / 2;
             let mut right_cells = cells.split_off(mid);
             let (promoted, right_leftmost) = right_cells.remove(0);
-            let right_pid = self.pool.allocate_page()?;
+            let right_pid = self.alloc_page()?;
             self.write_internal(right_pid, &right_cells, right_leftmost)?;
             self.write_internal(parent, &cells, leftmost)?;
             left = parent;
@@ -389,22 +460,167 @@ impl PagedBTree {
 
     /// Removes `key`, returning its value if it was present.
     ///
-    /// Deletion is lazy: leaves are never merged, so heavily deleted trees
-    /// keep their page count until rebuilt (acceptable for the read-mostly
-    /// k-path index workload; documented trade-off).
+    /// A leaf that falls below [`MIN_FILL`] occupied bytes is merged with an
+    /// adjacent sibling when both fit in one page (the freed page goes onto
+    /// the free list), or rebalanced by redistributing entries otherwise.
+    /// Merges cascade: an internal node that loses its last separators is
+    /// merged in turn, and an internal root left with a single child is
+    /// collapsed, shrinking the tree by one level.
     pub fn delete(&mut self, key: &[u8]) -> io::Result<Option<Vec<u8>>> {
-        let (leaf, _) = self.descend(key)?;
+        let (leaf, path) = self.descend(key)?;
         let (mut entries, next) = self.read_leaf(leaf)?;
         match entries.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
             Ok(i) => {
                 let (_, value) = entries.remove(i);
                 self.write_leaf(leaf, &entries, next)?;
                 self.entries -= 1;
+                let size =
+                    slotted::required_size(entries.iter().map(|(k, v)| 4 + k.len() + v.len()));
+                if size < MIN_FILL && self.height > 1 {
+                    self.rebalance(path, leaf)?;
+                }
                 self.write_meta()?;
                 Ok(Some(value))
             }
             Err(_) => Ok(None),
         }
+    }
+
+    /// Restores the fill invariant after a deletion left `node` (initially a
+    /// leaf) below [`MIN_FILL`]. The node is paired with an adjacent sibling
+    /// under the same parent: if their contents fit in one page they are
+    /// merged (right into left, right page freed, parent separator dropped —
+    /// which can underflow the parent and cascade upward); otherwise the
+    /// contents are redistributed evenly and the parent separator updated.
+    fn rebalance(&mut self, mut path: Vec<PageId>, mut node: PageId) -> io::Result<()> {
+        // 1 = `node` is a leaf; grows as merges cascade toward the root.
+        let mut level = 1u32;
+        loop {
+            let Some(parent) = path.pop() else {
+                // `node` is the root. A root leaf may hold any number of
+                // entries; an internal root without separators has exactly
+                // one child left — collapse one level.
+                if level > 1 {
+                    let (cells, leftmost) = self.read_internal(node)?;
+                    if cells.is_empty() {
+                        self.free_page(node)?;
+                        self.root = leftmost;
+                        self.height -= 1;
+                    }
+                }
+                return Ok(());
+            };
+            let (mut pcells, pleftmost) = self.read_internal(parent)?;
+            let children: Vec<PageId> = std::iter::once(pleftmost)
+                .chain(pcells.iter().map(|&(_, c)| c))
+                .collect();
+            let idx = children
+                .iter()
+                .position(|&c| c == node)
+                .expect("underflowed node must be a child of its parent");
+            // Pair with the left neighbour (right neighbour for the leftmost
+            // child); parent cell `sep_idx` separates the pair.
+            let sep_idx = idx.saturating_sub(1);
+            let left = children[sep_idx];
+            let right = children[sep_idx + 1];
+
+            let separator = if level == 1 {
+                self.merge_or_split_leaves(left, right)?
+            } else {
+                let sep = pcells[sep_idx].0.clone();
+                self.merge_or_split_internals(left, right, sep)?
+            };
+            match separator {
+                None => {
+                    // Merged: the right page is gone, its separator with it.
+                    pcells.remove(sep_idx);
+                    self.write_internal(parent, &pcells, pleftmost)?;
+                    let psize = slotted::required_size(pcells.iter().map(|(k, _)| 6 + k.len()));
+                    if psize >= MIN_FILL {
+                        return Ok(());
+                    }
+                    node = parent;
+                    level += 1;
+                }
+                Some(separator) => {
+                    // Redistributed: only the separator between the two
+                    // siblings changes. A longer separator can overflow a
+                    // full parent — re-route through the splitting insert
+                    // path in that (rare) case.
+                    pcells[sep_idx].0 = separator;
+                    let psize = slotted::required_size(pcells.iter().map(|(k, _)| 6 + k.len()));
+                    if psize <= PAGE_SIZE {
+                        self.write_internal(parent, &pcells, pleftmost)?;
+                    } else {
+                        let (separator, child) = pcells.remove(sep_idx);
+                        self.write_internal(parent, &pcells, pleftmost)?;
+                        path.push(parent);
+                        self.insert_into_parent(path, node, separator, child)?;
+                    }
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    /// Merges leaf `right` into `left` when their contents fit in one page
+    /// (freeing `right` and returning `None`), or redistributes the entries
+    /// evenly by size and returns the new separator (`right`'s first key).
+    fn merge_or_split_leaves(
+        &mut self,
+        left: PageId,
+        right: PageId,
+    ) -> io::Result<Option<Vec<u8>>> {
+        let (mut entries, lnext) = self.read_leaf(left)?;
+        debug_assert_eq!(lnext, right, "siblings must be chained");
+        let (right_entries, rnext) = self.read_leaf(right)?;
+        entries.extend(right_entries);
+        let cell = |(k, v): &LeafEntry| 4 + k.len() + v.len() + slotted::SLOT_SIZE;
+        let total = slotted::required_size(entries.iter().map(|e| cell(e) - slotted::SLOT_SIZE));
+        if total <= PAGE_SIZE {
+            self.write_leaf(left, &entries, rnext)?;
+            self.free_page(right)?;
+            return Ok(None);
+        }
+        let mid = balanced_split(&entries, cell);
+        let right_entries = entries.split_off(mid);
+        let separator = right_entries[0].0.clone();
+        self.write_leaf(left, &entries, right)?;
+        self.write_leaf(right, &right_entries, rnext)?;
+        Ok(Some(separator))
+    }
+
+    /// Merges internal node `right` into `left` (pulling the parent
+    /// separator down as the cell routing to `right`'s leftmost child) when
+    /// everything fits in one page, or redistributes the cells evenly and
+    /// returns the promoted separator.
+    fn merge_or_split_internals(
+        &mut self,
+        left: PageId,
+        right: PageId,
+        separator: Vec<u8>,
+    ) -> io::Result<Option<Vec<u8>>> {
+        let (mut cells, lleft) = self.read_internal(left)?;
+        let (right_cells, rleft) = self.read_internal(right)?;
+        cells.push((separator, rleft));
+        cells.extend(right_cells);
+        let cell = |(k, _): &InternalCell| 6 + k.len() + slotted::SLOT_SIZE;
+        let total = slotted::required_size(cells.iter().map(|c| cell(c) - slotted::SLOT_SIZE));
+        if total <= PAGE_SIZE {
+            self.write_internal(left, &cells, lleft)?;
+            self.free_page(right)?;
+            return Ok(None);
+        }
+        // Both sides must keep at least one cell; cells are bounded by
+        // MAX_ENTRY_SIZE (≈ a quarter page), so an overflowing combination
+        // always has enough of them.
+        debug_assert!(cells.len() >= 3, "overflowing internal pair too small");
+        let mid = balanced_split(&cells, cell).min(cells.len() - 2);
+        let mut right_cells = cells.split_off(mid);
+        let (promoted, right_leftmost) = right_cells.remove(0);
+        self.write_internal(left, &cells, lleft)?;
+        self.write_internal(right, &right_cells, right_leftmost)?;
+        Ok(Some(promoted))
     }
 
     // ------------------------------------------------------------------
@@ -527,6 +743,7 @@ impl PagedBTree {
             root: level[0].1,
             height,
             entries,
+            free_head: PageId::INVALID,
         };
         tree.write_meta()?;
         Ok(tree)
@@ -644,6 +861,22 @@ impl PagedBTree {
         }
         Ok(())
     }
+}
+
+/// Index of the smallest prefix of `items` whose cells reach half the total
+/// size, clamped so both sides stay non-empty — the split point used when
+/// rebalancing two siblings whose combined contents overflow one page.
+fn balanced_split<T>(items: &[T], cell_size: impl Fn(&T) -> usize) -> usize {
+    debug_assert!(items.len() >= 2, "cannot split fewer than two cells");
+    let total: usize = items.iter().map(&cell_size).sum();
+    let mut acc = 0usize;
+    for (i, item) in items.iter().enumerate() {
+        acc += cell_size(item);
+        if acc * 2 >= total {
+            return (i + 1).clamp(1, items.len() - 1);
+        }
+    }
+    items.len() / 2
 }
 
 /// Ordered iterator over a key range of a [`PagedBTree`].
@@ -822,7 +1055,7 @@ mod tests {
     }
 
     #[test]
-    fn delete_is_lazy_but_correct() {
+    fn interleaved_deletes_stay_correct() {
         let mut tree = PagedBTree::create(BufferPool::in_memory(32)).unwrap();
         for i in 0..500u32 {
             tree.insert(key(i), val(i)).unwrap();
@@ -837,6 +1070,177 @@ mod tests {
             assert_eq!(tree.get(&key(i)).unwrap(), expected, "key {i}");
         }
         tree.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn deleting_everything_collapses_the_tree_and_frees_pages() {
+        let mut tree = PagedBTree::create(BufferPool::in_memory(64)).unwrap();
+        let n = 3_000u32;
+        for i in 0..n {
+            tree.insert(key(i), val(i)).unwrap();
+        }
+        assert!(tree.height() >= 2, "3k entries must grow internal levels");
+        let grown_pages = tree.stats().pages;
+        for i in 0..n {
+            assert_eq!(tree.delete(&key(i)).unwrap(), Some(val(i)), "key {i}");
+        }
+        assert!(tree.is_empty());
+        assert_eq!(
+            tree.height(),
+            1,
+            "merges must cascade until the root is a single leaf"
+        );
+        tree.check_invariants().unwrap();
+        // Every page except the meta page and the root leaf is on the free
+        // list — nothing leaked.
+        let free = tree.free_page_count().unwrap();
+        assert_eq!(free, grown_pages - 2, "pages leaked by delete");
+        // Re-inserting reuses freed pages instead of extending the store.
+        for i in 0..n {
+            tree.insert(key(i), val(i)).unwrap();
+        }
+        assert_eq!(
+            tree.stats().pages,
+            grown_pages,
+            "inserts after deletes must recycle the free list"
+        );
+        tree.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn deletes_merge_and_borrow_under_random_churn() {
+        // Random insert/delete churn against a BTreeMap oracle, with
+        // structural invariants re-checked along the way. Key lengths vary so
+        // separator replacement paths with differently sized keys run too.
+        let mut tree = PagedBTree::create(BufferPool::in_memory(64)).unwrap();
+        let mut oracle = std::collections::BTreeMap::new();
+        let mut state = 0x5EEDu64;
+        let mut step = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for round in 0..6_000u32 {
+            let i = (step() % 900) as u32;
+            let k = if i.is_multiple_of(3) {
+                format!("{:0width$}", i, width = 8 + (i % 40) as usize).into_bytes()
+            } else {
+                key(i)
+            };
+            if step() % 3 == 0 {
+                assert_eq!(tree.delete(&k).unwrap(), oracle.remove(&k), "round {round}");
+            } else {
+                let v = val(i);
+                assert_eq!(
+                    tree.insert(k.clone(), v.clone()).unwrap(),
+                    oracle.insert(k, v),
+                    "round {round}"
+                );
+            }
+            if round % 500 == 0 {
+                tree.check_invariants().unwrap();
+            }
+        }
+        tree.check_invariants().unwrap();
+        assert_eq!(tree.len() as usize, oracle.len());
+        let scanned: Vec<_> = tree.iter().unwrap().map(Result::unwrap).collect();
+        let expected: Vec<_> = oracle.into_iter().collect();
+        assert_eq!(scanned, expected);
+    }
+
+    #[test]
+    fn large_entries_force_splits_then_merges_at_tiny_fanout() {
+        // Long keys leave room for only ~4 cells per page in leaves *and*
+        // internal nodes, so every structural path (leaf and internal splits,
+        // merges, borrows, root collapse) runs within a few dozen keys.
+        let big_key = |i: u32| {
+            let mut k = format!("key-{i:08}").into_bytes();
+            k.resize(MAX_ENTRY_SIZE - 80, b'.');
+            k
+        };
+        let big_val = vec![0xABu8; 16];
+        let mut tree = PagedBTree::create(BufferPool::in_memory(64)).unwrap();
+        let n = 48u32;
+        for i in 0..n {
+            tree.insert(big_key(i), big_val.clone()).unwrap();
+        }
+        assert!(
+            tree.height() >= 3,
+            "4-entry pages must grow several levels, got height {}",
+            tree.height()
+        );
+        tree.check_invariants().unwrap();
+        for i in (0..n).rev() {
+            assert_eq!(tree.delete(&big_key(i)).unwrap().as_ref(), Some(&big_val));
+            tree.check_invariants().unwrap();
+        }
+        assert!(tree.is_empty());
+        assert_eq!(tree.height(), 1);
+    }
+
+    #[test]
+    fn mutations_persist_across_flush_and_reopen() {
+        // Crash consistency of the writeback path: after inserts, deletes
+        // (with merges and freed pages) and a flush, reopening the file sees
+        // exactly the committed keys and the free list survives.
+        let dir = std::env::temp_dir().join(format!("pathix-pbt-mut-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mutated.pages");
+        let n = 2_000u32;
+        {
+            let pool = BufferPool::new(crate::DiskManager::create(&path).unwrap(), 16);
+            let mut tree = PagedBTree::bulk_load(pool, (0..n).map(|i| (key(i), val(i)))).unwrap();
+            for i in 0..200u32 {
+                tree.insert(key(n + i), val(n + i)).unwrap();
+            }
+            for i in (0..n).step_by(2) {
+                tree.delete(&key(i)).unwrap();
+            }
+            tree.flush().unwrap();
+        }
+        {
+            let pool = BufferPool::new(crate::DiskManager::open(&path).unwrap(), 16);
+            let mut tree = PagedBTree::open(pool).unwrap();
+            assert_eq!(tree.len() as u32, n / 2 + 200);
+            for i in 0..n + 200 {
+                let expected = if i < n && i % 2 == 0 {
+                    None
+                } else {
+                    Some(val(i))
+                };
+                assert_eq!(tree.get(&key(i)).unwrap(), expected, "key {i}");
+            }
+            tree.check_invariants().unwrap();
+            // The persisted free list is usable after reopen.
+            let pages_before = tree.stats().pages;
+            let freed = tree.free_page_count().unwrap();
+            if freed > 0 {
+                tree.insert(key(n + 200), val(n + 200)).unwrap();
+                assert!(tree.stats().pages <= pages_before);
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn shares_observe_committed_state_and_pin_metadata() {
+        let mut tree = PagedBTree::create(BufferPool::in_memory(32)).unwrap();
+        for i in 0..100u32 {
+            tree.insert(key(i), val(i)).unwrap();
+        }
+        let share = tree.share();
+        assert_eq!(share.len(), 100);
+        assert_eq!(share.get(&key(42)).unwrap(), Some(val(42)));
+        assert_eq!(share.iter().unwrap().count(), 100);
+        // The share pins the entry count it was taken at even as the original
+        // keeps mutating (the pages themselves are shared).
+        tree.insert(key(100), val(100)).unwrap();
+        assert_eq!(share.len(), 100);
+        assert_eq!(tree.len(), 101);
+        let fresh = tree.share();
+        assert_eq!(fresh.len(), 101);
+        assert_eq!(fresh.get(&key(100)).unwrap(), Some(val(100)));
     }
 
     #[test]

@@ -16,7 +16,7 @@ use crate::disk::{DiskManager, DiskStats};
 use crate::page::{PageId, PAGE_SIZE};
 use std::collections::HashMap;
 use std::io;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Cache-behaviour counters of a [`BufferPool`].
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -61,9 +61,14 @@ struct PoolInner {
 }
 
 /// A clock-eviction buffer pool over a [`DiskManager`].
-#[derive(Debug)]
+///
+/// Cloning is cheap: clones share the frames, the page table and the backing
+/// store (the pool is a handle to one `Arc`'d interior). This is what lets a
+/// mutable paged index and the read snapshots published from it serve the
+/// same pages.
+#[derive(Debug, Clone)]
 pub struct BufferPool {
-    inner: Mutex<PoolInner>,
+    inner: Arc<Mutex<PoolInner>>,
 }
 
 impl BufferPool {
@@ -80,13 +85,13 @@ impl BufferPool {
     pub fn new(disk: DiskManager, capacity: usize) -> Self {
         let capacity = capacity.max(2);
         BufferPool {
-            inner: Mutex::new(PoolInner {
+            inner: Arc::new(Mutex::new(PoolInner {
                 disk,
                 frames: (0..capacity).map(|_| Frame::empty()).collect(),
                 table: HashMap::with_capacity(capacity),
                 clock_hand: 0,
                 stats: PoolStats::default(),
-            }),
+            })),
         }
     }
 

@@ -1,4 +1,4 @@
-//! Compressed per-path pair blocks.
+//! Compressed per-path pair blocks with a mutable delta overlay.
 //!
 //! The paper's companion work (reference \[14\]) investigates the *size* of a
 //! from-scratch path index and how far compression can shrink it. This module
@@ -11,16 +11,31 @@
 //! per-pair keys (each pair repeats the full path prefix in the B+tree), but
 //! source-prefix lookups (`I_{G,k}(p, a)`) must decode the block up to `a`
 //! instead of seeking directly.
+//!
+//! ## Live updates
+//!
+//! Compressed blocks cannot absorb point mutations in place, so the store
+//! keeps a per-path **delta overlay**: a sorted side-table of membership
+//! overrides (`pair → present/absent`) that every scan merges with the block
+//! decode on the fly. When a path's overlay grows past a configurable
+//! threshold the block is rewritten with the overlay folded in (a
+//! *compaction*) and the overlay cleared, so scans never pay for more than a
+//! bounded side-table. Blocks are shared (`Arc`) between clones, which makes
+//! publishing an immutable snapshot after each update batch O(paths) instead
+//! of O(index) — the overlay maps are small by construction.
 
 use crate::varint::{encode_pairs, PairDecoder};
 use pathix_graph::Graph;
 use pathix_graph::{NodeId, SignedLabel};
 use pathix_index::backend::{
-    check_scan_path, BackendResult, BackendScan, BackendStats, PathIndexBackend,
+    check_scan_path, BackendError, BackendResult, BackendScan, BackendStats, DeltaBatch,
+    EntryChange, MutablePathIndexBackend, PathIndexBackend,
 };
-use pathix_index::pathkey::encode_path_prefix;
+use pathix_index::pathkey::{decode_entry, encode_path_prefix};
 use pathix_index::{enumerate_paths, paths_k_cardinality, KPathIndex};
+use std::collections::btree_map;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Size accounting of a [`CompressedPathStore`] compared against the
 /// uncompressed per-entry B+tree representation.
@@ -28,9 +43,11 @@ use std::collections::BTreeMap;
 pub struct CompressionStats {
     /// Number of distinct label paths stored.
     pub paths: usize,
-    /// Total number of `(source, target)` pairs across all paths.
+    /// Total number of `(source, target)` pairs across all paths (blocks and
+    /// overlays combined).
     pub pairs: u64,
-    /// Bytes of compressed block payload (excluding the path keys).
+    /// Bytes of compressed block payload plus overlay side-tables (excluding
+    /// the path keys).
     pub compressed_bytes: u64,
     /// Bytes the same data occupies as one B+tree entry per pair
     /// (`⟨path, source, target⟩` keys with empty values).
@@ -48,6 +65,22 @@ impl CompressionStats {
     }
 }
 
+/// State of the delta overlay of a [`CompressedPathStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OverlayStats {
+    /// Number of paths with a non-empty overlay side-table.
+    pub overlaid_paths: usize,
+    /// Total membership overrides across all overlays.
+    pub overlay_entries: u64,
+    /// Overlay size at which a path's block is rewritten.
+    pub compaction_threshold: usize,
+    /// Block rewrites performed so far.
+    pub compactions: u64,
+}
+
+/// Per-pair membership override: `true` = present, `false` = deleted.
+type Overlay = BTreeMap<(u32, u32), bool>;
+
 /// A compressed, path-keyed store of the pair sets `p(G)` for `|p| ≤ k`.
 #[derive(Debug, Clone)]
 pub struct CompressedPathStore {
@@ -55,16 +88,25 @@ pub struct CompressedPathStore {
     node_count: usize,
     per_path_counts: Vec<(Vec<SignedLabel>, u64)>,
     paths_k_size: u64,
-    blocks: BTreeMap<Vec<u8>, Block>,
+    blocks: BTreeMap<Vec<u8>, Arc<Block>>,
+    /// Membership overrides not yet folded into the blocks, keyed like
+    /// `blocks` by the encoded path prefix.
+    overlays: BTreeMap<Vec<u8>, Overlay>,
+    compaction_threshold: usize,
+    compactions: u64,
+    inserts_applied: u64,
+    deletes_applied: u64,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 struct Block {
     bytes: Vec<u8>,
-    pairs: u64,
 }
 
 impl CompressedPathStore {
+    /// Default overlay size past which a path's block is rewritten.
+    pub const DEFAULT_COMPACTION_THRESHOLD: usize = 1024;
+
     /// Builds the store for every label path of length ≤ k over `graph`.
     pub fn build(graph: &Graph, k: usize) -> Self {
         let relations = enumerate_paths(graph, k);
@@ -78,10 +120,9 @@ impl CompressedPathStore {
             per_path_counts.push((rel.path.clone(), pairs.len() as u64));
             blocks.insert(
                 encode_path_prefix(&rel.path),
-                Block {
+                Arc::new(Block {
                     bytes: encode_pairs(&pairs),
-                    pairs: pairs.len() as u64,
-                },
+                }),
             );
         }
         CompressedPathStore {
@@ -90,6 +131,11 @@ impl CompressedPathStore {
             per_path_counts,
             paths_k_size,
             blocks,
+            overlays: BTreeMap::new(),
+            compaction_threshold: Self::DEFAULT_COMPACTION_THRESHOLD,
+            compactions: 0,
+            inserts_applied: 0,
+            deletes_applied: 0,
         }
     }
 
@@ -106,10 +152,9 @@ impl CompressedPathStore {
             per_path_counts.push((path.clone(), pairs.len() as u64));
             blocks.insert(
                 encode_path_prefix(path),
-                Block {
+                Arc::new(Block {
                     bytes: encode_pairs(&pairs),
-                    pairs: pairs.len() as u64,
-                },
+                }),
             );
         }
         CompressedPathStore {
@@ -118,7 +163,28 @@ impl CompressedPathStore {
             per_path_counts,
             paths_k_size: index.paths_k_size(),
             blocks,
+            overlays: BTreeMap::new(),
+            compaction_threshold: Self::DEFAULT_COMPACTION_THRESHOLD,
+            compactions: 0,
+            inserts_applied: 0,
+            deletes_applied: 0,
         }
+    }
+
+    /// This store with a different overlay compaction threshold (clamped to
+    /// ≥ 1): a path whose overlay reaches the threshold after a delta batch
+    /// has its block rewritten and the overlay cleared.
+    pub fn with_compaction_threshold(mut self, threshold: usize) -> Self {
+        self.compaction_threshold = threshold.max(1);
+        self
+    }
+
+    /// An immutable read view of the current state: blocks are shared, the
+    /// (bounded) overlay side-tables are copied. This is the snapshot a live
+    /// database publishes after each update batch; unlike the paged backend,
+    /// views of the compressed store are fully isolated from later updates.
+    pub fn reader_view(&self) -> CompressedPathStore {
+        self.clone()
     }
 
     /// Number of nodes of the indexed graph.
@@ -131,9 +197,9 @@ impl CompressedPathStore {
         self.k
     }
 
-    /// Number of distinct label paths stored.
+    /// Number of distinct label paths currently holding at least one pair.
     pub fn path_count(&self) -> usize {
-        self.blocks.len()
+        self.per_path_counts.len()
     }
 
     /// Decodes and returns `p(G)` in `(source, target)` order, or an empty
@@ -145,14 +211,22 @@ impl CompressedPathStore {
     }
 
     /// Streaming scan of `p(G)` as raw `u32` pairs in `(source, target)`
-    /// order (empty when the path is not stored).
-    pub fn scan_path(&self, path: &[SignedLabel]) -> PairDecoder<'_> {
-        static EMPTY: &[u8] = &[0];
-        let key = encode_path_prefix(path);
-        match self.blocks.get(&key) {
-            Some(block) => PairDecoder::new(&block.bytes),
-            None => PairDecoder::new(EMPTY),
-        }
+    /// order (empty when the path is not stored): the block decode merged
+    /// with the path's overlay on the fly.
+    pub fn scan_path(&self, path: &[SignedLabel]) -> CompressedPairScan<'_> {
+        self.scan_prefix(&encode_path_prefix(path))
+    }
+
+    fn scan_prefix(&self, prefix: &[u8]) -> CompressedPairScan<'_> {
+        static EMPTY_BLOCK: &[u8] = &[0];
+        static EMPTY_OVERLAY: Overlay = Overlay::new();
+        let base = PairDecoder::new(
+            self.blocks
+                .get(prefix)
+                .map_or(EMPTY_BLOCK, |b| b.bytes.as_slice()),
+        );
+        let overlay = self.overlays.get(prefix).unwrap_or(&EMPTY_OVERLAY).iter();
+        CompressedPairScan::new(base, overlay)
     }
 
     /// Targets reachable from `source` via `path`, decoded from the block.
@@ -165,13 +239,49 @@ impl CompressedPathStore {
 
     /// Membership test for `(source, target) ∈ p(G)`.
     pub fn contains(&self, path: &[SignedLabel], source: NodeId, target: NodeId) -> bool {
-        self.scan_path(path)
-            .any(|(s, t)| s == source.0 && t == target.0)
+        let pair = (source.0, target.0);
+        if let Some(overlay) = self.overlays.get(&encode_path_prefix(path)) {
+            if let Some(&present) = overlay.get(&pair) {
+                return present;
+            }
+        }
+        self.scan_path(path).any(|p| p == pair)
     }
 
     /// Number of pairs stored for `path`, if it is stored.
     pub fn path_cardinality(&self, path: &[SignedLabel]) -> Option<u64> {
-        self.blocks.get(&encode_path_prefix(path)).map(|b| b.pairs)
+        self.per_path_counts
+            .iter()
+            .find(|(p, _)| p == path)
+            .map(|(_, c)| *c)
+    }
+
+    /// Folds `prefix`'s overlay into a freshly encoded block (or removes the
+    /// path entirely when no pair survives) and clears the overlay.
+    fn compact_prefix(&mut self, prefix: &[u8]) {
+        let merged: Vec<(u32, u32)> = self.scan_prefix(prefix).collect();
+        if merged.is_empty() {
+            self.blocks.remove(prefix);
+        } else {
+            self.blocks.insert(
+                prefix.to_vec(),
+                Arc::new(Block {
+                    bytes: encode_pairs(&merged),
+                }),
+            );
+        }
+        self.overlays.remove(prefix);
+        self.compactions += 1;
+    }
+
+    /// State of the delta overlay (side-table sizes, compactions so far).
+    pub fn overlay_stats(&self) -> OverlayStats {
+        OverlayStats {
+            overlaid_paths: self.overlays.len(),
+            overlay_entries: self.overlays.values().map(|o| o.len() as u64).sum(),
+            compaction_threshold: self.compaction_threshold,
+            compactions: self.compactions,
+        }
     }
 
     /// Size accounting versus the per-entry B+tree layout.
@@ -179,18 +289,85 @@ impl CompressedPathStore {
         let mut pairs = 0u64;
         let mut compressed = 0u64;
         let mut uncompressed = 0u64;
-        for (key, block) in &self.blocks {
-            pairs += block.pairs;
-            compressed += block.bytes.len() as u64 + key.len() as u64;
+        for (path, count) in &self.per_path_counts {
+            pairs += count;
             // One B+tree entry per pair: the full composite key (path prefix
             // plus 8 bytes of node ids) with an empty value.
-            uncompressed += block.pairs * (key.len() as u64 + 8);
+            uncompressed += count * (1 + 2 * path.len() as u64 + 8);
+        }
+        for (key, block) in &self.blocks {
+            compressed += block.bytes.len() as u64 + key.len() as u64;
+        }
+        for overlay in self.overlays.values() {
+            // One override costs a pair (8 bytes) plus the present flag.
+            compressed += overlay.len() as u64 * 9;
         }
         CompressionStats {
-            paths: self.blocks.len(),
+            paths: self.per_path_counts.len(),
             pairs,
             compressed_bytes: compressed,
             uncompressed_bytes: uncompressed,
+        }
+    }
+}
+
+/// Streaming merge of one path's block decode with its overlay side-table,
+/// in ascending `(source, target)` order.
+#[derive(Debug, Clone)]
+pub struct CompressedPairScan<'a> {
+    base: PairDecoder<'a>,
+    base_next: Option<(u32, u32)>,
+    overlay: btree_map::Iter<'a, (u32, u32), bool>,
+    overlay_next: Option<((u32, u32), bool)>,
+}
+
+impl<'a> CompressedPairScan<'a> {
+    fn new(mut base: PairDecoder<'a>, mut overlay: btree_map::Iter<'a, (u32, u32), bool>) -> Self {
+        let base_next = base.next();
+        let overlay_next = overlay.next().map(|(&p, &v)| (p, v));
+        CompressedPairScan {
+            base,
+            base_next,
+            overlay,
+            overlay_next,
+        }
+    }
+}
+
+impl Iterator for CompressedPairScan<'_> {
+    type Item = (u32, u32);
+
+    fn next(&mut self) -> Option<(u32, u32)> {
+        loop {
+            match (self.base_next, self.overlay_next) {
+                (None, None) => return None,
+                // Only base pairs left (or the next base pair sorts first):
+                // the block entry stands.
+                (Some(bp), Some((op, _))) if bp < op => {
+                    self.base_next = self.base.next();
+                    return Some(bp);
+                }
+                (Some(bp), None) => {
+                    self.base_next = self.base.next();
+                    return Some(bp);
+                }
+                // The overlay overrides the block entry for the same pair.
+                (Some(bp), Some((op, present))) if bp == op => {
+                    self.base_next = self.base.next();
+                    self.overlay_next = self.overlay.next().map(|(&p, &v)| (p, v));
+                    if present {
+                        return Some(op);
+                    }
+                }
+                // Overlay-only pair: emit if present, skip tombstones for
+                // pairs the block never held (added then removed again).
+                (_, Some((op, present))) => {
+                    self.overlay_next = self.overlay.next().map(|(&p, &v)| (p, v));
+                    if present {
+                        return Some(op);
+                    }
+                }
+            }
         }
     }
 }
@@ -254,11 +431,50 @@ impl PathIndexBackend for CompressedPathStore {
     }
 }
 
+impl MutablePathIndexBackend for CompressedPathStore {
+    /// Replays the batch's key transitions into the per-path overlays,
+    /// adopts the fresh statistics, and compacts every path whose overlay
+    /// reached the configured threshold.
+    fn apply_delta_batch(&mut self, batch: &DeltaBatch<'_>) -> BackendResult<()> {
+        for (key, change) in batch.deltas.ops() {
+            let (path, a, b) = decode_entry(key).ok_or_else(|| {
+                BackendError::new("compressed", "malformed index key in delta batch")
+            })?;
+            let prefix = encode_path_prefix(&path);
+            self.overlays
+                .entry(prefix)
+                .or_default()
+                .insert((a.0, b.0), matches!(change, EntryChange::Added));
+        }
+        self.per_path_counts = batch.per_path_counts.to_vec();
+        self.paths_k_size = batch.paths_k_size;
+        self.node_count = batch.node_count;
+        self.inserts_applied += batch.inserted_edges;
+        self.deletes_applied += batch.deleted_edges;
+
+        let due: Vec<Vec<u8>> = self
+            .overlays
+            .iter()
+            .filter(|(_, overlay)| overlay.len() >= self.compaction_threshold)
+            .map(|(prefix, _)| prefix.clone())
+            .collect();
+        for prefix in due {
+            self.compact_prefix(&prefix);
+        }
+        Ok(())
+    }
+
+    fn updates_applied(&self) -> (u64, u64) {
+        (self.inserts_applied, self.deletes_applied)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use pathix_datagen::paper_example_graph;
     use pathix_graph::SignedLabel;
+    use pathix_index::{EntryDeltas, GraphUpdate, IncrementalKPathIndex};
 
     fn knows(g: &Graph) -> SignedLabel {
         SignedLabel::forward(g.label_id("knows").unwrap())
@@ -330,5 +546,174 @@ mod tests {
             stats.uncompressed_bytes
         );
         assert!(stats.ratio() > 1.0);
+    }
+
+    /// Applies `updates` through the shared counting rules and hands the
+    /// resulting key deltas to the store, mirroring what `PathDb::apply`
+    /// does per batch.
+    fn apply_updates(
+        store: &mut CompressedPathStore,
+        oracle: &mut IncrementalKPathIndex,
+        updates: &[GraphUpdate],
+    ) {
+        let mut deltas = EntryDeltas::new();
+        let mut inserted = 0;
+        let mut deleted = 0;
+        for &update in updates {
+            if oracle.apply_logged(update, &mut deltas) {
+                match update {
+                    GraphUpdate::InsertEdge { .. } => inserted += 1,
+                    GraphUpdate::DeleteEdge { .. } => deleted += 1,
+                }
+            }
+        }
+        store
+            .apply_delta_batch(&DeltaBatch {
+                deltas: &deltas,
+                per_path_counts: oracle.per_path_counts(),
+                paths_k_size: oracle.paths_k_size(),
+                node_count: oracle.node_count(),
+                inserted_edges: inserted,
+                deleted_edges: deleted,
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn overlaid_store_answers_like_a_rebuild() {
+        let g = paper_example_graph();
+        let k = 2;
+        let mut store = CompressedPathStore::build(&g, k);
+        let mut oracle = IncrementalKPathIndex::bulk_from_graph(&g, k);
+
+        let sue = g.node_id("sue").unwrap();
+        let tim = g.node_id("tim").unwrap();
+        let kim = g.node_id("kim").unwrap();
+        let liz = g.node_id("liz").unwrap();
+        let knows_l = g.label_id("knows").unwrap();
+        let supervisor = g.label_id("supervisor").unwrap();
+        let updates = [
+            GraphUpdate::InsertEdge {
+                src: sue,
+                label: knows_l,
+                dst: tim,
+            },
+            GraphUpdate::DeleteEdge {
+                src: kim,
+                label: supervisor,
+                dst: liz,
+            },
+        ];
+        apply_updates(&mut store, &mut oracle, &updates);
+        assert_eq!(store.updates_applied(), (1, 1));
+        assert!(store.overlay_stats().overlay_entries > 0);
+
+        let mut updated = g.clone();
+        assert!(updated.insert_edge(sue, knows_l, tim));
+        assert!(updated.remove_edge(kim, supervisor, liz));
+        let rebuilt = CompressedPathStore::build(&updated, k);
+        assert_eq!(store.path_count(), rebuilt.path_count());
+        assert_eq!(
+            PathIndexBackend::paths_k_size(&store),
+            PathIndexBackend::paths_k_size(&rebuilt)
+        );
+        for (path, count) in rebuilt.per_path_counts.clone() {
+            assert_eq!(store.pairs(&path), rebuilt.pairs(&path), "path {path:?}");
+            assert_eq!(store.path_cardinality(&path), Some(count));
+            for (s, t) in rebuilt.pairs(&path) {
+                assert!(store.contains(&path, s, t));
+                assert!(store.targets_from(&path, s).contains(&t));
+            }
+        }
+        // Reader views stay pinned while the writer keeps going.
+        let view = store.reader_view();
+        apply_updates(
+            &mut store,
+            &mut oracle,
+            &[GraphUpdate::DeleteEdge {
+                src: sue,
+                label: knows_l,
+                dst: tim,
+            }],
+        );
+        let kn = knows(&g);
+        assert!(view.pairs(&[kn]).contains(&(sue, tim)));
+        assert!(!store.pairs(&[kn]).contains(&(sue, tim)));
+    }
+
+    #[test]
+    fn compaction_folds_overlays_into_blocks_past_the_threshold() {
+        let g = paper_example_graph();
+        let mut store = CompressedPathStore::build(&g, 2).with_compaction_threshold(1);
+        let mut oracle = IncrementalKPathIndex::bulk_from_graph(&g, 2);
+        let sue = g.node_id("sue").unwrap();
+        let tim = g.node_id("tim").unwrap();
+        let knows_l = g.label_id("knows").unwrap();
+        apply_updates(
+            &mut store,
+            &mut oracle,
+            &[GraphUpdate::InsertEdge {
+                src: sue,
+                label: knows_l,
+                dst: tim,
+            }],
+        );
+        let stats = store.overlay_stats();
+        assert_eq!(
+            stats.overlay_entries, 0,
+            "threshold 1 must compact every touched path"
+        );
+        assert!(stats.compactions > 0);
+        assert_eq!(stats.compaction_threshold, 1);
+        // The compacted blocks carry the update.
+        let kn = knows(&g);
+        assert!(store.pairs(&[kn]).contains(&(sue, tim)));
+        // Deleting every pair of a path through compaction drops its block.
+        let blocks_with_path = store.blocks.len();
+        let deletions: Vec<GraphUpdate> = g
+            .labels()
+            .flat_map(|l| g.edges(l).iter().map(move |&(s, d)| (s, l, d)))
+            .map(|(src, label, dst)| GraphUpdate::DeleteEdge { src, label, dst })
+            .chain(std::iter::once(GraphUpdate::DeleteEdge {
+                src: sue,
+                label: knows_l,
+                dst: tim,
+            }))
+            .collect();
+        apply_updates(&mut store, &mut oracle, &deletions);
+        assert_eq!(store.path_count(), 0);
+        assert!(store.blocks.len() < blocks_with_path);
+        assert!(
+            store.blocks.is_empty(),
+            "empty paths must drop their blocks"
+        );
+    }
+
+    #[test]
+    fn paths_born_from_updates_scan_without_a_base_block() {
+        // k = 2 over a single edge: inserting a second edge creates label
+        // paths that had no pairs (hence no block) at build time.
+        let mut b = pathix_graph::GraphBuilder::new();
+        b.add_edge_named("a", "l", "b");
+        b.add_node("c");
+        let g = b.build();
+        let mut store = CompressedPathStore::build(&g, 2);
+        let mut oracle = IncrementalKPathIndex::bulk_from_graph(&g, 2);
+        let l = g.label_id("l").unwrap();
+        let bb = g.node_id("b").unwrap();
+        let cc = g.node_id("c").unwrap();
+        apply_updates(
+            &mut store,
+            &mut oracle,
+            &[GraphUpdate::InsertEdge {
+                src: bb,
+                label: l,
+                dst: cc,
+            }],
+        );
+        let fwd = SignedLabel::forward(l);
+        let aa = g.node_id("a").unwrap();
+        assert_eq!(store.pairs(&[fwd, fwd]), vec![(aa, cc)]);
+        assert_eq!(store.path_cardinality(&[fwd, fwd]), Some(1));
     }
 }

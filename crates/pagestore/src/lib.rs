@@ -39,7 +39,7 @@ pub mod varint;
 
 pub use btree::{PagedBTree, PagedRangeIter, PagedTreeStats, MAX_ENTRY_SIZE};
 pub use buffer::{BufferPool, PoolStats};
-pub use compressed::{CompressedPathStore, CompressionStats};
+pub use compressed::{CompressedPairScan, CompressedPathStore, CompressionStats, OverlayStats};
 pub use disk::{DiskManager, DiskStats};
 pub use page::{PageBuf, PageId, PAGE_SIZE};
 pub use paged_index::{PagedIndexStats, PagedPathIndex};

@@ -11,13 +11,21 @@
 //! (`pathix-exec` operators, every `pathix-plan` strategy, `PathDb`) runs
 //! directly against it; scans stream page by page and surface I/O errors as
 //! [`BackendError`]s instead of materializing or panicking.
+//!
+//! The index is also **mutable** ([`MutablePathIndexBackend`]): the key-level
+//! deltas of a live update batch — computed once, backend-agnostically, by
+//! the counting rules of [`pathix_index::IncrementalKPathIndex`] — are
+//! replayed as B+tree key inserts and deletes (page splits, merges and
+//! free-list recycling included) and written back through the buffer pool,
+//! so an on-disk index stays durable across batches.
 
 use crate::btree::{PagedBTree, PagedRangeIter, PagedTreeStats};
 use crate::buffer::{BufferPool, PoolStats};
 use crate::disk::DiskManager;
 use pathix_graph::{Graph, NodeId, SignedLabel};
 use pathix_index::backend::{
-    check_scan_path, BackendError, BackendResult, BackendScan, BackendStats, PathIndexBackend,
+    check_scan_path, BackendError, BackendResult, BackendScan, BackendStats, DeltaBatch,
+    EntryChange, MutablePathIndexBackend, PathIndexBackend,
 };
 use pathix_index::pathkey::{
     decode_entry, encode_entry, encode_path_prefix, encode_path_source_prefix,
@@ -46,6 +54,8 @@ pub struct PagedPathIndex {
     per_path_counts: Vec<(Vec<SignedLabel>, u64)>,
     paths_k_size: u64,
     tree: PagedBTree,
+    inserts_applied: u64,
+    deletes_applied: u64,
 }
 
 impl PagedPathIndex {
@@ -101,7 +111,31 @@ impl PagedPathIndex {
             per_path_counts,
             paths_k_size,
             tree,
+            inserts_applied: 0,
+            deletes_applied: 0,
         })
+    }
+
+    /// A read view over the same pages with the structural metadata (tree
+    /// root and entry count, per-path cardinalities, `|paths_k(G)|`) copied
+    /// at call time.
+    ///
+    /// This is the snapshot a live database publishes after each update
+    /// batch: page contents are shared with the mutable index, so the view
+    /// costs O(paths) instead of O(index). Holding a view across *later*
+    /// batches reads pages as they then are — page-level copy-on-write, which
+    /// would pin old epochs exactly, is a roadmap item; until then the paged
+    /// backend's isolation unit is the published batch, not the open scan.
+    pub fn reader_view(&self) -> PagedPathIndex {
+        PagedPathIndex {
+            k: self.k,
+            node_count: self.node_count,
+            per_path_counts: self.per_path_counts.clone(),
+            paths_k_size: self.paths_k_size,
+            tree: self.tree.share(),
+            inserts_applied: self.inserts_applied,
+            deletes_applied: self.deletes_applied,
+        }
     }
 
     /// The locality parameter k.
@@ -277,6 +311,38 @@ impl PathIndexBackend for PagedPathIndex {
     }
 }
 
+impl MutablePathIndexBackend for PagedPathIndex {
+    /// Replays the batch's key transitions as B+tree inserts and deletes
+    /// (splitting, merging and recycling pages as needed), adopts the fresh
+    /// statistics, and flushes every dirty page through the buffer pool so an
+    /// on-disk index is durable up to the end of the batch.
+    fn apply_delta_batch(&mut self, batch: &DeltaBatch<'_>) -> BackendResult<()> {
+        let io_err = |e: &io::Error| BackendError::io("paged", e);
+        for (key, change) in batch.deltas.ops() {
+            match change {
+                EntryChange::Added => {
+                    self.tree
+                        .insert(key.clone(), Vec::new())
+                        .map_err(|e| io_err(&e))?;
+                }
+                EntryChange::Removed => {
+                    self.tree.delete(key).map_err(|e| io_err(&e))?;
+                }
+            }
+        }
+        self.per_path_counts = batch.per_path_counts.to_vec();
+        self.paths_k_size = batch.paths_k_size;
+        self.node_count = batch.node_count;
+        self.inserts_applied += batch.inserted_edges;
+        self.deletes_applied += batch.deleted_edges;
+        self.tree.flush().map_err(|e| io_err(&e))
+    }
+
+    fn updates_applied(&self) -> (u64, u64) {
+        (self.inserts_applied, self.deletes_applied)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -352,6 +418,93 @@ mod tests {
         assert_eq!(stats.k, 2);
         assert!(std::fs::metadata(&path).unwrap().len() >= stats.tree.bytes_on_disk);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn delta_batches_keep_the_paged_index_equal_to_a_rebuild() {
+        use pathix_index::{EntryDeltas, GraphUpdate, IncrementalKPathIndex};
+
+        let g = paper_example_graph();
+        let k = 2;
+        let mut paged = PagedPathIndex::build_in_memory(&g, k, 8).unwrap();
+        let mut oracle = IncrementalKPathIndex::bulk_from_graph(&g, k);
+
+        // Delete a third of the edges, then re-insert them plus a new one.
+        let edges: Vec<_> = g
+            .labels()
+            .flat_map(|l| g.edges(l).iter().map(move |&(s, d)| (s, l, d)))
+            .step_by(3)
+            .collect();
+        let mut updates: Vec<GraphUpdate> = edges
+            .iter()
+            .map(|&(src, label, dst)| GraphUpdate::DeleteEdge { src, label, dst })
+            .collect();
+        updates.extend(
+            edges
+                .iter()
+                .map(|&(src, label, dst)| GraphUpdate::InsertEdge { src, label, dst }),
+        );
+        let sue = g.node_id("sue").unwrap();
+        let tim = g.node_id("tim").unwrap();
+        let knows = g.label_id("knows").unwrap();
+        updates.push(GraphUpdate::InsertEdge {
+            src: sue,
+            label: knows,
+            dst: tim,
+        });
+
+        let mut deltas = EntryDeltas::new();
+        let mut inserted = 0;
+        let mut deleted = 0;
+        for &update in &updates {
+            if oracle.apply_logged(update, &mut deltas) {
+                match update {
+                    GraphUpdate::InsertEdge { .. } => inserted += 1,
+                    GraphUpdate::DeleteEdge { .. } => deleted += 1,
+                }
+            }
+        }
+        let batch = DeltaBatch {
+            deltas: &deltas,
+            per_path_counts: oracle.per_path_counts(),
+            paths_k_size: oracle.paths_k_size(),
+            node_count: oracle.node_count(),
+            inserted_edges: inserted,
+            deleted_edges: deleted,
+        };
+        paged.apply_delta_batch(&batch).unwrap();
+        assert_eq!(
+            MutablePathIndexBackend::updates_applied(&paged),
+            (inserted, deleted)
+        );
+
+        // The mutated paged index equals a paged index rebuilt over the
+        // mutated graph, path by path.
+        let mut updated = g.clone();
+        assert!(updated.insert_edge(sue, knows, tim));
+        let rebuilt = PagedPathIndex::build_in_memory(&updated, k, 8).unwrap();
+        assert_eq!(paged.len(), rebuilt.len());
+        assert_eq!(paged.per_path_counts(), rebuilt.per_path_counts());
+        assert_eq!(
+            PathIndexBackend::paths_k_size(&paged),
+            PathIndexBackend::paths_k_size(&rebuilt)
+        );
+        for (path, _) in rebuilt.per_path_counts() {
+            assert_eq!(
+                paged.scan_path(path).unwrap(),
+                rebuilt.scan_path(path).unwrap(),
+                "path {path:?}"
+            );
+        }
+
+        // A reader view shares the same answers.
+        let view = paged.reader_view();
+        assert_eq!(view.len(), paged.len());
+        let (path, _) = &rebuilt.per_path_counts()[0];
+        assert_eq!(
+            view.scan_path(path).unwrap(),
+            paged.scan_path(path).unwrap()
+        );
     }
 
     #[test]

@@ -24,7 +24,7 @@ use pathix::datagen::{
     advogato_like, paper_example_graph, social_network, AdvogatoConfig, SocialConfig,
 };
 use pathix::graph::load_edge_list;
-use pathix::{Graph, GraphUpdate, PathDb, PathDbConfig, QueryOptions, Strategy};
+use pathix::{BackendChoice, Graph, GraphUpdate, PathDb, PathDbConfig, QueryOptions, Strategy};
 use std::io::{self, BufRead, Write};
 
 /// A parsed shell input line.
@@ -115,7 +115,7 @@ commands:
   \\explain <rpq>        show the physical plan under the current strategy
   \\plans <rpq>          show the plans of all four strategies
   \\compare <rpq>        time all strategies and the automaton/Datalog baselines
-  \\update <s> <l> <t>   insert the edge l(s, t) live (memory backend only)
+  \\update <s> <l> <t>   insert the edge l(s, t) live (works on every backend)
   \\delete-edge <s> <l> <t>  delete the edge l(s, t) live
   \\strategy <name>      set the strategy: naive | semi-naive | minSupport | minJoin
   \\k <n>                rebuild the index with locality parameter n
@@ -132,14 +132,22 @@ struct Shell {
     db: PathDb,
     strategy: Strategy,
     limit: usize,
+    backend: BackendChoice,
 }
 
 impl Shell {
+    /// A memory-backend shell (the `--backend` default); used by the tests.
+    #[cfg(test)]
     fn new(graph: Graph, k: usize) -> Self {
+        Self::with_backend(graph, k, BackendChoice::Memory)
+    }
+
+    fn with_backend(graph: Graph, k: usize, backend: BackendChoice) -> Self {
         Shell {
-            db: PathDb::build(graph, PathDbConfig::with_k(k)),
+            db: PathDb::build(graph, PathDbConfig::with_k(k).with_backend(backend.clone())),
             strategy: Strategy::MinSupport,
             limit: 10,
+            backend,
         }
     }
 
@@ -162,7 +170,10 @@ impl Shell {
             },
             Command::SetK(k) => {
                 let graph = self.db.graph().as_ref().clone();
-                self.db = PathDb::build(graph, PathDbConfig::with_k(k));
+                self.db = PathDb::build(
+                    graph,
+                    PathDbConfig::with_k(k).with_backend(self.backend.clone()),
+                );
                 format!("rebuilt index with k = {k}\n{}", self.stats())
             }
             Command::SetLimit(limit) => {
@@ -242,7 +253,7 @@ impl Shell {
     fn stats(&self) -> String {
         let stats = self.db.stats();
         let epoch = self.db.epoch();
-        format!(
+        let mut out = format!(
             "graph     : {} nodes, {} edges, {} labels (epoch {epoch})\n\
              index     : {} backend, k = {}, {} entries over {} label paths, ~{} KiB\n\
              histogram : {} paths summarized in {} buckets\n\
@@ -259,7 +270,21 @@ impl Shell {
             stats.histogram_buckets,
             self.strategy,
             self.limit
-        )
+        );
+        // The compressed backend additionally reports its delta overlay: the
+        // updates absorbed since the last block rewrites.
+        let snapshot = self.db.snapshot();
+        if let Some(store) = snapshot.index().as_compressed() {
+            let overlay = store.overlay_stats();
+            out.push_str(&format!(
+                "\noverlay   : {} overrides across {} paths (compaction at {}, {} rewrites so far)",
+                overlay.overlay_entries,
+                overlay.overlaid_paths,
+                overlay.compaction_threshold,
+                overlay.compactions
+            ));
+        }
+        out
     }
 
     fn query(&self, query: &str) -> String {
@@ -346,6 +371,7 @@ struct Options {
     graph_file: Option<String>,
     scale: f64,
     k: usize,
+    backend: String,
     one_shot: Vec<String>,
 }
 
@@ -355,6 +381,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         graph_file: None,
         scale: 0.05,
         k: 3,
+        backend: "memory".to_owned(),
         one_shot: Vec::new(),
     };
     let mut iter = args.iter();
@@ -377,11 +404,13 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|_| "--k expects a positive integer".to_owned())?;
             }
+            "--backend" => options.backend = value("--backend")?,
             "-q" | "--query" => options.one_shot.push(value("--query")?),
             "--help" | "-h" => {
                 return Err(format!(
                     "usage: pathix_cli [--dataset paper|advogato|social] [--scale f] \
-                     [--graph FILE] [--k n] [-q RPQ]...\n\n{HELP}"
+                     [--graph FILE] [--k n] [--backend memory|paged|compressed] [-q RPQ]...\n\n\
+                     {HELP}"
                 ));
             }
             other => return Err(format!("unknown option `{other}` — try --help")),
@@ -437,7 +466,16 @@ fn main() {
         graph.node_count(),
         graph.edge_count()
     );
-    let mut shell = Shell::new(graph, options.k);
+    let backend = match options.backend.as_str() {
+        "memory" => BackendChoice::Memory,
+        "paged" => BackendChoice::PagedInMemory { pool_frames: 256 },
+        "compressed" => BackendChoice::Compressed,
+        other => {
+            eprintln!("unknown backend `{other}` — expected memory, paged or compressed");
+            std::process::exit(2);
+        }
+    };
+    let mut shell = Shell::with_backend(graph, options.k, backend);
 
     // One-shot mode: run the -q queries and exit.
     if !options.one_shot.is_empty() {
@@ -542,6 +580,28 @@ mod tests {
     }
 
     #[test]
+    fn compressed_shell_reports_overlay_stats() {
+        let mut shell = Shell::with_backend(paper_example_graph(), 2, BackendChoice::Compressed);
+        let stats = shell.run(Command::Stats);
+        assert!(stats.contains("compressed backend"), "{stats}");
+        assert!(
+            stats.contains("overlay   : 0 overrides"),
+            "a fresh build has an empty overlay: {stats}"
+        );
+        let out = shell.run(Command::Update("tim knows zoe".to_owned()));
+        assert!(out.contains("inserted"), "{out}");
+        let stats = shell.run(Command::Stats);
+        assert!(stats.contains("overlay   : "), "{stats}");
+        assert!(
+            !stats.contains("overlay   : 0 overrides"),
+            "the update must land in the overlay: {stats}"
+        );
+        // The other backends do not print an overlay line.
+        let mut memory = Shell::new(paper_example_graph(), 2);
+        assert!(!memory.run(Command::Stats).contains("overlay"));
+    }
+
+    #[test]
     fn strategy_names_are_recognized_loosely() {
         assert_eq!(parse_strategy("naive"), Some(Strategy::Naive));
         assert_eq!(parse_strategy("semi-naive"), Some(Strategy::SemiNaive));
@@ -614,6 +674,7 @@ mod tests {
             graph_file: None,
             scale: 1.0,
             k: 1,
+            backend: "memory".into(),
             one_shot: vec![],
         })
         .is_err());

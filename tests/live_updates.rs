@@ -1,10 +1,11 @@
 //! Live graph updates: the incremental-vs-rebuild equivalence property and
 //! the epoch-based plan/prepared invalidation contract.
 //!
-//! The acceptance criteria of the live-update PR are pinned here:
+//! The acceptance criteria of the live-update PRs are pinned here:
 //!
 //! * after an arbitrary random [`GraphUpdate`] sequence, a database
-//!   maintained through [`PathDb::apply`] answers the **full RPQ strategy
+//!   maintained through [`PathDb::apply`] — on **every** storage backend
+//!   (memory, paged, on-disk, compressed) — answers the **full RPQ strategy
 //!   matrix** identically to a database rebuilt from scratch over the final
 //!   graph (and to the automaton baseline);
 //! * prepared queries and cached plans compiled *before* the updates observe
@@ -17,11 +18,13 @@
 
 use pathix::datagen::paper_example_graph;
 use pathix::{
-    GraphUpdate, HistogramRefresh, LabelId, NodeId, PathDb, PathDbConfig, QueryOptions, Session,
-    Strategy,
+    BackendChoice, GraphUpdate, HistogramRefresh, LabelId, NodeId, PathDb, PathDbConfig,
+    QueryOptions, Session, Strategy,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Query matrix exercised against every mutated database: single labels,
@@ -56,57 +59,110 @@ fn random_update(rng: &mut StdRng, nodes: u32, labels: u16) -> GraphUpdate {
     }
 }
 
+/// A per-test scratch directory for the on-disk backend: unique across
+/// processes and test threads, removed on drop (even on panic).
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "pathix-liveupd-{}-{}-{tag}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        TempDir(dir)
+    }
+
+    fn path(&self, file: &str) -> PathBuf {
+        self.0.join(file)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// All four storage backends; the on-disk page file lives under `dir` with a
+/// per-case name so parallel cases never collide.
+fn all_backends(dir: &TempDir, case: u64) -> Vec<BackendChoice> {
+    vec![
+        BackendChoice::Memory,
+        BackendChoice::PagedInMemory { pool_frames: 8 },
+        BackendChoice::OnDisk {
+            path: dir.path(&format!("case-{case}.pages")),
+            pool_frames: 8,
+        },
+        BackendChoice::Compressed,
+    ]
+}
+
 #[test]
-fn random_update_scripts_match_a_rebuilt_database_on_every_strategy() {
+fn random_update_scripts_match_a_rebuilt_database_on_every_strategy_and_backend() {
+    let dir = TempDir::new("scripts");
     for case in 0..cases() {
-        let mut rng = StdRng::seed_from_u64(0x11FE + case);
-        let k = rng.gen_range(1..=3usize);
-        let db = PathDb::build(paper_example_graph(), PathDbConfig::with_k(k));
-        let nodes = db.graph().node_count() as u32;
-        let labels = db.graph().label_count() as u16;
+        // Every backend replays the identical script (same seed) and must
+        // end answering identically to a from-scratch rebuild.
+        for choice in all_backends(&dir, case) {
+            let mut rng = StdRng::seed_from_u64(0x11FE + case);
+            let k = rng.gen_range(1..=3usize);
+            let config = PathDbConfig {
+                // A tiny threshold on the compressed backend forces overlay
+                // compactions inside the property run.
+                compressed_compaction_threshold: 8,
+                ..PathDbConfig::with_k(k).with_backend(choice.clone())
+            };
+            let db = PathDb::try_build(paper_example_graph(), config).unwrap();
+            let nodes = db.graph().node_count() as u32;
+            let labels = db.graph().label_count() as u16;
 
-        // Apply a script of random batches (batching exercises the
-        // single-publish-per-batch path as well as repeated publishes).
-        let batches = rng.gen_range(1..4usize);
-        for _ in 0..batches {
-            let updates: Vec<GraphUpdate> = (0..rng.gen_range(1..12usize))
-                .map(|_| random_update(&mut rng, nodes, labels))
-                .collect();
-            db.apply(&updates).unwrap();
-        }
+            // Apply a script of random batches (batching exercises the
+            // single-publish-per-batch path as well as repeated publishes).
+            let batches = rng.gen_range(1..4usize);
+            for _ in 0..batches {
+                let updates: Vec<GraphUpdate> = (0..rng.gen_range(1..12usize))
+                    .map(|_| random_update(&mut rng, nodes, labels))
+                    .collect();
+                db.apply(&updates).unwrap();
+            }
 
-        // A database rebuilt from scratch over the final (kept-in-sync)
-        // graph is the ground truth.
-        let rebuilt = PathDb::build(db.graph().as_ref().clone(), PathDbConfig::with_k(k));
-        assert_eq!(
-            db.stats().index.entries,
-            rebuilt.stats().index.entries,
-            "case {case}: index size diverged"
-        );
-        assert_eq!(
-            db.stats().index.paths_k_size,
-            rebuilt.stats().index.paths_k_size,
-            "case {case}: |paths_k(G)| diverged"
-        );
-        for query in QUERIES {
-            let reference = rebuilt.query_automaton(query).unwrap();
-            for strategy in Strategy::all() {
-                let live = db
-                    .run(query, QueryOptions::with_strategy(strategy))
-                    .unwrap();
-                let fresh = rebuilt
-                    .run(query, QueryOptions::with_strategy(strategy))
-                    .unwrap();
-                assert_eq!(
-                    live.pairs(),
-                    fresh.pairs(),
-                    "case {case}: {strategy} diverges on {query} (k = {k})"
-                );
-                assert_eq!(
-                    live.pairs(),
-                    &reference[..],
-                    "case {case}: {strategy} diverges from the automaton on {query}"
-                );
+            // A database rebuilt from scratch over the final (kept-in-sync)
+            // graph is the ground truth.
+            let rebuilt = PathDb::build(db.graph().as_ref().clone(), PathDbConfig::with_k(k));
+            assert_eq!(
+                db.stats().index.entries,
+                rebuilt.stats().index.entries,
+                "case {case} on {choice:?}: index size diverged"
+            );
+            assert_eq!(
+                db.stats().index.paths_k_size,
+                rebuilt.stats().index.paths_k_size,
+                "case {case} on {choice:?}: |paths_k(G)| diverged"
+            );
+            for query in QUERIES {
+                let reference = rebuilt.query_automaton(query).unwrap();
+                for strategy in Strategy::all() {
+                    let live = db
+                        .run(query, QueryOptions::with_strategy(strategy))
+                        .unwrap();
+                    let fresh = rebuilt
+                        .run(query, QueryOptions::with_strategy(strategy))
+                        .unwrap();
+                    assert_eq!(
+                        live.pairs(),
+                        fresh.pairs(),
+                        "case {case} on {choice:?}: {strategy} diverges on {query} (k = {k})"
+                    );
+                    assert_eq!(
+                        live.pairs(),
+                        &reference[..],
+                        "case {case} on {choice:?}: {strategy} diverges from the automaton on \
+                         {query}"
+                    );
+                }
             }
         }
     }
