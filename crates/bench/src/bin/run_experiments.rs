@@ -1,7 +1,7 @@
 //! Regenerates the paper's figures and claims as plain-text tables.
 //!
 //! ```text
-//! cargo run -p pathix-bench --release --bin run_experiments -- [experiment]
+//! cargo run -p pathix-bench --release --bin run_experiments -- [experiment] [--json]
 //!
 //! experiments:
 //!   fig2       Figure 2: 8 Advogato queries × 4 strategies × k ∈ {1,2,3}
@@ -19,15 +19,35 @@
 //! The dataset scale is `PATHIX_BENCH_SCALE` (default 0.15 of the real
 //! Advogato); the Datalog/automaton comparisons automatically use a smaller
 //! graph because the baselines are orders of magnitude slower.
+//!
+//! `--json` additionally writes the `updates` experiment's machine-readable
+//! results to `BENCH_updates.json` in the current directory (apply
+//! throughput, publish latency and post-update query latency per backend) so
+//! CI can archive the perf trajectory run over run.
 
+use pathix_bench::report::ToJson;
 use pathix_bench::{
     amortization, automaton_comparison, backend_comparison, bench_scale, datalog_speedup, fig2,
     histogram_ablation, incremental_maintenance, index_construction, live_updates, paged_index,
     parallel, scaling, sql_comparison,
 };
 
+/// Writes the X10 report to `BENCH_updates.json` (best effort).
+fn write_bench_updates<T: ToJson>(report: &T) {
+    match std::fs::write("BENCH_updates.json", report.to_json()) {
+        Ok(()) => println!("(machine-readable results written to BENCH_updates.json)"),
+        Err(e) => eprintln!("warning: could not write BENCH_updates.json: {e}"),
+    }
+}
+
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_owned());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let arg = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "all".to_owned());
     let scale = bench_scale();
     // The baselines recompute everything per query, so run them on a smaller
     // sample to keep the harness finishing in minutes.
@@ -76,7 +96,10 @@ fn main() {
             incremental_maintenance(scale);
         }
         "updates" => {
-            live_updates(scale, 2);
+            let report = live_updates(scale, 2);
+            if json {
+                write_bench_updates(&report);
+            }
         }
         "all" => {
             fig2(scale, &ks);
@@ -91,7 +114,10 @@ fn main() {
             amortization(scale, 2);
             parallel(scale);
             incremental_maintenance(scale);
-            live_updates(scale, 2);
+            let report = live_updates(scale, 2);
+            if json {
+                write_bench_updates(&report);
+            }
         }
         other => {
             eprintln!(

@@ -23,8 +23,9 @@ pub struct IndexBuildRow {
     pub entries: u64,
     /// Distinct label paths indexed.
     pub paths: usize,
-    /// B+tree depth (the in-memory backend's tree; X1 builds `Memory`).
-    pub tree_depth: usize,
+    /// Chunks of the in-memory backend's shared-run index (X1 builds
+    /// `Memory`, whose runs are cut into bounded `Arc`-shared chunks).
+    pub chunks: usize,
     /// Approximate key bytes stored.
     pub approx_bytes: u64,
     /// Wall-clock construction time in milliseconds (enumeration +
@@ -53,18 +54,18 @@ fn measure(
         let db = PathDb::build(graph.clone(), PathDbConfig::with_k(k));
         let build_ms = start.elapsed().as_secs_f64() * 1e3;
         let stats = db.stats().index;
-        // X1 always builds the in-memory backend, whose B+tree exposes depth.
-        let tree_depth = db
+        // X1 always builds the in-memory backend: chunked shared runs.
+        let chunks = db
             .index()
             .as_memory()
-            .map(|index| index.stats().tree_depth)
+            .map(|index| index.chunk_count())
             .unwrap_or(0);
         table.push_row(vec![
             name.to_owned(),
             k.to_string(),
             stats.entries.to_string(),
             stats.distinct_paths.to_string(),
-            tree_depth.to_string(),
+            chunks.to_string(),
             format!("{:.1}", stats.approx_bytes as f64 / (1024.0 * 1024.0)),
             format!("{build_ms:.0}"),
         ]);
@@ -75,7 +76,7 @@ fn measure(
             k,
             entries: stats.entries,
             paths: stats.distinct_paths,
-            tree_depth,
+            chunks,
             approx_bytes: stats.approx_bytes,
             build_ms,
         });
@@ -93,7 +94,7 @@ pub fn index_construction(scale: f64, ks: &[usize]) -> IndexBuildReport {
         "k",
         "entries",
         "paths",
-        "tree depth",
+        "chunks",
         "size (MiB)",
         "build (ms)",
     ]);
@@ -116,7 +117,7 @@ crate::impl_to_json!(IndexBuildRow {
     k,
     entries,
     paths,
-    tree_depth,
+    chunks,
     approx_bytes,
     build_ms
 });

@@ -17,19 +17,23 @@
 //!
 //! The counting delta enumeration runs **once** per batch (in the shared
 //! [`IncrementalKPathIndex`]); what differs is how each backend absorbs the
-//! resulting key transitions:
+//! resulting key transitions. Publishing is **O(Δ)** everywhere — the cost is
+//! proportional to the batch's touched neighborhood, never to the index —
+//! and snapshots are fully isolated on every backend:
 //!
-//! * **memory** — the counting index freezes into a fresh read-optimized
-//!   B+tree; snapshots are fully isolated (old epochs keep their tree);
+//! * **memory** — the key deltas rebuild only the touched chunks of the
+//!   structurally-shared [`SharedKPathIndex`]; everything untouched is
+//!   re-shared behind `Arc`s, and old epochs keep theirs;
 //! * **paged / on-disk** — the key deltas become B+tree inserts/deletes with
 //!   page splits, merges and free-list recycling, written back through the
-//!   buffer pool after every batch; snapshots share pages with the writer, so
-//!   the isolation unit is the published batch (see
+//!   buffer pool after every batch; pages a published snapshot can reach are
+//!   **copy-on-write** — the writer relocates instead of overwriting them and
+//!   reclaims superseded pages only after the snapshot dies (see
 //!   [`PagedPathIndex::reader_view`]);
 //! * **compressed** — the key deltas land in per-path overlay side-tables
 //!   that scans merge on the fly, compacted into block rewrites past
-//!   [`PathDbConfig::compressed_compaction_threshold`]; snapshots are fully
-//!   isolated (blocks are shared immutably, overlays are copied).
+//!   [`PathDbConfig::compressed_compaction_threshold`]; blocks are shared
+//!   immutably, overlays are copied.
 
 use crate::cache::{PlanCache, PlanCacheStats};
 use crate::error::QueryError;
@@ -40,10 +44,10 @@ use pathix_baselines::{evaluate_automaton, evaluate_datalog};
 use pathix_graph::{Graph, NodeId, SignedLabel};
 use pathix_index::{
     BackendError, BackendResult, BackendScan, BackendStats, DeltaBatch, EntryDeltas,
-    EstimationMode, GraphUpdate, IncrementalKPathIndex, KPathIndex, MutablePathIndexBackend,
-    PathHistogram, PathIndexBackend,
+    EstimationMode, GraphUpdate, IncrementalKPathIndex, MutablePathIndexBackend, PathHistogram,
+    PathIndexBackend, SharedKPathIndex,
 };
-use pathix_pagestore::{CompressedPathStore, PagedPathIndex};
+use pathix_pagestore::{CompressedPathStore, CowStats, PagedPathIndex, PoolStats};
 use pathix_plan::{explain as explain_plan, plan_query, PhysicalPlan, PlannerContext, Strategy};
 use pathix_rpq::{parse, to_disjuncts, BoundExpr, LabelPath, RewriteOptions};
 use std::path::PathBuf;
@@ -90,8 +94,8 @@ pub enum BackendChoice {
 /// looks inside.
 #[derive(Debug)]
 pub enum IndexBackend {
-    /// In-memory B+tree index.
-    Memory(KPathIndex),
+    /// In-memory chunked-run index with structural sharing across epochs.
+    Memory(SharedKPathIndex),
     /// Buffer-pool-backed paged index (in-memory or on-disk page store).
     Paged(PagedPathIndex),
     /// Compressed per-path pair blocks.
@@ -100,7 +104,7 @@ pub enum IndexBackend {
 
 impl IndexBackend {
     /// The in-memory index, when this backend is [`IndexBackend::Memory`].
-    pub fn as_memory(&self) -> Option<&KPathIndex> {
+    pub fn as_memory(&self) -> Option<&SharedKPathIndex> {
         match self {
             IndexBackend::Memory(index) => Some(index),
             _ => None,
@@ -277,6 +281,18 @@ impl PathDbConfig {
     }
 }
 
+/// Storage-layer counters of the paged backends: how the buffer pool and the
+/// copy-on-write machinery behaved so far. `None` on backends without a
+/// buffer pool (memory, compressed).
+#[derive(Debug, Clone, Copy)]
+pub struct StorageStats {
+    /// Buffer-pool hits, misses, evictions and write-backs.
+    pub pool: PoolStats,
+    /// Page copies, retirements and reclamations of the copy-on-write tree,
+    /// plus the number of live snapshots.
+    pub cow: CowStats,
+}
+
 /// Combined statistics of a database instance.
 #[derive(Debug, Clone, Copy)]
 pub struct DbStats {
@@ -292,6 +308,8 @@ pub struct DbStats {
     pub histogram_paths: usize,
     /// Number of histogram buckets.
     pub histogram_buckets: usize,
+    /// Buffer-pool and copy-on-write counters (paged backends only).
+    pub storage: Option<StorageStats>,
 }
 
 /// What one [`PathDb::apply`] batch did.
@@ -303,6 +321,9 @@ pub struct UpdateStats {
     pub deleted: u64,
     /// Updates that changed nothing (duplicate inserts, absent deletes).
     pub no_ops: u64,
+    /// Index-entry transitions (keys appeared/disappeared) the batch caused —
+    /// the Δ every backend's publish is proportional to.
+    pub delta_entries: u64,
     /// The database epoch after the batch. Unchanged when the whole batch
     /// was a no-op.
     pub epoch: u64,
@@ -394,27 +415,46 @@ impl Snapshot {
     }
 }
 
-/// The writer-side handle of a physical backend that absorbs key deltas in
-/// place: it owns the mutable paged tree / compressed store whose reader
-/// views the published snapshots hold.
+/// The writer-side handle of a physical backend that absorbs key deltas: it
+/// owns the mutable index whose reader views the published snapshots hold.
 #[derive(Debug)]
 enum WriterBackend {
+    /// Mutable chunked-run index (publishes `Arc`-shared reader views).
+    Memory(SharedKPathIndex),
     /// Mutable paged B+tree index (in-memory or on-disk page store).
     Paged(PagedPathIndex),
     /// Mutable compressed store (blocks + delta overlays).
     Compressed(CompressedPathStore),
 }
 
+impl WriterBackend {
+    /// Replays one delta batch and publishes the resulting reader view.
+    fn publish(&mut self, batch: &DeltaBatch<'_>) -> BackendResult<IndexBackend> {
+        match self {
+            WriterBackend::Memory(index) => index
+                .apply_delta_batch(batch)
+                .map(|()| IndexBackend::Memory(index.reader_view())),
+            WriterBackend::Paged(index) => index
+                .apply_delta_batch(batch)
+                .map(|()| IndexBackend::Paged(index.reader_view())),
+            WriterBackend::Compressed(store) => store
+                .apply_delta_batch(batch)
+                .map(|()| IndexBackend::Compressed(store.reader_view())),
+        }
+    }
+}
+
 /// Writer-side state: the counting index the delta rules maintain (built
-/// lazily on the first update), the mutable physical backend for the
-/// paged/compressed choices, and the histogram-refresh bookkeeping.
-#[derive(Debug, Default)]
+/// lazily on the first update), the mutable physical backend, the reusable
+/// delta-log allocation and the histogram-refresh bookkeeping.
+#[derive(Debug)]
 struct LiveState {
     index: Option<IncrementalKPathIndex>,
     updates_since_refresh: u64,
-    /// `None` for the memory backend (which publishes by freezing the
-    /// counting index instead of mutating in place).
-    writer: Option<WriterBackend>,
+    /// The key-transition log of the current batch, reused across batches so
+    /// steady-state applies stop reallocating it.
+    deltas: EntryDeltas,
+    writer: WriterBackend,
     /// Set when a delta batch failed midway on a disk-resident backend: the
     /// tree may hold a partial batch, so later applies fail loudly until the
     /// database is rebuilt. Reads keep serving the last published snapshot.
@@ -461,21 +501,27 @@ impl PathDb {
     pub fn try_build(graph: Graph, config: PathDbConfig) -> Result<Self, QueryError> {
         let k = config.k;
         let (backend, writer) = match &config.backend {
-            BackendChoice::Memory => (IndexBackend::Memory(KPathIndex::build(&graph, k)), None),
+            BackendChoice::Memory => {
+                let index = SharedKPathIndex::build(&graph, k);
+                (
+                    IndexBackend::Memory(index.reader_view()),
+                    WriterBackend::Memory(index),
+                )
+            }
             BackendChoice::PagedInMemory { pool_frames } => {
-                let index = PagedPathIndex::build_in_memory(&graph, k, *pool_frames)
+                let mut index = PagedPathIndex::build_in_memory(&graph, k, *pool_frames)
                     .map_err(|e| BackendError::io("paged", &e))?;
                 (
                     IndexBackend::Paged(index.reader_view()),
-                    Some(WriterBackend::Paged(index)),
+                    WriterBackend::Paged(index),
                 )
             }
             BackendChoice::OnDisk { path, pool_frames } => {
-                let index = PagedPathIndex::build_on_disk(&graph, k, path, *pool_frames)
+                let mut index = PagedPathIndex::build_on_disk(&graph, k, path, *pool_frames)
                     .map_err(|e| BackendError::io("paged", &e))?;
                 (
                     IndexBackend::Paged(index.reader_view()),
-                    Some(WriterBackend::Paged(index)),
+                    WriterBackend::Paged(index),
                 )
             }
             BackendChoice::Compressed => {
@@ -483,7 +529,7 @@ impl PathDb {
                     .with_compaction_threshold(config.compressed_compaction_threshold);
                 (
                     IndexBackend::Compressed(store.reader_view()),
-                    Some(WriterBackend::Compressed(store)),
+                    WriterBackend::Compressed(store),
                 )
             }
         };
@@ -498,8 +544,11 @@ impl PathDb {
         Ok(PathDb {
             state: RwLock::new(snapshot),
             live: Mutex::new(LiveState {
+                index: None,
+                updates_since_refresh: 0,
+                deltas: EntryDeltas::new(),
                 writer,
-                ..LiveState::default()
+                failed: None,
             }),
             config,
             plan_cache,
@@ -611,26 +660,23 @@ impl PathDb {
     /// [`IncrementalKPathIndex`] (built lazily from the current graph on the
     /// first call), keep the graph adjacency in sync, refresh the histogram
     /// under [`PathDbConfig::histogram_refresh`], and publish a new
-    /// [`Snapshot`] with a bumped epoch. The memory backend publishes a
-    /// frozen copy of the counting index; the paged and compressed backends
-    /// replay the batch's key deltas against their own storage (B+tree
-    /// inserts/deletes with page writeback, overlay entries with threshold
-    /// compaction) and publish a reader view. Readers are never blocked:
-    /// queries and cursors opened before the batch keep answering from their
-    /// own snapshot (on the paged backends, whose views share pages with the
-    /// writer, "their own snapshot" means the most recently published batch —
-    /// see [`PagedPathIndex::reader_view`]), and plans cached at older epochs
-    /// are transparently replanned on next use.
+    /// [`Snapshot`] with a bumped epoch. Every backend replays the same key
+    /// deltas against its own storage — chunk rebuilds with structural
+    /// sharing on memory, copy-on-write B+tree inserts/deletes with page
+    /// writeback on the paged backends, overlay entries with threshold
+    /// compaction on the compressed store — so publishing costs O(batch), not
+    /// O(index). Readers are never blocked: queries and cursors opened before
+    /// the batch keep answering **bit-identically** from their own snapshot
+    /// on every backend, and plans cached at older epochs are transparently
+    /// replanned on next use.
     ///
     /// Updates must reference interned node and label ids
     /// ([`QueryError::InvalidUpdate`] otherwise); the whole batch is
     /// validated before anything is applied. A batch that fails midway on a
     /// disk-resident backend ([`QueryError::Backend`]) rejects all further
-    /// updates until the database is rebuilt; memory- and compressed-backend
-    /// reads are unaffected (their snapshots own their data), while paged
-    /// reads may observe the partially applied batch through the shared
-    /// pages — rebuild (or reopen the page file from its last writeback) to
-    /// recover.
+    /// updates until the database is rebuilt; reads are unaffected on every
+    /// backend — published snapshots pin their own pages, which the failed
+    /// writer never touched.
     pub fn apply(&self, updates: &[GraphUpdate]) -> Result<UpdateStats, QueryError> {
         // Writers serialize on the live-state lock; the snapshot lock is only
         // taken (briefly) to read the current state and to publish the result.
@@ -648,13 +694,13 @@ impl PathDb {
             IncrementalKPathIndex::bulk_from_graph(current.graph(), self.config.k)
         });
 
-        let mut deltas = EntryDeltas::new();
+        live_state.deltas.clear();
         let mut graph: Option<Graph> = None;
         let mut inserted = 0u64;
         let mut deleted = 0u64;
         let mut no_ops = 0u64;
         for &update in updates {
-            if !live_index.apply_logged(update, &mut deltas) {
+            if !live_index.apply_logged(update, &mut live_state.deltas) {
                 no_ops += 1;
                 continue;
             }
@@ -677,6 +723,7 @@ impl PathDb {
                 inserted: 0,
                 deleted: 0,
                 no_ops,
+                delta_entries: 0,
                 epoch: current.epoch(),
                 histogram_refreshed: false,
             });
@@ -700,25 +747,17 @@ impl PathDb {
         };
 
         // Publish. The counting enumeration ran once above; each backend now
-        // absorbs the same key transitions its own way.
+        // absorbs the same key transitions its own way — in O(Δ), never by
+        // rebuilding or re-freezing the whole index.
         let batch = DeltaBatch {
-            deltas: &deltas,
+            deltas: &live_state.deltas,
             per_path_counts: live_index.per_path_counts(),
             paths_k_size: live_index.paths_k_size(),
             node_count: live_index.node_count(),
             inserted_edges: inserted,
             deleted_edges: deleted,
         };
-        let published = match &mut live_state.writer {
-            None => Ok(IndexBackend::Memory(live_index.freeze())),
-            Some(WriterBackend::Paged(index)) => index
-                .apply_delta_batch(&batch)
-                .map(|()| IndexBackend::Paged(index.reader_view())),
-            Some(WriterBackend::Compressed(store)) => store
-                .apply_delta_batch(&batch)
-                .map(|()| IndexBackend::Compressed(store.reader_view())),
-        };
-        let backend = match published {
+        let backend = match live_state.writer.publish(&batch) {
             Ok(backend) => backend,
             Err(e) => {
                 // The physical backend may hold a partial batch, and the
@@ -737,6 +776,7 @@ impl PathDb {
             inserted,
             deleted,
             no_ops,
+            delta_entries: live_state.deltas.len() as u64,
             epoch,
             histogram_refreshed: refresh,
         })
@@ -854,9 +894,15 @@ impl PathDb {
         Ok(evaluate_datalog(snapshot.graph(), &expr))
     }
 
-    /// Aggregated statistics about the graph, index and histogram.
+    /// Aggregated statistics about the graph, index and histogram, plus —
+    /// on the paged backends — the buffer-pool and copy-on-write counters of
+    /// the storage layer.
     pub fn stats(&self) -> DbStats {
         let snapshot = self.snapshot();
+        let storage = snapshot.index().as_paged().map(|paged| StorageStats {
+            pool: paged.pool_stats(),
+            cow: paged.cow_stats(),
+        });
         DbStats {
             nodes: snapshot.graph().node_count(),
             edges: snapshot.graph().edge_count(),
@@ -864,6 +910,7 @@ impl PathDb {
             index: snapshot.index().stats(),
             histogram_paths: snapshot.histogram().path_count(),
             histogram_buckets: snapshot.histogram().buckets().len(),
+            storage,
         }
     }
 }
@@ -1431,6 +1478,54 @@ mod tests {
                 .unwrap()
                 > knows_count_before
         );
+    }
+
+    #[test]
+    fn storage_stats_surface_pool_and_cow_counters_on_paged_backends() {
+        let db = PathDb::build(
+            paper_example_graph(),
+            PathDbConfig::with_k(2).with_backend(BackendChoice::PagedInMemory { pool_frames: 8 }),
+        );
+        let storage = db.stats().storage.expect("paged backends report storage");
+        assert!(storage.pool.hits + storage.pool.misses > 0);
+        assert_eq!(storage.cow.page_copies, 0, "no update ran yet");
+        assert_eq!(storage.cow.live_snapshots, 1, "the published reader view");
+
+        // Keep the pre-update snapshot alive: the batch must copy pages.
+        let before = db.snapshot();
+        db.apply(&[update(&db, "insert", "tim", "supervisor", "joe")])
+            .unwrap();
+        let storage = db.stats().storage.unwrap();
+        assert!(storage.cow.page_copies > 0, "{storage:?}");
+        assert!(storage.cow.pages_retired > 0, "{storage:?}");
+        drop(before);
+
+        // Memory and compressed backends have no buffer pool to report.
+        let memory = example_db(2);
+        assert!(memory.stats().storage.is_none());
+    }
+
+    #[test]
+    fn memory_publishes_share_untouched_runs_across_epochs() {
+        let db = example_db(2);
+        let before = db.snapshot();
+        db.apply(&[update(&db, "insert", "tim", "supervisor", "joe")])
+            .unwrap();
+        let after = db.snapshot();
+        let published = after.index().as_memory().unwrap();
+        let stats = published.last_publish_stats();
+        assert!(stats.runs_shared > 0, "{stats:?}");
+        assert!(stats.runs_rebuilt > 0, "{stats:?}");
+        // The old snapshot still answers from its own runs.
+        let knows = SignedLabel::forward(before.graph().label_id("supervisor").unwrap());
+        let old: Vec<_> = before
+            .index()
+            .as_memory()
+            .unwrap()
+            .scan_path(&[knows])
+            .collect();
+        let new: Vec<_> = published.scan_path(&[knows]).collect();
+        assert_eq!(new.len(), old.len() + 1);
     }
 
     #[test]

@@ -50,7 +50,7 @@ pub use cache::PlanCacheStats;
 pub use cursor::Cursor;
 pub use db::{
     BackendChoice, DbStats, HistogramRefresh, IndexBackend, PathDb, PathDbConfig, Snapshot,
-    UpdateStats,
+    StorageStats, UpdateStats,
 };
 pub use error::QueryError;
 pub use options::QueryOptions;
@@ -63,7 +63,8 @@ pub use session::Session;
 pub use pathix_graph::{Graph, GraphBuilder, LabelId, NodeId, SignedLabel};
 pub use pathix_index::{
     BackendError, BackendStats, DeltaBatch, EntryChange, EntryDeltas, EstimationMode, GraphUpdate,
-    IndexStats, MutablePathIndexBackend, PathIndexBackend,
+    IndexStats, MutablePathIndexBackend, PathIndexBackend, RunPublishStats, SharedKPathIndex,
 };
+pub use pathix_pagestore::{CowStats, PoolStats};
 pub use pathix_plan::{ExecutionStats, PhysicalPlan, Strategy};
 pub use pathix_rpq::{ParseError, RewriteOptions};

@@ -139,6 +139,22 @@ fn pack_pair(a: NodeId, b: NodeId) -> u64 {
     ((a.0 as u64) << 32) | b.0 as u64
 }
 
+/// Reusable scratch space of the per-update delta enumeration. Batches apply
+/// many updates back to back; clearing these collections keeps their
+/// capacity, so the hot path stops reallocating the accumulator map, the
+/// encoded-delta vector and the signed alphabet on every single update.
+#[derive(Debug, Clone, Default)]
+struct DeltaScratch {
+    /// `(path, a, b) → walk-count delta` accumulator of one enumeration.
+    delta: HashMap<(Vec<SignedLabel>, NodeId, NodeId), u64>,
+    /// Encoded `(key, count)` output of one enumeration.
+    out: Vec<(Vec<u8>, u64)>,
+    /// Cached signed alphabet, valid while `alphabet_max` matches the
+    /// adjacency's maximum label.
+    alphabet: Vec<SignedLabel>,
+    alphabet_max: Option<LabelId>,
+}
+
 /// A k-path index that stays consistent under edge insertions and deletions.
 ///
 /// Unlike [`crate::KPathIndex`] (bulk-built, read-only), this index stores a
@@ -178,6 +194,8 @@ pub struct IncrementalKPathIndex {
     node_count: usize,
     inserts_applied: u64,
     deletes_applied: u64,
+    /// Reused across updates; see [`DeltaScratch`].
+    scratch: DeltaScratch,
 }
 
 impl IncrementalKPathIndex {
@@ -194,6 +212,7 @@ impl IncrementalKPathIndex {
             node_count: 0,
             inserts_applied: 0,
             deletes_applied: 0,
+            scratch: DeltaScratch::default(),
         }
     }
 
@@ -252,6 +271,7 @@ impl IncrementalKPathIndex {
             node_count: graph.node_count(),
             inserts_applied: 0,
             deletes_applied: 0,
+            scratch: DeltaScratch::default(),
         }
     }
 
@@ -404,10 +424,12 @@ impl IncrementalKPathIndex {
         self.node_count = self.node_count.max(src.index() + 1).max(dst.index() + 1);
         // Prefixes are evaluated on the old graph (new graph minus the edge),
         // suffixes on the new graph: Δ(R₁⋯Rₙ) = Σᵢ R₁ᵒ⋯Rᵢ₋₁ᵒ · Δe · Rᵢ₊₁ⁿ⋯Rₙⁿ.
-        let delta = self.edge_delta(src, label, dst);
-        for (key, count) in delta {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.edge_delta(src, label, dst, &mut scratch);
+        for (key, count) in scratch.out.drain(..) {
             self.add_to_entry(&key, count, log.as_deref_mut());
         }
+        self.scratch = scratch;
         self.inserts_applied += 1;
         true
     }
@@ -432,10 +454,12 @@ impl IncrementalKPathIndex {
         // prefixes on the new graph (old minus the edge), suffixes on the old
         // graph — which is exactly `edge_delta` evaluated *before* the edge is
         // removed from the adjacency.
-        let delta = self.edge_delta(src, label, dst);
-        for (key, count) in delta {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.edge_delta(src, label, dst, &mut scratch);
+        for (key, count) in scratch.out.drain(..) {
             self.subtract_from_entry(&key, count, log.as_deref_mut());
         }
+        self.scratch = scratch;
         self.adj.remove(src, label, dst);
         self.deletes_applied += 1;
         true
@@ -444,9 +468,24 @@ impl IncrementalKPathIndex {
     /// Walk-count deltas contributed by the edge `src --label--> dst` for
     /// every label path of length ≤ k, with path prefixes evaluated on the
     /// adjacency *excluding* the edge and suffixes on the adjacency as-is.
-    fn edge_delta(&self, src: NodeId, label: LabelId, dst: NodeId) -> Vec<(Vec<u8>, u64)> {
+    /// The encoded `(key, count)` deltas land in `scratch.out`.
+    fn edge_delta(&self, src: NodeId, label: LabelId, dst: NodeId, scratch: &mut DeltaScratch) {
+        if scratch.alphabet_max != self.adj.max_label {
+            scratch.alphabet.clear();
+            if let Some(max) = self.adj.max_label {
+                scratch.alphabet.extend((0..=max.0).flat_map(|l| {
+                    [
+                        SignedLabel::forward(LabelId(l)),
+                        SignedLabel::backward(LabelId(l)),
+                    ]
+                }));
+            }
+            scratch.alphabet_max = self.adj.max_label;
+        }
+        scratch.delta.clear();
+        scratch.out.clear();
         let excluded = (src, label, dst);
-        let mut delta: HashMap<(Vec<SignedLabel>, NodeId, NodeId), u64> = HashMap::new();
+        let delta = &mut scratch.delta;
 
         // The two orientations in which the edge can realize a path step: a
         // `+ℓ` step gains the pair (src, dst), a `ℓ⁻` step gains (dst, src).
@@ -460,8 +499,14 @@ impl IncrementalKPathIndex {
             // All (prefix, suffix) shapes around the step, |prefix| + 1 +
             // |suffix| ≤ k. Prefix walks end at `step_from` on the old graph;
             // suffix walks start at `step_to` on the new graph.
-            let prefixes = self.walks_by_path(step_from, self.k - 1, true, Some(excluded));
-            let suffixes = self.walks_by_path(step_to, self.k - 1, false, None);
+            let prefixes = self.walks_by_path(
+                step_from,
+                self.k - 1,
+                true,
+                Some(excluded),
+                &scratch.alphabet,
+            );
+            let suffixes = self.walks_by_path(step_to, self.k - 1, false, None, &scratch.alphabet);
             for (prefix, sources) in &prefixes {
                 for (suffix, targets) in &suffixes {
                     if prefix.len() + 1 + suffix.len() > self.k {
@@ -479,10 +524,11 @@ impl IncrementalKPathIndex {
                 }
             }
         }
-        delta
-            .into_iter()
-            .map(|((path, a, b), c)| (encode_entry(&path, a, b), c))
-            .collect()
+        scratch.out.extend(
+            delta
+                .drain()
+                .map(|((path, a, b), c)| (encode_entry(&path, a, b), c)),
+        );
     }
 
     /// Enumerates, for every label path `q` with `|q| ≤ max_len`, the walk
@@ -498,11 +544,11 @@ impl IncrementalKPathIndex {
         max_len: usize,
         toward_anchor: bool,
         excluded: Option<(NodeId, LabelId, NodeId)>,
+        alphabet: &[SignedLabel],
     ) -> Vec<(Vec<SignedLabel>, HashMap<NodeId, u64>)> {
         let mut base = HashMap::new();
         base.insert(anchor, 1u64);
         let mut result = vec![(Vec::new(), base)];
-        let alphabet = self.signed_alphabet();
         let mut frontier = 0;
         while frontier < result.len() {
             let (path, counts) = result[frontier].clone();
@@ -510,7 +556,7 @@ impl IncrementalKPathIndex {
             if path.len() == max_len {
                 continue;
             }
-            for &sl in &alphabet {
+            for &sl in alphabet {
                 // Walking *toward* the anchor extends the path on the left and
                 // traverses the new first step backwards; walking away extends
                 // on the right and traverses it forwards.
@@ -539,20 +585,6 @@ impl IncrementalKPathIndex {
             }
         }
         result
-    }
-
-    fn signed_alphabet(&self) -> Vec<SignedLabel> {
-        let Some(max) = self.adj.max_label else {
-            return Vec::new();
-        };
-        (0..=max.0)
-            .flat_map(|l| {
-                [
-                    SignedLabel::forward(LabelId(l)),
-                    SignedLabel::backward(LabelId(l)),
-                ]
-            })
-            .collect()
     }
 
     fn add_to_entry(&mut self, key: &[u8], delta: u64, log: Option<&mut EntryDeltas>) {

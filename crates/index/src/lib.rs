@@ -36,6 +36,7 @@ pub mod incremental;
 pub mod kpath;
 pub mod parallel;
 pub mod pathkey;
+pub mod runs;
 
 pub use backend::{
     BackendError, BackendResult, BackendScan, BackendStats, DeltaBatch, EntryChange, EntryDeltas,
@@ -47,3 +48,4 @@ pub use histogram::{EstimationMode, PathHistogram};
 pub use incremental::{GraphUpdate, IncrementalKPathIndex};
 pub use kpath::{IndexStats, KPathIndex};
 pub use parallel::enumerate_paths_parallel;
+pub use runs::{RunPublishStats, SharedKPathIndex};

@@ -1,0 +1,852 @@
+//! The structurally-shared, read-optimized k-path index that live databases
+//! publish as their memory-backend snapshots.
+//!
+//! [`crate::KPathIndex`] is bulk-built and read-only; republishing it after a
+//! batch of updates means rebuilding a B+tree over the **whole** entry set —
+//! an O(index) "freeze" per publish that throws away the locality the paper's
+//! update rules guarantee (an update only touches the k-neighborhood of the
+//! changed edge). [`SharedKPathIndex`] keeps the same logical content — every
+//! `⟨p, a, b⟩` triple, served in `(source, target)` order per path — but
+//! stores each path relation as a sequence of bounded, immutable **chunks**
+//! held behind `Arc`s:
+//!
+//! ```text
+//! runs  : [ path₁ → [Arc<chunk>, Arc<chunk>, …],  path₂ → […], … ]
+//! chunk : sorted Vec<(source, target)>, ≤ CHUNK_MAX pairs
+//! ```
+//!
+//! Publishing a batch ([`SharedKPathIndex::apply_delta_batch`], driven by the
+//! [`EntryDeltas`](crate::EntryDeltas) log the counting rules emit) rebuilds
+//! only the chunks that contain a changed key and re-shares every other chunk
+//! by bumping its refcount, so the publish cost is **O(Δ · chunk)** — flat in
+//! the index size. Old snapshots keep their `Arc`s, which is what makes every
+//! published epoch fully isolated for free: nothing a reader holds is ever
+//! mutated.
+
+use crate::backend::{
+    check_scan_path, BackendResult, BackendScan, BackendStats, DeltaBatch, EntryChange,
+    MutablePathIndexBackend, PathIndexBackend,
+};
+use crate::enumerate::enumerate_paths;
+use crate::pathkey::decode_entry;
+use crate::paths_k_cardinality;
+use pathix_graph::{Graph, NodeId, SignedLabel};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Preferred number of pairs per chunk: rebuilt chunk groups are re-cut to
+/// this size. Smaller chunks shrink the publish ceiling (Δ scattered keys
+/// rebuild at most Δ chunks of this size) at the price of more `Arc` bumps
+/// per re-shared run; 256 pairs ≈ 2 KiB keeps both cheap.
+const CHUNK_TARGET: usize = 256;
+
+/// A chunk never exceeds this many pairs; larger merge results are split.
+const CHUNK_MAX: usize = 2 * CHUNK_TARGET;
+
+/// A rebuilt region smaller than this absorbs its untouched right neighbor
+/// instead of being emitted as its own chunk, so delete-heavy churn cannot
+/// fragment a run into ever-tinier chunks: the chunk count stays
+/// proportional to the live entries, not to the run's historical peak.
+const CHUNK_MIN: usize = CHUNK_TARGET / 2;
+
+/// One immutable, sorted slice of a path relation.
+type Chunk = Vec<(NodeId, NodeId)>;
+
+/// A path keyed for `(length, path)` ordering.
+type PathKey = (usize, Vec<SignedLabel>);
+
+/// The net key changes of one path, sorted by pair.
+type PathOps = Vec<((NodeId, NodeId), EntryChange)>;
+
+/// One path relation: bounded chunks in ascending `(source, target)` order.
+/// The chunk list itself lives behind an `Arc` so an untouched run is
+/// re-shared across epochs with a single refcount bump — publish cost stays
+/// O(touched chunks + paths), with no O(total chunks) pointer copying.
+#[derive(Debug, Clone)]
+struct Run {
+    path: Vec<SignedLabel>,
+    chunks: Arc<Vec<Arc<Chunk>>>,
+}
+
+/// What one publish reused versus rebuilt — the observable evidence that a
+/// publish was proportional to the touched neighborhood, not the index.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RunPublishStats {
+    /// Runs taken over wholesale from the previous epoch (`Arc` bumps only).
+    pub runs_shared: usize,
+    /// Runs with at least one rebuilt chunk.
+    pub runs_rebuilt: usize,
+    /// Chunks re-shared from the previous epoch.
+    pub chunks_shared: usize,
+    /// Chunks rebuilt because a key inside them changed.
+    pub chunks_rebuilt: usize,
+}
+
+/// A k-path index over per-path chunked runs with structural sharing across
+/// epochs (see the module docs) — what a live database's memory backend
+/// publishes as its snapshots.
+#[derive(Debug, Clone)]
+pub struct SharedKPathIndex {
+    k: usize,
+    node_count: usize,
+    paths_k_size: u64,
+    entries: u64,
+    /// Sorted by `(path length, path)` — the order
+    /// [`PathIndexBackend::per_path_counts`] promises.
+    runs: Vec<Run>,
+    per_path_counts: Vec<(Vec<SignedLabel>, u64)>,
+    last_publish: RunPublishStats,
+    inserts_applied: u64,
+    deletes_applied: u64,
+}
+
+impl SharedKPathIndex {
+    /// Builds the index over `graph` for locality parameter `k ≥ 1` — the
+    /// same enumeration [`crate::KPathIndex::build`] runs, chunked instead of
+    /// bulk-loaded into a B+tree.
+    pub fn build(graph: &Graph, k: usize) -> Self {
+        assert!(k >= 1, "the k-path index requires k ≥ 1");
+        let relations = enumerate_paths(graph, k);
+        let paths_k_size = paths_k_cardinality(graph, &relations);
+        let mut runs = Vec::with_capacity(relations.len());
+        let mut per_path_counts = Vec::with_capacity(relations.len());
+        let mut entries = 0u64;
+        for rel in relations {
+            let mut pairs = rel.pairs;
+            pairs.sort_unstable();
+            pairs.dedup();
+            entries += pairs.len() as u64;
+            per_path_counts.push((rel.path.clone(), pairs.len() as u64));
+            runs.push(Run {
+                path: rel.path,
+                chunks: Arc::new(cut_chunks(pairs)),
+            });
+        }
+        SharedKPathIndex {
+            k,
+            node_count: graph.node_count(),
+            paths_k_size,
+            entries,
+            runs,
+            per_path_counts,
+            last_publish: RunPublishStats::default(),
+            inserts_applied: 0,
+            deletes_applied: 0,
+        }
+    }
+
+    /// A snapshot of this index to publish: an O(paths) clone that shares
+    /// every chunk. The view stays bit-stable no matter what the original
+    /// absorbs afterwards — later batches replace chunks, they never mutate
+    /// them.
+    pub fn reader_view(&self) -> SharedKPathIndex {
+        self.clone()
+    }
+
+    /// What the most recent [`SharedKPathIndex::apply_delta_batch`] reused
+    /// versus rebuilt (all zeros before the first batch).
+    pub fn last_publish_stats(&self) -> RunPublishStats {
+        self.last_publish
+    }
+
+    /// Total number of chunks across all runs.
+    pub fn chunk_count(&self) -> usize {
+        self.runs.iter().map(|r| r.chunks.len()).sum()
+    }
+
+    /// Number of non-empty path relations stored.
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// The run of `path`, if that relation is non-empty.
+    fn run(&self, path: &[SignedLabel]) -> Option<&Run> {
+        self.runs
+            .binary_search_by(|r| (r.path.len(), r.path.as_slice()).cmp(&(path.len(), path)))
+            .ok()
+            .map(|i| &self.runs[i])
+    }
+
+    /// `I_{G,k}(⟨p⟩)` as a chunk-streaming iterator.
+    pub fn scan_path(&self, path: &[SignedLabel]) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.run(path)
+            .map(|r| r.chunks.as_slice())
+            .unwrap_or(&[])
+            .iter()
+            .flat_map(|chunk| chunk.iter().copied())
+    }
+
+    /// `I_{G,k}(⟨p, source⟩)`: targets reachable from `source` via `p`.
+    pub fn scan_path_from(&self, path: &[SignedLabel], source: NodeId) -> Vec<NodeId> {
+        let Some(run) = self.run(path) else {
+            return Vec::new();
+        };
+        let lo = (source, NodeId(0));
+        let hi = (source, NodeId(u32::MAX));
+        let mut out = Vec::new();
+        // Skip chunks that end before the source, stop past it.
+        let start = run
+            .chunks
+            .partition_point(|c| c.last().is_some_and(|&last| last < lo));
+        for chunk in &run.chunks[start..] {
+            if chunk.first().is_some_and(|&first| first > hi) {
+                break;
+            }
+            let from = chunk.partition_point(|&p| p < lo);
+            for &(s, t) in &chunk[from..] {
+                if s != source {
+                    break;
+                }
+                out.push(t);
+            }
+        }
+        out
+    }
+
+    /// `I_{G,k}(⟨p, source, target⟩)`: membership test.
+    pub fn contains(&self, path: &[SignedLabel], source: NodeId, target: NodeId) -> bool {
+        let Some(run) = self.run(path) else {
+            return false;
+        };
+        let key = (source, target);
+        let i = run
+            .chunks
+            .partition_point(|c| c.last().is_some_and(|&last| last < key));
+        run.chunks
+            .get(i)
+            .is_some_and(|chunk| chunk.binary_search(&key).is_ok())
+    }
+
+    /// Rebuilds only the chunks whose keys the batch changed, sharing every
+    /// other chunk with the previous epoch. Returns the new index plus what it
+    /// reused; callers publish the result and keep serving the old value to
+    /// existing readers.
+    fn with_batch(&self, batch: &DeltaBatch<'_>) -> SharedKPathIndex {
+        // The log records transitions in order; relative to the pre-batch
+        // state a key's *net* effect is determined by its first and last
+        // transition — equal means apply, opposed means the key ended where it
+        // started.
+        let mut net: BTreeMap<PathKey, BTreeMap<(NodeId, NodeId), NetOp>> = BTreeMap::new();
+        for (key, change) in batch.deltas.ops() {
+            let (path, a, b) = decode_entry(key).expect("delta keys are well-formed index entries");
+            net.entry((path.len(), path))
+                .or_default()
+                .entry((a, b))
+                .and_modify(|op| op.last = *change)
+                .or_insert(NetOp {
+                    first: *change,
+                    last: *change,
+                });
+        }
+        let touched: Vec<(PathKey, PathOps)> = net
+            .into_iter()
+            .map(|(path, ops)| {
+                let ops = ops
+                    .into_iter()
+                    .filter_map(|(pair, op)| (op.first == op.last).then_some((pair, op.first)))
+                    .collect();
+                (path, ops)
+            })
+            .collect();
+
+        let mut stats = RunPublishStats::default();
+        let mut runs = Vec::with_capacity(batch.per_path_counts.len());
+        let mut entries = 0u64;
+        let mut old = 0usize; // cursor into self.runs
+        let mut ops_at = 0usize; // cursor into touched
+        for (path, count) in batch.per_path_counts {
+            let key = (path.len(), path.as_slice());
+            while old < self.runs.len()
+                && (self.runs[old].path.len(), self.runs[old].path.as_slice()) < key
+            {
+                // This path's relation emptied out: its removals are in the
+                // log, and the batch statistics no longer list it.
+                old += 1;
+            }
+            let prev: Option<&Arc<Vec<Arc<Chunk>>>> = match self.runs.get(old) {
+                Some(run) if run.path.as_slice() == path.as_slice() => Some(&run.chunks),
+                _ => None,
+            };
+            while ops_at < touched.len()
+                && (touched[ops_at].0 .0, touched[ops_at].0 .1.as_slice()) < key
+            {
+                ops_at += 1;
+            }
+            let ops: &[((NodeId, NodeId), EntryChange)] = match touched.get(ops_at) {
+                Some(((len, p), ops)) if *len == path.len() && p.as_slice() == path.as_slice() => {
+                    ops
+                }
+                _ => &[],
+            };
+            let chunks = if ops.is_empty() {
+                stats.runs_shared += 1;
+                stats.chunks_shared += prev.map_or(0, |c| c.len());
+                prev.map_or_else(|| Arc::new(Vec::new()), Arc::clone)
+            } else {
+                stats.runs_rebuilt += 1;
+                Arc::new(apply_ops(
+                    prev.map_or(&[][..], |c| c.as_slice()),
+                    ops,
+                    &mut stats,
+                ))
+            };
+            debug_assert_eq!(
+                chunks.iter().map(|c| c.len() as u64).sum::<u64>(),
+                *count,
+                "run for {path:?} diverged from the batch statistics"
+            );
+            entries += count;
+            runs.push(Run {
+                path: path.clone(),
+                chunks,
+            });
+        }
+
+        SharedKPathIndex {
+            k: self.k,
+            node_count: batch.node_count,
+            paths_k_size: batch.paths_k_size,
+            entries,
+            runs,
+            per_path_counts: batch.per_path_counts.to_vec(),
+            last_publish: stats,
+            inserts_applied: self.inserts_applied + batch.inserted_edges,
+            deletes_applied: self.deletes_applied + batch.deleted_edges,
+        }
+    }
+}
+
+/// First and last transition a key went through inside one batch.
+#[derive(Debug, Clone, Copy)]
+struct NetOp {
+    first: EntryChange,
+    last: EntryChange,
+}
+
+/// Cuts a sorted pair list into chunks of at most [`CHUNK_MAX`] (re-cut at
+/// [`CHUNK_TARGET`] so freshly built chunks leave headroom).
+fn cut_chunks(pairs: Vec<(NodeId, NodeId)>) -> Vec<Arc<Chunk>> {
+    if pairs.len() <= CHUNK_MAX {
+        return if pairs.is_empty() {
+            Vec::new()
+        } else {
+            vec![Arc::new(pairs)]
+        };
+    }
+    pairs
+        .chunks(CHUNK_TARGET)
+        .map(|c| Arc::new(c.to_vec()))
+        .collect()
+}
+
+/// Applies the net key changes of one path to its previous chunk sequence:
+/// untouched chunks are re-shared, touched ones are merged with their changes
+/// and re-cut. `ops` must be sorted by key.
+fn apply_ops(
+    prev: &[Arc<Chunk>],
+    ops: &[((NodeId, NodeId), EntryChange)],
+    stats: &mut RunPublishStats,
+) -> Vec<Arc<Chunk>> {
+    let mut out: Vec<Arc<Chunk>> = Vec::with_capacity(prev.len() + 1);
+    let mut pending: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut oi = 0usize;
+    for (ci, chunk) in prev.iter().enumerate() {
+        // Keys strictly below the next chunk's first key belong to this
+        // chunk (the first chunk also takes everything below it).
+        let upper = prev.get(ci + 1).and_then(|c| c.first()).copied();
+        let start = oi;
+        while oi < ops.len() && upper.is_none_or(|u| ops[oi].0 < u) {
+            oi += 1;
+        }
+        let my_ops = &ops[start..oi];
+        if my_ops.is_empty() {
+            if pending.is_empty() || pending.len() >= CHUNK_MIN {
+                flush_pending(&mut pending, &mut out);
+                out.push(Arc::clone(chunk));
+                stats.chunks_shared += 1;
+            } else {
+                // The rebuilt region to our left came out undersized:
+                // coalesce this neighbor into it rather than emitting a
+                // sliver — copying one extra chunk keeps the run compact.
+                pending.extend_from_slice(chunk);
+                stats.chunks_rebuilt += 1;
+            }
+            continue;
+        }
+        merge_chunk(chunk, my_ops, &mut pending);
+        stats.chunks_rebuilt += 1;
+        emit_full_chunks(&mut pending, &mut out);
+    }
+    // A brand-new path (no previous chunks) takes all its ops here.
+    if prev.is_empty() {
+        for &(pair, change) in ops {
+            debug_assert_eq!(change, EntryChange::Added, "removal from an empty run");
+            if change == EntryChange::Added {
+                pending.push(pair);
+            }
+        }
+    }
+    flush_pending(&mut pending, &mut out);
+    out
+}
+
+/// Emits target-sized chunks while `pending` is at or over [`CHUNK_MAX`] —
+/// the single size invariant every emitted chunk obeys.
+fn emit_full_chunks(pending: &mut Vec<(NodeId, NodeId)>, out: &mut Vec<Arc<Chunk>>) {
+    while pending.len() >= CHUNK_MAX {
+        let rest = pending.split_off(CHUNK_TARGET);
+        out.push(Arc::new(std::mem::replace(pending, rest)));
+    }
+}
+
+/// Emits all of `pending` as chunks (target-sized while full, then the rest).
+fn flush_pending(pending: &mut Vec<(NodeId, NodeId)>, out: &mut Vec<Arc<Chunk>>) {
+    emit_full_chunks(pending, out);
+    if !pending.is_empty() {
+        out.push(Arc::new(std::mem::take(pending)));
+    }
+}
+
+/// Merges one chunk's pairs with its sorted net changes into `pending`.
+fn merge_chunk(
+    chunk: &[(NodeId, NodeId)],
+    ops: &[((NodeId, NodeId), EntryChange)],
+    pending: &mut Vec<(NodeId, NodeId)>,
+) {
+    let mut pi = 0usize;
+    for &(key, change) in ops {
+        while pi < chunk.len() && chunk[pi] < key {
+            pending.push(chunk[pi]);
+            pi += 1;
+        }
+        let present = pi < chunk.len() && chunk[pi] == key;
+        match change {
+            EntryChange::Added => {
+                debug_assert!(!present, "added key {key:?} already present");
+                pending.push(key);
+                if present {
+                    pi += 1;
+                }
+            }
+            EntryChange::Removed => {
+                debug_assert!(present, "removed key {key:?} not present");
+                if present {
+                    pi += 1;
+                }
+            }
+        }
+    }
+    pending.extend_from_slice(&chunk[pi..]);
+}
+
+impl PathIndexBackend for SharedKPathIndex {
+    fn backend_name(&self) -> &'static str {
+        "memory"
+    }
+
+    fn k(&self) -> usize {
+        self.k
+    }
+
+    fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    fn scan_path(&self, path: &[SignedLabel]) -> BackendResult<BackendScan<'_>> {
+        check_scan_path(self.backend_name(), self.k, path)?;
+        Ok(Box::new(SharedKPathIndex::scan_path(self, path).map(Ok)))
+    }
+
+    fn scan_path_from(&self, path: &[SignedLabel], source: NodeId) -> BackendResult<Vec<NodeId>> {
+        check_scan_path(self.backend_name(), self.k, path)?;
+        Ok(SharedKPathIndex::scan_path_from(self, path, source))
+    }
+
+    fn contains(
+        &self,
+        path: &[SignedLabel],
+        source: NodeId,
+        target: NodeId,
+    ) -> BackendResult<bool> {
+        Ok(SharedKPathIndex::contains(self, path, source, target))
+    }
+
+    fn path_cardinality(&self, path: &[SignedLabel]) -> Option<u64> {
+        self.per_path_counts
+            .binary_search_by(|(p, _)| (p.len(), p.as_slice()).cmp(&(path.len(), path)))
+            .ok()
+            .map(|i| self.per_path_counts[i].1)
+    }
+
+    fn per_path_counts(&self) -> &[(Vec<SignedLabel>, u64)] {
+        &self.per_path_counts
+    }
+
+    fn paths_k_size(&self) -> u64 {
+        self.paths_k_size
+    }
+
+    fn stats(&self) -> BackendStats {
+        BackendStats {
+            backend: self.backend_name(),
+            k: self.k,
+            entries: self.entries,
+            distinct_paths: self.per_path_counts.len(),
+            paths_k_size: self.paths_k_size,
+            approx_bytes: self.entries * std::mem::size_of::<(NodeId, NodeId)>() as u64,
+        }
+    }
+}
+
+impl MutablePathIndexBackend for SharedKPathIndex {
+    /// Publishes the next epoch in place: O(touched chunks), with everything
+    /// untouched shared structurally. Never fails — the runs live in memory.
+    fn apply_delta_batch(&mut self, batch: &DeltaBatch<'_>) -> BackendResult<()> {
+        *self = self.with_batch(batch);
+        Ok(())
+    }
+
+    fn updates_applied(&self) -> (u64, u64) {
+        (self.inserts_applied, self.deletes_applied)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EntryDeltas, GraphUpdate, IncrementalKPathIndex, KPathIndex};
+    use pathix_datagen::paper_example_graph;
+    use pathix_graph::LabelId;
+
+    fn delta_batch<'a>(
+        oracle: &'a IncrementalKPathIndex,
+        deltas: &'a EntryDeltas,
+        inserted: u64,
+        deleted: u64,
+    ) -> DeltaBatch<'a> {
+        DeltaBatch {
+            deltas,
+            per_path_counts: oracle.per_path_counts(),
+            paths_k_size: oracle.paths_k_size(),
+            node_count: oracle.node_count(),
+            inserted_edges: inserted,
+            deleted_edges: deleted,
+        }
+    }
+
+    #[test]
+    fn build_matches_the_bulk_index() {
+        let g = paper_example_graph();
+        for k in 1..=3 {
+            let bulk = KPathIndex::build(&g, k);
+            let shared = SharedKPathIndex::build(&g, k);
+            assert_eq!(shared.stats().entries, bulk.stats().entries as u64);
+            assert_eq!(shared.per_path_counts(), bulk.per_path_counts());
+            assert_eq!(
+                PathIndexBackend::paths_k_size(&shared),
+                bulk.paths_k_size(),
+                "k = {k}"
+            );
+            for (path, _) in bulk.per_path_counts() {
+                let expected: Vec<_> = bulk.scan_path(path).collect();
+                let actual: Vec<_> = shared.scan_path(path).collect();
+                assert_eq!(actual, expected, "path {path:?}");
+                for &(a, b) in &expected {
+                    assert!(shared.contains(path, a, b));
+                    assert_eq!(shared.scan_path_from(path, a), bulk.scan_path_from(path, a));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn delta_publish_matches_a_rebuild_and_shares_structure() {
+        let g = paper_example_graph();
+        let k = 2;
+        let shared = SharedKPathIndex::build(&g, k);
+        let mut oracle = IncrementalKPathIndex::bulk_from_graph(&g, k);
+
+        let knows = g.label_id("knows").unwrap();
+        let sue = g.node_id("sue").unwrap();
+        let tim = g.node_id("tim").unwrap();
+        let mut deltas = EntryDeltas::new();
+        assert!(oracle.apply_logged(
+            GraphUpdate::InsertEdge {
+                src: sue,
+                label: knows,
+                dst: tim,
+            },
+            &mut deltas,
+        ));
+        let next = shared.with_batch(&delta_batch(&oracle, &deltas, 1, 0));
+
+        let mut updated = g.clone();
+        assert!(updated.insert_edge(sue, knows, tim));
+        let rebuilt = SharedKPathIndex::build(&updated, k);
+        assert_eq!(next.per_path_counts(), rebuilt.per_path_counts());
+        for (path, _) in rebuilt.per_path_counts() {
+            let expected: Vec<_> = rebuilt.scan_path(path).collect();
+            let actual: Vec<_> = next.scan_path(path).collect();
+            assert_eq!(actual, expected, "path {path:?}");
+        }
+        let publish = next.last_publish_stats();
+        assert!(publish.runs_shared > 0, "{publish:?}");
+        assert!(publish.runs_rebuilt > 0, "{publish:?}");
+        // The old value is untouched: full snapshot isolation.
+        assert_eq!(
+            shared.per_path_counts(),
+            KPathIndex::build(&g, k).per_path_counts()
+        );
+    }
+
+    #[test]
+    fn add_then_remove_within_one_batch_is_net_noop() {
+        let g = paper_example_graph();
+        let shared = SharedKPathIndex::build(&g, 2);
+        let mut oracle = IncrementalKPathIndex::bulk_from_graph(&g, 2);
+        let knows = g.label_id("knows").unwrap();
+        let sue = g.node_id("sue").unwrap();
+        let tim = g.node_id("tim").unwrap();
+        let mut deltas = EntryDeltas::new();
+        let insert = GraphUpdate::InsertEdge {
+            src: sue,
+            label: knows,
+            dst: tim,
+        };
+        let delete = GraphUpdate::DeleteEdge {
+            src: sue,
+            label: knows,
+            dst: tim,
+        };
+        assert!(oracle.apply_logged(insert, &mut deltas));
+        assert!(oracle.apply_logged(delete, &mut deltas));
+        assert!(!deltas.is_empty(), "transitions were logged both ways");
+        let next = shared.with_batch(&delta_batch(&oracle, &deltas, 1, 1));
+        assert_eq!(next.stats().entries, shared.stats().entries);
+        for (path, _) in shared.per_path_counts() {
+            assert_eq!(
+                next.scan_path(path).collect::<Vec<_>>(),
+                shared.scan_path(path).collect::<Vec<_>>(),
+                "path {path:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn chunked_runs_split_and_stay_sorted_under_churn() {
+        // A synthetic single-label chain large enough to force several chunks,
+        // then heavy delete/insert churn replayed through delta batches.
+        let l = LabelId(0);
+        let mut oracle = IncrementalKPathIndex::new(1);
+        let mut deltas = EntryDeltas::new();
+        for i in 0..(3 * CHUNK_MAX as u32) {
+            oracle.apply_logged(
+                GraphUpdate::InsertEdge {
+                    src: NodeId(i),
+                    label: l,
+                    dst: NodeId(i + 1),
+                },
+                &mut deltas,
+            );
+        }
+        let empty = SharedKPathIndex {
+            k: 1,
+            node_count: 0,
+            paths_k_size: 0,
+            entries: 0,
+            runs: Vec::new(),
+            per_path_counts: Vec::new(),
+            last_publish: RunPublishStats::default(),
+            inserts_applied: 0,
+            deletes_applied: 0,
+        };
+        let mut shared = empty.with_batch(&delta_batch(&oracle, &deltas, 3 * CHUNK_MAX as u64, 0));
+        assert!(shared.chunk_count() > 1, "chain must span several chunks");
+
+        for round in 0..4u32 {
+            deltas.clear();
+            let mut deleted = 0;
+            let mut inserted = 0;
+            for i in (round..(3 * CHUNK_MAX as u32)).step_by(7) {
+                let update = if i % 2 == 0 {
+                    GraphUpdate::DeleteEdge {
+                        src: NodeId(i),
+                        label: l,
+                        dst: NodeId(i + 1),
+                    }
+                } else {
+                    GraphUpdate::InsertEdge {
+                        src: NodeId(i),
+                        label: l,
+                        dst: NodeId(i + 1),
+                    }
+                };
+                if oracle.apply_logged(update, &mut deltas) {
+                    match update {
+                        GraphUpdate::InsertEdge { .. } => inserted += 1,
+                        GraphUpdate::DeleteEdge { .. } => deleted += 1,
+                    }
+                }
+            }
+            shared = shared.with_batch(&delta_batch(&oracle, &deltas, inserted, deleted));
+            for (path, count) in oracle.per_path_counts() {
+                let pairs: Vec<_> = shared.scan_path(path).collect();
+                assert_eq!(pairs.len() as u64, *count, "round {round}, path {path:?}");
+                assert!(pairs.windows(2).all(|w| w[0] < w[1]), "round {round}");
+                assert_eq!(pairs, oracle.scan_path(path), "round {round}");
+            }
+            let publish = shared.last_publish_stats();
+            assert!(
+                publish.chunks_rebuilt > 0,
+                "round {round}: churn must rebuild chunks"
+            );
+        }
+    }
+
+    #[test]
+    fn delete_heavy_churn_does_not_fragment_runs() {
+        // Build a large single-path run, then delete almost everything in
+        // scattered batches: the chunk count must shrink with the live
+        // entries (undersized rebuilt regions absorb their neighbors)
+        // instead of staying at the run's historical peak.
+        let l = LabelId(0);
+        let n = 8 * CHUNK_MAX as u32;
+        let mut oracle = IncrementalKPathIndex::new(1);
+        let mut deltas = EntryDeltas::new();
+        for i in 0..n {
+            oracle.apply_logged(
+                GraphUpdate::InsertEdge {
+                    src: NodeId(i),
+                    label: l,
+                    dst: NodeId(i),
+                },
+                &mut deltas,
+            );
+        }
+        let empty = SharedKPathIndex {
+            k: 1,
+            node_count: 0,
+            paths_k_size: 0,
+            entries: 0,
+            runs: Vec::new(),
+            per_path_counts: Vec::new(),
+            last_publish: RunPublishStats::default(),
+            inserts_applied: 0,
+            deletes_applied: 0,
+        };
+        let mut shared = empty.with_batch(&delta_batch(&oracle, &deltas, n as u64, 0));
+        let peak_chunks = shared.chunk_count();
+        assert!(peak_chunks >= 8);
+
+        // Delete 15 of every 16 entries, scattered, over several batches.
+        for offset in 0..15u32 {
+            deltas.clear();
+            let mut deleted = 0;
+            for i in ((offset)..n).step_by(16) {
+                if oracle.apply_logged(
+                    GraphUpdate::DeleteEdge {
+                        src: NodeId(i),
+                        label: l,
+                        dst: NodeId(i),
+                    },
+                    &mut deltas,
+                ) {
+                    deleted += 1;
+                }
+            }
+            shared = shared.with_batch(&delta_batch(&oracle, &deltas, 0, deleted));
+        }
+        // Self-loops index under both signed directions: two runs.
+        let live = shared.stats().entries as usize;
+        assert_eq!(live, 2 * (n as usize / 16));
+        assert!(
+            shared.chunk_count() <= live / CHUNK_MIN + 2,
+            "run stayed fragmented: {} chunks for {live} live entries (peak {peak_chunks})",
+            shared.chunk_count()
+        );
+        let pairs: Vec<_> = shared.scan_path(&[SignedLabel::forward(l)]).collect();
+        assert_eq!(pairs, oracle.scan_path(&[SignedLabel::forward(l)]));
+    }
+
+    #[test]
+    fn untouched_chunks_are_pointer_identical_across_epochs() {
+        let l0 = LabelId(0);
+        let l1 = LabelId(1);
+        let mut oracle = IncrementalKPathIndex::new(1);
+        let mut deltas = EntryDeltas::new();
+        for i in 0..(2 * CHUNK_MAX as u32) {
+            oracle.apply_logged(
+                GraphUpdate::InsertEdge {
+                    src: NodeId(i),
+                    label: l0,
+                    dst: NodeId(i),
+                },
+                &mut deltas,
+            );
+        }
+        oracle.apply_logged(
+            GraphUpdate::InsertEdge {
+                src: NodeId(0),
+                label: l1,
+                dst: NodeId(1),
+            },
+            &mut deltas,
+        );
+        let base = SharedKPathIndex {
+            k: 1,
+            node_count: 0,
+            paths_k_size: 0,
+            entries: 0,
+            runs: Vec::new(),
+            per_path_counts: Vec::new(),
+            last_publish: RunPublishStats::default(),
+            inserts_applied: 0,
+            deletes_applied: 0,
+        }
+        .with_batch(&delta_batch(&oracle, &deltas, 2 * CHUNK_MAX as u64 + 1, 0));
+
+        // Touch only label 1: every chunk of the big label-0 runs must be the
+        // same allocation in the next epoch.
+        deltas.clear();
+        oracle.apply_logged(
+            GraphUpdate::InsertEdge {
+                src: NodeId(2),
+                label: l1,
+                dst: NodeId(3),
+            },
+            &mut deltas,
+        );
+        let next = base.with_batch(&delta_batch(&oracle, &deltas, 1, 0));
+        let fwd0 = [SignedLabel::forward(l0)];
+        let before = base.run(&fwd0).unwrap();
+        let after = next.run(&fwd0).unwrap();
+        assert!(
+            Arc::ptr_eq(&before.chunks, &after.chunks),
+            "an untouched run must re-share its whole chunk list"
+        );
+        assert!(next.last_publish_stats().runs_shared >= 1);
+    }
+
+    #[test]
+    fn backend_trait_contract() {
+        let g = paper_example_graph();
+        let shared = SharedKPathIndex::build(&g, 2);
+        let backend: &dyn PathIndexBackend = &shared;
+        assert_eq!(backend.backend_name(), "memory");
+        assert_eq!(backend.k(), 2);
+        assert_eq!(backend.node_count(), g.node_count());
+        let (path, count) = backend.per_path_counts()[0].clone();
+        let via_trait: Vec<_> = backend
+            .scan_path(&path)
+            .unwrap()
+            .collect::<BackendResult<Vec<_>>>()
+            .unwrap();
+        assert_eq!(via_trait.len() as u64, count);
+        assert_eq!(backend.path_cardinality(&path), Some(count));
+        assert!(backend.scan_path(&[]).is_err());
+        let missing = [SignedLabel::forward(LabelId(999))];
+        assert_eq!(backend.scan_path(&missing).unwrap().count(), 0);
+        assert_eq!(backend.path_cardinality(&missing), None);
+        assert!(backend.stats().entries > 0);
+    }
+}

@@ -12,7 +12,7 @@
 //!
 //! * **page 0** is the metadata page (root id, height, entry count);
 //! * **leaf pages** hold `[key_len u16 | key | val_len u16 | value]` cells in
-//!   key order and are chained left-to-right through their `next` pointer;
+//!   key order (deliberately *unchained* — see below);
 //! * **internal pages** hold `[key_len u16 | key | child u32]` cells; the
 //!   leftmost child lives in the page header's `next` field, and the cell
 //!   `(k, c)` routes keys `≥ k` (and smaller than the following cell's key)
@@ -25,18 +25,44 @@
 //! free list threaded through the meta page and are reused by later splits),
 //! so a live, update-heavy index neither leaks pages nor degrades into
 //! half-empty chains.
+//!
+//! ## Page-level copy-on-write and snapshots
+//!
+//! [`PagedBTree::share`] publishes a **snapshot**: a read handle pinned to
+//! the root (and entry count) at share time. While any snapshot is alive, the
+//! writer never overwrites a page a snapshot could reach — mutations allocate
+//! a fresh page version, rewrite the modified node there, and propagate the
+//! new page id up the ancestor path (shadow paging). Superseded pages are
+//! *retired*, tagged with the write epoch that replaced them, and only move
+//! to the reusable free list once no live snapshot is old enough to reference
+//! them — so a snapshot keeps answering bit-identically no matter how many
+//! batches the writer absorbs after it, at a cost proportional to the pages
+//! the writer actually dirties. With no snapshots alive the tree mutates in
+//! place exactly as before: copy-on-write is pay-as-you-go.
+//!
+//! Leaves are deliberately **not** chained through sibling pointers (a
+//! relocated leaf cannot update its predecessor without cascading copies);
+//! range scans instead keep a cursor stack of internal positions.
 
 use crate::buffer::BufferPool;
 use crate::page::{get_u32, get_u64, put_u32, put_u64, PageId, PAGE_SIZE};
 use crate::slotted;
 use pathix_storage::prefix_successor;
+use std::collections::{BTreeMap, HashSet};
 use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// A leaf cell: key and value bytes.
 type LeafEntry = (Vec<u8>, Vec<u8>);
 
 /// An internal cell: separator key and child page.
 type InternalCell = (Vec<u8>, PageId);
+
+/// Outcome of pairing two underflow siblings: the possibly relocated left
+/// page, plus — when redistributed rather than merged — the new separator and
+/// the possibly relocated right page.
+type RebalanceOutcome = (PageId, Option<(Vec<u8>, PageId)>);
 
 const META_MAGIC: u32 = 0x5058_5049; // "PXPI"
 const META_OFF_MAGIC: usize = 12;
@@ -70,17 +96,115 @@ pub struct PagedTreeStats {
     pub bytes_on_disk: u64,
 }
 
+/// Copy-on-write and snapshot-reclamation counters of a [`PagedBTree`]
+/// (shared between the writer and every snapshot taken from it).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CowStats {
+    /// Pages relocated because a live snapshot could still reference the old
+    /// version.
+    pub page_copies: u64,
+    /// Superseded page versions parked until the snapshots referencing them
+    /// are gone.
+    pub pages_retired: u64,
+    /// Retired pages that became reusable and rejoined the free list.
+    pub pages_reclaimed: u64,
+    /// Retired pages still pinned by live snapshots.
+    pub retired_pending: u64,
+    /// Snapshots ([`PagedBTree::share`] handles) currently alive.
+    pub live_snapshots: u64,
+}
+
+/// Epoch pins of the live snapshots plus the shared copy-on-write counters.
+#[derive(Debug, Default)]
+struct SnapshotTable {
+    /// `share epoch → number of live snapshots pinned to it`.
+    pins: Mutex<BTreeMap<u64, usize>>,
+    page_copies: AtomicU64,
+    pages_retired: AtomicU64,
+    pages_reclaimed: AtomicU64,
+    retired_pending: AtomicU64,
+}
+
+impl SnapshotTable {
+    fn pins(&self) -> std::sync::MutexGuard<'_, BTreeMap<u64, usize>> {
+        self.pins.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn register(self: &Arc<Self>, epoch: u64) -> SnapshotPin {
+        *self.pins().entry(epoch).or_insert(0) += 1;
+        SnapshotPin {
+            table: Arc::clone(self),
+            epoch,
+        }
+    }
+
+    /// `true` while at least one snapshot is alive (the writer must then
+    /// copy-on-write every page it did not itself create this epoch).
+    fn has_pins(&self) -> bool {
+        !self.pins().is_empty()
+    }
+
+    /// The oldest pinned share epoch (pages retired at epoch `e` are
+    /// reusable once `min_pinned() ≥ e` or no pins remain).
+    fn min_pinned(&self) -> Option<u64> {
+        self.pins().keys().next().copied()
+    }
+
+    fn live_snapshots(&self) -> u64 {
+        self.pins().values().map(|&n| n as u64).sum()
+    }
+}
+
+/// Keeps one snapshot's share epoch registered for as long as the snapshot
+/// handle lives; dropping the handle un-pins it.
+#[derive(Debug)]
+struct SnapshotPin {
+    table: Arc<SnapshotTable>,
+    epoch: u64,
+}
+
+impl Drop for SnapshotPin {
+    fn drop(&mut self) {
+        let mut pins = self.table.pins();
+        if let Some(n) = pins.get_mut(&self.epoch) {
+            *n -= 1;
+            if *n == 0 {
+                pins.remove(&self.epoch);
+            }
+        }
+    }
+}
+
 /// A B+tree whose nodes live in buffer-pool pages.
+///
+/// Dropping a **writer** handle (one not created by [`PagedBTree::share`])
+/// with retired pages pending makes a best-effort flush so that pages whose
+/// snapshots have died rejoin the persisted free list instead of leaking in
+/// the page file. Pages still pinned by snapshots that outlive the writer
+/// are unreachable after a reopen — the cost of a snapshot outliving its
+/// database, documented rather than chased.
 #[derive(Debug)]
 pub struct PagedBTree {
     pool: BufferPool,
     root: PageId,
     height: u32,
     entries: u64,
-    /// Head of the free-page list (pages released by node merges), threaded
-    /// through the freed pages' `next` pointers. Reused before the backing
-    /// store is extended.
+    /// Head of the free-page list (pages released by node merges or
+    /// reclaimed after their snapshots died), threaded through the freed
+    /// pages' `next` pointers. Reused before the backing store is extended.
     free_head: PageId,
+    /// Live-snapshot pins and CoW counters, shared with every share.
+    snapshots: Arc<SnapshotTable>,
+    /// The current write epoch: bumped by every [`PagedBTree::share`].
+    epoch: u64,
+    /// Pages written fresh since the last share — invisible to every
+    /// snapshot, so they may be mutated in place within this epoch.
+    fresh: HashSet<u32>,
+    /// Superseded page versions: `(epoch that replaced them, page)`. Moved to
+    /// the free list once no snapshot older than that epoch survives.
+    retired: Vec<(u64, PageId)>,
+    /// Present on snapshots only: keeps the share's epoch pinned.
+    _pin: Option<SnapshotPin>,
 }
 
 impl PagedBTree {
@@ -96,6 +220,11 @@ impl PagedBTree {
             height: 1,
             entries: 0,
             free_head: PageId::INVALID,
+            snapshots: Arc::new(SnapshotTable::default()),
+            epoch: 0,
+            fresh: HashSet::new(),
+            retired: Vec::new(),
+            _pin: None,
         };
         tree.write_meta()?;
         Ok(tree)
@@ -124,26 +253,52 @@ impl PagedBTree {
             height,
             entries,
             free_head: PageId(free_head),
+            snapshots: Arc::new(SnapshotTable::default()),
+            epoch: 0,
+            fresh: HashSet::new(),
+            retired: Vec::new(),
+            _pin: None,
         })
     }
 
-    /// A handle over the same tree sharing the buffer pool (and thus the
-    /// backing store), with the tree metadata (root, height, entry count)
-    /// copied at call time.
+    /// Publishes a **snapshot**: a read handle over the same buffer pool,
+    /// pinned to the tree's root, height and entry count at call time.
     ///
-    /// The share is intended for **reading** while the original handle keeps
-    /// mutating: page contents are shared, so a share taken after a batch of
-    /// updates observes them, while the structural metadata stays pinned.
-    /// Holding a share across *later* mutations reads the pages as they then
-    /// are — see `PagedPathIndex::reader_view` in this crate for the
-    /// snapshot contract built on top.
-    pub fn share(&self) -> PagedBTree {
+    /// The snapshot is fully isolated. Taking it bumps the writer's epoch, so
+    /// every later mutation copy-on-writes any page the snapshot could reach
+    /// instead of overwriting it (see the module docs); the pages the
+    /// snapshot references are only reclaimed after the snapshot handle is
+    /// dropped. Shares are read handles — calling mutating methods on one is
+    /// a contract violation (they would clobber the writer's pages).
+    pub fn share(&mut self) -> PagedBTree {
+        let pin = self.snapshots.register(self.epoch);
+        self.epoch += 1;
+        // Everything written so far is now visible to a snapshot: the next
+        // mutation of any of these pages must relocate them.
+        self.fresh.clear();
         PagedBTree {
             pool: self.pool.clone(),
             root: self.root,
             height: self.height,
             entries: self.entries,
-            free_head: self.free_head,
+            free_head: PageId::INVALID,
+            snapshots: Arc::clone(&self.snapshots),
+            epoch: self.epoch,
+            fresh: HashSet::new(),
+            retired: Vec::new(),
+            _pin: Some(pin),
+        }
+    }
+
+    /// Copy-on-write and snapshot-reclamation counters (shared between the
+    /// writer and its snapshots).
+    pub fn cow_stats(&self) -> CowStats {
+        CowStats {
+            page_copies: self.snapshots.page_copies.load(Ordering::Relaxed),
+            pages_retired: self.snapshots.pages_retired.load(Ordering::Relaxed),
+            pages_reclaimed: self.snapshots.pages_reclaimed.load(Ordering::Relaxed),
+            retired_pending: self.snapshots.retired_pending.load(Ordering::Relaxed),
+            live_snapshots: self.snapshots.live_snapshots(),
         }
     }
 
@@ -162,19 +317,27 @@ impl PagedBTree {
         })
     }
 
-    /// Reuses a page from the free list, extending the store only when the
-    /// list is empty.
+    /// Reuses a page from the free list (reclaiming retired pages whose
+    /// snapshots are gone first), extending the store only when the list is
+    /// empty. The returned page is *fresh*: invisible to every snapshot, so
+    /// it may be rewritten in place until the next share.
     fn alloc_page(&mut self) -> io::Result<PageId> {
-        if !self.free_head.is_valid() {
-            return self.pool.allocate_page();
-        }
-        let pid = self.free_head;
-        let next = self.pool.with_page(pid, slotted::next)?;
-        self.free_head = PageId(next);
+        self.reclaim_retired()?;
+        let pid = if self.free_head.is_valid() {
+            let pid = self.free_head;
+            let next = self.pool.with_page(pid, slotted::next)?;
+            self.free_head = PageId(next);
+            pid
+        } else {
+            self.pool.allocate_page()?
+        };
+        self.fresh.insert(pid.0);
         Ok(pid)
     }
 
     /// Pushes `pid` onto the free list (marking it [`slotted::KIND_FREE`]).
+    /// Only callable for pages no live snapshot references — freeing writes
+    /// the page.
     fn free_page(&mut self, pid: PageId) -> io::Result<()> {
         let head = self.free_head;
         self.pool.with_page_mut(pid, |p| {
@@ -183,6 +346,72 @@ impl PagedBTree {
         })?;
         self.free_head = pid;
         Ok(())
+    }
+
+    /// Releases a page the tree no longer references. A page no snapshot can
+    /// reach (fresh this epoch, or no snapshots alive) joins the free list
+    /// immediately; otherwise it is parked as retired-at-the-current-epoch
+    /// and reclaimed once every snapshot that predates this epoch is gone.
+    fn retire_page(&mut self, pid: PageId) -> io::Result<()> {
+        if self.fresh.remove(&pid.0) || !self.snapshots.has_pins() {
+            return self.free_page(pid);
+        }
+        self.retired.push((self.epoch, pid));
+        self.snapshots.pages_retired.fetch_add(1, Ordering::Relaxed);
+        self.snapshots
+            .retired_pending
+            .fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Moves every retired page whose blocking snapshots have died onto the
+    /// free list. A page retired at epoch `e` was reachable only by shares
+    /// pinned at epochs `< e`, so it is reusable once the oldest live pin is
+    /// `≥ e` (or none remain). `retired` is pushed in nondecreasing epoch
+    /// order, so only a prefix can ever be reclaimable — when nothing is, a
+    /// binary search bails out without touching the list (a long-lived
+    /// snapshot must not make every page allocation rescan it).
+    fn reclaim_retired(&mut self) -> io::Result<()> {
+        if self.retired.is_empty() {
+            return Ok(());
+        }
+        let take = match self.snapshots.min_pinned() {
+            None => self.retired.len(),
+            Some(min_pin) => self.retired.partition_point(|&(epoch, _)| epoch <= min_pin),
+        };
+        if take == 0 {
+            return Ok(());
+        }
+        let reclaimed: Vec<PageId> = self.retired.drain(..take).map(|(_, pid)| pid).collect();
+        for pid in reclaimed {
+            self.free_page(pid)?;
+        }
+        self.snapshots
+            .pages_reclaimed
+            .fetch_add(take as u64, Ordering::Relaxed);
+        self.snapshots
+            .retired_pending
+            .store(self.retired.len() as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// The page id a mutation of `pid` must write to. In-place (`pid`
+    /// itself) when no snapshot can reference this page version; otherwise a
+    /// fresh page — the caller rewrites the full node there and must
+    /// propagate the relocation to the parent. The old version is retired.
+    fn cow_target(&mut self, pid: PageId) -> io::Result<PageId> {
+        if self.fresh.contains(&pid.0) || !self.snapshots.has_pins() {
+            return Ok(pid);
+        }
+        let target = self.alloc_page()?;
+        self.retire_page(pid)?;
+        self.snapshots.page_copies.fetch_add(1, Ordering::Relaxed);
+        Ok(target)
+    }
+
+    /// Number of pages parked as retired (awaiting snapshot death).
+    pub fn retired_page_count(&self) -> usize {
+        self.retired.len()
     }
 
     /// Number of pages currently parked on the free list.
@@ -227,7 +456,10 @@ impl PagedBTree {
     }
 
     /// Flushes all dirty pages (and the metadata) to the backing store.
+    /// Retired pages whose snapshots died are reclaimed first so the
+    /// persisted free list is as complete as possible.
     pub fn flush(&mut self) -> io::Result<()> {
+        self.reclaim_retired()?;
         self.write_meta()?;
         self.pool.flush_all()
     }
@@ -270,13 +502,12 @@ impl PagedBTree {
         (key, PageId(child))
     }
 
-    fn read_leaf(&self, pid: PageId) -> io::Result<(Vec<LeafEntry>, PageId)> {
+    fn read_leaf(&self, pid: PageId) -> io::Result<Vec<LeafEntry>> {
         self.pool.with_page(pid, |p| {
             debug_assert_eq!(slotted::kind(p), slotted::KIND_LEAF, "{pid} is not a leaf");
-            let entries = (0..slotted::cell_count(p))
+            (0..slotted::cell_count(p))
                 .map(|i| Self::decode_leaf_cell(slotted::cell(p, i)))
-                .collect();
-            (entries, PageId(slotted::next(p)))
+                .collect()
         })
     }
 
@@ -294,18 +525,13 @@ impl PagedBTree {
         })
     }
 
-    fn write_leaf(
-        &self,
-        pid: PageId,
-        entries: &[(Vec<u8>, Vec<u8>)],
-        next: PageId,
-    ) -> io::Result<()> {
+    fn write_leaf(&self, pid: PageId, entries: &[(Vec<u8>, Vec<u8>)]) -> io::Result<()> {
         let cells: Vec<Vec<u8>> = entries
             .iter()
             .map(|(k, v)| Self::encode_leaf_cell(k, v))
             .collect();
         self.pool.with_page_mut(pid, |p| {
-            slotted::rewrite(p, slotted::KIND_LEAF, next.0, &cells)
+            slotted::rewrite(p, slotted::KIND_LEAF, u32::MAX, &cells)
         })
     }
 
@@ -328,15 +554,24 @@ impl PagedBTree {
     // Search
     // ------------------------------------------------------------------
 
-    /// Routes `key` one level down from an internal node's cell list.
-    fn route(cells: &[(Vec<u8>, PageId)], leftmost: PageId, key: &[u8]) -> PageId {
-        // partition_point: number of cells whose key is <= search key.
-        let idx = cells.partition_point(|(k, _)| k.as_slice() <= key);
-        if idx == 0 {
+    /// The child at `ordinal` of an internal node's cell list: ordinal 0 is
+    /// the leftmost child, `j ≥ 1` is cell `j - 1`'s child.
+    fn child_at(cells: &[InternalCell], leftmost: PageId, ordinal: usize) -> PageId {
+        if ordinal == 0 {
             leftmost
         } else {
-            cells[idx - 1].1
+            cells[ordinal - 1].1
         }
+    }
+
+    /// Routes `key` one level down from an internal node's cell list,
+    /// returning the chosen child's ordinal and page — the single source of
+    /// truth for separator semantics (point lookups and range scans must
+    /// descend identically).
+    fn route(cells: &[InternalCell], leftmost: PageId, key: &[u8]) -> (usize, PageId) {
+        // partition_point: number of cells whose key is <= search key.
+        let ordinal = cells.partition_point(|(k, _)| k.as_slice() <= key);
+        (ordinal, Self::child_at(cells, leftmost, ordinal))
     }
 
     /// Descends from the root to the leaf that owns `key`, recording the
@@ -347,7 +582,7 @@ impl PagedBTree {
         for _ in 1..self.height {
             path.push(current);
             let (cells, leftmost) = self.read_internal(current)?;
-            current = Self::route(&cells, leftmost, key);
+            current = Self::route(&cells, leftmost, key).1;
         }
         Ok((current, path))
     }
@@ -355,7 +590,7 @@ impl PagedBTree {
     /// Point lookup.
     pub fn get(&self, key: &[u8]) -> io::Result<Option<Vec<u8>>> {
         let (leaf, _) = self.descend(key)?;
-        let (entries, _) = self.read_leaf(leaf)?;
+        let entries = self.read_leaf(leaf)?;
         Ok(entries
             .binary_search_by(|(k, _)| k.as_slice().cmp(key))
             .ok()
@@ -382,8 +617,8 @@ impl PagedBTree {
             "entry of {} bytes exceeds MAX_ENTRY_SIZE ({MAX_ENTRY_SIZE})",
             key.len() + value.len()
         );
-        let (leaf, path) = self.descend(&key)?;
-        let (mut entries, next) = self.read_leaf(leaf)?;
+        let (leaf, mut path) = self.descend(&key)?;
+        let mut entries = self.read_leaf(leaf)?;
         let previous = match entries.binary_search_by(|(k, _)| k.as_slice().cmp(&key)) {
             Ok(i) => Some(std::mem::replace(&mut entries[i].1, value)),
             Err(i) => {
@@ -394,17 +629,20 @@ impl PagedBTree {
 
         let size = slotted::required_size(entries.iter().map(|(k, v)| 4 + k.len() + v.len()));
         if size <= PAGE_SIZE {
-            self.write_leaf(leaf, &entries, next)?;
+            let target = self.cow_target(leaf)?;
+            self.write_leaf(target, &entries)?;
+            self.fix_parents(&mut path, leaf, target)?;
         } else {
-            // Split the leaf in half; the right sibling takes over the old
-            // next pointer and the separator is its first key.
+            // Split the leaf in half; the separator is the right sibling's
+            // first key.
             let mid = entries.len() / 2;
             let right_entries = entries.split_off(mid);
             let right_pid = self.alloc_page()?;
             let separator = right_entries[0].0.clone();
-            self.write_leaf(right_pid, &right_entries, next)?;
-            self.write_leaf(leaf, &entries, right_pid)?;
-            self.insert_into_parent(path, leaf, separator, right_pid)?;
+            self.write_leaf(right_pid, &right_entries)?;
+            let target = self.cow_target(leaf)?;
+            self.write_leaf(target, &entries)?;
+            self.insert_into_parent(path, leaf, target, separator, right_pid)?;
         }
 
         if previous.is_none() {
@@ -414,35 +652,86 @@ impl PagedBTree {
         Ok(previous)
     }
 
+    /// Replaces the child pointer `old → new` in the recorded ancestor
+    /// `path`, bottom-up, copy-on-writing each rewritten ancestor (which may
+    /// relocate it in turn). Relocated ancestors are rewritten inside `path`
+    /// so callers can keep using it; a relocated root updates
+    /// [`PagedBTree::root`]. A no-op when `old == new`.
+    fn fix_parents(
+        &mut self,
+        path: &mut [PageId],
+        mut old: PageId,
+        mut new: PageId,
+    ) -> io::Result<()> {
+        let mut level = path.len();
+        while old != new {
+            if level == 0 {
+                self.root = new;
+                return Ok(());
+            }
+            level -= 1;
+            let parent = path[level];
+            let (mut cells, mut leftmost) = self.read_internal(parent)?;
+            if leftmost == old {
+                leftmost = new;
+            } else if let Some(cell) = cells.iter_mut().find(|(_, c)| *c == old) {
+                cell.1 = new;
+            } else {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("relocated child {old} not found under {parent}"),
+                ));
+            }
+            let target = self.cow_target(parent)?;
+            self.write_internal(target, &cells, leftmost)?;
+            path[level] = target;
+            old = parent;
+            new = target;
+        }
+        Ok(())
+    }
+
     /// Propagates a split: `(separator, new_right)` must be inserted into the
-    /// parent of `left`, possibly splitting ancestors up to the root.
+    /// parent of the split node (whose pre-split id was `left_old`, possibly
+    /// relocated to `left_new` by copy-on-write), splitting ancestors up to
+    /// the root as needed.
     fn insert_into_parent(
         &mut self,
         mut path: Vec<PageId>,
-        left: PageId,
+        left_old: PageId,
+        left_new: PageId,
         separator: Vec<u8>,
         right: PageId,
     ) -> io::Result<()> {
-        let mut left = left;
+        let mut left_old = left_old;
+        let mut left_new = left_new;
         let mut separator = separator;
         let mut right = right;
         loop {
             let Some(parent) = path.pop() else {
                 // The root itself split: grow the tree by one level.
                 let new_root = self.alloc_page()?;
-                self.write_internal(new_root, &[(separator, right)], left)?;
+                self.write_internal(new_root, &[(separator, right)], left_new)?;
                 self.root = new_root;
                 self.height += 1;
                 return Ok(());
             };
-            let (mut cells, leftmost) = self.read_internal(parent)?;
+            let (mut cells, mut leftmost) = self.read_internal(parent)?;
+            if left_old != left_new {
+                if leftmost == left_old {
+                    leftmost = left_new;
+                } else if let Some(cell) = cells.iter_mut().find(|(_, c)| *c == left_old) {
+                    cell.1 = left_new;
+                }
+            }
             let idx = cells.partition_point(|(k, _)| k.as_slice() <= separator.as_slice());
             cells.insert(idx, (separator.clone(), right));
 
             let size = slotted::required_size(cells.iter().map(|(k, _)| 6 + k.len()));
             if size <= PAGE_SIZE {
-                self.write_internal(parent, &cells, leftmost)?;
-                return Ok(());
+                let target = self.cow_target(parent)?;
+                self.write_internal(target, &cells, leftmost)?;
+                return self.fix_parents(&mut path, parent, target);
             }
             // Split the internal node: the middle key moves up, it does not
             // stay in either half (B+tree internal split).
@@ -451,8 +740,10 @@ impl PagedBTree {
             let (promoted, right_leftmost) = right_cells.remove(0);
             let right_pid = self.alloc_page()?;
             self.write_internal(right_pid, &right_cells, right_leftmost)?;
-            self.write_internal(parent, &cells, leftmost)?;
-            left = parent;
+            let target = self.cow_target(parent)?;
+            self.write_internal(target, &cells, leftmost)?;
+            left_old = parent;
+            left_new = target;
             separator = promoted;
             right = right_pid;
         }
@@ -467,17 +758,19 @@ impl PagedBTree {
     /// merged in turn, and an internal root left with a single child is
     /// collapsed, shrinking the tree by one level.
     pub fn delete(&mut self, key: &[u8]) -> io::Result<Option<Vec<u8>>> {
-        let (leaf, path) = self.descend(key)?;
-        let (mut entries, next) = self.read_leaf(leaf)?;
+        let (leaf, mut path) = self.descend(key)?;
+        let mut entries = self.read_leaf(leaf)?;
         match entries.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
             Ok(i) => {
                 let (_, value) = entries.remove(i);
-                self.write_leaf(leaf, &entries, next)?;
+                let target = self.cow_target(leaf)?;
+                self.write_leaf(target, &entries)?;
+                self.fix_parents(&mut path, leaf, target)?;
                 self.entries -= 1;
                 let size =
                     slotted::required_size(entries.iter().map(|(k, v)| 4 + k.len() + v.len()));
                 if size < MIN_FILL && self.height > 1 {
-                    self.rebalance(path, leaf)?;
+                    self.rebalance(path, target)?;
                 }
                 self.write_meta()?;
                 Ok(Some(value))
@@ -503,14 +796,14 @@ impl PagedBTree {
                 if level > 1 {
                     let (cells, leftmost) = self.read_internal(node)?;
                     if cells.is_empty() {
-                        self.free_page(node)?;
+                        self.retire_page(node)?;
                         self.root = leftmost;
                         self.height -= 1;
                     }
                 }
                 return Ok(());
             };
-            let (mut pcells, pleftmost) = self.read_internal(parent)?;
+            let (mut pcells, mut pleftmost) = self.read_internal(parent)?;
             let children: Vec<PageId> = std::iter::once(pleftmost)
                 .chain(pcells.iter().map(|&(_, c)| c))
                 .collect();
@@ -524,38 +817,51 @@ impl PagedBTree {
             let left = children[sep_idx];
             let right = children[sep_idx + 1];
 
-            let separator = if level == 1 {
+            let (new_left, redistributed) = if level == 1 {
                 self.merge_or_split_leaves(left, right)?
             } else {
                 let sep = pcells[sep_idx].0.clone();
                 self.merge_or_split_internals(left, right, sep)?
             };
-            match separator {
+            // The left sibling may have been relocated by copy-on-write.
+            if sep_idx == 0 {
+                pleftmost = new_left;
+            } else {
+                pcells[sep_idx - 1].1 = new_left;
+            }
+            match redistributed {
                 None => {
                     // Merged: the right page is gone, its separator with it.
                     pcells.remove(sep_idx);
-                    self.write_internal(parent, &pcells, pleftmost)?;
+                    let target = self.cow_target(parent)?;
+                    self.write_internal(target, &pcells, pleftmost)?;
+                    self.fix_parents(&mut path, parent, target)?;
                     let psize = slotted::required_size(pcells.iter().map(|(k, _)| 6 + k.len()));
                     if psize >= MIN_FILL {
                         return Ok(());
                     }
-                    node = parent;
+                    node = target;
                     level += 1;
                 }
-                Some(separator) => {
-                    // Redistributed: only the separator between the two
-                    // siblings changes. A longer separator can overflow a
-                    // full parent — re-route through the splitting insert
-                    // path in that (rare) case.
+                Some((separator, new_right)) => {
+                    // Redistributed: the separator between the two siblings
+                    // (and their possibly relocated ids) changes. A longer
+                    // separator can overflow a full parent — re-route through
+                    // the splitting insert path in that (rare) case.
                     pcells[sep_idx].0 = separator;
+                    pcells[sep_idx].1 = new_right;
                     let psize = slotted::required_size(pcells.iter().map(|(k, _)| 6 + k.len()));
                     if psize <= PAGE_SIZE {
-                        self.write_internal(parent, &pcells, pleftmost)?;
+                        let target = self.cow_target(parent)?;
+                        self.write_internal(target, &pcells, pleftmost)?;
+                        self.fix_parents(&mut path, parent, target)?;
                     } else {
                         let (separator, child) = pcells.remove(sep_idx);
-                        self.write_internal(parent, &pcells, pleftmost)?;
-                        path.push(parent);
-                        self.insert_into_parent(path, node, separator, child)?;
+                        let target = self.cow_target(parent)?;
+                        self.write_internal(target, &pcells, pleftmost)?;
+                        self.fix_parents(&mut path, parent, target)?;
+                        path.push(target);
+                        self.insert_into_parent(path, node, node, separator, child)?;
                     }
                     return Ok(());
                 }
@@ -564,42 +870,46 @@ impl PagedBTree {
     }
 
     /// Merges leaf `right` into `left` when their contents fit in one page
-    /// (freeing `right` and returning `None`), or redistributes the entries
-    /// evenly by size and returns the new separator (`right`'s first key).
+    /// (retiring `right`), or redistributes the entries evenly by size.
+    /// Returns the possibly relocated left page, plus — when redistributed —
+    /// the new separator and the possibly relocated right page.
     fn merge_or_split_leaves(
         &mut self,
         left: PageId,
         right: PageId,
-    ) -> io::Result<Option<Vec<u8>>> {
-        let (mut entries, lnext) = self.read_leaf(left)?;
-        debug_assert_eq!(lnext, right, "siblings must be chained");
-        let (right_entries, rnext) = self.read_leaf(right)?;
+    ) -> io::Result<RebalanceOutcome> {
+        let mut entries = self.read_leaf(left)?;
+        let right_entries = self.read_leaf(right)?;
         entries.extend(right_entries);
         let cell = |(k, v): &LeafEntry| 4 + k.len() + v.len() + slotted::SLOT_SIZE;
         let total = slotted::required_size(entries.iter().map(|e| cell(e) - slotted::SLOT_SIZE));
         if total <= PAGE_SIZE {
-            self.write_leaf(left, &entries, rnext)?;
-            self.free_page(right)?;
-            return Ok(None);
+            let new_left = self.cow_target(left)?;
+            self.write_leaf(new_left, &entries)?;
+            self.retire_page(right)?;
+            return Ok((new_left, None));
         }
         let mid = balanced_split(&entries, cell);
         let right_entries = entries.split_off(mid);
         let separator = right_entries[0].0.clone();
-        self.write_leaf(left, &entries, right)?;
-        self.write_leaf(right, &right_entries, rnext)?;
-        Ok(Some(separator))
+        let new_left = self.cow_target(left)?;
+        self.write_leaf(new_left, &entries)?;
+        let new_right = self.cow_target(right)?;
+        self.write_leaf(new_right, &right_entries)?;
+        Ok((new_left, Some((separator, new_right))))
     }
 
     /// Merges internal node `right` into `left` (pulling the parent
     /// separator down as the cell routing to `right`'s leftmost child) when
     /// everything fits in one page, or redistributes the cells evenly and
-    /// returns the promoted separator.
+    /// returns the promoted separator. Relocations mirror
+    /// [`PagedBTree::merge_or_split_leaves`].
     fn merge_or_split_internals(
         &mut self,
         left: PageId,
         right: PageId,
         separator: Vec<u8>,
-    ) -> io::Result<Option<Vec<u8>>> {
+    ) -> io::Result<RebalanceOutcome> {
         let (mut cells, lleft) = self.read_internal(left)?;
         let (right_cells, rleft) = self.read_internal(right)?;
         cells.push((separator, rleft));
@@ -607,9 +917,10 @@ impl PagedBTree {
         let cell = |(k, _): &InternalCell| 6 + k.len() + slotted::SLOT_SIZE;
         let total = slotted::required_size(cells.iter().map(|c| cell(c) - slotted::SLOT_SIZE));
         if total <= PAGE_SIZE {
-            self.write_internal(left, &cells, lleft)?;
-            self.free_page(right)?;
-            return Ok(None);
+            let new_left = self.cow_target(left)?;
+            self.write_internal(new_left, &cells, lleft)?;
+            self.retire_page(right)?;
+            return Ok((new_left, None));
         }
         // Both sides must keep at least one cell; cells are bounded by
         // MAX_ENTRY_SIZE (≈ a quarter page), so an overflowing combination
@@ -618,9 +929,11 @@ impl PagedBTree {
         let mid = balanced_split(&cells, cell).min(cells.len() - 2);
         let mut right_cells = cells.split_off(mid);
         let (promoted, right_leftmost) = right_cells.remove(0);
-        self.write_internal(left, &cells, lleft)?;
-        self.write_internal(right, &right_cells, right_leftmost)?;
-        Ok(Some(promoted))
+        let new_left = self.cow_target(left)?;
+        self.write_internal(new_left, &cells, lleft)?;
+        let new_right = self.cow_target(right)?;
+        self.write_internal(new_right, &right_cells, right_leftmost)?;
+        Ok((new_left, Some((promoted, new_right))))
     }
 
     // ------------------------------------------------------------------
@@ -696,12 +1009,6 @@ impl PagedBTree {
             leaves.push((Vec::new(), pid));
         }
 
-        // Chain the leaves left-to-right.
-        for window in leaves.windows(2) {
-            let (left, right) = (window[0].1, window[1].1);
-            pool.with_page_mut(left, |p| slotted::set_next(p, right.0))?;
-        }
-
         // Build internal levels bottom-up until a single node remains.
         let mut level = leaves;
         let mut height = 1u32;
@@ -744,6 +1051,11 @@ impl PagedBTree {
             height,
             entries,
             free_head: PageId::INVALID,
+            snapshots: Arc::new(SnapshotTable::default()),
+            epoch: 0,
+            fresh: HashSet::new(),
+            retired: Vec::new(),
+            _pin: None,
         };
         tree.write_meta()?;
         Ok(tree)
@@ -755,17 +1067,29 @@ impl PagedBTree {
 
     /// Iterates entries with `start ≤ key < end` (unbounded when `end` is
     /// `None`) in key order.
+    ///
+    /// The iterator keeps a cursor stack of internal positions instead of
+    /// following leaf sibling pointers (leaves are not chained — a relocated
+    /// copy-on-write leaf could not update its predecessor), so it always
+    /// walks exactly the tree rooted at this handle's root.
     pub fn range(&self, start: &[u8], end: Option<&[u8]>) -> io::Result<PagedRangeIter<'_>> {
-        let (leaf, _) = self.descend(start)?;
-        let (entries, next) = self.read_leaf(leaf)?;
+        let mut stack = Vec::with_capacity(self.height.saturating_sub(1) as usize);
+        let mut current = self.root;
+        for _ in 1..self.height {
+            let (cells, leftmost) = self.read_internal(current)?;
+            let (ordinal, child) = Self::route(&cells, leftmost, start);
+            stack.push((current, ordinal + 1));
+            current = child;
+        }
+        let entries = self.read_leaf(current)?;
         let pos = entries.partition_point(|(k, _)| k.as_slice() < start);
         Ok(PagedRangeIter {
             tree: self,
+            stack,
             entries,
-            next,
             pos,
             end: end.map(<[u8]>::to_vec),
-            error: None,
+            done: false,
         })
     }
 
@@ -795,12 +1119,12 @@ impl PagedBTree {
             "entry count drifted: meta says {}, leaves hold {leaf_count}",
             self.entries
         );
-        // Leaf chain: strictly ascending keys across the whole tree.
+        // Full scan: strictly ascending keys across the whole tree.
         let mut prev: Option<Vec<u8>> = None;
         for item in self.iter()? {
             let (k, _) = item?;
             if let Some(p) = &prev {
-                assert!(p < &k, "leaf chain keys out of order");
+                assert!(p < &k, "scan keys out of order");
             }
             prev = Some(k);
         }
@@ -816,7 +1140,7 @@ impl PagedBTree {
         leaf_entries: &mut u64,
     ) -> io::Result<()> {
         if level == 1 {
-            let (entries, _) = self.read_leaf(pid)?;
+            let entries = self.read_leaf(pid)?;
             for w in entries.windows(2) {
                 assert!(w[0].0 < w[1].0, "leaf {pid} keys out of order");
             }
@@ -863,6 +1187,17 @@ impl PagedBTree {
     }
 }
 
+impl Drop for PagedBTree {
+    fn drop(&mut self) {
+        // Writer handles only: reclaim whatever the dead snapshots released
+        // and persist the resulting free list (best effort — a Drop cannot
+        // report I/O errors, and the tree is consistent without it).
+        if self._pin.is_none() && !self.retired.is_empty() {
+            let _ = self.flush();
+        }
+    }
+}
+
 /// Index of the smallest prefix of `items` whose cells reach half the total
 /// size, clamped so both sides stay non-empty — the split point used when
 /// rebalancing two siblings whose combined contents overflow one page.
@@ -886,19 +1221,49 @@ fn balanced_split<T>(items: &[T], cell_size: impl Fn(&T) -> usize) -> usize {
 #[derive(Debug)]
 pub struct PagedRangeIter<'a> {
     tree: &'a PagedBTree,
+    /// Cursor: `(internal page, next child ordinal to visit)` per level,
+    /// root first. Ordinal 0 is the leftmost child, `j ≥ 1` is cell `j - 1`.
+    stack: Vec<(PageId, usize)>,
     entries: Vec<(Vec<u8>, Vec<u8>)>,
-    next: PageId,
     pos: usize,
     end: Option<Vec<u8>>,
-    error: Option<io::Error>,
+    done: bool,
+}
+
+impl PagedRangeIter<'_> {
+    /// Moves the cursor to the next leaf in key order: pops exhausted
+    /// internal levels, then descends the leftmost spine under the next
+    /// unvisited child. Returns `false` when the tree is exhausted.
+    fn advance_leaf(&mut self) -> io::Result<bool> {
+        loop {
+            let Some((pid, ordinal)) = self.stack.pop() else {
+                return Ok(false);
+            };
+            let (cells, leftmost) = self.tree.read_internal(pid)?;
+            if ordinal > cells.len() {
+                continue;
+            }
+            let child = PagedBTree::child_at(&cells, leftmost, ordinal);
+            self.stack.push((pid, ordinal + 1));
+            let mut current = child;
+            while (self.stack.len() as u32) < self.tree.height - 1 {
+                let (_, child_leftmost) = self.tree.read_internal(current)?;
+                self.stack.push((current, 1));
+                current = child_leftmost;
+            }
+            self.entries = self.tree.read_leaf(current)?;
+            self.pos = 0;
+            return Ok(true);
+        }
+    }
 }
 
 impl Iterator for PagedRangeIter<'_> {
     type Item = io::Result<(Vec<u8>, Vec<u8>)>;
 
     fn next(&mut self) -> Option<Self::Item> {
-        if let Some(err) = self.error.take() {
-            return Some(Err(err));
+        if self.done {
+            return None;
         }
         loop {
             if self.pos < self.entries.len() {
@@ -907,25 +1272,21 @@ impl Iterator for PagedRangeIter<'_> {
                 if let Some(end) = &self.end {
                     if key.as_slice() >= end.as_slice() {
                         // Past the end of the range: stop for good.
+                        self.done = true;
                         self.entries.clear();
-                        self.pos = 0;
-                        self.next = PageId::INVALID;
                         return None;
                     }
                 }
                 return Some(Ok((key, value)));
             }
-            if !self.next.is_valid() {
-                return None;
-            }
-            match self.tree.read_leaf(self.next) {
-                Ok((entries, next)) => {
-                    self.entries = entries;
-                    self.next = next;
-                    self.pos = 0;
+            match self.advance_leaf() {
+                Ok(true) => {}
+                Ok(false) => {
+                    self.done = true;
+                    return None;
                 }
                 Err(e) => {
-                    self.next = PageId::INVALID;
+                    self.done = true;
                     return Some(Err(e));
                 }
             }
@@ -1241,6 +1602,173 @@ mod tests {
         let fresh = tree.share();
         assert_eq!(fresh.len(), 101);
         assert_eq!(fresh.get(&key(100)).unwrap(), Some(val(100)));
+    }
+
+    #[test]
+    fn snapshots_are_isolated_under_heavy_churn() {
+        let mut tree = PagedBTree::create(BufferPool::in_memory(64)).unwrap();
+        for i in 0..1_500u32 {
+            tree.insert(key(i), val(i)).unwrap();
+        }
+        let snapshot = tree.share();
+        let frozen: Vec<_> = snapshot.iter().unwrap().map(Result::unwrap).collect();
+        assert_eq!(frozen.len(), 1_500);
+
+        // Heavy churn: overwrites, deletions (merges, borrows, root
+        // collapse) and fresh inserts.
+        for i in 0..1_500u32 {
+            if i % 3 == 0 {
+                tree.delete(&key(i)).unwrap();
+            } else {
+                tree.insert(key(i), format!("v2-{i}").into_bytes()).unwrap();
+            }
+        }
+        for i in 1_500..1_800u32 {
+            tree.insert(key(i), val(i)).unwrap();
+        }
+        tree.check_invariants().unwrap();
+
+        // The snapshot is bit-stable: same keys, same values, same order.
+        let again: Vec<_> = snapshot.iter().unwrap().map(Result::unwrap).collect();
+        assert_eq!(again, frozen, "snapshot content drifted under churn");
+        assert_eq!(snapshot.get(&key(3)).unwrap(), Some(val(3)));
+        snapshot.check_invariants().unwrap();
+
+        let stats = tree.cow_stats();
+        assert!(stats.page_copies > 0, "churn must copy-on-write: {stats:?}");
+        assert!(stats.pages_retired > 0, "{stats:?}");
+        assert_eq!(stats.live_snapshots, 1, "{stats:?}");
+    }
+
+    #[test]
+    fn retired_pages_reclaim_once_snapshots_die() {
+        let mut tree = PagedBTree::create(BufferPool::in_memory(64)).unwrap();
+        for i in 0..800u32 {
+            tree.insert(key(i), val(i)).unwrap();
+        }
+        let snapshot = tree.share();
+        for i in 0..800u32 {
+            tree.insert(key(i), format!("v2-{i}").into_bytes()).unwrap();
+        }
+        let pending = tree.cow_stats().retired_pending;
+        assert!(pending > 0, "overwrites under a snapshot must retire pages");
+        assert_eq!(tree.cow_stats().pages_reclaimed, 0);
+
+        drop(snapshot);
+        // The next allocations drain the retired list back into the free
+        // list; steady-state churn then reuses pages instead of growing the
+        // store.
+        tree.flush().unwrap();
+        let stats = tree.cow_stats();
+        assert_eq!(stats.retired_pending, 0, "{stats:?}");
+        assert_eq!(stats.pages_reclaimed, stats.pages_retired, "{stats:?}");
+        assert_eq!(stats.live_snapshots, 0);
+        let pages_before = tree.stats().pages;
+        for round in 0..3 {
+            for i in 0..800u32 {
+                tree.insert(key(i), format!("v{round}-{i}").into_bytes())
+                    .unwrap();
+            }
+        }
+        assert_eq!(
+            tree.stats().pages,
+            pages_before,
+            "in-place churn without snapshots must not grow the store"
+        );
+        tree.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn every_snapshot_pins_its_own_epoch() {
+        let mut tree = PagedBTree::create(BufferPool::in_memory(64)).unwrap();
+        for i in 0..300u32 {
+            tree.insert(key(i), val(i)).unwrap();
+        }
+        let snap_a = tree.share();
+        for i in 300..600u32 {
+            tree.insert(key(i), val(i)).unwrap();
+        }
+        let snap_b = tree.share();
+        for i in 0..600u32 {
+            tree.delete(&key(i)).unwrap();
+        }
+        assert!(tree.is_empty());
+        assert_eq!(snap_a.iter().unwrap().count(), 300);
+        assert_eq!(snap_b.iter().unwrap().count(), 600);
+        assert_eq!(tree.cow_stats().live_snapshots, 2);
+
+        // Dropping the older snapshot frees its exclusive pages but leaves
+        // the newer one untouched.
+        drop(snap_a);
+        tree.insert(key(9_999), val(9_999)).unwrap();
+        let still: Vec<_> = snap_b.iter().unwrap().map(Result::unwrap).collect();
+        assert_eq!(still.len(), 600);
+        assert!(still.iter().all(|(k, _)| k != &key(9_999)));
+        assert_eq!(tree.cow_stats().live_snapshots, 1);
+    }
+
+    #[test]
+    fn writer_drop_reclaims_retired_pages_into_the_persisted_free_list() {
+        let dir = std::env::temp_dir().join(format!("pathix-pbt-drop-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("drop-reclaim.pages");
+        {
+            let pool = BufferPool::new(crate::DiskManager::create(&path).unwrap(), 16);
+            let mut tree =
+                PagedBTree::bulk_load(pool, (0..600u32).map(|i| (key(i), val(i)))).unwrap();
+            let snapshot = tree.share();
+            for i in 0..600u32 {
+                tree.insert(key(i), format!("v2-{i}").into_bytes()).unwrap();
+            }
+            tree.flush().unwrap();
+            // The snapshot still pins the old pages at flush time…
+            assert!(tree.cow_stats().retired_pending > 0);
+            drop(snapshot);
+            // …but it dies before the writer, so the writer's Drop reclaims
+            // them and persists the free list.
+        }
+        {
+            let pool = BufferPool::new(crate::DiskManager::open(&path).unwrap(), 16);
+            let mut tree = PagedBTree::open(pool).unwrap();
+            tree.check_invariants().unwrap();
+            assert!(
+                tree.free_page_count().unwrap() > 0,
+                "retired pages must survive into the reopened free list"
+            );
+            let pages = tree.stats().pages;
+            tree.insert(key(9_000), val(9_000)).unwrap();
+            assert_eq!(tree.stats().pages, pages, "reopen must reuse freed pages");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn on_disk_snapshots_survive_eviction_pressure() {
+        // A 3-frame pool over a file: the snapshot's pages are constantly
+        // evicted and re-read from disk while the writer churns — the
+        // re-read bytes must still be the snapshot's version.
+        let dir = std::env::temp_dir().join(format!("pathix-pbt-cow-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cow.pages");
+        {
+            let pool = BufferPool::new(crate::DiskManager::create(&path).unwrap(), 3);
+            let mut tree =
+                PagedBTree::bulk_load(pool, (0..1_000u32).map(|i| (key(i), val(i)))).unwrap();
+            let snapshot = tree.share();
+            let frozen: Vec<_> = snapshot.iter().unwrap().map(Result::unwrap).collect();
+            for i in (0..1_000u32).step_by(2) {
+                tree.delete(&key(i)).unwrap();
+            }
+            for i in 1_000..1_200u32 {
+                tree.insert(key(i), val(i)).unwrap();
+            }
+            tree.flush().unwrap();
+            let again: Vec<_> = snapshot.iter().unwrap().map(Result::unwrap).collect();
+            assert_eq!(again, frozen, "snapshot pages changed on disk");
+            assert_eq!(tree.len(), 700);
+            tree.check_invariants().unwrap();
+        }
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

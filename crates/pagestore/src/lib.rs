@@ -37,7 +37,7 @@ pub mod paged_index;
 pub mod slotted;
 pub mod varint;
 
-pub use btree::{PagedBTree, PagedRangeIter, PagedTreeStats, MAX_ENTRY_SIZE};
+pub use btree::{CowStats, PagedBTree, PagedRangeIter, PagedTreeStats, MAX_ENTRY_SIZE};
 pub use buffer::{BufferPool, PoolStats};
 pub use compressed::{CompressedPairScan, CompressedPathStore, CompressionStats, OverlayStats};
 pub use disk::{DiskManager, DiskStats};

@@ -116,17 +116,17 @@ impl PagedPathIndex {
         })
     }
 
-    /// A read view over the same pages with the structural metadata (tree
-    /// root and entry count, per-path cardinalities, `|paths_k(G)|`) copied
-    /// at call time.
+    /// A fully isolated snapshot of the index: the structural metadata (tree
+    /// root and entry count, per-path cardinalities, `|paths_k(G)|`) is
+    /// copied at call time and the underlying [`PagedBTree::share`] pins the
+    /// pages reachable from that root.
     ///
     /// This is the snapshot a live database publishes after each update
-    /// batch: page contents are shared with the mutable index, so the view
-    /// costs O(paths) instead of O(index). Holding a view across *later*
-    /// batches reads pages as they then are — page-level copy-on-write, which
-    /// would pin old epochs exactly, is a roadmap item; until then the paged
-    /// backend's isolation unit is the published batch, not the open scan.
-    pub fn reader_view(&self) -> PagedPathIndex {
+    /// batch; it costs O(paths), not O(index). The view stays bit-stable
+    /// across *later* batches: the writer copy-on-writes any page the view
+    /// can reach and only reclaims superseded pages once the view is dropped
+    /// (see the [`crate::btree`] module docs).
+    pub fn reader_view(&mut self) -> PagedPathIndex {
         PagedPathIndex {
             k: self.k,
             node_count: self.node_count,
@@ -171,6 +171,12 @@ impl PagedPathIndex {
     /// Buffer-pool cache statistics accumulated so far.
     pub fn pool_stats(&self) -> PoolStats {
         self.tree.pool().stats()
+    }
+
+    /// Copy-on-write and snapshot-reclamation counters of the backing tree
+    /// (shared between the writer and every published reader view).
+    pub fn cow_stats(&self) -> crate::btree::CowStats {
+        self.tree.cow_stats()
     }
 
     /// Resets the buffer-pool counters (useful before measuring one query).
@@ -498,6 +504,7 @@ mod tests {
         }
 
         // A reader view shares the same answers.
+        let mut paged = paged;
         let view = paged.reader_view();
         assert_eq!(view.len(), paged.len());
         let (path, _) = &rebuilt.per_path_counts()[0];

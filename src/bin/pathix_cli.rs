@@ -271,9 +271,38 @@ impl Shell {
             self.strategy,
             self.limit
         );
+        // The paged backends additionally report the storage layer: buffer
+        // pool behaviour plus the copy-on-write page lifecycle.
+        if let Some(storage) = &stats.storage {
+            out.push_str(&format!(
+                "\npool      : {} hits, {} misses, {} evictions, {} write-backs\n\
+                 cow       : {} page copies, {} retired ({} pending), {} reclaimed, {} live snapshots",
+                storage.pool.hits,
+                storage.pool.misses,
+                storage.pool.evictions,
+                storage.pool.write_backs,
+                storage.cow.page_copies,
+                storage.cow.pages_retired,
+                storage.cow.retired_pending,
+                storage.cow.pages_reclaimed,
+                storage.cow.live_snapshots
+            ));
+        }
+        let snapshot = self.db.snapshot();
+        // The memory backend reports what its last publish shared vs rebuilt.
+        if let Some(index) = snapshot.index().as_memory() {
+            let publish = index.last_publish_stats();
+            out.push_str(&format!(
+                "\npublish   : last batch rebuilt {} runs / {} chunks, shared {} runs / {} chunks ({} chunks total)",
+                publish.runs_rebuilt,
+                publish.chunks_rebuilt,
+                publish.runs_shared,
+                publish.chunks_shared,
+                index.chunk_count()
+            ));
+        }
         // The compressed backend additionally reports its delta overlay: the
         // updates absorbed since the last block rewrites.
-        let snapshot = self.db.snapshot();
         if let Some(store) = snapshot.index().as_compressed() {
             let overlay = store.overlay_stats();
             out.push_str(&format!(
@@ -599,6 +628,38 @@ mod tests {
         // The other backends do not print an overlay line.
         let mut memory = Shell::new(paper_example_graph(), 2);
         assert!(!memory.run(Command::Stats).contains("overlay"));
+    }
+
+    #[test]
+    fn paged_shell_reports_pool_and_cow_stats() {
+        let mut shell = Shell::with_backend(
+            paper_example_graph(),
+            2,
+            BackendChoice::PagedInMemory { pool_frames: 8 },
+        );
+        let stats = shell.run(Command::Stats);
+        assert!(stats.contains("paged backend"), "{stats}");
+        assert!(stats.contains("pool      : "), "{stats}");
+        assert!(stats.contains("cow       : "), "{stats}");
+        assert!(stats.contains("live snapshots"), "{stats}");
+
+        // An update under a live snapshot copies pages; the counters move.
+        let out = shell.run(Command::Update("tim knows zoe".to_owned()));
+        assert!(out.contains("inserted"), "{out}");
+        let stats = shell.run(Command::Stats);
+        assert!(!stats.contains("cow       : 0 page copies"), "{stats}");
+
+        // The memory backend prints publish sharing instead of pool lines.
+        let mut memory = Shell::new(paper_example_graph(), 2);
+        let mem_stats = memory.run(Command::Stats);
+        assert!(!mem_stats.contains("pool      : "), "{mem_stats}");
+        assert!(mem_stats.contains("publish   : "), "{mem_stats}");
+        memory.run(Command::Update("tim knows zoe".to_owned()));
+        let mem_stats = memory.run(Command::Stats);
+        assert!(
+            mem_stats.contains("shared") && !mem_stats.contains("shared 0 runs"),
+            "an update must re-share untouched runs: {mem_stats}"
+        );
     }
 
     #[test]
