@@ -1,0 +1,93 @@
+//! Galloping versus linear advancement inside the merge join, on skewed
+//! inputs — the micro-counterpart of experiment X11's join workloads.
+//!
+//! The left input emits a few widely-spaced keys; the right input is a dense
+//! run of keys. Linear advancement walks every right pair between two left
+//! keys, galloping doubles its stride and finishes the same skip in
+//! O(log gap). The wider the skew, the bigger the gap. The inputs are
+//! borrowed slices (not per-iteration clones), so the measurement isolates
+//! join advancement.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pathix_exec::{collect_pairs, MergeJoinOp, Pair, PairBatch, PairStream, Sortedness};
+use pathix_graph::NodeId;
+use pathix_index::BackendResult;
+
+/// A zero-copy stream over a pre-built, pre-sorted pair slice.
+struct SliceStream<'a> {
+    pairs: &'a [Pair],
+    pos: usize,
+    sortedness: Sortedness,
+}
+
+impl<'a> SliceStream<'a> {
+    fn new(pairs: &'a [Pair], sortedness: Sortedness) -> Self {
+        SliceStream {
+            pairs,
+            pos: 0,
+            sortedness,
+        }
+    }
+}
+
+impl PairStream for SliceStream<'_> {
+    fn next_batch(&mut self, batch: &mut PairBatch) -> BackendResult<usize> {
+        batch.clear();
+        let take = batch.capacity().min(self.pairs.len() - self.pos);
+        batch.extend_from_pairs(&self.pairs[self.pos..self.pos + take]);
+        self.pos += take;
+        Ok(take)
+    }
+
+    fn sortedness(&self) -> Sortedness {
+        self.sortedness
+    }
+}
+
+/// Left side: `matches` pairs whose targets are `stride` apart.
+fn sparse_left(matches: u32, stride: u32) -> Vec<Pair> {
+    (0..matches)
+        .map(|i| (NodeId(i), NodeId(i * stride)))
+        .collect()
+}
+
+/// Right side: one pair per source over the whole dense domain.
+fn dense_right(n: u32) -> Vec<Pair> {
+    (0..n).map(|s| (NodeId(s), NodeId(0))).collect()
+}
+
+fn merge_advancement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merge_gallop");
+    group
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_secs(2));
+    const MATCHES: u32 = 256;
+    for stride in [16u32, 256, 4096] {
+        let left = sparse_left(MATCHES, stride);
+        let right = dense_right(MATCHES * stride);
+        let expected = MATCHES as usize;
+        for (name, gallop) in [("gallop", true), ("linear", false)] {
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("stride-{stride}")),
+                &gallop,
+                |b, &gallop| {
+                    b.iter(|| {
+                        let join = MergeJoinOp::with_advancement(
+                            Box::new(SliceStream::new(&left, Sortedness::ByTarget)),
+                            Box::new(SliceStream::new(&right, Sortedness::BySource)),
+                            gallop,
+                        );
+                        let out = collect_pairs(join).expect("join failed");
+                        assert_eq!(out.len(), expected);
+                        out.len()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, merge_advancement);
+criterion_main!(benches);

@@ -13,6 +13,7 @@
 //!   incremental extension: incremental index maintenance vs rebuild
 //!   amortization extension: parse-per-call vs plan-cache vs prepared throughput
 //!   updates    extension: live PathDb::apply throughput vs full rebuild
+//!   scan-join  extension: vectorized scan/join engine vs pair-at-a-time
 //!   all        everything above (default)
 //! ```
 //!
@@ -20,23 +21,24 @@
 //! Advogato); the Datalog/automaton comparisons automatically use a smaller
 //! graph because the baselines are orders of magnitude slower.
 //!
-//! `--json` additionally writes the `updates` experiment's machine-readable
-//! results to `BENCH_updates.json` in the current directory (apply
-//! throughput, publish latency and post-update query latency per backend) so
-//! CI can archive the perf trajectory run over run.
+//! `--json` additionally writes the `updates` and `scan-join` experiments'
+//! machine-readable results to `BENCH_updates.json` and
+//! `BENCH_scan_join.json` in the current directory (apply throughput,
+//! publish latency, per-backend scan/join speedups and skip counters) so CI
+//! can archive the perf trajectory run over run.
 
 use pathix_bench::report::ToJson;
 use pathix_bench::{
     amortization, automaton_comparison, backend_comparison, bench_scale, datalog_speedup, fig2,
     histogram_ablation, incremental_maintenance, index_construction, live_updates, paged_index,
-    parallel, scaling, sql_comparison,
+    parallel, scaling, scan_join, sql_comparison,
 };
 
-/// Writes the X10 report to `BENCH_updates.json` (best effort).
-fn write_bench_updates<T: ToJson>(report: &T) {
-    match std::fs::write("BENCH_updates.json", report.to_json()) {
-        Ok(()) => println!("(machine-readable results written to BENCH_updates.json)"),
-        Err(e) => eprintln!("warning: could not write BENCH_updates.json: {e}"),
+/// Writes a report to `name` in the current directory (best effort).
+fn write_bench_json<T: ToJson>(name: &str, report: &T) {
+    match std::fs::write(name, report.to_json()) {
+        Ok(()) => println!("(machine-readable results written to {name})"),
+        Err(e) => eprintln!("warning: could not write {name}: {e}"),
     }
 }
 
@@ -98,7 +100,13 @@ fn main() {
         "updates" => {
             let report = live_updates(scale, 2);
             if json {
-                write_bench_updates(&report);
+                write_bench_json("BENCH_updates.json", &report);
+            }
+        }
+        "scan-join" => {
+            let report = scan_join(scale, 2);
+            if json {
+                write_bench_json("BENCH_scan_join.json", &report);
             }
         }
         "all" => {
@@ -116,14 +124,18 @@ fn main() {
             incremental_maintenance(scale);
             let report = live_updates(scale, 2);
             if json {
-                write_bench_updates(&report);
+                write_bench_json("BENCH_updates.json", &report);
+            }
+            let report = scan_join(scale, 2);
+            if json {
+                write_bench_json("BENCH_scan_join.json", &report);
             }
         }
         other => {
             eprintln!(
                 "unknown experiment `{other}`; expected one of: fig2, datalog, automaton, \
                  index, scaling, ablation, sql, paged, backends, amortization, parallel, \
-                 incremental, updates, all"
+                 incremental, updates, scan-join, all"
             );
             std::process::exit(2);
         }

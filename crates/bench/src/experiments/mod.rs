@@ -11,5 +11,6 @@ pub mod index_build;
 pub mod paged;
 pub mod parallel;
 pub mod scaling;
+pub mod scan_join;
 pub mod sql;
 pub mod updates;

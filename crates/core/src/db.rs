@@ -43,9 +43,9 @@ use crate::result::QueryResult;
 use pathix_baselines::{evaluate_automaton, evaluate_datalog};
 use pathix_graph::{Graph, NodeId, SignedLabel};
 use pathix_index::{
-    BackendError, BackendResult, BackendScan, BackendStats, DeltaBatch, EntryDeltas,
-    EstimationMode, GraphUpdate, IncrementalKPathIndex, MutablePathIndexBackend, PathHistogram,
-    PathIndexBackend, SharedKPathIndex,
+    BackendBatchScan, BackendError, BackendResult, BackendScan, BackendStats, DeltaBatch,
+    EntryDeltas, EstimationMode, GraphUpdate, IncrementalKPathIndex, MutablePathIndexBackend,
+    PathHistogram, PathIndexBackend, SharedKPathIndex,
 };
 use pathix_pagestore::{CompressedPathStore, CowStats, PagedPathIndex, PoolStats};
 use pathix_plan::{explain as explain_plan, plan_query, PhysicalPlan, PlannerContext, Strategy};
@@ -154,6 +154,10 @@ impl PathIndexBackend for IndexBackend {
 
     fn scan_path(&self, path: &[SignedLabel]) -> BackendResult<BackendScan<'_>> {
         delegate!(self, b => PathIndexBackend::scan_path(b, path))
+    }
+
+    fn scan_path_batches(&self, path: &[SignedLabel]) -> BackendResult<BackendBatchScan<'_>> {
+        delegate!(self, b => PathIndexBackend::scan_path_batches(b, path))
     }
 
     fn scan_path_from(&self, path: &[SignedLabel], source: NodeId) -> BackendResult<Vec<NodeId>> {
@@ -281,16 +285,26 @@ impl PathDbConfig {
     }
 }
 
-/// Storage-layer counters of the paged backends: how the buffer pool and the
-/// copy-on-write machinery behaved so far. `None` on backends without a
-/// buffer pool (memory, compressed).
+/// Storage-layer counters: buffer pool and copy-on-write behaviour (paged
+/// backends) plus the scan bypass counters every backend maintains for its
+/// bound probes.
 #[derive(Debug, Clone, Copy)]
 pub struct StorageStats {
-    /// Buffer-pool hits, misses, evictions and write-backs.
-    pub pool: PoolStats,
+    /// Buffer-pool hits, misses, evictions and write-backs. `None` on
+    /// backends without a buffer pool (memory, compressed).
+    pub pool: Option<PoolStats>,
     /// Page copies, retirements and reclamations of the copy-on-write tree,
-    /// plus the number of live snapshots.
-    pub cow: CowStats,
+    /// plus the number of live snapshots. `None` off the paged backends.
+    pub cow: Option<CowStats>,
+    /// Chunks the memory backend's bound probes bypassed via per-run bloom
+    /// filters and per-chunk source fences.
+    pub chunks_skipped: u64,
+    /// Compressed-block segments bound probes bypassed via source fences
+    /// without decoding.
+    pub blocks_skipped: u64,
+    /// Pages the paged backend's range scans staged via buffer-pool
+    /// read-ahead before a demand read touched them.
+    pub read_ahead_pages: u64,
 }
 
 /// Combined statistics of a database instance.
@@ -308,8 +322,8 @@ pub struct DbStats {
     pub histogram_paths: usize,
     /// Number of histogram buckets.
     pub histogram_buckets: usize,
-    /// Buffer-pool and copy-on-write counters (paged backends only).
-    pub storage: Option<StorageStats>,
+    /// Storage-layer counters (buffer pool, copy-on-write, scan bypasses).
+    pub storage: StorageStats,
 }
 
 /// What one [`PathDb::apply`] batch did.
@@ -899,10 +913,18 @@ impl PathDb {
     /// the storage layer.
     pub fn stats(&self) -> DbStats {
         let snapshot = self.snapshot();
-        let storage = snapshot.index().as_paged().map(|paged| StorageStats {
-            pool: paged.pool_stats(),
-            cow: paged.cow_stats(),
-        });
+        let index = snapshot.index();
+        let pool = index.as_paged().map(|paged| paged.pool_stats());
+        let storage = StorageStats {
+            pool,
+            cow: index.as_paged().map(|paged| paged.cow_stats()),
+            chunks_skipped: index.as_memory().map(|m| m.chunks_skipped()).unwrap_or(0),
+            blocks_skipped: index
+                .as_compressed()
+                .map(|c| c.blocks_skipped())
+                .unwrap_or(0),
+            read_ahead_pages: pool.map(|p| p.read_ahead_pages).unwrap_or(0),
+        };
         DbStats {
             nodes: snapshot.graph().node_count(),
             edges: snapshot.graph().edge_count(),
@@ -1486,23 +1508,43 @@ mod tests {
             paper_example_graph(),
             PathDbConfig::with_k(2).with_backend(BackendChoice::PagedInMemory { pool_frames: 8 }),
         );
-        let storage = db.stats().storage.expect("paged backends report storage");
-        assert!(storage.pool.hits + storage.pool.misses > 0);
-        assert_eq!(storage.cow.page_copies, 0, "no update ran yet");
-        assert_eq!(storage.cow.live_snapshots, 1, "the published reader view");
+        let storage = db.stats().storage;
+        let pool = storage.pool.expect("paged backends report a pool");
+        let cow = storage.cow.expect("paged backends report cow counters");
+        assert!(pool.hits + pool.misses > 0);
+        assert_eq!(cow.page_copies, 0, "no update ran yet");
+        assert_eq!(cow.live_snapshots, 1, "the published reader view");
 
         // Keep the pre-update snapshot alive: the batch must copy pages.
         let before = db.snapshot();
         db.apply(&[update(&db, "insert", "tim", "supervisor", "joe")])
             .unwrap();
-        let storage = db.stats().storage.unwrap();
-        assert!(storage.cow.page_copies > 0, "{storage:?}");
-        assert!(storage.cow.pages_retired > 0, "{storage:?}");
+        let storage = db.stats().storage;
+        let cow = storage.cow.unwrap();
+        assert!(cow.page_copies > 0, "{storage:?}");
+        assert!(cow.pages_retired > 0, "{storage:?}");
         drop(before);
 
-        // Memory and compressed backends have no buffer pool to report.
+        // Memory and compressed backends have no buffer pool to report, but
+        // still carry the scan bypass counters.
         let memory = example_db(2);
-        assert!(memory.stats().storage.is_none());
+        let storage = memory.stats().storage;
+        assert!(storage.pool.is_none());
+        assert!(storage.cow.is_none());
+
+        // A compressed-backend probe outside every segment's source fence is
+        // counted as a block skip.
+        let compressed = PathDb::build(
+            paper_example_graph(),
+            PathDbConfig::with_k(2).with_backend(BackendChoice::Compressed),
+        );
+        let snapshot = compressed.snapshot();
+        let knows = snapshot.graph().label_id("knows").unwrap();
+        snapshot
+            .index()
+            .scan_path_from(&[SignedLabel::forward(knows)], NodeId(u32::MAX - 1))
+            .unwrap();
+        assert!(compressed.stats().storage.blocks_skipped > 0);
     }
 
     #[test]

@@ -3,11 +3,143 @@
 //! Both operators compute the composition of two pair relations
 //! `L ∘ R = {(x, z) | (x, y) ∈ L, (y, z) ∈ R}` — the physical counterpart of
 //! the `◦` operator after a disjunct has been cut into index-sized pieces.
+//!
+//! Both consume their inputs batch-at-a-time through an internal batch
+//! reader: the
+//! merge join advances over sorted key columns with galloping (exponential
+//! probe + binary search) when runs are skewed, and the hash join drains its
+//! build side into a flat open-addressing table probed per left batch.
 
 use crate::operator::{BoxedPairStream, Pair, PairStream, Sortedness};
 use pathix_graph::NodeId;
-use pathix_index::backend::{BackendError, BackendResult};
-use std::collections::HashMap;
+use pathix_index::backend::{BackendError, BackendResult, PairBatch};
+
+/// Which column of a batch carries the merge key for one input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum KeyCol {
+    /// Keys are in the source column (right join inputs).
+    Source,
+    /// Keys are in the target column (left join inputs).
+    Target,
+}
+
+/// First index in `keys` whose value is ≥ `key`, found by exponential probe
+/// followed by binary search — O(log d) in the distance d advanced, so a long
+/// non-matching run costs its logarithm instead of its length.
+fn gallop_lower_bound(keys: &[NodeId], key: NodeId) -> usize {
+    if keys.is_empty() || keys[0] >= key {
+        return 0;
+    }
+    let mut hi = 1;
+    while hi < keys.len() && keys[hi] < key {
+        hi *= 2;
+    }
+    let lo = hi / 2;
+    let hi = hi.min(keys.len());
+    lo + keys[lo..hi].partition_point(|&k| k < key)
+}
+
+/// First index in `keys` whose value is ≥ `key`, by linear scan — the
+/// pre-galloping advancement, kept for benchmarking the difference.
+fn linear_lower_bound(keys: &[NodeId], key: NodeId) -> usize {
+    keys.iter().position(|&k| k >= key).unwrap_or(keys.len())
+}
+
+/// A buffered batch-at-a-time reader over one join input, exposing peeking,
+/// key-directed skipping and whole-group extraction over the batch's sorted
+/// key column.
+struct BatchReader<'a> {
+    input: BoxedPairStream<'a>,
+    buf: PairBatch,
+    pos: usize,
+    done: bool,
+}
+
+impl<'a> BatchReader<'a> {
+    fn new(input: BoxedPairStream<'a>) -> Self {
+        BatchReader {
+            input,
+            buf: PairBatch::new(),
+            pos: 0,
+            done: false,
+        }
+    }
+
+    /// Ensures at least one unconsumed buffered pair, pulling input batches
+    /// as needed. Returns `false` once the input is exhausted.
+    fn fill(&mut self) -> BackendResult<bool> {
+        while !self.done && self.pos >= self.buf.len() {
+            self.pos = 0;
+            if self.input.next_batch(&mut self.buf)? == 0 {
+                self.done = true;
+                self.buf.clear();
+            }
+        }
+        Ok(!self.done)
+    }
+
+    /// The next unconsumed pair, without consuming it.
+    fn peek(&mut self) -> BackendResult<Option<Pair>> {
+        Ok(if self.fill()? {
+            Some(self.buf.get(self.pos))
+        } else {
+            None
+        })
+    }
+
+    /// Consumes the pair last returned by a successful [`peek`](Self::peek).
+    fn advance(&mut self) {
+        self.pos += 1;
+    }
+
+    fn keys(&self, col: KeyCol) -> &[NodeId] {
+        match col {
+            KeyCol::Source => self.buf.sources(),
+            KeyCol::Target => self.buf.targets(),
+        }
+    }
+
+    /// Consumes every pair whose key is < `key` (the key column must be
+    /// non-decreasing, which the merge join's sortedness contract provides).
+    fn skip_until(&mut self, key: NodeId, col: KeyCol, gallop: bool) -> BackendResult<()> {
+        while self.fill()? {
+            let keys = &self.keys(col)[self.pos..];
+            let off = if gallop {
+                gallop_lower_bound(keys, key)
+            } else {
+                linear_lower_bound(keys, key)
+            };
+            self.pos += off;
+            if self.pos < self.buf.len() {
+                return Ok(());
+            }
+        }
+        Ok(())
+    }
+
+    /// Consumes the run of pairs whose key equals `key` (positioned at its
+    /// start) and appends their value column — the *other* column — to `out`.
+    fn take_group(&mut self, key: NodeId, col: KeyCol, out: &mut Vec<NodeId>) -> BackendResult<()> {
+        while self.fill()? {
+            let end = self.pos + self.keys(col)[self.pos..].partition_point(|&k| k <= key);
+            if end == self.pos {
+                return Ok(());
+            }
+            let vals = match col {
+                KeyCol::Source => self.buf.targets(),
+                KeyCol::Target => self.buf.sources(),
+            };
+            out.extend_from_slice(&vals[self.pos..end]);
+            let at_batch_end = end == self.buf.len();
+            self.pos = end;
+            if !at_batch_end {
+                return Ok(());
+            }
+            // The group may continue into the next batch.
+        }
+        Ok(())
+    }
+}
 
 /// Merge join over the shared middle node.
 ///
@@ -16,22 +148,36 @@ use std::collections::HashMap;
 /// the join the paper prefers "whenever possible (to make the best use of the
 /// physical sort order of the index)".
 pub struct MergeJoinOp<'a> {
-    left: BoxedPairStream<'a>,
-    right: BoxedPairStream<'a>,
-    left_peek: Option<Pair>,
-    right_peek: Option<Pair>,
-    primed: bool,
-    out_buf: std::vec::IntoIter<Pair>,
+    left: BatchReader<'a>,
+    right: BatchReader<'a>,
+    gallop: bool,
+    // Scratch buffers reused across matching groups — refilling must not
+    // allocate per group.
+    left_group: Vec<NodeId>,
+    right_group: Vec<NodeId>,
+    out_buf: Vec<Pair>,
+    out_pos: usize,
     // A backend error is latched: polling again after an error must re-raise
     // it, never resume merging from half-advanced input cursors.
     poisoned: Option<BackendError>,
 }
 
 impl<'a> MergeJoinOp<'a> {
-    /// Creates a merge join. Panics if the inputs do not provide the
-    /// required sort orders — the planner must only emit valid merge joins.
-    /// (Input *errors* are deferred to the first `next_pair` call.)
+    /// Creates a merge join with galloping advancement. Panics if the inputs
+    /// do not provide the required sort orders — the planner must only emit
+    /// valid merge joins. (Input *errors* are deferred to the first pull.)
     pub fn new(left: BoxedPairStream<'a>, right: BoxedPairStream<'a>) -> Self {
+        Self::with_advancement(left, right, true)
+    }
+
+    /// Creates a merge join choosing the advancement policy: galloping
+    /// (`true`, the default) or linear scanning (`false`, the pre-vectorized
+    /// behavior, kept for benchmarking). Both produce identical output.
+    pub fn with_advancement(
+        left: BoxedPairStream<'a>,
+        right: BoxedPairStream<'a>,
+        gallop: bool,
+    ) -> Self {
         assert!(
             left.sortedness().is_by_target(),
             "merge join requires the left input sorted by target"
@@ -41,60 +187,45 @@ impl<'a> MergeJoinOp<'a> {
             "merge join requires the right input sorted by source"
         );
         MergeJoinOp {
-            left,
-            right,
-            left_peek: None,
-            right_peek: None,
-            primed: false,
-            out_buf: Vec::new().into_iter(),
+            left: BatchReader::new(left),
+            right: BatchReader::new(right),
+            gallop,
+            left_group: Vec::new(),
+            right_group: Vec::new(),
+            out_buf: Vec::new(),
+            out_pos: 0,
             poisoned: None,
         }
     }
 
-    /// Gathers the next group of matching pairs into `out_buf`.
+    /// Gathers the next group of matching pairs into the reused `out_buf`.
     fn refill(&mut self) -> BackendResult<bool> {
-        if !self.primed {
-            self.primed = true;
-            self.left_peek = self.left.next_pair()?;
-            self.right_peek = self.right.next_pair()?;
-        }
+        self.out_buf.clear();
+        self.out_pos = 0;
         loop {
-            let (lp, rp) = match (self.left_peek, self.right_peek) {
-                (Some(l), Some(r)) => (l, r),
-                _ => return Ok(false),
+            let (Some(lp), Some(rp)) = (self.left.peek()?, self.right.peek()?) else {
+                return Ok(false);
             };
-            let lkey = lp.1;
-            let rkey = rp.0;
+            let (lkey, rkey) = (lp.1, rp.0);
             if lkey < rkey {
-                self.left_peek = self.left.next_pair()?;
+                self.left.skip_until(rkey, KeyCol::Target, self.gallop)?;
             } else if rkey < lkey {
-                self.right_peek = self.right.next_pair()?;
+                self.right.skip_until(lkey, KeyCol::Source, self.gallop)?;
             } else {
-                // Collect the full group on both sides.
-                let key = lkey;
-                let mut left_group: Vec<NodeId> = Vec::new();
-                while let Some((src, tgt)) = self.left_peek {
-                    if tgt != key {
-                        break;
-                    }
-                    left_group.push(src);
-                    self.left_peek = self.left.next_pair()?;
-                }
-                let mut right_group: Vec<NodeId> = Vec::new();
-                while let Some((src, tgt)) = self.right_peek {
-                    if src != key {
-                        break;
-                    }
-                    right_group.push(tgt);
-                    self.right_peek = self.right.next_pair()?;
-                }
-                let mut buf = Vec::with_capacity(left_group.len() * right_group.len());
-                for &x in &left_group {
-                    for &z in &right_group {
-                        buf.push((x, z));
+                // Collect the full group on both sides, then cross-product.
+                self.left_group.clear();
+                self.right_group.clear();
+                self.left
+                    .take_group(lkey, KeyCol::Target, &mut self.left_group)?;
+                self.right
+                    .take_group(lkey, KeyCol::Source, &mut self.right_group)?;
+                self.out_buf
+                    .reserve(self.left_group.len() * self.right_group.len());
+                for &x in &self.left_group {
+                    for &z in &self.right_group {
+                        self.out_buf.push((x, z));
                     }
                 }
-                self.out_buf = buf.into_iter();
                 return Ok(true);
             }
         }
@@ -107,7 +238,9 @@ impl PairStream for MergeJoinOp<'_> {
             return Err(e.clone());
         }
         loop {
-            if let Some(pair) = self.out_buf.next() {
+            if self.out_pos < self.out_buf.len() {
+                let pair = self.out_buf[self.out_pos];
+                self.out_pos += 1;
                 return Ok(Some(pair));
             }
             match self.refill() {
@@ -121,22 +254,126 @@ impl PairStream for MergeJoinOp<'_> {
         }
     }
 
+    fn next_batch(&mut self, batch: &mut PairBatch) -> BackendResult<usize> {
+        if let Some(e) = &self.poisoned {
+            return Err(e.clone());
+        }
+        batch.clear();
+        loop {
+            if self.out_pos < self.out_buf.len() {
+                let take = (self.out_buf.len() - self.out_pos).min(batch.remaining_capacity());
+                batch.extend_from_pairs(&self.out_buf[self.out_pos..self.out_pos + take]);
+                self.out_pos += take;
+                if batch.is_full() {
+                    return Ok(batch.len());
+                }
+                continue;
+            }
+            match self.refill() {
+                Ok(true) => {}
+                Ok(false) => return Ok(batch.len()),
+                Err(e) => {
+                    self.poisoned = Some(e.clone());
+                    return Err(e);
+                }
+            }
+        }
+    }
+
     fn sortedness(&self) -> Sortedness {
         Sortedness::Unsorted
     }
 }
 
+/// A flat open-addressing hash table mapping middle nodes to contiguous
+/// ranges of right-side targets.
+///
+/// All values live in one `vals` array grouped by key (a stable sort keeps
+/// each key's stream order); `slots` is a power-of-two open-addressing array
+/// probed by fibonacci hashing with linear stepping, holding group indices.
+/// Probing touches two flat arrays instead of chasing `HashMap` buckets and
+/// per-key `Vec` allocations.
+#[derive(Default)]
+struct FlatTable {
+    /// Group index + 1 per slot; 0 marks an empty slot. Load factor ≤ ½.
+    slots: Vec<u32>,
+    /// `(key, start, len)` ranges into `vals`, one per distinct key.
+    groups: Vec<(NodeId, u32, u32)>,
+    /// All right-side targets, grouped by key, stream order within a key.
+    vals: Vec<NodeId>,
+}
+
+impl FlatTable {
+    fn build(mut pairs: Vec<Pair>) -> FlatTable {
+        // Stable: within-key order stays the build stream's order.
+        pairs.sort_by_key(|&(k, _)| k);
+        let mut vals = Vec::with_capacity(pairs.len());
+        let mut groups: Vec<(NodeId, u32, u32)> = Vec::new();
+        for (k, v) in pairs {
+            match groups.last_mut() {
+                Some(g) if g.0 == k => g.2 += 1,
+                _ => groups.push((k, vals.len() as u32, 1)),
+            }
+            vals.push(v);
+        }
+        let cap = (groups.len() * 2).next_power_of_two().max(8);
+        let mut slots = vec![0u32; cap];
+        for (i, g) in groups.iter().enumerate() {
+            let mut slot = Self::hash(g.0) & (cap - 1);
+            while slots[slot] != 0 {
+                slot = (slot + 1) & (cap - 1);
+            }
+            slots[slot] = i as u32 + 1;
+        }
+        FlatTable {
+            slots,
+            groups,
+            vals,
+        }
+    }
+
+    fn hash(key: NodeId) -> usize {
+        ((key.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize
+    }
+
+    /// The `vals` range joined to `key`, if any.
+    fn probe(&self, key: NodeId) -> Option<(usize, usize)> {
+        if self.groups.is_empty() {
+            return None;
+        }
+        let mask = self.slots.len() - 1;
+        let mut slot = Self::hash(key) & mask;
+        loop {
+            match self.slots[slot] {
+                0 => return None,
+                g => {
+                    let (k, start, len) = self.groups[(g - 1) as usize];
+                    if k == key {
+                        return Some((start as usize, (start + len) as usize));
+                    }
+                }
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+}
+
 /// Hash join over the shared middle node.
 ///
-/// The right input is materialized into a hash table keyed by its source
-/// node; the left input is streamed and probed by its target node. Used
-/// whenever the merge join's sort-order requirements cannot be met (e.g. when
-/// one input is an intermediate join result).
+/// The right input is materialized into a flat open-addressing table keyed
+/// by its source
+/// node; the left input is streamed batch-at-a-time and probed by its target
+/// node. Used whenever the merge join's sort-order requirements cannot be met
+/// (e.g. when one input is an intermediate join result).
 pub struct HashJoinOp<'a> {
-    left: BoxedPairStream<'a>,
+    left: BatchReader<'a>,
     right: Option<BoxedPairStream<'a>>,
-    table: HashMap<NodeId, Vec<NodeId>>,
-    pending: std::vec::IntoIter<Pair>,
+    table: FlatTable,
+    // Matches of the current probe pair still to emit (resume state when an
+    // output batch fills mid-probe): source node + `vals` range.
+    cur_src: NodeId,
+    cur_start: usize,
+    cur_end: usize,
     // A backend error is latched: polling again after an error must re-raise
     // it, never stream answers computed from a partially built hash table.
     poisoned: Option<BackendError>,
@@ -147,38 +384,69 @@ impl<'a> HashJoinOp<'a> {
     /// first use.
     pub fn new(left: BoxedPairStream<'a>, right: BoxedPairStream<'a>) -> Self {
         HashJoinOp {
-            left,
+            left: BatchReader::new(left),
             right: Some(right),
-            table: HashMap::new(),
-            pending: Vec::new().into_iter(),
+            table: FlatTable::default(),
+            cur_src: NodeId(0),
+            cur_start: 0,
+            cur_end: 0,
             poisoned: None,
         }
     }
 
     fn ensure_built(&mut self) -> BackendResult<()> {
         if let Some(mut right) = self.right.take() {
-            while let Some((src, tgt)) = right.next_pair()? {
-                self.table.entry(src).or_default().push(tgt);
+            let mut batch = PairBatch::new();
+            let mut pairs = Vec::new();
+            while right.next_batch(&mut batch)? > 0 {
+                pairs.extend(batch.iter());
             }
+            self.table = FlatTable::build(pairs);
         }
         Ok(())
+    }
+
+    /// Moves to the next probing left pair with at least one match.
+    /// Returns `false` when the left input is exhausted.
+    fn next_probe(&mut self) -> BackendResult<bool> {
+        loop {
+            let Some((src, tgt)) = self.left.peek()? else {
+                return Ok(false);
+            };
+            self.left.advance();
+            if let Some((start, end)) = self.table.probe(tgt) {
+                self.cur_src = src;
+                self.cur_start = start;
+                self.cur_end = end;
+                return Ok(true);
+            }
+        }
     }
 
     fn next_pair_inner(&mut self) -> BackendResult<Option<Pair>> {
         self.ensure_built()?;
         loop {
-            if let Some(pair) = self.pending.next() {
+            if self.cur_start < self.cur_end {
+                let pair = (self.cur_src, self.table.vals[self.cur_start]);
+                self.cur_start += 1;
                 return Ok(Some(pair));
             }
-            let Some((src, tgt)) = self.left.next_pair()? else {
+            if !self.next_probe()? {
                 return Ok(None);
-            };
-            if let Some(matches) = self.table.get(&tgt) {
-                self.pending = matches
-                    .iter()
-                    .map(|&z| (src, z))
-                    .collect::<Vec<_>>()
-                    .into_iter();
+            }
+        }
+    }
+
+    fn next_batch_inner(&mut self, batch: &mut PairBatch) -> BackendResult<usize> {
+        self.ensure_built()?;
+        batch.clear();
+        loop {
+            while self.cur_start < self.cur_end && !batch.is_full() {
+                batch.push((self.cur_src, self.table.vals[self.cur_start]));
+                self.cur_start += 1;
+            }
+            if batch.is_full() || !self.next_probe()? {
+                return Ok(batch.len());
             }
         }
     }
@@ -190,6 +458,19 @@ impl PairStream for HashJoinOp<'_> {
             return Err(e.clone());
         }
         match self.next_pair_inner() {
+            Err(e) => {
+                self.poisoned = Some(e.clone());
+                Err(e)
+            }
+            ok => ok,
+        }
+    }
+
+    fn next_batch(&mut self, batch: &mut PairBatch) -> BackendResult<usize> {
+        if let Some(e) = &self.poisoned {
+            return Err(e.clone());
+        }
+        match self.next_batch_inner(batch) {
             Err(e) => {
                 self.poisoned = Some(e.clone());
                 Err(e)
@@ -290,6 +571,94 @@ mod tests {
     }
 
     #[test]
+    fn galloping_and_linear_advancement_agree_on_skewed_runs() {
+        // One side has long runs of keys the other side never matches — the
+        // workload galloping exists for. Include runs that straddle batch
+        // boundaries (well over BATCH_CAPACITY pairs per key).
+        let mut left: Vec<Pair> = Vec::new();
+        for key in [5u32, 1000, 5000] {
+            for i in 0..1500 {
+                left.push((n(i), n(key)));
+            }
+        }
+        let right: Vec<Pair> = (0..3000).map(|i| (n(2 * i), n(i))).collect();
+        let expected = compose(&left, &right);
+        for gallop in [false, true] {
+            let join = MergeJoinOp::with_advancement(
+                Box::new(by_target(left.clone())),
+                Box::new(by_source(right.clone())),
+                gallop,
+            );
+            assert_eq!(collect_pairs(join).unwrap(), expected, "gallop={gallop}");
+        }
+    }
+
+    #[test]
+    fn gallop_lower_bound_matches_partition_point() {
+        let keys: Vec<NodeId> = [0u32, 1, 1, 3, 7, 7, 7, 8, 20, 40, 41, 42, 90]
+            .iter()
+            .map(|&v| n(v))
+            .collect();
+        for probe in 0..=100u32 {
+            let expected = keys.partition_point(|&k| k < n(probe));
+            assert_eq!(gallop_lower_bound(&keys, n(probe)), expected, "{probe}");
+            assert_eq!(linear_lower_bound(&keys, n(probe)), expected, "{probe}");
+        }
+        assert_eq!(gallop_lower_bound(&[], n(1)), 0);
+    }
+
+    #[test]
+    fn joins_drain_identically_pair_and_batch_wise() {
+        let left: Vec<Pair> = (0..900).map(|i| (n(i), n(i % 7))).collect();
+        let right: Vec<Pair> = (0..300).map(|i| (n(i % 7), n(i))).collect();
+        let pair_wise = {
+            let mut join = MergeJoinOp::new(
+                Box::new(by_target(left.clone())),
+                Box::new(by_source(right.clone())),
+            );
+            let mut out = Vec::new();
+            while let Some(p) = join.next_pair().unwrap() {
+                out.push(p);
+            }
+            out
+        };
+        let batch_wise = {
+            let mut join = MergeJoinOp::new(
+                Box::new(by_target(left.clone())),
+                Box::new(by_source(right.clone())),
+            );
+            let mut out = Vec::new();
+            let mut batch = PairBatch::new();
+            while join.next_batch(&mut batch).unwrap() > 0 {
+                out.extend(batch.iter());
+            }
+            out
+        };
+        assert_eq!(pair_wise, batch_wise);
+        let hash_pair_wise = {
+            let mut join = HashJoinOp::new(
+                Box::new(by_target(left.clone())),
+                Box::new(by_source(right.clone())),
+            );
+            let mut out = Vec::new();
+            while let Some(p) = join.next_pair().unwrap() {
+                out.push(p);
+            }
+            out
+        };
+        let hash_batch_wise = {
+            let mut join = HashJoinOp::new(Box::new(by_target(left)), Box::new(by_source(right)));
+            let mut out = Vec::new();
+            let mut batch = PairBatch::new();
+            while join.next_batch(&mut batch).unwrap() > 0 {
+                out.extend(batch.iter());
+            }
+            out
+        };
+        assert_eq!(hash_pair_wise, hash_batch_wise);
+    }
+
+    #[test]
     fn empty_inputs_produce_empty_output() {
         let some = vec![(n(1), n(2))];
         let merge = MergeJoinOp::new(
@@ -369,8 +738,8 @@ mod tests {
             "hash join must stay poisoned"
         );
 
-        // Merge join: the error hits while gathering the left group (the
-        // operator peeks past the first tuple before emitting anything).
+        // Merge join: the error hits while batching up the left input (the
+        // operator buffers ahead of the first emitted pair).
         let mut merge = MergeJoinOp::new(
             Box::new(FailingOp::new(Sortedness::ByTarget)),
             Box::new(by_source(vec![(n(10), n(20)), (n(10), n(21))])),

@@ -19,6 +19,11 @@
 //!   semantics;
 //! * [`EpsilonScanOp`] / [`MaterializedOp`] — the identity relation and
 //!   pre-materialized inputs.
+//!
+//! Operators move data batch-at-a-time: [`PairStream::next_batch`] fills a
+//! reusable structure-of-arrays [`PairBatch`] per virtual call, while
+//! [`PairStream::next_pair`] remains available for cursor streaming and
+//! `limit`/`exists` early termination.
 
 pub mod join;
 pub mod operator;
@@ -27,5 +32,6 @@ pub mod union;
 
 pub use join::{HashJoinOp, MergeJoinOp};
 pub use operator::{collect_pairs, BoxedPairStream, Pair, PairStream, Sortedness};
+pub use pathix_index::backend::{PairBatch, BATCH_CAPACITY};
 pub use scan::{EpsilonScanOp, IndexScanOp, MaterializedOp, ScanOrientation};
 pub use union::{DistinctOp, UnionAllOp};

@@ -3,7 +3,7 @@
 use crate::operator::{Pair, PairStream, Sortedness};
 use pathix_graph::NodeId;
 use pathix_graph::SignedLabel;
-use pathix_index::backend::{BackendResult, BackendScan, PathIndexBackend};
+use pathix_index::backend::{BackendBatchScan, BackendResult, PairBatch, PathIndexBackend};
 use pathix_rpq::ast::inverse_path;
 
 /// Whether an index scan reads the path itself or its inverse.
@@ -27,8 +27,12 @@ pub enum ScanOrientation {
 /// B+tree, the buffer-pool-backed paged index or the compressed pair blocks —
 /// and streams whatever the backend streams, surfacing its errors.
 pub struct IndexScanOp<'a> {
-    scan: BackendScan<'a>,
+    scan: BackendBatchScan<'a>,
     orientation: ScanOrientation,
+    /// Buffer serving pair-at-a-time pulls (cursor streaming); batch pulls
+    /// drain any buffered remainder first so mixed pulls stay in order.
+    buf: PairBatch,
+    pos: usize,
 }
 
 impl<'a> IndexScanOp<'a> {
@@ -43,27 +47,61 @@ impl<'a> IndexScanOp<'a> {
         orientation: ScanOrientation,
     ) -> BackendResult<Self> {
         let scan = match orientation {
-            ScanOrientation::Forward => index.scan_path(path)?,
-            ScanOrientation::Inverse => index.scan_path(&inverse_path(path))?,
+            ScanOrientation::Forward => index.scan_path_batches(path)?,
+            ScanOrientation::Inverse => index.scan_path_batches(&inverse_path(path))?,
         };
-        Ok(IndexScanOp { scan, orientation })
+        Ok(IndexScanOp {
+            scan,
+            orientation,
+            buf: PairBatch::new(),
+            pos: 0,
+        })
+    }
+
+    /// Pulls the next backend batch into `batch`, restoring the semantic
+    /// `(source, target)` orientation for inverse scans. An associated
+    /// function over disjoint fields so it composes with a borrowed
+    /// `self.buf`.
+    fn fill(
+        scan: &mut BackendBatchScan<'a>,
+        orientation: ScanOrientation,
+        batch: &mut PairBatch,
+    ) -> BackendResult<usize> {
+        let n = scan.next_batch(batch)?;
+        // The index stores the inverse path's pairs as (target, source of the
+        // original path); swap the columns back so the semantic orientation
+        // is uniform while the physical order stays target-major.
+        if n > 0 && orientation == ScanOrientation::Inverse {
+            batch.swap_columns();
+        }
+        Ok(n)
     }
 }
 
 impl PairStream for IndexScanOp<'_> {
     fn next_pair(&mut self) -> BackendResult<Option<Pair>> {
-        match self.scan.next() {
-            None => Ok(None),
-            Some(Err(e)) => Err(e),
-            Some(Ok(pair)) => Ok(Some(match self.orientation {
-                ScanOrientation::Forward => pair,
-                // The index stores the inverse path's pairs as (target, source
-                // of the original path); swap them back so the semantic
-                // orientation is uniform while the physical order stays
-                // target-major.
-                ScanOrientation::Inverse => (pair.1, pair.0),
-            })),
+        if self.pos >= self.buf.len() {
+            self.pos = 0;
+            if Self::fill(&mut self.scan, self.orientation, &mut self.buf)? == 0 {
+                return Ok(None);
+            }
         }
+        let pair = self.buf.get(self.pos);
+        self.pos += 1;
+        Ok(Some(pair))
+    }
+
+    fn next_batch(&mut self, batch: &mut PairBatch) -> BackendResult<usize> {
+        if self.pos < self.buf.len() {
+            // Flush the remainder of the pair-serving buffer first.
+            batch.clear();
+            while self.pos < self.buf.len() && !batch.is_full() {
+                batch.push(self.buf.get(self.pos));
+                self.pos += 1;
+            }
+            return Ok(batch.len());
+        }
+        Self::fill(&mut self.scan, self.orientation, batch)
     }
 
     fn sortedness(&self) -> Sortedness {
@@ -100,6 +138,16 @@ impl PairStream for EpsilonScanOp {
         Ok(Some((n, n)))
     }
 
+    fn next_batch(&mut self, batch: &mut PairBatch) -> BackendResult<usize> {
+        batch.clear();
+        while self.next < self.node_count && !batch.is_full() {
+            let n = NodeId(self.next);
+            self.next += 1;
+            batch.push((n, n));
+        }
+        Ok(batch.len())
+    }
+
     fn sortedness(&self) -> Sortedness {
         Sortedness::Both
     }
@@ -107,7 +155,8 @@ impl PairStream for EpsilonScanOp {
 
 /// A pre-materialized pair stream (used for intermediate results and tests).
 pub struct MaterializedOp {
-    pairs: std::vec::IntoIter<Pair>,
+    pairs: Vec<Pair>,
+    pos: usize,
     sortedness: Sortedness,
 }
 
@@ -116,7 +165,8 @@ impl MaterializedOp {
     /// `sortedness` claim being accurate.
     pub fn new(pairs: Vec<Pair>, sortedness: Sortedness) -> Self {
         MaterializedOp {
-            pairs: pairs.into_iter(),
+            pairs,
+            pos: 0,
             sortedness,
         }
     }
@@ -124,7 +174,17 @@ impl MaterializedOp {
 
 impl PairStream for MaterializedOp {
     fn next_pair(&mut self) -> BackendResult<Option<Pair>> {
-        Ok(self.pairs.next())
+        let pair = self.pairs.get(self.pos).copied();
+        self.pos += pair.is_some() as usize;
+        Ok(pair)
+    }
+
+    fn next_batch(&mut self, batch: &mut PairBatch) -> BackendResult<usize> {
+        batch.clear();
+        let take = batch.capacity().min(self.pairs.len() - self.pos);
+        batch.extend_from_pairs(&self.pairs[self.pos..self.pos + take]);
+        self.pos += take;
+        Ok(batch.len())
     }
 
     fn sortedness(&self) -> Sortedness {
@@ -205,6 +265,34 @@ mod tests {
         let pairs = collect_pairs(scan).unwrap();
         assert_eq!(pairs.len(), g.node_count());
         assert!(pairs.iter().all(|&(a, b)| a == b));
+    }
+
+    #[test]
+    fn mixed_pair_and_batch_pulls_observe_each_pair_once() {
+        let g = paper_example_graph();
+        let index = KPathIndex::build(&g, 2);
+        let knows = SignedLabel::forward(g.label_id("knows").unwrap());
+        let works = SignedLabel::forward(g.label_id("worksFor").unwrap());
+        let path = vec![knows, works];
+        let reference: Vec<Pair> = {
+            let mut scan = IndexScanOp::new(&index, &path, ScanOrientation::Inverse).unwrap();
+            let mut pairs = Vec::new();
+            while let Some(p) = scan.next_pair().unwrap() {
+                pairs.push(p);
+            }
+            pairs
+        };
+        // Pull two pairs, then drain batch-at-a-time: same pairs, same order.
+        let mut scan = IndexScanOp::new(&index, &path, ScanOrientation::Inverse).unwrap();
+        let mut mixed = Vec::new();
+        for _ in 0..2 {
+            mixed.push(scan.next_pair().unwrap().unwrap());
+        }
+        let mut batch = PairBatch::with_capacity(3);
+        while scan.next_batch(&mut batch).unwrap() > 0 {
+            mixed.extend(batch.iter());
+        }
+        assert_eq!(mixed, reference);
     }
 
     #[test]

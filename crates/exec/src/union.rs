@@ -1,7 +1,7 @@
 //! Union and duplicate elimination.
 
 use crate::operator::{BoxedPairStream, Pair, PairStream, Sortedness};
-use pathix_index::backend::BackendResult;
+use pathix_index::backend::{BackendResult, PairBatch};
 use std::collections::HashSet;
 
 /// Concatenates the outputs of several streams (bag semantics).
@@ -32,23 +32,64 @@ impl PairStream for UnionAllOp<'_> {
         Ok(None)
     }
 
+    fn next_batch(&mut self, batch: &mut PairBatch) -> BackendResult<usize> {
+        while self.current < self.inputs.len() {
+            let n = self.inputs[self.current].next_batch(batch)?;
+            if n > 0 {
+                return Ok(n);
+            }
+            self.current += 1;
+        }
+        batch.clear();
+        Ok(0)
+    }
+
     fn sortedness(&self) -> Sortedness {
         Sortedness::Unsorted
     }
 }
 
-/// Streaming duplicate elimination using a hash set of seen pairs.
+/// Streaming duplicate elimination.
+///
+/// Sorted inputs (`BySource`, `ByTarget` or `Both` — total orders over the
+/// pair) are deduplicated by comparing against the previously emitted pair,
+/// without any side state; unsorted inputs fall back to a hash set of seen
+/// pairs. Both paths emit the first occurrence of each pair in input order.
 pub struct DistinctOp<'a> {
     input: BoxedPairStream<'a>,
+    sorted: bool,
+    last: Option<Pair>,
     seen: HashSet<(u32, u32)>,
+    /// Scratch input batch for the batched pull path, with a resume position
+    /// so survivors that would overflow the output batch stay buffered.
+    buf: PairBatch,
+    buf_pos: usize,
 }
 
 impl<'a> DistinctOp<'a> {
     /// Wraps `input`, suppressing repeated pairs.
     pub fn new(input: BoxedPairStream<'a>) -> Self {
+        let s = input.sortedness();
         DistinctOp {
             input,
+            sorted: s.is_by_source() || s.is_by_target(),
+            last: None,
             seen: HashSet::new(),
+            buf: PairBatch::new(),
+            buf_pos: 0,
+        }
+    }
+
+    /// `true` if `pair` has not been seen before (and records it).
+    fn fresh(&mut self, pair: Pair) -> bool {
+        if self.sorted {
+            if self.last == Some(pair) {
+                return false;
+            }
+            self.last = Some(pair);
+            true
+        } else {
+            self.seen.insert((pair.0 .0, pair.1 .0))
         }
     }
 }
@@ -56,11 +97,40 @@ impl<'a> DistinctOp<'a> {
 impl PairStream for DistinctOp<'_> {
     fn next_pair(&mut self) -> BackendResult<Option<Pair>> {
         loop {
-            let Some((a, b)) = self.input.next_pair()? else {
+            if self.buf_pos < self.buf.len() {
+                let pair = self.buf.get(self.buf_pos);
+                self.buf_pos += 1;
+                if self.fresh(pair) {
+                    return Ok(Some(pair));
+                }
+                continue;
+            }
+            let Some(pair) = self.input.next_pair()? else {
                 return Ok(None);
             };
-            if self.seen.insert((a.0, b.0)) {
-                return Ok(Some((a, b)));
+            if self.fresh(pair) {
+                return Ok(Some(pair));
+            }
+        }
+    }
+
+    fn next_batch(&mut self, batch: &mut PairBatch) -> BackendResult<usize> {
+        batch.clear();
+        loop {
+            while self.buf_pos < self.buf.len() && !batch.is_full() {
+                let pair = self.buf.get(self.buf_pos);
+                self.buf_pos += 1;
+                if self.fresh(pair) {
+                    batch.push(pair);
+                }
+            }
+            if batch.is_full() {
+                return Ok(batch.len());
+            }
+            self.buf_pos = 0;
+            if self.input.next_batch(&mut self.buf)? == 0 {
+                self.buf.clear();
+                return Ok(batch.len());
             }
         }
     }
@@ -103,6 +173,21 @@ mod tests {
     }
 
     #[test]
+    fn union_batches_cross_input_boundaries() {
+        let mut union = UnionAllOp::new(vec![
+            mat(vec![(n(1), n(2)), (n(3), n(4))]),
+            mat(vec![]),
+            mat(vec![(n(5), n(6))]),
+        ]);
+        let mut batch = PairBatch::with_capacity(8);
+        let mut out = Vec::new();
+        while union.next_batch(&mut batch).unwrap() > 0 {
+            out.extend(batch.iter());
+        }
+        assert_eq!(out, vec![(n(1), n(2)), (n(3), n(4)), (n(5), n(6))]);
+    }
+
+    #[test]
     fn distinct_removes_duplicates_preserving_first_occurrence() {
         let mut distinct = DistinctOp::new(mat(vec![
             (n(5), n(6)),
@@ -116,6 +201,40 @@ mod tests {
             out.push(p);
         }
         assert_eq!(out, vec![(n(5), n(6)), (n(1), n(2)), (n(7), n(8))]);
+    }
+
+    #[test]
+    fn distinct_on_sorted_input_needs_no_side_set() {
+        let pairs = vec![
+            (n(1), n(2)),
+            (n(1), n(2)),
+            (n(1), n(3)),
+            (n(2), n(0)),
+            (n(2), n(0)),
+            (n(2), n(0)),
+        ];
+        let inner = Box::new(MaterializedOp::new(pairs, Sortedness::BySource));
+        let mut distinct = DistinctOp::new(inner);
+        let mut out = Vec::new();
+        let mut batch = PairBatch::with_capacity(4);
+        while distinct.next_batch(&mut batch).unwrap() > 0 {
+            out.extend(batch.iter());
+        }
+        assert_eq!(out, vec![(n(1), n(2)), (n(1), n(3)), (n(2), n(0))]);
+        assert!(distinct.seen.is_empty(), "sorted dedup must not hash");
+    }
+
+    #[test]
+    fn distinct_dedups_across_batch_boundaries_when_sorted() {
+        // 1200 copies of one pair straddle the default batch capacity.
+        let mut pairs = vec![(n(0), n(1)); 1200];
+        pairs.extend(vec![(n(3), n(0)); 700]);
+        let inner = Box::new(MaterializedOp::new(pairs, Sortedness::BySource));
+        let distinct = DistinctOp::new(inner);
+        assert_eq!(
+            collect_pairs(distinct).unwrap(),
+            vec![(n(0), n(1)), (n(3), n(0))]
+        );
     }
 
     #[test]

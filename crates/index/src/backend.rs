@@ -73,6 +73,165 @@ pub type BackendResult<T> = Result<T, BackendError>;
 /// disk-resident backends can fail while the scan is being drained.
 pub type BackendScan<'a> = Box<dyn Iterator<Item = BackendResult<(NodeId, NodeId)>> + 'a>;
 
+/// Default capacity of a [`PairBatch`]: the number of pairs moved per
+/// operator call in the batch-at-a-time engine. Large enough to amortize
+/// virtual dispatch and decode setup, small enough to stay cache-resident
+/// (two 4 KiB columns).
+pub const BATCH_CAPACITY: usize = 1024;
+
+/// A reusable structure-of-arrays buffer of node pairs — the unit of data
+/// movement of the batch-at-a-time execution engine.
+///
+/// Sources and targets are stored as two parallel columns so that operators
+/// that only look at one side of a pair (merge-join key advancement, hash
+/// probes, fence checks) scan a dense `&[NodeId]` instead of striding over
+/// tuples. A batch has a fixed fill target (`capacity`); producers append up
+/// to that many pairs per call and the buffer's allocations are reused across
+/// refills.
+#[derive(Debug, Clone)]
+pub struct PairBatch {
+    sources: Vec<NodeId>,
+    targets: Vec<NodeId>,
+    capacity: usize,
+}
+
+impl Default for PairBatch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PairBatch {
+    /// An empty batch with the default [`BATCH_CAPACITY`] fill target.
+    pub fn new() -> Self {
+        Self::with_capacity(BATCH_CAPACITY)
+    }
+
+    /// An empty batch that fills up to `capacity` pairs (clamped to ≥ 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        PairBatch {
+            sources: Vec::with_capacity(capacity),
+            targets: Vec::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// The fill target: producers stop appending once `len()` reaches this.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of pairs currently buffered.
+    pub fn len(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// `true` when no pairs are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.sources.is_empty()
+    }
+
+    /// `true` once the batch reached its fill target.
+    pub fn is_full(&self) -> bool {
+        self.len() >= self.capacity
+    }
+
+    /// Pairs that still fit before the batch is full.
+    pub fn remaining_capacity(&self) -> usize {
+        self.capacity.saturating_sub(self.len())
+    }
+
+    /// Empties the batch, keeping both column allocations.
+    pub fn clear(&mut self) {
+        self.sources.clear();
+        self.targets.clear();
+    }
+
+    /// Appends one pair.
+    pub fn push(&mut self, (source, target): (NodeId, NodeId)) {
+        self.sources.push(source);
+        self.targets.push(target);
+    }
+
+    /// The `i`-th buffered pair. Panics when `i ≥ len()`.
+    pub fn get(&self, i: usize) -> (NodeId, NodeId) {
+        (self.sources[i], self.targets[i])
+    }
+
+    /// The source column.
+    pub fn sources(&self) -> &[NodeId] {
+        &self.sources
+    }
+
+    /// The target column.
+    pub fn targets(&self) -> &[NodeId] {
+        &self.targets
+    }
+
+    /// Iterates the buffered pairs in order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.sources
+            .iter()
+            .copied()
+            .zip(self.targets.iter().copied())
+    }
+
+    /// Appends a slice of pairs (tuple layout), converting to columns.
+    pub fn extend_from_pairs(&mut self, pairs: &[(NodeId, NodeId)]) {
+        self.sources.extend(pairs.iter().map(|&(s, _)| s));
+        self.targets.extend(pairs.iter().map(|&(_, t)| t));
+    }
+
+    /// Swaps the two columns in place — an O(1) whole-batch pair swap used by
+    /// inverse-path scans to restore the semantic `(source, target)`
+    /// orientation.
+    pub fn swap_columns(&mut self) {
+        std::mem::swap(&mut self.sources, &mut self.targets);
+    }
+}
+
+/// A batched scan: repeatedly fills a [`PairBatch`] with the next pairs of
+/// one backend scan, in the same `(source, target)` order [`BackendScan`]
+/// streams them.
+pub trait BatchScan {
+    /// Clears `batch` and refills it with up to `batch.capacity()` pairs.
+    /// Returns the number of pairs produced; `Ok(0)` means the scan is
+    /// exhausted (producers may return short, non-empty batches mid-scan,
+    /// e.g. at chunk boundaries).
+    fn next_batch(&mut self, batch: &mut PairBatch) -> BackendResult<usize>;
+}
+
+/// Owned, dynamically dispatched batched scan tied to the backend it reads.
+pub type BackendBatchScan<'a> = Box<dyn BatchScan + 'a>;
+
+/// Adapts a pair-at-a-time [`BackendScan`] to the [`BatchScan`] protocol —
+/// the default used by backends without a native batch extraction path.
+pub struct IterBatchScan<'a> {
+    inner: BackendScan<'a>,
+}
+
+impl<'a> IterBatchScan<'a> {
+    /// Wraps a streaming scan.
+    pub fn new(inner: BackendScan<'a>) -> Self {
+        IterBatchScan { inner }
+    }
+}
+
+impl BatchScan for IterBatchScan<'_> {
+    fn next_batch(&mut self, batch: &mut PairBatch) -> BackendResult<usize> {
+        batch.clear();
+        while !batch.is_full() {
+            match self.inner.next() {
+                Some(Ok(pair)) => batch.push(pair),
+                Some(Err(e)) => return Err(e),
+                None => break,
+            }
+        }
+        Ok(batch.len())
+    }
+}
+
 /// Structural statistics common to every backend.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BackendStats {
@@ -111,6 +270,15 @@ pub trait PathIndexBackend {
     /// and produce an error (never a panic). A well-formed path that simply
     /// has no matches yields an empty scan.
     fn scan_path(&self, path: &[SignedLabel]) -> BackendResult<BackendScan<'_>>;
+
+    /// Batched form of [`scan_path`](Self::scan_path): the same pairs in the
+    /// same order, delivered a [`PairBatch`] at a time. The default adapts
+    /// the streaming scan; backends with a batch-friendly physical layout
+    /// (chunked runs, varint blocks) override it to copy/decode whole slices
+    /// per call.
+    fn scan_path_batches(&self, path: &[SignedLabel]) -> BackendResult<BackendBatchScan<'_>> {
+        Ok(Box::new(IterBatchScan::new(self.scan_path(path)?)))
+    }
 
     /// `I_{G,k}(⟨p, source⟩)`: targets reachable from `source` via `p`, in
     /// ascending order.
@@ -264,6 +432,10 @@ impl<B: PathIndexBackend + ?Sized> PathIndexBackend for &B {
         (**self).scan_path(path)
     }
 
+    fn scan_path_batches(&self, path: &[SignedLabel]) -> BackendResult<BackendBatchScan<'_>> {
+        (**self).scan_path_batches(path)
+    }
+
     fn scan_path_from(&self, path: &[SignedLabel], source: NodeId) -> BackendResult<Vec<NodeId>> {
         (**self).scan_path_from(path, source)
     }
@@ -297,6 +469,46 @@ impl<B: PathIndexBackend + ?Sized> PathIndexBackend for &B {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn pair_batch_push_swap_and_reuse() {
+        let mut batch = PairBatch::with_capacity(2);
+        assert!(batch.is_empty());
+        assert_eq!(batch.remaining_capacity(), 2);
+        batch.push((NodeId(1), NodeId(10)));
+        batch.extend_from_pairs(&[(NodeId(2), NodeId(20))]);
+        assert!(batch.is_full());
+        assert_eq!(batch.get(0), (NodeId(1), NodeId(10)));
+        assert_eq!(batch.sources(), &[NodeId(1), NodeId(2)]);
+        assert_eq!(batch.targets(), &[NodeId(10), NodeId(20)]);
+        batch.swap_columns();
+        assert_eq!(
+            batch.iter().collect::<Vec<_>>(),
+            vec![(NodeId(10), NodeId(1)), (NodeId(20), NodeId(2))]
+        );
+        batch.clear();
+        assert!(batch.is_empty());
+        assert_eq!(batch.capacity(), 2);
+    }
+
+    #[test]
+    fn iter_batch_scan_chunks_a_stream_and_surfaces_errors() {
+        let pairs: Vec<BackendResult<(NodeId, NodeId)>> =
+            (0..5).map(|i| Ok((NodeId(i), NodeId(i + 100)))).collect();
+        let mut scan = IterBatchScan::new(Box::new(pairs.into_iter()));
+        let mut batch = PairBatch::with_capacity(3);
+        assert_eq!(scan.next_batch(&mut batch).unwrap(), 3);
+        assert_eq!(batch.sources(), &[NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(scan.next_batch(&mut batch).unwrap(), 2);
+        assert_eq!(scan.next_batch(&mut batch).unwrap(), 0);
+
+        let failing: Vec<BackendResult<(NodeId, NodeId)>> = vec![
+            Ok((NodeId(0), NodeId(0))),
+            Err(BackendError::new("test", "torn")),
+        ];
+        let mut scan = IterBatchScan::new(Box::new(failing.into_iter()));
+        assert!(scan.next_batch(&mut batch).is_err());
+    }
 
     #[test]
     fn backend_error_display_and_accessors() {

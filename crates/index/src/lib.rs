@@ -39,8 +39,9 @@ pub mod pathkey;
 pub mod runs;
 
 pub use backend::{
-    BackendError, BackendResult, BackendScan, BackendStats, DeltaBatch, EntryChange, EntryDeltas,
-    MutablePathIndexBackend, PathIndexBackend,
+    BackendBatchScan, BackendError, BackendResult, BackendScan, BackendStats, BatchScan,
+    DeltaBatch, EntryChange, EntryDeltas, IterBatchScan, MutablePathIndexBackend, PairBatch,
+    PathIndexBackend, BATCH_CAPACITY,
 };
 pub use enumerate::{enumerate_paths, naive_path_eval, paths_k_cardinality, PathRelation};
 pub use estimate::CardinalityEstimator;

@@ -24,14 +24,15 @@
 //! mutated.
 
 use crate::backend::{
-    check_scan_path, BackendResult, BackendScan, BackendStats, DeltaBatch, EntryChange,
-    MutablePathIndexBackend, PathIndexBackend,
+    check_scan_path, BackendBatchScan, BackendResult, BackendScan, BackendStats, BatchScan,
+    DeltaBatch, EntryChange, MutablePathIndexBackend, PairBatch, PathIndexBackend,
 };
 use crate::enumerate::enumerate_paths;
 use crate::pathkey::decode_entry;
 use crate::paths_k_cardinality;
 use pathix_graph::{Graph, NodeId, SignedLabel};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Preferred number of pairs per chunk: rebuilt chunk groups are re-cut to
@@ -58,6 +59,49 @@ type PathKey = (usize, Vec<SignedLabel>);
 /// The net key changes of one path, sorted by pair.
 type PathOps = Vec<((NodeId, NodeId), EntryChange)>;
 
+/// A tiny blocked bloom filter over a run's source nodes (512 bits, two
+/// multiplicative hashes). Rebuilds OR the batch's added sources into the
+/// previous epoch's filter, so it stays a **superset** of the live sources —
+/// deletions leave stale bits behind, which only costs false positives —
+/// and publish cost stays O(Δ) instead of O(run).
+#[derive(Debug, Clone, Copy, Default)]
+struct SourceBloom {
+    bits: [u64; 8],
+}
+
+impl SourceBloom {
+    fn slots(src: NodeId) -> (usize, usize) {
+        // Top 9 bits of two multiplicative hashes (low bits of x·odd are a
+        // mere permutation of x's low bits and cluster on dense node IDs).
+        let a = (src.0.wrapping_mul(0x9E37_79B9) >> 23) as usize;
+        let b = (src.0.wrapping_mul(0x85EB_CA6B) >> 23) as usize;
+        (a, b)
+    }
+
+    fn insert(&mut self, src: NodeId) {
+        let (a, b) = Self::slots(src);
+        self.bits[a / 64] |= 1 << (a % 64);
+        self.bits[b / 64] |= 1 << (b % 64);
+    }
+
+    /// `false` means `src` is definitely not a source of this run.
+    fn maybe_contains(&self, src: NodeId) -> bool {
+        let (a, b) = Self::slots(src);
+        self.bits[a / 64] & (1 << (a % 64)) != 0 && self.bits[b / 64] & (1 << (b % 64)) != 0
+    }
+}
+
+/// Per-run skip metadata for bound-source probes, shared across epochs like
+/// the chunk list itself (untouched runs bump one more refcount; rebuilt runs
+/// recompute fences in O(chunks) and extend the bloom in O(Δ)).
+#[derive(Debug, Default)]
+struct RunMeta {
+    /// `(min source, max source)` per chunk, parallel to the chunk list.
+    fences: Vec<(NodeId, NodeId)>,
+    /// Superset filter over the run's source nodes.
+    bloom: SourceBloom,
+}
+
 /// One path relation: bounded chunks in ascending `(source, target)` order.
 /// The chunk list itself lives behind an `Arc` so an untouched run is
 /// re-shared across epochs with a single refcount bump — publish cost stays
@@ -66,6 +110,38 @@ type PathOps = Vec<((NodeId, NodeId), EntryChange)>;
 struct Run {
     path: Vec<SignedLabel>,
     chunks: Arc<Vec<Arc<Chunk>>>,
+    meta: Arc<RunMeta>,
+}
+
+impl Run {
+    /// Builds a run over `chunks`, computing per-chunk source fences and
+    /// adopting `bloom` (exact at build time, a superset across epochs).
+    fn with_meta(path: Vec<SignedLabel>, chunks: Arc<Vec<Arc<Chunk>>>, bloom: SourceBloom) -> Run {
+        let fences = chunks
+            .iter()
+            .map(|c| {
+                let first = c.first().expect("run chunks are never empty");
+                let last = c.last().expect("run chunks are never empty");
+                (first.0, last.0)
+            })
+            .collect();
+        Run {
+            path,
+            chunks,
+            meta: Arc::new(RunMeta { fences, bloom }),
+        }
+    }
+}
+
+/// The exact source bloom of a chunk list — used at bulk build time.
+fn bloom_from_chunks(chunks: &[Arc<Chunk>]) -> SourceBloom {
+    let mut bloom = SourceBloom::default();
+    for chunk in chunks {
+        for &(s, _) in chunk.iter() {
+            bloom.insert(s);
+        }
+    }
+    bloom
 }
 
 /// What one publish reused versus rebuilt — the observable evidence that a
@@ -98,6 +174,10 @@ pub struct SharedKPathIndex {
     last_publish: RunPublishStats,
     inserts_applied: u64,
     deletes_applied: u64,
+    /// Chunks bypassed by bound-source probes (fences + bloom). Shared
+    /// (`Arc`) across clones and epochs so any snapshot reports the lineage's
+    /// global total.
+    chunks_skipped: Arc<AtomicU64>,
 }
 
 impl SharedKPathIndex {
@@ -117,10 +197,9 @@ impl SharedKPathIndex {
             pairs.dedup();
             entries += pairs.len() as u64;
             per_path_counts.push((rel.path.clone(), pairs.len() as u64));
-            runs.push(Run {
-                path: rel.path,
-                chunks: Arc::new(cut_chunks(pairs)),
-            });
+            let chunks = Arc::new(cut_chunks(pairs));
+            let bloom = bloom_from_chunks(&chunks);
+            runs.push(Run::with_meta(rel.path, chunks, bloom));
         }
         SharedKPathIndex {
             k,
@@ -132,7 +211,15 @@ impl SharedKPathIndex {
             last_publish: RunPublishStats::default(),
             inserts_applied: 0,
             deletes_applied: 0,
+            chunks_skipped: Arc::default(),
         }
+    }
+
+    /// Chunks that bound-source probes skipped without reading, thanks to
+    /// per-chunk source fences and the per-run bloom filter. The counter is
+    /// shared across snapshots, so any clone reports the global total.
+    pub fn chunks_skipped(&self) -> u64 {
+        self.chunks_skipped.load(Ordering::Relaxed)
     }
 
     /// A snapshot of this index to publish: an O(paths) clone that shares
@@ -177,21 +264,32 @@ impl SharedKPathIndex {
     }
 
     /// `I_{G,k}(⟨p, source⟩)`: targets reachable from `source` via `p`.
+    ///
+    /// Bound probes never read a chunk that cannot hold `source`: the per-run
+    /// bloom filter rejects absent sources outright, and the per-chunk
+    /// `(min, max)` source fences narrow the rest to the covering chunk range
+    /// without touching pair data. Skipped chunks are counted.
     pub fn scan_path_from(&self, path: &[SignedLabel], source: NodeId) -> Vec<NodeId> {
         let Some(run) = self.run(path) else {
             return Vec::new();
         };
+        if !run.meta.bloom.maybe_contains(source) {
+            self.chunks_skipped
+                .fetch_add(run.chunks.len() as u64, Ordering::Relaxed);
+            return Vec::new();
+        }
+        // Fences: chunks whose max source is below `source` or whose min
+        // source is above it cannot contain it (both bounds non-decreasing).
+        let fences = &run.meta.fences;
+        let start = fences.partition_point(|&(_, max)| max < source);
+        let stop = start + fences[start..].partition_point(|&(min, _)| min <= source);
+        self.chunks_skipped.fetch_add(
+            (start + (run.chunks.len() - stop)) as u64,
+            Ordering::Relaxed,
+        );
         let lo = (source, NodeId(0));
-        let hi = (source, NodeId(u32::MAX));
         let mut out = Vec::new();
-        // Skip chunks that end before the source, stop past it.
-        let start = run
-            .chunks
-            .partition_point(|c| c.last().is_some_and(|&last| last < lo));
-        for chunk in &run.chunks[start..] {
-            if chunk.first().is_some_and(|&first| first > hi) {
-                break;
-            }
+        for chunk in &run.chunks[start..stop] {
             let from = chunk.partition_point(|&p| p < lo);
             for &(s, t) in &chunk[from..] {
                 if s != source {
@@ -208,6 +306,9 @@ impl SharedKPathIndex {
         let Some(run) = self.run(path) else {
             return false;
         };
+        if !run.meta.bloom.maybe_contains(source) {
+            return false;
+        }
         let key = (source, target);
         let i = run
             .chunks
@@ -263,8 +364,8 @@ impl SharedKPathIndex {
                 // log, and the batch statistics no longer list it.
                 old += 1;
             }
-            let prev: Option<&Arc<Vec<Arc<Chunk>>>> = match self.runs.get(old) {
-                Some(run) if run.path.as_slice() == path.as_slice() => Some(&run.chunks),
+            let prev: Option<&Run> = match self.runs.get(old) {
+                Some(run) if run.path.as_slice() == path.as_slice() => Some(run),
                 _ => None,
             };
             while ops_at < touched.len()
@@ -278,28 +379,46 @@ impl SharedKPathIndex {
                 }
                 _ => &[],
             };
-            let chunks = if ops.is_empty() {
+            let run = if ops.is_empty() {
                 stats.runs_shared += 1;
-                stats.chunks_shared += prev.map_or(0, |c| c.len());
-                prev.map_or_else(|| Arc::new(Vec::new()), Arc::clone)
+                stats.chunks_shared += prev.map_or(0, |r| r.chunks.len());
+                match prev {
+                    // Share chunk list AND skip metadata with one bump each.
+                    Some(r) => Run {
+                        path: path.clone(),
+                        chunks: Arc::clone(&r.chunks),
+                        meta: Arc::clone(&r.meta),
+                    },
+                    None => Run {
+                        path: path.clone(),
+                        chunks: Arc::new(Vec::new()),
+                        meta: Arc::new(RunMeta::default()),
+                    },
+                }
             } else {
                 stats.runs_rebuilt += 1;
-                Arc::new(apply_ops(
-                    prev.map_or(&[][..], |c| c.as_slice()),
+                let chunks = Arc::new(apply_ops(
+                    prev.map_or(&[][..], |r| r.chunks.as_slice()),
                     ops,
                     &mut stats,
-                ))
+                ));
+                // Extend the previous epoch's bloom with the added sources —
+                // O(Δ), keeping it a superset of the live sources.
+                let mut bloom = prev.map_or_else(SourceBloom::default, |r| r.meta.bloom);
+                for &((s, _), change) in ops {
+                    if change == EntryChange::Added {
+                        bloom.insert(s);
+                    }
+                }
+                Run::with_meta(path.clone(), chunks, bloom)
             };
             debug_assert_eq!(
-                chunks.iter().map(|c| c.len() as u64).sum::<u64>(),
+                run.chunks.iter().map(|c| c.len() as u64).sum::<u64>(),
                 *count,
                 "run for {path:?} diverged from the batch statistics"
             );
             entries += count;
-            runs.push(Run {
-                path: path.clone(),
-                chunks,
-            });
+            runs.push(run);
         }
 
         SharedKPathIndex {
@@ -312,6 +431,7 @@ impl SharedKPathIndex {
             last_publish: stats,
             inserts_applied: self.inserts_applied + batch.inserted_edges,
             deletes_applied: self.deletes_applied + batch.deleted_edges,
+            chunks_skipped: Arc::clone(&self.chunks_skipped),
         }
     }
 }
@@ -439,6 +559,32 @@ fn merge_chunk(
     pending.extend_from_slice(&chunk[pi..]);
 }
 
+/// Batched scan over a run's chunk list: whole chunk slices are copied into
+/// the batch columns per call instead of iterating pair-at-a-time — the
+/// chunked layout's native bulk extraction path.
+struct ChunkBatchScan<'a> {
+    chunks: &'a [Arc<Chunk>],
+    chunk: usize,
+    offset: usize,
+}
+
+impl BatchScan for ChunkBatchScan<'_> {
+    fn next_batch(&mut self, batch: &mut PairBatch) -> BackendResult<usize> {
+        batch.clear();
+        while self.chunk < self.chunks.len() && !batch.is_full() {
+            let chunk = &self.chunks[self.chunk];
+            let take = batch.remaining_capacity().min(chunk.len() - self.offset);
+            batch.extend_from_pairs(&chunk[self.offset..self.offset + take]);
+            self.offset += take;
+            if self.offset == chunk.len() {
+                self.chunk += 1;
+                self.offset = 0;
+            }
+        }
+        Ok(batch.len())
+    }
+}
+
 impl PathIndexBackend for SharedKPathIndex {
     fn backend_name(&self) -> &'static str {
         "memory"
@@ -455,6 +601,16 @@ impl PathIndexBackend for SharedKPathIndex {
     fn scan_path(&self, path: &[SignedLabel]) -> BackendResult<BackendScan<'_>> {
         check_scan_path(self.backend_name(), self.k, path)?;
         Ok(Box::new(SharedKPathIndex::scan_path(self, path).map(Ok)))
+    }
+
+    fn scan_path_batches(&self, path: &[SignedLabel]) -> BackendResult<BackendBatchScan<'_>> {
+        check_scan_path(self.backend_name(), self.k, path)?;
+        let chunks = self.run(path).map(|r| r.chunks.as_slice()).unwrap_or(&[]);
+        Ok(Box::new(ChunkBatchScan {
+            chunks,
+            chunk: 0,
+            offset: 0,
+        }))
     }
 
     fn scan_path_from(&self, path: &[SignedLabel], source: NodeId) -> BackendResult<Vec<NodeId>> {
@@ -659,6 +815,7 @@ mod tests {
             last_publish: RunPublishStats::default(),
             inserts_applied: 0,
             deletes_applied: 0,
+            chunks_skipped: Arc::default(),
         };
         let mut shared = empty.with_batch(&delta_batch(&oracle, &deltas, 3 * CHUNK_MAX as u64, 0));
         assert!(shared.chunk_count() > 1, "chain must span several chunks");
@@ -733,6 +890,7 @@ mod tests {
             last_publish: RunPublishStats::default(),
             inserts_applied: 0,
             deletes_applied: 0,
+            chunks_skipped: Arc::default(),
         };
         let mut shared = empty.with_batch(&delta_batch(&oracle, &deltas, n as u64, 0));
         let peak_chunks = shared.chunk_count();
@@ -802,6 +960,7 @@ mod tests {
             last_publish: RunPublishStats::default(),
             inserts_applied: 0,
             deletes_applied: 0,
+            chunks_skipped: Arc::default(),
         }
         .with_batch(&delta_batch(&oracle, &deltas, 2 * CHUNK_MAX as u64 + 1, 0));
 
@@ -825,6 +984,114 @@ mod tests {
             "an untouched run must re-share its whole chunk list"
         );
         assert!(next.last_publish_stats().runs_shared >= 1);
+    }
+
+    #[test]
+    fn bound_probes_skip_chunks_and_count_them() {
+        // A multi-chunk single-label chain: probing one source must read at
+        // most the chunks whose fences admit it and count the rest skipped.
+        let l = LabelId(0);
+        let mut oracle = IncrementalKPathIndex::new(1);
+        let mut deltas = EntryDeltas::new();
+        let n_edges = 4 * CHUNK_MAX as u32;
+        for i in 0..n_edges {
+            oracle.apply_logged(
+                GraphUpdate::InsertEdge {
+                    src: NodeId(i),
+                    label: l,
+                    dst: NodeId(i + 1),
+                },
+                &mut deltas,
+            );
+        }
+        let empty = SharedKPathIndex {
+            k: 1,
+            node_count: 0,
+            paths_k_size: 0,
+            entries: 0,
+            runs: Vec::new(),
+            per_path_counts: Vec::new(),
+            last_publish: RunPublishStats::default(),
+            inserts_applied: 0,
+            deletes_applied: 0,
+            chunks_skipped: Arc::default(),
+        };
+        let shared = empty.with_batch(&delta_batch(&oracle, &deltas, n_edges as u64, 0));
+        let path = [SignedLabel::forward(l)];
+        let chunk_count = shared.run(&path).unwrap().chunks.len();
+        assert!(chunk_count >= 4, "need several chunks, got {chunk_count}");
+
+        let before = shared.chunks_skipped();
+        assert_eq!(shared.scan_path_from(&path, NodeId(0)), vec![NodeId(1)]);
+        let after_hit = shared.chunks_skipped();
+        assert!(
+            after_hit - before >= chunk_count as u64 - 1,
+            "a fenced probe must bypass all but the covering chunk"
+        );
+
+        // A source that no run contains: the bloom rejects it outright and
+        // charges the whole run as skipped.
+        let absent = NodeId(u32::MAX - 1);
+        assert!(shared.scan_path_from(&path, absent).is_empty());
+        assert!(!shared.contains(&path, absent, NodeId(0)));
+        assert!(shared.chunks_skipped() > after_hit);
+    }
+
+    #[test]
+    fn bloom_stays_a_superset_across_rebuilds() {
+        let g = paper_example_graph();
+        let shared = SharedKPathIndex::build(&g, 2);
+        let mut oracle = IncrementalKPathIndex::bulk_from_graph(&g, 2);
+        let knows = g.label_id("knows").unwrap();
+        let sue = g.node_id("sue").unwrap();
+        let tim = g.node_id("tim").unwrap();
+        let mut deltas = EntryDeltas::new();
+        assert!(oracle.apply_logged(
+            GraphUpdate::InsertEdge {
+                src: sue,
+                label: knows,
+                dst: tim,
+            },
+            &mut deltas,
+        ));
+        let next = shared.with_batch(&delta_batch(&oracle, &deltas, 1, 0));
+
+        let mut updated = g.clone();
+        assert!(updated.insert_edge(sue, knows, tim));
+        let rebuilt = SharedKPathIndex::build(&updated, 2);
+        // Every live entry must pass the (possibly inherited) bloom — no
+        // false negatives — so bound probes match a from-scratch build.
+        for (path, _) in rebuilt.per_path_counts.clone() {
+            for (s, t) in next.scan_path(&path).collect::<Vec<_>>() {
+                assert!(
+                    next.contains(&path, s, t),
+                    "path {path:?} lost ({s:?},{t:?})"
+                );
+            }
+            for s in (0..updated.node_count() as u32).map(NodeId) {
+                assert_eq!(
+                    next.scan_path_from(&path, s),
+                    rebuilt.scan_path_from(&path, s),
+                    "path {path:?} source {s:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_scan_matches_streaming_scan() {
+        let g = paper_example_graph();
+        let shared = SharedKPathIndex::build(&g, 2);
+        for (path, _) in shared.per_path_counts().to_vec() {
+            let streamed: Vec<_> = SharedKPathIndex::scan_path(&shared, &path).collect();
+            let mut batched = Vec::new();
+            let mut scan = PathIndexBackend::scan_path_batches(&shared, &path).unwrap();
+            let mut batch = PairBatch::with_capacity(7);
+            while scan.next_batch(&mut batch).unwrap() > 0 {
+                batched.extend(batch.iter());
+            }
+            assert_eq!(batched, streamed, "path {path:?}");
+        }
     }
 
     #[test]

@@ -29,6 +29,9 @@ pub struct PoolStats {
     pub evictions: u64,
     /// Dirty pages written back to disk (on eviction or flush).
     pub write_backs: u64,
+    /// Pages loaded speculatively by [`BufferPool::prefetch`] before any
+    /// request touched them (not counted as hits or misses).
+    pub read_ahead_pages: u64,
 }
 
 #[derive(Debug)]
@@ -161,6 +164,38 @@ impl BufferPool {
         Ok(f(&mut frame.data))
     }
 
+    /// Best-effort read-ahead: loads the given pages into frames so an
+    /// imminent sequential scan finds them resident.
+    ///
+    /// Already-resident pages are left untouched (their reference bits are
+    /// not set, so prefetching never delays their eviction). At most
+    /// `capacity - 2` pages are prefetched per call so speculative loads
+    /// cannot sweep the working set out of a small pool. Read errors are
+    /// swallowed — the demand read will surface them — and the affected
+    /// mapping is uninstalled so no frame caches garbage.
+    pub fn prefetch(&self, pids: &[PageId]) {
+        let mut inner = self.locked();
+        let budget = inner.frames.len().saturating_sub(2);
+        for &pid in pids.iter().take(budget) {
+            if inner.table.contains_key(&pid.0) {
+                continue;
+            }
+            let Ok(idx) = inner.acquire_frame(pid) else {
+                continue;
+            };
+            let mut data = std::mem::take(&mut inner.frames[idx].data);
+            let res = inner.disk.read_page(pid, &mut data);
+            inner.frames[idx].data = data;
+            if res.is_ok() {
+                inner.stats.read_ahead_pages += 1;
+            } else {
+                // Leave no mapping to uninitialized frame contents.
+                inner.frames[idx].page = None;
+                inner.table.remove(&pid.0);
+            }
+        }
+    }
+
     /// Writes every dirty resident page back to disk and syncs the file.
     pub fn flush_all(&self) -> io::Result<()> {
         let mut inner = self.locked();
@@ -282,6 +317,32 @@ mod tests {
         assert_eq!(stats.hits, 10);
         assert_eq!(stats.misses, 0);
         assert_eq!(stats.evictions, 0);
+    }
+
+    #[test]
+    fn prefetch_loads_evicted_pages_back_without_demand_traffic() {
+        let pool = BufferPool::in_memory(8);
+        let mut pids = Vec::new();
+        for i in 0..20u32 {
+            let pid = pool.allocate_page().unwrap();
+            pool.with_page_mut(pid, |p| put_u32(p, 0, i + 1)).unwrap();
+            pids.push(pid);
+        }
+        // The earliest pages have been swept out by now.
+        pool.reset_stats();
+        pool.prefetch(&pids[0..4]);
+        let stats = pool.stats();
+        assert_eq!(stats.read_ahead_pages, 4);
+        assert_eq!(stats.misses, 0, "prefetch must not count as demand misses");
+        assert_eq!(stats.hits, 0);
+        for (i, pid) in pids[0..4].iter().enumerate() {
+            let v = pool.with_page(*pid, |p| get_u32(p, 0)).unwrap();
+            assert_eq!(v, i as u32 + 1);
+        }
+        assert_eq!(pool.stats().hits, 4, "prefetched pages must be resident");
+        // Prefetching resident pages is a no-op.
+        pool.prefetch(&pids[0..4]);
+        assert_eq!(pool.stats().read_ahead_pages, 4);
     }
 
     #[test]

@@ -28,13 +28,15 @@ use crate::varint::{encode_pairs, PairDecoder};
 use pathix_graph::Graph;
 use pathix_graph::{NodeId, SignedLabel};
 use pathix_index::backend::{
-    check_scan_path, BackendError, BackendResult, BackendScan, BackendStats, DeltaBatch,
-    EntryChange, MutablePathIndexBackend, PathIndexBackend,
+    check_scan_path, BackendBatchScan, BackendError, BackendResult, BackendScan, BackendStats,
+    BatchScan, DeltaBatch, EntryChange, IterBatchScan, MutablePathIndexBackend, PairBatch,
+    PathIndexBackend,
 };
 use pathix_index::pathkey::{decode_entry, encode_path_prefix};
 use pathix_index::{enumerate_paths, paths_k_cardinality, KPathIndex};
 use std::collections::btree_map;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Size accounting of a [`CompressedPathStore`] compared against the
@@ -96,11 +98,46 @@ pub struct CompressedPathStore {
     compactions: u64,
     inserts_applied: u64,
     deletes_applied: u64,
+    /// Segments bypassed by source-fence checks on bound probes, shared
+    /// across clones/reader views so it totals over the store's lineage.
+    blocks_skipped: Arc<AtomicU64>,
+}
+
+/// Pairs stored per [`Segment`]: small enough that a bound probe decodes at
+/// most a few hundred pairs, large enough that the per-segment fence/length
+/// overhead stays negligible.
+const SEGMENT_PAIRS: usize = 512;
+
+/// One independently decodable slice of a block: the delta chain restarts at
+/// every segment boundary, so a probe can skip straight to the segment whose
+/// source fence covers it.
+#[derive(Debug)]
+struct Segment {
+    bytes: Vec<u8>,
+    /// Smallest source in the segment.
+    min_src: u32,
+    /// Largest source in the segment.
+    max_src: u32,
 }
 
 #[derive(Debug)]
 struct Block {
-    bytes: Vec<u8>,
+    /// Non-empty segments in ascending `(source, target)` order.
+    segments: Vec<Segment>,
+}
+
+/// Segments a sorted pair list into independently decodable fenced slices.
+fn encode_block(pairs: &[(u32, u32)]) -> Block {
+    Block {
+        segments: pairs
+            .chunks(SEGMENT_PAIRS)
+            .map(|chunk| Segment {
+                bytes: encode_pairs(chunk),
+                min_src: chunk[0].0,
+                max_src: chunk[chunk.len() - 1].0,
+            })
+            .collect(),
+    }
 }
 
 impl CompressedPathStore {
@@ -120,9 +157,7 @@ impl CompressedPathStore {
             per_path_counts.push((rel.path.clone(), pairs.len() as u64));
             blocks.insert(
                 encode_path_prefix(&rel.path),
-                Arc::new(Block {
-                    bytes: encode_pairs(&pairs),
-                }),
+                Arc::new(encode_block(&pairs)),
             );
         }
         CompressedPathStore {
@@ -136,6 +171,7 @@ impl CompressedPathStore {
             compactions: 0,
             inserts_applied: 0,
             deletes_applied: 0,
+            blocks_skipped: Arc::default(),
         }
     }
 
@@ -150,12 +186,7 @@ impl CompressedPathStore {
             pairs.sort_unstable();
             pairs.dedup();
             per_path_counts.push((path.clone(), pairs.len() as u64));
-            blocks.insert(
-                encode_path_prefix(path),
-                Arc::new(Block {
-                    bytes: encode_pairs(&pairs),
-                }),
-            );
+            blocks.insert(encode_path_prefix(path), Arc::new(encode_block(&pairs)));
         }
         CompressedPathStore {
             k: index.k(),
@@ -168,6 +199,7 @@ impl CompressedPathStore {
             compactions: 0,
             inserts_applied: 0,
             deletes_applied: 0,
+            blocks_skipped: Arc::default(),
         }
     }
 
@@ -217,24 +249,63 @@ impl CompressedPathStore {
         self.scan_prefix(&encode_path_prefix(path))
     }
 
+    fn segments(&self, prefix: &[u8]) -> &[Segment] {
+        self.blocks
+            .get(prefix)
+            .map(|b| b.segments.as_slice())
+            .unwrap_or(&[])
+    }
+
     fn scan_prefix(&self, prefix: &[u8]) -> CompressedPairScan<'_> {
-        static EMPTY_BLOCK: &[u8] = &[0];
         static EMPTY_OVERLAY: Overlay = Overlay::new();
-        let base = PairDecoder::new(
-            self.blocks
-                .get(prefix)
-                .map_or(EMPTY_BLOCK, |b| b.bytes.as_slice()),
-        );
+        let base = SegmentCursor::new(self.segments(prefix));
         let overlay = self.overlays.get(prefix).unwrap_or(&EMPTY_OVERLAY).iter();
         CompressedPairScan::new(base, overlay)
     }
 
-    /// Targets reachable from `source` via `path`, decoded from the block.
+    /// Targets reachable from `source` via `path`.
+    ///
+    /// Bound probes are the win for segmentation: every segment whose source
+    /// fence excludes `source` is bypassed without decoding a byte (counted
+    /// in [`Self::blocks_skipped`]); only covering segments are decoded, and
+    /// the path's overlay range for `source` is merged on top.
     pub fn targets_from(&self, path: &[SignedLabel], source: NodeId) -> Vec<NodeId> {
-        self.scan_path(path)
-            .filter(|&(s, _)| s == source.0)
-            .map(|(_, t)| NodeId(t))
-            .collect()
+        let prefix = encode_path_prefix(path);
+        let mut out: Vec<u32> = Vec::new();
+        for seg in self.segments(&prefix) {
+            if seg.max_src < source.0 || seg.min_src > source.0 {
+                self.blocks_skipped.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            for (s, t) in PairDecoder::new(&seg.bytes) {
+                if s > source.0 {
+                    break;
+                }
+                if s == source.0 {
+                    out.push(t);
+                }
+            }
+        }
+        if let Some(overlay) = self.overlays.get(&prefix) {
+            for (&(_, t), &present) in overlay.range((source.0, 0)..=(source.0, u32::MAX)) {
+                match out.binary_search(&t) {
+                    Ok(i) if !present => {
+                        out.remove(i);
+                    }
+                    Err(i) if present => {
+                        out.insert(i, t);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        out.into_iter().map(NodeId).collect()
+    }
+
+    /// Segments bypassed so far by bound-probe fence checks (totalled over
+    /// this store's whole clone lineage).
+    pub fn blocks_skipped(&self) -> u64 {
+        self.blocks_skipped.load(Ordering::Relaxed)
     }
 
     /// Membership test for `(source, target) ∈ p(G)`.
@@ -245,7 +316,7 @@ impl CompressedPathStore {
                 return present;
             }
         }
-        self.scan_path(path).any(|p| p == pair)
+        self.targets_from(path, source).contains(&target)
     }
 
     /// Number of pairs stored for `path`, if it is stored.
@@ -263,12 +334,8 @@ impl CompressedPathStore {
         if merged.is_empty() {
             self.blocks.remove(prefix);
         } else {
-            self.blocks.insert(
-                prefix.to_vec(),
-                Arc::new(Block {
-                    bytes: encode_pairs(&merged),
-                }),
-            );
+            self.blocks
+                .insert(prefix.to_vec(), Arc::new(encode_block(&merged)));
         }
         self.overlays.remove(prefix);
         self.compactions += 1;
@@ -296,7 +363,13 @@ impl CompressedPathStore {
             uncompressed += count * (1 + 2 * path.len() as u64 + 8);
         }
         for (key, block) in &self.blocks {
-            compressed += block.bytes.len() as u64 + key.len() as u64;
+            // Each segment carries its payload plus two 4-byte source fences.
+            compressed += key.len() as u64
+                + block
+                    .segments
+                    .iter()
+                    .map(|s| s.bytes.len() as u64 + 8)
+                    .sum::<u64>();
         }
         for overlay in self.overlays.values() {
             // One override costs a pair (8 bytes) plus the present flag.
@@ -311,18 +384,95 @@ impl CompressedPathStore {
     }
 }
 
+/// Sequential decode of a block's segment chain: the delta decoder restarts
+/// at every segment boundary, yielding the block's pairs in order.
+#[derive(Debug, Clone)]
+struct SegmentCursor<'a> {
+    segments: &'a [Segment],
+    /// Index of the segment `cur` decodes.
+    idx: usize,
+    cur: PairDecoder<'a>,
+}
+
+/// A valid encoding of zero pairs, for cursors over empty segment lists.
+static EMPTY_SEGMENT: &[u8] = &[0];
+
+impl<'a> SegmentCursor<'a> {
+    fn new(segments: &'a [Segment]) -> Self {
+        let cur = PairDecoder::new(
+            segments
+                .first()
+                .map(|s| s.bytes.as_slice())
+                .unwrap_or(EMPTY_SEGMENT),
+        );
+        SegmentCursor {
+            segments,
+            idx: 0,
+            cur,
+        }
+    }
+
+    /// Advances to the next segment; `false` when the chain is exhausted.
+    fn advance_segment(&mut self) -> bool {
+        self.idx += 1;
+        match self.segments.get(self.idx) {
+            Some(seg) => {
+                self.cur = PairDecoder::new(&seg.bytes);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+impl Iterator for SegmentCursor<'_> {
+    type Item = (u32, u32);
+
+    fn next(&mut self) -> Option<(u32, u32)> {
+        loop {
+            if let Some(pair) = self.cur.next() {
+                return Some(pair);
+            }
+            if !self.advance_segment() {
+                return None;
+            }
+        }
+    }
+}
+
+/// Batch-at-a-time decode of a segment chain straight into a [`PairBatch`],
+/// used when a path has no overlay to merge.
+struct SegmentBatchScan<'a> {
+    cursor: SegmentCursor<'a>,
+}
+
+impl BatchScan for SegmentBatchScan<'_> {
+    fn next_batch(&mut self, batch: &mut PairBatch) -> BackendResult<usize> {
+        batch.clear();
+        loop {
+            self.cursor.cur.decode_into(batch);
+            if batch.is_full() || !self.cursor.advance_segment() {
+                return Ok(batch.len());
+            }
+        }
+    }
+}
+
 /// Streaming merge of one path's block decode with its overlay side-table,
 /// in ascending `(source, target)` order.
 #[derive(Debug, Clone)]
 pub struct CompressedPairScan<'a> {
-    base: PairDecoder<'a>,
+    base: SegmentCursor<'a>,
     base_next: Option<(u32, u32)>,
     overlay: btree_map::Iter<'a, (u32, u32), bool>,
     overlay_next: Option<((u32, u32), bool)>,
 }
 
 impl<'a> CompressedPairScan<'a> {
-    fn new(mut base: PairDecoder<'a>, mut overlay: btree_map::Iter<'a, (u32, u32), bool>) -> Self {
+    fn new(
+        mut base: SegmentCursor<'a>,
+        mut overlay: btree_map::Iter<'a, (u32, u32), bool>,
+    ) -> Self {
         let base_next = base.next();
         let overlay_next = overlay.next().map(|(&p, &v)| (p, v));
         CompressedPairScan {
@@ -390,6 +540,25 @@ impl PathIndexBackend for CompressedPathStore {
         Ok(Box::new(
             CompressedPathStore::scan_path(self, path).map(|(s, t)| Ok((NodeId(s), NodeId(t)))),
         ))
+    }
+
+    fn scan_path_batches(&self, path: &[SignedLabel]) -> BackendResult<BackendBatchScan<'_>> {
+        check_scan_path(self.backend_name(), self.k, path)?;
+        let prefix = encode_path_prefix(path);
+        let overlay_is_empty = match self.overlays.get(&prefix) {
+            Some(overlay) => overlay.is_empty(),
+            None => true,
+        };
+        if overlay_is_empty {
+            // No overrides to merge: decode segments straight into batches.
+            Ok(Box::new(SegmentBatchScan {
+                cursor: SegmentCursor::new(self.segments(&prefix)),
+            }))
+        } else {
+            Ok(Box::new(IterBatchScan::new(PathIndexBackend::scan_path(
+                self, path,
+            )?)))
+        }
     }
 
     fn scan_path_from(&self, path: &[SignedLabel], source: NodeId) -> BackendResult<Vec<NodeId>> {
@@ -687,6 +856,75 @@ mod tests {
             store.blocks.is_empty(),
             "empty paths must drop their blocks"
         );
+    }
+
+    #[test]
+    fn multi_segment_blocks_round_trip_and_fence_probes() {
+        // A single-label chain with several segments' worth of pairs.
+        let mut b = pathix_graph::GraphBuilder::new();
+        let n = 3 * SEGMENT_PAIRS as u32;
+        for i in 0..n {
+            b.add_edge_named(&format!("n{i}"), "l", &format!("n{}", i + 1));
+        }
+        let g = b.build();
+        let store = CompressedPathStore::build(&g, 1);
+        let path = [SignedLabel::forward(g.label_id("l").unwrap())];
+        let prefix = encode_path_prefix(&path);
+        let segments = store.segments(&prefix).len();
+        assert!(segments >= 3, "need several segments, got {segments}");
+
+        // Full decode matches the chain.
+        assert_eq!(store.pairs(&path).len(), n as usize);
+        // A bound probe decodes only the covering segment and counts the
+        // bypassed ones.
+        let before = store.blocks_skipped();
+        let src = g.node_id("n0").unwrap();
+        assert_eq!(
+            store.targets_from(&path, src),
+            vec![g.node_id("n1").unwrap()]
+        );
+        assert_eq!(
+            store.blocks_skipped() - before,
+            segments as u64 - 1,
+            "all but one segment must be fence-skipped"
+        );
+    }
+
+    #[test]
+    fn batched_scan_matches_streaming_with_and_without_overlay() {
+        let g = paper_example_graph();
+        let mut store = CompressedPathStore::build(&g, 2);
+        let mut oracle = IncrementalKPathIndex::bulk_from_graph(&g, 2);
+        let drain = |store: &CompressedPathStore, path: &[SignedLabel]| {
+            let mut scan = PathIndexBackend::scan_path_batches(store, path).unwrap();
+            let mut batch = PairBatch::with_capacity(5);
+            let mut out = Vec::new();
+            while scan.next_batch(&mut batch).unwrap() > 0 {
+                out.extend(batch.iter());
+            }
+            out
+        };
+        let check = |store: &CompressedPathStore| {
+            for (path, _) in store.per_path_counts.clone() {
+                let streamed: Vec<_> = store.pairs(&path);
+                assert_eq!(drain(store, &path), streamed, "path {path:?}");
+            }
+        };
+        check(&store);
+        // Un-compacted overlays force the merged fallback path.
+        let sue = g.node_id("sue").unwrap();
+        let tim = g.node_id("tim").unwrap();
+        apply_updates(
+            &mut store,
+            &mut oracle,
+            &[GraphUpdate::InsertEdge {
+                src: sue,
+                label: g.label_id("knows").unwrap(),
+                dst: tim,
+            }],
+        );
+        assert!(store.overlay_stats().overlay_entries > 0);
+        check(&store);
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //!   from the previous target of the same source (or raw when the source
 //!   changes).
 
+use pathix_graph::NodeId;
+use pathix_index::backend::PairBatch;
+
 /// Appends the LEB128 encoding of `value` to `out`.
 pub fn encode_u64(mut value: u64, out: &mut Vec<u8>) {
     loop {
@@ -137,6 +140,21 @@ impl<'a> PairDecoder<'a> {
     pub fn remaining(&self) -> usize {
         self.remaining
     }
+
+    /// Decodes pairs directly into `batch` (appending) until the batch is
+    /// full or the block is exhausted, returning the number appended.
+    ///
+    /// This is the batch-at-a-time fast path: one virtual call moves up to a
+    /// whole batch instead of one `Iterator::next` per pair.
+    pub fn decode_into(&mut self, batch: &mut PairBatch) -> usize {
+        let mut appended = 0;
+        while !batch.is_full() {
+            let Some((s, t)) = self.next() else { break };
+            batch.push((NodeId(s), NodeId(t)));
+            appended += 1;
+        }
+        appended
+    }
 }
 
 impl Iterator for PairDecoder<'_> {
@@ -235,6 +253,23 @@ mod tests {
         let block = encode_pairs(&pairs);
         assert_eq!(decode_pairs(&block).unwrap(), pairs);
         assert_eq!(PairDecoder::new(&block).collect::<Vec<_>>(), pairs);
+    }
+
+    #[test]
+    fn decode_into_fills_batches_and_resumes() {
+        let pairs: Vec<(u32, u32)> = (0..100).map(|i| (i / 4, i * 7)).collect();
+        let block = encode_pairs(&pairs);
+        let mut decoder = PairDecoder::new(&block);
+        let mut batch = PairBatch::with_capacity(33);
+        let mut out = Vec::new();
+        loop {
+            batch.clear();
+            if decoder.decode_into(&mut batch) == 0 {
+                break;
+            }
+            out.extend(batch.iter().map(|(s, t)| (s.0, t.0)));
+        }
+        assert_eq!(out, pairs);
     }
 
     #[test]

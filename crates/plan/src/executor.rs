@@ -8,7 +8,7 @@
 use crate::plan::{JoinAlgorithm, PhysicalPlan};
 use pathix_exec::{
     collect_pairs, BoxedPairStream, DistinctOp, EpsilonScanOp, HashJoinOp, IndexScanOp,
-    MergeJoinOp, Pair, PairStream, UnionAllOp,
+    MergeJoinOp, Pair, PairBatch, PairStream, UnionAllOp,
 };
 use pathix_index::{BackendResult, PathIndexBackend};
 use std::time::{Duration, Instant};
@@ -50,8 +50,9 @@ pub fn execute_with_stats<B: PathIndexBackend + ?Sized>(
     let start = Instant::now();
     let mut stream = open_stream(plan, index)?;
     let mut result = Vec::new();
-    while let Some(pair) = stream.next_pair()? {
-        result.push(pair);
+    let mut batch = PairBatch::new();
+    while stream.next_batch(&mut batch)? > 0 {
+        result.extend(batch.iter());
     }
     let pairs_pulled = result.len();
     result.sort_unstable();
@@ -64,6 +65,28 @@ pub fn execute_with_stats<B: PathIndexBackend + ?Sized>(
         merge_joins: plan.merge_join_count(),
     };
     Ok((result, stats))
+}
+
+/// Executes `plan` pair-at-a-time (no batching anywhere above the backend),
+/// returning the sorted, duplicate-free answer plus the number of pairs
+/// pulled from the root.
+///
+/// This is the pre-vectorization execution mode, kept as the reference for
+/// differential tests and as the baseline the `scan_join` experiment
+/// measures the batched engine against.
+pub fn execute_pairwise<B: PathIndexBackend + ?Sized>(
+    plan: &PhysicalPlan,
+    index: &B,
+) -> BackendResult<(Vec<Pair>, usize)> {
+    let mut stream = open_stream(plan, index)?;
+    let mut result = Vec::new();
+    while let Some(pair) = stream.next_pair()? {
+        result.push(pair);
+    }
+    let pairs_pulled = result.len();
+    result.sort_unstable();
+    result.dedup();
+    Ok((result, pairs_pulled))
 }
 
 /// Recursively builds the operator tree for a plan and returns its root as a

@@ -273,21 +273,29 @@ impl Shell {
         );
         // The paged backends additionally report the storage layer: buffer
         // pool behaviour plus the copy-on-write page lifecycle.
-        if let Some(storage) = &stats.storage {
+        let storage = &stats.storage;
+        if let Some(pool) = &storage.pool {
             out.push_str(&format!(
-                "\npool      : {} hits, {} misses, {} evictions, {} write-backs\n\
-                 cow       : {} page copies, {} retired ({} pending), {} reclaimed, {} live snapshots",
-                storage.pool.hits,
-                storage.pool.misses,
-                storage.pool.evictions,
-                storage.pool.write_backs,
-                storage.cow.page_copies,
-                storage.cow.pages_retired,
-                storage.cow.retired_pending,
-                storage.cow.pages_reclaimed,
-                storage.cow.live_snapshots
+                "\npool      : {} hits, {} misses, {} evictions, {} write-backs",
+                pool.hits, pool.misses, pool.evictions, pool.write_backs
             ));
         }
+        if let Some(cow) = &storage.cow {
+            out.push_str(&format!(
+                "\ncow       : {} page copies, {} retired ({} pending), {} reclaimed, {} live snapshots",
+                cow.page_copies,
+                cow.pages_retired,
+                cow.retired_pending,
+                cow.pages_reclaimed,
+                cow.live_snapshots
+            ));
+        }
+        // Every backend counts what its bound probes and range scans managed
+        // to bypass or stage ahead of time.
+        out.push_str(&format!(
+            "\nscan      : {} chunks skipped, {} blocks skipped, {} pages read ahead",
+            storage.chunks_skipped, storage.blocks_skipped, storage.read_ahead_pages
+        ));
         let snapshot = self.db.snapshot();
         // The memory backend reports what its last publish shared vs rebuilt.
         if let Some(index) = snapshot.index().as_memory() {
