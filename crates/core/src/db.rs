@@ -40,6 +40,7 @@ use crate::error::QueryError;
 use crate::options::QueryOptions;
 use crate::prepared::PreparedQuery;
 use crate::result::QueryResult;
+use pathix_audit::{AuditReport, StructuralAudit};
 use pathix_baselines::{evaluate_automaton, evaluate_datalog};
 use pathix_graph::{Graph, NodeId, SignedLabel};
 use pathix_index::{
@@ -187,6 +188,12 @@ impl PathIndexBackend for IndexBackend {
 
     fn stats(&self) -> BackendStats {
         delegate!(self, b => PathIndexBackend::stats(b))
+    }
+}
+
+impl StructuralAudit for IndexBackend {
+    fn audit(&self, report: &mut AuditReport) {
+        delegate!(self, b => b.audit(report))
     }
 }
 
@@ -442,6 +449,14 @@ enum WriterBackend {
 }
 
 impl WriterBackend {
+    fn backend_name(&self) -> &'static str {
+        match self {
+            WriterBackend::Memory(_) => "memory",
+            WriterBackend::Paged(_) => "paged",
+            WriterBackend::Compressed(_) => "compressed",
+        }
+    }
+
     /// Replays one delta batch and publishes the resulting reader view.
     fn publish(&mut self, batch: &DeltaBatch<'_>) -> BackendResult<IndexBackend> {
         match self {
@@ -454,6 +469,16 @@ impl WriterBackend {
             WriterBackend::Compressed(store) => store
                 .apply_delta_batch(batch)
                 .map(|()| IndexBackend::Compressed(store.reader_view())),
+        }
+    }
+}
+
+impl StructuralAudit for WriterBackend {
+    fn audit(&self, report: &mut AuditReport) {
+        match self {
+            WriterBackend::Memory(index) => index.audit(report),
+            WriterBackend::Paged(index) => index.audit(report),
+            WriterBackend::Compressed(store) => store.audit(report),
         }
     }
 }
@@ -934,6 +959,36 @@ impl PathDb {
             histogram_buckets: snapshot.histogram().buckets().len(),
             storage,
         }
+    }
+
+    /// Full structural audit of the database: walks the published snapshot's
+    /// backend, the writer-side backend (including the page-lifecycle checks
+    /// only the writer can perform), and — once updates have been applied —
+    /// the live counting index, recording every invariant evaluation.
+    ///
+    /// A clean report ([`AuditReport::is_clean`]) means every structural
+    /// invariant the backends rely on for correctness held: sorted and
+    /// fenced chunk/segment storage, superset-preserving blooms, a
+    /// copy-on-write page graph with no leaks and no snapshot-visible
+    /// reclamation, and statistics that match a full recount. The
+    /// differential test harnesses call this after every applied batch; the
+    /// CLI exposes it as `\audit`.
+    pub fn audit(&self) -> AuditReport {
+        let mut report = AuditReport::new();
+        let snapshot = self.snapshot();
+        report.run(
+            &format!("snapshot/{}", snapshot.index().backend_name()),
+            snapshot.index(),
+        );
+        let live = self.live.lock().expect("live index lock poisoned");
+        report.run(
+            &format!("writer/{}", live.writer.backend_name()),
+            &live.writer,
+        );
+        if let Some(index) = &live.index {
+            report.run("counting-index", index);
+        }
+        report
     }
 }
 

@@ -30,8 +30,11 @@ use crate::backend::{
     check_scan_path, BackendResult, BackendScan, BackendStats, EntryChange, EntryDeltas,
     PathIndexBackend,
 };
-use crate::pathkey::{decode_pair, encode_entry, encode_path_prefix, encode_path_source_prefix};
+use crate::pathkey::{
+    decode_entry, decode_pair, encode_entry, encode_path_prefix, encode_path_source_prefix,
+};
 use crate::KPathIndex;
+use pathix_audit::{AuditReport, StructuralAudit};
 use pathix_graph::{Graph, LabelId, NodeId, SignedLabel};
 use pathix_rpq::ast::inverse_path;
 use pathix_storage::BPlusTree;
@@ -784,6 +787,110 @@ impl PathIndexBackend for IncrementalKPathIndex {
     }
 }
 
+impl StructuralAudit for IncrementalKPathIndex {
+    /// Recomputes the counting index's derived state from the entry tree and
+    /// compares it with the maintained copies:
+    ///
+    /// * `entry-decodable` / `walk-count-encoding` — every stored key is a
+    ///   well-formed `⟨p, a, b⟩` entry with an 8-byte count value;
+    /// * `walk-count-positive` — no entry survives at a zero walk count (the
+    ///   delta rules must remove a pair exactly when its last walk dies);
+    /// * `counts-consistent` — the maintained per-path cardinalities equal a
+    ///   recount of the stored entries, in `(length, path)` order;
+    /// * `pair-refs-consistent` / `linked-pairs` / `paths-k-size` — the
+    ///   `|paths_k(G)|` bookkeeping (paths per pair, distinct non-identity
+    ///   pairs) equals a recount, so the paper's selectivity denominator
+    ///   cannot drift under churn.
+    fn audit(&self, report: &mut AuditReport) {
+        let mut per_path: Vec<(Vec<SignedLabel>, u64)> = Vec::new();
+        let mut refs: HashMap<u64, u32> = HashMap::new();
+        let mut undecodable = 0u64;
+        let mut bad_value = 0u64;
+        let mut zero_count = 0u64;
+        let mut first_zero = String::new();
+        for (key, value) in self.tree.iter() {
+            let Some((path, a, b)) = decode_entry(key) else {
+                undecodable += 1;
+                continue;
+            };
+            if value.len() != 8 {
+                bad_value += 1;
+            } else if decode_count(value) == 0 {
+                zero_count += 1;
+                if first_zero.is_empty() {
+                    first_zero = format!("path {path:?} pair ({a:?}, {b:?})");
+                }
+            }
+            match per_path.last_mut() {
+                Some((p, n)) if *p == path => *n += 1,
+                _ => per_path.push((path, 1)),
+            }
+            *refs.entry(pack_pair(a, b)).or_insert(0) += 1;
+        }
+        report.check("entry-decodable", "tree", undecodable == 0, || {
+            format!("{undecodable} stored key(s) are not well-formed index entries")
+        });
+        report.check("walk-count-encoding", "tree", bad_value == 0, || {
+            format!("{bad_value} entry value(s) are not 8-byte walk counts")
+        });
+        report.check("walk-count-positive", "tree", zero_count == 0, || {
+            format!("{zero_count} entry(ies) stored with a zero walk count, first at {first_zero}")
+        });
+        report.check(
+            "counts-consistent",
+            "per-path counts",
+            per_path == self.per_path,
+            || {
+                format!(
+                    "maintained {} path cardinalities diverge from a recount of {} stored paths",
+                    self.per_path.len(),
+                    per_path.len()
+                )
+            },
+        );
+        report.check(
+            "pair-refs-consistent",
+            "pair refs",
+            refs == self.pair_refs,
+            || {
+                format!(
+                    "maintained {} pair refcounts diverge from a recount of {}",
+                    self.pair_refs.len(),
+                    refs.len()
+                )
+            },
+        );
+        let linked = refs
+            .keys()
+            .filter(|&&packed| (packed >> 32) != (packed & u32::MAX as u64))
+            .count() as u64;
+        report.check(
+            "linked-pairs",
+            "paths_k bookkeeping",
+            self.linked_pairs == linked,
+            || {
+                format!(
+                    "maintained linked_pairs = {} but {linked} distinct non-identity pairs are \
+                     stored",
+                    self.linked_pairs
+                )
+            },
+        );
+        report.check(
+            "paths-k-size",
+            "paths_k bookkeeping",
+            self.paths_k_size() == self.node_count as u64 + linked,
+            || {
+                format!(
+                    "|paths_k(G)| = {} but node_count {} + linked pairs {linked} disagree",
+                    self.paths_k_size(),
+                    self.node_count
+                )
+            },
+        );
+    }
+}
+
 #[inline]
 fn is_excluded(
     excluded: Option<(NodeId, LabelId, NodeId)>,
@@ -1358,5 +1465,72 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// The invariant names the audit reports for `index`, in discovery order.
+    fn violated(index: &IncrementalKPathIndex) -> Vec<&'static str> {
+        let mut report = AuditReport::new();
+        report.run("incremental", index);
+        report.violations().iter().map(|v| v.invariant).collect()
+    }
+
+    #[test]
+    fn audit_is_clean_on_a_maintained_index() {
+        let g = paper_example_graph();
+        let mut index = IncrementalKPathIndex::bulk_from_graph(&g, 2);
+        assert_eq!(violated(&index), Vec::<&str>::new(), "after bulk seed");
+        let knows = g.label_id("knows").unwrap();
+        let sue = g.node_id("sue").unwrap();
+        let tim = g.node_id("tim").unwrap();
+        assert!(index.insert_edge(sue, knows, tim));
+        assert_eq!(violated(&index), Vec::<&str>::new(), "after insert");
+        assert!(index.delete_edge(sue, knows, tim));
+        assert_eq!(violated(&index), Vec::<&str>::new(), "after delete");
+    }
+
+    #[test]
+    fn seeded_corruption_trips_the_counting_auditor() {
+        let g = paper_example_graph();
+        let clean = IncrementalKPathIndex::bulk_from_graph(&g, 2);
+
+        // A zero walk count left behind in the tree (the delta rules must
+        // delete the key instead).
+        let mut corrupt = clean.clone();
+        let key = corrupt
+            .tree
+            .iter()
+            .next()
+            .map(|(k, _)| k.to_vec())
+            .expect("non-empty index");
+        corrupt.tree.insert(key, encode_count(0));
+        assert!(
+            violated(&corrupt).contains(&"walk-count-positive"),
+            "a zero-count entry must trip the auditor"
+        );
+
+        // A per-path cardinality that drifted from the stored entries.
+        let mut corrupt = clean.clone();
+        corrupt.per_path[0].1 += 1;
+        assert!(
+            violated(&corrupt).contains(&"counts-consistent"),
+            "a drifted cardinality must trip the auditor"
+        );
+
+        // |paths_k(G)| bookkeeping off by one.
+        let mut corrupt = clean.clone();
+        corrupt.linked_pairs += 1;
+        assert!(
+            violated(&corrupt).contains(&"linked-pairs"),
+            "a drifted linked-pair count must trip the auditor"
+        );
+
+        // A pair refcount that no longer matches the stored paths.
+        let mut corrupt = clean.clone();
+        let packed = *corrupt.pair_refs.keys().next().expect("non-empty refs");
+        *corrupt.pair_refs.get_mut(&packed).unwrap() += 1;
+        assert!(
+            violated(&corrupt).contains(&"pair-refs-consistent"),
+            "a drifted pair refcount must trip the auditor"
+        );
     }
 }

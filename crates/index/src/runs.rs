@@ -24,12 +24,13 @@
 //! mutated.
 
 use crate::backend::{
-    check_scan_path, BackendBatchScan, BackendResult, BackendScan, BackendStats, BatchScan,
-    DeltaBatch, EntryChange, MutablePathIndexBackend, PairBatch, PathIndexBackend,
+    check_scan_path, BackendBatchScan, BackendError, BackendResult, BackendScan, BackendStats,
+    BatchScan, DeltaBatch, EntryChange, MutablePathIndexBackend, PairBatch, PathIndexBackend,
 };
 use crate::enumerate::enumerate_paths;
 use crate::pathkey::decode_entry;
 use crate::paths_k_cardinality;
+use pathix_audit::{AuditReport, StructuralAudit};
 use pathix_graph::{Graph, NodeId, SignedLabel};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -116,14 +117,15 @@ struct Run {
 impl Run {
     /// Builds a run over `chunks`, computing per-chunk source fences and
     /// adopting `bloom` (exact at build time, a superset across epochs).
+    ///
+    /// Chunks are never empty by construction; should a corrupt empty chunk
+    /// appear anyway, its fence is simply omitted (leaving `fences` shorter
+    /// than the chunk list), which the structural audit reports instead of
+    /// panicking mid-publish.
     fn with_meta(path: Vec<SignedLabel>, chunks: Arc<Vec<Arc<Chunk>>>, bloom: SourceBloom) -> Run {
         let fences = chunks
             .iter()
-            .map(|c| {
-                let first = c.first().expect("run chunks are never empty");
-                let last = c.last().expect("run chunks are never empty");
-                (first.0, last.0)
-            })
+            .filter_map(|c| Some((c.first()?.0, c.last()?.0)))
             .collect();
         Run {
             path,
@@ -322,14 +324,19 @@ impl SharedKPathIndex {
     /// other chunk with the previous epoch. Returns the new index plus what it
     /// reused; callers publish the result and keep serving the old value to
     /// existing readers.
-    fn with_batch(&self, batch: &DeltaBatch<'_>) -> SharedKPathIndex {
+    fn with_batch(&self, batch: &DeltaBatch<'_>) -> BackendResult<SharedKPathIndex> {
         // The log records transitions in order; relative to the pre-batch
         // state a key's *net* effect is determined by its first and last
         // transition — equal means apply, opposed means the key ended where it
         // started.
         let mut net: BTreeMap<PathKey, BTreeMap<(NodeId, NodeId), NetOp>> = BTreeMap::new();
         for (key, change) in batch.deltas.ops() {
-            let (path, a, b) = decode_entry(key).expect("delta keys are well-formed index entries");
+            let (path, a, b) = decode_entry(key).ok_or_else(|| {
+                BackendError::new(
+                    "memory",
+                    format!("malformed delta key {key:?} in batch log"),
+                )
+            })?;
             net.entry((path.len(), path))
                 .or_default()
                 .entry((a, b))
@@ -421,7 +428,7 @@ impl SharedKPathIndex {
             runs.push(run);
         }
 
-        SharedKPathIndex {
+        Ok(SharedKPathIndex {
             k: self.k,
             node_count: batch.node_count,
             paths_k_size: batch.paths_k_size,
@@ -432,7 +439,7 @@ impl SharedKPathIndex {
             inserts_applied: self.inserts_applied + batch.inserted_edges,
             deletes_applied: self.deletes_applied + batch.deleted_edges,
             chunks_skipped: Arc::clone(&self.chunks_skipped),
-        }
+        })
     }
 }
 
@@ -656,14 +663,150 @@ impl PathIndexBackend for SharedKPathIndex {
 
 impl MutablePathIndexBackend for SharedKPathIndex {
     /// Publishes the next epoch in place: O(touched chunks), with everything
-    /// untouched shared structurally. Never fails — the runs live in memory.
+    /// untouched shared structurally. Only fails on a malformed delta log.
     fn apply_delta_batch(&mut self, batch: &DeltaBatch<'_>) -> BackendResult<()> {
-        *self = self.with_batch(batch);
+        *self = self.with_batch(batch)?;
         Ok(())
     }
 
     fn updates_applied(&self) -> (u64, u64) {
         (self.inserts_applied, self.deletes_applied)
+    }
+}
+
+impl StructuralAudit for SharedKPathIndex {
+    /// Walks every run, chunk and pair, verifying the invariants the scan and
+    /// probe paths silently rely on:
+    ///
+    /// * `runs-ordered` — runs strictly ascending by `(length, path)` (the
+    ///   binary search in `SharedKPathIndex::run` assumes it);
+    /// * `chunk-nonempty` / `chunk-size-max` / `chunk-coalesced` — every
+    ///   chunk holds `1..=CHUNK_MAX` pairs, and every non-final chunk holds
+    ///   at least `CHUNK_MIN` (the anti-fragmentation coalescing bound);
+    /// * `chunk-sorted` / `chunk-disjoint` — pairs strictly ascending inside
+    ///   each chunk and across chunk boundaries;
+    /// * `fence-parallel` / `fence-tight` — one fence per chunk, equal to the
+    ///   chunk's true `(min, max)` source (a loose fence silently breaks
+    ///   chunk skipping on bound probes);
+    /// * `bloom-sound` — every present source passes the run's bloom filter
+    ///   (the superset property: deletions may leave stale bits, but a live
+    ///   source must never be rejected);
+    /// * `counts-consistent` / `entry-count` — the published per-path
+    ///   cardinalities and the entry total match what the chunks hold.
+    fn audit(&self, report: &mut AuditReport) {
+        for pair in self.runs.windows(2) {
+            report.check(
+                "runs-ordered",
+                &format!("run {:?}", pair[1].path),
+                (pair[0].path.len(), &pair[0].path) < (pair[1].path.len(), &pair[1].path),
+                || format!("follows run {:?} out of (length, path) order", pair[0].path),
+            );
+        }
+        report.check(
+            "counts-consistent",
+            "index",
+            self.runs.len() == self.per_path_counts.len()
+                && self
+                    .runs
+                    .iter()
+                    .zip(&self.per_path_counts)
+                    .all(|(run, (path, _))| run.path == *path),
+            || {
+                format!(
+                    "{} runs vs {} per-path counts (or mismatched paths)",
+                    self.runs.len(),
+                    self.per_path_counts.len()
+                )
+            },
+        );
+        let mut entries = 0u64;
+        for run in &self.runs {
+            let loc = format!("path {:?}", run.path);
+            report.check(
+                "fence-parallel",
+                &loc,
+                run.meta.fences.len() == run.chunks.len(),
+                || {
+                    format!(
+                        "{} fences for {} chunks",
+                        run.meta.fences.len(),
+                        run.chunks.len()
+                    )
+                },
+            );
+            let mut run_entries = 0u64;
+            let mut bloom_misses = 0u64;
+            let mut prev_last: Option<(NodeId, NodeId)> = None;
+            for (ci, chunk) in run.chunks.iter().enumerate() {
+                let cloc = format!("path {:?} chunk {ci}", run.path);
+                report.check("chunk-nonempty", &cloc, !chunk.is_empty(), || {
+                    "empty chunk stored in run".to_string()
+                });
+                report.check("chunk-size-max", &cloc, chunk.len() <= CHUNK_MAX, || {
+                    format!(
+                        "{} pairs exceed the CHUNK_MAX bound of {CHUNK_MAX}",
+                        chunk.len()
+                    )
+                });
+                if ci + 1 < run.chunks.len() {
+                    report.check("chunk-coalesced", &cloc, chunk.len() >= CHUNK_MIN, || {
+                        format!(
+                            "non-final chunk of {} pairs is below the CHUNK_MIN coalescing \
+                             bound of {CHUNK_MIN}",
+                            chunk.len()
+                        )
+                    });
+                }
+                report.check(
+                    "chunk-sorted",
+                    &cloc,
+                    chunk.windows(2).all(|w| w[0] < w[1]),
+                    || "pairs are not strictly ascending".to_string(),
+                );
+                if let (Some(prev), Some(&first)) = (prev_last, chunk.first()) {
+                    report.check("chunk-disjoint", &cloc, prev < first, || {
+                        format!("first pair {first:?} does not follow previous chunk's {prev:?}")
+                    });
+                }
+                prev_last = chunk.last().copied();
+                if let (Some(&fence), Some(first), Some(last)) =
+                    (run.meta.fences.get(ci), chunk.first(), chunk.last())
+                {
+                    report.check("fence-tight", &cloc, fence == (first.0, last.0), || {
+                        format!(
+                            "fence {fence:?} but true source bounds are {:?}",
+                            (first.0, last.0)
+                        )
+                    });
+                }
+                bloom_misses += chunk
+                    .iter()
+                    .filter(|&&(s, _)| !run.meta.bloom.maybe_contains(s))
+                    .count() as u64;
+                run_entries += chunk.len() as u64;
+            }
+            report.check("bloom-sound", &loc, bloom_misses == 0, || {
+                format!("{bloom_misses} present source(s) rejected by the run's bloom filter")
+            });
+            let recorded = self.path_cardinality(&run.path);
+            report.check(
+                "counts-consistent",
+                &loc,
+                recorded == Some(run_entries),
+                || {
+                    format!(
+                        "chunks hold {run_entries} pairs but the published count is {recorded:?}"
+                    )
+                },
+            );
+            entries += run_entries;
+        }
+        report.check("entry-count", "index", entries == self.entries, || {
+            format!(
+                "chunks hold {entries} pairs but the index claims {}",
+                self.entries
+            )
+        });
     }
 }
 
@@ -734,7 +877,9 @@ mod tests {
             },
             &mut deltas,
         ));
-        let next = shared.with_batch(&delta_batch(&oracle, &deltas, 1, 0));
+        let next = shared
+            .with_batch(&delta_batch(&oracle, &deltas, 1, 0))
+            .unwrap();
 
         let mut updated = g.clone();
         assert!(updated.insert_edge(sue, knows, tim));
@@ -777,7 +922,9 @@ mod tests {
         assert!(oracle.apply_logged(insert, &mut deltas));
         assert!(oracle.apply_logged(delete, &mut deltas));
         assert!(!deltas.is_empty(), "transitions were logged both ways");
-        let next = shared.with_batch(&delta_batch(&oracle, &deltas, 1, 1));
+        let next = shared
+            .with_batch(&delta_batch(&oracle, &deltas, 1, 1))
+            .unwrap();
         assert_eq!(next.stats().entries, shared.stats().entries);
         for (path, _) in shared.per_path_counts() {
             assert_eq!(
@@ -817,7 +964,9 @@ mod tests {
             deletes_applied: 0,
             chunks_skipped: Arc::default(),
         };
-        let mut shared = empty.with_batch(&delta_batch(&oracle, &deltas, 3 * CHUNK_MAX as u64, 0));
+        let mut shared = empty
+            .with_batch(&delta_batch(&oracle, &deltas, 3 * CHUNK_MAX as u64, 0))
+            .unwrap();
         assert!(shared.chunk_count() > 1, "chain must span several chunks");
 
         for round in 0..4u32 {
@@ -845,7 +994,9 @@ mod tests {
                     }
                 }
             }
-            shared = shared.with_batch(&delta_batch(&oracle, &deltas, inserted, deleted));
+            shared = shared
+                .with_batch(&delta_batch(&oracle, &deltas, inserted, deleted))
+                .unwrap();
             for (path, count) in oracle.per_path_counts() {
                 let pairs: Vec<_> = shared.scan_path(path).collect();
                 assert_eq!(pairs.len() as u64, *count, "round {round}, path {path:?}");
@@ -892,7 +1043,9 @@ mod tests {
             deletes_applied: 0,
             chunks_skipped: Arc::default(),
         };
-        let mut shared = empty.with_batch(&delta_batch(&oracle, &deltas, n as u64, 0));
+        let mut shared = empty
+            .with_batch(&delta_batch(&oracle, &deltas, n as u64, 0))
+            .unwrap();
         let peak_chunks = shared.chunk_count();
         assert!(peak_chunks >= 8);
 
@@ -912,7 +1065,9 @@ mod tests {
                     deleted += 1;
                 }
             }
-            shared = shared.with_batch(&delta_batch(&oracle, &deltas, 0, deleted));
+            shared = shared
+                .with_batch(&delta_batch(&oracle, &deltas, 0, deleted))
+                .unwrap();
         }
         // Self-loops index under both signed directions: two runs.
         let live = shared.stats().entries as usize;
@@ -962,7 +1117,8 @@ mod tests {
             deletes_applied: 0,
             chunks_skipped: Arc::default(),
         }
-        .with_batch(&delta_batch(&oracle, &deltas, 2 * CHUNK_MAX as u64 + 1, 0));
+        .with_batch(&delta_batch(&oracle, &deltas, 2 * CHUNK_MAX as u64 + 1, 0))
+        .unwrap();
 
         // Touch only label 1: every chunk of the big label-0 runs must be the
         // same allocation in the next epoch.
@@ -975,7 +1131,9 @@ mod tests {
             },
             &mut deltas,
         );
-        let next = base.with_batch(&delta_batch(&oracle, &deltas, 1, 0));
+        let next = base
+            .with_batch(&delta_batch(&oracle, &deltas, 1, 0))
+            .unwrap();
         let fwd0 = [SignedLabel::forward(l0)];
         let before = base.run(&fwd0).unwrap();
         let after = next.run(&fwd0).unwrap();
@@ -1016,7 +1174,9 @@ mod tests {
             deletes_applied: 0,
             chunks_skipped: Arc::default(),
         };
-        let shared = empty.with_batch(&delta_batch(&oracle, &deltas, n_edges as u64, 0));
+        let shared = empty
+            .with_batch(&delta_batch(&oracle, &deltas, n_edges as u64, 0))
+            .unwrap();
         let path = [SignedLabel::forward(l)];
         let chunk_count = shared.run(&path).unwrap().chunks.len();
         assert!(chunk_count >= 4, "need several chunks, got {chunk_count}");
@@ -1054,7 +1214,9 @@ mod tests {
             },
             &mut deltas,
         ));
-        let next = shared.with_batch(&delta_batch(&oracle, &deltas, 1, 0));
+        let next = shared
+            .with_batch(&delta_batch(&oracle, &deltas, 1, 0))
+            .unwrap();
 
         let mut updated = g.clone();
         assert!(updated.insert_edge(sue, knows, tim));
@@ -1115,5 +1277,212 @@ mod tests {
         assert_eq!(backend.scan_path(&missing).unwrap().count(), 0);
         assert_eq!(backend.path_cardinality(&missing), None);
         assert!(backend.stats().entries > 0);
+    }
+
+    /// The invariant names the audit reports for `index`, in discovery order.
+    fn violated(index: &SharedKPathIndex) -> Vec<&'static str> {
+        let mut report = AuditReport::new();
+        report.run("memory", index);
+        report.violations().iter().map(|v| v.invariant).collect()
+    }
+
+    #[test]
+    fn audit_is_clean_after_build_and_after_delta_publishes() {
+        let g = paper_example_graph();
+        let mut shared = SharedKPathIndex::build(&g, 2);
+        let mut oracle = IncrementalKPathIndex::bulk_from_graph(&g, 2);
+        assert_eq!(violated(&shared), Vec::<&str>::new());
+
+        let knows = g.label_id("knows").unwrap();
+        let mut rng_edges = vec![
+            (g.node_id("sue").unwrap(), g.node_id("tim").unwrap()),
+            (g.node_id("tim").unwrap(), g.node_id("kim").unwrap()),
+            (g.node_id("kim").unwrap(), g.node_id("sue").unwrap()),
+        ];
+        rng_edges.extend(rng_edges.clone());
+        let mut deltas = EntryDeltas::new();
+        for (i, (src, dst)) in rng_edges.into_iter().enumerate() {
+            deltas.clear();
+            let update = if i < 3 {
+                GraphUpdate::InsertEdge {
+                    src,
+                    label: knows,
+                    dst,
+                }
+            } else {
+                GraphUpdate::DeleteEdge {
+                    src,
+                    label: knows,
+                    dst,
+                }
+            };
+            if oracle.apply_logged(update, &mut deltas) {
+                let (ins, del) = if i < 3 { (1, 0) } else { (0, 1) };
+                shared = shared
+                    .with_batch(&delta_batch(&oracle, &deltas, ins, del))
+                    .unwrap();
+            }
+            assert_eq!(violated(&shared), Vec::<&str>::new(), "publish {i}");
+        }
+    }
+
+    #[test]
+    fn seeded_corruption_trips_each_run_auditor() {
+        let g = paper_example_graph();
+        let clean = SharedKPathIndex::build(&g, 2);
+        let mut report = AuditReport::new();
+        report.run("memory", &clean);
+        report.assert_clean("fresh build");
+        let fat = clean
+            .runs
+            .iter()
+            .position(|r| r.chunks.first().is_some_and(|c| c.len() >= 2))
+            .expect("the paper graph has a multi-pair run");
+
+        // An out-of-order pair inside a chunk.
+        let mut corrupt = clean.clone();
+        {
+            let run = &mut corrupt.runs[fat];
+            let chunks = Arc::make_mut(&mut run.chunks);
+            Arc::make_mut(&mut chunks[0]).swap(0, 1);
+        }
+        assert!(
+            violated(&corrupt).contains(&"chunk-sorted"),
+            "swapped pairs must trip the sortedness audit"
+        );
+
+        // A stale (loose) fence that silently breaks probe skipping.
+        let mut corrupt = clean.clone();
+        {
+            let run = &mut corrupt.runs[fat];
+            let mut fences = run.meta.fences.clone();
+            fences[0].0 = NodeId(fences[0].0 .0.wrapping_add(1));
+            run.meta = Arc::new(RunMeta {
+                fences,
+                bloom: run.meta.bloom,
+            });
+        }
+        assert!(
+            violated(&corrupt).contains(&"fence-tight"),
+            "a fence off the true min/max must trip the tightness audit"
+        );
+
+        // A wiped bloom: present sources become false negatives.
+        let mut corrupt = clean.clone();
+        {
+            let run = &mut corrupt.runs[fat];
+            run.meta = Arc::new(RunMeta {
+                fences: run.meta.fences.clone(),
+                bloom: SourceBloom::default(),
+            });
+        }
+        assert!(
+            violated(&corrupt).contains(&"bloom-sound"),
+            "a lost bloom bit must trip the soundness audit"
+        );
+
+        // A published cardinality that disagrees with the stored pairs.
+        let mut corrupt = clean.clone();
+        corrupt.per_path_counts[fat].1 += 1;
+        assert!(
+            violated(&corrupt).contains(&"counts-consistent"),
+            "a count off by one must trip the cardinality audit"
+        );
+    }
+
+    #[test]
+    fn bloom_soundness_and_superset_hold_across_a_publish_sequence() {
+        // Direct unit coverage for the per-run source bloom, independent of
+        // the end-to-end harness: across a sequence of delta publishes with
+        // mixed churn, (a) every live source passes its run's bloom — no
+        // false negatives ever — and (b) each surviving run's bloom bits are
+        // a superset of the previous epoch's (rebuilds only OR bits in).
+        let l = LabelId(0);
+        let n = 2 * CHUNK_MAX as u32;
+        let mut oracle = IncrementalKPathIndex::new(1);
+        let mut deltas = EntryDeltas::new();
+        for i in 0..n {
+            oracle.apply_logged(
+                GraphUpdate::InsertEdge {
+                    src: NodeId(2 * i),
+                    label: l,
+                    dst: NodeId(2 * i + 1),
+                },
+                &mut deltas,
+            );
+        }
+        let empty = SharedKPathIndex {
+            k: 1,
+            node_count: 0,
+            paths_k_size: 0,
+            entries: 0,
+            runs: Vec::new(),
+            per_path_counts: Vec::new(),
+            last_publish: RunPublishStats::default(),
+            inserts_applied: 0,
+            deletes_applied: 0,
+            chunks_skipped: Arc::default(),
+        };
+        let mut shared = empty
+            .with_batch(&delta_batch(&oracle, &deltas, n as u64, 0))
+            .unwrap();
+
+        for round in 0..5u32 {
+            deltas.clear();
+            let mut inserted = 0;
+            let mut deleted = 0;
+            for i in (round..n).step_by(5) {
+                let update = if i % 2 == 0 {
+                    GraphUpdate::DeleteEdge {
+                        src: NodeId(2 * i),
+                        label: l,
+                        dst: NodeId(2 * i + 1),
+                    }
+                } else {
+                    GraphUpdate::InsertEdge {
+                        src: NodeId(2 * i + 1),
+                        label: l,
+                        dst: NodeId(2 * i),
+                    }
+                };
+                if oracle.apply_logged(update, &mut deltas) {
+                    match update {
+                        GraphUpdate::InsertEdge { .. } => inserted += 1,
+                        GraphUpdate::DeleteEdge { .. } => deleted += 1,
+                    }
+                }
+            }
+            let prev_blooms: Vec<(Vec<SignedLabel>, [u64; 8])> = shared
+                .runs
+                .iter()
+                .map(|r| (r.path.clone(), r.meta.bloom.bits))
+                .collect();
+            let next = shared
+                .with_batch(&delta_batch(&oracle, &deltas, inserted, deleted))
+                .unwrap();
+
+            for run in &next.runs {
+                for chunk in run.chunks.iter() {
+                    for &(s, _) in chunk.iter() {
+                        assert!(
+                            run.meta.bloom.maybe_contains(s),
+                            "round {round}: live source {s:?} rejected by the bloom of {:?}",
+                            run.path
+                        );
+                    }
+                }
+                if let Some((_, before)) = prev_blooms.iter().find(|(p, _)| *p == run.path) {
+                    for (now, before) in run.meta.bloom.bits.iter().zip(before) {
+                        assert_eq!(
+                            now & before,
+                            *before,
+                            "round {round}: the bloom of {:?} dropped bits across a publish",
+                            run.path
+                        );
+                    }
+                }
+            }
+            shared = next;
+        }
     }
 }

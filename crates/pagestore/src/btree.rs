@@ -47,6 +47,7 @@
 use crate::buffer::BufferPool;
 use crate::page::{get_u32, get_u64, put_u32, put_u64, PageId, PAGE_SIZE};
 use crate::slotted;
+use pathix_audit::{AuditReport, StructuralAudit};
 use pathix_storage::prefix_successor;
 use std::collections::{BTreeMap, HashSet};
 use std::io;
@@ -117,11 +118,21 @@ pub struct CowStats {
     pub live_snapshots: u64,
 }
 
+/// One pinned share epoch: how many live snapshots pin it, plus the root and
+/// height they answer from (recorded so the structural audit can verify that
+/// no pinned snapshot reaches a freed or since-reclaimable page).
+#[derive(Debug, Clone, Copy)]
+struct PinnedEpoch {
+    count: usize,
+    root: PageId,
+    height: u32,
+}
+
 /// Epoch pins of the live snapshots plus the shared copy-on-write counters.
 #[derive(Debug, Default)]
 struct SnapshotTable {
-    /// `share epoch → number of live snapshots pinned to it`.
-    pins: Mutex<BTreeMap<u64, usize>>,
+    /// `share epoch → live snapshots pinned to it (and their root)`.
+    pins: Mutex<BTreeMap<u64, PinnedEpoch>>,
     page_copies: AtomicU64,
     pages_retired: AtomicU64,
     pages_reclaimed: AtomicU64,
@@ -129,12 +140,19 @@ struct SnapshotTable {
 }
 
 impl SnapshotTable {
-    fn pins(&self) -> std::sync::MutexGuard<'_, BTreeMap<u64, usize>> {
+    fn pins(&self) -> std::sync::MutexGuard<'_, BTreeMap<u64, PinnedEpoch>> {
         self.pins.lock().unwrap_or_else(|p| p.into_inner())
     }
 
-    fn register(self: &Arc<Self>, epoch: u64) -> SnapshotPin {
-        *self.pins().entry(epoch).or_insert(0) += 1;
+    fn register(self: &Arc<Self>, epoch: u64, root: PageId, height: u32) -> SnapshotPin {
+        self.pins()
+            .entry(epoch)
+            .and_modify(|pin| pin.count += 1)
+            .or_insert(PinnedEpoch {
+                count: 1,
+                root,
+                height,
+            });
         SnapshotPin {
             table: Arc::clone(self),
             epoch,
@@ -154,7 +172,7 @@ impl SnapshotTable {
     }
 
     fn live_snapshots(&self) -> u64 {
-        self.pins().values().map(|&n| n as u64).sum()
+        self.pins().values().map(|pin| pin.count as u64).sum()
     }
 }
 
@@ -169,9 +187,9 @@ struct SnapshotPin {
 impl Drop for SnapshotPin {
     fn drop(&mut self) {
         let mut pins = self.table.pins();
-        if let Some(n) = pins.get_mut(&self.epoch) {
-            *n -= 1;
-            if *n == 0 {
+        if let Some(pin) = pins.get_mut(&self.epoch) {
+            pin.count -= 1;
+            if pin.count == 0 {
                 pins.remove(&self.epoch);
             }
         }
@@ -274,7 +292,7 @@ impl PagedBTree {
     /// dropped. Shares are read handles — calling mutating methods on one is
     /// a contract violation (they would clobber the writer's pages).
     pub fn share(&mut self) -> PagedBTree {
-        let pin = self.snapshots.register(self.epoch);
+        let pin = self.snapshots.register(self.epoch, self.root, self.height);
         self.epoch += 1;
         // Everything written so far is now visible to a snapshot: the next
         // mutation of any of these pages must relocate them.
@@ -810,10 +828,12 @@ impl PagedBTree {
             let children: Vec<PageId> = std::iter::once(pleftmost)
                 .chain(pcells.iter().map(|&(_, c)| c))
                 .collect();
-            let idx = children
-                .iter()
-                .position(|&c| c == node)
-                .expect("underflowed node must be a child of its parent");
+            let Some(idx) = children.iter().position(|&c| c == node) else {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("rebalance: underflowed {node} is not a child of its parent {parent}"),
+                ));
+            };
             // Pair with the left neighbour (right neighbour for the leftmost
             // child); parent cell `sep_idx` separates the pair.
             let sep_idx = idx.saturating_sub(1);
@@ -1210,6 +1230,279 @@ impl PagedBTree {
             )?;
         }
         Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Structural audit
+    // ------------------------------------------------------------------
+
+    /// Non-panicking counterpart of [`PagedBTree::check_node`]: records
+    /// every invariant evaluation into `report` and collects the reachable
+    /// page set. A wrong page kind stops the descent into that node (its
+    /// cells cannot be decoded safely), leaving the `node-kind` violation as
+    /// the finding.
+    #[allow(clippy::too_many_arguments)]
+    fn audit_node(
+        &self,
+        report: &mut AuditReport,
+        pid: PageId,
+        level: u32,
+        lower: Option<&[u8]>,
+        upper: Option<&[u8]>,
+        reachable: &mut HashSet<u32>,
+        leaf_entries: &mut u64,
+    ) -> io::Result<()> {
+        let loc = pid.to_string();
+        if !reachable.insert(pid.0) {
+            report.violation(
+                "page-shared",
+                &loc,
+                "page reached twice from the same root (cycle or aliased child)".into(),
+            );
+            return Ok(());
+        }
+        let kind = self.pool.with_page(pid, slotted::kind)?;
+        // Expecting a leaf exactly at level 1 doubles as the depth-uniformity
+        // check: a short or long branch hits the wrong kind at this level.
+        let expected = if level == 1 {
+            slotted::KIND_LEAF
+        } else {
+            slotted::KIND_INTERNAL
+        };
+        report.check("node-kind", &loc, kind == expected, || {
+            format!("expected kind {expected} at level {level}, found kind {kind}")
+        });
+        if kind != expected {
+            return Ok(());
+        }
+        if level == 1 {
+            let entries = self.read_leaf(pid)?;
+            let unsorted = entries.windows(2).filter(|w| w[0].0 >= w[1].0).count();
+            report.check("leaf-sorted", &loc, unsorted == 0, || {
+                format!("{unsorted} adjacent key pair(s) out of order")
+            });
+            let escaped = entries
+                .iter()
+                .filter(|(k, _)| {
+                    lower.is_some_and(|lo| k.as_slice() < lo)
+                        || upper.is_some_and(|hi| k.as_slice() >= hi)
+                })
+                .count();
+            report.check("separator-bounds", &loc, escaped == 0, || {
+                format!("{escaped} key(s) outside the separator window")
+            });
+            *leaf_entries += entries.len() as u64;
+            return Ok(());
+        }
+        let (cells, leftmost) = self.read_internal(pid)?;
+        report.check("internal-nonempty", &loc, !cells.is_empty(), || {
+            "internal node holds no separators".into()
+        });
+        if cells.is_empty() {
+            return Ok(());
+        }
+        let unsorted = cells.windows(2).filter(|w| w[0].0 >= w[1].0).count();
+        report.check("internal-sorted", &loc, unsorted == 0, || {
+            format!("{unsorted} adjacent separator pair(s) out of order")
+        });
+        self.audit_node(
+            report,
+            leftmost,
+            level - 1,
+            lower,
+            Some(cells[0].0.as_slice()),
+            reachable,
+            leaf_entries,
+        )?;
+        for i in 0..cells.len() {
+            let child_upper = if i + 1 < cells.len() {
+                Some(cells[i + 1].0.as_slice())
+            } else {
+                upper
+            };
+            self.audit_node(
+                report,
+                cells[i].1,
+                level - 1,
+                Some(cells[i].0.as_slice()),
+                child_upper,
+                reachable,
+                leaf_entries,
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Kind-checked reachability walk from a pinned snapshot's root. Only
+    /// collects the page set — the snapshot's own handle audits contents —
+    /// but still refuses to descend through a non-internal page.
+    fn collect_reachable(
+        &self,
+        report: &mut AuditReport,
+        pid: PageId,
+        level: u32,
+        out: &mut HashSet<u32>,
+    ) -> io::Result<()> {
+        if !out.insert(pid.0) || level == 1 {
+            return Ok(());
+        }
+        let kind = self.pool.with_page(pid, slotted::kind)?;
+        if kind != slotted::KIND_INTERNAL {
+            report.violation(
+                "node-kind",
+                &pid.to_string(),
+                format!(
+                    "snapshot walk expected an internal node at level {level}, found kind {kind}"
+                ),
+            );
+            return Ok(());
+        }
+        let (cells, leftmost) = self.read_internal(pid)?;
+        self.collect_reachable(report, leftmost, level - 1, out)?;
+        for (_, child) in &cells {
+            self.collect_reachable(report, *child, level - 1, out)?;
+        }
+        Ok(())
+    }
+
+    /// Writer-only page-lifecycle audit: the free list is well-formed and
+    /// disjoint from the live tree, retired pages are unreachable from the
+    /// writer and from any pinned snapshot they could have been visible to,
+    /// and every allocated page is accounted for (no leaks).
+    fn audit_lifecycle(
+        &self,
+        report: &mut AuditReport,
+        reachable: &HashSet<u32>,
+    ) -> io::Result<()> {
+        let num_pages = self.pool.num_pages();
+        let mut free = HashSet::new();
+        let mut free_issue: Option<String> = None;
+        let mut cursor = self.free_head;
+        while cursor.is_valid() && free_issue.is_none() {
+            if cursor.0 >= num_pages {
+                free_issue = Some(format!("{cursor} points past the file ({num_pages} pages)"));
+            } else if !free.insert(cursor.0) {
+                free_issue = Some(format!(
+                    "cycle back to {cursor} after {} page(s)",
+                    free.len()
+                ));
+            } else {
+                let kind = self.pool.with_page(cursor, slotted::kind)?;
+                if kind != slotted::KIND_FREE {
+                    free_issue = Some(format!("{cursor} has kind {kind}, not KIND_FREE"));
+                } else {
+                    cursor = PageId(self.pool.with_page(cursor, slotted::next)?);
+                }
+            }
+        }
+        let free_ok = free_issue.is_none();
+        report.check("free-list-wellformed", "free-list", free_ok, || {
+            free_issue.unwrap_or_default()
+        });
+
+        let free_reach = free.intersection(reachable).count();
+        report.check(
+            "free-reachable-disjoint",
+            "free-list",
+            free_reach == 0,
+            || format!("{free_reach} free page(s) still reachable from the writer root"),
+        );
+
+        let retired: HashSet<u32> = self.retired.iter().map(|&(_, pid)| pid.0).collect();
+        let retired_reach = retired.intersection(reachable).count();
+        report.check("retired-unreachable", "retired", retired_reach == 0, || {
+            format!("{retired_reach} retired page(s) still reachable from the writer root")
+        });
+        let retired_free = retired.intersection(&free).count();
+        report.check(
+            "retired-free-disjoint",
+            "retired",
+            retired_free == 0,
+            || format!("{retired_free} page(s) both retired and on the free list"),
+        );
+
+        // Every pinned snapshot root must stay clear of freed pages and of
+        // pages retired at or before its pin epoch (those become reclaimable
+        // the moment the pin is the oldest survivor — see `reclaim_retired`).
+        let pins: Vec<(u64, PinnedEpoch)> = self
+            .snapshots
+            .pins()
+            .iter()
+            .map(|(&e, &p)| (e, p))
+            .collect();
+        for (epoch, pin) in pins {
+            let loc = format!("snapshot@{epoch}");
+            let mut snap = HashSet::new();
+            self.collect_reachable(report, pin.root, pin.height, &mut snap)?;
+            let in_free = snap.intersection(&free).count();
+            report.check("snapshot-free-disjoint", &loc, in_free == 0, || {
+                format!("{in_free} page(s) reachable from the pinned root are on the free list")
+            });
+            let blocked = self
+                .retired
+                .iter()
+                .filter(|&&(e, pid)| e <= epoch && snap.contains(&pid.0))
+                .count();
+            report.check("snapshot-retired-disjoint", &loc, blocked == 0, || {
+                format!(
+                    "{blocked} page(s) retired at or before the pin epoch are still reachable from it"
+                )
+            });
+        }
+
+        // Coverage: every page past the meta page is reachable, free, or
+        // retired. (Snapshot-only pages are always retired, so they are
+        // covered without consulting the pin walks.)
+        let leaked: Vec<u32> = (1..num_pages)
+            .filter(|p| !reachable.contains(p) && !free.contains(p) && !retired.contains(p))
+            .collect();
+        report.check("page-leak", "pool", leaked.is_empty(), || {
+            format!(
+                "{} page(s) neither reachable, free, nor retired: {:?}",
+                leaked.len(),
+                &leaked[..leaked.len().min(8)]
+            )
+        });
+        Ok(())
+    }
+}
+
+/// Full structural audit of the page graph.
+///
+/// Every handle audits the tree reachable from its own root: page kinds
+/// (which doubles as depth uniformity), in-node key ordering, separator
+/// bounds, child aliasing, and the entry count. Writer handles additionally
+/// audit the page lifecycle — free-list shape, disjointness of free and
+/// retired pages from the writer root and from every pinned snapshot root,
+/// and full coverage of the page file.
+impl StructuralAudit for PagedBTree {
+    fn audit(&self, report: &mut AuditReport) {
+        let mut reachable = HashSet::new();
+        let mut leaf_entries = 0u64;
+        let walk = self.audit_node(
+            report,
+            self.root,
+            self.height,
+            None,
+            None,
+            &mut reachable,
+            &mut leaf_entries,
+        );
+        if let Err(e) = walk {
+            report.violation("audit-io", "tree-walk", e.to_string());
+            return;
+        }
+        report.check("entry-count", "meta", leaf_entries == self.entries, || {
+            format!(
+                "meta says {} entries, leaves hold {leaf_entries}",
+                self.entries
+            )
+        });
+        if self._pin.is_none() {
+            if let Err(e) = self.audit_lifecycle(report, &reachable) {
+                report.violation("audit-io", "lifecycle", e.to_string());
+            }
+        }
     }
 }
 
@@ -1866,5 +2159,102 @@ mod tests {
             stats.misses > stats.hits / 100,
             "pool is too small to mostly hit"
         );
+    }
+
+    /// Names of the invariants a full audit of `tree` finds violated.
+    fn violated(tree: &PagedBTree) -> Vec<&'static str> {
+        let mut report = AuditReport::new();
+        report.run("paged-btree", tree);
+        report.violations().iter().map(|v| v.invariant).collect()
+    }
+
+    #[test]
+    fn audit_is_clean_through_snapshot_and_free_list_churn() {
+        let mut tree = PagedBTree::create(BufferPool::in_memory(64)).unwrap();
+        for i in 0..2_000u32 {
+            tree.insert(key(i), val(i)).unwrap();
+        }
+        for i in (0..2_000u32).step_by(3) {
+            tree.delete(&key(i)).unwrap();
+        }
+        let mut report = AuditReport::new();
+        report.run("paged-btree", &tree);
+        report.assert_clean("after delete churn");
+
+        let snapshot = tree.share();
+        for i in 2_000..2_600u32 {
+            tree.insert(key(i), val(i)).unwrap();
+        }
+        assert!(tree.retired_page_count() > 0, "CoW must retire pages");
+        let mut report = AuditReport::new();
+        report.run("paged-btree", &tree);
+        report.run("paged-btree-snapshot", &snapshot);
+        report.assert_clean("with a live snapshot");
+        assert!(report.checks() > 0);
+
+        drop(snapshot);
+        tree.flush().unwrap();
+        let mut report = AuditReport::new();
+        report.run("paged-btree", &tree);
+        report.assert_clean("after reclaim");
+    }
+
+    #[test]
+    fn seeded_corruption_trips_the_page_auditors() {
+        let build = || {
+            let mut tree = PagedBTree::create(BufferPool::in_memory(64)).unwrap();
+            for i in 0..1_200u32 {
+                tree.insert(key(i), val(i)).unwrap();
+            }
+            tree
+        };
+        assert!(violated(&build()).is_empty(), "baseline tree must be clean");
+
+        // Leaf keys out of order.
+        let tree = build();
+        let (leaf, _) = tree.descend(&key(0)).unwrap();
+        let mut entries = tree.read_leaf(leaf).unwrap();
+        entries.swap(0, 1);
+        tree.write_leaf(leaf, &entries).unwrap();
+        assert!(violated(&tree).contains(&"leaf-sorted"));
+
+        // Meta entry count drifts from what the leaves hold.
+        let mut tree = build();
+        tree.entries += 1;
+        assert!(violated(&tree).contains(&"entry-count"));
+
+        // A page on the free list whose kind is not KIND_FREE.
+        let mut tree = build();
+        for i in 0..600u32 {
+            tree.delete(&key(i)).unwrap();
+        }
+        assert!(tree.free_head.is_valid(), "deletes must free pages");
+        tree.pool
+            .with_page_mut(tree.free_head, |p| slotted::init(p, slotted::KIND_INTERNAL))
+            .unwrap();
+        assert!(violated(&tree).contains(&"free-list-wellformed"));
+
+        // A page still reachable from the writer marked retired.
+        let mut tree = build();
+        tree.retired.push((tree.epoch, tree.root));
+        assert!(violated(&tree).contains(&"retired-unreachable"));
+
+        // A page the snapshot still reads, backdated so the reclaimer would
+        // free it out from under the pin.
+        let mut tree = build();
+        let snapshot = tree.share();
+        let pin_epoch = tree.epoch - 1;
+        for i in 1_200..1_400u32 {
+            tree.insert(key(i), val(i)).unwrap();
+        }
+        assert!(tree.retired_page_count() > 0, "CoW must retire pages");
+        for entry in tree.retired.iter_mut() {
+            if entry.1 == snapshot.root {
+                entry.0 = pin_epoch;
+            }
+        }
+        assert!(violated(&tree).contains(&"snapshot-retired-disjoint"));
+        drop(snapshot);
+        tree.retired.clear(); // the seeded entries must not reach Drop's flush
     }
 }

@@ -25,6 +25,7 @@
 //! of O(index) — the overlay maps are small by construction.
 
 use crate::varint::{encode_pairs, PairDecoder};
+use pathix_audit::{AuditReport, StructuralAudit};
 use pathix_graph::Graph;
 use pathix_graph::{NodeId, SignedLabel};
 use pathix_index::backend::{
@@ -522,6 +523,117 @@ impl Iterator for CompressedPairScan<'_> {
     }
 }
 
+/// Structural audit of the compressed layout: every segment decodes back to
+/// a sorted slice whose source fences are exact (the fences are what bound
+/// probes trust to skip segments), segment chains stay ascending and
+/// disjoint, overlays stay under the compaction threshold a batch leaves
+/// behind, and a merged scan of every path reproduces its advertised count.
+impl StructuralAudit for CompressedPathStore {
+    fn audit(&self, report: &mut AuditReport) {
+        let names: BTreeMap<Vec<u8>, String> = self
+            .per_path_counts
+            .iter()
+            .map(|(path, _)| (encode_path_prefix(path), format!("{path:?}")))
+            .collect();
+        let name = |prefix: &[u8]| {
+            names
+                .get(prefix)
+                .cloned()
+                .unwrap_or_else(|| format!("{prefix:02x?}"))
+        };
+
+        for (prefix, block) in &self.blocks {
+            let mut prev_last: Option<(u32, u32)> = None;
+            for (i, seg) in block.segments.iter().enumerate() {
+                let loc = format!("{} seg {i}", name(prefix));
+                let pairs: Vec<(u32, u32)> = PairDecoder::new(&seg.bytes).collect();
+                report.check("segment-nonempty", &loc, !pairs.is_empty(), || {
+                    "segment decodes to zero pairs".into()
+                });
+                if pairs.is_empty() {
+                    continue;
+                }
+                report.check("segment-size", &loc, pairs.len() <= SEGMENT_PAIRS, || {
+                    format!("{} pairs exceed the {SEGMENT_PAIRS}-pair cap", pairs.len())
+                });
+                let unsorted = pairs.windows(2).filter(|w| w[0] >= w[1]).count();
+                report.check("segment-sorted", &loc, unsorted == 0, || {
+                    format!("{unsorted} adjacent pair(s) out of order")
+                });
+                let min_src = pairs.iter().map(|&(s, _)| s).min().unwrap_or(0);
+                let max_src = pairs.iter().map(|&(s, _)| s).max().unwrap_or(0);
+                report.check(
+                    "segment-fence-tight",
+                    &loc,
+                    seg.min_src == min_src && seg.max_src == max_src,
+                    || {
+                        format!(
+                            "fence [{}, {}] but decoded sources span [{min_src}, {max_src}]",
+                            seg.min_src, seg.max_src
+                        )
+                    },
+                );
+                if let Some(prev) = prev_last {
+                    report.check("segment-disjoint", &loc, prev < pairs[0], || {
+                        format!(
+                            "first pair {:?} does not follow the previous segment's last {prev:?}",
+                            pairs[0]
+                        )
+                    });
+                }
+                prev_last = Some(*pairs.last().unwrap());
+            }
+        }
+
+        for (prefix, overlay) in &self.overlays {
+            report.check(
+                "overlay-bounded",
+                &name(prefix),
+                overlay.len() < self.compaction_threshold,
+                || {
+                    format!(
+                        "{} override(s) at/over the compaction threshold {}",
+                        overlay.len(),
+                        self.compaction_threshold
+                    )
+                },
+            );
+        }
+
+        for (path, count) in &self.per_path_counts {
+            let prefix = encode_path_prefix(path);
+            let loc = format!("{path:?}");
+            let mut n = 0u64;
+            let mut unsorted = 0usize;
+            let mut prev: Option<(u32, u32)> = None;
+            for pair in self.scan_prefix(&prefix) {
+                if prev.is_some_and(|p| p >= pair) {
+                    unsorted += 1;
+                }
+                prev = Some(pair);
+                n += 1;
+            }
+            report.check("merged-scan-sorted", &loc, unsorted == 0, || {
+                format!("{unsorted} adjacent merged pair(s) out of order")
+            });
+            report.check("counts-consistent", &loc, n == *count, || {
+                format!("per_path_counts says {count} pair(s), a merged scan yields {n}")
+            });
+        }
+
+        // A prefix stored outside per_path_counts must merge to nothing —
+        // anything else is a path the statistics have lost track of.
+        for prefix in self.blocks.keys().chain(self.overlays.keys()) {
+            if !names.contains_key(prefix) {
+                let n = self.scan_prefix(prefix).count();
+                report.check("orphan-prefix", &format!("{prefix:02x?}"), n == 0, || {
+                    format!("{n} pair(s) stored for a path missing from per_path_counts")
+                });
+            }
+        }
+    }
+}
+
 impl PathIndexBackend for CompressedPathStore {
     fn backend_name(&self) -> &'static str {
         "compressed"
@@ -953,5 +1065,103 @@ mod tests {
         let aa = g.node_id("a").unwrap();
         assert_eq!(store.pairs(&[fwd, fwd]), vec![(aa, cc)]);
         assert_eq!(store.path_cardinality(&[fwd, fwd]), Some(1));
+    }
+
+    /// Names of the invariants a full audit of `store` finds violated.
+    fn violated(store: &CompressedPathStore) -> Vec<&'static str> {
+        let mut report = AuditReport::new();
+        report.run("compressed", store);
+        report.violations().iter().map(|v| v.invariant).collect()
+    }
+
+    #[test]
+    fn audit_is_clean_after_build_updates_and_compaction() {
+        let g = paper_example_graph();
+        let mut store = CompressedPathStore::build(&g, 2).with_compaction_threshold(3);
+        let mut oracle = IncrementalKPathIndex::bulk_from_graph(&g, 2);
+        assert!(violated(&store).is_empty(), "freshly built store");
+
+        let sue = g.node_id("sue").unwrap();
+        let tim = g.node_id("tim").unwrap();
+        let kim = g.node_id("kim").unwrap();
+        let liz = g.node_id("liz").unwrap();
+        let knows_l = g.label_id("knows").unwrap();
+        let supervisor = g.label_id("supervisor").unwrap();
+        let scripts: [&[GraphUpdate]; 3] = [
+            &[GraphUpdate::InsertEdge {
+                src: sue,
+                label: knows_l,
+                dst: tim,
+            }],
+            &[GraphUpdate::DeleteEdge {
+                src: kim,
+                label: supervisor,
+                dst: liz,
+            }],
+            &[
+                GraphUpdate::DeleteEdge {
+                    src: sue,
+                    label: knows_l,
+                    dst: tim,
+                },
+                GraphUpdate::InsertEdge {
+                    src: kim,
+                    label: supervisor,
+                    dst: liz,
+                },
+            ],
+        ];
+        for (i, updates) in scripts.iter().enumerate() {
+            apply_updates(&mut store, &mut oracle, updates);
+            assert!(violated(&store).is_empty(), "after batch {i}");
+        }
+    }
+
+    #[test]
+    fn seeded_corruption_trips_the_segment_auditors() {
+        let g = paper_example_graph();
+        let clean = CompressedPathStore::build(&g, 2);
+        let fat = clean
+            .blocks
+            .iter()
+            .max_by_key(|(_, b)| b.segments.len())
+            .map(|(p, _)| p.clone())
+            .unwrap();
+
+        // A fence that excludes sources the segment actually holds: bound
+        // probes would silently skip them.
+        let mut store = clean.clone();
+        let block = store.blocks.get(&fat).unwrap();
+        let segments = block
+            .segments
+            .iter()
+            .map(|s| Segment {
+                bytes: s.bytes.clone(),
+                min_src: s.min_src + 1,
+                max_src: s.max_src,
+            })
+            .collect();
+        store
+            .blocks
+            .insert(fat.clone(), Arc::new(Block { segments }));
+        assert!(violated(&store).contains(&"segment-fence-tight"));
+
+        // Statistics that disagree with a merged scan.
+        let mut store = clean.clone();
+        store.per_path_counts[0].1 += 1;
+        assert!(violated(&store).contains(&"counts-consistent"));
+
+        // An overlay that should have been compacted away.
+        let mut store = clean.clone().with_compaction_threshold(2);
+        let overlay = store.overlays.entry(fat.clone()).or_default();
+        overlay.insert((u32::MAX - 1, 0), true);
+        overlay.insert((u32::MAX - 1, 1), true);
+        assert!(violated(&store).contains(&"overlay-bounded"));
+
+        // A pair surviving under a path the statistics no longer list.
+        let mut store = clean.clone();
+        let dropped = store.per_path_counts.remove(0);
+        assert!(dropped.1 > 0, "need a non-empty path to orphan");
+        assert!(violated(&store).contains(&"orphan-prefix"));
     }
 }

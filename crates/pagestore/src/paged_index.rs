@@ -22,6 +22,7 @@
 use crate::btree::{PagedBTree, PagedRangeIter, PagedTreeStats};
 use crate::buffer::{BufferPool, PoolStats};
 use crate::disk::DiskManager;
+use pathix_audit::{AuditReport, StructuralAudit};
 use pathix_graph::{Graph, NodeId, SignedLabel};
 use pathix_index::backend::{
     check_scan_path, BackendError, BackendResult, BackendScan, BackendStats, DeltaBatch,
@@ -247,6 +248,62 @@ impl Iterator for PagedPairScan<'_> {
             }),
             Err(e) => Some(Err(e)),
         }
+    }
+}
+
+/// Structural audit: the backing [`PagedBTree`] audits its page graph (and,
+/// on the writer, the page lifecycle), then the index layer re-derives the
+/// per-path statistics from a full key scan and compares them with what the
+/// backend advertises to the planner.
+impl StructuralAudit for PagedPathIndex {
+    fn audit(&self, report: &mut AuditReport) {
+        self.tree.audit(report);
+
+        let mut per_path: Vec<(Vec<SignedLabel>, u64)> = Vec::new();
+        let mut undecodable = 0u64;
+        let iter = match self.tree.iter() {
+            Ok(iter) => iter,
+            Err(e) => {
+                report.violation("audit-io", "index-scan", e.to_string());
+                return;
+            }
+        };
+        for item in iter {
+            let key = match item {
+                Ok((key, _)) => key,
+                Err(e) => {
+                    report.violation("audit-io", "index-scan", e.to_string());
+                    return;
+                }
+            };
+            match decode_entry(&key) {
+                Some((path, _, _)) => match per_path.last_mut() {
+                    Some((p, n)) if *p == path => *n += 1,
+                    _ => per_path.push((path, 1)),
+                },
+                None => undecodable += 1,
+            }
+        }
+        report.check("entry-decodable", "tree", undecodable == 0, || {
+            format!("{undecodable} key(s) failed to decode as ⟨path, source, target⟩")
+        });
+        // per_path_counts keeps build/oracle order, which need not be the
+        // tree's key order — compare as sets.
+        let mut advertised = self.per_path_counts.clone();
+        advertised.sort();
+        per_path.sort();
+        report.check(
+            "counts-consistent",
+            "per_path_counts",
+            per_path == advertised,
+            || {
+                format!(
+                    "advertised {} path(s) differ from the {} recounted by a full scan",
+                    advertised.len(),
+                    per_path.len()
+                )
+            },
+        );
     }
 }
 
@@ -512,6 +569,68 @@ mod tests {
             view.scan_path(path).unwrap(),
             paged.scan_path(path).unwrap()
         );
+    }
+
+    #[test]
+    fn audit_is_clean_after_build_batches_and_views() {
+        use pathix_index::{EntryDeltas, GraphUpdate, IncrementalKPathIndex};
+
+        let g = paper_example_graph();
+        let mut paged = PagedPathIndex::build_in_memory(&g, 2, 8).unwrap();
+        let mut oracle = IncrementalKPathIndex::bulk_from_graph(&g, 2);
+        let mut report = AuditReport::new();
+        report.run("paged", &paged);
+        report.assert_clean("after build");
+
+        let view = paged.reader_view();
+        let sue = g.node_id("sue").unwrap();
+        let tim = g.node_id("tim").unwrap();
+        let knows = g.label_id("knows").unwrap();
+        let mut deltas = EntryDeltas::new();
+        let applied = oracle.apply_logged(
+            GraphUpdate::InsertEdge {
+                src: sue,
+                label: knows,
+                dst: tim,
+            },
+            &mut deltas,
+        );
+        assert!(applied);
+        paged
+            .apply_delta_batch(&DeltaBatch {
+                deltas: &deltas,
+                per_path_counts: oracle.per_path_counts(),
+                paths_k_size: oracle.paths_k_size(),
+                node_count: oracle.node_count(),
+                inserted_edges: 1,
+                deleted_edges: 0,
+            })
+            .unwrap();
+        let mut report = AuditReport::new();
+        report.run("paged", &paged);
+        report.run("paged-view", &view);
+        report.assert_clean("after a delta batch under a live view");
+    }
+
+    #[test]
+    fn seeded_corruption_trips_the_paged_index_auditors() {
+        let g = paper_example_graph();
+
+        // Advertised statistics drift from the stored keys.
+        let mut paged = PagedPathIndex::build_in_memory(&g, 2, 8).unwrap();
+        paged.per_path_counts[0].1 += 1;
+        let mut report = AuditReport::new();
+        report.run("paged", &paged);
+        let names: Vec<_> = report.violations().iter().map(|v| v.invariant).collect();
+        assert!(names.contains(&"counts-consistent"), "{names:?}");
+
+        // A key that does not decode as ⟨path, source, target⟩.
+        let mut paged = PagedPathIndex::build_in_memory(&g, 2, 8).unwrap();
+        paged.tree.insert(vec![0xFF], Vec::new()).unwrap();
+        let mut report = AuditReport::new();
+        report.run("paged", &paged);
+        let names: Vec<_> = report.violations().iter().map(|v| v.invariant).collect();
+        assert!(names.contains(&"entry-decodable"), "{names:?}");
     }
 
     #[test]

@@ -34,6 +34,8 @@ enum Command {
     Help,
     /// Show graph / index / histogram statistics.
     Stats,
+    /// Run the structural invariant audit over every live structure.
+    Audit,
     /// Change the default evaluation strategy.
     SetStrategy(String),
     /// Rebuild the database with a different locality parameter k.
@@ -77,6 +79,7 @@ fn parse_command(line: &str) -> Command {
     match (name, arg) {
         ("help" | "h" | "?", _) => Command::Help,
         ("stats", _) => Command::Stats,
+        ("audit", _) => Command::Audit,
         ("quit" | "q" | "exit", _) => Command::Quit,
         ("strategy", s) if !s.is_empty() => Command::SetStrategy(s.to_owned()),
         ("k", n) => match n.parse() {
@@ -121,6 +124,7 @@ commands:
   \\k <n>                rebuild the index with locality parameter n
   \\limit <n>            print at most n answer pairs per query
   \\stats                graph, index and histogram statistics
+  \\audit                verify every structural invariant of the live index
   \\help                 this text
   \\quit                 leave the shell
 
@@ -159,6 +163,7 @@ impl Shell {
             Command::Quit => String::new(),
             Command::Invalid(message) => message,
             Command::Stats => self.stats(),
+            Command::Audit => self.audit(),
             Command::SetStrategy(name) => match parse_strategy(&name) {
                 Some(strategy) => {
                     self.strategy = strategy;
@@ -319,6 +324,33 @@ impl Shell {
                 overlay.overlaid_paths,
                 overlay.compaction_threshold,
                 overlay.compactions
+            ));
+        }
+        out
+    }
+
+    fn audit(&self) -> String {
+        let report = self.db.audit();
+        let mut out = String::new();
+        for section in report.sections() {
+            out.push_str(&format!(
+                "{:<20} {:>7} checks  {:>3} violations  {:>10.3?}\n",
+                section.backend, section.checks, section.violations, section.elapsed
+            ));
+        }
+        if report.is_clean() {
+            out.push_str(&format!(
+                "clean: all {} invariant checks passed",
+                report.checks()
+            ));
+        } else {
+            for violation in report.violations() {
+                out.push_str(&format!("VIOLATION {violation}\n"));
+            }
+            out.push_str(&format!(
+                "CORRUPT: {} violation(s) across {} checks",
+                report.violations().len(),
+                report.checks()
             ));
         }
         out
@@ -581,6 +613,7 @@ mod tests {
             parse_command("\\delete-edge kim supervisor liz"),
             Command::DeleteEdge("kim supervisor liz".to_owned())
         );
+        assert_eq!(parse_command("\\audit"), Command::Audit);
         assert!(matches!(parse_command("\\k zero"), Command::Invalid(_)));
         assert!(matches!(parse_command("\\bogus"), Command::Invalid(_)));
         assert!(matches!(parse_command("\\explain"), Command::Invalid(_)));
@@ -668,6 +701,24 @@ mod tests {
             mem_stats.contains("shared") && !mem_stats.contains("shared 0 runs"),
             "an update must re-share untouched runs: {mem_stats}"
         );
+    }
+
+    #[test]
+    fn audit_reports_clean_on_every_backend_after_updates() {
+        for backend in [
+            BackendChoice::Memory,
+            BackendChoice::PagedInMemory { pool_frames: 8 },
+            BackendChoice::Compressed,
+        ] {
+            let mut shell = Shell::with_backend(paper_example_graph(), 2, backend.clone());
+            let out = shell.run(Command::Audit);
+            assert!(out.contains("clean"), "{backend:?}: {out}");
+            shell.run(Command::Update("tim knows zoe".to_owned()));
+            let out = shell.run(Command::Audit);
+            assert!(out.contains("clean"), "{backend:?} after update: {out}");
+            assert!(out.contains("writer/"), "{backend:?}: {out}");
+            assert!(out.contains("counting-index"), "{backend:?}: {out}");
+        }
     }
 
     #[test]

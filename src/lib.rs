@@ -81,11 +81,12 @@
 //! ```
 
 pub use pathix_core::{
-    BackendChoice, BackendError, BackendStats, Cursor, DbStats, DeltaBatch, EntryChange,
-    EntryDeltas, EstimationMode, ExecutionStats, Graph, GraphBuilder, GraphUpdate,
-    HistogramRefresh, IndexBackend, IndexStats, LabelId, MutablePathIndexBackend, NodeId, PathDb,
-    PathDbConfig, PathIndexBackend, PhysicalPlan, PlanCacheStats, PreparedQuery, QueryError,
-    QueryOptions, QueryResult, Session, SignedLabel, Snapshot, Strategy, UpdateStats,
+    AuditReport, AuditSection, AuditViolation, BackendChoice, BackendError, BackendStats, Cursor,
+    DbStats, DeltaBatch, EntryChange, EntryDeltas, EstimationMode, ExecutionStats, Graph,
+    GraphBuilder, GraphUpdate, HistogramRefresh, IndexBackend, IndexStats, LabelId,
+    MutablePathIndexBackend, NodeId, PathDb, PathDbConfig, PathIndexBackend, PhysicalPlan,
+    PlanCacheStats, PreparedQuery, QueryError, QueryOptions, QueryResult, Session, SignedLabel,
+    Snapshot, Strategy, StructuralAudit, UpdateStats,
 };
 
 /// The graph substrate crate.

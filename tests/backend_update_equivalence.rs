@@ -36,6 +36,18 @@ fn cases() -> u64 {
         .unwrap_or(12)
 }
 
+/// Structural audit gate: after a batch is applied the database must pass
+/// [`PathDb::audit`]. Full coverage under `PATHIX_AUDIT=1`; otherwise every
+/// fourth call audits, keeping the quick CI profile fast while still
+/// exercising the auditors on real mutation histories.
+fn audit_gate(db: &PathDb, context: &str) {
+    static CALLS: AtomicU64 = AtomicU64::new(0);
+    let full = std::env::var("PATHIX_AUDIT").is_ok_and(|v| v == "1");
+    if full || CALLS.fetch_add(1, Ordering::Relaxed).is_multiple_of(4) {
+        db.audit().assert_clean(context);
+    }
+}
+
 /// A per-test scratch directory, removed on drop (even on panic).
 struct TempDir(PathBuf);
 
@@ -164,6 +176,14 @@ fn all_backends_answer_identically_after_every_update_batch() {
                 );
             }
 
+            // ...passes the structural invariant audit...
+            for db in &dbs {
+                audit_gate(
+                    db,
+                    &format!("case {case} batch {batch_no} ({})", db.backend_name()),
+                );
+            }
+
             // ...the identical structural statistics...
             let rebuilt = PathDb::build(dbs[0].graph().as_ref().clone(), PathDbConfig::with_k(k));
             for db in &dbs {
@@ -246,6 +266,7 @@ fn bound_lookup_shapes_agree_across_backends_after_updates() {
         .collect();
     for db in &dbs {
         db.apply(&updates).unwrap();
+        audit_gate(db, &format!("bound shapes ({})", db.backend_name()));
     }
 
     let query = "l0/l1-";

@@ -59,6 +59,17 @@ fn random_update(rng: &mut StdRng, nodes: u32, labels: u16) -> GraphUpdate {
     }
 }
 
+/// Structural audit gate: after a batch is applied the database must pass
+/// [`PathDb::audit`]. Full coverage under `PATHIX_AUDIT=1`; otherwise every
+/// fourth call audits so the quick CI profile stays fast.
+fn audit_gate(db: &PathDb, context: &str) {
+    static CALLS: AtomicU64 = AtomicU64::new(0);
+    let full = std::env::var("PATHIX_AUDIT").is_ok_and(|v| v == "1");
+    if full || CALLS.fetch_add(1, Ordering::Relaxed).is_multiple_of(4) {
+        db.audit().assert_clean(context);
+    }
+}
+
 /// A per-test scratch directory for the on-disk backend: unique across
 /// processes and test threads, removed on drop (even on panic).
 struct TempDir(PathBuf);
@@ -122,11 +133,12 @@ fn random_update_scripts_match_a_rebuilt_database_on_every_strategy_and_backend(
             // Apply a script of random batches (batching exercises the
             // single-publish-per-batch path as well as repeated publishes).
             let batches = rng.gen_range(1..4usize);
-            for _ in 0..batches {
+            for batch_no in 0..batches {
                 let updates: Vec<GraphUpdate> = (0..rng.gen_range(1..12usize))
                     .map(|_| random_update(&mut rng, nodes, labels))
                     .collect();
                 db.apply(&updates).unwrap();
+                audit_gate(&db, &format!("case {case} batch {batch_no} on {choice:?}"));
             }
 
             // A database rebuilt from scratch over the final (kept-in-sync)
@@ -178,6 +190,7 @@ fn bound_lookups_and_parallel_runs_agree_after_updates() {
         .map(|_| random_update(&mut rng, nodes, labels))
         .collect();
     db.apply(&updates).unwrap();
+    audit_gate(&db, "bound lookups after updates");
     let rebuilt = PathDb::build(db.graph().as_ref().clone(), PathDbConfig::with_k(2));
 
     let prepared = db.prepare("(knows|worksFor){1,3}").unwrap();

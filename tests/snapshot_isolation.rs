@@ -46,6 +46,19 @@ fn random_update(rng: &mut StdRng, nodes: u32, labels: u16) -> GraphUpdate {
     }
 }
 
+/// Structural audit gate: after a batch is applied the database must pass
+/// [`PathDb::audit`] — here with snapshots pinned, so the writer-side
+/// lifecycle checks (pinned roots disjoint from free and retired-at-older
+/// epochs) see real concurrent histories. Full coverage under
+/// `PATHIX_AUDIT=1`; otherwise every fourth call audits.
+fn audit_gate(db: &PathDb, context: &str) {
+    static CALLS: AtomicU64 = AtomicU64::new(0);
+    let full = std::env::var("PATHIX_AUDIT").is_ok_and(|v| v == "1");
+    if full || CALLS.fetch_add(1, Ordering::Relaxed).is_multiple_of(4) {
+        db.audit().assert_clean(context);
+    }
+}
+
 /// A per-test scratch directory for the on-disk backend, removed on drop.
 struct TempDir(PathBuf);
 
@@ -159,6 +172,7 @@ fn reader_views_are_bit_stable_across_later_batches_on_every_backend() {
                     .map(|_| random_update(&mut rng, nodes, labels))
                     .collect();
                 db.apply(&updates).unwrap();
+                audit_gate(&db, &format!("case {case} on {choice:?}, snapshots held"));
 
                 for (epoch, snapshot, bits) in &held {
                     assert_eq!(
@@ -176,6 +190,7 @@ fn reader_views_are_bit_stable_across_later_batches_on_every_backend() {
             while held.len() > 1 {
                 held.remove(0);
                 db.apply(&[random_update(&mut rng, nodes, labels)]).unwrap();
+                audit_gate(&db, &format!("case {case} on {choice:?}, snapshot dropped"));
                 for (epoch, snapshot, bits) in &held {
                     assert_eq!(
                         &index_bits(snapshot),
@@ -221,6 +236,7 @@ fn a_snapshot_held_while_the_writer_churns_still_matches_a_rebuild_of_its_graph(
                     .collect::<Vec<_>>(),
             )
             .unwrap();
+            audit_gate(&db, &format!("writer churn on {choice:?}"));
         }
 
         let rebuilt = PathDb::build(frozen_graph, PathDbConfig::with_k(2));

@@ -1,0 +1,542 @@
+//! Workspace automation. The one subcommand, `lint`, is the offline source
+//! gate CI runs next to the structural audit:
+//!
+//! ```text
+//! cargo run -p xtask -- lint
+//! ```
+//!
+//! It token-scans every first-party crate (`crates/*`, the root `src/`, and
+//! `xtask` itself — vendored code is out of scope) and enforces three rules
+//! that `clippy` alone does not:
+//!
+//! 1. **`unsafe` stays where it is reviewed.** The keyword may appear only at
+//!    allowlisted sites (today: exactly `crates/core/src/cursor.rs`), and an
+//!    allowlisted file must carry a `// SAFETY:` comment. A new `unsafe`
+//!    block anywhere else fails the build until it is reviewed, allowlisted
+//!    here, and covered by Miri in CI.
+//! 2. **No scaffolding in library code.** `todo!`, `unimplemented!` and
+//!    `dbg!` are banned outside `#[cfg(test)]` modules.
+//! 3. **A ratcheting `unwrap()`/`expect()` budget.** `lint-baseline.toml`
+//!    records the per-crate count in non-test code; the measured count must
+//!    equal the baseline. Going above fails outright; going below fails with
+//!    an instruction to lower the baseline, so the budget only ever shrinks.
+//!
+//! The scanner masks comments, strings and char literals before matching, so
+//! tokens inside documentation or messages never count, and `#[cfg(test)]`
+//! modules are blanked by brace matching so test assertions keep their
+//! `unwrap`s for free.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Files (workspace-relative, `/`-separated) where `unsafe` is allowed.
+/// Every entry must carry a `// SAFETY:` comment justifying its use.
+const UNSAFE_ALLOWLIST: &[&str] = &["crates/core/src/cursor.rs"];
+
+/// Macro names banned in non-test code (matched as `name!`).
+const BANNED_MACROS: &[&str] = &["todo", "unimplemented", "dbg"];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(),
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- lint");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn lint() -> ExitCode {
+    let root = workspace_root();
+    let baseline = match read_baseline(&root.join("lint-baseline.toml")) {
+        Ok(baseline) => baseline,
+        Err(e) => {
+            eprintln!("lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut errors: Vec<String> = Vec::new();
+    let mut measured: BTreeMap<String, u64> = BTreeMap::new();
+    for (crate_name, src) in crate_roots(&root) {
+        let mut unwraps = 0u64;
+        for file in rust_files(&src) {
+            let rel = file
+                .strip_prefix(&root)
+                .unwrap_or(&file)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let source = match fs::read_to_string(&file) {
+                Ok(source) => source,
+                Err(e) => {
+                    errors.push(format!("{rel}: unreadable: {e}"));
+                    continue;
+                }
+            };
+            let masked = mask(&source);
+            let code = strip_test_mods(&masked);
+
+            let unsafe_sites = count_word(&masked, "unsafe");
+            if unsafe_sites > 0 {
+                if !UNSAFE_ALLOWLIST.contains(&rel.as_str()) {
+                    errors.push(format!(
+                        "{rel}: {unsafe_sites} `unsafe` site(s) outside the allowlist — \
+                         review, add the file to UNSAFE_ALLOWLIST in xtask, and cover it with Miri"
+                    ));
+                } else if !source.contains("// SAFETY:") {
+                    errors.push(format!(
+                        "{rel}: allowlisted `unsafe` without a `// SAFETY:` comment"
+                    ));
+                }
+            }
+
+            for name in BANNED_MACROS {
+                let hits = count_macro(&code, name);
+                if hits > 0 {
+                    errors.push(format!(
+                        "{rel}: {hits} `{name}!` invocation(s) in non-test code"
+                    ));
+                }
+            }
+
+            unwraps += count_method(&code, "unwrap") + count_method(&code, "expect");
+        }
+        measured.insert(crate_name, unwraps);
+    }
+
+    for (crate_name, &count) in &measured {
+        match baseline.get(crate_name) {
+            Some(&budget) if count > budget => errors.push(format!(
+                "{crate_name}: {count} unwrap()/expect() call(s) exceed the budget of {budget} — \
+                 convert the new ones to typed errors instead of raising the baseline"
+            )),
+            Some(&budget) if count < budget => errors.push(format!(
+                "{crate_name}: {count} unwrap()/expect() call(s), budget is {budget} — \
+                 ratchet: lower [unwrap-budget] {crate_name} to {count} in lint-baseline.toml"
+            )),
+            Some(_) => {}
+            None => errors.push(format!(
+                "{crate_name}: missing from [unwrap-budget] in lint-baseline.toml (measured {count})"
+            )),
+        }
+    }
+    for crate_name in baseline.keys() {
+        if !measured.contains_key(crate_name) {
+            errors.push(format!(
+                "{crate_name}: listed in lint-baseline.toml but not found in the workspace"
+            ));
+        }
+    }
+
+    if errors.is_empty() {
+        let total: u64 = measured.values().sum();
+        println!(
+            "lint: clean — {} crate(s), {total} budgeted unwrap()/expect() call(s), \
+             unsafe confined to {} file(s)",
+            measured.len(),
+            UNSAFE_ALLOWLIST.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for error in &errors {
+            eprintln!("lint: {error}");
+        }
+        eprintln!("lint: {} violation(s)", errors.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// The workspace root: the parent of this crate's manifest directory.
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("xtask lives one level under the workspace root")
+        .to_path_buf()
+}
+
+/// First-party crates to lint: `(crate key, src dir)`. Vendored code under
+/// `vendor/` is deliberately out of scope.
+fn crate_roots(root: &Path) -> Vec<(String, PathBuf)> {
+    let mut out = vec![
+        ("root".to_string(), root.join("src")),
+        ("xtask".to_string(), root.join("xtask/src")),
+    ];
+    let crates = root.join("crates");
+    if let Ok(entries) = fs::read_dir(&crates) {
+        let mut dirs: Vec<_> = entries
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().join("src").is_dir())
+            .collect();
+        dirs.sort_by_key(|e| e.file_name());
+        for entry in dirs {
+            out.push((
+                entry.file_name().to_string_lossy().into_owned(),
+                entry.path().join("src"),
+            ));
+        }
+    }
+    out
+}
+
+/// All `.rs` files under `dir`, recursively, in stable order.
+fn rust_files(dir: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = fs::read_dir(&dir) else {
+            continue;
+        };
+        let mut entries: Vec<_> = entries.filter_map(|e| e.ok()).collect();
+        entries.sort_by_key(|e| e.file_name());
+        for entry in entries {
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|ext| ext == "rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    files
+}
+
+/// The `[unwrap-budget]` table of `lint-baseline.toml`, parsed with a
+/// deliberately tiny reader: sections, `key = integer` lines, `#` comments.
+fn read_baseline(path: &Path) -> Result<BTreeMap<String, u64>, String> {
+    let text = fs::read_to_string(path).map_err(|e| {
+        format!(
+            "{}: {e} (the ratchet baseline must be checked in)",
+            path.display()
+        )
+    })?;
+    let mut budget = BTreeMap::new();
+    let mut in_budget = false;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(section) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+            in_budget = section.trim() == "unwrap-budget";
+            continue;
+        }
+        if !in_budget {
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!(
+                "{}:{}: expected `crate = count`",
+                path.display(),
+                lineno + 1
+            ));
+        };
+        let count: u64 = value.trim().parse().map_err(|_| {
+            format!(
+                "{}:{}: `{}` is not a count",
+                path.display(),
+                lineno + 1,
+                value.trim()
+            )
+        })?;
+        budget.insert(key.trim().trim_matches('"').to_string(), count);
+    }
+    Ok(budget)
+}
+
+// ---------------------------------------------------------------------------
+// Token scanning
+// ---------------------------------------------------------------------------
+
+/// Replaces the contents of comments, string/char literals and their raw and
+/// byte variants with spaces (newlines preserved), so later substring scans
+/// only ever match real tokens. Output is byte-for-byte the same length.
+fn mask(source: &str) -> String {
+    let b = source.as_bytes();
+    let mut out = b.to_vec();
+    let blank = |out: &mut Vec<u8>, from: usize, to: usize| {
+        for slot in &mut out[from..to] {
+            if *slot != b'\n' {
+                *slot = b' ';
+            }
+        }
+    };
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let end = source[i..].find('\n').map(|n| i + n).unwrap_or(b.len());
+                blank(&mut out, i, end);
+                i = end;
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                // Rust block comments nest.
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                while j < b.len() && depth > 0 {
+                    if b[j] == b'/' && b.get(j + 1) == Some(&b'*') {
+                        depth += 1;
+                        j += 2;
+                    } else if b[j] == b'*' && b.get(j + 1) == Some(&b'/') {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                blank(&mut out, i, j);
+                i = j;
+            }
+            b'"' => {
+                let end = skip_string(b, i);
+                blank(&mut out, i + 1, end.saturating_sub(1));
+                i = end;
+            }
+            b'r' | b'b' if starts_raw_string(b, i) => {
+                let hash_at = i + if b[i] == b'b' { 2 } else { 1 };
+                let hashes = b[hash_at..].iter().take_while(|&&c| c == b'#').count();
+                let open = hash_at + hashes; // the opening quote
+                let closer: Vec<u8> = std::iter::once(b'"')
+                    .chain(std::iter::repeat_n(b'#', hashes))
+                    .collect();
+                let end = find_bytes(b, open + 1, &closer).unwrap_or(b.len());
+                blank(&mut out, open + 1, end);
+                i = (end + closer.len()).min(b.len());
+            }
+            b'b' if b.get(i + 1) == Some(&b'"') && !prev_is_ident(b, i) => {
+                let end = skip_string(b, i + 1);
+                blank(&mut out, i + 2, end.saturating_sub(1));
+                i = end;
+            }
+            b'\'' => {
+                // Char literal or lifetime. `'\...'` and `'x'` are literals;
+                // anything else (e.g. `'static`) is a lifetime, left as-is.
+                if b.get(i + 1) == Some(&b'\\') {
+                    let end = skip_char_escape(b, i + 2);
+                    blank(&mut out, i + 1, end.saturating_sub(1));
+                    i = end;
+                } else if b.get(i + 2) == Some(&b'\'') {
+                    blank(&mut out, i + 1, i + 2);
+                    i += 3;
+                } else {
+                    i += 1;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    String::from_utf8(out).expect("masking only writes ASCII spaces")
+}
+
+/// Whether `b[i..]` starts a raw (byte) string: `r"`, `r#`, `br"`, `br#` —
+/// and `i` is not the tail of a longer identifier.
+fn starts_raw_string(b: &[u8], i: usize) -> bool {
+    if prev_is_ident(b, i) {
+        return false;
+    }
+    let rest = if b[i] == b'b' {
+        if b.get(i + 1) != Some(&b'r') {
+            return false;
+        }
+        i + 2
+    } else {
+        i + 1
+    };
+    matches!(b.get(rest), Some(&b'"') | Some(&b'#'))
+        && b[rest..]
+            .iter()
+            .find(|&&c| c != b'#')
+            .is_some_and(|&c| c == b'"')
+}
+
+fn prev_is_ident(b: &[u8], i: usize) -> bool {
+    i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_')
+}
+
+/// Index just past the closing quote of the `"`-string starting at `i`.
+fn skip_string(b: &[u8], i: usize) -> usize {
+    let mut j = i + 1;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    b.len()
+}
+
+/// Index just past the closing quote of a `'\...'` escape whose body starts
+/// at `i` (just after the backslash).
+fn skip_char_escape(b: &[u8], i: usize) -> usize {
+    let mut j = i;
+    while j < b.len() && b[j] != b'\'' {
+        j += 1;
+    }
+    (j + 1).min(b.len())
+}
+
+fn find_bytes(haystack: &[u8], from: usize, needle: &[u8]) -> Option<usize> {
+    haystack[from..]
+        .windows(needle.len())
+        .position(|w| w == needle)
+        .map(|n| from + n)
+}
+
+/// Blanks every `#[cfg(test)] mod … { … }` block in already-masked source
+/// (brace matching is reliable there — no braces hide in strings).
+fn strip_test_mods(masked: &str) -> String {
+    let mut out = masked.to_string();
+    let mut from = 0;
+    while let Some(at) = out[from..].find("#[cfg(test)]").map(|n| from + n) {
+        let mut j = at + "#[cfg(test)]".len();
+        let b = out.as_bytes();
+        // Skip whitespace and further attributes to the next token.
+        loop {
+            while j < b.len() && b[j].is_ascii_whitespace() {
+                j += 1;
+            }
+            if j < b.len() && b[j] == b'#' {
+                while j < b.len() && b[j] != b']' {
+                    j += 1;
+                }
+                j += 1;
+            } else {
+                break;
+            }
+        }
+        let is_mod = out[j..].starts_with("mod ") || out[j..].starts_with("mod\n");
+        if !is_mod {
+            from = at + 1;
+            continue;
+        }
+        let Some(open) = out[j..].find('{').map(|n| j + n) else {
+            break;
+        };
+        let mut depth = 0usize;
+        let mut end = open;
+        for (k, c) in out[open..].char_indices() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = open + k + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let blanked: String = out[at..end]
+            .chars()
+            .map(|c| if c == '\n' { '\n' } else { ' ' })
+            .collect();
+        out.replace_range(at..end, &blanked);
+        from = end.min(out.len());
+    }
+    out
+}
+
+/// Occurrences of `word` as a standalone token.
+fn count_word(masked: &str, word: &str) -> u64 {
+    token_positions(masked, word).count() as u64
+}
+
+/// Occurrences of `name` followed by `!` (a macro invocation).
+fn count_macro(masked: &str, name: &str) -> u64 {
+    let b = masked.as_bytes();
+    token_positions(masked, name)
+        .filter(|&at| next_non_space(b, at + name.len()) == Some(b'!'))
+        .count() as u64
+}
+
+/// Occurrences of `.name(` — a method call, however the receiver wraps.
+fn count_method(masked: &str, name: &str) -> u64 {
+    let b = masked.as_bytes();
+    token_positions(masked, name)
+        .filter(|&at| {
+            prev_non_space(b, at) == Some(b'.') && next_non_space(b, at + name.len()) == Some(b'(')
+        })
+        .count() as u64
+}
+
+/// First non-space byte at or after `from` (same line or later).
+fn next_non_space(b: &[u8], from: usize) -> Option<u8> {
+    b[from.min(b.len())..]
+        .iter()
+        .copied()
+        .find(|c| !c.is_ascii_whitespace())
+}
+
+/// Last non-space byte strictly before `at`.
+fn prev_non_space(b: &[u8], at: usize) -> Option<u8> {
+    b[..at]
+        .iter()
+        .rev()
+        .copied()
+        .find(|c| !c.is_ascii_whitespace())
+}
+
+/// Byte offsets where `word` appears with non-identifier characters (or the
+/// text boundary) on both sides.
+fn token_positions<'a>(masked: &'a str, word: &'a str) -> impl Iterator<Item = usize> + 'a {
+    let b = masked.as_bytes();
+    let mut from = 0;
+    std::iter::from_fn(move || {
+        while let Some(at) = masked[from..].find(word).map(|n| from + n) {
+            from = at + 1;
+            let left_ok = at == 0 || !(b[at - 1].is_ascii_alphanumeric() || b[at - 1] == b'_');
+            let right = at + word.len();
+            let right_ok =
+                right >= b.len() || !(b[right].is_ascii_alphanumeric() || b[right] == b'_');
+            if left_ok && right_ok {
+                return Some(at);
+            }
+        }
+        None
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masking_hides_comments_strings_and_chars() {
+        let source = "let x = \"unsafe .unwrap()\"; // unsafe todo!\nlet c = '\"'; /* dbg! /* nested */ */ x.unwrap();";
+        let masked = mask(source);
+        assert_eq!(masked.len(), source.len());
+        assert_eq!(count_word(&masked, "unsafe"), 0);
+        assert_eq!(count_macro(&masked, "todo"), 0);
+        assert_eq!(count_macro(&masked, "dbg"), 0);
+        assert_eq!(count_method(&masked, "unwrap"), 1);
+    }
+
+    #[test]
+    fn masking_handles_raw_strings_and_lifetimes() {
+        let source = "let s: &'static str = r#\"unsafe \"quoted\" dbg!\"#; s.expect(\"x\");";
+        let masked = mask(source);
+        assert_eq!(count_word(&masked, "unsafe"), 0);
+        assert_eq!(count_macro(&masked, "dbg"), 0);
+        assert_eq!(count_method(&masked, "expect"), 1);
+        assert!(masked.contains("'static"), "lifetimes survive masking");
+    }
+
+    #[test]
+    fn test_modules_are_stripped_by_brace_matching() {
+        let source = "fn lib() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n  fn t() { y.unwrap(); z.unwrap(); }\n}\nfn lib2() { w.expect(\"m\"); }";
+        let code = strip_test_mods(&mask(source));
+        assert_eq!(count_method(&code, "unwrap"), 1);
+        assert_eq!(count_method(&code, "expect"), 1);
+    }
+
+    #[test]
+    fn method_counting_requires_a_receiver_and_call() {
+        let masked = "unwrap(); a.unwrap; b\n  .unwrap ( ) ; fn unwrap() {}";
+        assert_eq!(count_method(masked, "unwrap"), 1);
+    }
+}
