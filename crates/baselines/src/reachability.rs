@@ -47,7 +47,7 @@ impl ReachabilityIndex {
         let adjacency = |node: NodeId| -> Vec<NodeId> {
             let mut out = Vec::new();
             for &sl in labels {
-                out.extend_from_slice(graph.neighbors(node, sl));
+                out.extend(graph.neighbors(node, sl));
             }
             out
         };
@@ -82,7 +82,7 @@ impl ReachabilityIndex {
         let mut reverse: Vec<Vec<u32>> = vec![Vec::new(); n];
         for &sl in labels {
             for node in 0..n as u32 {
-                for &succ in graph.neighbors(NodeId(node), sl) {
+                for succ in graph.neighbors(NodeId(node), sl) {
                     reverse[succ.0 as usize].push(node);
                 }
             }

@@ -28,7 +28,7 @@ pub fn rpq_to_datalog(graph: &Graph, expr: &BoundExpr) -> TranslatedQuery {
     // Extensional database: one predicate per label plus the node relation.
     for label in graph.labels() {
         let pred = edge_predicate(graph, label);
-        for &(s, t) in graph.edges(label) {
+        for (s, t) in graph.edges(label) {
             program.add_fact(pred.clone(), vec![s.0, t.0]);
         }
     }
@@ -221,14 +221,14 @@ mod tests {
     fn single_label_matches_edge_relation() {
         let g = paper_example_graph();
         let knows = g.label_id("knows").unwrap();
-        assert_eq!(eval(&g, "knows"), g.edges(knows).to_vec());
+        assert_eq!(eval(&g, "knows"), g.edges(knows).collect::<Vec<_>>());
     }
 
     #[test]
     fn backward_label_is_the_converse() {
         let g = paper_example_graph();
         let knows = g.label_id("knows").unwrap();
-        let mut expected: Vec<_> = g.edges(knows).iter().map(|&(a, b)| (b, a)).collect();
+        let mut expected: Vec<_> = g.edges(knows).map(|(a, b)| (b, a)).collect();
         expected.sort_unstable();
         assert_eq!(eval(&g, "knows-"), expected);
     }

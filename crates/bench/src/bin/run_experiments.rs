@@ -14,6 +14,7 @@
 //!   amortization extension: parse-per-call vs plan-cache vs prepared throughput
 //!   updates    extension: live PathDb::apply throughput vs full rebuild
 //!   scan-join  extension: vectorized scan/join engine vs pair-at-a-time
+//!   ingest     extension: streaming ingest from an empty database
 //!   all        everything above (default)
 //! ```
 //!
@@ -21,17 +22,18 @@
 //! Advogato); the Datalog/automaton comparisons automatically use a smaller
 //! graph because the baselines are orders of magnitude slower.
 //!
-//! `--json` additionally writes the `updates` and `scan-join` experiments'
-//! machine-readable results to `BENCH_updates.json` and
-//! `BENCH_scan_join.json` in the current directory (apply throughput,
-//! publish latency, per-backend scan/join speedups and skip counters) so CI
-//! can archive the perf trajectory run over run.
+//! `--json` additionally writes the `updates`, `scan-join` and `ingest`
+//! experiments' machine-readable results to `BENCH_updates.json`,
+//! `BENCH_scan_join.json` and `BENCH_ingest.json` in the current directory
+//! (apply throughput, publish latency, per-backend scan/join speedups and
+//! skip counters, streaming-ingest throughput and append-latency flatness)
+//! so CI can archive the perf trajectory run over run.
 
 use pathix_bench::report::ToJson;
 use pathix_bench::{
     amortization, automaton_comparison, backend_comparison, bench_scale, datalog_speedup, fig2,
-    histogram_ablation, incremental_maintenance, index_construction, live_updates, paged_index,
-    parallel, scaling, scan_join, sql_comparison,
+    histogram_ablation, incremental_maintenance, index_construction, ingest, live_updates,
+    paged_index, parallel, scaling, scan_join, sql_comparison,
 };
 
 /// Writes a report to `name` in the current directory (best effort).
@@ -109,6 +111,12 @@ fn main() {
                 write_bench_json("BENCH_scan_join.json", &report);
             }
         }
+        "ingest" => {
+            let report = ingest(scale, 2);
+            if json {
+                write_bench_json("BENCH_ingest.json", &report);
+            }
+        }
         "all" => {
             fig2(scale, &ks);
             datalog_speedup(baseline_scale);
@@ -130,12 +138,16 @@ fn main() {
             if json {
                 write_bench_json("BENCH_scan_join.json", &report);
             }
+            let report = ingest(scale, 2);
+            if json {
+                write_bench_json("BENCH_ingest.json", &report);
+            }
         }
         other => {
             eprintln!(
                 "unknown experiment `{other}`; expected one of: fig2, datalog, automaton, \
                  index, scaling, ablation, sql, paged, backends, amortization, parallel, \
-                 incremental, updates, scan-join, all"
+                 incremental, updates, scan-join, ingest, all"
             );
             std::process::exit(2);
         }

@@ -8,6 +8,7 @@ pub mod datalog;
 pub mod fig2;
 pub mod incremental;
 pub mod index_build;
+pub mod ingest;
 pub mod paged;
 pub mod parallel;
 pub mod scaling;

@@ -101,7 +101,7 @@ pub struct UpdatesReport {
 fn edge_sample(graph: &Graph, step: usize) -> Vec<(NodeId, LabelId, NodeId)> {
     graph
         .labels()
-        .flat_map(|l| graph.edges(l).iter().map(move |&(s, d)| (s, l, d)))
+        .flat_map(|l| graph.edges(l).map(move |(s, d)| (s, l, d)))
         .step_by(step.max(1))
         .collect()
 }

@@ -24,8 +24,8 @@ pub use datasets::{bench_scale, build_advogato, build_advogato_db};
 pub use experiments::{
     ablation::histogram_ablation, amortization::amortization, automaton::automaton_comparison,
     backends::backend_comparison, datalog::datalog_speedup, fig2::fig2,
-    incremental::incremental_maintenance, index_build::index_construction, paged::paged_index,
-    parallel::parallel, scaling::scaling, scan_join::scan_join, sql::sql_comparison,
-    updates::live_updates,
+    incremental::incremental_maintenance, index_build::index_construction, ingest::ingest,
+    paged::paged_index, parallel::parallel, scaling::scaling, scan_join::scan_join,
+    sql::sql_comparison, updates::live_updates,
 };
 pub use report::{format_duration_ms, Table};

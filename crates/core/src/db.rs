@@ -42,7 +42,7 @@ use crate::prepared::PreparedQuery;
 use crate::result::QueryResult;
 use pathix_audit::{AuditReport, StructuralAudit};
 use pathix_baselines::{evaluate_automaton, evaluate_datalog};
-use pathix_graph::{Graph, NodeId, SignedLabel};
+use pathix_graph::{EdgeOp, Graph, GraphPublishStats, NodeId, SignedLabel, VocabBatch};
 use pathix_index::{
     BackendBatchScan, BackendError, BackendResult, BackendScan, BackendStats, DeltaBatch,
     EntryDeltas, EstimationMode, GraphUpdate, IncrementalKPathIndex, MutablePathIndexBackend,
@@ -329,6 +329,12 @@ pub struct DbStats {
     pub histogram_paths: usize,
     /// Number of histogram buckets.
     pub histogram_buckets: usize,
+    /// Adjacency chunks across all labels and both directions of the current
+    /// graph epoch.
+    pub graph_chunks: usize,
+    /// What the last committed graph epoch re-shared versus rebuilt — all
+    /// zeros on a bulk-built database.
+    pub graph_publish: GraphPublishStats,
     /// Storage-layer counters (buffer pool, copy-on-write, scan bypasses).
     pub storage: StorageStats,
 }
@@ -611,6 +617,14 @@ impl PathDb {
         Self::build(graph, PathDbConfig::default())
     }
 
+    /// A live database over an empty graph and an empty vocabulary — the
+    /// entry point for pure-streaming ingest, where every node, label and
+    /// edge arrives through [`PathDb::apply`] batches of name-based updates
+    /// ([`GraphUpdate::InsertEdgeNamed`]).
+    pub fn empty(config: PathDbConfig) -> Result<Self, QueryError> {
+        Self::try_build(Graph::empty(), config)
+    }
+
     /// A consistent view of the database as of now. All read accessors below
     /// are shorthands over this.
     pub fn snapshot(&self) -> Snapshot {
@@ -709,13 +723,18 @@ impl PathDb {
     /// on every backend, and plans cached at older epochs are transparently
     /// replanned on next use.
     ///
-    /// Updates must reference interned node and label ids
+    /// Id-based updates must reference interned node and label ids
     /// ([`QueryError::InvalidUpdate`] otherwise); the whole batch is
-    /// validated before anything is applied. A batch that fails midway on a
-    /// disk-resident backend ([`QueryError::Backend`]) rejects all further
-    /// updates until the database is rebuilt; reads are unaffected on every
-    /// backend — published snapshots pin their own pages, which the failed
-    /// writer never touched.
+    /// validated before anything is applied. Name-based updates
+    /// ([`GraphUpdate::InsertEdgeNamed`] / [`GraphUpdate::DeleteEdgeNamed`])
+    /// resolve against the live vocabulary: insertions intern unseen node
+    /// and label names on the fly (streaming ingest — see [`PathDb::empty`]),
+    /// while deletions of unknown names are no-ops that intern nothing. A
+    /// batch that fails midway on a disk-resident backend
+    /// ([`QueryError::Backend`]) rejects all further updates until the
+    /// database is rebuilt; reads are unaffected on every backend —
+    /// published snapshots pin their own pages, which the failed writer
+    /// never touched.
     pub fn apply(&self, updates: &[GraphUpdate]) -> Result<UpdateStats, QueryError> {
         // Writers serialize on the live-state lock; the snapshot lock is only
         // taken (briefly) to read the current state and to publish the result.
@@ -724,8 +743,16 @@ impl PathDb {
             return Err(QueryError::Backend(e.clone()));
         }
         let current = self.snapshot();
+        // Phase 1: validate the whole batch before touching any state.
         for update in updates {
             validate_update(current.graph(), update)?;
+        }
+        // Phase 2: resolve names to ids, interning new vocabulary (insertions
+        // only — the one fallible step, the label-capacity check, ran above).
+        let mut vocab = current.graph().vocab_batch();
+        let mut resolved: Vec<Option<EdgeOp>> = Vec::with_capacity(updates.len());
+        for update in updates {
+            resolved.push(resolve_update(&mut vocab, update)?);
         }
 
         let live_state = &mut *live;
@@ -734,28 +761,29 @@ impl PathDb {
         });
 
         live_state.deltas.clear();
-        let mut graph: Option<Graph> = None;
+        let mut effective: Vec<EdgeOp> = Vec::new();
         let mut inserted = 0u64;
         let mut deleted = 0u64;
         let mut no_ops = 0u64;
-        for &update in updates {
-            if !live_index.apply_logged(update, &mut live_state.deltas) {
+        for op in resolved.into_iter() {
+            let Some(op) = op else {
+                no_ops += 1;
+                continue;
+            };
+            if !live_index.apply_logged(GraphUpdate::from_op(op), &mut live_state.deltas) {
                 no_ops += 1;
                 continue;
             }
-            let graph = graph.get_or_insert_with(|| current.graph().clone());
-            match update {
-                GraphUpdate::InsertEdge { src, label, dst } => {
-                    graph.insert_edge(src, label, dst);
-                    inserted += 1;
-                }
-                GraphUpdate::DeleteEdge { src, label, dst } => {
-                    graph.remove_edge(src, label, dst);
-                    deleted += 1;
-                }
+            if op.insert {
+                inserted += 1;
+            } else {
+                deleted += 1;
             }
+            effective.push(op);
         }
-        let Some(graph) = graph else {
+        let vocab_grew = vocab.node_count() != current.graph().node_count()
+            || vocab.label_count() != current.graph().label_count();
+        if effective.is_empty() && !vocab_grew {
             // The whole batch was a no-op: nothing changed, nothing to
             // publish, plans stay valid.
             return Ok(UpdateStats {
@@ -766,7 +794,10 @@ impl PathDb {
                 epoch: current.epoch(),
                 histogram_refreshed: false,
             });
-        };
+        }
+        // O(Δ) graph epoch: untouched labels and chunks are re-shared by
+        // refcount bump, never copied.
+        let graph = current.graph().commit_batch(vocab, &effective);
 
         live_state.updates_since_refresh += inserted + deleted;
         let refresh = match self.config.histogram_refresh {
@@ -957,6 +988,8 @@ impl PathDb {
             index: snapshot.index().stats(),
             histogram_paths: snapshot.histogram().path_count(),
             histogram_buckets: snapshot.histogram().buckets().len(),
+            graph_chunks: snapshot.graph().chunk_count(),
+            graph_publish: snapshot.graph().last_publish_stats(),
             storage,
         }
     }
@@ -976,6 +1009,7 @@ impl PathDb {
     pub fn audit(&self) -> AuditReport {
         let mut report = AuditReport::new();
         let snapshot = self.snapshot();
+        report.run("graph", snapshot.graph());
         report.run(
             &format!("snapshot/{}", snapshot.index().backend_name()),
             snapshot.index(),
@@ -992,22 +1026,82 @@ impl PathDb {
     }
 }
 
-/// Checks one update's ids against the graph's interned vocabulary.
+/// The hard cap on distinct labels ([`pathix_graph::GraphBuilder::add_label`]
+/// enforces the same bound at build time).
+const MAX_LABELS: usize = 1 << 15;
+
+/// Checks one update against the graph's interned vocabulary: id variants
+/// must reference interned ids; named insertions must carry non-empty names
+/// and fit under the label cap. Runs before anything is interned or applied,
+/// so a rejected batch leaves no trace.
 fn validate_update(graph: &Graph, update: &GraphUpdate) -> Result<(), QueryError> {
-    let (src, label, dst) = match *update {
+    match update {
         GraphUpdate::InsertEdge { src, label, dst }
-        | GraphUpdate::DeleteEdge { src, label, dst } => (src, label, dst),
-    };
-    check_node(graph, src)?;
-    check_node(graph, dst)?;
-    if label.index() >= graph.label_count() {
-        return Err(QueryError::InvalidUpdate(format!(
-            "label id {} was never interned (the graph has {} labels)",
-            label.0,
-            graph.label_count()
-        )));
+        | GraphUpdate::DeleteEdge { src, label, dst } => {
+            check_node(graph, *src)?;
+            check_node(graph, *dst)?;
+            if label.index() >= graph.label_count() {
+                return Err(QueryError::InvalidUpdate(format!(
+                    "label id {} was never interned (the graph has {} labels)",
+                    label.0,
+                    graph.label_count()
+                )));
+            }
+            Ok(())
+        }
+        GraphUpdate::InsertEdgeNamed { src, label, dst } => {
+            for (what, name) in [("source node", src), ("label", label), ("target node", dst)] {
+                if name.is_empty() {
+                    return Err(QueryError::InvalidUpdate(format!(
+                        "named insertion carries an empty {what} name"
+                    )));
+                }
+            }
+            if graph.label_id(label).is_none() && graph.label_count() >= MAX_LABELS {
+                return Err(QueryError::InvalidUpdate(format!(
+                    "label vocabulary is full ({MAX_LABELS} labels): cannot intern {label:?}"
+                )));
+            }
+            Ok(())
+        }
+        GraphUpdate::DeleteEdgeNamed { .. } => Ok(()),
     }
-    Ok(())
+}
+
+/// Resolves one validated update to an id-level edge op. Named insertions
+/// intern unseen vocabulary into `vocab`; named deletions of unknown names
+/// resolve to `None` (a no-op) without interning — a deletion cannot create
+/// vocabulary. The only error is the label cap, re-checked against the
+/// batch-local state because several insertions in one batch can each carry
+/// a fresh label.
+fn resolve_update(
+    vocab: &mut VocabBatch,
+    update: &GraphUpdate,
+) -> Result<Option<EdgeOp>, QueryError> {
+    Ok(match update {
+        GraphUpdate::InsertEdge { .. } | GraphUpdate::DeleteEdge { .. } => update.as_op(),
+        GraphUpdate::InsertEdgeNamed { src, label, dst } => {
+            if vocab.label_id(label).is_none() && vocab.label_count() >= MAX_LABELS {
+                return Err(QueryError::InvalidUpdate(format!(
+                    "label vocabulary is full ({MAX_LABELS} labels): cannot intern {label:?}"
+                )));
+            }
+            let s = vocab.intern_node(src);
+            let l = vocab.intern_label(label);
+            let d = vocab.intern_node(dst);
+            Some(EdgeOp::insert(s, l, d))
+        }
+        GraphUpdate::DeleteEdgeNamed { src, label, dst } => {
+            match (
+                vocab.node_id(src),
+                vocab.label_id(label),
+                vocab.node_id(dst),
+            ) {
+                (Some(s), Some(l), Some(d)) => Some(EdgeOp::delete(s, l, d)),
+                _ => None,
+            }
+        }
+    })
 }
 
 fn check_node(graph: &Graph, node: NodeId) -> Result<(), QueryError> {

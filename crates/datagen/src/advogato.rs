@@ -188,7 +188,7 @@ mod tests {
         for label in a.labels() {
             let name = a.label_name(label).unwrap();
             let lb = b.label_id(name).unwrap();
-            assert_eq!(a.edges(label), b.edges(lb));
+            assert!(a.edges(label).eq(b.edges(lb)));
         }
     }
 
@@ -204,9 +204,10 @@ mod tests {
             seed: 2,
             ..Default::default()
         });
-        let same_edges = a
-            .labels()
-            .all(|l| a.edges(l) == b.edges(b.label_id(a.label_name(l).unwrap()).unwrap()));
+        let same_edges = a.labels().all(|l| {
+            a.edges(l)
+                .eq(b.edges(b.label_id(a.label_name(l).unwrap()).unwrap()))
+        });
         assert!(!same_edges);
     }
 

@@ -70,9 +70,9 @@ mod tests {
         let g = paper_example_graph();
         assert_eq!(g.node_count(), 9);
         assert_eq!(g.label_count(), 3);
-        assert_eq!(g.edges(g.label_id("supervisor").unwrap()).len(), 1);
-        assert_eq!(g.edges(g.label_id("knows").unwrap()).len(), 9);
-        assert_eq!(g.edges(g.label_id("worksFor").unwrap()).len(), 6);
+        assert_eq!(g.edges(g.label_id("supervisor").unwrap()).count(), 1);
+        assert_eq!(g.edges(g.label_id("knows").unwrap()).count(), 9);
+        assert_eq!(g.edges(g.label_id("worksFor").unwrap()).count(), 6);
     }
 
     #[test]
@@ -102,8 +102,8 @@ mod tests {
         let works = g.label_id("worksFor").unwrap();
         // Compose by hand: x −supervisor→ y ←worksFor− z gives (x, z).
         let mut pairs = Vec::new();
-        for &(x, y) in g.edges(sup) {
-            for &z in g.neighbors(y, SignedLabel::backward(works)) {
+        for (x, y) in g.edges(sup) {
+            for z in g.neighbors(y, SignedLabel::backward(works)) {
                 pairs.push((
                     g.node_name(x).unwrap().to_owned(),
                     g.node_name(z).unwrap().to_owned(),

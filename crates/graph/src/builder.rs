@@ -1,9 +1,10 @@
 //! Mutable construction of [`Graph`] snapshots.
 
-use crate::csr::Csr;
-use crate::dict::Dictionary;
-use crate::graph::Graph;
+use crate::dict::{Dictionary, Vocabulary};
+use crate::graph::{Graph, LabelAdjacency};
 use crate::ids::{LabelId, NodeId};
+use crate::runs::{EdgeRun, GraphPublishStats};
+use std::sync::Arc;
 
 /// Incrementally accumulates nodes and labeled edges, then freezes them into
 /// an immutable [`Graph`].
@@ -98,23 +99,32 @@ impl GraphBuilder {
             edges_by_label[l.index()].push((*s, *d));
         }
         let mut edge_count = 0;
-        let mut forward = Vec::with_capacity(label_count);
-        let mut backward = Vec::with_capacity(label_count);
-        for per_label in &mut edges_by_label {
+        let mut labels = Vec::with_capacity(label_count);
+        for mut per_label in edges_by_label {
             per_label.sort_unstable();
             per_label.dedup();
             edge_count += per_label.len();
-            forward.push(Csr::from_edges(node_count, per_label));
-            let reversed: Vec<(NodeId, NodeId)> = per_label.iter().map(|&(s, d)| (d, s)).collect();
-            backward.push(Csr::from_edges(node_count, &reversed));
+            let mut reversed: Vec<(NodeId, NodeId)> =
+                per_label.iter().map(|&(s, d)| (d, s)).collect();
+            reversed.sort_unstable();
+            labels.push(LabelAdjacency {
+                forward: EdgeRun::from_sorted(per_label),
+                backward: EdgeRun::from_sorted(reversed),
+            });
         }
+        let vocab = Arc::new(Vocabulary::from_dictionaries(
+            self.node_dict,
+            self.label_dict,
+        ));
+        let nodes_view = vocab.nodes.freeze(node_count as u32);
+        let labels_view = vocab.labels.freeze(label_count as u32);
         Graph {
-            node_dict: self.node_dict,
-            label_dict: self.label_dict,
-            edges_by_label,
-            forward,
-            backward,
+            vocab,
+            nodes_view,
+            labels_view,
+            labels: Arc::new(labels),
             edge_count,
+            last_publish: GraphPublishStats::default(),
         }
     }
 }
@@ -165,8 +175,14 @@ mod tests {
         let a = g.node_id("a").unwrap();
         let x = g.label_id("x").unwrap();
         assert!(g.has_edge(a, x, a));
-        assert_eq!(g.neighbors(a, SignedLabel::forward(x)), &[a]);
-        assert_eq!(g.neighbors(a, SignedLabel::backward(x)), &[a]);
+        assert_eq!(
+            g.neighbors(a, SignedLabel::forward(x)).collect::<Vec<_>>(),
+            vec![a]
+        );
+        assert_eq!(
+            g.neighbors(a, SignedLabel::backward(x)).collect::<Vec<_>>(),
+            vec![a]
+        );
     }
 
     #[test]

@@ -1,16 +1,36 @@
 //! String interning dictionaries mapping external names to dense ids.
+//!
+//! Two layers live here:
+//!
+//! * [`Dictionary`] — the plain bidirectional map the [`crate::GraphBuilder`]
+//!   accumulates names into. Each name is stored **once** as an `Arc<str>`
+//!   shared between the name→code map key and the code→name vector.
+//! * [`SharedDictionary`] / [`DictView`] — the live, append-only vocabulary
+//!   behind [`crate::Graph`]. Codes are assigned once and never change, so a
+//!   graph snapshot is just a frozen *length*: readers resolve code→name
+//!   lock-free through [`DictView`] (immutable `Arc`-shared segments), while
+//!   the writer keeps interning new names into the shared store. A view with
+//!   length `n` sees exactly the codes `0..n`, no matter how far the store
+//!   has grown since the view was frozen.
 
 use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+/// Names per sealed [`SharedDictionary`] segment. Freezing a view copies at
+/// most one open segment of this size, so a publish costs O(Δ + SEG) even
+/// when the vocabulary grows every batch.
+const SEG: usize = 256;
 
 /// A bidirectional mapping between strings and dense `u32` codes.
 ///
 /// Used for both node names and label names. Codes are assigned in first-seen
 /// order starting from zero, so a dictionary with `n` entries uses the codes
-/// `0..n` exactly.
+/// `0..n` exactly. Every name is allocated once: the map key and the vector
+/// entry share the same `Arc<str>`.
 #[derive(Debug, Clone, Default)]
 pub struct Dictionary {
-    by_name: HashMap<String, u32>,
-    by_code: Vec<String>,
+    by_name: HashMap<Arc<str>, u32>,
+    by_code: Vec<Arc<str>>,
 }
 
 impl Dictionary {
@@ -26,8 +46,9 @@ impl Dictionary {
             return code;
         }
         let code = self.by_code.len() as u32;
-        self.by_name.insert(name.to_owned(), code);
-        self.by_code.push(name.to_owned());
+        let shared: Arc<str> = Arc::from(name);
+        self.by_name.insert(Arc::clone(&shared), code);
+        self.by_code.push(shared);
         code
     }
 
@@ -38,7 +59,7 @@ impl Dictionary {
 
     /// Resolves a code back to its name.
     pub fn name(&self, code: u32) -> Option<&str> {
-        self.by_code.get(code as usize).map(String::as_str)
+        self.by_code.get(code as usize).map(|s| &**s)
     }
 
     /// Number of interned entries.
@@ -56,12 +77,192 @@ impl Dictionary {
         self.by_code
             .iter()
             .enumerate()
-            .map(|(i, s)| (i as u32, s.as_str()))
+            .map(|(i, s)| (i as u32, &**s))
     }
 
     /// All names in code order.
-    pub fn names(&self) -> &[String] {
+    pub fn names(&self) -> &[Arc<str>] {
         &self.by_code
+    }
+}
+
+/// A sealed run of exactly [`SEG`] names (except possibly a frozen tail).
+type Segment = Arc<[Arc<str>]>;
+
+#[derive(Debug, Default)]
+struct SharedDictInner {
+    by_name: HashMap<Arc<str>, u32>,
+    /// Directory of sealed segments, each exactly [`SEG`] names. Rebuilt
+    /// (O(segments)) only when a segment seals — every [`SEG`]-th intern —
+    /// so the amortized cost per intern stays O(1).
+    sealed: Arc<Vec<Segment>>,
+    /// The open segment, `< SEG` names.
+    tail: Vec<Arc<str>>,
+}
+
+impl SharedDictInner {
+    fn len(&self) -> usize {
+        self.sealed.len() * SEG + self.tail.len()
+    }
+}
+
+/// The live, append-only half of a vocabulary: a concurrent interning store
+/// that snapshots read through frozen [`DictView`]s. Codes are assigned once
+/// and never reassigned, which is what makes a plain length a consistent
+/// snapshot boundary.
+#[derive(Debug, Default)]
+pub struct SharedDictionary {
+    inner: RwLock<SharedDictInner>,
+}
+
+impl SharedDictionary {
+    /// Adopts an already-built [`Dictionary`], sharing its `Arc<str>`
+    /// allocations.
+    pub fn from_dictionary(dict: Dictionary) -> Self {
+        let Dictionary { by_name, by_code } = dict;
+        let mut sealed = Vec::new();
+        let mut tail = Vec::new();
+        for chunk in by_code.chunks(SEG) {
+            if chunk.len() == SEG {
+                sealed.push(Segment::from(chunk.to_vec()));
+            } else {
+                tail = chunk.to_vec();
+            }
+        }
+        SharedDictionary {
+            inner: RwLock::new(SharedDictInner {
+                by_name,
+                sealed: Arc::new(sealed),
+                tail,
+            }),
+        }
+    }
+
+    /// Interns `name`, returning its code (existing names keep their code).
+    /// Takes the write lock; callers serialize publishes externally.
+    pub fn intern(&self, name: &str) -> u32 {
+        let mut inner = self.inner.write().unwrap_or_else(|e| e.into_inner());
+        if let Some(&code) = inner.by_name.get(name) {
+            return code;
+        }
+        let code = inner.len() as u32;
+        let shared: Arc<str> = Arc::from(name);
+        inner.by_name.insert(Arc::clone(&shared), code);
+        inner.tail.push(shared);
+        if inner.tail.len() == SEG {
+            let segment = Segment::from(std::mem::take(&mut inner.tail));
+            let mut directory = inner.sealed.as_ref().clone();
+            directory.push(segment);
+            inner.sealed = Arc::new(directory);
+        }
+        code
+    }
+
+    /// Resolves `name` to its code, restricted to the codes `0..limit` a
+    /// snapshot is allowed to see. A brief read lock; the append-only code
+    /// assignment makes the length filter an exact epoch boundary.
+    pub fn lookup(&self, name: &str, limit: u32) -> Option<u32> {
+        let inner = self.inner.read().unwrap_or_else(|e| e.into_inner());
+        inner.by_name.get(name).copied().filter(|&c| c < limit)
+    }
+
+    /// Total names interned so far (across every epoch).
+    pub fn len(&self) -> usize {
+        self.inner.read().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// `true` when nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Freezes a lock-free reader view over the codes `0..limit`.
+    /// Cost: one directory `Arc` bump plus a copy of the open tail —
+    /// O(SEG), independent of the vocabulary size.
+    ///
+    /// # Panics
+    /// Panics if `limit` exceeds the number of interned names.
+    pub fn freeze(&self, limit: u32) -> DictView {
+        let inner = self.inner.read().unwrap_or_else(|e| e.into_inner());
+        assert!(
+            (limit as usize) <= inner.len(),
+            "cannot freeze a view past the interned vocabulary"
+        );
+        DictView {
+            sealed: Arc::clone(&inner.sealed),
+            tail: Segment::from(inner.tail.clone()),
+            len: limit,
+        }
+    }
+}
+
+/// An immutable, lock-free code→name view over one epoch's vocabulary
+/// prefix. Cloning is two `Arc` bumps; resolving a name borrows from the
+/// shared segments, so no lock is held on the read path.
+#[derive(Debug, Clone)]
+pub struct DictView {
+    pub(crate) sealed: Arc<Vec<Segment>>,
+    pub(crate) tail: Segment,
+    pub(crate) len: u32,
+}
+
+impl Default for DictView {
+    fn default() -> Self {
+        DictView {
+            sealed: Arc::new(Vec::new()),
+            tail: Segment::from(Vec::new()),
+            len: 0,
+        }
+    }
+}
+
+impl DictView {
+    /// Resolves a code back to its name (codes at or past the frozen length
+    /// resolve to `None`, even if the shared store has grown since).
+    pub fn name(&self, code: u32) -> Option<&str> {
+        if code >= self.len {
+            return None;
+        }
+        let i = code as usize;
+        let (seg, off) = (i / SEG, i % SEG);
+        if seg < self.sealed.len() {
+            self.sealed[seg].get(off).map(|s| &**s)
+        } else {
+            self.tail.get(i - self.sealed.len() * SEG).map(|s| &**s)
+        }
+    }
+
+    /// Number of codes visible through this view.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// `true` when the view is over an empty vocabulary.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates over `(code, name)` pairs in code order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        (0..self.len).filter_map(|c| Some((c, self.name(c)?)))
+    }
+}
+
+/// The shared node and label vocabulary of a graph lineage: one interning
+/// store every epoch's snapshot points at, each seeing its own frozen prefix.
+#[derive(Debug, Default)]
+pub struct Vocabulary {
+    pub(crate) nodes: SharedDictionary,
+    pub(crate) labels: SharedDictionary,
+}
+
+impl Vocabulary {
+    /// Builds the vocabulary from bulk-built dictionaries.
+    pub fn from_dictionaries(nodes: Dictionary, labels: Dictionary) -> Self {
+        Vocabulary {
+            nodes: SharedDictionary::from_dictionary(nodes),
+            labels: SharedDictionary::from_dictionary(labels),
+        }
     }
 }
 
@@ -115,9 +316,90 @@ mod tests {
         }
         let collected: Vec<(u32, &str)> = d.iter().collect();
         assert_eq!(collected, vec![(0, "k"), (1, "w"), (2, "s")]);
-        assert_eq!(
-            d.names(),
-            &["k".to_string(), "w".to_string(), "s".to_string()]
+        let names: Vec<&str> = d.names().iter().map(|s| &**s).collect();
+        assert_eq!(names, ["k", "w", "s"]);
+    }
+
+    #[test]
+    fn each_name_is_stored_in_a_single_shared_allocation() {
+        // The memory-shape contract: the map key and the code-order entry
+        // must be the *same* allocation (two refcounts, one string), not two
+        // copies — this is what halves the dictionary's string memory.
+        let mut d = Dictionary::new();
+        let code = d.intern("a-reasonably-long-node-name");
+        let (key, _) = d
+            .by_name
+            .get_key_value("a-reasonably-long-node-name")
+            .unwrap();
+        let stored = &d.by_code[code as usize];
+        assert!(
+            Arc::ptr_eq(key, stored),
+            "map key and code entry must share one allocation"
         );
+        assert_eq!(Arc::strong_count(stored), 2);
+    }
+
+    #[test]
+    fn shared_dictionary_interns_and_filters_by_epoch_length() {
+        let shared = SharedDictionary::default();
+        assert_eq!(shared.intern("a"), 0);
+        assert_eq!(shared.intern("b"), 1);
+        assert_eq!(shared.intern("a"), 0, "re-intern keeps the code");
+        // An epoch frozen at length 1 must not see code 1 by name or code.
+        assert_eq!(shared.lookup("a", 1), Some(0));
+        assert_eq!(shared.lookup("b", 1), None);
+        assert_eq!(shared.lookup("b", 2), Some(1));
+        let old = shared.freeze(1);
+        let new = shared.freeze(2);
+        assert_eq!(old.name(0), Some("a"));
+        assert_eq!(old.name(1), None);
+        assert_eq!(new.name(1), Some("b"));
+    }
+
+    #[test]
+    fn frozen_views_survive_later_growth_across_segment_seals() {
+        let shared = SharedDictionary::default();
+        for i in 0..(SEG as u32 / 2) {
+            shared.intern(&format!("n{i}"));
+        }
+        let view = shared.freeze(shared.len() as u32);
+        // Grow far past several segment boundaries after the freeze.
+        for i in (SEG as u32 / 2)..(3 * SEG as u32 + 7) {
+            shared.intern(&format!("n{i}"));
+        }
+        assert_eq!(view.len(), SEG / 2);
+        for (code, name) in view.iter() {
+            assert_eq!(name, format!("n{code}"));
+        }
+        assert_eq!(view.name(SEG as u32 / 2), None);
+        let full = shared.freeze(shared.len() as u32);
+        assert_eq!(full.len(), 3 * SEG + 7);
+        assert_eq!(full.name(3 * SEG as u32), Some("n768"));
+    }
+
+    #[test]
+    fn shared_store_also_shares_allocations_with_its_map() {
+        let shared = SharedDictionary::default();
+        shared.intern("solo");
+        let inner = shared.inner.read().unwrap();
+        let (key, _) = inner.by_name.get_key_value("solo").unwrap();
+        assert!(Arc::ptr_eq(key, &inner.tail[0]));
+    }
+
+    #[test]
+    fn from_dictionary_preserves_codes_and_allocations() {
+        let mut d = Dictionary::new();
+        for i in 0..(SEG as u32 + 3) {
+            d.intern(&format!("x{i}"));
+        }
+        let keep = Arc::clone(&d.by_code[0]);
+        let shared = SharedDictionary::from_dictionary(d);
+        assert_eq!(shared.len(), SEG + 3);
+        assert_eq!(shared.lookup("x0", 1), Some(0));
+        let view = shared.freeze(shared.len() as u32);
+        assert_eq!(view.name(0), Some("x0"));
+        assert_eq!(view.name(SEG as u32), Some(&*format!("x{SEG}")));
+        // The adopted store reuses the builder's allocations.
+        assert!(Arc::strong_count(&keep) >= 2);
     }
 }

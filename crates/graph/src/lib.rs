@@ -9,16 +9,24 @@
 //! interned into dense integer identifiers ([`NodeId`], [`LabelId`]) so that
 //! the rest of the system can operate on compact numeric keys.
 //!
-//! The central type is [`Graph`], an immutable snapshot with:
+//! The central type is [`Graph`], an immutable **epoch** over structurally
+//! shared storage:
 //!
-//! * per-label edge lists sorted by `(source, target)`,
-//! * compressed-sparse-row adjacency in both directions (so that backwards
-//!   navigation `ℓ⁻` is as cheap as forwards navigation `ℓ`),
-//! * dictionaries mapping external node/label names to ids and back.
+//! * per-label edge relations (and their converses, so backwards navigation
+//!   `ℓ⁻` is as cheap as forwards `ℓ`) held as bounded immutable chunks
+//!   behind `Arc`s ([`runs`]), with min/max fences for chunk skipping;
+//! * an append-only shared vocabulary ([`dict`]) — each epoch resolves names
+//!   lock-free through a frozen prefix view while a writer interns new
+//!   nodes and labels live.
+//!
+//! Cloning a graph is a handful of refcount bumps, and
+//! [`Graph::commit_batch`] publishes the next epoch in O(Δ): only chunks
+//! containing a changed pair are rebuilt, everything else is re-shared.
 //!
 //! Graphs are constructed through [`GraphBuilder`], loaded from simple
-//! whitespace-separated edge-list files via [`loader`], or generated
-//! synthetically by the `pathix-datagen` crate.
+//! whitespace-separated edge-list files via [`loader`], generated
+//! synthetically by the `pathix-datagen` crate, or grown from
+//! [`Graph::empty`] purely through update batches (streaming ingest).
 //!
 //! ```
 //! use pathix_graph::{GraphBuilder, SignedLabel};
@@ -32,22 +40,22 @@
 //! assert_eq!(g.edge_count(), 2);
 //! let knows = g.label_id("knows").unwrap();
 //! let ada = g.node_id("ada").unwrap();
-//! let out: Vec<_> = g.neighbors(ada, SignedLabel::forward(knows)).to_vec();
+//! let out: Vec<_> = g.neighbors(ada, SignedLabel::forward(knows)).collect();
 //! assert_eq!(out.len(), 1);
 //! ```
 
 pub mod builder;
-pub mod csr;
 pub mod dict;
 pub mod graph;
 pub mod ids;
 pub mod loader;
+pub mod runs;
 pub mod snapshot;
 
 pub use builder::GraphBuilder;
-pub use csr::Csr;
-pub use dict::Dictionary;
-pub use graph::Graph;
+pub use dict::{DictView, Dictionary, SharedDictionary, Vocabulary};
+pub use graph::{EdgeOp, Graph, VocabBatch};
 pub use ids::{Direction, LabelId, NodeId, SignedLabel};
 pub use loader::{load_edge_list, load_edge_list_str, LoadError};
+pub use runs::GraphPublishStats;
 pub use snapshot::GraphSnapshot;

@@ -84,7 +84,7 @@ pub fn to_edge_list_string(graph: &Graph) -> String {
     let mut out = String::new();
     for label in graph.labels() {
         let label_name = graph.label_name(label).unwrap_or("?");
-        for &(s, t) in graph.edges(label) {
+        for (s, t) in graph.edges(label) {
             let sn = graph.node_name(s).unwrap_or("?");
             let tn = graph.node_name(t).unwrap_or("?");
             out.push_str(sn);
@@ -148,8 +148,7 @@ mod tests {
             let l2 = g2.label_id(name).unwrap();
             let mut pairs1: Vec<(String, String)> = g
                 .edges(label)
-                .iter()
-                .map(|&(s, t)| {
+                .map(|(s, t)| {
                     (
                         g.node_name(s).unwrap().to_owned(),
                         g.node_name(t).unwrap().to_owned(),
@@ -158,8 +157,7 @@ mod tests {
                 .collect();
             let mut pairs2: Vec<(String, String)> = g2
                 .edges(l2)
-                .iter()
-                .map(|&(s, t)| {
+                .map(|(s, t)| {
                     (
                         g2.node_name(s).unwrap().to_owned(),
                         g2.node_name(t).unwrap().to_owned(),

@@ -1,0 +1,436 @@
+//! Chunked, structurally-shared edge storage — the adjacency representation
+//! behind [`crate::Graph`].
+//!
+//! Each label stores its edge relation (and its converse) as a sequence of
+//! bounded, immutable **chunks** of `(first, second)` pairs held behind
+//! `Arc`s, the same shape the shared k-path index uses for its per-path runs:
+//!
+//! ```text
+//! run   : [Arc<chunk>, Arc<chunk>, …]          (ascending, disjoint)
+//! chunk : sorted Vec<(first, second)>, ≤ CHUNK_MAX pairs
+//! ```
+//!
+//! Applying a batch of edge mutations (`EdgeRun::apply`) rebuilds only the
+//! chunks that contain a changed pair and re-shares every other chunk by
+//! bumping its refcount, so a graph publish costs **O(Δ · chunk)** instead of
+//! O(V + E). Old graph snapshots keep their `Arc`s untouched, which is what
+//! makes every published epoch fully isolated for free.
+
+use crate::ids::NodeId;
+use pathix_audit::AuditReport;
+use std::sync::Arc;
+
+/// Preferred number of pairs per chunk: rebuilt chunk groups are re-cut to
+/// this size. Smaller chunks shrink the publish ceiling (Δ scattered pairs
+/// rebuild at most Δ chunks of this size) at the price of more `Arc` bumps
+/// per re-shared run; 256 pairs ≈ 2 KiB keeps both cheap.
+pub(crate) const CHUNK_TARGET: usize = 256;
+
+/// A chunk never exceeds this many pairs; larger merge results are split.
+pub(crate) const CHUNK_MAX: usize = 2 * CHUNK_TARGET;
+
+/// A rebuilt region smaller than this absorbs its untouched right neighbor
+/// instead of being emitted as its own chunk, so delete-heavy churn cannot
+/// fragment a run into ever-tinier chunks.
+pub(crate) const CHUNK_MIN: usize = CHUNK_TARGET / 2;
+
+/// A sorted pair inside a run: `(source, target)` for forward adjacency,
+/// `(target, source)` for the converse.
+pub(crate) type Pair = (NodeId, NodeId);
+
+/// One immutable, sorted slice of an edge relation.
+pub(crate) type Chunk = Vec<Pair>;
+
+/// What one graph publish reused versus rebuilt — the observable evidence
+/// that the publish was proportional to the touched neighborhood, not the
+/// graph.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct GraphPublishStats {
+    /// Labels whose adjacency was taken over wholesale (`Arc` bumps only).
+    pub labels_shared: usize,
+    /// Labels with at least one rebuilt chunk.
+    pub labels_rebuilt: usize,
+    /// Chunks re-shared from the previous epoch.
+    pub chunks_shared: usize,
+    /// Chunks rebuilt because a pair inside them changed.
+    pub chunks_rebuilt: usize,
+}
+
+/// One direction of one label's edge relation: bounded chunks in ascending
+/// pair order, plus per-chunk `(min, max)` pair fences for chunk skipping.
+/// Both the chunk list and the fence list live behind `Arc`s so an untouched
+/// run is re-shared across epochs with two refcount bumps.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct EdgeRun {
+    pub(crate) chunks: Arc<Vec<Arc<Chunk>>>,
+    /// `(first pair, last pair)` per chunk, parallel to the chunk list.
+    pub(crate) fences: Arc<Vec<(Pair, Pair)>>,
+    pub(crate) len: usize,
+}
+
+impl EdgeRun {
+    /// Builds a run from pairs already sorted ascending and deduplicated.
+    pub(crate) fn from_sorted(pairs: Vec<Pair>) -> EdgeRun {
+        debug_assert!(pairs.windows(2).all(|w| w[0] < w[1]), "unsorted run input");
+        Self::from_chunks(cut_chunks(pairs))
+    }
+
+    /// Builds a run over `chunks`, recomputing fences and the pair total.
+    ///
+    /// Chunks are never empty by construction; should a corrupt empty chunk
+    /// appear anyway, its fence is simply omitted (leaving `fences` shorter
+    /// than the chunk list), which the structural audit reports instead of
+    /// panicking mid-publish.
+    fn from_chunks(chunks: Vec<Arc<Chunk>>) -> EdgeRun {
+        let fences = chunks
+            .iter()
+            .filter_map(|c| Some((*c.first()?, *c.last()?)))
+            .collect();
+        let len = chunks.iter().map(|c| c.len()).sum();
+        EdgeRun {
+            chunks: Arc::new(chunks),
+            fences: Arc::new(fences),
+            len,
+        }
+    }
+
+    /// Number of pairs stored.
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// All pairs in ascending order.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = Pair> + '_ {
+        self.chunks.iter().flat_map(|c| c.iter().copied())
+    }
+
+    /// `true` if `pair` is stored. Fences narrow the probe to at most one
+    /// chunk without touching pair data.
+    pub(crate) fn contains(&self, pair: Pair) -> bool {
+        let i = self.fences.partition_point(|&(_, max)| max < pair);
+        self.chunks
+            .get(i)
+            .is_some_and(|chunk| chunk.binary_search(&pair).is_ok())
+    }
+
+    /// The second components of every pair whose first component is `first`,
+    /// in ascending order — forward or backward neighbors, depending on which
+    /// run this is. Fences skip every chunk that cannot contain `first`.
+    pub(crate) fn seconds_for(&self, first: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        let (start, stop) = self.covering_chunks(first);
+        self.chunks[start..stop].iter().flat_map(move |chunk| {
+            let lo = chunk.partition_point(|&(a, _)| a < first);
+            chunk[lo..]
+                .iter()
+                .take_while(move |&&(a, _)| a == first)
+                .map(|&(_, b)| b)
+        })
+    }
+
+    /// Number of pairs whose first component is `first` (a degree count),
+    /// via partition points only.
+    pub(crate) fn count_first(&self, first: NodeId) -> usize {
+        let (start, stop) = self.covering_chunks(first);
+        self.chunks[start..stop]
+            .iter()
+            .map(|chunk| {
+                chunk.partition_point(|&(a, _)| a <= first)
+                    - chunk.partition_point(|&(a, _)| a < first)
+            })
+            .sum()
+    }
+
+    /// The chunk range whose fences admit pairs starting with `first` (both
+    /// fence bounds are non-decreasing across the run).
+    fn covering_chunks(&self, first: NodeId) -> (usize, usize) {
+        let start = self.fences.partition_point(|&(_, (max, _))| max < first);
+        let stop = start + self.fences[start..].partition_point(|&((min, _), _)| min <= first);
+        (start.min(self.chunks.len()), stop.min(self.chunks.len()))
+    }
+
+    /// Applies net pair changes (`true` = insert, `false` = remove; sorted by
+    /// pair, each a real transition relative to this run) and returns the next
+    /// epoch's run. Untouched chunks are re-shared; touched ones are merged
+    /// with their changes and re-cut, with undersized rebuilt regions
+    /// coalescing into their right neighbor.
+    pub(crate) fn apply(&self, ops: &[(Pair, bool)], stats: &mut GraphPublishStats) -> EdgeRun {
+        let prev = self.chunks.as_slice();
+        let mut out: Vec<Arc<Chunk>> = Vec::with_capacity(prev.len() + 1);
+        let mut pending: Vec<Pair> = Vec::new();
+        let mut oi = 0usize;
+        for (ci, chunk) in prev.iter().enumerate() {
+            // Pairs strictly below the next chunk's first pair belong to this
+            // chunk (the first chunk also takes everything below it).
+            let upper = prev.get(ci + 1).and_then(|c| c.first()).copied();
+            let start = oi;
+            while oi < ops.len() && upper.is_none_or(|u| ops[oi].0 < u) {
+                oi += 1;
+            }
+            let my_ops = &ops[start..oi];
+            if my_ops.is_empty() {
+                if pending.is_empty() || pending.len() >= CHUNK_MIN {
+                    flush_pending(&mut pending, &mut out);
+                    out.push(Arc::clone(chunk));
+                    stats.chunks_shared += 1;
+                } else {
+                    // The rebuilt region to our left came out undersized:
+                    // coalesce this neighbor into it rather than emitting a
+                    // sliver.
+                    pending.extend_from_slice(chunk);
+                    stats.chunks_rebuilt += 1;
+                }
+                continue;
+            }
+            merge_chunk(chunk, my_ops, &mut pending);
+            stats.chunks_rebuilt += 1;
+            emit_full_chunks(&mut pending, &mut out);
+        }
+        // A previously-empty run takes all its ops here.
+        if prev.is_empty() {
+            for &(pair, insert) in ops {
+                debug_assert!(insert, "removal from an empty run");
+                if insert {
+                    pending.push(pair);
+                }
+            }
+        }
+        flush_pending(&mut pending, &mut out);
+        EdgeRun::from_chunks(out)
+    }
+
+    /// Audits this run's chunk/fence invariants under `loc` — the checks the
+    /// scan, probe and publish paths silently rely on.
+    pub(crate) fn audit(&self, loc: &str, report: &mut AuditReport) {
+        report.check(
+            "fence-parallel",
+            loc,
+            self.fences.len() == self.chunks.len(),
+            || {
+                format!(
+                    "{} fences for {} chunks",
+                    self.fences.len(),
+                    self.chunks.len()
+                )
+            },
+        );
+        let mut entries = 0usize;
+        let mut prev_last: Option<Pair> = None;
+        for (ci, chunk) in self.chunks.iter().enumerate() {
+            let cloc = format!("{loc} chunk {ci}");
+            report.check("chunk-nonempty", &cloc, !chunk.is_empty(), || {
+                "empty chunk stored in run".to_string()
+            });
+            report.check("chunk-size-max", &cloc, chunk.len() <= CHUNK_MAX, || {
+                format!(
+                    "{} pairs exceed the CHUNK_MAX bound of {CHUNK_MAX}",
+                    chunk.len()
+                )
+            });
+            if ci + 1 < self.chunks.len() {
+                report.check("chunk-coalesced", &cloc, chunk.len() >= CHUNK_MIN, || {
+                    format!(
+                        "non-final chunk of {} pairs is below the CHUNK_MIN coalescing \
+                         bound of {CHUNK_MIN}",
+                        chunk.len()
+                    )
+                });
+            }
+            report.check(
+                "chunk-sorted",
+                &cloc,
+                chunk.windows(2).all(|w| w[0] < w[1]),
+                || "pairs are not strictly ascending".to_string(),
+            );
+            if let (Some(prev), Some(&first)) = (prev_last, chunk.first()) {
+                report.check("chunk-disjoint", &cloc, prev < first, || {
+                    format!("first pair {first:?} does not follow previous chunk's {prev:?}")
+                });
+            }
+            prev_last = chunk.last().copied();
+            if let (Some(&fence), Some(&first), Some(&last)) =
+                (self.fences.get(ci), chunk.first(), chunk.last())
+            {
+                report.check("fence-tight", &cloc, fence == (first, last), || {
+                    format!(
+                        "fence {fence:?} but true pair bounds are {:?}",
+                        (first, last)
+                    )
+                });
+            }
+            entries += chunk.len();
+        }
+        report.check("run-count", loc, entries == self.len, || {
+            format!(
+                "chunks hold {entries} pairs but the run claims {}",
+                self.len
+            )
+        });
+    }
+}
+
+/// Cuts a sorted pair list into chunks of at most [`CHUNK_MAX`] (re-cut at
+/// [`CHUNK_TARGET`] so freshly built chunks leave headroom).
+fn cut_chunks(pairs: Vec<Pair>) -> Vec<Arc<Chunk>> {
+    if pairs.len() <= CHUNK_MAX {
+        return if pairs.is_empty() {
+            Vec::new()
+        } else {
+            vec![Arc::new(pairs)]
+        };
+    }
+    pairs
+        .chunks(CHUNK_TARGET)
+        .map(|c| Arc::new(c.to_vec()))
+        .collect()
+}
+
+/// Emits target-sized chunks while `pending` is at or over [`CHUNK_MAX`] —
+/// the single size invariant every emitted chunk obeys.
+fn emit_full_chunks(pending: &mut Vec<Pair>, out: &mut Vec<Arc<Chunk>>) {
+    while pending.len() >= CHUNK_MAX {
+        let rest = pending.split_off(CHUNK_TARGET);
+        out.push(Arc::new(std::mem::replace(pending, rest)));
+    }
+}
+
+/// Emits all of `pending` as chunks (target-sized while full, then the rest).
+fn flush_pending(pending: &mut Vec<Pair>, out: &mut Vec<Arc<Chunk>>) {
+    emit_full_chunks(pending, out);
+    if !pending.is_empty() {
+        out.push(Arc::new(std::mem::take(pending)));
+    }
+}
+
+/// Merges one chunk's pairs with its sorted net changes into `pending`.
+fn merge_chunk(chunk: &[Pair], ops: &[(Pair, bool)], pending: &mut Vec<Pair>) {
+    let mut pi = 0usize;
+    for &(pair, insert) in ops {
+        while pi < chunk.len() && chunk[pi] < pair {
+            pending.push(chunk[pi]);
+            pi += 1;
+        }
+        let present = pi < chunk.len() && chunk[pi] == pair;
+        if insert {
+            debug_assert!(!present, "inserted pair {pair:?} already present");
+            pending.push(pair);
+        } else {
+            debug_assert!(present, "removed pair {pair:?} not present");
+        }
+        if present {
+            pi += 1;
+        }
+    }
+    pending.extend_from_slice(&chunk[pi..]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pairs_of(run: &EdgeRun) -> Vec<Pair> {
+        run.iter().collect()
+    }
+
+    fn chain(n: u32) -> Vec<Pair> {
+        (0..n).map(|i| (NodeId(i), NodeId(i + 1))).collect()
+    }
+
+    #[test]
+    fn from_sorted_roundtrips_and_cuts_chunks() {
+        let pairs = chain(3 * CHUNK_MAX as u32);
+        let run = EdgeRun::from_sorted(pairs.clone());
+        assert_eq!(run.len(), pairs.len());
+        assert_eq!(pairs_of(&run), pairs);
+        assert!(run.chunks.len() > 1, "a long run must span several chunks");
+        assert!(run.chunks.iter().all(|c| c.len() <= CHUNK_MAX));
+    }
+
+    #[test]
+    fn contains_and_seconds_use_fences() {
+        let run = EdgeRun::from_sorted(chain(4 * CHUNK_MAX as u32));
+        assert!(run.contains((NodeId(0), NodeId(1))));
+        assert!(!run.contains((NodeId(0), NodeId(2))));
+        let mid = 2 * CHUNK_MAX as u32;
+        assert_eq!(
+            run.seconds_for(NodeId(mid)).collect::<Vec<_>>(),
+            vec![NodeId(mid + 1)]
+        );
+        assert_eq!(run.count_first(NodeId(mid)), 1);
+        assert_eq!(run.count_first(NodeId(u32::MAX)), 0);
+    }
+
+    #[test]
+    fn apply_shares_untouched_chunks() {
+        let run = EdgeRun::from_sorted(chain(4 * CHUNK_MAX as u32));
+        let mut stats = GraphPublishStats::default();
+        // Touch one pair near the front: every later chunk must be the same
+        // allocation in the next epoch.
+        let next = run.apply(&[((NodeId(0), NodeId(7)), true)], &mut stats);
+        assert_eq!(next.len(), run.len() + 1);
+        assert!(stats.chunks_rebuilt >= 1);
+        assert!(stats.chunks_shared >= run.chunks.len() - 2);
+        let shared = next
+            .chunks
+            .iter()
+            .filter(|c| run.chunks.iter().any(|o| Arc::ptr_eq(o, c)))
+            .count();
+        assert!(shared >= run.chunks.len() - 2, "chunks were not re-shared");
+    }
+
+    #[test]
+    fn apply_matches_a_sorted_rebuild_under_churn() {
+        let mut reference: Vec<Pair> = chain(3 * CHUNK_MAX as u32);
+        let mut run = EdgeRun::from_sorted(reference.clone());
+        for round in 0..4u32 {
+            let mut ops: Vec<(Pair, bool)> = Vec::new();
+            for i in (round..3 * CHUNK_MAX as u32).step_by(5) {
+                let pair = (NodeId(i), NodeId(i + 1));
+                let present = reference.binary_search(&pair).is_ok();
+                ops.push((pair, !present));
+                if present {
+                    reference.retain(|&p| p != pair);
+                } else {
+                    let at = reference.partition_point(|&p| p < pair);
+                    reference.insert(at, pair);
+                }
+            }
+            ops.sort_unstable_by_key(|&(p, _)| p);
+            let mut stats = GraphPublishStats::default();
+            run = run.apply(&ops, &mut stats);
+            assert_eq!(pairs_of(&run), reference, "round {round}");
+            assert!(stats.chunks_rebuilt > 0, "round {round}");
+        }
+    }
+
+    #[test]
+    fn delete_heavy_churn_does_not_fragment() {
+        let n = 8 * CHUNK_MAX as u32;
+        let mut run = EdgeRun::from_sorted(chain(n));
+        for offset in 0..15u32 {
+            let ops: Vec<(Pair, bool)> = (offset..n)
+                .step_by(16)
+                .map(|i| ((NodeId(i), NodeId(i + 1)), false))
+                .collect();
+            let mut stats = GraphPublishStats::default();
+            run = run.apply(&ops, &mut stats);
+        }
+        let live = run.len();
+        assert_eq!(live, n as usize / 16);
+        assert!(
+            run.chunks.len() <= live / CHUNK_MIN + 2,
+            "run stayed fragmented: {} chunks for {live} live pairs",
+            run.chunks.len()
+        );
+    }
+
+    #[test]
+    fn audit_is_clean_on_built_and_churned_runs() {
+        let mut run = EdgeRun::from_sorted(chain(3 * CHUNK_MAX as u32));
+        let mut report = AuditReport::new();
+        run.audit("fresh", &mut report);
+        let mut stats = GraphPublishStats::default();
+        run = run.apply(&[((NodeId(1), NodeId(9)), true)], &mut stats);
+        run.audit("churned", &mut report);
+        assert!(report.is_clean(), "{:?}", report.violations());
+    }
+}

@@ -2,8 +2,8 @@
 //!
 //! [`GraphSnapshot`] is a plain-old-data mirror of [`Graph`] that can be
 //! serialized with any hand-rolled format (the bench harness writes JSON for
-//! small reports). The CSR structures are rebuilt on restore rather than
-//! stored.
+//! small reports). The chunked adjacency runs are rebuilt on restore rather
+//! than stored.
 
 use crate::builder::GraphBuilder;
 use crate::graph::Graph;
@@ -40,7 +40,7 @@ impl GraphSnapshot {
             .collect();
         let mut edges = Vec::with_capacity(graph.edge_count());
         for label in graph.labels() {
-            for &(s, t) in graph.edges(label) {
+            for (s, t) in graph.edges(label) {
                 edges.push((label.0, s.0, t.0));
             }
         }
@@ -51,7 +51,8 @@ impl GraphSnapshot {
         }
     }
 
-    /// Rebuilds a [`Graph`] from this snapshot, re-deriving CSR adjacency.
+    /// Rebuilds a [`Graph`] from this snapshot, re-deriving the chunked
+    /// adjacency runs.
     pub fn into_graph(self) -> Graph {
         let mut builder = GraphBuilder::with_capacity(self.edges.len());
         // Intern names in id order so ids are preserved exactly.

@@ -65,7 +65,7 @@ pub fn enumerate_paths(graph: &Graph, k: usize) -> Vec<PathRelation> {
                 }
                 let mut pairs: Vec<(NodeId, NodeId)> = Vec::new();
                 for &(a, b) in &base.pairs {
-                    for &c in graph.neighbors(b, sl) {
+                    for c in graph.neighbors(b, sl) {
                         pairs.push((a, c));
                     }
                 }
@@ -107,7 +107,7 @@ pub fn naive_path_eval(graph: &Graph, path: &[SignedLabel]) -> Vec<(NodeId, Node
     for &sl in &path[1..] {
         let mut next: Vec<(NodeId, NodeId)> = Vec::new();
         for &(a, b) in &pairs {
-            for &c in graph.neighbors(b, sl) {
+            for c in graph.neighbors(b, sl) {
                 next.push((a, c));
             }
         }

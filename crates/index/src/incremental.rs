@@ -35,15 +35,17 @@ use crate::pathkey::{
 };
 use crate::KPathIndex;
 use pathix_audit::{AuditReport, StructuralAudit};
-use pathix_graph::{Graph, LabelId, NodeId, SignedLabel};
+use pathix_graph::{EdgeOp, Graph, LabelId, NodeId, SignedLabel};
 use pathix_rpq::ast::inverse_path;
 use pathix_storage::BPlusTree;
 use std::cmp::Ordering;
 use std::collections::HashMap;
 use std::time::Instant;
 
-/// An edge update applied to an [`IncrementalKPathIndex`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// An edge update applied to an [`IncrementalKPathIndex`] (id variants) or to
+/// a `PathDb` (all variants; the named forms intern unseen vocabulary on the
+/// fly before reaching the index).
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum GraphUpdate {
     /// Insert the edge `src --label--> dst` (no-op if already present).
     InsertEdge {
@@ -63,6 +65,85 @@ pub enum GraphUpdate {
         /// Target node.
         dst: NodeId,
     },
+    /// Insert an edge by external names, interning any unseen node or label
+    /// name into the database's live vocabulary (streaming ingest). The
+    /// incremental index itself cannot resolve names — `PathDb::apply` lowers
+    /// this to an id-based insertion first.
+    InsertEdgeNamed {
+        /// Source node name.
+        src: String,
+        /// Edge label name.
+        label: String,
+        /// Target node name.
+        dst: String,
+    },
+    /// Delete an edge by external names. Unknown names make this a no-op
+    /// (nothing is interned: a deletion cannot create vocabulary).
+    DeleteEdgeNamed {
+        /// Source node name.
+        src: String,
+        /// Edge label name.
+        label: String,
+        /// Target node name.
+        dst: String,
+    },
+}
+
+impl GraphUpdate {
+    /// Shorthand for an id-based insertion.
+    pub fn insert(src: NodeId, label: LabelId, dst: NodeId) -> Self {
+        GraphUpdate::InsertEdge { src, label, dst }
+    }
+
+    /// Shorthand for an id-based deletion.
+    pub fn delete(src: NodeId, label: LabelId, dst: NodeId) -> Self {
+        GraphUpdate::DeleteEdge { src, label, dst }
+    }
+
+    /// Shorthand for a name-based insertion.
+    pub fn insert_named(
+        src: impl Into<String>,
+        label: impl Into<String>,
+        dst: impl Into<String>,
+    ) -> Self {
+        GraphUpdate::InsertEdgeNamed {
+            src: src.into(),
+            label: label.into(),
+            dst: dst.into(),
+        }
+    }
+
+    /// Shorthand for a name-based deletion.
+    pub fn delete_named(
+        src: impl Into<String>,
+        label: impl Into<String>,
+        dst: impl Into<String>,
+    ) -> Self {
+        GraphUpdate::DeleteEdgeNamed {
+            src: src.into(),
+            label: label.into(),
+            dst: dst.into(),
+        }
+    }
+
+    /// The already-resolved edge operation, or `None` for the named variants
+    /// (which need a vocabulary to resolve against).
+    pub fn as_op(&self) -> Option<EdgeOp> {
+        match *self {
+            GraphUpdate::InsertEdge { src, label, dst } => Some(EdgeOp::insert(src, label, dst)),
+            GraphUpdate::DeleteEdge { src, label, dst } => Some(EdgeOp::delete(src, label, dst)),
+            GraphUpdate::InsertEdgeNamed { .. } | GraphUpdate::DeleteEdgeNamed { .. } => None,
+        }
+    }
+
+    /// Lifts a resolved edge operation back into an id-based update.
+    pub fn from_op(op: EdgeOp) -> Self {
+        if op.insert {
+            GraphUpdate::insert(op.src, op.label, op.dst)
+        } else {
+            GraphUpdate::delete(op.src, op.label, op.dst)
+        }
+    }
 }
 
 /// Dynamic adjacency over set-semantics labeled edges.
@@ -128,7 +209,7 @@ impl DynAdjacency {
     fn from_graph(graph: &Graph) -> Self {
         let mut adj = DynAdjacency::default();
         for label in graph.labels() {
-            for &(src, dst) in graph.edges(label) {
+            for (src, dst) in graph.edges(label) {
                 adj.insert(src, label, dst);
             }
         }
@@ -230,7 +311,7 @@ impl IncrementalKPathIndex {
         let mut index = Self::new(k);
         index.node_count = graph.node_count();
         for label in graph.labels() {
-            for &(src, dst) in graph.edges(label) {
+            for (src, dst) in graph.edges(label) {
                 index.insert_edge(src, label, dst);
             }
         }
@@ -404,6 +485,10 @@ impl IncrementalKPathIndex {
             GraphUpdate::DeleteEdge { src, label, dst } => {
                 self.delete_edge_inner(src, label, dst, log)
             }
+            GraphUpdate::InsertEdgeNamed { .. } | GraphUpdate::DeleteEdgeNamed { .. } => panic!(
+                "named graph updates must be resolved against a vocabulary before \
+                 reaching the incremental index"
+            ),
         }
     }
 
@@ -692,7 +777,7 @@ fn enumerate_counted_paths(graph: &Graph, k: usize) -> Vec<CountedRelation> {
                 }
                 let mut counted: HashMap<(NodeId, NodeId), u64> = HashMap::new();
                 for &((a, b), walks) in pairs {
-                    for &c in graph.neighbors(b, sl) {
+                    for c in graph.neighbors(b, sl) {
                         *counted.entry((a, c)).or_insert(0) += walks;
                     }
                 }
@@ -1051,7 +1136,7 @@ mod tests {
         let mut index = IncrementalKPathIndex::from_graph(&g, 2);
         let mut edges: BTreeSet<Edge> = g
             .labels()
-            .flat_map(|l| g.edges(l).iter().map(move |&(s, d)| (s, l, d)))
+            .flat_map(|l| g.edges(l).map(move |(s, d)| (s, l, d)))
             .collect();
         let labels = g.label_count() as u16;
         let script: Vec<Edge> = edges.iter().copied().step_by(3).collect();
@@ -1067,7 +1152,7 @@ mod tests {
         let g = paper_example_graph();
         let mut index = IncrementalKPathIndex::from_graph(&g, 3);
         for label in g.labels() {
-            for &(src, dst) in g.edges(label) {
+            for (src, dst) in g.edges(label) {
                 assert!(index.delete_edge(src, label, dst));
             }
         }
@@ -1180,7 +1265,7 @@ mod tests {
         let mut index = IncrementalKPathIndex::bulk_from_graph(&g, 2);
         let mut edges: BTreeSet<Edge> = g
             .labels()
-            .flat_map(|l| g.edges(l).iter().map(move |&(s, d)| (s, l, d)))
+            .flat_map(|l| g.edges(l).map(move |(s, d)| (s, l, d)))
             .collect();
         let labels = g.label_count() as u16;
         let removed: Vec<Edge> = edges.iter().copied().step_by(2).collect();
@@ -1326,7 +1411,7 @@ mod tests {
 
         let mut rng_edges: Vec<Edge> = g
             .labels()
-            .flat_map(|l| g.edges(l).iter().map(move |&(s, d)| (s, l, d)))
+            .flat_map(|l| g.edges(l).map(move |(s, d)| (s, l, d)))
             .collect();
         rng_edges.truncate(6);
         let mut log = EntryDeltas::new();
@@ -1422,15 +1507,16 @@ mod tests {
                 let mut edges: BTreeSet<Edge> = BTreeSet::new();
                 for _ in 0..rng.gen_range(1..40usize) {
                     let update = random_update(&mut rng);
-                    let changed = index.apply(update);
-                    let expected_change = match update {
+                    let expected_change = match &update {
                         GraphUpdate::InsertEdge { src, label, dst } => {
-                            edges.insert((src, label, dst))
+                            edges.insert((*src, *label, *dst))
                         }
                         GraphUpdate::DeleteEdge { src, label, dst } => {
-                            edges.remove(&(src, label, dst))
+                            edges.remove(&(*src, *label, *dst))
                         }
+                        other => unreachable!("random_update yields id variants, got {other:?}"),
                     };
+                    let changed = index.apply(update);
                     assert_eq!(changed, expected_change, "case {case}");
                 }
                 for path in all_paths(2, k) {

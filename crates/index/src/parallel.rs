@@ -70,7 +70,7 @@ fn enumerate_from_seeds(graph: &Graph, k: usize, seeds: &[SignedLabel]) -> Vec<P
             for sl in graph.signed_labels() {
                 let mut pairs: Vec<(NodeId, NodeId)> = Vec::new();
                 for &(a, b) in &base.pairs {
-                    for &c in graph.neighbors(b, sl) {
+                    for c in graph.neighbors(b, sl) {
                         pairs.push((a, c));
                     }
                 }

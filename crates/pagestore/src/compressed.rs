@@ -840,11 +840,13 @@ mod tests {
         let mut deltas = EntryDeltas::new();
         let mut inserted = 0;
         let mut deleted = 0;
-        for &update in updates {
-            if oracle.apply_logged(update, &mut deltas) {
-                match update {
-                    GraphUpdate::InsertEdge { .. } => inserted += 1,
-                    GraphUpdate::DeleteEdge { .. } => deleted += 1,
+        for update in updates {
+            let is_insert = matches!(update, GraphUpdate::InsertEdge { .. });
+            if oracle.apply_logged(update.clone(), &mut deltas) {
+                if is_insert {
+                    inserted += 1;
+                } else {
+                    deleted += 1;
                 }
             }
         }
@@ -953,7 +955,7 @@ mod tests {
         let blocks_with_path = store.blocks.len();
         let deletions: Vec<GraphUpdate> = g
             .labels()
-            .flat_map(|l| g.edges(l).iter().map(move |&(s, d)| (s, l, d)))
+            .flat_map(|l| g.edges(l).map(move |(s, d)| (s, l, d)))
             .map(|(src, label, dst)| GraphUpdate::DeleteEdge { src, label, dst })
             .chain(std::iter::once(GraphUpdate::DeleteEdge {
                 src: sue,

@@ -495,7 +495,7 @@ mod tests {
         // Delete a third of the edges, then re-insert them plus a new one.
         let edges: Vec<_> = g
             .labels()
-            .flat_map(|l| g.edges(l).iter().map(move |&(s, d)| (s, l, d)))
+            .flat_map(|l| g.edges(l).map(move |(s, d)| (s, l, d)))
             .step_by(3)
             .collect();
         let mut updates: Vec<GraphUpdate> = edges
@@ -519,11 +519,13 @@ mod tests {
         let mut deltas = EntryDeltas::new();
         let mut inserted = 0;
         let mut deleted = 0;
-        for &update in &updates {
-            if oracle.apply_logged(update, &mut deltas) {
-                match update {
-                    GraphUpdate::InsertEdge { .. } => inserted += 1,
-                    GraphUpdate::DeleteEdge { .. } => deleted += 1,
+        for update in &updates {
+            let is_insert = matches!(update, GraphUpdate::InsertEdge { .. });
+            if oracle.apply_logged(update.clone(), &mut deltas) {
+                if is_insert {
+                    inserted += 1;
+                } else {
+                    deleted += 1;
                 }
             }
         }

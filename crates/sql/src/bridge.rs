@@ -36,7 +36,7 @@ pub fn edge_table(graph: &Graph) -> Table {
     let mut t = Table::new("edge", Schema::new(vec!["label", "src", "dst"]));
     for label in graph.labels() {
         let name = graph.label_name(label).unwrap_or("unknown").to_owned();
-        for &(s, d) in graph.edges(label) {
+        for (s, d) in graph.edges(label) {
             t.push(vec![name.clone().into(), s.0.into(), d.0.into()]);
         }
     }

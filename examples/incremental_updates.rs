@@ -21,7 +21,7 @@ use std::time::Instant;
 fn edge_list(graph: &Graph) -> Vec<(NodeId, LabelId, NodeId)> {
     graph
         .labels()
-        .flat_map(|l| graph.edges(l).iter().map(move |&(s, d)| (s, l, d)))
+        .flat_map(|l| graph.edges(l).map(move |(s, d)| (s, l, d)))
         .collect()
 }
 

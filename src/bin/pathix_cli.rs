@@ -51,6 +51,9 @@ enum Command {
     /// Insert a labeled edge (`\update src label dst`) through the live
     /// update path.
     Update(String),
+    /// Insert a labeled edge by name (`\add-edge src label dst`), interning
+    /// any node or label names the database has never seen.
+    AddEdge(String),
     /// Delete a labeled edge (`\delete-edge src label dst`).
     DeleteEdge(String),
     /// Evaluate a regular path query under the current strategy.
@@ -94,6 +97,7 @@ fn parse_command(line: &str) -> Command {
         ("plans", q) if !q.is_empty() => Command::Plans(q.to_owned()),
         ("compare", q) if !q.is_empty() => Command::Compare(q.to_owned()),
         ("update", e) if !e.is_empty() => Command::Update(e.to_owned()),
+        ("add-edge", e) if !e.is_empty() => Command::AddEdge(e.to_owned()),
         ("delete-edge", e) if !e.is_empty() => Command::DeleteEdge(e.to_owned()),
         _ => Command::Invalid(format!(
             "unknown or incomplete command `\\{rest}` — try \\help"
@@ -118,7 +122,8 @@ commands:
   \\explain <rpq>        show the physical plan under the current strategy
   \\plans <rpq>          show the plans of all four strategies
   \\compare <rpq>        time all strategies and the automaton/Datalog baselines
-  \\update <s> <l> <t>   insert the edge l(s, t) live (works on every backend)
+  \\update <s> <l> <t>   insert the edge l(s, t) live (existing vocabulary only)
+  \\add-edge <s> <l> <t> insert l(s, t) live, interning unseen node/label names
   \\delete-edge <s> <l> <t>  delete the edge l(s, t) live
   \\strategy <name>      set the strategy: naive | semi-naive | minSupport | minJoin
   \\k <n>                rebuild the index with locality parameter n
@@ -203,6 +208,7 @@ impl Shell {
             }
             Command::Compare(query) => self.compare(&query),
             Command::Update(edge) => self.update(&edge, true),
+            Command::AddEdge(edge) => self.add_edge(&edge),
             Command::DeleteEdge(edge) => self.update(&edge, false),
             Command::Query(query) => self.query(&query),
         }
@@ -255,6 +261,33 @@ impl Shell {
         }
     }
 
+    /// Parses `src label dst` and inserts the edge through the streaming
+    /// ingest path: node and label names the database has never seen are
+    /// interned live instead of rejected.
+    fn add_edge(&mut self, edge: &str) -> String {
+        let parts: Vec<&str> = edge.split_whitespace().collect();
+        let [src, label, dst] = parts[..] else {
+            return "usage: \\add-edge <source> <label> <target>".to_owned();
+        };
+        let before = self.db.stats();
+        match self.db.apply(&[GraphUpdate::insert_named(src, label, dst)]) {
+            Ok(stats) if stats.inserted == 0 => {
+                format!("no-op: the edge {label}({src}, {dst}) was already present")
+            }
+            Ok(stats) => {
+                let after = self.db.stats();
+                format!(
+                    "inserted {label}({src}, {dst}) — interned {} new node(s) and {} new \
+                     label(s), now at epoch {}",
+                    after.nodes - before.nodes,
+                    after.labels - before.labels,
+                    stats.epoch
+                )
+            }
+            Err(e) => format!("error: {e}"),
+        }
+    }
+
     fn stats(&self) -> String {
         let stats = self.db.stats();
         let epoch = self.db.epoch();
@@ -300,6 +333,18 @@ impl Shell {
         out.push_str(&format!(
             "\nscan      : {} chunks skipped, {} blocks skipped, {} pages read ahead",
             storage.chunks_skipped, storage.blocks_skipped, storage.read_ahead_pages
+        ));
+        // Graph adjacency sharing: what the last committed graph epoch
+        // rebuilt versus re-shared behind Arcs (all zeros on a bulk build).
+        let publish = &stats.graph_publish;
+        out.push_str(&format!(
+            "\ngraph-pub : last batch rebuilt {} labels / {} chunks, re-shared {} labels / {} \
+             chunks ({} adjacency chunks total)",
+            publish.labels_rebuilt,
+            publish.chunks_rebuilt,
+            publish.labels_shared,
+            publish.chunks_shared,
+            stats.graph_chunks
         ));
         let snapshot = self.db.snapshot();
         // The memory backend reports what its last publish shared vs rebuilt.
@@ -610,6 +655,10 @@ mod tests {
             Command::Update("kim knows sue".to_owned())
         );
         assert_eq!(
+            parse_command("\\add-edge ann likes bob"),
+            Command::AddEdge("ann likes bob".to_owned())
+        );
+        assert_eq!(
             parse_command("\\delete-edge kim supervisor liz"),
             Command::DeleteEdge("kim supervisor liz".to_owned())
         );
@@ -618,6 +667,46 @@ mod tests {
         assert!(matches!(parse_command("\\bogus"), Command::Invalid(_)));
         assert!(matches!(parse_command("\\explain"), Command::Invalid(_)));
         assert!(matches!(parse_command("\\update"), Command::Invalid(_)));
+        assert!(matches!(parse_command("\\add-edge"), Command::Invalid(_)));
+    }
+
+    #[test]
+    fn add_edge_interns_new_vocabulary_live() {
+        let mut shell = Shell::new(paper_example_graph(), 2);
+        // `\update` keeps rejecting unseen names; `\add-edge` interns them.
+        let out = shell.run(Command::Update("ann likes bob".to_owned()));
+        assert!(out.contains("unknown"), "{out}");
+        let out = shell.run(Command::AddEdge("ann likes bob".to_owned()));
+        assert!(
+            out.contains("interned 2 new node(s) and 1 new label(s)"),
+            "{out}"
+        );
+        let answers = shell.run(Command::Query("likes".to_owned()));
+        assert!(answers.contains("(ann, bob)"), "{answers}");
+
+        // Mixing existing and freshly interned vocabulary interns nothing
+        // new, and duplicate inserts are no-ops.
+        let out = shell.run(Command::AddEdge("kim likes bob".to_owned()));
+        assert!(
+            out.contains("interned 0 new node(s) and 0 new label(s)"),
+            "{out}"
+        );
+        let out = shell.run(Command::AddEdge("ann likes bob".to_owned()));
+        assert!(out.contains("no-op"), "{out}");
+        let out = shell.run(Command::AddEdge("ann likes".to_owned()));
+        assert!(out.contains("usage"), "{out}");
+
+        // Once interned, the names work through the strict id-based path
+        // too, and the audit stays clean.
+        let out = shell.run(Command::DeleteEdge("kim likes bob".to_owned()));
+        assert!(out.contains("deleted"), "{out}");
+        let out = shell.run(Command::Audit);
+        assert!(out.contains("clean"), "{out}");
+
+        // `\stats` reports what the last graph publish re-shared vs rebuilt.
+        let stats = shell.run(Command::Stats);
+        assert!(stats.contains("graph-pub : "), "{stats}");
+        assert!(!stats.contains("rebuilt 0 labels"), "{stats}");
     }
 
     #[test]

@@ -282,8 +282,7 @@ fn cursors_keep_their_snapshot_while_updates_land() {
     let knows = graph.label_id("knows").unwrap();
     let deletions: Vec<GraphUpdate> = graph
         .edges(knows)
-        .iter()
-        .map(|&(src, dst)| GraphUpdate::DeleteEdge {
+        .map(|(src, dst)| GraphUpdate::DeleteEdge {
             src,
             label: knows,
             dst,
