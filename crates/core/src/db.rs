@@ -36,22 +36,25 @@
 //!   immutably, overlays are copied.
 
 use crate::cache::{PlanCache, PlanCacheStats};
+use crate::durability;
 use crate::error::QueryError;
 use crate::options::QueryOptions;
 use crate::prepared::PreparedQuery;
 use crate::result::QueryResult;
 use pathix_audit::{AuditReport, StructuralAudit};
 use pathix_baselines::{evaluate_automaton, evaluate_datalog};
-use pathix_graph::{EdgeOp, Graph, GraphPublishStats, NodeId, SignedLabel, VocabBatch};
+use pathix_graph::{EdgeOp, Graph, GraphPublishStats, LabelId, NodeId, SignedLabel, VocabBatch};
 use pathix_index::{
     BackendBatchScan, BackendError, BackendResult, BackendScan, BackendStats, DeltaBatch,
     EntryDeltas, EstimationMode, GraphUpdate, IncrementalKPathIndex, MutablePathIndexBackend,
     PathHistogram, PathIndexBackend, SharedKPathIndex,
 };
-use pathix_pagestore::{CompressedPathStore, CowStats, PagedPathIndex, PoolStats};
+use pathix_pagestore::{
+    CommitRecord, CompressedPathStore, CowStats, PagedPathIndex, PoolStats, Wal,
+};
 use pathix_plan::{explain as explain_plan, plan_query, PhysicalPlan, PlannerContext, Strategy};
 use pathix_rpq::{parse, to_disjuncts, BoundExpr, LabelPath, RewriteOptions};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
@@ -252,6 +255,13 @@ pub struct PathDbConfig {
     /// make every scan merge a bigger side-table. Clamped to ≥ 1; ignored by
     /// the other backends.
     pub compressed_compaction_threshold: usize,
+    /// On the on-disk backend: committed batches between graph checkpoints.
+    /// Every batch appends one commit record to the write-ahead log *before*
+    /// any page writeback; after this many commits the log is folded into a
+    /// fresh checkpoint and truncated. Smaller values bound recovery time,
+    /// larger values amortize the checkpoint rewrite. Clamped to ≥ 1; ignored
+    /// by the other backends.
+    pub wal_checkpoint_every: u64,
 }
 
 impl Default for PathDbConfig {
@@ -266,6 +276,7 @@ impl Default for PathDbConfig {
             plan_cache_capacity: 256,
             histogram_refresh: HistogramRefresh::default(),
             compressed_compaction_threshold: CompressedPathStore::DEFAULT_COMPACTION_THRESHOLD,
+            wal_checkpoint_every: 256,
         }
     }
 }
@@ -290,6 +301,13 @@ impl PathDbConfig {
         self.histogram_refresh = policy;
         self
     }
+
+    /// This configuration with a different checkpoint cadence (on-disk
+    /// backend only).
+    pub fn with_wal_checkpoint_every(mut self, batches: u64) -> Self {
+        self.wal_checkpoint_every = batches;
+        self
+    }
 }
 
 /// Storage-layer counters: buffer pool and copy-on-write behaviour (paged
@@ -312,6 +330,12 @@ pub struct StorageStats {
     /// Pages the paged backend's range scans staged via buffer-pool
     /// read-ahead before a demand read touched them.
     pub read_ahead_pages: u64,
+    /// `true` once any flush of the paged tree has failed — including one a
+    /// `Drop` attempted as a last resort. The flag is sticky: the page file
+    /// may be missing acknowledged writes, and only recovery (reopening and
+    /// replaying the write-ahead log) clears the doubt. Always `false` off
+    /// the paged backends.
+    pub flush_failed: bool,
 }
 
 /// Combined statistics of a database instance.
@@ -504,6 +528,88 @@ struct LiveState {
     /// tree may hold a partial batch, so later applies fail loudly until the
     /// database is rebuilt. Reads keep serving the last published snapshot.
     failed: Option<BackendError>,
+    /// Sequence number of the last committed batch (0 = as built/opened with
+    /// nothing replayed). Drives the write-ahead log on the on-disk backend
+    /// and the paged tree's `applied_seq` metadata everywhere.
+    commit_seq: u64,
+    /// The write-ahead log and checkpoint machinery — `Some` only on the
+    /// on-disk backend.
+    durability: Option<Durability>,
+}
+
+/// Writer-side durability state of the on-disk backend: the open write-ahead
+/// log, where its checkpoint lives, and the checkpoint cadence bookkeeping.
+#[derive(Debug)]
+struct Durability {
+    wal: Wal,
+    checkpoint_path: PathBuf,
+    /// Committed batches since the last checkpoint.
+    records_since_checkpoint: u64,
+    /// Cadence from [`PathDbConfig::wal_checkpoint_every`], clamped to ≥ 1.
+    checkpoint_every: u64,
+}
+
+impl Durability {
+    /// Fresh durability state for a just-built database: any stale log is
+    /// removed, a checkpoint of `graph` at sequence 0 is written, and an
+    /// empty log is opened. Build itself is not crash-atomic — a database
+    /// exists only once the build returns.
+    fn create(page_path: &Path, graph: &Graph, checkpoint_every: u64) -> std::io::Result<Self> {
+        let wal_path = durability::wal_dir(page_path);
+        if wal_path.exists() {
+            std::fs::remove_dir_all(&wal_path)?;
+        }
+        let checkpoint_path = durability::checkpoint_path(page_path);
+        durability::write_checkpoint(&checkpoint_path, graph, 0)?;
+        let wal = Wal::open(&wal_path)?;
+        Ok(Durability {
+            wal,
+            checkpoint_path,
+            records_since_checkpoint: 0,
+            checkpoint_every: checkpoint_every.max(1),
+        })
+    }
+}
+
+/// Assembles the commit record of one applied batch: the names the batch
+/// interned (ids `before.node_count()..` / `before.label_count()..` of the
+/// committed graph, in id order, so replay re-interns them identically), the
+/// effective edge ops, and the absolute walk-count writes of the counting
+/// rules.
+fn commit_record(
+    seq: u64,
+    before: &Graph,
+    after: &Graph,
+    effective: &[EdgeOp],
+    deltas: &EntryDeltas,
+    inserted: u64,
+    deleted: u64,
+) -> CommitRecord {
+    let new_nodes = (before.node_count()..after.node_count())
+        .map(|id| {
+            after
+                .node_name(NodeId(id as u32))
+                .unwrap_or_default()
+                .to_owned()
+        })
+        .collect();
+    let new_labels = (before.label_count()..after.label_count())
+        .map(|id| {
+            after
+                .label_name(LabelId(id as u16))
+                .unwrap_or_default()
+                .to_owned()
+        })
+        .collect();
+    CommitRecord {
+        seq,
+        new_nodes,
+        new_labels,
+        ops: effective.to_vec(),
+        counts: deltas.counts().to_vec(),
+        inserted_edges: inserted,
+        deleted_edges: deleted,
+    }
 }
 
 /// An RPQ-queryable graph database backed by a localized k-path index.
@@ -578,6 +684,16 @@ impl PathDb {
                 )
             }
         };
+        // The on-disk backend is durable from the first commit: checkpoint
+        // the built graph and open an empty write-ahead log next to the page
+        // file before any update can be accepted.
+        let durable = match &config.backend {
+            BackendChoice::OnDisk { path, .. } => Some(
+                Durability::create(path, &graph, config.wal_checkpoint_every)
+                    .map_err(|e| BackendError::io("wal", &e))?,
+            ),
+            _ => None,
+        };
         let histogram = PathHistogram::build(
             backend.per_path_counts(),
             backend.paths_k_size(),
@@ -594,6 +710,8 @@ impl PathDb {
                 deltas: EntryDeltas::new(),
                 writer,
                 failed: None,
+                commit_seq: 0,
+                durability: durable,
             }),
             config,
             plan_cache,
@@ -625,10 +743,186 @@ impl PathDb {
         Self::try_build(Graph::empty(), config)
     }
 
+    /// Opens a previously built **on-disk** database from its durable state:
+    /// the page file, the graph checkpoint next to it, and the write-ahead
+    /// log. Every committed batch the last process never wrote back —
+    /// including the node and label names it interned, which are re-interned
+    /// in the original id order so the live vocabulary (and with it every
+    /// index key) survives the crash — is replayed, then folded into a fresh
+    /// checkpoint so the next open starts clean.
+    ///
+    /// Replay is idempotent and itself restartable: counts in the log are
+    /// absolute, the graph side skips records its checkpoint already covers,
+    /// the tree side skips records at or below its persisted sequence
+    /// number, and each replayed batch is flushed durably before the next.
+    /// A crash at *any* point — mid-append, mid-writeback, mid-checkpoint,
+    /// or mid-recovery — therefore lands in a state this function repairs.
+    /// With `PATHIX_AUDIT=1` in the environment, a full structural audit
+    /// runs after every replayed batch.
+    ///
+    /// Requires [`BackendChoice::OnDisk`] in `config`; anything else (and any
+    /// missing, torn or inconsistent durable state) is
+    /// [`QueryError::Recovery`].
+    pub fn open(config: PathDbConfig) -> Result<Self, QueryError> {
+        let BackendChoice::OnDisk { path, pool_frames } = config.backend.clone() else {
+            return Err(QueryError::Recovery(
+                "PathDb::open requires BackendChoice::OnDisk; \
+                 the other backends have no durable state to open"
+                    .into(),
+            ));
+        };
+        let checkpoint_path = durability::checkpoint_path(&path);
+        let wal_path = durability::wal_dir(&path);
+        let (mut graph, checkpoint_seq) = durability::load_checkpoint(&checkpoint_path)
+            .map_err(|e| QueryError::Recovery(format!("loading the graph checkpoint: {e}")))?;
+        let mut records = Vec::new();
+        for payload in Wal::replay(&wal_path)
+            .map_err(|e| QueryError::Recovery(format!("reading the write-ahead log: {e}")))?
+        {
+            records.push(
+                CommitRecord::decode(&payload)
+                    .map_err(|e| QueryError::Recovery(format!("decoding a commit record: {e}")))?,
+            );
+        }
+        let mut paged = PagedPathIndex::open(&path, config.k, pool_frames, graph.node_count())
+            .map_err(|e| QueryError::Recovery(format!("opening the page file: {e}")))?;
+        let audit_each_batch = std::env::var("PATHIX_AUDIT").is_ok_and(|v| v == "1");
+        let mut seq = checkpoint_seq;
+        for record in &records {
+            if record.seq <= checkpoint_seq {
+                // An interrupted log truncation can leave records the
+                // checkpoint already covers; they are fully absorbed.
+                continue;
+            }
+            if record.seq != seq + 1 {
+                return Err(QueryError::Recovery(format!(
+                    "write-ahead log gap: expected commit {} next, found {}",
+                    seq + 1,
+                    record.seq
+                )));
+            }
+            // Re-intern the batch's names in id order, then re-commit its
+            // edge ops — this reproduces the pre-crash graph epoch exactly.
+            let mut vocab = graph.vocab_batch();
+            for name in &record.new_nodes {
+                vocab.intern_node(name);
+            }
+            for name in &record.new_labels {
+                vocab.intern_label(name);
+            }
+            graph = graph.commit_batch(vocab, &record.ops);
+            paged
+                .replay_batch(
+                    record.seq,
+                    &record.counts,
+                    graph.node_count(),
+                    record.inserted_edges,
+                    record.deleted_edges,
+                )
+                .map_err(|e| {
+                    QueryError::Recovery(format!("replaying commit {}: {e}", record.seq))
+                })?;
+            seq = record.seq;
+            if audit_each_batch {
+                let mut report = AuditReport::new();
+                report.run("graph", &graph);
+                report.run("writer/paged", &paged);
+                if !report.is_clean() {
+                    return Err(QueryError::Recovery(format!(
+                        "commit {} fails the structural audit after replay: {:?}",
+                        record.seq,
+                        report.violations()
+                    )));
+                }
+            }
+        }
+        // Fold what replay recovered into a fresh checkpoint and start an
+        // empty log: the next open replays only what comes after this one.
+        durability::write_checkpoint(&checkpoint_path, &graph, seq)
+            .map_err(|e| QueryError::Recovery(format!("rewriting the checkpoint: {e}")))?;
+        let mut wal = Wal::open(&wal_path)
+            .map_err(|e| QueryError::Recovery(format!("reopening the write-ahead log: {e}")))?;
+        wal.reset()
+            .map_err(|e| QueryError::Recovery(format!("truncating the write-ahead log: {e}")))?;
+
+        let backend = IndexBackend::Paged(paged.reader_view());
+        let histogram = PathHistogram::build(
+            backend.per_path_counts(),
+            backend.paths_k_size(),
+            config.k,
+            config.estimation,
+        );
+        let plan_cache = PlanCache::new(config.plan_cache_capacity);
+        let snapshot = Snapshot::new(Arc::new(graph), Arc::new(backend), Arc::new(histogram), 0);
+        Ok(PathDb {
+            state: RwLock::new(snapshot),
+            live: Mutex::new(LiveState {
+                index: None,
+                updates_since_refresh: 0,
+                deltas: EntryDeltas::new(),
+                writer: WriterBackend::Paged(paged),
+                failed: None,
+                commit_seq: seq,
+                durability: Some(Durability {
+                    wal,
+                    checkpoint_path,
+                    records_since_checkpoint: 0,
+                    checkpoint_every: config.wal_checkpoint_every.max(1),
+                }),
+            }),
+            config,
+            plan_cache,
+            pulled_total: Arc::new(AtomicU64::new(0)),
+            instance_id: NEXT_INSTANCE_ID.fetch_add(1, Ordering::Relaxed),
+        })
+    }
+
+    /// Flushes and closes the writer-side storage, surfacing any I/O failure
+    /// that a drop-time flush would have had to swallow. On the on-disk
+    /// backend this also folds the write-ahead log into a final checkpoint
+    /// (unless the writer failed — then the log is preserved for the next
+    /// [`PathDb::open`] to recover from). Reads keep working afterwards;
+    /// this is meant as the last call before the database is dropped.
+    pub fn close(&self) -> Result<(), QueryError> {
+        // Closing a panicked writer is legitimate — recover the guard.
+        let mut live = self
+            .live
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let live_state = &mut *live;
+        if let WriterBackend::Paged(index) = &mut live_state.writer {
+            index
+                .close()
+                .map_err(|e| QueryError::Backend(BackendError::io("paged", &e)))?;
+        }
+        if let Some(durable) = live_state.durability.as_mut() {
+            if live_state.failed.is_none() {
+                // The tree is durably at `commit_seq`, so the log is
+                // redundant: checkpoint and truncate it for a clean reopen.
+                let current = self.snapshot();
+                durability::write_checkpoint(
+                    &durable.checkpoint_path,
+                    current.graph(),
+                    live_state.commit_seq,
+                )
+                .and_then(|()| durable.wal.reset())
+                .map_err(|e| QueryError::Backend(BackendError::io("wal", &e)))?;
+            }
+        }
+        Ok(())
+    }
+
     /// A consistent view of the database as of now. All read accessors below
     /// are shorthands over this.
     pub fn snapshot(&self) -> Snapshot {
-        self.state.read().expect("snapshot lock poisoned").clone()
+        // Snapshots are immutable once published, so even a poisoned lock
+        // (a writer panicked mid-swap of the `Snapshot` *pointer*, which is
+        // a plain assignment and cannot leave it torn) guards valid data:
+        // recover it instead of propagating the panic to every reader.
+        self.state
+            .read()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .clone()
     }
 
     /// The current graph (shared with the snapshot it came from).
@@ -738,7 +1032,21 @@ impl PathDb {
     pub fn apply(&self, updates: &[GraphUpdate]) -> Result<UpdateStats, QueryError> {
         // Writers serialize on the live-state lock; the snapshot lock is only
         // taken (briefly) to read the current state and to publish the result.
-        let mut live = self.live.lock().expect("live index lock poisoned");
+        // A poisoned lock means a previous writer panicked mid-apply: the
+        // data behind it is still inspectable (recover the guard), but the
+        // writer-side state cannot be trusted, so the write is rejected —
+        // with the original backend error when one was recorded, and
+        // [`QueryError::WriterPoisoned`] otherwise.
+        let mut live = match self.live.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                let guard = poisoned.into_inner();
+                return Err(match &guard.failed {
+                    Some(e) => QueryError::Backend(e.clone()),
+                    None => QueryError::WriterPoisoned,
+                });
+            }
+        };
         if let Some(e) = &live.failed {
             return Err(QueryError::Backend(e.clone()));
         }
@@ -756,6 +1064,28 @@ impl PathDb {
         }
 
         let live_state = &mut *live;
+        if live_state.index.is_none() {
+            // First update since build or open: seed the counting index. A
+            // paged backend already holds every ⟨entry, walk count⟩ pair, so
+            // a reopened database reseeds from the persisted entries in one
+            // tree scan instead of re-enumerating every counted walk of the
+            // graph; any read or validation failure falls back to the
+            // from-graph rebuild below.
+            let persisted = match &live_state.writer {
+                WriterBackend::Paged(paged) => paged.counted_entries().ok().and_then(|entries| {
+                    IncrementalKPathIndex::from_persisted_entries(
+                        current.graph(),
+                        self.config.k,
+                        entries,
+                    )
+                    .ok()
+                }),
+                _ => None,
+            };
+            if let Some(index) = persisted {
+                live_state.index = Some(index);
+            }
+        }
         let live_index = live_state.index.get_or_insert_with(|| {
             IncrementalKPathIndex::bulk_from_graph(current.graph(), self.config.k)
         });
@@ -799,13 +1129,16 @@ impl PathDb {
         // refcount bump, never copied.
         let graph = current.graph().commit_batch(vocab, &effective);
 
-        live_state.updates_since_refresh += inserted + deleted;
+        // The refresh decision is taken on the *pending* count, but the
+        // counter itself only advances after the batch has durably committed
+        // and published — a failed apply must not consume refresh budget for
+        // updates that never landed.
+        let pending_updates = live_state.updates_since_refresh + inserted + deleted;
         let refresh = match self.config.histogram_refresh {
-            HistogramRefresh::EveryUpdates(n) => live_state.updates_since_refresh >= n.max(1),
+            HistogramRefresh::EveryUpdates(n) => pending_updates >= n.max(1),
             HistogramRefresh::Manual => false,
         };
         let histogram = if refresh {
-            live_state.updates_since_refresh = 0;
             Arc::new(PathHistogram::build(
                 live_index.per_path_counts(),
                 live_index.paths_k_size(),
@@ -815,6 +1148,34 @@ impl PathDb {
         } else {
             current.histogram_arc()
         };
+
+        // Durability (on-disk backend): the commit record — interned names,
+        // effective ops, absolute walk-count writes — must be appended *and*
+        // synced before the paged tree absorbs the batch, because the buffer
+        // pool may evict (write back) pages at any point during the tree
+        // mutation. A logged-but-never-applied batch replays on open; an
+        // applied-but-never-logged batch would be unrecoverable.
+        let seq = live_state.commit_seq + 1;
+        if let Some(durable) = live_state.durability.as_mut() {
+            let record = commit_record(
+                seq,
+                current.graph(),
+                &graph,
+                &effective,
+                &live_state.deltas,
+                inserted,
+                deleted,
+            );
+            if let Err(e) = durable
+                .wal
+                .append(&record.encode())
+                .and_then(|()| durable.wal.sync())
+            {
+                let e = BackendError::io("wal", &e);
+                live_state.failed = Some(e.clone());
+                return Err(QueryError::Backend(e));
+            }
+        }
 
         // Publish. The counting enumeration ran once above; each backend now
         // absorbs the same key transitions its own way — in O(Δ), never by
@@ -826,6 +1187,7 @@ impl PathDb {
             node_count: live_index.node_count(),
             inserted_edges: inserted,
             deleted_edges: deleted,
+            seq,
         };
         let backend = match live_state.writer.publish(&batch) {
             Ok(backend) => backend,
@@ -839,9 +1201,38 @@ impl PathDb {
                 return Err(QueryError::Backend(e));
             }
         };
+        live_state.commit_seq = seq;
+        live_state.updates_since_refresh = if refresh { 0 } else { pending_updates };
         let epoch = current.epoch() + 1;
-        *self.state.write().expect("snapshot lock poisoned") =
-            Snapshot::new(Arc::new(graph), Arc::new(backend), histogram, epoch);
+        let graph = Arc::new(graph);
+        *self
+            .state
+            .write()
+            .unwrap_or_else(|poisoned| poisoned.into_inner()) =
+            Snapshot::new(Arc::clone(&graph), Arc::new(backend), histogram, epoch);
+
+        // Checkpoint cadence: fold the log into a fresh graph checkpoint and
+        // truncate it. The batch itself is already committed (logged,
+        // applied, published); a failure here is pure log maintenance, but it
+        // still poisons the writer — the next open recovers from the intact
+        // log, and continuing to append to a log that can no longer be
+        // truncated would hide the fault.
+        let mut checkpoint_error = None;
+        if let Some(durable) = live_state.durability.as_mut() {
+            durable.records_since_checkpoint += 1;
+            if durable.records_since_checkpoint >= durable.checkpoint_every {
+                match durability::write_checkpoint(&durable.checkpoint_path, &graph, seq)
+                    .and_then(|()| durable.wal.reset())
+                {
+                    Ok(()) => durable.records_since_checkpoint = 0,
+                    Err(e) => checkpoint_error = Some(BackendError::io("wal", &e)),
+                }
+            }
+        }
+        if let Some(e) = checkpoint_error {
+            live_state.failed = Some(e.clone());
+            return Err(QueryError::Backend(e));
+        }
         Ok(UpdateStats {
             inserted,
             deleted,
@@ -858,7 +1249,11 @@ impl PathDb {
     /// statistics. Returns `false` (and does nothing) when no update was
     /// ever applied — the built histogram is still exact.
     pub fn refresh_histogram(&self) -> bool {
-        let mut live = self.live.lock().expect("live index lock poisoned");
+        // A poisoned writer lock means the counting index may be ahead of
+        // the published state — same reason as `failed` below, same answer.
+        let Ok(mut live) = self.live.lock() else {
+            return false;
+        };
         let live_state = &mut *live;
         if live_state.failed.is_some() {
             // A failed delta batch left the counting index ahead of the
@@ -877,7 +1272,10 @@ impl PathDb {
             self.config.estimation,
         ));
         live_state.updates_since_refresh = 0;
-        *self.state.write().expect("snapshot lock poisoned") = Snapshot::new(
+        *self
+            .state
+            .write()
+            .unwrap_or_else(|poisoned| poisoned.into_inner()) = Snapshot::new(
             current.graph_arc(),
             current.backend_arc(),
             histogram,
@@ -980,6 +1378,7 @@ impl PathDb {
                 .map(|c| c.blocks_skipped())
                 .unwrap_or(0),
             read_ahead_pages: pool.map(|p| p.read_ahead_pages).unwrap_or(0),
+            flush_failed: index.as_paged().map(|p| p.flush_failed()).unwrap_or(false),
         };
         DbStats {
             nodes: snapshot.graph().node_count(),
@@ -1014,7 +1413,13 @@ impl PathDb {
             &format!("snapshot/{}", snapshot.index().backend_name()),
             snapshot.index(),
         );
-        let live = self.live.lock().expect("live index lock poisoned");
+        // Auditing is read-only reporting: a poisoned lock still guards
+        // auditable data, and an audit is exactly what one wants to run
+        // against a writer that just panicked.
+        let live = self
+            .live
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
         report.run(
             &format!("writer/{}", live.writer.backend_name()),
             &live.writer,
@@ -1210,8 +1615,14 @@ mod tests {
         }
     }
 
+    /// On-disk tests serialize here: the fault registry
+    /// ([`pathix_pagestore::fault`]) is process-global, so a test arming it
+    /// must not overlap any other test doing real durable I/O.
+    static DISK_LOCK: Mutex<()> = Mutex::new(());
+
     #[test]
     fn on_disk_backend_runs_the_pipeline() {
+        let _disk = DISK_LOCK.lock().unwrap_or_else(|p| p.into_inner());
         let dir = TempDir::new("on-disk-pipeline");
         let file = dir.path("example.pages");
         let config = PathDbConfig::with_k(2).with_backend(BackendChoice::OnDisk {
@@ -1461,6 +1872,7 @@ mod tests {
 
     #[test]
     fn every_backend_absorbs_updates_and_matches_a_rebuild() {
+        let _disk = DISK_LOCK.lock().unwrap_or_else(|p| p.into_inner());
         let dir = TempDir::new("all-backends-apply");
         let choices = vec![
             BackendChoice::Memory,
@@ -1734,5 +2146,119 @@ mod tests {
         let supervisor = before.graph().label_id("supervisor").unwrap();
         assert!(before.graph().has_edge(kim, supervisor, ann));
         assert!(!after.graph().has_edge(kim, supervisor, ann));
+    }
+
+    // ---- durability -------------------------------------------------------
+
+    #[test]
+    fn failed_apply_does_not_consume_histogram_refresh_budget() {
+        let _disk = DISK_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let dir = TempDir::new("refresh-budget");
+        let config = PathDbConfig::with_k(2)
+            .with_backend(BackendChoice::OnDisk {
+                path: dir.path("idx.pages"),
+                pool_frames: 8,
+            })
+            .with_histogram_refresh(HistogramRefresh::EveryUpdates(10));
+        let db = PathDb::try_build(paper_example_graph(), config).unwrap();
+        let stats = db
+            .apply(&[update(&db, "insert", "tim", "supervisor", "joe")])
+            .unwrap();
+        assert!(!stats.histogram_refreshed);
+        let counter = |db: &PathDb| {
+            db.live
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .updates_since_refresh
+        };
+        assert_eq!(counter(&db), 1);
+
+        // The next durable operation — the WAL append of the commit record —
+        // fails; the batch must consume no refresh budget.
+        pathix_pagestore::fault::arm(0);
+        let err = db.apply(&[update(&db, "insert", "sue", "knows", "tim")]);
+        let fired = pathix_pagestore::fault::disarm();
+        assert!(matches!(err, Err(QueryError::Backend(_))), "{err:?}");
+        assert_eq!(fired.as_deref(), Some("wal-append"));
+        assert_eq!(counter(&db), 1);
+        // The failure poisoned the writer: further applies fail loudly,
+        // refreshes are refused, reads keep serving the last snapshot.
+        assert!(matches!(
+            db.apply(&[update(&db, "insert", "sue", "knows", "tim")]),
+            Err(QueryError::Backend(_))
+        ));
+        assert!(!db.refresh_histogram());
+        assert!(db.query("knows").is_ok());
+    }
+
+    #[test]
+    fn writer_panic_poisons_writes_not_reads() {
+        let db = example_db(2);
+        let poisoned_update = update(&db, "insert", "tim", "supervisor", "joe");
+        // Panic while holding the writer lock — the scenario a poisoned
+        // mutex models.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = db.live.lock().unwrap();
+            panic!("writer dies mid-apply");
+        }));
+        assert!(matches!(
+            db.apply(&[poisoned_update]),
+            Err(QueryError::WriterPoisoned)
+        ));
+        assert!(!db.refresh_histogram());
+        // Read paths recover the data behind the poisoned locks instead of
+        // propagating the panic.
+        assert!(db.query("supervisor/worksFor-").is_ok());
+        assert!(db.audit().is_clean());
+    }
+
+    #[test]
+    fn on_disk_close_then_open_answers_identically() {
+        let _disk = DISK_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let dir = TempDir::new("close-open");
+        let config = PathDbConfig::with_k(2).with_backend(BackendChoice::OnDisk {
+            path: dir.path("idx.pages"),
+            pool_frames: 8,
+        });
+        let db = PathDb::try_build(paper_example_graph(), config.clone()).unwrap();
+        db.apply(&[update(&db, "insert", "tim", "supervisor", "joe")])
+            .unwrap();
+        // A live-interned batch: the names only exist in the live vocabulary
+        // and must survive the close/open cycle.
+        db.apply(&[GraphUpdate::insert_named("zan", "mentors", "sue")])
+            .unwrap();
+        let queries = ["supervisor/worksFor-", "knows", "mentors"];
+        let expected: Vec<Vec<_>> = queries
+            .iter()
+            .map(|q| db.query(q).unwrap().pairs().to_vec())
+            .collect();
+        assert!(!db.stats().storage.flush_failed);
+        db.close().unwrap();
+        drop(db);
+
+        let reopened = PathDb::open(config).unwrap();
+        for (q, want) in queries.iter().zip(&expected) {
+            for strategy in Strategy::all() {
+                let got = reopened
+                    .run(q, QueryOptions::with_strategy(strategy))
+                    .unwrap();
+                assert_eq!(got.pairs(), &want[..], "{strategy} on {q}");
+            }
+        }
+        // The reopened database keeps accepting updates — id-based ones
+        // against the recovered vocabulary included — and stays audit-clean.
+        reopened
+            .apply(&[update(&reopened, "delete", "tim", "supervisor", "joe")])
+            .unwrap();
+        assert!(reopened.audit().is_clean());
+        reopened.close().unwrap();
+    }
+
+    #[test]
+    fn open_requires_the_on_disk_backend() {
+        assert!(matches!(
+            PathDb::open(PathDbConfig::with_k(2)),
+            Err(QueryError::Recovery(_))
+        ));
     }
 }

@@ -29,6 +29,14 @@ pub enum QueryError {
     /// interned vocabulary. Live updates mutate the edge set over a fixed
     /// vocabulary; growing it requires a rebuild.
     InvalidUpdate(String),
+    /// A previous writer thread panicked while holding the writer lock, so
+    /// the writer-side state cannot be trusted. Reads keep serving the last
+    /// published snapshot; further writes are rejected until the database is
+    /// rebuilt (or reopened from its durable state).
+    WriterPoisoned,
+    /// Opening a durable database failed: the graph checkpoint or write-ahead
+    /// log is missing, corrupt, or inconsistent with the page file.
+    Recovery(String),
 }
 
 impl fmt::Display for QueryError {
@@ -43,6 +51,12 @@ impl fmt::Display for QueryError {
                 "prepared query executed against a database other than the one that prepared it"
             ),
             QueryError::InvalidUpdate(message) => write!(f, "invalid graph update: {message}"),
+            QueryError::WriterPoisoned => write!(
+                f,
+                "a writer thread panicked while holding the writer lock; \
+                 the database rejects further writes"
+            ),
+            QueryError::Recovery(message) => write!(f, "recovery failed: {message}"),
         }
     }
 }
@@ -56,6 +70,8 @@ impl std::error::Error for QueryError {
             QueryError::Backend(e) => Some(e),
             QueryError::DatabaseMismatch => None,
             QueryError::InvalidUpdate(_) => None,
+            QueryError::WriterPoisoned => None,
+            QueryError::Recovery(_) => None,
         }
     }
 }

@@ -40,6 +40,7 @@
 pub mod cache;
 pub mod cursor;
 pub mod db;
+mod durability;
 pub mod error;
 pub mod options;
 pub mod prepared;

@@ -325,6 +325,7 @@ pub enum EntryChange {
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct EntryDeltas {
     ops: Vec<(Vec<u8>, EntryChange)>,
+    counts: Vec<(Vec<u8>, u64)>,
 }
 
 impl EntryDeltas {
@@ -338,9 +339,24 @@ impl EntryDeltas {
         self.ops.push((key.to_vec(), change));
     }
 
+    /// Records the absolute walk count a key holds after a touch (0 means
+    /// the key was removed). Every count-changing write logs here — not just
+    /// existence transitions — so that backends which persist counts in their
+    /// values (the paged tree) and the write-ahead log can replay the batch to
+    /// the exact post-batch counts. Ordered replay ends at the final value,
+    /// which makes replay idempotent.
+    pub fn record_count(&mut self, key: &[u8], new_count: u64) {
+        self.counts.push((key.to_vec(), new_count));
+    }
+
     /// The recorded transitions, oldest first.
     pub fn ops(&self) -> &[(Vec<u8>, EntryChange)] {
         &self.ops
+    }
+
+    /// The recorded absolute-count writes, oldest first (0 = key removed).
+    pub fn counts(&self) -> &[(Vec<u8>, u64)] {
+        &self.counts
     }
 
     /// Number of recorded transitions.
@@ -350,12 +366,13 @@ impl EntryDeltas {
 
     /// `true` when nothing was recorded.
     pub fn is_empty(&self) -> bool {
-        self.ops.is_empty()
+        self.ops.is_empty() && self.counts.is_empty()
     }
 
-    /// Forgets all recorded transitions (keeps the allocation).
+    /// Forgets all recorded transitions (keeps the allocations).
     pub fn clear(&mut self) {
         self.ops.clear();
+        self.counts.clear();
     }
 }
 
@@ -377,6 +394,11 @@ pub struct DeltaBatch<'a> {
     pub inserted_edges: u64,
     /// Edges effectively deleted by the batch (no-ops excluded).
     pub deleted_edges: u64,
+    /// Monotonic commit sequence number of the batch (0 for the bulk build).
+    /// Durable backends record the highest applied sequence so that
+    /// write-ahead-log replay after a crash can skip batches whose effects
+    /// already reached the pages.
+    pub seq: u64,
 }
 
 /// The mutable extension of [`PathIndexBackend`]: a backend that can absorb
@@ -537,6 +559,27 @@ mod tests {
                 (b"k2".to_vec(), EntryChange::Added),
             ]
         );
+        log.clear();
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn entry_deltas_log_absolute_counts() {
+        let mut log = EntryDeltas::new();
+        log.record_count(b"k1", 2);
+        log.record_count(b"k1", 0);
+        log.record_count(b"k2", 7);
+        assert_eq!(
+            log.counts(),
+            &[
+                (b"k1".to_vec(), 2),
+                (b"k1".to_vec(), 0),
+                (b"k2".to_vec(), 7),
+            ]
+        );
+        // Counts alone make the log non-empty: backends must see them even
+        // when no existence transition happened.
+        assert!(!log.is_empty());
         log.clear();
         assert!(log.is_empty());
     }

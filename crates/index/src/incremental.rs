@@ -359,6 +359,74 @@ impl IncrementalKPathIndex {
         }
     }
 
+    /// Rebuilds a live writer from persisted `(entry key, walk count)` pairs
+    /// — the values a durable backend (the paged B+tree) stores on disk —
+    /// plus the graph the entries were computed over.
+    ///
+    /// This is the restart path: instead of re-enumerating every counted path
+    /// relation of the graph ([`IncrementalKPathIndex::bulk_from_graph`]),
+    /// the entries stream straight into a sorted bulk load while one linear
+    /// pass recounts the per-path cardinalities and the `|paths_k(G)|`
+    /// bookkeeping. `entries` must arrive in ascending key order (the order
+    /// any tree scan yields) with strictly positive counts.
+    ///
+    /// Fails (with a description, to be wrapped by the caller) when a key is
+    /// not a well-formed `⟨p, a, b⟩` entry, when a count is zero, or when the
+    /// keys are out of order — all symptoms of a corrupt persisted tree.
+    pub fn from_persisted_entries(
+        graph: &Graph,
+        k: usize,
+        entries: impl IntoIterator<Item = (Vec<u8>, u64)>,
+    ) -> Result<Self, String> {
+        if k < 1 {
+            return Err("the k-path index requires k ≥ 1".to_string());
+        }
+        let mut per_path: Vec<(Vec<SignedLabel>, u64)> = Vec::new();
+        let mut pair_refs: HashMap<u64, u32> = HashMap::new();
+        let mut linked_pairs = 0u64;
+        let mut loaded: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+        for (key, count) in entries {
+            let Some((path, a, b)) = decode_entry(&key) else {
+                return Err(format!(
+                    "persisted key of {} byte(s) is not a well-formed index entry",
+                    key.len()
+                ));
+            };
+            if count == 0 {
+                return Err(format!(
+                    "persisted entry for path {path:?} pair ({a:?}, {b:?}) has a zero walk count"
+                ));
+            }
+            if let Some((prev, _)) = loaded.last() {
+                if *prev >= key {
+                    return Err("persisted entries are not in ascending key order".to_string());
+                }
+            }
+            match per_path.last_mut() {
+                Some((p, n)) if *p == path => *n += 1,
+                _ => per_path.push((path, 1)),
+            }
+            let refs = pair_refs.entry(pack_pair(a, b)).or_insert(0);
+            *refs += 1;
+            if *refs == 1 && a != b {
+                linked_pairs += 1;
+            }
+            loaded.push((key, encode_count(count)));
+        }
+        Ok(IncrementalKPathIndex {
+            k,
+            adj: DynAdjacency::from_graph(graph),
+            tree: BPlusTree::bulk_load(loaded),
+            per_path,
+            pair_refs,
+            linked_pairs,
+            node_count: graph.node_count(),
+            inserts_applied: 0,
+            deletes_applied: 0,
+            scratch: DeltaScratch::default(),
+        })
+    }
+
     /// Freezes the current state into a read-optimized [`crate::KPathIndex`]
     /// (walk counts dropped, entries bulk-loaded in key order). This is how a
     /// live database publishes immutable read snapshots after a batch of
@@ -680,11 +748,15 @@ impl IncrementalKPathIndex {
         let existing = self.tree.get(key).map(decode_count);
         match existing {
             Some(count) => {
+                if let Some(log) = log {
+                    log.record_count(key, count + delta);
+                }
                 self.tree.insert(key.to_vec(), encode_count(count + delta));
             }
             None => {
                 if let Some(log) = log {
                     log.record(key, EntryChange::Added);
+                    log.record_count(key, delta);
                 }
                 self.tree.insert(key.to_vec(), encode_count(delta));
                 let (path, a, b) =
@@ -710,10 +782,14 @@ impl IncrementalKPathIndex {
             .expect("deletion delta must target an existing entry");
         debug_assert!(count >= delta, "walk counts must not go negative");
         if count > delta {
+            if let Some(log) = log {
+                log.record_count(key, count - delta);
+            }
             self.tree.insert(key.to_vec(), encode_count(count - delta));
         } else {
             if let Some(log) = log {
                 log.record(key, EntryChange::Removed);
+                log.record_count(key, 0);
             }
             self.tree.delete(key);
             let (path, a, b) =
@@ -746,13 +822,16 @@ impl IncrementalKPathIndex {
 }
 
 /// A label path with its walk-counted pair relation, sorted by `(a, b)`.
-type CountedRelation = (Vec<SignedLabel>, Vec<((NodeId, NodeId), u64)>);
+pub type CountedRelation = (Vec<SignedLabel>, Vec<((NodeId, NodeId), u64)>);
 
 /// Computes, level by level, the counted relation of every label path of
 /// length ≤ k: `path → sorted [((a, b), #walks)]`. The mirror-path trick of
 /// [`crate::enumerate_paths`] applies unchanged because walk counts are
 /// converse-symmetric. The result is ordered by `(length, path)`.
-fn enumerate_counted_paths(graph: &Graph, k: usize) -> Vec<CountedRelation> {
+///
+/// Public so durable backends (the paged B+tree) can bulk-build the same
+/// counted entries [`IncrementalKPathIndex::bulk_from_graph`] seeds from.
+pub fn enumerate_counted_paths(graph: &Graph, k: usize) -> Vec<CountedRelation> {
     let mut result: Vec<CountedRelation> = Vec::new();
     let mut prev: Vec<CountedRelation> = graph
         .signed_labels()

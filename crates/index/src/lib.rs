@@ -46,7 +46,9 @@ pub use backend::{
 pub use enumerate::{enumerate_paths, naive_path_eval, paths_k_cardinality, PathRelation};
 pub use estimate::CardinalityEstimator;
 pub use histogram::{EstimationMode, PathHistogram};
-pub use incremental::{GraphUpdate, IncrementalKPathIndex};
+pub use incremental::{
+    enumerate_counted_paths, CountedRelation, GraphUpdate, IncrementalKPathIndex,
+};
 pub use kpath::{IndexStats, KPathIndex};
 pub use parallel::enumerate_paths_parallel;
 pub use runs::{RunPublishStats, SharedKPathIndex};

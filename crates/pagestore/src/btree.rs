@@ -74,6 +74,9 @@ const META_OFF_ROOT: usize = 16;
 const META_OFF_HEIGHT: usize = 20;
 const META_OFF_COUNT: usize = 24;
 const META_OFF_FREE: usize = 32;
+/// Highest committed batch sequence number whose effects reached the pages —
+/// the write-ahead log replays only records newer than this on reopen.
+const META_OFF_SEQ: usize = 40;
 
 /// Largest key + value payload accepted by [`PagedBTree::insert`]; guarantees
 /// that any page can hold at least four cells, so splits always succeed.
@@ -137,6 +140,11 @@ struct SnapshotTable {
     pages_retired: AtomicU64,
     pages_reclaimed: AtomicU64,
     retired_pending: AtomicU64,
+    /// Set (and never cleared) when any flush of this tree failed — including
+    /// the best-effort one in `Drop`, which cannot report errors. Surfaced
+    /// through [`PagedBTree::flush_failed`] so storage statistics can show
+    /// that the persisted free list may be incomplete.
+    flush_failed: std::sync::atomic::AtomicBool,
 }
 
 impl SnapshotTable {
@@ -224,6 +232,17 @@ pub struct PagedBTree {
     /// Superseded page versions: `(epoch that replaced them, page)`. Moved to
     /// the free list once no snapshot older than that epoch survives.
     retired: Vec<(u64, PageId)>,
+    /// Highest committed batch sequence number applied to the pages,
+    /// persisted in the meta page (see [`META_OFF_SEQ`]).
+    applied_seq: u64,
+    /// `true` once [`PagedBTree::close`] ran: `Drop` must not flush again.
+    closed: bool,
+    /// Crash-atomic writeback pin (see
+    /// [`PagedBTree::enable_durable_writeback`]): while set, no page of the
+    /// last flushed tree is overwritten in place or recycled, so the page
+    /// file always holds that tree intact until the next two-phase flush
+    /// supersedes it.
+    durable_pin: Option<SnapshotPin>,
     /// Present on snapshots only: keeps the share's epoch pinned.
     _pin: Option<SnapshotPin>,
 }
@@ -245,6 +264,9 @@ impl PagedBTree {
             epoch: 0,
             fresh: HashSet::new(),
             retired: Vec::new(),
+            applied_seq: 0,
+            closed: false,
+            durable_pin: None,
             _pin: None,
         };
         tree.write_meta()?;
@@ -253,15 +275,17 @@ impl PagedBTree {
 
     /// Opens a tree previously persisted in `pool`'s backing store.
     pub fn open(pool: BufferPool) -> io::Result<Self> {
-        let (magic, root, height, entries, free_head) = pool.with_page(PageId(0), |p| {
-            (
-                get_u32(p, META_OFF_MAGIC),
-                get_u32(p, META_OFF_ROOT),
-                get_u32(p, META_OFF_HEIGHT),
-                get_u64(p, META_OFF_COUNT),
-                get_u32(p, META_OFF_FREE),
-            )
-        })?;
+        let (magic, root, height, entries, free_head, applied_seq) =
+            pool.with_page(PageId(0), |p| {
+                (
+                    get_u32(p, META_OFF_MAGIC),
+                    get_u32(p, META_OFF_ROOT),
+                    get_u32(p, META_OFF_HEIGHT),
+                    get_u64(p, META_OFF_COUNT),
+                    get_u32(p, META_OFF_FREE),
+                    get_u64(p, META_OFF_SEQ),
+                )
+            })?;
         if magic != META_MAGIC {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
@@ -278,8 +302,74 @@ impl PagedBTree {
             epoch: 0,
             fresh: HashSet::new(),
             retired: Vec::new(),
+            applied_seq,
+            closed: false,
+            durable_pin: None,
             _pin: None,
         })
+    }
+
+    /// Opens a tree whose auxiliary disk state may be stale after a crash:
+    /// the persisted free list is ignored and rebuilt by mark-and-sweep (any
+    /// page unreachable from the root becomes free). After a crash the
+    /// threaded free chain can run through pages that were legitimately
+    /// reused since the meta page was written — the tree itself is protected
+    /// by [`PagedBTree::enable_durable_writeback`], the chain deliberately is
+    /// not. Safe (merely redundant) on a cleanly closed file.
+    pub fn open_recovering(pool: BufferPool) -> io::Result<Self> {
+        let mut tree = Self::open(pool)?;
+        let mut reachable = HashSet::new();
+        tree.reachable_pages(tree.root, tree.height, &mut reachable)?;
+        tree.free_head = PageId::INVALID;
+        for pid in (1..tree.pool.num_pages()).rev() {
+            if !reachable.contains(&pid) {
+                tree.free_page(PageId(pid))?;
+            }
+        }
+        Ok(tree)
+    }
+
+    /// Collects every page reachable from `pid` at `level` (1 = leaf).
+    fn reachable_pages(&self, pid: PageId, level: u32, out: &mut HashSet<u32>) -> io::Result<()> {
+        if !out.insert(pid.0) || level == 1 {
+            return Ok(());
+        }
+        let (cells, leftmost) = self.read_internal(pid)?;
+        self.reachable_pages(leftmost, level - 1, out)?;
+        for (_, child) in &cells {
+            self.reachable_pages(*child, level - 1, out)?;
+        }
+        Ok(())
+    }
+
+    /// Makes every flush crash-atomic: from now on the tree persisted by the
+    /// last flush is never overwritten in place or recycled (a standing
+    /// snapshot pin held by the writer itself forces copy-on-write), and
+    /// [`PagedBTree::flush`] becomes two-phase — data pages are written and
+    /// synced **before** the meta page flips the durable root. A crash at
+    /// any point therefore leaves the page file holding the last flushed
+    /// tree intact; the write-ahead log replays the batches since.
+    ///
+    /// Call on writer handles only, after the initial build/open flush.
+    pub fn enable_durable_writeback(&mut self) {
+        assert!(
+            self._pin.is_none(),
+            "snapshots cannot enable durable writeback"
+        );
+        if self.durable_pin.is_none() {
+            self.pin_durable();
+        }
+    }
+
+    /// Re-pins the durable snapshot at the current root, releasing the
+    /// previous durable pin (whose pages then become reclaimable).
+    fn pin_durable(&mut self) {
+        let pin = self.snapshots.register(self.epoch, self.root, self.height);
+        self.epoch += 1;
+        // Everything written so far is now the durable tree: the next
+        // mutation of any of these pages must relocate instead of overwrite.
+        self.fresh.clear();
+        self.durable_pin = Some(pin);
     }
 
     /// Publishes a **snapshot**: a read handle over the same buffer pool,
@@ -307,6 +397,10 @@ impl PagedBTree {
             epoch: self.epoch,
             fresh: HashSet::new(),
             retired: Vec::new(),
+            applied_seq: self.applied_seq,
+            // Snapshots never flush, so `Drop` must stay inert on them.
+            closed: true,
+            durable_pin: None,
             _pin: Some(pin),
         }
     }
@@ -328,6 +422,7 @@ impl PagedBTree {
         let height = self.height;
         let entries = self.entries;
         let free_head = self.free_head;
+        let applied_seq = self.applied_seq;
         self.pool.with_page_mut(PageId(0), |p| {
             slotted::init(p, slotted::KIND_META);
             put_u32(p, META_OFF_MAGIC, META_MAGIC);
@@ -335,6 +430,7 @@ impl PagedBTree {
             put_u32(p, META_OFF_HEIGHT, height);
             put_u64(p, META_OFF_COUNT, entries);
             put_u32(p, META_OFF_FREE, free_head.0);
+            put_u64(p, META_OFF_SEQ, applied_seq);
         })
     }
 
@@ -480,9 +576,58 @@ impl PagedBTree {
     /// Retired pages whose snapshots died are reclaimed first so the
     /// persisted free list is as complete as possible.
     pub fn flush(&mut self) -> io::Result<()> {
+        let result = self.try_flush();
+        if result.is_err() {
+            self.snapshots.flush_failed.store(true, Ordering::Relaxed);
+        }
+        result
+    }
+
+    fn try_flush(&mut self) -> io::Result<()> {
         self.reclaim_retired()?;
-        self.write_meta()?;
-        self.pool.flush_all()
+        if self.durable_pin.is_some() {
+            // Two-phase, write-ahead order: data pages first (the on-disk
+            // meta page still describes the last durable tree, whose pages
+            // the durable pin kept intact), then the meta page alone flips
+            // the durable root. The meta page is only ever dirtied here, so
+            // phase one cannot leak a half-flipped root.
+            self.pool.flush_all()?;
+            self.write_meta()?;
+            self.pool.flush_all()?;
+            self.pin_durable();
+            Ok(())
+        } else {
+            self.write_meta()?;
+            self.pool.flush_all()
+        }
+    }
+
+    /// Flushes and marks the tree closed: `Drop` becomes a no-op backstop,
+    /// so a failed final flush is *reported* here instead of being swallowed.
+    /// The handle must not be mutated afterwards.
+    pub fn close(&mut self) -> io::Result<()> {
+        let result = self.flush();
+        self.closed = true;
+        result
+    }
+
+    /// `true` once any flush of this tree (including the best-effort one in
+    /// `Drop`) failed: the persisted free list or metadata may be stale.
+    /// Shared between the writer and its snapshots; never cleared.
+    pub fn flush_failed(&self) -> bool {
+        self.snapshots.flush_failed.load(Ordering::Relaxed)
+    }
+
+    /// Highest committed batch sequence number whose effects reached the
+    /// pages (persisted in the meta page on every flush).
+    pub fn applied_seq(&self) -> u64 {
+        self.applied_seq
+    }
+
+    /// Records the batch sequence number the pages now reflect; persisted by
+    /// the next [`PagedBTree::flush`].
+    pub fn set_applied_seq(&mut self, seq: u64) {
+        self.applied_seq = seq;
     }
 
     // ------------------------------------------------------------------
@@ -669,7 +814,10 @@ impl PagedBTree {
         if previous.is_none() {
             self.entries += 1;
         }
-        self.write_meta()?;
+        // The meta page is deliberately NOT updated here: it must only be
+        // dirtied inside `try_flush`, after the data pages are written and
+        // synced, or an eviction (or flush phase one) could persist a root
+        // that points at pages not yet on disk. See `enable_durable_writeback`.
         Ok(previous)
     }
 
@@ -793,7 +941,7 @@ impl PagedBTree {
                 if size < MIN_FILL && self.height > 1 {
                     self.rebalance(path, target)?;
                 }
-                self.write_meta()?;
+                // No meta write here — see the matching comment in `insert`.
                 Ok(Some(value))
             }
             Err(_) => Ok(None),
@@ -1078,6 +1226,9 @@ impl PagedBTree {
             epoch: 0,
             fresh: HashSet::new(),
             retired: Vec::new(),
+            applied_seq: 0,
+            closed: false,
+            durable_pin: None,
             _pin: None,
         };
         tree.write_meta()?;
@@ -1508,10 +1659,12 @@ impl StructuralAudit for PagedBTree {
 
 impl Drop for PagedBTree {
     fn drop(&mut self) {
-        // Writer handles only: reclaim whatever the dead snapshots released
-        // and persist the resulting free list (best effort — a Drop cannot
-        // report I/O errors, and the tree is consistent without it).
-        if self._pin.is_none() && !self.retired.is_empty() {
+        // Backstop for writer handles that were never `close()`d: reclaim
+        // whatever the dead snapshots released and persist the resulting free
+        // list. A Drop cannot report I/O errors, but `flush` records any
+        // failure in the shared `flush_failed` flag, so the loss is at least
+        // observable instead of silent. Explicit `close()` is the real path.
+        if !self.closed && self._pin.is_none() && !self.retired.is_empty() {
             let _ = self.flush();
         }
     }

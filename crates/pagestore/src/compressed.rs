@@ -858,6 +858,7 @@ mod tests {
                 node_count: oracle.node_count(),
                 inserted_edges: inserted,
                 deleted_edges: deleted,
+                seq: 1,
             })
             .unwrap();
     }

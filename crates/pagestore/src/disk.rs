@@ -12,6 +12,7 @@
 //! All I/O above this layer goes through the [`crate::BufferPool`]; no other
 //! module touches the file directly.
 
+use crate::fault;
 use crate::page::{PageId, PAGE_SIZE};
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
@@ -119,6 +120,7 @@ impl DiskManager {
                 Ok(PageId(pages.len() as u32 - 1))
             }
             Backend::File { file, num_pages } => {
+                fault::hit("page-allocate")?;
                 let pid = PageId(*num_pages);
                 *num_pages += 1;
                 file.seek(SeekFrom::Start(pid.offset()))?;
@@ -166,6 +168,7 @@ impl DiskManager {
                 Ok(())
             }
             Backend::File { file, .. } => {
+                fault::hit("page-write")?;
                 file.seek(SeekFrom::Start(pid.offset()))?;
                 file.write_all(buf)
             }
@@ -176,7 +179,10 @@ impl DiskManager {
     pub fn sync(&mut self) -> io::Result<()> {
         match &mut self.backend {
             Backend::Memory(_) => Ok(()),
-            Backend::File { file, .. } => file.sync_data(),
+            Backend::File { file, .. } => {
+                fault::hit("page-sync")?;
+                file.sync_data()
+            }
         }
     }
 }

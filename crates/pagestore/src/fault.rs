@@ -1,0 +1,148 @@
+//! Deterministic I/O fault injection for crash-recovery testing.
+//!
+//! The kill-at-any-point recovery harness (`tests/wal_recovery.rs`) needs to
+//! simulate a process dying between any two durable steps: mid WAL append,
+//! after the WAL sync but before page writeback, halfway through a
+//! checkpoint. Real `kill -9` loops are slow and nondeterministic; instead,
+//! every durable I/O site in this crate calls [`hit`] with a site name, and a
+//! test can arm the registry to make the N-th such call fail with an
+//! `io::Error`. The write path treats any injected error exactly like a real
+//! one (poisoning the writer), after which the harness "reboots" by reopening
+//! the database from disk — the same state a killed process would leave.
+//!
+//! The registry is process-global (the page store has no convenient handle to
+//! thread a probe through), with an atomic fast path so production code pays
+//! one relaxed load per durable operation when nothing is armed. Tests that
+//! arm faults must serialize with each other; the harness runs in its own
+//! test binary and holds a lock around every trial.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// `true` while a fault is armed — the fast-path guard of [`hit`].
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// The armed fault, when [`ENABLED`] is set.
+static ARMED: Mutex<Option<Armed>> = Mutex::new(None);
+
+struct Armed {
+    /// Durable operations left before the fault fires (0 = fire on the next
+    /// [`hit`] call).
+    remaining: u64,
+    /// Site name of the operation that fired, recorded for diagnostics.
+    fired_at: Option<String>,
+}
+
+fn armed() -> std::sync::MutexGuard<'static, Option<Armed>> {
+    ARMED.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Arms the registry: the `nth` (0-based) subsequent [`hit`] call fails.
+/// Any previously armed fault is replaced.
+pub fn arm(nth: u64) {
+    *armed() = Some(Armed {
+        remaining: nth,
+        fired_at: None,
+    });
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Disarms the registry and reports the site the armed fault fired at, if it
+/// fired. Counting mode (see [`count_ops`]) leaves the fired site `None`.
+pub fn disarm() -> Option<String> {
+    ENABLED.store(false, Ordering::SeqCst);
+    armed().take().and_then(|a| a.fired_at)
+}
+
+/// Arms the registry in pure counting mode: no [`hit`] call fails, but each
+/// one increments the counter read back by [`disarm_count`]. The harness uses
+/// this to measure how many durable operations a clean run performs, then
+/// replays the run once per operation index with [`arm`].
+pub fn count_ops() {
+    *armed() = Some(Armed {
+        remaining: u64::MAX,
+        fired_at: None,
+    });
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Ends counting mode, returning the number of durable operations observed
+/// since [`count_ops`].
+pub fn disarm_count() -> u64 {
+    ENABLED.store(false, Ordering::SeqCst);
+    armed().take().map_or(0, |a| u64::MAX - a.remaining)
+}
+
+/// Durable-operation checkpoint: called by every WAL append/sync, page
+/// write, disk sync and checkpoint step. Returns an injected error when an
+/// armed fault's countdown reaches this call; otherwise a no-op (one relaxed
+/// atomic load when nothing is armed).
+#[inline]
+pub fn hit(site: &str) -> std::io::Result<()> {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return Ok(());
+    }
+    hit_slow(site)
+}
+
+#[cold]
+fn hit_slow(site: &str) -> std::io::Result<()> {
+    let mut guard = armed();
+    let Some(armed) = guard.as_mut() else {
+        return Ok(());
+    };
+    if armed.remaining == 0 {
+        // Leave the registry armed (remaining stays 0): once a process
+        // "crashed", every further durable operation fails too, mirroring a
+        // machine that is gone rather than one that flickered.
+        if armed.fired_at.is_none() {
+            armed.fired_at = Some(site.to_string());
+        }
+        return Err(std::io::Error::other(format!(
+            "injected fault at durable operation site `{site}`"
+        )));
+    }
+    armed.remaining -= 1;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The registry is process-global, so these tests serialize on a lock.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disarmed_hits_are_free_and_ok() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        ENABLED.store(false, Ordering::SeqCst);
+        assert!(hit("anywhere").is_ok());
+        assert_eq!(disarm(), None);
+    }
+
+    #[test]
+    fn armed_fault_fires_at_the_exact_index_and_stays_down() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        arm(2);
+        assert!(hit("a").is_ok());
+        assert!(hit("b").is_ok());
+        let err = hit("c").expect_err("third hit must fail");
+        assert!(err.to_string().contains("`c`"));
+        // After the crash every durable operation keeps failing.
+        assert!(hit("d").is_err());
+        assert_eq!(disarm(), Some("c".to_string()));
+        assert!(hit("e").is_ok());
+    }
+
+    #[test]
+    fn counting_mode_counts_without_failing() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        count_ops();
+        for _ in 0..5 {
+            assert!(hit("x").is_ok());
+        }
+        assert_eq!(disarm_count(), 5);
+        assert_eq!(disarm_count(), 0);
+    }
+}

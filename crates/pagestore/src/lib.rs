@@ -32,10 +32,12 @@ pub mod btree;
 pub mod buffer;
 pub mod compressed;
 pub mod disk;
+pub mod fault;
 pub mod page;
 pub mod paged_index;
 pub mod slotted;
 pub mod varint;
+pub mod wal;
 
 pub use btree::{CowStats, PagedBTree, PagedRangeIter, PagedTreeStats, MAX_ENTRY_SIZE};
 pub use buffer::{BufferPool, PoolStats};
@@ -43,3 +45,4 @@ pub use compressed::{CompressedPairScan, CompressedPathStore, CompressionStats, 
 pub use disk::{DiskManager, DiskStats};
 pub use page::{PageBuf, PageId, PAGE_SIZE};
 pub use paged_index::{PagedIndexStats, PagedPathIndex};
+pub use wal::{CommitRecord, Wal, WalStats};

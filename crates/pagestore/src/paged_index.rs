@@ -26,13 +26,32 @@ use pathix_audit::{AuditReport, StructuralAudit};
 use pathix_graph::{Graph, NodeId, SignedLabel};
 use pathix_index::backend::{
     check_scan_path, BackendError, BackendResult, BackendScan, BackendStats, DeltaBatch,
-    EntryChange, MutablePathIndexBackend, PathIndexBackend,
+    MutablePathIndexBackend, PathIndexBackend,
 };
+use pathix_index::enumerate_counted_paths;
 use pathix_index::pathkey::{
     decode_entry, encode_entry, encode_path_prefix, encode_path_source_prefix,
 };
-use pathix_index::{enumerate_paths, paths_k_cardinality};
+use std::collections::HashSet;
 use std::io;
+
+/// Walk counts are stored as the entry value: 8 bytes, little endian — the
+/// same encoding [`pathix_index::IncrementalKPathIndex`] keeps in memory, so
+/// a persisted tree can reseed a live writer without recomputation.
+fn encode_walks(count: u64) -> Vec<u8> {
+    count.to_le_bytes().to_vec()
+}
+
+/// Decodes a stored walk count; `None` when the value is not exactly 8 bytes.
+fn decode_walks(value: &[u8]) -> Option<u64> {
+    let bytes: [u8; 8] = value.try_into().ok()?;
+    Some(u64::from_le_bytes(bytes))
+}
+
+#[inline]
+fn pack_pair(a: NodeId, b: NodeId) -> u64 {
+    ((a.0 as u64) << 32) | b.0 as u64
+}
 
 /// Construction and size statistics of a [`PagedPathIndex`].
 #[derive(Debug, Clone, Copy)]
@@ -72,39 +91,45 @@ impl PagedPathIndex {
 
     /// Builds the index for `graph` with locality `k` into a page file at
     /// `path` (created or truncated) with `pool_frames` buffer frames.
+    ///
+    /// On-disk indexes come up in **durable writeback** mode: the tree keeps a
+    /// standing snapshot pin on the last flushed root, so every later batch
+    /// copy-on-writes its pages and a crash mid-writeback always leaves one
+    /// complete tree on disk (see [`PagedBTree::enable_durable_writeback`]).
     pub fn build_on_disk<P: AsRef<std::path::Path>>(
         graph: &Graph,
         k: usize,
         path: P,
         pool_frames: usize,
     ) -> io::Result<Self> {
-        Self::build(
+        let mut index = Self::build(
             graph,
             k,
             BufferPool::new(DiskManager::create(path)?, pool_frames),
-        )
+        )?;
+        index.tree.enable_durable_writeback();
+        Ok(index)
     }
 
     /// Builds the index into the given (empty) buffer pool.
     pub fn build(graph: &Graph, k: usize, pool: BufferPool) -> io::Result<Self> {
-        let relations = enumerate_paths(graph, k);
-        let paths_k_size = paths_k_cardinality(graph, &relations);
-        // Entries must reach bulk_load in key order; relations are produced
-        // per path, so collect and sort the full key set once.
+        // Counted relations carry no duplicate pairs, and keys of different
+        // paths never collide — entries only need one global sort for
+        // bulk_load's key-order contract.
+        let relations = enumerate_counted_paths(graph, k);
+        let mut distinct: HashSet<u64> = graph.nodes().map(|n| pack_pair(n, n)).collect();
         let mut per_path_counts = Vec::with_capacity(relations.len());
-        let mut keys: Vec<Vec<u8>> = Vec::new();
-        for rel in &relations {
-            let mut pairs = rel.pairs.clone();
-            pairs.sort_unstable();
-            pairs.dedup();
-            per_path_counts.push((rel.path.clone(), pairs.len() as u64));
-            for (s, t) in pairs {
-                keys.push(encode_entry(&rel.path, s, t));
+        let mut entries: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+        for (path, pairs) in &relations {
+            per_path_counts.push((path.clone(), pairs.len() as u64));
+            for &((a, b), walks) in pairs {
+                distinct.insert(pack_pair(a, b));
+                entries.push((encode_entry(path, a, b), encode_walks(walks)));
             }
         }
-        keys.sort_unstable();
-        keys.dedup();
-        let mut tree = PagedBTree::bulk_load(pool, keys.into_iter().map(|k| (k, Vec::new())))?;
+        let paths_k_size = distinct.len() as u64;
+        entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        let mut tree = PagedBTree::bulk_load(pool, entries)?;
         tree.flush()?;
         Ok(PagedPathIndex {
             k,
@@ -115,6 +140,150 @@ impl PagedPathIndex {
             inserts_applied: 0,
             deletes_applied: 0,
         })
+    }
+
+    /// Opens a previously built (and possibly crash-interrupted) index from
+    /// the page file at `path`.
+    ///
+    /// The tree is opened through [`PagedBTree::open_recovering`]: the
+    /// persisted free list — which threads through page contents and is *not*
+    /// crash-consistent — is discarded and rebuilt by a mark-and-sweep over
+    /// the root-reachable pages. Durable writeback is re-enabled, and the
+    /// derived statistics (per-path cardinalities, `|paths_k(G)|`) are
+    /// recounted from a full scan; `node_count` must come from the recovered
+    /// graph the index belongs to.
+    pub fn open<P: AsRef<std::path::Path>>(
+        path: P,
+        k: usize,
+        pool_frames: usize,
+        node_count: usize,
+    ) -> io::Result<Self> {
+        let pool = BufferPool::new(DiskManager::open(path)?, pool_frames);
+        let mut tree = PagedBTree::open_recovering(pool)?;
+        tree.enable_durable_writeback();
+        let mut index = PagedPathIndex {
+            k,
+            node_count,
+            per_path_counts: Vec::new(),
+            paths_k_size: 0,
+            tree,
+            inserts_applied: 0,
+            deletes_applied: 0,
+        };
+        index.refresh_derived_stats()?;
+        Ok(index)
+    }
+
+    /// Recounts the derived statistics (`per_path_counts`, `paths_k_size`)
+    /// from a full scan of the stored entries, using the current
+    /// `node_count`. Fails with `InvalidData` on malformed keys or walk
+    /// counts — the symptoms of a corrupt page file.
+    pub fn refresh_derived_stats(&mut self) -> io::Result<()> {
+        let mut per_path: Vec<(Vec<SignedLabel>, u64)> = Vec::new();
+        let mut linked: HashSet<u64> = HashSet::new();
+        for item in self.tree.iter()? {
+            let (key, value) = item?;
+            let Some((path, a, b)) = decode_entry(&key) else {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "stored key of {} byte(s) is not a ⟨path, source, target⟩ entry",
+                        key.len()
+                    ),
+                ));
+            };
+            if decode_walks(&value).is_none_or(|walks| walks == 0) {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("stored entry for path {path:?} has an invalid walk count"),
+                ));
+            }
+            match per_path.last_mut() {
+                Some((p, n)) if *p == path => *n += 1,
+                _ => per_path.push((path, 1)),
+            }
+            if a != b {
+                linked.insert(pack_pair(a, b));
+            }
+        }
+        self.per_path_counts = per_path;
+        self.paths_k_size = self.node_count as u64 + linked.len() as u64;
+        Ok(())
+    }
+
+    /// Replays one logged commit record against the stored entries during
+    /// recovery. Records at or below the tree's persisted
+    /// [`PagedPathIndex::applied_seq`] already reached the page file before
+    /// the crash and only refresh the derived statistics; newer records
+    /// replay their absolute `(key, walk count)` writes (0 deletes the key),
+    /// advance the sequence number, and flush durably, so a crash *during*
+    /// recovery resumes where it left off. Returns whether the record was
+    /// fresh.
+    pub fn replay_batch(
+        &mut self,
+        seq: u64,
+        counts: &[(Vec<u8>, u64)],
+        node_count: usize,
+        inserted_edges: u64,
+        deleted_edges: u64,
+    ) -> io::Result<bool> {
+        let fresh = seq > self.tree.applied_seq();
+        if fresh {
+            for (key, count) in counts {
+                if *count == 0 {
+                    self.tree.delete(key)?;
+                } else {
+                    self.tree.insert(key.clone(), encode_walks(*count))?;
+                }
+            }
+            self.tree.set_applied_seq(seq);
+            self.inserts_applied += inserted_edges;
+            self.deletes_applied += deleted_edges;
+        }
+        self.node_count = node_count;
+        self.refresh_derived_stats()?;
+        if fresh {
+            self.tree.flush()?;
+        }
+        Ok(fresh)
+    }
+
+    /// Streams every stored `(entry key, walk count)` pair in key order —
+    /// exactly what [`pathix_index::IncrementalKPathIndex::from_persisted_entries`]
+    /// needs to reseed a live writer after a restart.
+    pub fn counted_entries(&self) -> io::Result<Vec<(Vec<u8>, u64)>> {
+        let mut out = Vec::with_capacity(self.tree.len() as usize);
+        for item in self.tree.iter()? {
+            let (key, value) = item?;
+            let Some(walks) = decode_walks(&value) else {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "stored entry value is not an 8-byte walk count",
+                ));
+            };
+            out.push((key, walks));
+        }
+        Ok(out)
+    }
+
+    /// Flushes and marks the index cleanly closed; after `close`, dropping
+    /// the index performs no I/O. Errors surface here (and set the sticky
+    /// [`PagedPathIndex::flush_failed`] flag) instead of being swallowed by
+    /// `Drop`.
+    pub fn close(&mut self) -> io::Result<()> {
+        self.tree.close()
+    }
+
+    /// `true` once any flush of the backing tree has failed (including one
+    /// attempted by `Drop` as a last resort).
+    pub fn flush_failed(&self) -> bool {
+        self.tree.flush_failed()
+    }
+
+    /// Sequence number of the last durably applied update batch (0 =
+    /// bulk-built, never updated).
+    pub fn applied_seq(&self) -> u64 {
+        self.tree.applied_seq()
     }
 
     /// A fully isolated snapshot of the index: the structural metadata (tree
@@ -261,6 +430,7 @@ impl StructuralAudit for PagedPathIndex {
 
         let mut per_path: Vec<(Vec<SignedLabel>, u64)> = Vec::new();
         let mut undecodable = 0u64;
+        let mut bad_counts = 0u64;
         let iter = match self.tree.iter() {
             Ok(iter) => iter,
             Err(e) => {
@@ -269,13 +439,16 @@ impl StructuralAudit for PagedPathIndex {
             }
         };
         for item in iter {
-            let key = match item {
-                Ok((key, _)) => key,
+            let (key, value) = match item {
+                Ok(entry) => entry,
                 Err(e) => {
                     report.violation("audit-io", "index-scan", e.to_string());
                     return;
                 }
             };
+            if decode_walks(&value).is_none_or(|walks| walks == 0) {
+                bad_counts += 1;
+            }
             match decode_entry(&key) {
                 Some((path, _, _)) => match per_path.last_mut() {
                     Some((p, n)) if *p == path => *n += 1,
@@ -286,6 +459,9 @@ impl StructuralAudit for PagedPathIndex {
         }
         report.check("entry-decodable", "tree", undecodable == 0, || {
             format!("{undecodable} key(s) failed to decode as ⟨path, source, target⟩")
+        });
+        report.check("walk-count-encoded", "tree", bad_counts == 0, || {
+            format!("{bad_counts} entry value(s) are not positive 8-byte walk counts")
         });
         // per_path_counts keeps build/oracle order, which need not be the
         // tree's key order — compare as sets.
@@ -375,22 +551,21 @@ impl PathIndexBackend for PagedPathIndex {
 }
 
 impl MutablePathIndexBackend for PagedPathIndex {
-    /// Replays the batch's key transitions as B+tree inserts and deletes
-    /// (splitting, merging and recycling pages as needed), adopts the fresh
-    /// statistics, and flushes every dirty page through the buffer pool so an
-    /// on-disk index is durable up to the end of the batch.
+    /// Replays the batch's absolute `(key, walk count)` writes as B+tree
+    /// inserts and deletes (splitting, merging and recycling pages as
+    /// needed; a count of 0 deletes the key), adopts the fresh statistics
+    /// and the batch's commit sequence number, and flushes every dirty page
+    /// through the buffer pool so an on-disk index is durable up to the end
+    /// of the batch.
     fn apply_delta_batch(&mut self, batch: &DeltaBatch<'_>) -> BackendResult<()> {
         let io_err = |e: &io::Error| BackendError::io("paged", e);
-        for (key, change) in batch.deltas.ops() {
-            match change {
-                EntryChange::Added => {
-                    self.tree
-                        .insert(key.clone(), Vec::new())
-                        .map_err(|e| io_err(&e))?;
-                }
-                EntryChange::Removed => {
-                    self.tree.delete(key).map_err(|e| io_err(&e))?;
-                }
+        for (key, count) in batch.deltas.counts() {
+            if *count == 0 {
+                self.tree.delete(key).map_err(|e| io_err(&e))?;
+            } else {
+                self.tree
+                    .insert(key.clone(), encode_walks(*count))
+                    .map_err(|e| io_err(&e))?;
             }
         }
         self.per_path_counts = batch.per_path_counts.to_vec();
@@ -398,6 +573,7 @@ impl MutablePathIndexBackend for PagedPathIndex {
         self.node_count = batch.node_count;
         self.inserts_applied += batch.inserted_edges;
         self.deletes_applied += batch.deleted_edges;
+        self.tree.set_applied_seq(batch.seq);
         self.tree.flush().map_err(|e| io_err(&e))
     }
 
@@ -536,6 +712,7 @@ mod tests {
             node_count: oracle.node_count(),
             inserted_edges: inserted,
             deleted_edges: deleted,
+            seq: 1,
         };
         paged.apply_delta_batch(&batch).unwrap();
         assert_eq!(
@@ -606,6 +783,7 @@ mod tests {
                 node_count: oracle.node_count(),
                 inserted_edges: 1,
                 deleted_edges: 0,
+                seq: 1,
             })
             .unwrap();
         let mut report = AuditReport::new();
@@ -633,6 +811,92 @@ mod tests {
         report.run("paged", &paged);
         let names: Vec<_> = report.violations().iter().map(|v| v.invariant).collect();
         assert!(names.contains(&"entry-decodable"), "{names:?}");
+
+        // A value that is not a positive 8-byte walk count.
+        let mut paged = PagedPathIndex::build_in_memory(&g, 2, 8).unwrap();
+        let (path, _) = paged.per_path_counts[0].clone();
+        let key = encode_entry(&path, NodeId(1), NodeId(1));
+        paged.tree.insert(key, encode_walks(0)).unwrap();
+        let mut report = AuditReport::new();
+        report.run("paged", &paged);
+        let names: Vec<_> = report.violations().iter().map(|v| v.invariant).collect();
+        assert!(names.contains(&"walk-count-encoded"), "{names:?}");
+    }
+
+    #[test]
+    fn on_disk_index_reopens_with_recovered_stats() {
+        use pathix_index::{EntryDeltas, GraphUpdate, IncrementalKPathIndex};
+
+        let dir = std::env::temp_dir().join(format!("pathix-pidx-reopen-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("kpath.pages");
+        let g = paper_example_graph();
+        let k = 2;
+
+        let mut oracle = IncrementalKPathIndex::bulk_from_graph(&g, k);
+        let (len, per_path, paths_k, entries) = {
+            let mut idx = PagedPathIndex::build_on_disk(&g, k, &path, 8).unwrap();
+
+            // One live batch so the reopened tree carries a non-zero seq.
+            let sue = g.node_id("sue").unwrap();
+            let tim = g.node_id("tim").unwrap();
+            let knows = g.label_id("knows").unwrap();
+            let mut deltas = EntryDeltas::new();
+            assert!(oracle.apply_logged(
+                GraphUpdate::InsertEdge {
+                    src: sue,
+                    label: knows,
+                    dst: tim,
+                },
+                &mut deltas,
+            ));
+            idx.apply_delta_batch(&DeltaBatch {
+                deltas: &deltas,
+                per_path_counts: oracle.per_path_counts(),
+                paths_k_size: oracle.paths_k_size(),
+                node_count: oracle.node_count(),
+                inserted_edges: 1,
+                deleted_edges: 0,
+                seq: 7,
+            })
+            .unwrap();
+            idx.close().unwrap();
+            assert!(!idx.flush_failed());
+            (
+                idx.len(),
+                idx.per_path_counts().to_vec(),
+                PathIndexBackend::paths_k_size(&idx),
+                idx.counted_entries().unwrap(),
+            )
+        };
+
+        let reopened = PagedPathIndex::open(&path, k, 8, oracle.node_count()).unwrap();
+        assert_eq!(reopened.applied_seq(), 7);
+        assert_eq!(reopened.len(), len);
+        assert_eq!(PathIndexBackend::paths_k_size(&reopened), paths_k);
+        let mut advertised = per_path;
+        let mut recovered = reopened.per_path_counts().to_vec();
+        advertised.sort();
+        recovered.sort();
+        assert_eq!(recovered, advertised);
+        assert_eq!(reopened.counted_entries().unwrap(), entries);
+
+        // The recovered entries reseed a live writer identical to the oracle.
+        let mut updated = g.clone();
+        assert!(updated.insert_edge(
+            g.node_id("sue").unwrap(),
+            g.label_id("knows").unwrap(),
+            g.node_id("tim").unwrap()
+        ));
+        let reseeded = IncrementalKPathIndex::from_persisted_entries(&updated, k, entries).unwrap();
+        assert_eq!(reseeded.entry_count() as u64, reopened.len());
+        assert_eq!(reseeded.paths_k_size(), oracle.paths_k_size());
+
+        let mut report = AuditReport::new();
+        report.run("paged-reopened", &reopened);
+        report.assert_clean("after reopen");
+
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -328,6 +328,13 @@ impl Shell {
                 cow.live_snapshots
             ));
         }
+        // A failed flush is sticky: the persisted tree may lag the in-memory
+        // one, so the operator should know before trusting a clean shutdown.
+        if storage.flush_failed {
+            out.push_str(
+                "\ndurability: WARNING — a flush failed; on-disk state may lag (recover by reopen)",
+            );
+        }
         // Every backend counts what its bound probes and range scans managed
         // to bypass or stage ahead of time.
         out.push_str(&format!(
