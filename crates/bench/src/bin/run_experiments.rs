@@ -15,6 +15,7 @@
 //!   updates    extension: live PathDb::apply throughput vs full rebuild
 //!   scan-join  extension: vectorized scan/join engine vs pair-at-a-time
 //!   ingest     extension: streaming ingest from an empty database
+//!   serving    extension: serving-tier read latency under write load
 //!   all        everything above (default)
 //! ```
 //!
@@ -22,18 +23,20 @@
 //! Advogato); the Datalog/automaton comparisons automatically use a smaller
 //! graph because the baselines are orders of magnitude slower.
 //!
-//! `--json` additionally writes the `updates`, `scan-join` and `ingest`
-//! experiments' machine-readable results to `BENCH_updates.json`,
-//! `BENCH_scan_join.json` and `BENCH_ingest.json` in the current directory
-//! (apply throughput, publish latency, per-backend scan/join speedups and
-//! skip counters, streaming-ingest throughput and append-latency flatness)
-//! so CI can archive the perf trajectory run over run.
+//! `--json` additionally writes the `updates`, `scan-join`, `ingest` and
+//! `serving` experiments' machine-readable results to `BENCH_updates.json`,
+//! `BENCH_scan_join.json`, `BENCH_ingest.json` and `BENCH_serving.json` in
+//! the current directory (apply throughput, publish latency, per-backend
+//! scan/join speedups and skip counters, streaming-ingest throughput and
+//! append-latency flatness, serving-tier p50/p99 read latency vs write rate
+//! and group-commit batch) so CI can archive the perf trajectory run over
+//! run.
 
 use pathix_bench::report::ToJson;
 use pathix_bench::{
     amortization, automaton_comparison, backend_comparison, bench_scale, datalog_speedup, fig2,
     histogram_ablation, incremental_maintenance, index_construction, ingest, live_updates,
-    paged_index, parallel, scaling, scan_join, sql_comparison,
+    paged_index, parallel, scaling, scan_join, serving, sql_comparison,
 };
 
 /// Writes a report to `name` in the current directory (best effort).
@@ -117,6 +120,12 @@ fn main() {
                 write_bench_json("BENCH_ingest.json", &report);
             }
         }
+        "serving" => {
+            let report = serving(scale, 2);
+            if json {
+                write_bench_json("BENCH_serving.json", &report);
+            }
+        }
         "all" => {
             fig2(scale, &ks);
             datalog_speedup(baseline_scale);
@@ -142,12 +151,16 @@ fn main() {
             if json {
                 write_bench_json("BENCH_ingest.json", &report);
             }
+            let report = serving(scale, 2);
+            if json {
+                write_bench_json("BENCH_serving.json", &report);
+            }
         }
         other => {
             eprintln!(
                 "unknown experiment `{other}`; expected one of: fig2, datalog, automaton, \
                  index, scaling, ablation, sql, paged, backends, amortization, parallel, \
-                 incremental, updates, scan-join, ingest, all"
+                 incremental, updates, scan-join, ingest, serving, all"
             );
             std::process::exit(2);
         }

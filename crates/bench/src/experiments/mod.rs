@@ -13,5 +13,6 @@ pub mod paged;
 pub mod parallel;
 pub mod scaling;
 pub mod scan_join;
+pub mod serving;
 pub mod sql;
 pub mod updates;

@@ -26,6 +26,6 @@ pub use experiments::{
     backends::backend_comparison, datalog::datalog_speedup, fig2::fig2,
     incremental::incremental_maintenance, index_build::index_construction, ingest::ingest,
     paged::paged_index, parallel::parallel, scaling::scaling, scan_join::scan_join,
-    sql::sql_comparison, updates::live_updates,
+    serving::serving, sql::sql_comparison, updates::live_updates,
 };
 pub use report::{format_duration_ms, Table};

@@ -4,9 +4,9 @@
 use crate::db::Snapshot;
 use crate::error::QueryError;
 use crate::options::QueryOptions;
-use pathix_exec::{BoxedPairStream, PairStream};
+use pathix_exec::{BoxedPairStream, CancelToken, PairStream, CANCEL_BACKEND};
 use pathix_graph::NodeId;
-use pathix_plan::{open_stream, ExecutionStats, PhysicalPlan};
+use pathix_plan::{open_stream, open_stream_cancellable, ExecutionStats, PhysicalPlan};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -25,11 +25,19 @@ struct OwnedStream {
 }
 
 impl OwnedStream {
-    fn open(snapshot: Snapshot, plan: Arc<PhysicalPlan>) -> Result<Self, QueryError> {
+    fn open(
+        snapshot: Snapshot,
+        plan: Arc<PhysicalPlan>,
+        token: Option<&CancelToken>,
+    ) -> Result<Self, QueryError> {
         let stream = {
-            let raw: BoxedPairStream<'_> = open_stream(plan.as_ref(), snapshot.index())?;
+            let raw: BoxedPairStream<'_> = match token {
+                Some(token) => open_stream_cancellable(plan.as_ref(), snapshot.index(), token)?,
+                None => open_stream(plan.as_ref(), snapshot.index())?,
+            };
             // SAFETY: `raw` borrows only from the plan behind `plan` and the
-            // index behind `snapshot`, both heap allocations owned by `Arc`s
+            // index behind `snapshot` (the cancellation guards own their
+            // token clones), both heap allocations owned by `Arc`s
             // that are moved (not dropped) into the returned struct, so the
             // borrowed data outlives the stream and never moves. Snapshots
             // are immutable by construction — updates publish *new* snapshots
@@ -112,7 +120,7 @@ impl Cursor {
         let joins = plan.join_count();
         let merge_joins = plan.merge_join_count();
         Ok(Cursor {
-            stream: OwnedStream::open(snapshot, plan)?,
+            stream: OwnedStream::open(snapshot, plan, options.cancel_token_ref())?,
             remaining: options.limit_value(),
             options,
             seen: HashSet::new(),
@@ -203,7 +211,24 @@ impl Iterator for Cursor {
             match self.stream.stream.next_pair() {
                 Err(e) => {
                     self.done = true;
-                    return Some(Err(QueryError::Backend(e)));
+                    // A cancellation guard reports interruption as a backend
+                    // error with a marker backend name; translate it into the
+                    // dedicated variants so callers can tell "the consumer
+                    // gave up" apart from real storage failures.
+                    let error = if e.backend() == CANCEL_BACKEND {
+                        let deadline_hit = self
+                            .options
+                            .cancel_token_ref()
+                            .is_some_and(CancelToken::deadline_exceeded);
+                        if deadline_hit {
+                            QueryError::DeadlineExceeded
+                        } else {
+                            QueryError::Cancelled
+                        }
+                    } else {
+                        QueryError::Backend(e)
+                    };
+                    return Some(Err(error));
                 }
                 Ok(None) => {
                     self.done = true;

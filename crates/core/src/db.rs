@@ -1427,6 +1427,36 @@ impl PathDb {
         if let Some(index) = &live.index {
             report.run("counting-index", index);
         }
+        // Durability health. `StorageStats::flush_failed` is sticky but was
+        // previously only visible to callers polling `stats()`; surfacing it
+        // here makes degraded state part of the structural audit, so harness
+        // sweeps (and the CLI's `\audit`) report it instead of silently
+        // serving from a database whose page file stopped taking writes.
+        report.begin("durability");
+        let flush_failed = snapshot
+            .index()
+            .as_paged()
+            .map(|paged| paged.flush_failed())
+            .unwrap_or(false);
+        report.check("no page flush has failed", "storage", !flush_failed, || {
+            "the paged backend latched a flush failure; durable state stopped \
+             advancing and the database should be reopened from disk"
+                .to_string()
+        });
+        report.check(
+            "writer accepts further updates",
+            "writer",
+            live.failed.is_none(),
+            || {
+                let detail = live
+                    .failed
+                    .as_ref()
+                    .map(|e| e.to_string())
+                    .unwrap_or_default();
+                format!("the writer latched a failure and rejects writes: {detail}")
+            },
+        );
+        report.end();
         report
     }
 }

@@ -37,6 +37,13 @@ pub enum QueryError {
     /// Opening a durable database failed: the graph checkpoint or write-ahead
     /// log is missing, corrupt, or inconsistent with the page file.
     Recovery(String),
+    /// The query's cancellation token was tripped by its caller while the
+    /// cursor was streaming. The snapshot is untouched; re-running the query
+    /// is safe.
+    Cancelled,
+    /// The query's deadline passed before the cursor finished streaming. The
+    /// snapshot is untouched; re-running with a larger budget is safe.
+    DeadlineExceeded,
 }
 
 impl fmt::Display for QueryError {
@@ -57,6 +64,10 @@ impl fmt::Display for QueryError {
                  the database rejects further writes"
             ),
             QueryError::Recovery(message) => write!(f, "recovery failed: {message}"),
+            QueryError::Cancelled => write!(f, "query cancelled by its caller"),
+            QueryError::DeadlineExceeded => {
+                write!(f, "query deadline passed before the answer was complete")
+            }
         }
     }
 }
@@ -72,6 +83,8 @@ impl std::error::Error for QueryError {
             QueryError::InvalidUpdate(_) => None,
             QueryError::WriterPoisoned => None,
             QueryError::Recovery(_) => None,
+            QueryError::Cancelled => None,
+            QueryError::DeadlineExceeded => None,
         }
     }
 }

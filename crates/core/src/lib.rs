@@ -62,6 +62,7 @@ pub use session::Session;
 // Re-export the vocabulary a downstream user needs without adding every
 // sub-crate as a direct dependency.
 pub use pathix_audit::{AuditReport, AuditSection, AuditViolation, StructuralAudit};
+pub use pathix_exec::CancelToken;
 pub use pathix_graph::{Graph, GraphBuilder, LabelId, NodeId, SignedLabel};
 pub use pathix_index::{
     BackendError, BackendStats, DeltaBatch, EntryChange, EntryDeltas, EstimationMode, GraphUpdate,

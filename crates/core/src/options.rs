@@ -1,6 +1,7 @@
 //! Per-execution options: strategy, worker threads, limits and the paper's
 //! Example 3.1 source/target bindings, as one reusable builder.
 
+use pathix_exec::CancelToken;
 use pathix_graph::NodeId;
 use pathix_plan::Strategy;
 
@@ -37,6 +38,7 @@ pub struct QueryOptions {
     count_only: bool,
     source: Option<NodeId>,
     target: Option<NodeId>,
+    cancel: Option<CancelToken>,
 }
 
 impl QueryOptions {
@@ -101,6 +103,25 @@ impl QueryOptions {
         self
     }
 
+    /// Attach a cooperative cancellation token (possibly deadline-bearing).
+    ///
+    /// Token-bearing executions always stream through the cursor path — even
+    /// a fully unbound query — so the token is checked at every batch
+    /// boundary and a tripped token surfaces as
+    /// [`crate::QueryError::Cancelled`] or
+    /// [`crate::QueryError::DeadlineExceeded`]. Parallel (`threads > 1`)
+    /// runs materialize per-disjunct answers on worker threads and do not
+    /// observe the token mid-disjunct.
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// The attached cancellation token, if any.
+    pub fn cancel_token_ref(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
+    }
+
     /// The explicit strategy, if one was set.
     pub fn strategy_override(&self) -> Option<Strategy> {
         self.strategy
@@ -135,7 +156,11 @@ impl QueryOptions {
     /// bindings, full materialization. Such runs can use the batch executor
     /// and its whole-answer statistics.
     pub(crate) fn is_full_materialization(&self) -> bool {
-        self.limit.is_none() && !self.count_only && self.source.is_none() && self.target.is_none()
+        self.limit.is_none()
+            && !self.count_only
+            && self.source.is_none()
+            && self.target.is_none()
+            && self.cancel.is_none()
     }
 
     /// `true` when `pair` survives the source/target bindings.
@@ -186,6 +211,20 @@ mod tests {
         assert!(options.admits((NodeId(1), NodeId(2))));
         assert!(!options.admits((NodeId(1), NodeId(3))));
         assert!(!options.admits((NodeId(0), NodeId(2))));
+    }
+
+    #[test]
+    fn a_cancel_token_forces_the_cursor_path() {
+        let token = CancelToken::new();
+        let options = QueryOptions::new().cancel_token(token.clone());
+        assert!(!options.is_full_materialization());
+        assert_eq!(options.cancel_token_ref(), Some(&token));
+        // Identity equality: the same options with a *different* token are
+        // a different value.
+        assert_ne!(
+            options,
+            QueryOptions::new().cancel_token(CancelToken::new())
+        );
     }
 
     #[test]

@@ -127,6 +127,17 @@ impl PreparedQuery {
     /// * `count_only` reports the distinct-answer count in
     ///   `stats.result_pairs` while leaving the pair list empty.
     pub fn run(&self, db: &PathDb, options: QueryOptions) -> Result<QueryResult, QueryError> {
+        // An already-tripped token never starts executing. Mid-run checks
+        // happen on the cursor path (which a token-bearing sequential run
+        // always takes); parallel runs only observe the token here.
+        if let Some(token) = options.cancel_token_ref() {
+            if token.deadline_exceeded() {
+                return Err(QueryError::DeadlineExceeded);
+            }
+            if token.cancel_requested() {
+                return Err(QueryError::Cancelled);
+            }
+        }
         let strategy = options
             .strategy_override()
             .unwrap_or(db.config().default_strategy);

@@ -25,11 +25,13 @@
 //! [`PairStream::next_pair`] remains available for cursor streaming and
 //! `limit`/`exists` early termination.
 
+pub mod cancel;
 pub mod join;
 pub mod operator;
 pub mod scan;
 pub mod union;
 
+pub use cancel::{CancelGuard, CancelToken, CANCEL_BACKEND};
 pub use join::{HashJoinOp, MergeJoinOp};
 pub use operator::{collect_pairs, BoxedPairStream, Pair, PairStream, Sortedness};
 pub use pathix_index::backend::{PairBatch, BATCH_CAPACITY};

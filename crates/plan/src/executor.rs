@@ -7,8 +7,8 @@
 
 use crate::plan::{JoinAlgorithm, PhysicalPlan};
 use pathix_exec::{
-    collect_pairs, BoxedPairStream, DistinctOp, EpsilonScanOp, HashJoinOp, IndexScanOp,
-    MergeJoinOp, Pair, PairBatch, PairStream, UnionAllOp,
+    collect_pairs, BoxedPairStream, CancelGuard, CancelToken, DistinctOp, EpsilonScanOp,
+    HashJoinOp, IndexScanOp, MergeJoinOp, Pair, PairBatch, PairStream, UnionAllOp,
 };
 use pathix_index::{BackendResult, PathIndexBackend};
 use std::time::{Duration, Instant};
@@ -100,7 +100,29 @@ pub fn open_stream<'a, B: PathIndexBackend + ?Sized>(
     plan: &'a PhysicalPlan,
     index: &'a B,
 ) -> BackendResult<BoxedPairStream<'a>> {
-    Ok(match plan {
+    build_stream(plan, index, None)
+}
+
+/// [`open_stream`] with cooperative cancellation: every operator in the tree
+/// is wrapped in a [`CancelGuard`] sharing `token`, so a tripped token (or an
+/// expired deadline) interrupts the stream at the next batch boundary — even
+/// deep inside a selective join that pulls many child batches per output
+/// pair. The cancellation surfaces as a backend error whose backend name is
+/// [`pathix_exec::CANCEL_BACKEND`].
+pub fn open_stream_cancellable<'a, B: PathIndexBackend + ?Sized>(
+    plan: &'a PhysicalPlan,
+    index: &'a B,
+    token: &CancelToken,
+) -> BackendResult<BoxedPairStream<'a>> {
+    build_stream(plan, index, Some(token))
+}
+
+fn build_stream<'a, B: PathIndexBackend + ?Sized>(
+    plan: &'a PhysicalPlan,
+    index: &'a B,
+    token: Option<&CancelToken>,
+) -> BackendResult<BoxedPairStream<'a>> {
+    let stream: BoxedPairStream<'a> = match plan {
         PhysicalPlan::IndexScan { path, orientation } => {
             Box::new(IndexScanOp::new(index, path, *orientation)?)
         }
@@ -110,8 +132,8 @@ pub fn open_stream<'a, B: PathIndexBackend + ?Sized>(
             left,
             right,
         } => {
-            let l = open_stream(left, index)?;
-            let r = open_stream(right, index)?;
+            let l = build_stream(left, index, token)?;
+            let r = build_stream(right, index, token)?;
             match algorithm {
                 JoinAlgorithm::Merge => Box::new(MergeJoinOp::new(l, r)),
                 JoinAlgorithm::Hash => Box::new(HashJoinOp::new(l, r)),
@@ -120,10 +142,14 @@ pub fn open_stream<'a, B: PathIndexBackend + ?Sized>(
         PhysicalPlan::Union(children) => {
             let streams: Vec<BoxedPairStream<'a>> = children
                 .iter()
-                .map(|child| open_stream(child, index))
+                .map(|child| build_stream(child, index, token))
                 .collect::<BackendResult<_>>()?;
             Box::new(DistinctOp::new(Box::new(UnionAllOp::new(streams))))
         }
+    };
+    Ok(match token {
+        Some(token) => Box::new(CancelGuard::new(stream, token.clone())),
+        None => stream,
     })
 }
 

@@ -48,7 +48,10 @@ pub mod planner;
 pub mod semi_naive;
 
 pub use cost::{cost_plan, PlanCost};
-pub use executor::{execute, execute_pairwise, execute_with_stats, open_stream, ExecutionStats};
+pub use executor::{
+    execute, execute_pairwise, execute_with_stats, open_stream, open_stream_cancellable,
+    ExecutionStats,
+};
 pub use explain::explain;
 pub use parallel::{execute_parallel, execute_parallel_with_stats};
 pub use plan::{JoinAlgorithm, PhysicalPlan};

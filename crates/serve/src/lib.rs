@@ -1,0 +1,50 @@
+//! # pathix-serve
+//!
+//! A worker-pool serving tier over [`pathix_core::PathDb`] with an explicit
+//! robustness contract. The paper's compile-once/execute-many design makes
+//! individual queries cheap; this crate makes *many concurrent* queries
+//! safe, by putting four mechanisms between clients and the database:
+//!
+//! 1. **Admission control + backpressure.** Requests enter a bounded
+//!    two-class queue (point lookups + writes vs unbound scans). Once a
+//!    class queue or the global in-flight bound fills, submissions are shed
+//!    with [`ServeError::Overloaded`] and a retry hint — queue depth stays
+//!    bounded instead of latency growing without limit. When both classes
+//!    have waiters, workers alternate between them, so a flood of expensive
+//!    scans cannot starve cheap lookups.
+//!
+//! 2. **Deadlines + cooperative cancellation.** Each request carries a
+//!    [`pathix_core::CancelToken`]; the budget covers queueing and
+//!    execution. The token is threaded through the cursor's operator tree
+//!    (every operator is wrapped in a cancellation guard), so a slow query
+//!    returns [`ServeError::DeadlineExceeded`] at the next batch boundary
+//!    instead of hogging a worker.
+//!
+//! 3. **Degraded modes.** When an apply latches a failure
+//!    (`QueryError::WriterPoisoned`, a backend error, or the sticky
+//!    `flush_failed` flag), the tier transitions to **read-only** serving:
+//!    reads keep working off the last published snapshot, writes are
+//!    rejected with [`ServeError::ReadOnly`] and a retry hint. The tier
+//!    never turns a dead write path into total unavailability.
+//!
+//! 4. **Kill-anywhere restart.** [`Server::reopen`] recovers the database
+//!    from its durable state (checkpoint + WAL replay via
+//!    [`pathix_core::PathDb::open`]) and resumes serving. The chaos harness
+//!    in `tests/serve_chaos.rs` arms a fault at every durable operation
+//!    under a mixed Zipfian read/write workload and diffs every acknowledged
+//!    answer against a never-crashed twin.
+//!
+//! [`retry_with_backoff`] rounds the contract out on the client side:
+//! transient shedding retries with bounded exponential backoff, dead-machine
+//! faults surface immediately.
+
+pub mod error;
+pub mod retry;
+pub mod server;
+
+pub use error::ServeError;
+pub use retry::{retry_with_backoff, RetryPolicy};
+pub use server::{
+    Health, Mode, QueryReply, QueryTicket, ServeConfig, ServeCounters, Server, Ticket, WriteReply,
+    WriteTicket,
+};

@@ -1,0 +1,166 @@
+//! Bounded retry-with-backoff for transient serving failures.
+//!
+//! Backpressure shedding ([`ServeError::Overloaded`]) is transient by
+//! design: the rejected request never ran, and the queue drains on its own —
+//! resubmitting after a short backoff is the intended client behavior.
+//! Everything else is not: a poisoned writer or a latched backend failure
+//! (including every injected fault — the fault registry models a *dead
+//! machine*, where all later durable operations fail too) stays down until
+//! the database is reopened from durable state, so retrying it only burns
+//! cycles and masks the fault. [`retry_with_backoff`] encodes exactly that
+//! split via [`ServeError::is_transient`].
+
+use crate::error::ServeError;
+use crate::server::{Server, WriteReply};
+use pathix_core::GraphUpdate;
+use std::time::Duration;
+
+/// Bounds on a retry loop: attempt count and exponential backoff window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum total attempts, first try included (normalized to at least
+    /// 1).
+    pub attempts: u32,
+    /// Sleep before the first retry; doubles per retry.
+    pub initial_backoff: Duration,
+    /// Cap on the per-retry sleep.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 4,
+            initial_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(50),
+        }
+    }
+}
+
+/// Runs `operation` up to `policy.attempts` times, sleeping with bounded
+/// exponential backoff between attempts, retrying **only** transient errors
+/// (see [`ServeError::is_transient`]). Non-transient errors — dead-machine
+/// faults, poisoned writers, deadline/cancellation, validation errors —
+/// return immediately after a single attempt.
+pub fn retry_with_backoff<T>(
+    policy: &RetryPolicy,
+    mut operation: impl FnMut() -> Result<T, ServeError>,
+) -> Result<T, ServeError> {
+    let attempts = policy.attempts.max(1);
+    let mut backoff = policy.initial_backoff.min(policy.max_backoff);
+    let mut attempt = 0;
+    loop {
+        attempt += 1;
+        match operation() {
+            Ok(value) => return Ok(value),
+            Err(error) if attempt < attempts && error.is_transient() => {
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(policy.max_backoff);
+            }
+            Err(error) => return Err(error),
+        }
+    }
+}
+
+impl Server {
+    /// [`Server::write`] wrapped in [`retry_with_backoff`]: overload
+    /// shedding is absorbed up to the policy's bounds, everything else
+    /// (read-only mode, dead-machine faults, validation) surfaces
+    /// immediately.
+    pub fn write_with_retry(
+        &self,
+        updates: &[GraphUpdate],
+        policy: &RetryPolicy,
+    ) -> Result<WriteReply, ServeError> {
+        retry_with_backoff(policy, || self.write(updates.to_vec()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathix_core::QueryError;
+
+    fn overloaded() -> ServeError {
+        ServeError::Overloaded {
+            queue_depth: 9,
+            retry_after: Duration::from_micros(10),
+        }
+    }
+
+    #[test]
+    fn transient_errors_retry_until_success() {
+        let policy = RetryPolicy {
+            attempts: 5,
+            initial_backoff: Duration::from_micros(10),
+            max_backoff: Duration::from_micros(100),
+        };
+        let mut calls = 0;
+        let result = retry_with_backoff(&policy, || {
+            calls += 1;
+            if calls < 3 {
+                Err(overloaded())
+            } else {
+                Ok(42)
+            }
+        });
+        assert_eq!(result, Ok(42));
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn transient_errors_respect_the_attempt_bound() {
+        let policy = RetryPolicy {
+            attempts: 3,
+            initial_backoff: Duration::from_micros(10),
+            max_backoff: Duration::from_micros(100),
+        };
+        let mut calls = 0;
+        let result: Result<(), _> = retry_with_backoff(&policy, || {
+            calls += 1;
+            Err(overloaded())
+        });
+        assert!(matches!(result, Err(ServeError::Overloaded { .. })));
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn dead_machine_faults_do_not_retry() {
+        // The writer latched an (injected or real) backend failure: one
+        // attempt, immediate surfacing — retrying a dead machine is wasted
+        // work that hides the fault from the operator.
+        let policy = RetryPolicy::default();
+        let mut calls = 0;
+        let result: Result<(), _> = retry_with_backoff(&policy, || {
+            calls += 1;
+            Err(ServeError::Query(QueryError::Backend(
+                pathix_core::BackendError::new("paged", "injected fault at `wal-append`"),
+            )))
+        });
+        assert!(matches!(result, Err(ServeError::Query(_))));
+        assert_eq!(calls, 1);
+
+        let mut calls = 0;
+        let result: Result<(), _> = retry_with_backoff(&policy, || {
+            calls += 1;
+            Err(ServeError::Query(QueryError::WriterPoisoned))
+        });
+        assert_eq!(result, Err(ServeError::Query(QueryError::WriterPoisoned)));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn zero_attempts_normalizes_to_one() {
+        let policy = RetryPolicy {
+            attempts: 0,
+            ..RetryPolicy::default()
+        };
+        let mut calls = 0;
+        let result: Result<(), _> = retry_with_backoff(&policy, || {
+            calls += 1;
+            Err(overloaded())
+        });
+        assert!(result.is_err());
+        assert_eq!(calls, 1);
+    }
+}

@@ -24,8 +24,11 @@ use pathix::datagen::{
     advogato_like, paper_example_graph, social_network, AdvogatoConfig, SocialConfig,
 };
 use pathix::graph::load_edge_list;
+use pathix::serve::{ServeConfig, Server};
 use pathix::{BackendChoice, Graph, GraphUpdate, PathDb, PathDbConfig, QueryOptions, Strategy};
 use std::io::{self, BufRead, Write};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// A parsed shell input line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -56,6 +59,12 @@ enum Command {
     AddEdge(String),
     /// Delete a labeled edge (`\delete-edge src label dst`).
     DeleteEdge(String),
+    /// Show the database's serving health: mode, epoch, sticky flush
+    /// failures and the durability section of the audit.
+    Health,
+    /// Drill `n` requests through an embedded serving tier and report
+    /// latency percentiles plus the tier's counters.
+    ServeStats(usize),
     /// Evaluate a regular path query under the current strategy.
     Query(String),
     /// Leave the shell.
@@ -96,6 +105,12 @@ fn parse_command(line: &str) -> Command {
         ("explain", q) if !q.is_empty() => Command::Explain(q.to_owned()),
         ("plans", q) if !q.is_empty() => Command::Plans(q.to_owned()),
         ("compare", q) if !q.is_empty() => Command::Compare(q.to_owned()),
+        ("health", _) => Command::Health,
+        ("serve-stats", "") => Command::ServeStats(32),
+        ("serve-stats", n) => match n.parse() {
+            Ok(n) if n >= 1 => Command::ServeStats(n),
+            _ => Command::Invalid("usage: \\serve-stats [positive request count]".to_owned()),
+        },
         ("update", e) if !e.is_empty() => Command::Update(e.to_owned()),
         ("add-edge", e) if !e.is_empty() => Command::AddEdge(e.to_owned()),
         ("delete-edge", e) if !e.is_empty() => Command::DeleteEdge(e.to_owned()),
@@ -130,6 +145,8 @@ commands:
   \\limit <n>            print at most n answer pairs per query
   \\stats                graph, index and histogram statistics
   \\audit                verify every structural invariant of the live index
+  \\health               serving health: mode, epoch, durability status
+  \\serve-stats [n]      drill n requests through an embedded serving tier
   \\help                 this text
   \\quit                 leave the shell
 
@@ -137,8 +154,10 @@ query syntax: `/` composition, `|` union, `label-` inverse, `{i,j}` bounded
 recursion, plus `*` `+` `?` sugar; parentheses group.";
 
 /// The interactive shell state: a database plus the shell's mutable settings.
+/// The database lives behind an [`Arc`] so `\serve-stats` can lend it to an
+/// embedded serving tier without rebuilding it.
 struct Shell {
-    db: PathDb,
+    db: Arc<PathDb>,
     strategy: Strategy,
     limit: usize,
     backend: BackendChoice,
@@ -153,7 +172,10 @@ impl Shell {
 
     fn with_backend(graph: Graph, k: usize, backend: BackendChoice) -> Self {
         Shell {
-            db: PathDb::build(graph, PathDbConfig::with_k(k).with_backend(backend.clone())),
+            db: Arc::new(PathDb::build(
+                graph,
+                PathDbConfig::with_k(k).with_backend(backend.clone()),
+            )),
             strategy: Strategy::MinSupport,
             limit: 10,
             backend,
@@ -180,10 +202,10 @@ impl Shell {
             },
             Command::SetK(k) => {
                 let graph = self.db.graph().as_ref().clone();
-                self.db = PathDb::build(
+                self.db = Arc::new(PathDb::build(
                     graph,
                     PathDbConfig::with_k(k).with_backend(self.backend.clone()),
-                );
+                ));
                 format!("rebuilt index with k = {k}\n{}", self.stats())
             }
             Command::SetLimit(limit) => {
@@ -207,6 +229,8 @@ impl Shell {
                 out
             }
             Command::Compare(query) => self.compare(&query),
+            Command::Health => self.health(),
+            Command::ServeStats(n) => self.serve_stats(n),
             Command::Update(edge) => self.update(&edge, true),
             Command::AddEdge(edge) => self.add_edge(&edge),
             Command::DeleteEdge(edge) => self.update(&edge, false),
@@ -406,6 +430,133 @@ impl Shell {
             ));
         }
         out
+    }
+
+    /// The serving-health view: mode, epoch, sticky flush failures, and the
+    /// durability section of the structural audit — what an operator checks
+    /// before trusting this database behind a serving tier.
+    fn health(&self) -> String {
+        let stats = self.db.stats();
+        let report = self.db.audit();
+        let flush_failed = stats.storage.flush_failed;
+        let writer_dead = report
+            .violations()
+            .iter()
+            .any(|v| v.invariant == "writer accepts further updates");
+        let mode = if flush_failed || writer_dead {
+            "read-only (degraded) — writes will be rejected; reopen from durable state to recover"
+        } else {
+            "normal — reads and writes accepted"
+        };
+        let (checks, violations) = report
+            .sections()
+            .iter()
+            .filter(|section| section.backend == "durability")
+            .fold((0, 0), |(c, v), s| (c + s.checks, v + s.violations));
+        let mut out = format!(
+            "mode       : {mode}\n\
+             epoch      : {}\n\
+             flush      : {}\n\
+             durability : {}",
+            self.db.epoch(),
+            if flush_failed {
+                "FAILED (sticky) — durable state stopped advancing"
+            } else {
+                "ok"
+            },
+            if violations == 0 {
+                format!("clean ({checks} checks)")
+            } else {
+                format!("{violations} violation(s) across {checks} checks")
+            },
+        );
+        for violation in report.violations() {
+            out.push_str(&format!("\nVIOLATION {violation}"));
+        }
+        out
+    }
+
+    /// Drills `n` point lookups (plus a quarter as many unbound scans)
+    /// through an embedded two-worker serving tier over this database and
+    /// reports latency percentiles and the tier's counters. The drill is
+    /// read-only and the tier is dropped afterwards — the shell's database
+    /// keeps serving.
+    fn serve_stats(&self, n: usize) -> String {
+        let graph = self.db.graph();
+        let Some(label) = graph
+            .labels()
+            .next()
+            .and_then(|l| graph.label_name(l).map(str::to_owned))
+        else {
+            return "the graph has no labels to drill queries through".to_owned();
+        };
+        let nodes = graph.node_count().max(1);
+        drop(graph);
+
+        let server = Server::new(
+            Arc::clone(&self.db),
+            ServeConfig {
+                workers: 2,
+                ..ServeConfig::default()
+            },
+        );
+        let scans = n.div_ceil(4);
+        let mut tickets = Vec::with_capacity(n + scans);
+        for i in 0..n {
+            let options = QueryOptions::with_strategy(self.strategy)
+                .source(pathix::NodeId((i % nodes) as u32))
+                .limit(16);
+            if let Ok(ticket) = server.submit_query(&label, options) {
+                tickets.push((Instant::now(), ticket));
+            }
+        }
+        for _ in 0..scans {
+            let options = QueryOptions::with_strategy(self.strategy);
+            if let Ok(ticket) = server.submit_query(&label, options) {
+                tickets.push((Instant::now(), ticket));
+            }
+        }
+
+        let mut latencies_ms: Vec<f64> = Vec::with_capacity(tickets.len());
+        for (submitted, ticket) in tickets {
+            match ticket.wait() {
+                Ok(reply) => latencies_ms
+                    .push(reply.finished_at.duration_since(submitted).as_secs_f64() * 1e3),
+                Err(e) => return format!("drill request failed: {e}"),
+            }
+        }
+        latencies_ms.sort_by(|a, b| a.total_cmp(b));
+        let percentile = |p: f64| -> f64 {
+            if latencies_ms.is_empty() {
+                return 0.0;
+            }
+            latencies_ms[((latencies_ms.len() - 1) as f64 * p).round() as usize]
+        };
+        let health = server.health();
+        let counters = &health.counters;
+        // Dropping the tier stops its workers without closing the shared
+        // database (an owned `shutdown` would).
+        drop(server);
+        format!(
+            "drill      : {n} point lookups + {scans} unbound scans on `{label}` through an \
+             embedded 2-worker tier\n\
+             latency    : p50 {:.3} ms, p99 {:.3} ms, max {:.3} ms ({} answered)\n\
+             counters   : {} submitted, {} answered, {} shed, {} deadline-exceeded, {} cancelled\n\
+             in flight  : peak {} (queue now {}, executing {}), mode {:?}",
+            percentile(0.50),
+            percentile(0.99),
+            percentile(1.0),
+            latencies_ms.len(),
+            counters.submitted,
+            counters.queries_ok,
+            counters.shed_overload,
+            counters.deadline_exceeded,
+            counters.cancelled,
+            counters.max_in_flight,
+            health.queue_depth,
+            health.executing,
+            health.mode,
+        )
     }
 
     fn query(&self, query: &str) -> String {
@@ -670,6 +821,13 @@ mod tests {
             Command::DeleteEdge("kim supervisor liz".to_owned())
         );
         assert_eq!(parse_command("\\audit"), Command::Audit);
+        assert_eq!(parse_command("\\health"), Command::Health);
+        assert_eq!(parse_command("\\serve-stats"), Command::ServeStats(32));
+        assert_eq!(parse_command("\\serve-stats 8"), Command::ServeStats(8));
+        assert!(matches!(
+            parse_command("\\serve-stats zero"),
+            Command::Invalid(_)
+        ));
         assert!(matches!(parse_command("\\k zero"), Command::Invalid(_)));
         assert!(matches!(parse_command("\\bogus"), Command::Invalid(_)));
         assert!(matches!(parse_command("\\explain"), Command::Invalid(_)));
@@ -815,6 +973,34 @@ mod tests {
             assert!(out.contains("writer/"), "{backend:?}: {out}");
             assert!(out.contains("counting-index"), "{backend:?}: {out}");
         }
+    }
+
+    #[test]
+    fn health_reports_a_normal_mode_and_clean_durability() {
+        let mut shell = Shell::new(paper_example_graph(), 2);
+        let out = shell.run(Command::Health);
+        assert!(out.contains("mode       : normal"), "{out}");
+        assert!(out.contains("durability : clean"), "{out}");
+        assert!(!out.contains("VIOLATION"), "{out}");
+        // Health reflects the live epoch, not the build-time state.
+        shell.run(Command::Update("tim knows zoe".to_owned()));
+        let out = shell.run(Command::Health);
+        assert!(out.contains("epoch      : 1"), "{out}");
+    }
+
+    #[test]
+    fn serve_stats_drills_requests_through_an_embedded_tier() {
+        let mut shell = Shell::new(paper_example_graph(), 2);
+        let out = shell.run(Command::ServeStats(8));
+        assert!(out.contains("8 point lookups + 2 unbound scans"), "{out}");
+        assert!(out.contains("10 submitted, 10 answered, 0 shed"), "{out}");
+        assert!(out.contains("mode Normal"), "{out}");
+        // The drill borrowed the database; the shell still serves queries
+        // and applies updates afterwards.
+        let answers = shell.run(Command::Query("supervisor/worksFor-".to_owned()));
+        assert!(answers.contains("(kim, sue)"), "{answers}");
+        let out = shell.run(Command::Update("tim knows zoe".to_owned()));
+        assert!(out.contains("inserted"), "{out}");
     }
 
     #[test]

@@ -24,7 +24,10 @@
 //! * [`pagestore`] — disk-oriented storage (buffer pool, paged B+tree,
 //!   compression) mirroring the companion study of index size;
 //! * [`sql`] — the relational backend: the paper's RPQ-to-SQL translation
-//!   over a `path_index` table, executed by a small SQL engine.
+//!   over a `path_index` table, executed by a small SQL engine;
+//! * [`serve`] — the worker-pool serving tier: admission control with
+//!   backpressure, per-request deadlines with cooperative cancellation,
+//!   read-only degraded modes and kill-anywhere restart.
 //!
 //! See the `examples/` directory for runnable walkthroughs and
 //! `crates/bench` for the harness that regenerates the paper's figures.
@@ -114,3 +117,7 @@ pub use pathix_pagestore as pagestore;
 /// Relational backend: the small SQL engine and the paper's RPQ-to-SQL
 /// translation (plus the recursive-SQL-views baseline).
 pub use pathix_sql as sql;
+
+/// The worker-pool serving tier: admission control, deadlines + cooperative
+/// cancellation, degraded (read-only) modes and kill-anywhere restart.
+pub use pathix_serve as serve;

@@ -1,0 +1,609 @@
+//! Chaos harness for the serving tier (`pathix-serve`).
+//!
+//! The serving tier's robustness contract — shed or complete every request,
+//! degrade to read-only instead of failing everything, survive a kill at any
+//! durable operation and resume serving after [`Server::reopen`] — is only
+//! worth stating if it holds *under concurrent traffic*. This harness drives
+//! a mixed Zipfian read/write workload (named-insert streams growing a
+//! database from empty, point lookups and unbound scans against it) through
+//! a [`Server`], arms [`pathix_pagestore::fault`] at every durable
+//! operation index a clean run performs, and after each simulated kill:
+//!
+//! * every in-flight request must have returned a terminal outcome — an
+//!   answer, a shed ([`ServeError::Overloaded`]), or a dead-machine error —
+//!   with no hangs and no panics;
+//! * the tier must have transitioned to read-only serving the moment the
+//!   write path latched its failure;
+//! * [`Server::reopen`] must recover via WAL replay to a state that passes
+//!   the structural audit and answers a fixed query card exactly like a
+//!   never-crashed twin that applied a prefix covering every acknowledged
+//!   write (an `Ok` reply to a write is a durability promise);
+//! * the reopened tier must accept reads *and* writes again.
+//!
+//! Separate tests pin down the admission-control half of the contract
+//! (bounded queue depth with `Overloaded` rejections, point lookups
+//! surviving a flood of expensive scans) and the deadline half (a heavy
+//! scan aborted mid-stream by its budget), which need no fault injection.
+//!
+//! The fault registry is process-global, so every fault-arming test here
+//! serializes on one lock (`cargo test` runs test binaries sequentially, so
+//! cross-binary interleaving with `tests/wal_recovery.rs` cannot happen).
+
+use pathix_core::{
+    BackendChoice, GraphBuilder, GraphUpdate, NodeId, PathDb, PathDbConfig, QueryError,
+    QueryOptions, Strategy,
+};
+use pathix_pagestore::fault;
+use pathix_serve::{Mode, RetryPolicy, ServeConfig, ServeError, Server};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Serializes the fault-arming tests (the registry is process-global).
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+/// A per-trial scratch directory, removed on drop (even on panic).
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "pathix-servechaos-{}-{}-{tag}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        TempDir(dir)
+    }
+
+    fn path(&self, file: &str) -> PathBuf {
+        self.0.join(file)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn on_disk(path: PathBuf) -> PathDbConfig {
+    PathDbConfig::with_k(2)
+        .with_backend(BackendChoice::OnDisk {
+            path,
+            pool_frames: 8,
+        })
+        // Small cadence so the workload crosses checkpoint + log-reset ops.
+        .with_wal_checkpoint_every(2)
+}
+
+fn serve_config() -> ServeConfig {
+    ServeConfig {
+        workers: 3,
+        queue_capacity: 32,
+        max_in_flight: 64,
+        ..ServeConfig::default()
+    }
+}
+
+/// Zipfian-ish rank sampler: rank r (0-based) with weight 1/(r+1).
+fn zipf(rng: &mut StdRng, n: u32) -> u32 {
+    let total: f64 = (1..=n).map(|r| 1.0 / f64::from(r)).sum();
+    let mut x = rng.gen::<f64>() * total;
+    for r in 1..=n {
+        x -= 1.0 / f64::from(r);
+        if x <= 0.0 {
+            return r - 1;
+        }
+    }
+    n - 1
+}
+
+/// The scripted named-insert stream: grows a database from **empty** (new
+/// nodes and labels interned mid-stream, per the streaming-ingest contract)
+/// with Zipfian-skewed endpoints. Every batch carries one `b<i>`-marker
+/// insert so each prefix has a distinct answer card, and batch 4 deletes a
+/// live edge so deletions cross the kill too.
+fn zipfian_batches() -> Vec<Vec<GraphUpdate>> {
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    let labels = ["knows", "mentors"];
+    let mut batches = Vec::new();
+    let mut marker_target_of_batch_0 = String::new();
+    for i in 0..6u32 {
+        let marker_target = format!("n{}", zipf(&mut rng, 12));
+        if i == 0 {
+            marker_target_of_batch_0 = marker_target.clone();
+        }
+        let mut batch = vec![GraphUpdate::insert_named(
+            format!("b{i}"),
+            "knows",
+            marker_target,
+        )];
+        for _ in 0..2 {
+            let label = labels[rng.gen_range(0..labels.len())];
+            batch.push(GraphUpdate::insert_named(
+                format!("n{}", zipf(&mut rng, 12)),
+                label,
+                format!("n{}", zipf(&mut rng, 12)),
+            ));
+        }
+        if i == 4 {
+            batch.push(GraphUpdate::delete_named(
+                "b0",
+                "knows",
+                marker_target_of_batch_0.clone(),
+            ));
+        }
+        batches.push(batch);
+    }
+    batches
+}
+
+const QUERIES: [&str; 4] = ["knows", "mentors", "knows/mentors", "knows-/knows"];
+
+/// The full answer card: every query × every strategy as sorted named pairs
+/// (id-assignment-independent); labels outside the vocabulary read
+/// `unbound`.
+fn answer_card(db: &PathDb) -> Vec<String> {
+    let mut card = Vec::new();
+    for query in QUERIES {
+        for strategy in Strategy::all() {
+            match db.run(query, QueryOptions::with_strategy(strategy)) {
+                Ok(result) => {
+                    let mut named = result.named_pairs(db);
+                    named.sort();
+                    card.push(format!("{query} [{strategy}] {named:?}"));
+                }
+                Err(QueryError::Bind(_)) => card.push(format!("{query} [{strategy}] unbound")),
+                Err(e) => panic!("query {query} [{strategy}] failed: {e}"),
+            }
+        }
+    }
+    card
+}
+
+/// Never-crashed twin (memory backend, grown from empty) after `prefix`
+/// batches.
+fn memory_twin(batches: &[Vec<GraphUpdate>], prefix: usize) -> PathDb {
+    let twin = PathDb::empty(PathDbConfig::with_k(2)).unwrap();
+    for batch in &batches[..prefix] {
+        twin.apply(batch).unwrap();
+    }
+    twin
+}
+
+/// Outcomes a reader under chaos is allowed to see: answers, sheds, clean
+/// teardown, cancellation, unknown-label binds early in the ingest, and —
+/// once the machine is "dead" — storage errors on the read path (a dirty
+/// page eviction can hit the armed fault too). Anything else (a hang, a
+/// worker loss, a wrong-category error) fails the harness.
+fn reader_outcome_allowed(error: &ServeError) -> bool {
+    matches!(
+        error,
+        ServeError::Overloaded { .. }
+            | ServeError::ShuttingDown
+            | ServeError::DeadlineExceeded
+            | ServeError::Cancelled
+            | ServeError::Query(QueryError::Bind(_))
+            | ServeError::Query(QueryError::Backend(_))
+    )
+}
+
+/// One Zipfian reader: point lookups (bound source, small limit) mixed with
+/// unbound scans, submitted until `stop`; every request must reach a
+/// terminal outcome quickly.
+fn reader_loop(server: &Server, stop: &AtomicBool, seed: u64) -> u64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut completed = 0;
+    while !stop.load(Ordering::Relaxed) {
+        let (text, options) = if rng.gen::<f64>() < 0.7 {
+            let source = NodeId(zipf(&mut rng, 12));
+            ("knows", QueryOptions::new().source(source).limit(8))
+        } else if rng.gen::<f64>() < 0.5 {
+            ("knows/mentors", QueryOptions::new())
+        } else {
+            ("mentors", QueryOptions::new())
+        };
+        let ticket = match server.submit_query(text, options) {
+            Ok(ticket) => ticket,
+            Err(e) => {
+                assert!(reader_outcome_allowed(&e), "submit rejected oddly: {e}");
+                continue;
+            }
+        };
+        match ticket.wait_timeout(Duration::from_secs(20)) {
+            None => panic!("reader request hung past its 20s harness timeout"),
+            Some(Ok(_)) => completed += 1,
+            Some(Err(e)) => assert!(reader_outcome_allowed(&e), "reader outcome: {e}"),
+        }
+    }
+    completed
+}
+
+/// The tentpole proof: arm a fault at every durable-operation index a clean
+/// serving run performs, re-run the mixed workload against a fresh tier,
+/// and demand graceful degradation + full recovery every time.
+#[test]
+fn kill_at_every_durable_op_under_mixed_zipfian_load_recovers_and_resumes() {
+    let _serial = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let batches = zipfian_batches();
+    let retry = RetryPolicy::default();
+
+    // Twin answer cards for every prefix — all distinct, or a trial could
+    // silently match the wrong prefix.
+    let twins: Vec<Vec<String>> = (0..=batches.len())
+        .map(|prefix| answer_card(&memory_twin(&batches, prefix)))
+        .collect();
+    for a in 0..twins.len() {
+        for b in a + 1..twins.len() {
+            assert_ne!(twins[a], twins[b], "prefixes {a} and {b} are ambiguous");
+        }
+    }
+
+    // Clean run (no readers, so the count is deterministic): how many
+    // durable operations does serving the write stream perform?
+    let total_ops = {
+        let dir = TempDir::new("count");
+        let db = Arc::new(PathDb::empty(on_disk(dir.path("idx.pages"))).unwrap());
+        let server = Server::new(db, serve_config());
+        fault::count_ops();
+        for batch in &batches {
+            server.write(batch.clone()).unwrap();
+        }
+        fault::disarm_count()
+    };
+    assert!(
+        total_ops > batches.len() as u64 * 2,
+        "suspiciously few durable operations: {total_ops}"
+    );
+
+    for op in 0..total_ops {
+        let dir = TempDir::new(&format!("kill-{op}"));
+        let path = dir.path("idx.pages");
+        let db = Arc::new(PathDb::empty(on_disk(path.clone())).unwrap());
+        let server = Server::new(db, serve_config());
+        fault::arm(op);
+
+        let stop = AtomicBool::new(false);
+        let mut acknowledged = 0;
+        let mut degraded = false;
+        std::thread::scope(|scope| {
+            let readers: Vec<_> = (0..2)
+                .map(|r| {
+                    let server = &server;
+                    let stop = &stop;
+                    scope.spawn(move || reader_loop(server, stop, op * 10 + r))
+                })
+                .collect();
+            for batch in &batches {
+                // Overload shedding (readers share the queue) is absorbed by
+                // the bounded retry helper; a dead-machine error is not.
+                match server.write_with_retry(batch, &retry) {
+                    Ok(_) => acknowledged += 1,
+                    Err(ServeError::Query(_)) | Err(ServeError::ReadOnly { .. }) => {
+                        degraded = true;
+                        break;
+                    }
+                    Err(e) => panic!("kill at op {op}: unexpected writer outcome: {e}"),
+                }
+            }
+            if degraded {
+                // The tier must have latched read-only serving: writes shed
+                // with a retry hint, reads keep flowing (the readers in
+                // flight right now prove that half).
+                assert_eq!(server.mode(), Mode::ReadOnly, "kill at op {op}");
+                assert!(
+                    matches!(
+                        server.write(batches[0].clone()),
+                        Err(ServeError::ReadOnly { .. })
+                    ),
+                    "kill at op {op}: degraded tier accepted a write"
+                );
+            }
+            stop.store(true, Ordering::Relaxed);
+            for reader in readers {
+                reader.join().expect("reader panicked");
+            }
+        });
+
+        // The "kill": no orderly close — the server (and database) drop with
+        // the fault still armed, so even drop-time backstop flushes fail,
+        // exactly as on a dead machine.
+        drop(server);
+        let fired = fault::disarm();
+
+        // Restart path: recover via WAL replay and resume serving.
+        let reopened = Server::reopen(on_disk(path), serve_config()).unwrap_or_else(|e| {
+            panic!("reopen after kill at op {op} (site {fired:?}) failed: {e}")
+        });
+        assert_eq!(reopened.mode(), Mode::Normal);
+        let recovered = reopened.db();
+        let report = recovered.audit();
+        assert!(
+            report.is_clean(),
+            "audit after kill at op {op} (site {fired:?}): {:?}",
+            report.violations()
+        );
+        let card = answer_card(&recovered);
+        let Some(matched) = twins.iter().position(|t| *t == card) else {
+            panic!("kill at op {op} (site {fired:?}): recovered state matches no prefix");
+        };
+        assert!(
+            matched >= acknowledged,
+            "kill at op {op} (site {fired:?}): {acknowledged} writes were acknowledged \
+             through the tier but recovery reproduced only {matched}"
+        );
+        assert!(
+            matched <= acknowledged + 1,
+            "kill at op {op} (site {fired:?}): recovery invented batch {matched} \
+             beyond the {acknowledged} acknowledged and the one in flight"
+        );
+        // The reopened tier serves reads and writes again.
+        if matched > 0 {
+            assert!(reopened.query("knows", QueryOptions::new()).is_ok());
+        }
+        reopened
+            .write(vec![GraphUpdate::insert_named("post", "knows", "crash")])
+            .unwrap_or_else(|e| panic!("reopened tier rejected a write after op {op}: {e}"));
+        reopened.shutdown().unwrap();
+    }
+}
+
+/// Answer card submitted through the serving tier instead of straight
+/// against the database.
+fn answer_card_via(server: &Server) -> Vec<String> {
+    let db = server.db();
+    let mut card = Vec::new();
+    for query in QUERIES {
+        for strategy in Strategy::all() {
+            match server.query(query, QueryOptions::with_strategy(strategy)) {
+                Ok(reply) => {
+                    let mut named = reply.result.named_pairs(&db);
+                    named.sort();
+                    card.push(format!("{query} [{strategy}] {named:?}"));
+                }
+                Err(ServeError::Query(QueryError::Bind(_))) => {
+                    card.push(format!("{query} [{strategy}] unbound"));
+                }
+                Err(e) => panic!("query {query} [{strategy}] failed: {e}"),
+            }
+        }
+    }
+    card
+}
+
+/// After a mid-write kill and reopen, never-crashed twin tiers on all four
+/// backends — fed the same acknowledged prefix through their own servers —
+/// must answer the full card identically to the recovered tier.
+#[test]
+fn recovered_tier_matches_never_crashed_twin_tiers_on_every_backend() {
+    let _serial = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let batches = zipfian_batches();
+
+    let dir = TempDir::new("twins");
+    let path = dir.path("idx.pages");
+    let db = Arc::new(PathDb::empty(on_disk(path.clone())).unwrap());
+    let server = Server::new(db, serve_config());
+    // Kill a few durable operations in: the WAL commit of the in-flight
+    // batch may be durable while its page writeback is not.
+    fault::arm(4);
+    let mut acknowledged = 0;
+    for batch in &batches {
+        match server.write(batch.clone()) {
+            Ok(_) => acknowledged += 1,
+            Err(_) => break,
+        }
+    }
+    drop(server);
+    let fired = fault::disarm();
+    assert!(fired.is_some(), "the kill never fired");
+
+    let reopened = Server::reopen(on_disk(path), serve_config()).unwrap();
+    assert!(reopened.db().audit().is_clean());
+    let card = answer_card_via(&reopened);
+    let prefix = (0..=batches.len())
+        .find(|&p| answer_card(&memory_twin(&batches, p)) == card)
+        .expect("recovered tier matches no prefix of the write stream");
+    assert!(prefix >= acknowledged);
+    reopened.shutdown().unwrap();
+
+    let twin_dir = TempDir::new("twin-backends");
+    let choices = vec![
+        BackendChoice::Memory,
+        BackendChoice::PagedInMemory { pool_frames: 8 },
+        BackendChoice::OnDisk {
+            path: twin_dir.path("twin.pages"),
+            pool_frames: 8,
+        },
+        BackendChoice::Compressed,
+    ];
+    for choice in choices {
+        let config = PathDbConfig::with_k(2).with_backend(choice.clone());
+        let twin = Arc::new(PathDb::empty(config).unwrap());
+        let twin_server = Server::new(twin, serve_config());
+        for batch in &batches[..prefix] {
+            twin_server.write(batch.clone()).unwrap();
+        }
+        assert_eq!(answer_card_via(&twin_server), card, "backend {choice:?}");
+    }
+}
+
+/// A dense random graph whose `(e|e-){4,6}` expansion is expensive enough
+/// to occupy a worker for a long time (it never completes inside these
+/// tests — it is cancelled or deadlined).
+fn dense_db() -> PathDb {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut b = GraphBuilder::new();
+    for _ in 0..1200 {
+        let s = rng.gen_range(0..150u32);
+        let t = rng.gen_range(0..150u32);
+        b.add_edge_named(&format!("v{s}"), "e", &format!("v{t}"));
+    }
+    PathDb::build(b.build(), PathDbConfig::with_k(2))
+}
+
+const HEAVY: &str = "(e|e-){4,6}";
+
+fn wait_until(what: &str, mut ready: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !ready() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+/// Admission control: once the scan queue fills, further scans are shed
+/// with `Overloaded` and the queue depth stays bounded; a point lookup
+/// submitted *after* the flood still completes (class fairness) while the
+/// flood is still queued.
+#[test]
+fn overload_sheds_scans_but_point_lookups_survive_the_flood() {
+    let server = Arc::new(Server::new(
+        Arc::new(dense_db()),
+        ServeConfig {
+            workers: 1,
+            queue_capacity: 2,
+            max_in_flight: 16,
+            ..ServeConfig::default()
+        },
+    ));
+
+    let h1 = server.submit_query(HEAVY, QueryOptions::new()).unwrap();
+    wait_until("the first heavy scan to start executing", || {
+        server.health().executing == 1
+    });
+    let h2 = server.submit_query(HEAVY, QueryOptions::new()).unwrap();
+    let h3 = server.submit_query(HEAVY, QueryOptions::new()).unwrap();
+    // Scan queue is at capacity (h2, h3): the next scan is shed, with the
+    // in-flight depth reported.
+    let shed = server.submit_query(HEAVY, QueryOptions::new()).unwrap_err();
+    match shed {
+        ServeError::Overloaded {
+            queue_depth,
+            retry_after,
+        } => {
+            assert_eq!(queue_depth, 3, "1 executing + 2 queued");
+            assert!(retry_after > Duration::ZERO);
+        }
+        other => panic!("expected Overloaded, got {other}"),
+    }
+
+    // A cheap point lookup submitted after the flood rides the point queue.
+    let c1 = server
+        .submit_query("e", QueryOptions::new().limit(1))
+        .unwrap();
+    // Free the worker: the cancelled scan aborts at the next batch boundary,
+    // and fairness hands the slot to the point lookup before the queued
+    // scans.
+    h1.cancel();
+    assert_eq!(h1.wait().unwrap_err(), ServeError::Cancelled);
+    let reply = c1
+        .wait()
+        .unwrap_or_else(|e| panic!("point lookup shed: {e}"));
+    assert_eq!(reply.result.len(), 1);
+    let health = server.health();
+    assert!(
+        health.queue_depth >= 1,
+        "the scan flood should still be queued behind the point lookup"
+    );
+    assert_eq!(health.counters.shed_overload, 1);
+    assert!(health.counters.max_in_flight <= 4);
+    h2.cancel();
+    h3.cancel();
+}
+
+/// Deadlines: a heavy scan with a tiny budget returns `DeadlineExceeded`
+/// (cooperatively, mid-stream) and frees its worker for the next request.
+#[test]
+fn deadline_aborts_a_heavy_scan_and_frees_the_worker() {
+    let server = Server::new(
+        Arc::new(dense_db()),
+        ServeConfig {
+            workers: 1,
+            ..serve_config()
+        },
+    );
+    let err = server
+        .submit_query_with_deadline(HEAVY, QueryOptions::new(), Some(Duration::from_millis(5)))
+        .unwrap()
+        .wait()
+        .unwrap_err();
+    assert_eq!(err, ServeError::DeadlineExceeded);
+    assert!(server.health().counters.deadline_exceeded >= 1);
+    // The worker is free again: a cheap lookup completes.
+    let reply = server.query("e", QueryOptions::new().limit(1)).unwrap();
+    assert_eq!(reply.result.len(), 1);
+    server.shutdown().unwrap();
+}
+
+/// Degraded mode end to end: a dead write path flips the tier to read-only
+/// serving (reads keep answering, writes shed with retry-after, the audit
+/// reports the latched failure), and `Server::reopen` restores full
+/// service.
+#[test]
+fn read_only_mode_serves_reads_rejects_writes_and_reopen_restores_service() {
+    let _serial = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let dir = TempDir::new("read-only");
+    let path = dir.path("idx.pages");
+    let db =
+        Arc::new(PathDb::empty(on_disk(path.clone())).unwrap_or_else(|e| panic!("empty db: {e}")));
+    let server = Server::new(db, serve_config());
+    server
+        .write(vec![GraphUpdate::insert_named("ada", "knows", "jan")])
+        .unwrap();
+
+    // The machine "dies": the very next durable operation (the WAL append
+    // of the following write) fails, and everything after it too.
+    fault::arm(0);
+    let err = server
+        .write(vec![GraphUpdate::insert_named("jan", "knows", "kim")])
+        .unwrap_err();
+    assert!(matches!(err, ServeError::Query(QueryError::Backend(_))));
+    assert_eq!(server.mode(), Mode::ReadOnly);
+
+    // Reads keep serving off the last published snapshot.
+    let reply = server.query("knows", QueryOptions::new()).unwrap();
+    assert_eq!(reply.result.len(), 1);
+    // Writes are shed with a retry hint — and the bounded retry helper does
+    // NOT spin on them (read-only is not transient).
+    assert!(matches!(
+        server.write(vec![GraphUpdate::insert_named("x", "knows", "y")]),
+        Err(ServeError::ReadOnly { .. })
+    ));
+    assert!(matches!(
+        server.write_with_retry(
+            &[GraphUpdate::insert_named("x", "knows", "y")],
+            &RetryPolicy::default()
+        ),
+        Err(ServeError::ReadOnly { .. })
+    ));
+    let health = server.health();
+    assert_eq!(health.mode, Mode::ReadOnly);
+    assert!(health.counters.rejected_read_only >= 2);
+    // Satellite: the latched failure is an audit violation, not just a
+    // sticky stats flag.
+    let report = server.db().audit();
+    assert!(!report.is_clean());
+    assert!(report
+        .violations()
+        .iter()
+        .any(|v| v.invariant == "writer accepts further updates"));
+
+    drop(server);
+    let fired = fault::disarm();
+    assert!(fired.is_some(), "the fault never fired");
+
+    let reopened = Server::reopen(on_disk(path), serve_config()).unwrap();
+    assert_eq!(reopened.mode(), Mode::Normal);
+    assert!(reopened.db().audit().is_clean());
+    reopened
+        .write(vec![GraphUpdate::insert_named("jan", "knows", "kim")])
+        .unwrap();
+    let reply = reopened.query("knows", QueryOptions::new()).unwrap();
+    assert_eq!(reply.result.len(), 2);
+    reopened.shutdown().unwrap();
+}

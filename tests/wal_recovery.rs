@@ -34,7 +34,8 @@ use pathix_pagestore::fault;
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Barrier, Mutex};
+use std::time::Duration;
 
 /// The fault registry is process-global: every test here arms it, so they
 /// serialize on this lock.
@@ -284,6 +285,94 @@ fn recovery_itself_is_restartable_at_every_durable_operation() {
             "re-recovery diverged (killed at op {op}, site {fired:?})"
         );
     }
+}
+
+/// Readers that pinned a snapshot and opened cursors *before* the kill must
+/// stream their full answers, bit for bit, while the write path dies under
+/// them — and the database must still recover a consistent prefix
+/// afterwards. Snapshots are immutable once published, so a dead writer is
+/// invisible to a cursor already holding one.
+#[test]
+fn concurrent_readers_stream_bit_stable_answers_across_a_kill_and_reopen() {
+    let _serial = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let batches = scripted_batches();
+    let dir = TempDir::new("readers");
+    let path = dir.path("idx.pages");
+    let db = PathDb::try_build(paper_example_graph(), on_disk(path.clone())).unwrap();
+    db.apply(&batches[0]).unwrap();
+    let pinned_epoch = db.epoch();
+    let prepared = db.prepare("knows").unwrap();
+    let mut expected = prepared
+        .cursor(&db, QueryOptions::new())
+        .unwrap()
+        .collect::<Result<Vec<_>, _>>()
+        .unwrap();
+    expected.sort_unstable();
+
+    // Three parties rendezvous twice: once when every reader has opened its
+    // cursor (so all cursors pin the pre-kill epoch), once when the kill has
+    // happened (so the drain demonstrably crosses it).
+    let barrier = Barrier::new(3);
+    let mut acknowledged_tail = 0;
+    std::thread::scope(|scope| {
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                let (db, prepared, barrier, expected) = (&db, &prepared, &barrier, &expected);
+                scope.spawn(move || {
+                    let snapshot = db.snapshot();
+                    let mut cursor = prepared.cursor(db, QueryOptions::new()).unwrap();
+                    assert_eq!(cursor.epoch(), pinned_epoch);
+                    let first = cursor
+                        .next()
+                        .map(|pair| pair.expect("cursor failed before the kill"));
+                    barrier.wait();
+                    barrier.wait();
+                    // The writer is dead now; keep draining the same cursor.
+                    let mut pairs: Vec<_> = first.into_iter().collect();
+                    for pair in cursor {
+                        pairs.push(pair.expect("cursor failed after the kill"));
+                        std::thread::sleep(Duration::from_micros(200));
+                    }
+                    pairs.sort_unstable();
+                    assert_eq!(&pairs, expected, "answers drifted across the kill");
+                    assert_eq!(snapshot.epoch(), pinned_epoch, "pinned snapshot moved");
+                })
+            })
+            .collect();
+        barrier.wait();
+        // Kill at the WAL sync of the next batch: the writer dies before any
+        // page writeback, so the readers' snapshot pages stay untouched.
+        fault::arm(1);
+        acknowledged_tail = run_until_crash(&db, &batches[1..]);
+        barrier.wait();
+        for reader in readers {
+            reader.join().expect("a reader panicked");
+        }
+    });
+    assert_eq!(acknowledged_tail, 0, "the armed fault should kill batch 1");
+
+    // Fresh reads still serve off the last published snapshot even though
+    // the write path is dead and the fault is still armed.
+    let post = db.run("knows", QueryOptions::new()).unwrap();
+    let mut post_pairs = post.pairs().to_vec();
+    post_pairs.sort_unstable();
+    assert_eq!(post_pairs, expected);
+
+    drop(db);
+    let fired = fault::disarm();
+    assert!(fired.is_some(), "the kill never fired");
+
+    let recovered = PathDb::open(on_disk(path)).unwrap();
+    assert!(
+        recovered.audit().is_clean(),
+        "audit after the concurrent-reader kill"
+    );
+    let card = answer_card(&recovered);
+    let matched = (0..=batches.len())
+        .position(|p| answer_card(&memory_twin(&batches, p)) == card)
+        .expect("recovered state matches no prefix of the batch script");
+    assert!((1..=2).contains(&matched), "batch 0 was acknowledged");
+    recovered.close().unwrap();
 }
 
 #[test]
